@@ -1,0 +1,60 @@
+"""Ablation — what the impenetrability rule (Def. 2(b)(ii)) buys.
+
+DESIGN.md calls out two load-bearing design choices of the cohesive
+semantics; this bench ablates the first: with ``impenetrability=False``
+a term only has to be *complete*, not impenetrable, before combining
+with external keywords (the paper's Figure 1 article node 6 — where
+Mary slips into the Paul/Cooper subtree — comes back).
+
+The table reports, per effectiveness dataset: the precision of the
+top-1-size answer with the rule on vs off, and how many extra (by
+construction, cohesiveness-violating) results the ablated semantics
+admits.  Expected shape: the rule is what protects the 100 % precision
+headline; removing it collapses the semantics toward flat grouping.
+"""
+
+from repro.core.engine import CohesiveLCA
+from repro.core.ranking import top_size_results
+from repro.evaluation.metrics import precision
+from repro.evaluation.reporting import format_table
+
+from conftest import report
+
+
+def test_ablation_impenetrability(benchmark, effectiveness_datasets):
+
+    def compute():
+        rows = []
+        for name, (dataset, index) in effectiveness_datasets.items():
+            searcher = CohesiveLCA(index)
+            strict_p = ablated_p = 0.0
+            extra = 0
+            queries = list(dataset.queries.items())
+            for query_id, text in queries:
+                relevant = dataset.relevant_codes(query_id)
+                strict = searcher.search(text)
+                ablated = searcher.search(text, impenetrability=False)
+                strict_p += precision(
+                    [r.code for r in top_size_results(strict)], relevant)
+                ablated_p += precision(
+                    [r.code for r in top_size_results(ablated)], relevant)
+                extra += len(ablated) - len(strict)
+            rows.append([
+                name,
+                f"{strict_p / len(queries) * 100:.1f}",
+                f"{ablated_p / len(queries) * 100:.1f}",
+                extra,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report("Ablation: top-1-size precision with/without the "
+           "impenetrability rule",
+           format_table(["dataset", "precision % (Def. 2 full)",
+                         "precision % (rule off)",
+                         "extra violating results"], rows))
+
+    # The rule is necessary somewhere: at least one dataset loses
+    # precision or admits violating results without it.
+    assert any(float(row[1]) > float(row[2]) or row[3] > 0
+               for row in rows)

@@ -1,0 +1,67 @@
+"""Ablation — size-budget pruning and top-k-size search.
+
+The second design choice DESIGN.md calls out: the engine can prune every
+partial LCA whose size already exceeds a budget (sizes only grow), which
+is what powers :func:`repro.core.topk.search_top_k`.  This bench
+measures the evaluation time of 15-keyword DBLP queries with no budget
+vs a tight one, and verifies the budgeted answer is exactly the
+corresponding prefix of the full answer.  Expected shape: pruning cuts
+the combination work substantially while remaining lossless within the
+budget.
+"""
+
+import random
+
+from repro.core.engine import CohesiveLCA
+from repro.datasets.workloads import EFFICIENCY_PATTERNS, instantiate
+from repro.evaluation.experiments import timed
+from repro.evaluation.reporting import format_table
+
+from conftest import report
+
+LIST_LIMIT = 300
+BUDGETS = (4, 8, 16, None)
+
+
+def test_ablation_size_budget(benchmark, efficiency_indexes):
+    _, index = efficiency_indexes["dblp"]
+    rng = random.Random(15)
+    queries = [instantiate(pattern, index, rng)
+               for pattern in EFFICIENCY_PATTERNS[15][:5]]
+    searcher = CohesiveLCA(index)
+
+    def compute():
+        rows = []
+        for budget in BUDGETS:
+            seconds = 0.0
+            returned = 0
+            for query in queries:
+                results, elapsed = timed(
+                    lambda: searcher.search(query, list_limit=LIST_LIMIT,
+                                            size_budget=budget))
+                seconds += elapsed
+                returned += len(results)
+            rows.append([budget if budget is not None else "none",
+                         f"{seconds / len(queries) * 1000:.1f}",
+                         returned // len(queries)])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report("Ablation: size-budget pruning (15-keyword queries, DBLP, "
+           f"{LIST_LIMIT} instances/keyword)",
+           format_table(["size budget", "avg time (ms)", "avg results"],
+                        rows))
+
+    # Losslessness within the budget.
+    for query in queries[:2]:
+        full = searcher.search(query, list_limit=LIST_LIMIT)
+        for budget in (4, 8):
+            bounded = searcher.search(query, list_limit=LIST_LIMIT,
+                                      size_budget=budget)
+            assert [(r.code, r.size) for r in bounded] == \
+                [(r.code, r.size) for r in full if r.size <= budget]
+
+    # Pruning with the tightest budget is not slower than no budget.
+    tight = float(rows[0][1])
+    unbounded = float(rows[-1][1])
+    assert tight <= unbounded * 1.1

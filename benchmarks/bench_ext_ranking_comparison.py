@@ -1,0 +1,53 @@
+"""Extension experiment — three ranking schemes head to head.
+
+Not a paper figure: it extends Table 5 by scoring, with NDCG against
+the graded ground truth, three ways of ordering the same CohesiveLCA
+answer:
+
+* **size** — Def. 3 (ascending LCA size), the paper's base ranking;
+* **vector** — the §2.2 cohesive-term vector norm (what Table 5
+  evaluates);
+* **skyline** — the §6 future-work semantics, implemented here:
+  skyline layers over the per-term size vectors, flattened.
+
+Expected shape: all three are strong (the answer sets are already
+filtered by cohesiveness); the vector and skyline schemes match or beat
+plain size ordering on the deep datasets, where per-term compactness
+carries extra signal.
+"""
+
+from repro.evaluation.experiments import ranking_comparison
+from repro.evaluation.reporting import format_table
+
+from conftest import report
+
+SCHEMES = ("size", "vector", "skyline")
+
+
+def test_ranking_scheme_comparison(benchmark, effectiveness_datasets):
+
+    def compute():
+        table = {}
+        for name, (dataset, index) in effectiveness_datasets.items():
+            table[name] = ranking_comparison(dataset, index)
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    averages = {scheme: [] for scheme in SCHEMES}
+    for name, per_query in table.items():
+        for query_id, values in per_query.items():
+            rows.append([name, query_id] +
+                        [f"{values[scheme] * 100:.0f}"
+                         for scheme in SCHEMES])
+            for scheme in SCHEMES:
+                averages[scheme].append(values[scheme])
+    rows.append(["average", ""] +
+                [f"{sum(averages[s]) / len(averages[s]) * 100:.1f}"
+                 for s in SCHEMES])
+    report("Extension: NDCG of size vs vector vs skyline ranking (%)",
+           format_table(["dataset", "query"] + list(SCHEMES), rows))
+
+    for scheme in SCHEMES:
+        assert sum(averages[scheme]) / len(averages[scheme]) >= 0.85

@@ -1,0 +1,46 @@
+"""Figure 4 — per-query precision % and F-measure % of the semantics.
+
+Regenerates the two bar charts of the paper's Fig. 4 as tables: for each
+query of each dataset, the precision and the F-measure of top-1-size
+CohesiveLCA, SLCA, ELCA, VLCA and MLCA.  Shape to check against the
+paper: top-1-size CohesiveLCA has 100% precision everywhere and the
+highest F-measure, with the losses concentrated on the deep datasets
+(PSD, NASA) where some relevant results are not of minimum size.
+"""
+
+from repro.evaluation.experiments import effectiveness_table
+from repro.evaluation.reporting import format_table
+
+from conftest import report
+
+SHOWN = ["top-1-size CohesiveLCA", "SLCA", "ELCA", "VLCA", "MLCA"]
+
+
+def test_fig4_precision_and_fmeasure(benchmark, effectiveness_datasets):
+
+    def compute():
+        rows = []
+        for _, (dataset, index) in effectiveness_datasets.items():
+            rows.extend(effectiveness_table(dataset, index))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    by_query: dict[tuple[str, str], dict[str, tuple[float, float]]] = {}
+    for row in rows:
+        bucket = by_query.setdefault((row.dataset, row.query_id), {})
+        bucket[row.semantics] = (row.precision, row.f_measure)
+
+    for metric_index, metric_name in ((0, "precision"), (1, "F-measure")):
+        table_rows = []
+        for (dataset, query_id), values in by_query.items():
+            table_rows.append(
+                [dataset, query_id] +
+                [f"{values[semantics][metric_index] * 100:.0f}"
+                 for semantics in SHOWN])
+        report(f"Figure 4{'ab'[metric_index]}: {metric_name} %",
+               format_table(["dataset", "query"] + SHOWN, table_rows))
+
+    # The paper's headline: perfect precision for top-1-size CohesiveLCA.
+    for values in by_query.values():
+        assert values["top-1-size CohesiveLCA"][0] == 1.0

@@ -1,0 +1,84 @@
+"""Figure 5 — CohesiveLCA runtime vs total number of keyword instances.
+
+Regenerates the three plots of the paper's Fig. 5: for 10-, 15- and
+20-keyword cohesive queries on DBLP, XMark and NASA, the average
+evaluation time as the per-keyword inverted lists are truncated to
+growing prefixes (the paper sweeps 100→1000 instances per keyword; we
+sweep 100→400 at reproduction scale).  Shapes to check against the
+paper: time grows linearly with the total number of instances, and
+larger queries cost more.
+"""
+
+import random
+
+import pytest
+
+from repro.datasets.workloads import EFFICIENCY_PATTERNS, instantiate
+from repro.evaluation.experiments import time_cohesive, total_instances
+from repro.evaluation.reporting import ascii_chart, format_table
+
+from conftest import report
+
+LIMITS = (100, 200, 300, 400)
+SIZES = (10, 15, 20)
+
+
+def _queries(index, size, seed):
+    rng = random.Random(seed)
+    return [instantiate(pattern, index, rng)
+            for pattern in EFFICIENCY_PATTERNS[size]]
+
+
+@pytest.fixture(scope="module")
+def fig5_series(efficiency_indexes):
+    series = {}
+    for name, (_, index) in efficiency_indexes.items():
+        for size in SIZES:
+            queries = _queries(index, size, seed=size)
+            for limit in LIMITS:
+                instances = 0
+                seconds = 0.0
+                for query in queries:
+                    instances += total_instances(query, index, limit)
+                    seconds += time_cohesive(query, index, limit)
+                series[(name, size, limit)] = (
+                    instances // len(queries),
+                    seconds / len(queries),
+                )
+    return series
+
+
+def test_fig5_series(benchmark, fig5_series, efficiency_indexes):
+    rows = []
+    for (name, size, limit), (instances, seconds) in \
+            sorted(fig5_series.items()):
+        rows.append([name, size, limit, instances,
+                     f"{seconds * 1000:.1f}"])
+    chart = ascii_chart({
+        f"{name} {size}kw": [
+            (fig5_series[(name, size, limit)][0],
+             fig5_series[(name, size, limit)][1] * 1000)
+            for limit in LIMITS
+        ]
+        for name in sorted(efficiency_indexes)
+        for size in SIZES
+    })
+    report("Figure 5: CohesiveLCA runtime vs total keyword instances",
+           format_table(["dataset", "keywords", "list limit",
+                         "avg instances", "avg time (ms)"], rows) +
+           "\n\n" + chart)
+
+    # Linearity shape: time at the largest limit stays within ~8x of the
+    # smallest (a quadratic blowup would show ~16x on a 4x input).
+    for name in efficiency_indexes:
+        for size in SIZES:
+            t_small = fig5_series[(name, size, LIMITS[0])][1]
+            t_large = fig5_series[(name, size, LIMITS[-1])][1]
+            assert t_large <= max(t_small, 1e-4) * 12
+
+    # Benchmark one representative point (DBLP, 10 keywords, 300).
+    _, index = efficiency_indexes["dblp"]
+    queries = _queries(index, 10, seed=10)
+    benchmark.pedantic(
+        lambda: [time_cohesive(query, index, 300) for query in queries[:3]],
+        rounds=2, iterations=1)

@@ -1,0 +1,86 @@
+"""Figure 7 — CohesiveLCA vs LCAsz, varying the number of keywords.
+
+Regenerates the paper's Fig. 7 on DBLP: average runtime of LCAsz (all
+LCAs ranked by size — the full partition lattice) against CohesiveLCA
+with cohesiveness patterns, for 2–7 keywords with every inverted list
+truncated to a fixed prefix.  Shapes to check against the paper: LCAsz
+grows sharply with the keyword count (Bell-number lattice), CohesiveLCA
+stays flat (its cost follows the max term cardinality, kept small by the
+patterns), and the gap widens with more keywords.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import lcasz
+from repro.datasets.workloads import (frequent_keywords,
+                                      pattern_with_max_cardinality)
+from repro.evaluation.experiments import time_cohesive, timed
+from repro.evaluation.reporting import ascii_chart, format_table
+
+from conftest import report
+
+KEYWORD_COUNTS = (2, 3, 4, 5, 6, 7)
+LIST_LIMIT = 300
+QUERIES_PER_POINT = 3
+
+
+@pytest.fixture(scope="module")
+def fig7_series(efficiency_indexes):
+    _, index = efficiency_indexes["dblp"]
+    series = {}
+    for count in KEYWORD_COUNTS:
+        rng = random.Random(count)
+        cohesive_seconds = 0.0
+        lcasz_seconds = 0.0
+        for _ in range(QUERIES_PER_POINT):
+            keywords = frequent_keywords(index, count, rng)
+            if count >= 3:
+                cardinality = max(2, (count + 1) // 2)
+                shape = pattern_with_max_cardinality(count, cardinality)
+                query = shape.with_keywords(keywords)
+            else:
+                from repro.core.query import Query
+                query = Query.flat(keywords)
+            cohesive_seconds += time_cohesive(query, index, LIST_LIMIT)
+            _, seconds = timed(
+                lambda: lcasz(keywords, index, list_limit=LIST_LIMIT))
+            lcasz_seconds += seconds
+        series[count] = (cohesive_seconds / QUERIES_PER_POINT,
+                         lcasz_seconds / QUERIES_PER_POINT)
+    return series
+
+
+def test_fig7_vs_lcasz(benchmark, fig7_series, efficiency_indexes):
+    rows = [
+        [count, f"{cohesive * 1000:.1f}", f"{flat * 1000:.1f}",
+         f"{flat / max(cohesive, 1e-9):.1f}x"]
+        for count, (cohesive, flat) in sorted(fig7_series.items())
+    ]
+    report("Figure 7: CohesiveLCA vs LCAsz, varying keyword count "
+           f"(DBLP, {LIST_LIMIT} instances/keyword)",
+           format_table(["keywords", "CohesiveLCA (ms)", "LCAsz (ms)",
+                         "speedup"], rows) + "\n\n" +
+           ascii_chart({
+               "CohesiveLCA": [(count, cohesive * 1000)
+                               for count, (cohesive, _)
+                               in sorted(fig7_series.items())],
+               "LCAsz": [(count, flat * 1000)
+                         for count, (_, flat)
+                         in sorted(fig7_series.items())],
+           }))
+
+    # The gap widens: the speedup at 7 keywords beats the one at 3.
+    def speedup(count):
+        cohesive, flat = fig7_series[count]
+        return flat / max(cohesive, 1e-9)
+
+    assert speedup(7) > speedup(3)
+    assert speedup(7) > 1.5
+
+    _, index = efficiency_indexes["dblp"]
+    keywords = frequent_keywords(index, 6, random.Random(42))
+    benchmark.pedantic(
+        lambda: lcasz(keywords, index, list_limit=LIST_LIMIT),
+        rounds=2, iterations=1)

@@ -1,0 +1,84 @@
+"""Figure 8 — CohesiveLCA vs LCAsz vs SAOne, varying total instances.
+
+Regenerates the paper's Fig. 8 on DBLP: 6-keyword queries, average
+runtime of the three all-LCA-computing algorithms as the inverted lists
+grow.  Shapes to check against the paper: CohesiveLCA is the fastest,
+LCAsz "largely outperforms SAOne", and SAOne scales worst (its grouped
+size-distribution bookkeeping does strictly more work per node).
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import lcasz, sa_one
+from repro.datasets.workloads import (frequent_keywords,
+                                      pattern_with_max_cardinality)
+from repro.evaluation.experiments import time_cohesive, timed
+from repro.evaluation.reporting import ascii_chart, format_table
+
+from conftest import report
+
+KEYWORDS = 6
+LIMITS = (50, 100, 200, 300)
+QUERIES_PER_POINT = 3
+
+
+@pytest.fixture(scope="module")
+def fig8_series(efficiency_indexes):
+    _, index = efficiency_indexes["dblp"]
+    shape = pattern_with_max_cardinality(KEYWORDS, 3)
+    series = {}
+    for limit in LIMITS:
+        rng = random.Random(limit)
+        times = [0.0, 0.0, 0.0]
+        for _ in range(QUERIES_PER_POINT):
+            keywords = frequent_keywords(index, KEYWORDS, rng)
+            query = shape.with_keywords(keywords)
+            times[0] += time_cohesive(query, index, limit)
+            _, seconds = timed(
+                lambda: lcasz(keywords, index, list_limit=limit))
+            times[1] += seconds
+            _, seconds = timed(
+                lambda: sa_one(keywords, index, list_limit=limit))
+            times[2] += seconds
+        series[limit] = tuple(t / QUERIES_PER_POINT for t in times)
+    return series
+
+
+def test_fig8_vs_lcasz_and_saone(benchmark, fig8_series,
+                                 efficiency_indexes):
+    rows = [
+        [limit * KEYWORDS,
+         f"{cohesive * 1000:.1f}", f"{flat * 1000:.1f}",
+         f"{sa * 1000:.1f}"]
+        for limit, (cohesive, flat, sa) in sorted(fig8_series.items())
+    ]
+    report("Figure 8: CohesiveLCA vs LCAsz vs SAOne "
+           f"({KEYWORDS}-keyword queries, DBLP)",
+           format_table(["total instances", "CohesiveLCA (ms)",
+                         "LCAsz (ms)", "SAOne (ms)"], rows) + "\n\n" +
+           ascii_chart({
+               name: [(limit * KEYWORDS,
+                       fig8_series[limit][position] * 1000)
+                      for limit in sorted(fig8_series)]
+               for position, name in enumerate(
+                   ["CohesiveLCA", "LCAsz", "SAOne"])
+           }))
+
+    # Ordering at the largest point: CohesiveLCA < LCAsz < SAOne.
+    cohesive, flat, sa = fig8_series[LIMITS[-1]]
+    assert cohesive < flat < sa
+
+    # SAOne scales worst: its growth factor across the sweep dominates.
+    def growth(index_):
+        return fig8_series[LIMITS[-1]][index_] / \
+            max(fig8_series[LIMITS[0]][index_], 1e-9)
+
+    assert growth(2) >= growth(0) * 0.8  # SAOne grows at least as fast
+
+    _, index = efficiency_indexes["dblp"]
+    keywords = frequent_keywords(index, KEYWORDS, random.Random(8))
+    benchmark.pedantic(
+        lambda: sa_one(keywords, index, list_limit=100),
+        rounds=2, iterations=1)

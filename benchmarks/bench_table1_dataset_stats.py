@@ -1,0 +1,36 @@
+"""Table 1 — dataset statistics.
+
+Regenerates the paper's Table 1 (size, maximum depth, node/keyword/label/
+label-path counts) for the five generated datasets.  Shape to check
+against the paper: DBLP is the shallowest dataset and XMark the deepest;
+label and label-path vocabularies are small relative to node counts.
+"""
+
+from repro.evaluation.reporting import format_table
+from repro.tree.stats import compute_statistics
+
+from conftest import report
+
+
+def test_table1_dataset_statistics(benchmark, effectiveness_datasets,
+                                   efficiency_indexes):
+    datasets = {name: pair[0].tree
+                for name, pair in effectiveness_datasets.items()}
+    datasets["xmark"] = efficiency_indexes["xmark"][0].tree
+
+    def compute_all():
+        return [compute_statistics(tree, name=name)
+                for name, tree in datasets.items()]
+
+    stats = benchmark(compute_all)
+
+    headers = ["dataset", "size (text bytes)", "maximum depth", "# nodes",
+               "# keywords", "# distinct labels", "# dist. label paths"]
+    rows = [[row.as_row()[header] for header in headers]
+            for row in stats]
+    report("Table 1: dataset statistics",
+           format_table(headers, rows))
+
+    by_name = {row.name: row for row in stats}
+    assert by_name["dblp"].max_depth < by_name["nasa"].max_depth \
+        < by_name["xmark"].max_depth

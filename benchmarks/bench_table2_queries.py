@@ -1,0 +1,47 @@
+"""Table 2 — the effectiveness query workload.
+
+Table 2 of the paper lists the twenty queries (five per real dataset)
+used by every effectiveness experiment.  This bench prints them with
+their structural parameters (keyword count, term count, maximum term
+cardinality, nesting depth — the quantities the paper's §3.1 analysis is
+parameterized by) and the number of keyword instances each has in the
+generated datasets, and verifies every query parses and matches data.
+"""
+
+from repro.core.parser import parse_query
+from repro.evaluation.experiments import total_instances
+from repro.evaluation.reporting import format_table
+
+from conftest import report
+
+
+def test_table2_query_workload(benchmark, effectiveness_datasets):
+
+    def compute():
+        rows = []
+        for name, (dataset, index) in effectiveness_datasets.items():
+            for query_id, text in dataset.queries.items():
+                query = parse_query(text)
+                rows.append([
+                    name, query_id, text,
+                    query.keyword_count,
+                    query.term_count,
+                    query.max_term_cardinality,
+                    query.max_nesting_depth,
+                    total_instances(query, index, None),
+                ])
+        return rows
+
+    rows = benchmark(compute)
+    report("Table 2: effectiveness queries",
+           format_table(["dataset", "id", "query", "kw", "terms",
+                         "max card", "nesting", "instances"], rows))
+
+    assert len(rows) == 20
+    # The paper: "queries display various cohesiveness patterns and
+    # involve 3-6 keywords".
+    for row in rows:
+        assert 3 <= row[3] <= 6
+        assert row[7] > 0  # every keyword matches the generated data
+    # At least one query exercises nesting depth 2 (QP4, QN3).
+    assert any(row[6] >= 2 for row in rows)

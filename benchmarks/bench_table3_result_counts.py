@@ -1,0 +1,43 @@
+"""Table 3 — number of results per query and semantics.
+
+Regenerates the paper's Table 3: for every Table-2 query of every
+effectiveness dataset, the number of results returned by CohesiveLCA,
+SLCA, ELCA, VLCA and MLCA.  Shapes to check against the paper: the
+CohesiveLCA answer is never larger than the flat answers (every extra
+flat result violates a user-specified cohesiveness relationship) and
+SLCA ⊆ ELCA.
+"""
+
+from repro.evaluation.experiments import result_count_table
+from repro.evaluation.reporting import format_table
+
+from conftest import report
+
+SEMANTICS = ["CohesiveLCA", "SLCA", "ELCA", "VLCA", "MLCA"]
+
+
+def test_table3_result_counts(benchmark, effectiveness_datasets):
+
+    def compute():
+        table = {}
+        for name, (dataset, index) in effectiveness_datasets.items():
+            table[name] = result_count_table(dataset, index)
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for name, dataset_rows in table.items():
+        for row in dataset_rows:
+            rows.append([name, row["query"], row["text"]] +
+                        [row[semantics] for semantics in SEMANTICS])
+    report("Table 3: number of results per query and semantics",
+           format_table(["dataset", "query", "text"] + SEMANTICS, rows))
+
+    # The paper notes only one containment among the approaches:
+    # SLCA ⊆ ELCA ("with the exception of SLCA and ELCA ... all other
+    # approaches are pairwise incomparable", §4.2).
+    for dataset_rows in table.values():
+        for row in dataset_rows:
+            assert row["SLCA"] <= row["ELCA"]
+            assert row["CohesiveLCA"] >= 1

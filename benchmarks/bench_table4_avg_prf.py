@@ -1,0 +1,50 @@
+"""Table 4 — average precision, recall and F-measure over all queries
+and datasets, for all six semantics.
+
+Shape to check against the paper (their numbers: top-1-size Cohesive
+P=100/R=96.9, full Cohesive P=67.4/R=100, flat baselines P=25–36): full
+CohesiveLCA has perfect recall, top-1-size CohesiveLCA perfect precision
+and the best F-measure, and every flat baseline trails on precision and
+F-measure.
+"""
+
+import pytest
+
+from repro.evaluation.experiments import (average_effectiveness,
+                                          effectiveness_table)
+from repro.evaluation.reporting import format_table
+
+from conftest import report
+
+ORDER = ["CohesiveLCA", "top-1-size CohesiveLCA", "SLCA", "ELCA", "VLCA",
+         "MLCA"]
+
+
+def test_table4_average_prf(benchmark, effectiveness_datasets):
+
+    def compute():
+        rows = []
+        for _, (dataset, index) in effectiveness_datasets.items():
+            rows.extend(effectiveness_table(dataset, index))
+        return average_effectiveness(rows)
+
+    averages = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    table_rows = [
+        [semantics,
+         f"{averages[semantics]['precision'] * 100:.1f}",
+         f"{averages[semantics]['recall'] * 100:.1f}",
+         f"{averages[semantics]['f_measure'] * 100:.1f}"]
+        for semantics in ORDER
+    ]
+    report("Table 4: average precision / recall / F-measure (%)",
+           format_table(["semantics", "Precision %", "Recall %",
+                         "F-measure %"], table_rows))
+
+    top = averages["top-1-size CohesiveLCA"]
+    full = averages["CohesiveLCA"]
+    assert top["precision"] == pytest.approx(1.0)
+    assert full["recall"] == pytest.approx(1.0)
+    for baseline in ("SLCA", "ELCA", "VLCA", "MLCA"):
+        assert averages[baseline]["precision"] < top["precision"]
+        assert averages[baseline]["f_measure"] < top["f_measure"]

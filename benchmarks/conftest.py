@@ -1,0 +1,76 @@
+"""Shared fixtures and reporting for the benchmark harness.
+
+Each ``bench_*`` file reproduces one table or figure of the paper; the
+rows/series it computes are registered with :func:`report` and printed in
+the terminal summary (and written to ``benchmarks/reports/``), so they
+survive pytest's output capturing.
+
+Scales are chosen so the whole harness runs in minutes on a laptop while
+preserving the paper's shapes; set ``REPRO_BENCH_SCALE`` (a float
+multiplier) to grow or shrink them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import (generate_baseball, generate_dblp, generate_nasa,
+                            generate_psd, generate_xmark)
+from repro.index.inverted import InvertedIndex
+
+_REPORTS: list[tuple[str, str]] = []
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(value: int) -> int:
+    return max(1, int(value * SCALE))
+
+
+def report(title: str, body: str) -> None:
+    """Register a table for the terminal summary and the reports dir."""
+    _REPORTS.append((title, body))
+    directory = Path(__file__).parent / "reports"
+    directory.mkdir(exist_ok=True)
+    slug = "".join(ch if ch.isalnum() else "_" for ch in title.lower())
+    (directory / f"{slug}.txt").write_text(body + "\n", encoding="utf-8")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for title, body in _REPORTS:
+        terminalreporter.write_sep("=", title)
+        terminalreporter.write_line(body)
+
+
+# -- effectiveness datasets (Table 2 queries + ground truth) ---------------
+
+@pytest.fixture(scope="session")
+def effectiveness_datasets():
+    datasets = [
+        generate_dblp(scale=scaled(120)),
+        generate_psd(scale=scaled(100)),
+        generate_nasa(scale=scaled(100)),
+        generate_baseball(scale=scaled(16)),
+    ]
+    return {
+        dataset.name: (dataset, InvertedIndex.from_tree(dataset.tree))
+        for dataset in datasets
+    }
+
+
+# -- efficiency datasets (frequent-keyword workloads) -----------------------
+
+@pytest.fixture(scope="session")
+def efficiency_indexes():
+    corpora = [
+        generate_dblp(scale=scaled(1500)),
+        generate_xmark(scale=scaled(400)),
+        generate_nasa(scale=scaled(1200)),
+    ]
+    return {
+        dataset.name: (dataset, InvertedIndex.from_tree(dataset.tree))
+        for dataset in corpora
+    }

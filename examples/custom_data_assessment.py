@@ -1,0 +1,61 @@
+"""Bring-your-own-data evaluation with pattern-based assessment.
+
+For the generated datasets the ground truth is planted; for *your* XML,
+the paper's methodology applies directly: grade result LCAs by the
+label-path patterns they realize (§4.1).  This example indexes a small
+handwritten catalog, runs two semantics, grades both with a
+:class:`PatternAssessor` and reports precision and NDCG — the workflow
+for evaluating keyword search on data the library has never seen.
+
+Run:  python examples/custom_data_assessment.py
+"""
+
+from repro import CohesiveLCA, InvertedIndex, load_tree, parse_query
+from repro.baselines import slca
+from repro.evaluation import PatternAssessor
+from repro.evaluation.metrics import ndcg, precision
+
+CATALOG = """
+<store>
+  <department name="music">
+    <product>
+      <name>vintage jazz vinyl</name>
+      <maker>blue note records</maker>
+    </product>
+    <product>
+      <name>blue vinyl tablecloth</name>
+      <maker>jazz home deco</maker>
+    </product>
+  </department>
+  <department name="furniture">
+    <product>
+      <name>walnut table</name>
+      <review>a jazz bar bought six in blue</review>
+    </product>
+  </department>
+</store>
+"""
+
+tree = load_tree(CATALOG)
+index = InvertedIndex.from_tree(tree)
+
+# The analyst's judgment, expressed as label-path rules: a product node
+# is a perfect answer; a department is partially useful; anything else
+# (the store root, a lone field) is noise.
+assessor = (PatternAssessor(tree)
+            .add_rule("department/product", grade=3)
+            .add_rule("store/department", grade=1))
+
+query = "((blue note) jazz vinyl)"
+cohesive = [r.code for r in CohesiveLCA(index).search(query)]
+flat = slca(parse_query(query).distinct_keywords(), index)
+
+for name, returned in (("CohesiveLCA", cohesive), ("SLCA", flat)):
+    relevant = assessor.relevant_among(returned, min_grade=3)
+    grades = assessor.grades_for(returned)
+    print(f"{name:12s} returned={len(returned)}  "
+          f"P(grade 3)={precision(returned, relevant) * 100:5.1f}%  "
+          f"NDCG={ndcg(returned, grades) * 100:5.1f}%")
+    for code in returned:
+        print(f"    grade {assessor.grade(code)}  "
+              f"{tree.node(code).label_path()}")

@@ -1,0 +1,41 @@
+"""Deeply nested cohesive terms on a protein database.
+
+The PSD query QP4 = (((B cell) stimulating factor) (house mouse)) nests
+cohesive terms two levels deep: (B cell) inside ((B cell) stimulating
+factor).  This example evaluates it on the synthetic PSD dataset, shows
+how the nested term sizes contribute to the ranking vector, and prints
+the lattice accounting that makes the query cheap to evaluate.
+
+Run:  python examples/protein_search.py
+"""
+
+from repro import CohesiveLCA, InvertedIndex, parse_query
+from repro.core.lattice import (bell_number, largest_sublattice_size,
+                                lattice_node_count, stack_count)
+from repro.datasets import generate_psd
+
+dataset = generate_psd(scale=100)
+index = InvertedIndex.from_tree(dataset.tree)
+searcher = CohesiveLCA(index)
+
+text = dataset.queries["QP4"]
+query = parse_query(text)
+print(f"query: {text}")
+print(f"  keywords: {query.keyword_count}, terms: {query.term_count}, "
+      f"nesting depth: {query.max_nesting_depth}")
+print(f"  full lattice would have B{query.keyword_count} = "
+      f"{bell_number(query.keyword_count)} partitions;")
+print(f"  the cohesive lattice has {lattice_node_count(query)} nodes "
+      f"({stack_count(query)} stacks, largest sublattice "
+      f"{largest_sublattice_size(query)})\n")
+
+for result in searcher.search(query):
+    node = dataset.tree.node(result.code)
+    grade = dataset.grades("QP4").get(result.code, 0)
+    name = next((grandchild.value
+                 for child in node.children
+                 for grandchild in child.children
+                 if grandchild.label == "name"), "-")
+    print(f"  size={result.size}  grade={grade}  "
+          f"{node.label_path():35s} {name!r}")
+    print(f"      per-term partial LCA sizes: {result.term_sizes}")

@@ -1,0 +1,44 @@
+"""A miniature version of the paper's Fig. 5/7 efficiency study.
+
+Sweeps the inverted-list prefix length for a 10-keyword cohesive query
+on the DBLP-like dataset (linearity in the input size), then compares
+CohesiveLCA against the LCAsz and SAOne baselines at 6 keywords (the
+structural advantage of the reduced lattice).
+
+Run:  python examples/scalability_demo.py
+"""
+
+import random
+
+from repro import InvertedIndex
+from repro.baselines import lcasz, sa_one
+from repro.datasets import generate_dblp
+from repro.datasets.workloads import frequent_keywords, instantiate
+from repro.evaluation.experiments import (time_cohesive, timed,
+                                          total_instances)
+
+dataset = generate_dblp(scale=800)
+index = InvertedIndex.from_tree(dataset.tree)
+rng = random.Random(7)
+
+print("-- scaling the input (10-keyword query, pattern "
+      "(xx((xxxx)(xxxx))) ) --")
+query = instantiate("(xx((xxxx)(xxxx)))", index, rng)
+for limit in (50, 100, 200, 400):
+    instances = total_instances(query, index, limit)
+    seconds = time_cohesive(query, index, limit)
+    bar = "#" * max(1, int(seconds * 400))
+    print(f"  {instances:6,d} instances  {seconds * 1000:7.1f} ms  {bar}")
+
+print("\n-- CohesiveLCA vs LCAsz vs SAOne (6 keywords, 200-instance "
+      "lists) --")
+keywords = frequent_keywords(index, 6, rng)
+cohesive_query = instantiate("((xxx)(xxx))", index, rng)
+rows = [
+    ("CohesiveLCA", time_cohesive(cohesive_query, index, 200)),
+    ("LCAsz", timed(lambda: lcasz(keywords, index, list_limit=200))[1]),
+    ("SAOne", timed(lambda: sa_one(keywords, index, list_limit=200))[1]),
+]
+for name, seconds in rows:
+    bar = "#" * max(1, int(seconds * 400))
+    print(f"  {name:12s} {seconds * 1000:7.1f} ms  {bar}")

@@ -1,0 +1,41 @@
+"""Skyline semantics and witness subtrees (the paper's §6 extensions).
+
+On the NASA dataset: evaluate a nested cohesive query, peel the skyline
+layers of the answer (Pareto-optimal results over the per-term
+compactness vectors — the semantics the paper names as future work),
+and reconstruct the minimal matching subtree of the best result so a UI
+could highlight *why* it matched.
+
+Run:  python examples/skyline_and_witnesses.py
+"""
+
+from repro import (CohesiveLCA, InvertedIndex, parse_query,
+                   reconstruct_witness, search_top_k, skyline_layers)
+from repro.datasets import generate_nasa
+from repro.tree import dewey
+
+dataset = generate_nasa(scale=100)
+index = InvertedIndex.from_tree(dataset.tree)
+query = parse_query(dataset.queries["QN3"])
+print(f"query: {query}   (terms: {query.term_count}, "
+      f"nesting: {query.max_nesting_depth})\n")
+
+results = CohesiveLCA(index).search(query)
+print(f"{len(results)} results; skyline layers over the per-term "
+      f"size vectors:")
+for depth, layer in enumerate(skyline_layers(results)):
+    for result in layer:
+        node = dataset.tree.node(result.code)
+        print(f"  layer {depth}: {node.label_path():25s} "
+              f"terms={result.term_sizes}")
+
+best = search_top_k(query, index, 1)[0]
+witness = reconstruct_witness(query, index, best.code)
+print(f"\nwitness for the best result "
+      f"({dewey.format_code(best.code)}, size {best.size}):")
+for occurrence, instance in zip(query.occurrences, witness.assignment):
+    node = dataset.tree.node(instance)
+    shown = (node.value or "")[:40]
+    print(f"  {occurrence.keyword:14s} -> {node.label_path():35s} "
+          f"{shown!r}")
+print(f"minimal connecting tree spans {len(witness.mct_nodes())} nodes")

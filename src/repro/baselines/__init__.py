@@ -1,0 +1,39 @@
+"""Baseline keyword-search semantics and algorithms.
+
+The paper compares CohesiveLCA against the best-known *filtering*
+semantics — SLCA, ELCA, VLCA and MLCA (§4.2) — and against the two
+algorithms that, like CohesiveLCA, compute **all** LCAs ranked by size:
+LCAsz and SA/SAOne (§4.3).  All of them are implemented here, from
+scratch, over the same inverted lists the cohesive engine consumes.
+
+All baselines answer *flat* keyword queries (a set of distinct keywords):
+cohesiveness relationships are exactly what they lack.
+"""
+
+from repro.baselines.common import KeywordMatches, all_lcas
+from repro.baselines.elca import elca, elca_hash_count, elca_stack
+from repro.baselines.gdmct import GDMCT, lcas_from_gdmcts, sa_gdmcts
+from repro.baselines.lcasz import lcasz
+from repro.baselines.mlca import mlca
+from repro.baselines.sa import sa_one
+from repro.baselines.slca import (slca, slca_indexed_lookup,
+                                  slca_scan_eager)
+from repro.baselines.vlca import vlca
+
+__all__ = [
+    "KeywordMatches",
+    "all_lcas",
+    "slca",
+    "slca_indexed_lookup",
+    "slca_scan_eager",
+    "elca",
+    "elca_stack",
+    "elca_hash_count",
+    "vlca",
+    "mlca",
+    "lcasz",
+    "sa_one",
+    "sa_gdmcts",
+    "GDMCT",
+    "lcas_from_gdmcts",
+]

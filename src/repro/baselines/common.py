@@ -1,0 +1,130 @@
+"""Shared machinery for the baseline algorithms.
+
+:class:`KeywordMatches` bundles the per-keyword instance lists of a flat
+query and provides the subtree-range and closest-instance primitives the
+classic LCA algorithms are built from (all of them exploit that Dewey
+codes sort instances in document order).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional, Sequence, Union
+
+from repro.core.engine import evaluate_on_lists
+from repro.core.query import Query
+from repro.core.results import Result
+from repro.errors import EvaluationError
+from repro.index.inverted import InvertedIndex
+from repro.tree import dewey
+
+_AFTER_SUBTREE = (1 << 62,)  # sorts after any real child rank
+
+
+class KeywordMatches:
+    """Per-keyword sorted instance lists of a flat query."""
+
+    def __init__(self, keywords: Sequence[str], index: InvertedIndex,
+                 list_limit: Optional[int] = None):
+        seen: dict[str, None] = {}
+        for keyword in keywords:
+            seen.setdefault(index.tokenizer.normalize(keyword), None)
+        if not seen:
+            raise EvaluationError("no keywords")
+        self.keywords: list[str] = list(seen)
+        self.lists: list[list[dewey.Code]] = [
+            [posting.code for posting in index.postings(keyword,
+                                                        limit=list_limit)]
+            for keyword in self.keywords
+        ]
+
+    # -- basic views ---------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        return len(self.keywords)
+
+    def is_empty(self) -> bool:
+        """True iff some keyword has no instance (no results possible)."""
+        return any(not instances for instances in self.lists)
+
+    def total_instances(self) -> int:
+        return sum(len(instances) for instances in self.lists)
+
+    def shortest_list_index(self) -> int:
+        return min(range(self.k), key=lambda i: len(self.lists[i]))
+
+    # -- Dewey-range primitives ------------------------------------------------
+
+    def instances_under(self, keyword_index: int,
+                        root: dewey.Code) -> list[dewey.Code]:
+        """Instances of one keyword inside the subtree of ``root``."""
+        instances = self.lists[keyword_index]
+        left = bisect.bisect_left(instances, root)
+        right = bisect.bisect_left(instances, root + _AFTER_SUBTREE)
+        return instances[left:right]
+
+    def count_under(self, keyword_index: int, root: dewey.Code) -> int:
+        instances = self.lists[keyword_index]
+        left = bisect.bisect_left(instances, root)
+        right = bisect.bisect_left(instances, root + _AFTER_SUBTREE)
+        return right - left
+
+    def closest_lca(self, keyword_index: int,
+                    anchor: dewey.Code) -> Optional[dewey.Code]:
+        """The deepest ``lca(anchor, x)`` over instances ``x`` of a keyword.
+
+        In a Dewey-sorted list the maximizing ``x`` is the predecessor or
+        the successor of ``anchor`` — the pointer step at the heart of the
+        Indexed Lookup Eager SLCA algorithm [Xu & Papakonstantinou 2005].
+        """
+        instances = self.lists[keyword_index]
+        if not instances:
+            return None
+        position = bisect.bisect_left(instances, anchor)
+        best: Optional[dewey.Code] = None
+        for neighbor in (position - 1, position):
+            if 0 <= neighbor < len(instances):
+                candidate = dewey.lca(anchor, instances[neighbor])
+                if best is None or len(candidate) > len(best):
+                    best = candidate
+        return best
+
+
+def flat_query(keywords: Sequence[str]) -> Query:
+    """A flat query over the distinct keywords, in first-appearance order."""
+    seen: dict[str, None] = {}
+    for keyword in keywords:
+        seen.setdefault(keyword, None)
+    return Query.flat(list(seen))
+
+
+def all_lcas(keywords: Sequence[str], index: InvertedIndex,
+             list_limit: Optional[int] = None) -> list[Result]:
+    """All LCAs of a flat keyword query, with exact minimum sizes.
+
+    A node is an LCA of the query iff some choice of one instance per
+    keyword has it as its lowest common ancestor.  Computed with the
+    lattice-of-stacks engine run on the flat query (no cohesiveness: the
+    full lattice), which is precisely what the LCAsz baseline does.
+    """
+    query = flat_query(keywords)
+    normalize = index.tokenizer.normalize
+    posting_lists = {
+        normalize(keyword): index.postings(keyword, limit=list_limit)
+        for keyword in query.distinct_keywords()
+    }
+    return evaluate_on_lists(query, posting_lists, normalize)
+
+
+def remove_ancestors(codes: set[dewey.Code]) -> set[dewey.Code]:
+    """Keep only the codes that are not proper ancestors of another code."""
+    ordered = sorted(codes)
+    keep: set[dewey.Code] = set()
+    for position, code in enumerate(ordered):
+        follower = ordered[position + 1] if position + 1 < len(ordered) \
+            else None
+        if follower is not None and dewey.is_ancestor(code, follower):
+            continue
+        keep.add(code)
+    return keep

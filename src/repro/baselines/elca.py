@@ -1,0 +1,235 @@
+"""Exclusive LCA (ELCA) semantics [Guo et al. XRANK, SIGMOD 2003].
+
+"An ELCA is an LCA of a set of keyword instances which are not in the
+subtree of any descendant LCA" (paper §4.2): node ``l`` qualifies if a
+witness instance can be chosen for every keyword after discarding all
+instances falling inside descendant LCAs, and the witnesses still have
+``l`` (not some deeper node) as their LCA.  SLCA ⊆ ELCA ⊆ all LCAs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.common import KeywordMatches, all_lcas
+from repro.index.inverted import InvertedIndex
+from repro.tree import dewey
+
+
+def elca(keywords: Sequence[str], index: InvertedIndex,
+         list_limit: Optional[int] = None) -> list[dewey.Code]:
+    """The ELCA set of a flat keyword query, in document order."""
+    lca_codes = sorted(
+        result.code for result in all_lcas(keywords, index,
+                                           list_limit=list_limit))
+    if not lca_codes:
+        return []
+    matches = KeywordMatches(keywords, index, list_limit=list_limit)
+    lca_set = set(lca_codes)
+    exclusive: list[dewey.Code] = []
+    for candidate in lca_codes:
+        if _is_exclusive(candidate, lca_set, matches):
+            exclusive.append(candidate)
+    return exclusive
+
+
+def _is_exclusive(candidate: dewey.Code, lca_set: set[dewey.Code],
+                  matches: KeywordMatches) -> bool:
+    # The descendant LCAs whose subtrees are excluded: only the maximal
+    # ones matter (their subtrees contain the deeper ones').
+    blockers = _maximal_descendants(candidate, lca_set)
+    survivor_children: set[dewey.Code] = set()
+    at_candidate = False
+    for keyword_index in range(matches.k):
+        survivors = [
+            instance
+            for instance in matches.instances_under(keyword_index, candidate)
+            if not any(dewey.is_ancestor_or_self(blocker, instance)
+                       for blocker in blockers)
+        ]
+        if not survivors:
+            return False
+        for instance in survivors:
+            if instance == candidate:
+                at_candidate = True
+            else:
+                survivor_children.add(instance[: len(candidate) + 1])
+    # Witnesses must have the candidate itself as their LCA: an instance
+    # at the candidate node always anchors it; otherwise survivors from at
+    # least two distinct child subtrees are needed — if every survivor
+    # lives under one child, any choice of witnesses has a deeper LCA.
+    return at_candidate or len(survivor_children) > 1
+
+
+class _StackEntry:
+    """Per-path-node state of the streaming ELCA algorithm."""
+
+    __slots__ = ("code", "mask_self", "mask_all", "free", "child_count",
+                 "free_child_count")
+
+    def __init__(self, code: dewey.Code):
+        self.code = code
+        self.mask_self = 0        # keywords instantiated at this node
+        self.mask_all = 0         # keywords anywhere in the subtree
+        self.free = 0             # keywords with a witness outside every
+        #                           descendant LCA ("free" witnesses)
+        self.child_count = 0      # children with a non-empty subtree mask
+        self.free_child_count = 0  # children contributing free witnesses
+
+
+def elca_stack(keywords: Sequence[str], index: InvertedIndex,
+               list_limit: Optional[int] = None) -> list[dewey.Code]:
+    """The ELCA set via a single stack pass in Dewey order.
+
+    One entry per node of the current root-to-leaf path; each tracks
+    which keywords its subtree contains and which still have *free*
+    witnesses (not consumed by a descendant LCA).  When an entry pops:
+
+    * it is an **LCA** if its subtree covers all keywords with a
+      spanning choice (a self instance, or contributions from at least
+      two children);
+    * it is an **ELCA** if the same holds using free witnesses only;
+    * it contributes **no** free witnesses upward if it is an LCA (its
+      whole subtree is a blocked region for every ancestor), and its
+      accumulated free mask otherwise.
+
+    Matches :func:`elca` exactly (property-tested) at
+    O(depth · keywords) work per instance.
+    """
+    matches = KeywordMatches(keywords, index, list_limit=list_limit)
+    if matches.is_empty():
+        return []
+    import heapq
+
+    def labeled(bit: int, instances: list[dewey.Code]):
+        for code in instances:
+            yield code, bit
+
+    streams = [labeled(1 << i, instances)
+               for i, instances in enumerate(matches.lists)]
+    full_mask = (1 << matches.k) - 1
+    results: list[dewey.Code] = []
+    stack: list[_StackEntry] = [_StackEntry(dewey.ROOT)]
+
+    def is_lca(entry: _StackEntry) -> bool:
+        return entry.mask_all == full_mask and bool(
+            entry.mask_self or entry.child_count >= 2)
+
+    def is_elca(entry: _StackEntry) -> bool:
+        return (entry.mask_self | entry.free) == full_mask and bool(
+            entry.mask_self or entry.free_child_count >= 2)
+
+    def pop() -> None:
+        child = stack.pop()
+        parent = stack[-1]
+        child.mask_all |= child.mask_self
+        if is_elca(child):
+            results.append(child.code)
+        outgoing_free = 0 if is_lca(child) \
+            else (child.mask_self | child.free)
+        if child.mask_all:
+            parent.mask_all |= child.mask_all
+            parent.child_count += 1
+        if outgoing_free:
+            parent.free |= outgoing_free
+            parent.free_child_count += 1
+
+    for code, bit in heapq.merge(*streams):
+        while not dewey.is_ancestor_or_self(stack[-1].code, code):
+            pop()
+        while stack[-1].code != code:
+            stack.append(_StackEntry(code[: len(stack[-1].code) + 1]))
+        stack[-1].mask_self |= bit
+    while len(stack) > 1:
+        pop()
+    # The bottom entry is the document root.
+    root = stack[0]
+    root.mask_all |= root.mask_self
+    if is_elca(root):
+        results.append(root.code)
+    return sorted(results)
+
+
+def elca_hash_count(keywords: Sequence[str], index: InvertedIndex,
+                    list_limit: Optional[int] = None) -> list[dewey.Code]:
+    """The ELCA set via per-ancestor hash counting.
+
+    In the spirit of the Hash Count algorithm [Zhou, Liu & Li, EDBT
+    2010], which replaces stack machinery with hash tables keyed by
+    Dewey prefixes: every instance charges one count to each of its
+    ancestors, giving per-node per-keyword subtree counts in
+    O(Σ|Si| · d); LCA candidacy and exclusivity then follow from the
+    counts alone, with *free* counts (witnesses outside descendant
+    LCAs) computed in one bottom-up pass over the charged nodes.
+    """
+    matches = KeywordMatches(keywords, index, list_limit=list_limit)
+    if matches.is_empty():
+        return []
+    k = matches.k
+    # counts[v][i]: instances of keyword i in subtree(v);
+    # self_counts[v][i]: instances at v itself.
+    counts: dict[dewey.Code, list[int]] = {}
+    self_counts: dict[dewey.Code, list[int]] = {}
+    for keyword_index, instances in enumerate(matches.lists):
+        for code in instances:
+            bucket = self_counts.setdefault(code, [0] * k)
+            bucket[keyword_index] += 1
+            for depth in range(len(code) + 1):
+                ancestor = code[:depth]
+                counts.setdefault(ancestor, [0] * k)[keyword_index] += 1
+
+    # Charged nodes form a trie; link each to its charged parent.
+    children_of: dict[dewey.Code, list[dewey.Code]] = {}
+    for code in counts:
+        if code:
+            children_of.setdefault(code[:-1], []).append(code)
+
+    def is_lca(code: dewey.Code) -> bool:
+        if any(count == 0 for count in counts[code]):
+            return False
+        if code in self_counts:
+            return True
+        return len(children_of.get(code, ())) >= 2
+
+    lca_set = {code for code in counts if is_lca(code)}
+
+    # free_out[v][i]: witnesses of keyword i under v usable by ancestors
+    # (zeroed when v's subtree is swallowed by an LCA at or below v).
+    free_out: dict[dewey.Code, list[int]] = {}
+    for code in sorted(counts, key=len, reverse=True):  # bottom-up
+        if code in lca_set:
+            free_out[code] = [0] * k
+            continue
+        totals = list(self_counts.get(code, [0] * k))
+        for child in children_of.get(code, ()):
+            for keyword_index in range(k):
+                totals[keyword_index] += free_out[child][keyword_index]
+        free_out[code] = totals
+
+    results: list[dewey.Code] = []
+    for code in lca_set:
+        free = list(self_counts.get(code, [0] * k))
+        contributing = 0
+        for child in children_of.get(code, ()):
+            child_free = free_out[child]
+            if any(child_free):
+                contributing += 1
+            for keyword_index in range(k):
+                free[keyword_index] += child_free[keyword_index]
+        if any(count == 0 for count in free):
+            continue
+        if code in self_counts or contributing >= 2:
+            results.append(code)
+    return sorted(results)
+
+
+def _maximal_descendants(candidate: dewey.Code,
+                         lca_set: set[dewey.Code]) -> list[dewey.Code]:
+    descendants = sorted(
+        code for code in lca_set if dewey.is_ancestor(candidate, code))
+    maximal: list[dewey.Code] = []
+    for code in descendants:
+        if maximal and dewey.is_ancestor_or_self(maximal[-1], code):
+            continue
+        maximal.append(code)
+    return maximal

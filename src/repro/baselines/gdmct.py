@@ -1,0 +1,185 @@
+"""The full SA algorithm: all LCAs with their GDMCTs.
+
+Hristidis, Koudas, Papakonstantinou & Srivastava (TKDE 2006) answer
+flat keyword queries with *grouped distance MCTs*: all minimum
+connecting trees of the query, grouped by the distances of their
+keyword witnesses from the tree root.  Two MCTs with the same per-
+keyword distance multiset are one group — the compact form the paper
+contrasts CohesiveLCA against ("algorithm SA computes all LCAs together
+with a compact form of their matching MCTs, called GDMCTs", §4.3).
+
+:func:`sa_gdmcts` returns, per result LCA, every distance group within
+a size threshold, with the number of concrete MCTs it stands for.
+:func:`repro.baselines.sa.sa_one` is the faster variant that keeps only
+size distributions; this module keeps the full group structure.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.baselines.common import flat_query
+from repro.index.inverted import InvertedIndex
+from repro.tree import dewey
+
+# A group signature: sorted tuple of (keyword, distance-from-LCA) pairs,
+# one entry per witness.  Its size is the number of distinct edges,
+# which for grouped bookkeeping we carry alongside (shared prefixes make
+# it smaller than the distance sum).
+Signature = tuple[tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class GDMCT:
+    """One grouped distance MCT rooted at an LCA."""
+
+    lca: dewey.Code
+    size: int
+    witnesses: Signature   # (keyword, distance from the LCA) per witness
+    count: int             # how many concrete MCTs share this signature
+
+    def distance_of(self, keyword: str) -> int:
+        for name, distance in self.witnesses:
+            if name == keyword:
+                return distance
+        raise KeyError(keyword)
+
+
+class _Group:
+    """Partial group: witness distances + exact edge count so far."""
+
+    __slots__ = ("mask", "size", "witnesses", "count")
+
+    def __init__(self, mask: int, size: int, witnesses: Signature,
+                 count: int):
+        self.mask = mask
+        self.size = size
+        self.witnesses = witnesses
+        self.count = count
+
+
+def sa_gdmcts(keywords: Sequence[str], index: InvertedIndex,
+              max_size: Optional[int] = None,
+              list_limit: Optional[int] = None) -> list[GDMCT]:
+    """All GDMCTs of a flat query, ordered by (size, LCA, witnesses).
+
+    ``max_size`` bounds the groups kept (SA's size threshold); ``None``
+    keeps everything — exponential in adversarial data, so pass a bound
+    for real corpora.
+    """
+    query = flat_query(keywords)
+    distinct = [index.tokenizer.normalize(keyword)
+                for keyword in query.distinct_keywords()]
+    bit_of = {keyword: 1 << position
+              for position, keyword in enumerate(distinct)}
+    full_mask = (1 << len(distinct)) - 1
+    lists = {keyword: index.postings(keyword, limit=list_limit)
+             for keyword in distinct}
+    if any(not plist for plist in lists.values()):
+        return []
+
+    def labeled(keyword, plist):
+        for posting in plist:
+            yield posting.code, keyword
+
+    stream = heapq.merge(*(labeled(keyword, plist)
+                           for keyword, plist in lists.items()))
+
+    results: dict[tuple[dewey.Code, Signature], tuple[int, int]] = {}
+    # Stack entries: (code, {key(mask, witnesses): _Group}).
+    stack: list[tuple[dewey.Code, dict]] = [(dewey.ROOT, {})]
+
+    def emit(code: dewey.Code, group: _Group) -> None:
+        key = (code, group.witnesses)
+        current = results.get(key)
+        if current is None:
+            results[key] = (group.size, group.count)
+        else:
+            # Same witness-distance class: keep the minimum edge count,
+            # accumulate the number of concrete MCTs.
+            results[key] = (min(current[0], group.size),
+                            current[1] + group.count)
+
+    def insert(groups: dict, group: _Group) -> None:
+        if group.mask == full_mask:
+            return  # complete groups are results, never partials
+        key = (group.mask, group.witnesses)
+        current = groups.get(key)
+        if current is None:
+            groups[key] = group
+        else:
+            current.size = min(current.size, group.size)
+            current.count += group.count
+
+    def combine_into(groups: dict, incoming: list[_Group],
+                     code: dewey.Code) -> None:
+        # Copy: insert() mutates existing groups in place, and incoming
+        # partials must pair with the *pre-batch* state only.
+        snapshot = [_Group(g.mask, g.size, g.witnesses, g.count)
+                    for g in groups.values()]
+        for new_group in incoming:
+            insert(groups, new_group)
+            for other in snapshot:
+                if new_group.mask & other.mask:
+                    continue
+                merged = _Group(
+                    new_group.mask | other.mask,
+                    new_group.size + other.size,
+                    tuple(sorted(new_group.witnesses + other.witnesses)),
+                    new_group.count * other.count,
+                )
+                if max_size is not None and merged.size > max_size:
+                    continue
+                if merged.mask == full_mask:
+                    emit(code, merged)
+                else:
+                    insert(groups, merged)
+
+    def pop() -> None:
+        _code, groups = stack.pop()
+        parent_code, parent_groups = stack[-1]
+        lifted = []
+        for group in groups.values():
+            if group.mask == full_mask:
+                continue
+            size = group.size + 1
+            if max_size is not None and size > max_size:
+                continue
+            witnesses = tuple(sorted(
+                (keyword, distance + 1)
+                for keyword, distance in group.witnesses))
+            lifted.append(_Group(group.mask, size, witnesses,
+                                 group.count))
+        combine_into(parent_groups, lifted, parent_code)
+
+    for code, keyword in stream:
+        while not dewey.is_ancestor_or_self(stack[-1][0], code):
+            pop()
+        while stack[-1][0] != code:
+            stack.append((code[: len(stack[-1][0]) + 1], {}))
+        atom = _Group(bit_of[keyword], 0, ((keyword, 0),), 1)
+        if atom.mask == full_mask:
+            emit(code, atom)
+        combine_into(stack[-1][1], [atom], code)
+
+    while len(stack) > 1:
+        pop()
+
+    ranked = [
+        GDMCT(code, size, witnesses, count)
+        for (code, witnesses), (size, count) in results.items()
+    ]
+    ranked.sort(key=lambda g: (g.size, g.lca, g.witnesses))
+    return ranked
+
+
+def lcas_from_gdmcts(groups: Sequence[GDMCT]) -> dict[dewey.Code, int]:
+    """LCA → minimum size over its groups (the SAOne/LCAsz view)."""
+    best: dict[dewey.Code, int] = {}
+    for group in groups:
+        current = best.get(group.lca)
+        if current is None or group.size < current:
+            best[group.lca] = group.size
+    return best

@@ -1,0 +1,26 @@
+"""LCAsz: all LCAs of a flat query, ranked by LCA size.
+
+LCAsz [Dimitriou & Theodoratos 2012; Dimitriou, Theodoratos & Sellis,
+Inf. Syst. 2015] is the algorithm the paper compares against in Figs. 7
+and 8: like CohesiveLCA it exploits a lattice of stacks, but — lacking
+cohesiveness relationships — it must use the *full* lattice of keyword
+partitions, whose size is the Bell number of the keyword count.  Our
+cohesive engine run on a flat query is exactly that computation (the flat
+query's only term is the whole keyword set, so its signature table spans
+all ``2^k − 1`` keyword subsets), which is why CohesiveLCA's advantage in
+those figures is structural, not implementation luck.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.common import all_lcas
+from repro.core.results import Result
+from repro.index.inverted import InvertedIndex
+
+
+def lcasz(keywords: Sequence[str], index: InvertedIndex,
+          list_limit: Optional[int] = None) -> list[Result]:
+    """All LCAs with their minimum sizes, ascending by size (Def. 3)."""
+    return all_lcas(keywords, index, list_limit=list_limit)

@@ -1,0 +1,67 @@
+"""Meaningful LCA (MLCA) semantics [Li, Yu & Jagadish, VLDB 2004].
+
+"The MLCA semantics requires that for any two nodes na and nb labeled by
+a and b, respectively, in an MCT, no node n'b labeled by b exists which
+is more closely related to na (i.e., lca(na, n'b) is a descendant of
+lca(na, nb))" (paper §4.2).
+
+As with VLCA the check is existential over the MCTs rooted at a candidate
+LCA: the candidate qualifies if some witness combination yields an MCT in
+which every witness pair is meaningful.  The competing ``n'b`` nodes
+range over the instances of the same keyword as ``nb`` that carry the
+same label.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.common import KeywordMatches, all_lcas
+from repro.baselines.vlca import witness_combinations
+from repro.index.inverted import InvertedIndex
+from repro.tree import dewey
+from repro.tree.tree import DataTree
+
+
+def mlca(keywords: Sequence[str], index: InvertedIndex, tree: DataTree,
+         list_limit: Optional[int] = None,
+         max_combinations: int = 20_000) -> list[dewey.Code]:
+    """The MLCA set of a flat keyword query, in document order."""
+    lca_codes = sorted(
+        result.code for result in all_lcas(keywords, index,
+                                           list_limit=list_limit))
+    matches = KeywordMatches(keywords, index, list_limit=list_limit)
+    meaningful: list[dewey.Code] = []
+    for candidate in lca_codes:
+        if _has_meaningful_mct(candidate, matches, tree, max_combinations):
+            meaningful.append(candidate)
+    return meaningful
+
+
+def _has_meaningful_mct(candidate: dewey.Code, matches: KeywordMatches,
+                        tree: DataTree, max_combinations: int) -> bool:
+    for combo in witness_combinations(candidate, matches, max_combinations):
+        if _combo_meaningful(combo, matches, tree):
+            return True
+    return False
+
+
+def _combo_meaningful(combo: Sequence[dewey.Code], matches: KeywordMatches,
+                      tree: DataTree) -> bool:
+    labels = [tree.node(code).label for code in combo]
+    for a_index, na in enumerate(combo):
+        for b_index, nb in enumerate(combo):
+            if a_index == b_index:
+                continue
+            pair_lca = dewey.lca(na, nb)
+            label_b = labels[b_index]
+            # Competitors: other instances of keyword b with nb's label.
+            for competitor in matches.lists[b_index]:
+                if competitor == nb:
+                    continue
+                if tree.node(competitor).label != label_b:
+                    continue
+                closer = dewey.lca(na, competitor)
+                if dewey.is_ancestor(pair_lca, closer):
+                    return False
+    return True

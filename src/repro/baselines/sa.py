@@ -1,0 +1,135 @@
+"""SA / SAOne [Hristidis, Koudas, Papakonstantinou & Srivastava, TKDE 2006].
+
+The Stack Algorithm (SA) computes, for a flat keyword query, all LCAs
+together with a grouped form of their matching MCTs (GDMCTs).  SAOne is
+the variant the paper benchmarks against in Fig. 8: it "computes LCAs
+without explicitly enumerating all the GDMCTs".
+
+This implementation follows that design point: a single stack walks the
+merged inverted lists in Dewey order, and every stack entry maintains,
+per keyword subset, the *size distribution* of the grouped connecting
+trees rooted at its node (``size → number of GDMCTs``), instead of the
+bare minimum the lattice algorithms keep.  Combining two children is a
+convolution of their distributions — the grouped bookkeeping SA performs
+— which is why SAOne does strictly more work per node than LCAsz and
+scales worse (the shape Fig. 8 reports).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from typing import Optional, Sequence
+
+from repro.baselines.common import flat_query
+from repro.core.results import Result
+from repro.index.inverted import InvertedIndex
+from repro.tree import dewey
+
+
+class _SAEntry:
+    """One stack entry: per-mask GDMCT size distributions of one node."""
+
+    __slots__ = ("code", "groups")
+
+    def __init__(self, code: dewey.Code):
+        self.code = code
+        # mask -> Counter(size -> number of grouped trees), for trees
+        # rooted at this node whose keyword coverage is exactly `mask`.
+        self.groups: dict[int, Counter] = {}
+
+
+def sa_one(keywords: Sequence[str], index: InvertedIndex,
+           list_limit: Optional[int] = None,
+           max_group_size: Optional[int] = None) -> list[Result]:
+    """All LCAs of a flat query with their minimum sizes, via SAOne.
+
+    ``max_group_size`` optionally drops grouped trees larger than a
+    threshold (SA's GDMCT size bound); ``None`` keeps everything, which
+    matches how the paper uses SAOne as an all-LCA baseline.
+    """
+    query = flat_query(keywords)
+    normalize = index.tokenizer.normalize
+    distinct = query.distinct_keywords()
+    bit_of = {normalize(keyword): 1 << position
+              for position, keyword in enumerate(distinct)}
+    full_mask = (1 << len(distinct)) - 1
+    lists = {
+        normalize(keyword): index.postings(keyword, limit=list_limit)
+        for keyword in distinct
+    }
+    if any(not plist for plist in lists.values()):
+        return []
+
+    def labeled(keyword: str, plist):
+        for posting in plist:
+            yield posting.code, keyword
+
+    stream = heapq.merge(*(labeled(keyword, plist)
+                           for keyword, plist in lists.items()))
+
+    results: dict[dewey.Code, int] = {}
+    stack: list[_SAEntry] = [_SAEntry(dewey.ROOT)]
+
+    def pop_and_merge() -> None:
+        child = stack.pop()
+        parent = stack[-1]
+        lifted: dict[int, Counter] = {}
+        for mask, sizes in child.groups.items():
+            if mask == full_mask:
+                continue  # complete trees were already reported
+            bucket = lifted.setdefault(mask, Counter())
+            for size, count in sizes.items():
+                if max_group_size is None or size + 1 <= max_group_size:
+                    bucket[size + 1] += count
+        _combine(parent, lifted)
+
+    def _combine(entry: _SAEntry, incoming: dict[int, Counter]) -> None:
+        snapshot = [(mask, Counter(sizes))
+                    for mask, sizes in entry.groups.items()]
+        for mask, sizes in incoming.items():
+            if mask == full_mask:
+                # Only possible for single-keyword queries: the instance
+                # alone covers the query (lifted full masks are dropped).
+                smallest = min(sizes)
+                best = results.get(entry.code)
+                if best is None or smallest < best:
+                    results[entry.code] = smallest
+                continue
+            bucket = entry.groups.setdefault(mask, Counter())
+            bucket.update(sizes)
+        for mask, sizes in incoming.items():
+            for other_mask, other_sizes in snapshot:
+                if mask & other_mask:
+                    continue
+                merged_mask = mask | other_mask
+                merged = Counter()
+                for size_a, count_a in sizes.items():
+                    for size_b, count_b in other_sizes.items():
+                        total = size_a + size_b
+                        if max_group_size is None or \
+                                total <= max_group_size:
+                            merged[total] += count_a * count_b
+                if not merged:
+                    continue
+                if merged_mask == full_mask:
+                    smallest = min(merged)
+                    best = results.get(entry.code)
+                    if best is None or smallest < best:
+                        results[entry.code] = smallest
+                else:
+                    entry.groups.setdefault(merged_mask,
+                                            Counter()).update(merged)
+
+    for code, keyword in stream:
+        while not dewey.is_ancestor_or_self(stack[-1].code, code):
+            pop_and_merge()
+        while stack[-1].code != code:
+            stack.append(_SAEntry(code[: len(stack[-1].code) + 1]))
+        _combine(stack[-1], {bit_of[keyword]: Counter({0: 1})})
+    while len(stack) > 1:
+        pop_and_merge()
+
+    ranked = [Result(code, size) for code, size in results.items()]
+    ranked.sort(key=Result.sort_key)
+    return ranked

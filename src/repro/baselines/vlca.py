@@ -1,0 +1,91 @@
+"""Valuable LCA (VLCA) semantics [Cohen et al. XSEarch 2003; Li et al. 2007].
+
+"An LCA is a VLCA if it is the root of an MCT which does not contain any
+label twice, except when it is the label of two leaf nodes of the MCT"
+(paper §4.2).  The check is existential over the MCTs rooted at the LCA,
+so for each candidate LCA we enumerate witness combinations (one instance
+per keyword) whose LCA is the candidate and test the label condition on
+the resulting MCT.
+
+Enumeration per candidate is capped at ``max_combinations``; the paper's
+effectiveness datasets keep per-result instance counts small, so the cap
+is a safety valve rather than an approximation in practice.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from repro.baselines.common import KeywordMatches, all_lcas
+from repro.index.inverted import InvertedIndex
+from repro.tree import dewey
+from repro.tree.tree import DataTree
+
+
+def vlca(keywords: Sequence[str], index: InvertedIndex, tree: DataTree,
+         list_limit: Optional[int] = None,
+         max_combinations: int = 20_000) -> list[dewey.Code]:
+    """The VLCA set of a flat keyword query, in document order.
+
+    Needs the data tree (labels live there, not in the inverted lists).
+    """
+    lca_codes = sorted(
+        result.code for result in all_lcas(keywords, index,
+                                           list_limit=list_limit))
+    matches = KeywordMatches(keywords, index, list_limit=list_limit)
+    valuable: list[dewey.Code] = []
+    for candidate in lca_codes:
+        if _has_valuable_mct(candidate, matches, tree, max_combinations):
+            valuable.append(candidate)
+    return valuable
+
+
+def witness_combinations(candidate: dewey.Code, matches: KeywordMatches,
+                         max_combinations: int):
+    """Yield instance choices (one per keyword) whose LCA is ``candidate``.
+
+    Bounded enumeration over the instances inside the candidate's subtree.
+    """
+    per_keyword = [
+        matches.instances_under(keyword_index, candidate)
+        for keyword_index in range(matches.k)
+    ]
+    if any(not instances for instances in per_keyword):
+        return
+    combos = itertools.product(*per_keyword)
+    for combo in itertools.islice(combos, max_combinations):
+        if dewey.lca_many(combo) == candidate:
+            yield combo
+
+
+def _has_valuable_mct(candidate: dewey.Code, matches: KeywordMatches,
+                      tree: DataTree, max_combinations: int) -> bool:
+    for combo in witness_combinations(candidate, matches, max_combinations):
+        if _mct_labels_valuable(candidate, combo, tree):
+            return True
+    return False
+
+
+def _mct_labels_valuable(root: dewey.Code, instances: Sequence[dewey.Code],
+                         tree: DataTree) -> bool:
+    """Label condition on one MCT: no label twice, unless on two leaves."""
+    nodes: set[dewey.Code] = {root}
+    for code in instances:
+        walker = code
+        while len(walker) > len(root):
+            nodes.add(walker)
+            walker = walker[:-1]
+    parents = {code[:-1] for code in nodes if len(code) > len(root)}
+    leaves = {code for code in nodes if code not in parents}
+    label_seen: dict[str, dewey.Code] = {}
+    for code in nodes:
+        label = tree.node(code).label
+        previous = label_seen.get(label)
+        if previous is None:
+            label_seen[label] = code
+            continue
+        if previous in leaves and code in leaves:
+            continue
+        return False
+    return True

@@ -1,0 +1,319 @@
+"""Command-line interface.
+
+Subcommands::
+
+    cohesive-search index  DOC.xml INDEX.bin      # build a posting store
+    cohesive-search search DOC.xml "(a (b c))"    # run a query
+    cohesive-search stats  DOC.xml                # Table-1 statistics
+    cohesive-search lattice "(a (b c))"           # lattice accounting
+    cohesive-search generate dblp OUT.xml         # emit a synthetic dataset
+
+``search`` accepts ``--index`` to reuse a prebuilt store, ``--top`` to
+cut the answer, ``--baseline slca|elca|lcasz|saone`` to run a baseline
+instead, and ``--rank vector`` for the §2.2 cohesive-term ranking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.baselines import elca, lcasz, sa_one, slca
+from repro.core.engine import CohesiveLCA
+from repro.core.lattice import (bell_number, lattice_node_count,
+                                largest_sublattice_size, stack_count)
+from repro.core.parser import parse_query
+from repro.core.ranking import rank_results
+from repro.errors import ReproError
+from repro.index.inverted import InvertedIndex
+from repro.index.store import load_index, save_index
+from repro.tree import dewey
+from repro.tree.stats import compute_statistics
+from repro.xmlio.loader import load_tree_from_path
+from repro.xmlio.writer import dump_tree_to_path
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cohesive-search",
+        description="Cohesive keyword search on tree data (EDBT 2016 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    index_cmd = sub.add_parser("index", help="build a binary posting store")
+    index_cmd.add_argument("document")
+    index_cmd.add_argument("output")
+    index_cmd.add_argument("--stream", action="store_true",
+                           help="index from the XML event stream without "
+                                "materializing the tree (O(depth) memory)")
+
+    experiment_cmd = sub.add_parser(
+        "experiment",
+        help="run the effectiveness experiments on a generated dataset")
+    experiment_cmd.add_argument("dataset", choices=["dblp", "psd", "nasa",
+                                                    "baseball"])
+    experiment_cmd.add_argument("--scale", type=int, default=None)
+    experiment_cmd.add_argument("--seed", type=int, default=None)
+
+    search_cmd = sub.add_parser("search", help="evaluate a query")
+    search_cmd.add_argument("document")
+    search_cmd.add_argument("query")
+    search_cmd.add_argument("--index", dest="index_path", default=None,
+                            help="reuse a posting store built with 'index'")
+    search_cmd.add_argument("--top", type=int, default=None,
+                            help="print only the first N results")
+    search_cmd.add_argument("--list-limit", type=int, default=None,
+                            help="truncate every inverted list (paper §4.3)")
+    search_cmd.add_argument("--baseline", default=None,
+                            choices=["slca", "elca", "lcasz", "saone"],
+                            help="run a flat baseline instead")
+    search_cmd.add_argument("--rank", default="size",
+                            choices=["size", "vector", "skyline"],
+                            help="Def. 3 size ranking, §2.2 vector "
+                                 "ranking, or §6 skyline semantics")
+    search_cmd.add_argument("--top-k", type=int, default=None,
+                            dest="top_k",
+                            help="compute only the first K results of "
+                                 "the size ranking (budgeted search)")
+    search_cmd.add_argument("--max-size", type=int, default=None,
+                            dest="max_size",
+                            help="only results with LCA size <= N")
+    search_cmd.add_argument("--witness", action="store_true",
+                            help="also print a minimal matching subtree "
+                                 "per result")
+
+    stats_cmd = sub.add_parser("stats", help="Table-1 dataset statistics")
+    stats_cmd.add_argument("document")
+
+    lattice_cmd = sub.add_parser("lattice",
+                                 help="partition-lattice accounting")
+    lattice_cmd.add_argument("query")
+
+    explain_cmd = sub.add_parser(
+        "explain", help="structure / lattice / cost report for a query")
+    explain_cmd.add_argument("query")
+    explain_cmd.add_argument("--document", default=None,
+                             help="also show per-keyword instance "
+                                  "statistics against this XML file")
+
+    generate_cmd = sub.add_parser("generate",
+                                  help="emit a synthetic dataset as XML")
+    generate_cmd.add_argument("dataset", choices=["dblp", "psd", "nasa",
+                                                  "baseball", "xmark"])
+    generate_cmd.add_argument("output")
+    generate_cmd.add_argument("--scale", type=int, default=None)
+    generate_cmd.add_argument("--seed", type=int, default=None)
+    return parser
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    if args.stream:
+        from repro.index.streaming import index_xml_path
+        index = index_xml_path(args.document)
+        nodes = "streamed"
+    else:
+        tree = load_tree_from_path(args.document)
+        index = InvertedIndex.from_tree(tree)
+        nodes = str(len(tree))
+    written = save_index(index, args.output)
+    print(f"indexed {nodes} nodes, {len(index)} keywords, "
+          f"{written} bytes -> {args.output}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    tree = load_tree_from_path(args.document)
+    index = load_index(args.index_path) if args.index_path \
+        else InvertedIndex.from_tree(tree)
+    if args.baseline:
+        return _run_baseline(args, index)
+    query = parse_query(args.query)
+    if args.rank == "vector":
+        ranked = rank_results(query, index, list_limit=args.list_limit)
+        rows = [(item.code, item.size, f"score={item.score:.4f}")
+                for item in ranked]
+    elif args.rank == "skyline":
+        from repro.core.skyline import skyline_search
+        results = skyline_search(query, index, list_limit=args.list_limit)
+        rows = [(result.code, result.size,
+                 f"terms={result.term_sizes}") for result in results]
+    elif args.top_k is not None:
+        from repro.core.topk import search_top_k
+        results = search_top_k(query, index, args.top_k,
+                               list_limit=args.list_limit)
+        rows = [(result.code, result.size, "") for result in results]
+    else:
+        results = CohesiveLCA(index).search(query,
+                                            list_limit=args.list_limit,
+                                            size_budget=args.max_size)
+        rows = [(result.code, result.size, "") for result in results]
+    for code, size, extra in rows[: args.top]:
+        label_path = tree.node(code).label_path() if code in tree else "?"
+        print(f"{dewey.format_code(code):20s} size={size:<3d} "
+              f"{label_path} {extra}")
+        if args.witness:
+            _print_witness(query, index, tree, code)
+    print(f"-- {len(rows)} result(s)")
+    return 0
+
+
+def _print_witness(query, index, tree, code) -> None:
+    from repro.core.witness import reconstruct_witness
+    witness = reconstruct_witness(query, index, code)
+    if witness is None:
+        return
+    for occurrence, instance in zip(query.occurrences,
+                                    witness.assignment):
+        node = tree.node(instance) if instance in tree else None
+        location = node.label_path() if node else "?"
+        print(f"      {occurrence.keyword:15s} -> "
+              f"{dewey.format_code(instance):15s} {location}")
+
+
+def _run_baseline(args: argparse.Namespace, index: InvertedIndex) -> int:
+    keywords = parse_query(args.query).distinct_keywords()
+    if args.baseline == "slca":
+        codes = slca(keywords, index, list_limit=args.list_limit)
+        rows = [(code, "") for code in codes]
+    elif args.baseline == "elca":
+        codes = elca(keywords, index, list_limit=args.list_limit)
+        rows = [(code, "") for code in codes]
+    elif args.baseline == "lcasz":
+        rows = [(result.code, f"size={result.size}")
+                for result in lcasz(keywords, index,
+                                    list_limit=args.list_limit)]
+    else:
+        rows = [(result.code, f"size={result.size}")
+                for result in sa_one(keywords, index,
+                                     list_limit=args.list_limit)]
+    for code, extra in rows[: args.top]:
+        print(f"{dewey.format_code(code):20s} {extra}")
+    print(f"-- {len(rows)} result(s)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    tree = load_tree_from_path(args.document)
+    statistics = compute_statistics(tree, name=args.document)
+    for key, value in statistics.as_row().items():
+        print(f"{key:22s} {value}")
+    return 0
+
+
+def _cmd_lattice(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    print(f"query                    {query}")
+    print(f"keywords                 {query.keyword_count}")
+    print(f"terms                    {query.term_count}")
+    print(f"max term cardinality     {query.max_term_cardinality}")
+    print(f"full lattice (Bell)      {bell_number(query.keyword_count)}")
+    print(f"reduced lattice nodes    {lattice_node_count(query)}")
+    print(f"stacks (all sublattices) {stack_count(query)}")
+    print(f"largest sublattice       {largest_sublattice_size(query)}")
+    from repro.core.lattice import render_lattice
+    print()
+    print(render_lattice(query))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import (generate_baseball, generate_dblp,
+                                generate_nasa, generate_psd, generate_xmark)
+    generators = {
+        "dblp": generate_dblp,
+        "psd": generate_psd,
+        "nasa": generate_nasa,
+        "baseball": generate_baseball,
+        "xmark": generate_xmark,
+    }
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    dataset = generators[args.dataset](**kwargs)
+    dump_tree_to_path(dataset.tree, args.output)
+    print(f"wrote {args.dataset}: {len(dataset.tree)} nodes -> "
+          f"{args.output}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.explain import explain
+    index = None
+    if args.document:
+        index = InvertedIndex.from_tree(load_tree_from_path(args.document))
+    print(explain(args.query, index))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.datasets import (generate_baseball, generate_dblp,
+                                generate_nasa, generate_psd)
+    from repro.evaluation.experiments import (average_effectiveness,
+                                              dataset_ranking_quality,
+                                              effectiveness_table,
+                                              result_count_table)
+    from repro.evaluation.reporting import format_table
+    generators = {
+        "dblp": generate_dblp,
+        "psd": generate_psd,
+        "nasa": generate_nasa,
+        "baseball": generate_baseball,
+    }
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    dataset = generators[args.dataset](**kwargs)
+    index = InvertedIndex.from_tree(dataset.tree)
+    print(f"{dataset.name}: {len(dataset.tree)} nodes\n")
+
+    counts = result_count_table(dataset, index)
+    semantics = ["CohesiveLCA", "SLCA", "ELCA", "VLCA", "MLCA"]
+    print(format_table(
+        ["query", "text"] + semantics,
+        [[row["query"], row["text"]] + [row[s] for s in semantics]
+         for row in counts],
+        title="result counts (Table 3)"))
+
+    averages = average_effectiveness(effectiveness_table(dataset, index))
+    print()
+    print(format_table(
+        ["semantics", "P %", "R %", "F %"],
+        [[name,
+          f"{vals['precision'] * 100:.1f}",
+          f"{vals['recall'] * 100:.1f}",
+          f"{vals['f_measure'] * 100:.1f}"]
+         for name, vals in averages.items()],
+        title="average effectiveness (Table 4)"))
+
+    quality = dataset_ranking_quality(dataset, index)
+    print(f"\nranking quality (Table 5): "
+          f"MAP={quality['map'] * 100:.0f}% "
+          f"NDCG={quality['ndcg'] * 100:.0f}%")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "index": _cmd_index,
+        "search": _cmd_search,
+        "stats": _cmd_stats,
+        "lattice": _cmd_lattice,
+        "explain": _cmd_explain,
+        "generate": _cmd_generate,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,429 @@
+"""The CohesiveLCA evaluation algorithm (paper §3).
+
+The paper's algorithm pushes the query keywords' inverted-list entries, in
+Dewey order, through a lattice of stacks — one stack per admissible
+partition of the query keywords, one column per admissible keyword subset.
+Partial LCAs combine inside stack entries as entries are popped, climbing
+the lattice from fine partitions to the single-block partition, whose
+completions are the query results.
+
+This implementation keeps the same data flow but organizes it around the
+*path stack*: one entry per node on the current root-to-node path, each
+entry holding a table ``signature → minimum partial-LCA size`` where a
+signature is an admissible subset ``(term, member-mask)`` (see
+:mod:`repro.core.signatures` and DESIGN.md §5).  Popping a child entry
+merges its table into the parent entry; merging combines the lifted
+partial LCAs pairwise with the partial LCAs already accumulated at the
+parent — exactly the combinations the lattice of stacks performs, with
+provenance-disjointness guaranteed by construction because a child is
+merged exactly once.
+
+Cohesive semantics are enforced structurally:
+
+* only member-masks of a common term ever combine (the reduced lattice);
+* a term unit completed at node ``v`` from instances spanning several
+  nodes has its LCA *at* ``v``, so Def. 2(b)(ii) forbids any external
+  instance inside ``v``'s subtree: the unit is held in the entry's
+  ``fresh`` table, excluded from further combination at ``v``, and
+  released when it propagates to the parent;
+* a term unit whose occurrences all map to one single node is exempt
+  (Def. 2(b)(i)) and combines immediately ("pure" entries);
+* repeated query keywords consume per-node budget, tracked in the entry
+  keys (Def. 2(a)).
+
+Complexity matches the paper's analysis: one pass over the inverted
+lists; per instance, O(depth) stack work; per merge, a number of
+combinations bounded by the number of admissible signatures — exponential
+only in the maximum term cardinality, linear in everything else.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+from repro.core.parser import parse_query
+from repro.core.query import Query
+from repro.core.results import Result
+from repro.core.signatures import (NO_USAGE, CompiledQuery, Usage,
+                                   compile_query, merge_breakdowns,
+                                   merge_usage, usage_fits)
+from repro.index.inverted import InvertedIndex, Posting
+from repro.tree import dewey
+
+# Table keys: (term_id, member_mask, usage, pure_self)
+_Key = tuple[int, int, Usage, bool]
+# Table values: (size, per-term breakdown)
+_Value = tuple[int, tuple[Optional[int], ...]]
+
+_ROOT_TERM = 0
+
+
+class _Entry:
+    """One path-stack entry: the partial-LCA tables of one tree node."""
+
+    __slots__ = ("code", "acc", "fresh")
+
+    def __init__(self, code: dewey.Code):
+        self.code = code
+        # Combinable partial LCAs rooted at this node.
+        self.acc: dict[_Key, _Value] = {}
+        # Term units completed *at* this node from multiple nodes:
+        # embargoed here (Def. 2(b)(ii)), released on propagation.
+        # Keyed by the unit's parent-member signature (term, bit).
+        self.fresh: dict[tuple[int, int], _Value] = {}
+
+
+class _Evaluation:
+    """One run of CohesiveLCA over one stream of postings.
+
+    Parameters
+    ----------
+    size_budget:
+        Optional upper bound on LCA sizes.  Partial LCAs whose size
+        already exceeds the budget are pruned immediately — sizes only
+        grow during propagation and combination, so pruning is lossless
+        for the results within the budget.  This powers the top-k-size
+        search (cf. Dimitriou, Theodoratos & Sellis, Inf. Syst. 2015).
+    impenetrability:
+        When ``False``, Def. 2(b)(ii) is *not* enforced: a term unit
+        completed at a node may combine there immediately, so terms only
+        need to be complete, not impenetrable.  This is the ablation knob
+        studied in ``benchmarks/bench_ablation_impenetrability.py``; the
+        default (``True``) is the paper's semantics.
+    """
+
+    def __init__(self, compiled: CompiledQuery,
+                 size_budget: Optional[int] = None,
+                 impenetrability: bool = True):
+        self.compiled = compiled
+        self.size_budget = size_budget
+        self.impenetrability = impenetrability
+        self.results: dict[dewey.Code, _Value] = {}
+        self._stack: list[_Entry] = [_Entry(dewey.ROOT)]
+
+    # -- driving -------------------------------------------------------------
+
+    def run(self, stream: Iterable[tuple[dewey.Code, dict[str, int]]]
+            ) -> list[Result]:
+        ranked = list(self.stream(stream))
+        ranked.sort(key=Result.sort_key)
+        return ranked
+
+    def stream(self, stream: Iterable[tuple[dewey.Code, dict[str, int]]]
+               ) -> Iterator[Result]:
+        """Yield results as their nodes finalize (post-order).
+
+        A node's minimum LCA size can improve only while the node is on
+        the path stack, so the moment its entry pops the result is
+        final — long-running consumers see results without waiting for
+        the whole input.  Yield order is tree post-order, not Def. 3
+        order; sort by :meth:`Result.sort_key` for the ranked answer.
+        """
+        for code, frequencies in stream:
+            yield from self._align(code)
+            self._add_instances(self._stack[-1], frequencies)
+        yield from self._drain()
+        root_value = self.results.get(dewey.ROOT)
+        if root_value is not None:
+            yield Result(dewey.ROOT, root_value[0], root_value[1])
+
+    def _align(self, code: dewey.Code) -> Iterator[Result]:
+        """Pop to the common ancestor of the previous path, push to
+        ``code``; yield the finalized result of every popped node."""
+        stack = self._stack
+        while not dewey.is_ancestor_or_self(stack[-1].code, code):
+            child = stack.pop()
+            self._merge_child(stack[-1], child)
+            value = self.results.get(child.code)
+            if value is not None:
+                yield Result(child.code, value[0], value[1])
+        while stack[-1].code != code:
+            next_code = code[: len(stack[-1].code) + 1]
+            stack.append(_Entry(next_code))
+
+    def _drain(self) -> Iterator[Result]:
+        """Empty the stacks after the last instance (paper line 10)."""
+        stack = self._stack
+        while len(stack) > 1:
+            child = stack.pop()
+            self._merge_child(stack[-1], child)
+            value = self.results.get(child.code)
+            if value is not None:
+                yield Result(child.code, value[0], value[1])
+
+    # -- self instances -------------------------------------------------------
+
+    def _add_instances(self, entry: _Entry,
+                       frequencies: dict[str, int]) -> None:
+        """Push the keyword instances of ``entry``'s node into its tables.
+
+        Every occurrence slot a contained keyword can fill becomes an
+        atomic partial LCA of size 0, and the *pure closure* combines
+        single-node partial LCAs exhaustively (all instances sit on one
+        node, so Def. 2(b)(i) imposes no restriction beyond the keyword
+        budget of Def. 2(a)).
+        """
+        compiled = self.compiled
+        empty = compiled.empty_breakdown()
+        queue: deque[_Key] = deque()
+        for keyword in frequencies:
+            usage: Usage = ((keyword, 1),) \
+                if keyword in compiled.repeated_keywords else NO_USAGE
+            for term_id, bit in compiled.atoms[keyword]:
+                self._insert(entry, term_id, bit, usage, True, 0, empty,
+                             queue)
+        budget = frequencies
+        while queue:
+            term_id, mask, usage, _pure = key = queue.popleft()
+            value = entry.acc.get(key)
+            if value is None:
+                continue
+            size, breakdown = value
+            partners = [
+                (k, v) for k, v in entry.acc.items()
+                if k[3] and k[0] == term_id and not (k[1] & mask)
+            ]
+            for (t2, mask2, usage2, _p2), (size2, bd2) in partners:
+                merged = merge_usage(usage, usage2)
+                if merged and not usage_fits(merged, budget):
+                    continue
+                self._insert(entry, term_id, mask | mask2, merged, True,
+                             size + size2, merge_breakdowns(breakdown, bd2),
+                             queue)
+
+    # -- child propagation ------------------------------------------------------
+
+    def _merge_child(self, parent: _Entry, child: _Entry) -> None:
+        """Pop ``child`` and merge its partial LCAs into ``parent``.
+
+        Lifting adds the parent→child edge (size + 1), resets the child's
+        keyword usage (budget is per node) and clears the pure flag and
+        any embargo (the unit's LCA is now a proper descendant).  Each
+        lifted partial LCA enters the parent table alone and in
+        combination with every partial LCA already accumulated at the
+        parent — never with another partial LCA lifted from the same
+        child, which is how provenance disjointness (and with it both
+        LCA correctness and Def. 2(b)(ii)) is maintained.
+        """
+        root_full = self.compiled.root.full_mask
+        lifted: dict[tuple[int, int], _Value] = {}
+        for (term_id, mask, _usage, _pure), (size, bd) in child.acc.items():
+            if term_id == _ROOT_TERM and mask == root_full:
+                continue  # complete results never recombine
+            current = lifted.get((term_id, mask))
+            if current is None or size + 1 < current[0]:
+                lifted[(term_id, mask)] = (size + 1, bd)
+        for sig, (size, bd) in child.fresh.items():
+            current = lifted.get(sig)
+            if current is None or size + 1 < current[0]:
+                lifted[sig] = (size + 1, bd)
+        if not lifted:
+            return
+        snapshot = list(parent.acc.items())
+        fresh_before = dict(parent.fresh) if not self.impenetrability \
+            else None
+        for (term_id, mask), (size, breakdown) in lifted.items():
+            self._insert(parent, term_id, mask, NO_USAGE, False, size,
+                         breakdown, None)
+            for (t2, mask2, usage2, _pure2), (size2, bd2) in snapshot:
+                if t2 != term_id or (mask & mask2):
+                    continue
+                self._insert(parent, term_id, mask | mask2, usage2, False,
+                             size + size2,
+                             merge_breakdowns(breakdown, bd2), None)
+        if not self.impenetrability:
+            self._release_fresh(parent, snapshot, fresh_before)
+
+    def _release_fresh(self, parent: _Entry, snapshot,
+                       already_released: dict) -> None:
+        """Ablation mode (``impenetrability=False``): term units that
+        completed during this merge combine at this node immediately,
+        instead of waiting for propagation (Def. 2(b)(ii) disabled).
+        Released units may complete further terms; iterate to a fixpoint.
+        """
+        while True:
+            pending = [
+                (sig, value) for sig, value in parent.fresh.items()
+                if already_released.get(sig, (None,))[0] != value[0]
+            ]
+            if not pending:
+                return
+            for sig, value in pending:
+                already_released[sig] = value
+            for (term_id, mask), (size, breakdown) in pending:
+                self._insert(parent, term_id, mask, NO_USAGE, False, size,
+                             breakdown, None)
+                for (t2, mask2, usage2, _pure2), (size2, bd2) in snapshot:
+                    if t2 != term_id or (mask & mask2):
+                        continue
+                    self._insert(parent, term_id, mask | mask2, usage2,
+                                 False, size + size2,
+                                 merge_breakdowns(breakdown, bd2), None)
+
+    # -- table insertion ----------------------------------------------------------
+
+    def _insert(self, entry: _Entry, term_id: int, mask: int, usage: Usage,
+                pure: bool, size: int,
+                breakdown: tuple[Optional[int], ...],
+                queue: Optional[deque]) -> None:
+        """Insert a partial LCA, handling term completion.
+
+        A completed term records its partial-LCA size in the breakdown and
+        either (root term) records a query result, or (nested term,
+        single-node) cascades as a member unit of the parent term, or
+        (nested term, multi-node) is embargoed in the ``fresh`` table.
+        """
+        if self.size_budget is not None and size > self.size_budget:
+            return
+        compiled = self.compiled
+        term = compiled.terms[term_id]
+        if mask == term.full_mask:
+            done = list(breakdown)
+            if done[term_id] is None or size < done[term_id]:
+                done[term_id] = size
+            breakdown = tuple(done)
+            if term_id == _ROOT_TERM:
+                current = self.results.get(entry.code)
+                if current is None or size < current[0]:
+                    self.results[entry.code] = (size, breakdown)
+                return
+            parent_sig = (term.parent_id, 1 << term.member_index)
+            if pure:
+                self._insert(entry, parent_sig[0], parent_sig[1], usage,
+                             True, size, breakdown, queue)
+            else:
+                current = entry.fresh.get(parent_sig)
+                if current is None or size < current[0]:
+                    entry.fresh[parent_sig] = (size, breakdown)
+            return
+        key = (term_id, mask, usage, pure)
+        current = entry.acc.get(key)
+        if current is None or size < current[0]:
+            entry.acc[key] = (size, breakdown)
+            if queue is not None and pure:
+                queue.append(key)
+
+
+def merge_posting_streams(
+        posting_lists: Mapping[str, Sequence[Posting]]
+) -> Iterator[tuple[dewey.Code, dict[str, int]]]:
+    """Merge per-keyword posting lists into one Dewey-ordered node stream.
+
+    Yields ``(code, {keyword: frequency})`` with one event per instance
+    node, the access pattern of the paper's ``getNextNodeFromInvertedLists``.
+    """
+    def labeled(keyword: str, plist: Sequence[Posting]):
+        for posting in plist:
+            yield posting.code, keyword, posting.frequency
+
+    streams = [labeled(keyword, plist)
+               for keyword, plist in posting_lists.items()]
+    pending_code: Optional[dewey.Code] = None
+    pending: dict[str, int] = {}
+    for code, keyword, frequency in heapq.merge(*streams):
+        if code != pending_code:
+            if pending_code is not None:
+                yield pending_code, pending
+            pending_code = code
+            pending = {}
+        pending[keyword] = pending.get(keyword, 0) + frequency
+    if pending_code is not None:
+        yield pending_code, pending
+
+
+def evaluate_on_lists(query: Query,
+                      posting_lists: Mapping[str, Sequence[Posting]],
+                      normalize=None, size_budget: Optional[int] = None,
+                      impenetrability: bool = True) -> list[Result]:
+    """Run CohesiveLCA on explicit inverted lists.
+
+    ``posting_lists`` must have one entry per distinct query keyword
+    (after normalization); a missing or empty list means the query has no
+    results, since every keyword occurrence must be embedded.
+    ``size_budget`` prunes partial LCAs above the bound (lossless for
+    the results within it); ``impenetrability=False`` disables Def.
+    2(b)(ii) for ablation studies.
+    """
+    compiled = compile_query(query, normalize)
+    lists: dict[str, Sequence[Posting]] = {}
+    for keyword in compiled.atoms:
+        plist = posting_lists.get(keyword, ())
+        if not plist:
+            return []
+        lists[keyword] = plist
+    evaluation = _Evaluation(compiled, size_budget=size_budget,
+                             impenetrability=impenetrability)
+    return evaluation.run(merge_posting_streams(lists))
+
+
+class CohesiveLCA:
+    """Front door: evaluate cohesive keyword queries against an index.
+
+    Example::
+
+        index = InvertedIndex.from_tree(tree)
+        searcher = CohesiveLCA(index)
+        results = searcher.search("(XML (John Smith) (George Brown))")
+    """
+
+    def __init__(self, index: InvertedIndex):
+        self._index = index
+
+    def search(self, query: Union[str, Query],
+               list_limit: Optional[int] = None,
+               size_budget: Optional[int] = None,
+               impenetrability: bool = True) -> list[Result]:
+        """All results of ``query``, ranked by ascending LCA size.
+
+        ``list_limit`` truncates every inverted list to its first
+        ``list_limit`` postings (the device of the paper's efficiency
+        experiments, §4.3).  ``size_budget`` restricts the answer to
+        results of at most that LCA size, pruning larger partial LCAs
+        during the run.  ``impenetrability=False`` evaluates with Def.
+        2(b)(ii) disabled (ablation only).
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        normalize = self._index.tokenizer.normalize
+        compiled_keywords = {
+            normalize(keyword) for keyword in query.distinct_keywords()
+        }
+        posting_lists = {
+            keyword: self._index.postings(keyword, limit=list_limit)
+            for keyword in compiled_keywords
+        }
+        return evaluate_on_lists(query, posting_lists, normalize,
+                                 size_budget=size_budget,
+                                 impenetrability=impenetrability)
+
+
+def stream_evaluate(query: Union[str, Query], index: InvertedIndex,
+                    list_limit: Optional[int] = None,
+                    size_budget: Optional[int] = None
+                    ) -> Iterator[Result]:
+    """Yield results lazily as the engine finalizes them (post-order).
+
+    Same answer set as :func:`evaluate` (property-tested), but a pipeline
+    can consume results while the inverted lists are still streaming —
+    no Def. 3 ordering until you sort.
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    normalize = index.tokenizer.normalize
+    compiled = compile_query(query, normalize)
+    lists: dict[str, Sequence[Posting]] = {}
+    for keyword in compiled.atoms:
+        plist = index.postings(keyword, limit=list_limit)
+        if not plist:
+            return
+        lists[keyword] = plist
+    evaluation = _Evaluation(compiled, size_budget=size_budget)
+    yield from evaluation.stream(merge_posting_streams(lists))
+
+
+def evaluate(query: Union[str, Query], index: InvertedIndex,
+             list_limit: Optional[int] = None) -> list[Result]:
+    """Convenience wrapper: ``CohesiveLCA(index).search(query)``."""
+    return CohesiveLCA(index).search(query, list_limit=list_limit)

@@ -1,0 +1,119 @@
+"""Query explanation: structure, lattice accounting, cost estimate.
+
+``explain`` turns a cohesive query (plus, optionally, the index it will
+run against) into a structured report: the term tree, the reduced
+lattice's dimensions, the complexity parameters of the paper's analysis
+(§3.1) and per-keyword posting statistics — everything a user needs to
+predict how a query will behave before running it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.lattice import (bell_number, largest_sublattice_size,
+                                lattice_node_count, stack_count)
+from repro.core.parser import parse_query
+from repro.core.query import Occurrence, Query, Term
+from repro.core.signatures import compile_query
+from repro.index.inverted import InvertedIndex
+
+
+@dataclass(frozen=True)
+class KeywordStats:
+    keyword: str
+    occurrences: int          # how often it appears in the query
+    instances: Optional[int]  # inverted-list length (None without index)
+
+
+@dataclass
+class QueryExplanation:
+    """The full report; render with ``str()``."""
+
+    query: Query
+    keyword_count: int
+    distinct_keywords: int
+    term_count: int
+    max_term_cardinality: int
+    max_nesting_depth: int
+    full_lattice_size: int
+    reduced_lattice_size: int
+    stack_total: int
+    largest_sublattice: int
+    signature_count: int
+    keywords: list[KeywordStats] = field(default_factory=list)
+    total_instances: Optional[int] = None
+
+    def __str__(self) -> str:
+        lines = [
+            f"query                 {self.query}",
+            f"pattern               {self.query.pattern()}",
+            f"keyword occurrences   {self.keyword_count} "
+            f"({self.distinct_keywords} distinct)",
+            f"terms                 {self.term_count} "
+            f"(max cardinality {self.max_term_cardinality}, "
+            f"nesting depth {self.max_nesting_depth})",
+            f"term tree             {_render_tree(self.query.root)}",
+            f"full lattice          {self.full_lattice_size} partitions "
+            f"(B{self.keyword_count})",
+            f"reduced lattice       {self.reduced_lattice_size} nodes, "
+            f"{self.stack_total} stacks, largest sublattice "
+            f"{self.largest_sublattice}",
+            f"engine signatures     {self.signature_count}",
+        ]
+        if self.total_instances is not None:
+            lines.append(
+                f"input                 {self.total_instances} keyword "
+                f"instances")
+            for stats in self.keywords:
+                shown = "-" if stats.instances is None \
+                    else str(stats.instances)
+                lines.append(f"    {stats.keyword:20s} x"
+                             f"{stats.occurrences}  {shown} instance(s)")
+        return "\n".join(lines)
+
+
+def _render_tree(term: Term, depth: int = 0) -> str:
+    parts = []
+    for member in term.members:
+        if isinstance(member, Occurrence):
+            parts.append(member.keyword)
+        else:
+            parts.append(_render_tree(member, depth + 1))
+    return "[" + " ".join(parts) + "]"
+
+
+def explain(query: Union[str, Query],
+            index: Optional[InvertedIndex] = None) -> QueryExplanation:
+    """Build the explanation report for ``query``."""
+    if isinstance(query, str):
+        query = parse_query(query)
+    normalize = index.tokenizer.normalize if index is not None else None
+    compiled = compile_query(query, normalize)
+    keywords: list[KeywordStats] = []
+    total: Optional[int] = None
+    if index is not None:
+        total = 0
+        for keyword, slots in compiled.atoms.items():
+            instances = index.frequency(keyword)
+            total += instances
+            keywords.append(KeywordStats(keyword, len(slots), instances))
+    else:
+        for keyword, slots in compiled.atoms.items():
+            keywords.append(KeywordStats(keyword, len(slots), None))
+    return QueryExplanation(
+        query=query,
+        keyword_count=query.keyword_count,
+        distinct_keywords=len(compiled.atoms),
+        term_count=query.term_count,
+        max_term_cardinality=query.max_term_cardinality,
+        max_nesting_depth=query.max_nesting_depth,
+        full_lattice_size=bell_number(query.keyword_count),
+        reduced_lattice_size=lattice_node_count(query),
+        stack_total=stack_count(query),
+        largest_sublattice=largest_sublattice_size(query),
+        signature_count=compiled.signature_count(),
+        keywords=keywords,
+        total_instances=total,
+    )

@@ -1,0 +1,112 @@
+"""Parser for the cohesive keyword query language.
+
+Grammar (paper §2.1)::
+
+    Q  →  (k) | T
+    T  →  (S S)
+    S  →  S S | T | k
+
+i.e. a query is a parenthesized single keyword or a term; every term holds
+at least two members, each a keyword or a nested term.  As a convenience,
+the outermost parentheses may be omitted (``XML John Smith`` means
+``(XML John Smith)``), matching how users type flat queries.
+
+Keywords are any maximal runs of characters other than whitespace and
+parentheses.  Keyword *normalization* (case folding, etc.) is applied at
+search time using the index's tokenizer, not here, so the parser makes no
+assumptions about the data.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from repro.core.query import Occurrence, Query, Term
+from repro.errors import QuerySyntaxError
+
+_TOKEN_RE = re.compile(r"[()]|[^\s()]+")
+
+
+class _Token(NamedTuple):
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    pos = 0
+    for match in _TOKEN_RE.finditer(text):
+        gap = text[pos:match.start()]
+        if gap.strip():
+            raise QuerySyntaxError(
+                f"unexpected characters {gap.strip()!r}", pos)
+        yield _Token(match.group(), match.start())
+        pos = match.end()
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query string such as ``(XML (John Smith) (George Brown))``.
+
+    Raises :class:`~repro.errors.QuerySyntaxError` on malformed input:
+    unbalanced parentheses, empty groups, or nested groups with fewer than
+    two members.
+    """
+    tokens = list(_tokenize(text))
+    if not tokens:
+        raise QuerySyntaxError("empty query")
+    if tokens[0].text != "(":
+        # Outer parentheses omitted: treat the whole input as one term.
+        tokens = ([_Token("(", 0)] + tokens +
+                  [_Token(")", len(text))])
+    members, next_index = _parse_group(tokens, 0, depth=0)
+    if next_index != len(tokens):
+        raise QuerySyntaxError(
+            "unexpected input after the query",
+            tokens[next_index].position)
+    root = Term(members)
+    return Query(root)
+
+
+def _parse_group(tokens: list[_Token], index: int,
+                 depth: int) -> tuple[list, int]:
+    """Parse one parenthesized group starting at ``tokens[index] == '('``.
+
+    Returns the member list and the index just past the closing paren.
+    """
+    open_token = tokens[index]
+    assert open_token.text == "("
+    members: list = []
+    index += 1
+    while True:
+        if index >= len(tokens):
+            raise QuerySyntaxError("unbalanced '('", open_token.position)
+        token = tokens[index]
+        if token.text == ")":
+            index += 1
+            break
+        if token.text == "(":
+            inner, index = _parse_group(tokens, index, depth + 1)
+            if len(inner) < 2:
+                raise QuerySyntaxError(
+                    "a term needs at least two members", token.position)
+            members.append(Term(inner))
+        else:
+            members.append(Occurrence(token.text))
+            index += 1
+    if not members:
+        raise QuerySyntaxError("empty group '()'", open_token.position)
+    if depth == 0 and len(members) == 1 and isinstance(members[0], Term):
+        # ``((a b))`` — the grammar derives a term, not a term-wrapping set;
+        # unwrap so the redundant outer parentheses are harmless.
+        return list(members[0].members), index
+    return members, index
+
+
+def parse_pattern(pattern: str) -> Query:
+    """Parse an anonymized query pattern such as ``(xx((xxxx)(xxxx)))``.
+
+    Every ``x`` is a keyword slot; instantiate with
+    :meth:`repro.core.query.Query.with_keywords`.
+    """
+    spaced = pattern.replace("x", " x ")
+    return parse_query(spaced)

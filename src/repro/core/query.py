@@ -1,0 +1,246 @@
+"""The cohesive keyword query model.
+
+A cohesive keyword query (paper Def. 1) is a *term*: a multiset of at
+least two keywords and/or nested terms — or, degenerately, a single
+keyword.  Terms express cohesiveness relationships: in any result, the
+instances of a term's keywords must form an impenetrable unit.
+
+The AST has two node kinds:
+
+* :class:`Occurrence` — one occurrence of one keyword (keywords may repeat
+  in a query, so occurrences are identified by position, not spelling);
+* :class:`Term` — an ordered list of members, each an occurrence or a
+  nested term.
+
+A :class:`Query` wraps the root term and precomputes the identifiers and
+cross-references every algorithm in this package works with: terms are
+numbered in preorder (the root term is term 0 — "the outermost term, i.e.,
+the query itself", §2.2), occurrences left to right.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.errors import QuerySyntaxError
+
+Member = Union["Occurrence", "Term"]
+
+
+class Occurrence:
+    """One keyword occurrence inside a query."""
+
+    __slots__ = ("keyword", "occurrence_id", "term_id", "member_index")
+
+    def __init__(self, keyword: str):
+        self.keyword = keyword
+        # Filled in by Query._assign_ids().
+        self.occurrence_id: int = -1
+        self.term_id: int = -1       # the term this occurrence is a member of
+        self.member_index: int = -1  # its position among that term's members
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Occurrence({self.keyword!r}@{self.occurrence_id})"
+
+
+class Term:
+    """A cohesiveness relationship over its members."""
+
+    __slots__ = ("members", "term_id", "parent_id", "member_index")
+
+    def __init__(self, members: Sequence[Member]):
+        if not members:
+            raise QuerySyntaxError("a term must have at least one member")
+        self.members: tuple[Member, ...] = tuple(members)
+        # Filled in by Query._assign_ids().
+        self.term_id: int = -1
+        self.parent_id: Optional[int] = None
+        self.member_index: int = -1
+
+    @property
+    def cardinality(self) -> int:
+        """Number of direct members (the paper's term cardinality)."""
+        return len(self.members)
+
+    def occurrences(self) -> Iterator[Occurrence]:
+        """All keyword occurrences in this term, in query order."""
+        for member in self.members:
+            if isinstance(member, Occurrence):
+                yield member
+            else:
+                yield from member.occurrences()
+
+    def subterms(self, include_self: bool = True) -> Iterator["Term"]:
+        """This term and all nested terms, in preorder."""
+        if include_self:
+            yield self
+        for member in self.members:
+            if isinstance(member, Term):
+                yield from member.subterms()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Term#{self.term_id}({' '.join(map(_render, self.members))})"
+
+
+def _render(member: Member) -> str:
+    if isinstance(member, Occurrence):
+        return member.keyword
+    return "(" + " ".join(_render(m) for m in member.members) + ")"
+
+
+def term_to_query(term: Term) -> "Query":
+    """Clone one term of a query into a standalone :class:`Query`.
+
+    Used to evaluate a term on its own — e.g. for the term-compactness
+    weights ``Ci`` of the paper's §2.2 ranking scheme.
+    """
+
+    def clone(member: Member) -> Member:
+        if isinstance(member, Occurrence):
+            return Occurrence(member.keyword)
+        return Term([clone(m) for m in member.members])
+
+    return Query(Term([clone(m) for m in term.members]))
+
+
+class Query:
+    """A complete cohesive keyword query.
+
+    Construct via :func:`repro.core.parser.parse_query`, :meth:`flat`, or
+    directly from a root :class:`Term`.
+    """
+
+    def __init__(self, root: Term):
+        if root.cardinality < 1:
+            raise QuerySyntaxError("empty query")
+        if root.cardinality == 1 and isinstance(root.members[0], Term):
+            raise QuerySyntaxError(
+                "a term with a single member is not allowed; "
+                "drop the redundant parentheses")
+        for term in root.subterms(include_self=False):
+            if term.cardinality < 2:
+                raise QuerySyntaxError(
+                    "nested terms must have at least two members "
+                    f"(offending term: {_render(term)})")
+        self.root = root
+        self.terms: list[Term] = list(root.subterms())
+        self.occurrences: list[Occurrence] = list(root.occurrences())
+        self._assign_ids()
+
+    def _assign_ids(self) -> None:
+        for term_id, term in enumerate(self.terms):
+            term.term_id = term_id
+            for index, member in enumerate(term.members):
+                member.member_index = index
+                if isinstance(member, Occurrence):
+                    member.term_id = term_id
+                else:
+                    member.parent_id = term_id
+        for occurrence_id, occ in enumerate(self.occurrences):
+            occ.occurrence_id = occurrence_id
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def flat(cls, keywords: Sequence[str]) -> "Query":
+        """A flat (cohesiveness-free) query over ``keywords``.
+
+        This is the traditional keyword query the baselines answer: a
+        single term containing every keyword.
+        """
+        if not keywords:
+            raise QuerySyntaxError("empty query")
+        return cls(Term([Occurrence(k) for k in keywords]))
+
+    def with_keywords(self, keywords: Sequence[str]) -> "Query":
+        """A copy of this query with its keywords replaced positionally.
+
+        Used to instantiate the paper's query *patterns* — e.g.
+        ``(xx((xxxx)(xxxx)))`` — with concrete keywords (§4.3).
+        """
+        if len(keywords) != len(self.occurrences):
+            raise QuerySyntaxError(
+                f"pattern has {len(self.occurrences)} keyword slots, "
+                f"got {len(keywords)} keywords")
+        supply = iter(keywords)
+
+        def clone(member: Member) -> Member:
+            if isinstance(member, Occurrence):
+                return Occurrence(next(supply))
+            return Term([clone(m) for m in member.members])
+
+        return Query(clone(self.root))  # type: ignore[arg-type]
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def keyword_count(self) -> int:
+        """Total number of keyword occurrences."""
+        return len(self.occurrences)
+
+    def keywords(self) -> list[str]:
+        """The keywords in query order (with repetitions)."""
+        return [occ.keyword for occ in self.occurrences]
+
+    def distinct_keywords(self) -> list[str]:
+        """The distinct keywords, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for occ in self.occurrences:
+            seen.setdefault(occ.keyword, None)
+        return list(seen)
+
+    def keyword_multiplicities(self) -> Counter:
+        """Keyword → number of occurrences in the query (Def. 2(a))."""
+        return Counter(self.keywords())
+
+    @property
+    def term_count(self) -> int:
+        """Number of terms, counting the query itself (paper §2.2)."""
+        return len(self.terms)
+
+    @property
+    def max_term_cardinality(self) -> int:
+        """The key performance parameter of the paper's analysis (§3.1)."""
+        return max(term.cardinality for term in self.terms)
+
+    @property
+    def max_nesting_depth(self) -> int:
+        """Depth of term nesting (the root term has depth 0)."""
+
+        def depth(term: Term) -> int:
+            nested = [depth(m) for m in term.members if isinstance(m, Term)]
+            return 1 + max(nested) if nested else 0
+
+        return depth(self.root)
+
+    def pattern(self) -> str:
+        """The anonymized pattern of the query, e.g. ``(xx((xxxx)(xxxx)))``.
+
+        The paper identifies efficiency workloads by such patterns (§4.3).
+        """
+
+        def render(member: Member) -> str:
+            if isinstance(member, Occurrence):
+                return "x"
+            return "(" + "".join(render(m) for m in member.members) + ")"
+
+        return render(self.root)
+
+    def is_flat(self) -> bool:
+        """True iff the query has no nested terms."""
+        return len(self.terms) == 1
+
+    def __str__(self) -> str:
+        return "(" + " ".join(_render(m) for m in self.root.members) + ")"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Query({str(self)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Query):
+            return NotImplemented
+        return str(self) == str(other)
+
+    def __hash__(self) -> int:
+        return hash(str(self))

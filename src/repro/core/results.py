@@ -1,0 +1,37 @@
+"""Result objects returned by the search algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.tree import dewey
+
+
+@dataclass(frozen=True)
+class Result:
+    """One query result: an LCA node and its LCA size (paper Def. 3).
+
+    Attributes
+    ----------
+    code:
+        Dewey code of the LCA node.
+    size:
+        The LCA size: the minimum number of edges over all MCTs of the
+        query rooted at this node.
+    term_sizes:
+        Per-term partial-LCA sizes of the minimal embedding, indexed by
+        term id (term 0 is the whole query, so ``term_sizes[0] == size``).
+        Entries are ``None`` for algorithms that do not track them.
+    """
+
+    code: dewey.Code
+    size: int
+    term_sizes: tuple[Optional[int], ...] = ()
+
+    def sort_key(self) -> tuple[int, dewey.Code]:
+        """Ascending size, ties broken by document order (Def. 3)."""
+        return (self.size, self.code)
+
+    def __str__(self) -> str:
+        return f"{dewey.format_code(self.code)} (size {self.size})"

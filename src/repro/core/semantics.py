@@ -1,0 +1,146 @@
+"""Reference semantics: literal, brute-force query evaluation.
+
+This module implements Definitions 2 and 3 of the paper exactly as
+written, by enumerating candidate embeddings.  It is exponential in the
+query size and exists for two purposes:
+
+* it is the *oracle* the fast engine is property-tested against on small
+  trees;
+* it makes the semantics executable documentation: reading
+  :func:`is_embedding` next to Def. 2 shows precisely what the system
+  computes.
+
+Do not use it on real datasets: use :class:`repro.core.engine.CohesiveLCA`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.core.parser import parse_query
+from repro.core.query import Query, Term
+from repro.core.results import Result
+from repro.errors import EvaluationError
+from repro.index.inverted import InvertedIndex
+from repro.tree import dewey
+from repro.tree.tree import DataTree
+
+# An embedding maps occurrence ids to instance Dewey codes.
+Embedding = tuple[dewey.Code, ...]
+
+
+def is_embedding(query: Query, assignment: Sequence[dewey.Code],
+                 node_counts: Mapping[dewey.Code, Counter],
+                 normalize=None) -> bool:
+    """Check Def. 2 for one candidate assignment.
+
+    ``assignment[i]`` is the node chosen for occurrence ``i`` (in query
+    order); ``node_counts`` maps a node to its keyword → frequency counter.
+    """
+    normalize = normalize or (lambda keyword: keyword)
+    # Condition (a): repeated occurrences on one node need multiplicity.
+    used: Counter = Counter()
+    for occurrence, code in zip(query.occurrences, assignment):
+        used[(code, normalize(occurrence.keyword))] += 1
+    for (code, keyword), count in used.items():
+        if node_counts.get(code, Counter()).get(keyword, 0) < count:
+            return False
+    # Condition (b): term impenetrability.
+    for term in query.terms[1:]:  # the root term has no external keywords
+        inside = {occ.occurrence_id for occ in term.occurrences()}
+        instances = [assignment[i] for i in inside]
+        if len(set(instances)) == 1:
+            continue  # Def. 2(b)(i): all occurrences on a single node
+        lca = dewey.lca_many(instances)
+        for i, code in enumerate(assignment):
+            if i in inside:
+                continue
+            if dewey.is_ancestor_or_self(lca, code):
+                return False  # Def. 2(b)(ii): lca(e(k), l) == l
+    return True
+
+
+def brute_force_evaluate(query: Union[str, Query],
+                         source: Union[DataTree, InvertedIndex],
+                         max_embeddings: int = 2_000_000,
+                         track_term_sizes: bool = False) -> list[Result]:
+    """All results of ``query`` with exact LCA sizes, by enumeration.
+
+    Accepts either a tree (indexed on the fly) or a prebuilt index.
+    Raises :class:`~repro.errors.EvaluationError` if the number of
+    candidate assignments exceeds ``max_embeddings``.
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    index = (source if isinstance(source, InvertedIndex)
+             else InvertedIndex.from_tree(source))
+    normalize = index.tokenizer.normalize
+
+    node_counts: dict[dewey.Code, Counter] = {}
+    candidates: list[list[dewey.Code]] = []
+    total = 1
+    for occurrence in query.occurrences:
+        keyword = normalize(occurrence.keyword)
+        postings = index.postings(keyword)
+        if not postings:
+            return []
+        candidates.append([posting.code for posting in postings])
+        for posting in postings:
+            node_counts.setdefault(posting.code, Counter())[keyword] = \
+                posting.frequency
+        total *= len(postings)
+        if total > max_embeddings:
+            raise EvaluationError(
+                f"{total}+ candidate embeddings; brute force is for "
+                f"small inputs only")
+
+    best: dict[dewey.Code, int] = {}
+    best_terms: dict[dewey.Code, tuple[Optional[int], ...]] = {}
+    for assignment in itertools.product(*candidates):
+        if not is_embedding(query, assignment, node_counts, normalize):
+            continue
+        lca = dewey.lca_many(assignment)
+        size = _mct_size(assignment, lca)
+        if lca not in best or size < best[lca]:
+            best[lca] = size
+            if track_term_sizes:
+                best_terms[lca] = _term_sizes(query, assignment)
+    results = [
+        Result(code, size, best_terms.get(code, ()))
+        for code, size in best.items()
+    ]
+    results.sort(key=Result.sort_key)
+    return results
+
+
+def _mct_size(codes: Sequence[dewey.Code], root: dewey.Code) -> int:
+    """Edges of the minimal subtree containing ``codes`` (rooted at their
+    LCA): the number of distinct proper descendants of the LCA on the
+    root-to-instance paths."""
+    edges: set[dewey.Code] = set()
+    for code in codes:
+        walker = code
+        while len(walker) > len(root):
+            edges.add(walker)
+            walker = walker[:-1]
+    return len(edges)
+
+
+def _term_sizes(query: Query, assignment: Sequence[dewey.Code]
+                ) -> tuple[Optional[int], ...]:
+    """Per-term partial-LCA sizes of one embedding (for §2.2 ranking)."""
+    sizes: list[Optional[int]] = []
+    for term in query.terms:
+        ids = [occ.occurrence_id for occ in term.occurrences()]
+        instances = [assignment[i] for i in ids]
+        sizes.append(_mct_size(instances, dewey.lca_many(instances)))
+    return tuple(sizes)
+
+
+def term_results(term: Term, source: Union[DataTree, InvertedIndex],
+                 **kwargs) -> list[Result]:
+    """Evaluate one term as a standalone query (used by the Ci weights)."""
+    from repro.core.query import term_to_query
+    return brute_force_evaluate(term_to_query(term), source, **kwargs)

@@ -1,0 +1,144 @@
+"""Query compilation: terms, member masks and admissible signatures.
+
+The lattice of keyword partitions the paper's algorithm maintains has one
+stack column per *admissible keyword subset* (paper §3).  With
+cohesiveness relationships, the admissible subsets are exactly, for every
+term, the non-empty unions of complete *members* of that term (a member is
+a keyword occurrence or a complete nested term) — partial material of one
+member can never pair with material of another member until the member is
+complete.
+
+:class:`CompiledQuery` precomputes everything the evaluation engine needs
+to manipulate those subsets as ``(term_id, member_bitmask)`` *signatures*:
+
+* per-term member lists, parent links and full masks;
+* per-keyword *atoms*: the ``(term, member_bit)`` slots an instance of a
+  keyword can fill;
+* which keywords are repeated in the query (only those need per-node
+  budget tracking under Def. 2(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.query import Occurrence, Query, Term
+
+# A signature identifies an admissible subset: members `mask` of term `term_id`.
+Signature = tuple[int, int]
+
+# Per-node keyword usage, for repeated keywords only:
+# a sorted tuple of (keyword, times_used_at_this_node).
+Usage = tuple[tuple[str, int], ...]
+
+NO_USAGE: Usage = ()
+
+
+@dataclass(frozen=True)
+class CompiledTerm:
+    """Engine-facing view of one query term."""
+
+    term_id: int
+    parent_id: Optional[int]
+    member_index: int       # this term's index among its parent's members
+    cardinality: int
+    full_mask: int
+
+
+@dataclass
+class CompiledQuery:
+    """A query lowered to the signature representation.
+
+    Build with :func:`compile_query`.
+    """
+
+    query: Query
+    terms: list[CompiledTerm]
+    # keyword -> [(term_id, member_bit), ...] one per occurrence of the keyword
+    atoms: dict[str, list[tuple[int, int]]]
+    repeated_keywords: frozenset[str]
+    term_count: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.term_count = len(self.terms)
+
+    @property
+    def root(self) -> CompiledTerm:
+        return self.terms[0]
+
+    def keywords(self) -> list[str]:
+        """Distinct normalized keywords, in first-appearance order."""
+        return list(self.atoms)
+
+    def full_mask(self, term_id: int) -> int:
+        return self.terms[term_id].full_mask
+
+    def empty_breakdown(self) -> tuple[Optional[int], ...]:
+        """A fresh per-term partial-size vector (all unknown)."""
+        return (None,) * self.term_count
+
+    def signature_count(self) -> int:
+        """Number of admissible signatures (stack columns across the
+        reduced lattice): Σ over terms of 2^cardinality − 1."""
+        return sum((1 << t.cardinality) - 1 for t in self.terms)
+
+
+def compile_query(query: Query,
+                  normalize: Optional[Callable[[str], str]] = None
+                  ) -> CompiledQuery:
+    """Lower ``query`` to the signature representation.
+
+    ``normalize`` maps query keywords to index keywords (typically the
+    index tokenizer's ``normalize``); identity by default.
+    """
+    normalize = normalize or (lambda keyword: keyword)
+    terms: list[CompiledTerm] = []
+    for term in query.terms:
+        terms.append(CompiledTerm(
+            term_id=term.term_id,
+            parent_id=term.parent_id,
+            member_index=term.member_index,
+            cardinality=term.cardinality,
+            full_mask=(1 << term.cardinality) - 1,
+        ))
+    atoms: dict[str, list[tuple[int, int]]] = {}
+    for occurrence in query.occurrences:
+        keyword = normalize(occurrence.keyword)
+        atoms.setdefault(keyword, []).append(
+            (occurrence.term_id, 1 << occurrence.member_index))
+    repeated = frozenset(
+        keyword for keyword, slots in atoms.items() if len(slots) > 1)
+    return CompiledQuery(query=query, terms=terms, atoms=atoms,
+                         repeated_keywords=repeated)
+
+
+def merge_usage(a: Usage, b: Usage) -> Usage:
+    """Combine two per-node usage vectors (sum counts per keyword)."""
+    if not a:
+        return b
+    if not b:
+        return a
+    counts = dict(a)
+    for keyword, n in b:
+        counts[keyword] = counts.get(keyword, 0) + n
+    return tuple(sorted(counts.items()))
+
+
+def usage_fits(usage: Usage, budget: dict[str, int]) -> bool:
+    """True iff ``usage`` does not exceed the node's keyword counts."""
+    for keyword, n in usage:
+        if n > budget.get(keyword, 0):
+            return False
+    return True
+
+
+def merge_breakdowns(a: tuple[Optional[int], ...],
+                     b: tuple[Optional[int], ...]
+                     ) -> tuple[Optional[int], ...]:
+    """Merge two per-term partial-size vectors.
+
+    The operands cover disjoint parts of the query, so at most one of them
+    has recorded a size for any given term.
+    """
+    return tuple(x if x is not None else y for x, y in zip(a, b))

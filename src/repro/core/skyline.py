@@ -1,0 +1,89 @@
+"""Skyline semantics over the cohesive term space.
+
+The paper closes with: "We are currently working on ... skyline
+semantics which considers all the cohesive terms of a query in order to
+rank the query results" (§6).  This module implements that extension.
+
+Every CohesiveLCA result carries its per-term partial-LCA size vector
+(term 0 being the whole query).  A result *dominates* another if it is
+at least as compact in every term and strictly more compact in at least
+one; the **skyline** is the set of non-dominated results — the answers
+no other result beats on every cohesiveness dimension at once.  Peeling
+skylines repeatedly yields a layered ranking
+(:func:`skyline_layers`), the skyline analogue of Def. 3's size layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.core.engine import CohesiveLCA
+from repro.core.parser import parse_query
+from repro.core.query import Query
+from repro.core.results import Result
+from repro.index.inverted import InvertedIndex
+
+
+def _vector(result: Result) -> tuple[int, ...]:
+    return tuple(size if size is not None else 0
+                 for size in result.term_sizes)
+
+
+def dominates(first: Sequence[int], second: Sequence[int]) -> bool:
+    """True iff ``first`` is ≤ everywhere and < somewhere."""
+    strictly = False
+    for a, b in zip(first, second):
+        if a > b:
+            return False
+        if a < b:
+            strictly = True
+    return strictly
+
+
+def skyline(results: Sequence[Result]) -> list[Result]:
+    """The non-dominated results, in Def. 3 (size, document) order.
+
+    Results must carry term-size breakdowns (CohesiveLCA results do).
+    Duplicated vectors are all kept: neither dominates the other.
+    """
+    ordered = sorted(results, key=Result.sort_key)
+    vectors = [_vector(result) for result in ordered]
+    kept: list[Result] = []
+    for index_, vector in enumerate(vectors):
+        # A dominator has total size (coordinate 0) ≤ ours, so it sits at
+        # or before our position — except for ties on total size, which
+        # may sit after us; compare against the whole list to be exact.
+        if any(dominates(other, vector)
+               for position, other in enumerate(vectors)
+               if position != index_):
+            continue
+        kept.append(ordered[index_])
+    return kept
+
+
+def skyline_layers(results: Sequence[Result],
+                   max_layers: Optional[int] = None
+                   ) -> list[list[Result]]:
+    """Rank results by iteratively peeling skylines.
+
+    Layer 0 is the skyline of all results; layer i the skyline of what
+    remains.  ``max_layers`` stops early (``None`` peels everything).
+    """
+    remaining = list(results)
+    layers: list[list[Result]] = []
+    while remaining and (max_layers is None or len(layers) < max_layers):
+        layer = skyline(remaining)
+        layers.append(layer)
+        layer_codes = {result.code for result in layer}
+        remaining = [result for result in remaining
+                     if result.code not in layer_codes]
+    return layers
+
+
+def skyline_search(query: Union[str, Query], index: InvertedIndex,
+                   list_limit: Optional[int] = None) -> list[Result]:
+    """Evaluate ``query`` and return its skyline."""
+    if isinstance(query, str):
+        query = parse_query(query)
+    return skyline(CohesiveLCA(index).search(query,
+                                             list_limit=list_limit))

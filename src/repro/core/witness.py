@@ -1,0 +1,110 @@
+"""Witness reconstruction: *why* is this node a result?
+
+The engine reports result LCAs and sizes but, for economy, not the
+instance nodes that realize them.  :func:`reconstruct_witness` finds, for
+a given result LCA, a minimum-size valid embedding — the minimal
+connecting tree a UI would highlight — by enumerating instance choices
+inside the LCA's subtree and checking Def. 2 exactly.
+
+The search is bounded (``max_combinations``) because the number of
+choices is a product of per-keyword instance counts under the LCA; in
+practice result subtrees are small (that is what makes them results).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.parser import parse_query
+from repro.core.query import Query
+from repro.core.semantics import is_embedding
+from repro.errors import EvaluationError
+from repro.index.inverted import InvertedIndex
+from repro.tree import dewey
+
+_AFTER_SUBTREE = (1 << 62,)
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A minimal embedding realizing one result."""
+
+    lca: dewey.Code
+    size: int
+    # occurrence id (query order) -> instance node
+    assignment: tuple[dewey.Code, ...]
+
+    def mct_nodes(self) -> set[dewey.Code]:
+        """All nodes of the minimal connecting tree (LCA included)."""
+        nodes = {self.lca}
+        for code in self.assignment:
+            walker = code
+            while len(walker) > len(self.lca):
+                nodes.add(walker)
+                walker = walker[:-1]
+        return nodes
+
+
+def reconstruct_witness(query: Union[str, Query], index: InvertedIndex,
+                        lca: dewey.Code,
+                        max_combinations: int = 200_000
+                        ) -> Optional[Witness]:
+    """A minimum-size valid embedding whose LCA is ``lca``, or ``None``.
+
+    Raises :class:`~repro.errors.EvaluationError` when the candidate
+    space exceeds ``max_combinations`` before any witness is found.
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    normalize = index.tokenizer.normalize
+
+    candidates: list[list[dewey.Code]] = []
+    node_counts: dict[dewey.Code, Counter] = {}
+    total = 1
+    for occurrence in query.occurrences:
+        keyword = normalize(occurrence.keyword)
+        under: list[dewey.Code] = []
+        for posting in index.postings(keyword):
+            if dewey.is_ancestor_or_self(lca, posting.code):
+                under.append(posting.code)
+                node_counts.setdefault(posting.code,
+                                       Counter())[keyword] = \
+                    posting.frequency
+        if not under:
+            return None
+        candidates.append(under)
+        total *= len(under)
+
+    best: Optional[Witness] = None
+    explored = 0
+    for assignment in itertools.product(*candidates):
+        explored += 1
+        if explored > max_combinations:
+            if best is None:
+                raise EvaluationError(
+                    f"witness search for {dewey.format_code(lca)} "
+                    f"exceeded {max_combinations} combinations")
+            break
+        if dewey.lca_many(assignment) != lca:
+            continue
+        if not is_embedding(query, assignment, node_counts, normalize):
+            continue
+        size = _mct_size(assignment, lca)
+        if best is None or size < best.size:
+            best = Witness(lca, size, tuple(assignment))
+            if size == 0:
+                break
+    return best
+
+
+def _mct_size(codes, root) -> int:
+    edges: set[dewey.Code] = set()
+    for code in codes:
+        walker = code
+        while len(walker) > len(root):
+            edges.add(walker)
+            walker = walker[:-1]
+    return len(edges)

@@ -1,0 +1,178 @@
+"""Multi-document corpora.
+
+The paper evaluates one large document per dataset, but real deployments
+search *collections*.  A :class:`Corpus` places every document under a
+virtual corpus root — document ``i`` occupies the Dewey subtree
+``(i,)`` — so the single-tree machinery (engine, baselines, ranking)
+works unchanged across the collection, and results attribute naturally
+to documents via their first Dewey step.
+
+Documents are indexed with the streaming indexer (never materialized)
+and the corpus index is the merge of the per-document indexes, so
+corpora much larger than memory-resident trees are fine.
+
+Note on semantics: with a virtual root, a result may span several
+documents (its LCA is the corpus root).  That is usually noise, so
+:meth:`Corpus.search` drops corpus-root results by default; pass
+``within_documents=False`` to keep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.core.engine import CohesiveLCA
+from repro.core.query import Query
+from repro.core.results import Result
+from repro.index.inverted import InvertedIndex
+from repro.index.streaming import StreamingIndexer
+from repro.index.tokenizer import Tokenizer, default_tokenizer
+from repro.tree import dewey
+from repro.xmlio.pull_parser import PullParser
+
+
+@dataclass(frozen=True)
+class DocumentResult:
+    """One search result attributed to its document."""
+
+    document: str
+    result: Result
+
+    @property
+    def code_in_document(self) -> dewey.Code:
+        """The LCA's Dewey code relative to its own document root."""
+        return self.result.code[1:]
+
+
+class Corpus:
+    """A searchable collection of XML documents."""
+
+    def __init__(self, tokenizer: Optional[Tokenizer] = None):
+        self._tokenizer = tokenizer or default_tokenizer()
+        self._names: list[str] = []
+        self._index = InvertedIndex({}, self._tokenizer)
+
+    # -- building ------------------------------------------------------------
+
+    def add_document(self, name: str, xml_text: str) -> int:
+        """Index one document; returns its document id (Dewey step)."""
+        document_id = len(self._names)
+        indexer = StreamingIndexer(self._tokenizer,
+                                   root_prefix=(document_id,))
+        for event in PullParser(xml_text):
+            indexer.feed(event)
+        self._index = self._index.merged_with(indexer.finish())
+        self._names.append(name)
+        return document_id
+
+    def add_path(self, path: Union[str, Path],
+                 encoding: str = "utf-8") -> int:
+        """Index one XML file; the file name becomes the document name."""
+        path = Path(path)
+        return self.add_document(path.name,
+                                 path.read_text(encoding=encoding))
+
+    def add_paths(self, paths: Iterable[Union[str, Path]]) -> list[int]:
+        return [self.add_path(path) for path in paths]
+
+    # -- inspection ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of documents."""
+        return len(self._names)
+
+    @property
+    def documents(self) -> list[str]:
+        return list(self._names)
+
+    @property
+    def index(self) -> InvertedIndex:
+        """The merged corpus-wide inverted index."""
+        return self._index
+
+    def document_name(self, code: dewey.Code) -> str:
+        if not code:
+            raise ValueError("the corpus root belongs to no document")
+        return self._names[code[0]]
+
+    # -- persistence ------------------------------------------------------------
+
+    MAGIC = b"CKSCRP1\n"
+
+    def save(self, path: Union[str, Path]) -> int:
+        """Persist the corpus (document names + merged index) to one
+        file; returns the number of bytes written."""
+        import io
+
+        from repro.index.store import encode_index, write_varint
+        buffer = io.BytesIO()
+        buffer.write(self.MAGIC)
+        write_varint(buffer, len(self._names))
+        for name in self._names:
+            encoded = name.encode("utf-8")
+            write_varint(buffer, len(encoded))
+            buffer.write(encoded)
+        blob = encode_index(self._index)
+        write_varint(buffer, len(blob))
+        buffer.write(blob)
+        data = buffer.getvalue()
+        Path(path).write_bytes(data)
+        return len(data)
+
+    @classmethod
+    def load(cls, path: Union[str, Path],
+             tokenizer: Optional[Tokenizer] = None) -> "Corpus":
+        """Reload a corpus written by :meth:`save`."""
+        import io
+
+        from repro.errors import StoreFormatError
+        from repro.index.store import decode_index, read_varint
+        data = io.BytesIO(Path(path).read_bytes())
+        magic = data.read(len(cls.MAGIC))
+        if magic != cls.MAGIC:
+            raise StoreFormatError(
+                f"bad magic {magic!r}; not a corpus file")
+        count = read_varint(data)
+        names = []
+        for _ in range(count):
+            length = read_varint(data)
+            raw = data.read(length)
+            if len(raw) != length:
+                raise StoreFormatError("truncated document name")
+            names.append(raw.decode("utf-8"))
+        blob_length = read_varint(data)
+        blob = data.read(blob_length)
+        if len(blob) != blob_length:
+            raise StoreFormatError("truncated embedded index")
+        index = decode_index(blob)
+        corpus = cls(tokenizer)
+        corpus._names = names
+        corpus._index = InvertedIndex(index.raw_postings(),
+                                      corpus._tokenizer)
+        return corpus
+
+    # -- searching ------------------------------------------------------------
+
+    def search(self, query: Union[str, Query],
+               list_limit: Optional[int] = None,
+               within_documents: bool = True) -> list[DocumentResult]:
+        """Evaluate a cohesive query across the whole collection.
+
+        Results come back ranked by LCA size, each tagged with its
+        document.  ``within_documents=True`` (default) drops results
+        whose LCA is the virtual corpus root (matches stitched together
+        from several documents)."""
+        results = CohesiveLCA(self._index).search(query,
+                                                  list_limit=list_limit)
+        attributed: list[DocumentResult] = []
+        for result in results:
+            if not result.code:
+                if within_documents:
+                    continue
+                attributed.append(DocumentResult("<corpus>", result))
+                continue
+            attributed.append(
+                DocumentResult(self._names[result.code[0]], result))
+        return attributed

@@ -1,0 +1,37 @@
+"""Dataset substrate.
+
+The paper evaluates on four real datasets (DBLP, PSD, NASA, Baseball) and
+one synthetic benchmark (XMark).  Those exact files are not available
+offline, so this package generates synthetic datasets that mimic each
+one's *schema shape* — labels, label paths, maximum depth, fan-out — at a
+configurable scale, and **plants** the entities the paper's Table 2
+queries look for, together with the cross-matched confounders that make
+flat LCA semantics lose precision (the paper's John Smith / George Brown
+vs John Brown / George Smith example).  Each generator returns the tree
+*and* the ground-truth relevance judgments a simulated expert assessor
+would produce, so the effectiveness experiments (Tables 3–5, Fig. 4) are
+fully reproducible.
+
+See DESIGN.md ("Substitutions") for the argument why this preserves the
+paper's observable behaviour.
+"""
+
+from repro.datasets.baseball import generate_baseball
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.ground_truth import GeneratedDataset, PlantedRecord
+from repro.datasets.nasa import generate_nasa
+from repro.datasets.psd import generate_psd
+from repro.datasets.synthetic import RandomTreeConfig, generate_random_tree
+from repro.datasets.xmark import generate_xmark
+
+__all__ = [
+    "GeneratedDataset",
+    "PlantedRecord",
+    "generate_dblp",
+    "generate_psd",
+    "generate_nasa",
+    "generate_baseball",
+    "generate_xmark",
+    "RandomTreeConfig",
+    "generate_random_tree",
+]

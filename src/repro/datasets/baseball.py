@@ -1,0 +1,229 @@
+"""Synthetic Baseball statistics dataset.
+
+Mimics the shape of the paper's Baseball dataset (Table 1: small and
+shallow, depth 5: ``season/league/division/team/player/...``) and plants
+answers and confounders for the five Baseball queries of Table 2:
+
+====  ==========================================================
+QB1   ``(Matt Williams (third base))``
+QB2   ``(team (Johnson (first base)) (Wilson pitcher))``
+QB3   ``(player surname (0 errors))``
+QB4   ``(player (relief pitcher) (0 losses))``
+QB5   ``(player (0 errors) (7 games))``
+====  ==========================================================
+
+QB3–QB5 are *statistical* queries whose answers are determined by
+generated field values (every player with ``errors = 0``, …), so the
+generator derives the ground truth from the values it rolls rather than
+from a fixed plant list — mirroring the paper, where these queries have
+dozens to hundreds of correct answers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.datasets import corpus
+from repro.datasets.ground_truth import GeneratedDataset, RecordingBuilder
+from repro.tree.builder import TreeBuilder
+
+QUERIES: dict[str, str] = {
+    "QB1": "(Matt Williams (third base))",
+    "QB2": "(team (Johnson (first base)) (Wilson pitcher))",
+    "QB3": "(player surname (0 errors))",
+    "QB4": "(player (relief pitcher) (0 losses))",
+    "QB5": "(player (0 errors) (7 games))",
+}
+
+_NAME_TRIGGERS = ["matt", "williams", "johnson", "wilson"]
+
+_BG_FIRST = corpus.exclude(corpus.FIRST_NAMES, _NAME_TRIGGERS)
+_BG_LAST = corpus.exclude(corpus.LAST_NAMES, _NAME_TRIGGERS)
+
+_LEAGUES = ["national", "american"]
+_DIVISIONS = ["east", "central", "west"]
+_TEAM_WORDS = ["rockets", "pilots", "giants", "hawks", "comets", "bears",
+               "royals", "saints", "rangers", "storm"]
+
+
+@dataclass
+class _Player:
+    given: str
+    surname: str
+    position: str
+    games: int
+    errors: int
+    losses: int
+    query_id: str = ""   # fixed plant (QB1/QB2 roles)
+    grade: Optional[int] = None
+
+
+def _background_player(rng: random.Random) -> _Player:
+    return _Player(
+        given=rng.choice(_BG_FIRST),
+        surname=rng.choice(_BG_LAST),
+        position=rng.choice(corpus.POSITIONS),
+        games=rng.randint(1, 30),
+        errors=rng.randint(0, 6),
+        losses=rng.randint(0, 9),
+    )
+
+
+def _plain(rng: random.Random, position: Optional[str] = None) -> _Player:
+    player = _background_player(rng)
+    if position:
+        player.position = position
+    # Keep the statistical queries' answers out of the fixed plants'
+    # teammates so each team's ground truth stays easy to audit.
+    return player
+
+
+def _emit_player(builder: TreeBuilder, recorder: RecordingBuilder,
+                 player: _Player) -> None:
+    node = builder.start("player")
+    if player.query_id and player.grade is not None:
+        recorder.mark(node, player.query_id, player.grade)
+    # Statistical ground truth, derived from the rolled values.
+    if player.errors == 0:
+        recorder.mark(node, "QB3", 3)
+        if player.games == 7:
+            recorder.mark(node, "QB5", 3)
+    if player.losses == 0 and player.position == "relief pitcher":
+        recorder.mark(node, "QB4", 3)
+    builder.leaf("given_name", player.given)
+    builder.leaf("surname", player.surname)
+    builder.leaf("position", player.position)
+    builder.leaf("games", str(player.games))
+    builder.leaf("errors", str(player.errors))
+    builder.leaf("losses", str(player.losses))
+    builder.end()
+
+
+def _emit_team(builder: TreeBuilder, recorder: RecordingBuilder,
+               rng: random.Random, name: str, players: list[_Player],
+               query_id: str = "", grade: Optional[int] = None) -> None:
+    node = builder.start("team")
+    if query_id and grade is not None:
+        recorder.mark(node, query_id, grade)
+    builder.leaf("team_name", name)
+    for player in players:
+        _emit_player(builder, recorder, player)
+    builder.end()
+
+
+def generate_baseball(scale: int = 24, seed: int = 17) -> GeneratedDataset:
+    """Generate the Baseball dataset (``scale`` background teams)."""
+    rng = random.Random(seed)
+    builder = TreeBuilder()
+    recorder = RecordingBuilder()
+    builder.start("season")
+
+    special_teams: list[tuple[str, list[_Player], str, Optional[int]]] = [
+        # QB1: Matt Williams playing third base (relevant players).
+        ("rockets", [
+            _Player("matt", "williams", "third base", 12, 1, 2,
+                    query_id="QB1", grade=3),
+            _plain(rng), _plain(rng),
+        ], "", None),
+        ("pilots", [
+            _Player("matt", "williams", "third base", 9, 2, 1,
+                    query_id="QB1", grade=3),
+            _plain(rng), _plain(rng),
+        ], "", None),
+        # QB1 confounders: matt and williams split across players, with a
+        # third-base player in between.
+        ("giants", [
+            _Player("matt", "garcia", "third base", 11, 3, 2),
+            _Player("pete", "williams", "catcher", 8, 1, 4),
+            _plain(rng),
+        ], "", None),
+        ("hawks", [
+            _Player("matt", "lee", "shortstop", 14, 2, 3),
+            _Player("ray", "williams", "third base", 10, 4, 1),
+            _plain(rng),
+        ], "", None),
+        # QB2: relevant teams (Johnson at first base AND Wilson pitching).
+        ("comets", [
+            _Player("carl", "johnson", "first base", 15, 2, 3),
+            _Player("ted", "wilson", "pitcher", 13, 1, 2),
+            _plain(rng),
+        ], "QB2", 3),
+        ("bears", [
+            _Player("roy", "johnson", "first base", 16, 3, 1),
+            _Player("gus", "wilson", "pitcher", 12, 2, 5),
+            _plain(rng), _plain(rng),
+        ], "QB2", 3),
+        # QB5 needs guaranteed answers: error-free players with exactly
+        # seven games (background rolls make these rare at small scales).
+        ("rangers", [
+            _Player("hal", "young", "catcher", 7, 0, 2),
+            _Player("joe", "hall", "center field", 7, 0, 1),
+            _plain(rng),
+        ], "", None),
+        # QB4 needs guaranteed answers: relief pitchers with zero losses.
+        ("storm", [
+            _Player("gil", "martin", "relief pitcher", 11, 2, 0),
+            _Player("ned", "harris", "relief pitcher", 9, 1, 0),
+            _plain(rng),
+        ], "", None),
+        # QB2 confounders: johnson and wilson present but the positions
+        # cross-matched.
+        ("royals", [
+            _Player("sam", "johnson", "catcher", 9, 1, 2),
+            _Player("lou", "wilson", "shortstop", 11, 2, 3),
+            _plain(rng, position="first base"),
+            _plain(rng, position="pitcher"),
+        ], "QB2", None),
+        ("saints", [
+            _Player("abe", "johnson", "second base", 10, 3, 2),
+            _plain(rng, position="first base"),
+            _Player("max", "wilson", "left field", 13, 1, 4),
+            _plain(rng, position="pitcher"),
+        ], "QB2", None),
+    ]
+
+    total_special = len(special_teams)
+    total = scale + total_special
+    special_slots = set(rng.sample(range(total), total_special))
+    queue = list(special_teams)
+    slot = 0
+    for league in _LEAGUES:
+        builder.start("league")
+        builder.leaf("league_name", league)
+        for division in _DIVISIONS:
+            builder.start("division")
+            builder.leaf("division_name", division)
+            teams_here = max(1, total // (len(_LEAGUES) * len(_DIVISIONS)))
+            for _ in range(teams_here):
+                if slot in special_slots and queue:
+                    name, players, query_id, grade = queue.pop(0)
+                    _emit_team(builder, recorder, rng, name, players,
+                               query_id, grade)
+                else:
+                    name = (f"{rng.choice(_TEAM_WORDS)} "
+                            f"{rng.choice(_DIVISIONS)}")
+                    players = [_background_player(rng)
+                               for _ in range(rng.randint(4, 9))]
+                    _emit_team(builder, recorder, rng, name, players)
+                slot += 1
+            builder.end()
+        builder.end()
+    # Flush any specials that did not get a slot (rounding).
+    builder.start("league")
+    builder.leaf("league_name", "expansion")
+    builder.start("division")
+    builder.leaf("division_name", "interleague")
+    while queue:
+        name, players, query_id, grade = queue.pop(0)
+        _emit_team(builder, recorder, rng, name, players, query_id, grade)
+    builder.end()
+    builder.end()
+    builder.end()
+    return GeneratedDataset(
+        name="baseball",
+        tree=builder.finish(),
+        queries=dict(QUERIES),
+        planted=recorder.planted,
+    )

@@ -1,0 +1,98 @@
+"""Shared text pools for the schema-mimicking dataset generators.
+
+The pools are chosen so that (a) the keywords of the paper's Table 2
+queries occur with realistic frequencies, and (b) *cross-matched*
+combinations exist in the background data — the raw material of the
+paper's motivating example, where a query for (John Smith) and (George
+Brown) must not match a John Brown / George Smith paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+FIRST_NAMES = [
+    "john", "george", "paul", "mary", "mark", "wei", "lei", "yi", "tom",
+    "anna", "david", "susan", "peter", "laura", "james", "linda", "scott",
+    "brian", "carol", "kevin", "rachel", "victor", "nina", "oscar",
+]
+
+LAST_NAMES = [
+    "smith", "brown", "cooper", "davis", "chen", "wang", "guo", "wilson",
+    "johnson", "williams", "miller", "taylor", "anderson", "thomas",
+    "jackson", "white", "harris", "martin", "thompson", "garcia", "lee",
+    "walker", "hall", "young", "scott",
+]
+
+TITLE_WORDS = [
+    "xml", "keyword", "search", "query", "processing", "data", "tree",
+    "structured", "databases", "spatial", "temporal", "wireless",
+    "networks", "communications", "systems", "information", "retrieval",
+    "efficient", "scalable", "indexing", "algorithms", "optimization",
+    "semantics", "ranking", "graphs", "streams", "mining", "learning",
+    "distributed", "parallel", "theorem", "proof", "logic", "models",
+]
+
+VENUE_WORDS = [
+    "ieee", "transactions", "communications", "vldb", "journal", "sigmod",
+    "conference", "proceedings", "acm", "symposium", "workshop", "icde",
+    "edbt", "knowledge", "engineering",
+]
+
+ASTRO_WORDS = [
+    "photometric", "ccd", "magnitudes", "stars", "spectral", "types",
+    "classification", "luminosity", "codes", "clusters", "galaxies",
+    "nebula", "orion", "catalog", "survey", "astrometric", "positions",
+    "velocities", "radial", "photometry", "infrared", "ultraviolet",
+    "zwicky", "abell", "wilson", "parenago", "astronomical",
+]
+
+PROTEIN_WORDS = [
+    "protein", "gene", "sequence", "alpha", "beta", "isoform", "mrna",
+    "receptor", "kinase", "factor", "binding", "domain", "membrane",
+    "cell", "stimulating", "penton", "spectrin", "snail", "adenovirus",
+    "human", "mouse", "house", "african", "complete", "precursor",
+]
+
+POSITIONS = [
+    "pitcher", "catcher", "first base", "second base", "third base",
+    "shortstop", "left field", "center field", "right field",
+    "relief pitcher", "designated hitter",
+]
+
+AUCTION_WORDS = [
+    "gold", "silver", "vintage", "antique", "rare", "painting", "watch",
+    "camera", "guitar", "bicycle", "carpet", "lamp", "mirror", "clock",
+    "book", "stamp", "coin", "ring", "vase", "table", "chair",
+]
+
+CITIES = [
+    "athens", "newark", "boston", "seattle", "austin", "denver",
+    "portland", "chicago", "atlanta", "phoenix",
+]
+
+COUNTRIES = ["greece", "usa", "germany", "france", "japan", "brazil"]
+
+
+def exclude(pool: Sequence[str], banned: Sequence[str]) -> list[str]:
+    """A copy of ``pool`` without the ``banned`` words.
+
+    Dataset generators ban their queries' trigger words from background
+    text so that every *valid cohesive match* in the data is a planted
+    (and therefore judged) one — the analogue of the paper's experts
+    having graded every result pattern.
+    """
+    banned_set = set(banned)
+    return [word for word in pool if word not in banned_set]
+
+
+def person_name(rng: random.Random) -> str:
+    """A random ``first last`` name."""
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def phrase(rng: random.Random, words: Sequence[str],
+           low: int = 3, high: int = 7) -> str:
+    """A random phrase of ``low``..``high`` words from a pool."""
+    return " ".join(rng.choices(words, k=rng.randint(low, high)))

@@ -1,0 +1,254 @@
+"""Synthetic DBLP-like bibliographic dataset.
+
+Mimics the shape of the paper's DBLP snapshot (Table 1: shallow — maximum
+depth 5 — with ``bib/article/{title, author*, year, journal, review,
+references/article/...}`` paths) and plants answers and confounders for
+the five DBLP queries of Table 2:
+
+====  =====================================================
+QD1   ``(proof (Scott theorem))``
+QD2   ``((IEEE transactions communications) (wireless networks))``
+QD3   ``((Lei Chen) (Yi Guo))``
+QD4   ``((Wei Wang) (Yi Chen))``
+QD5   ``((VLDB journal) (spatial databases))``
+====  =====================================================
+
+Planting rules (shared by all the schema generators):
+
+* every **relevant** article (grade ≥ 1) realizes the query with each
+  cohesive term held together (on a single node, or on nodes of its own)
+  and spans at least two children of the article node, so the article is
+  the result LCA, with the same minimal size for every relevant plant;
+* every **confounder** contains all the query keywords but splits a
+  term's keywords across unrelated nodes (a "Lei Guo" / "Yi Chen" paper
+  for QD3) — flat LCA semantics return it, cohesive semantics reject it;
+* background text excludes the queries' trigger words, so every valid
+  cohesive match in the tree is a planted, judged one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.datasets import corpus
+from repro.datasets.ground_truth import GeneratedDataset, RecordingBuilder
+from repro.tree.builder import TreeBuilder
+
+QUERIES: dict[str, str] = {
+    "QD1": "(proof (Scott theorem))",
+    "QD2": "((IEEE transactions communications) (wireless networks))",
+    "QD3": "((Lei Chen) (Yi Guo))",
+    "QD4": "((Wei Wang) (Yi Chen))",
+    "QD5": "((VLDB journal) (spatial databases))",
+}
+
+_TRIGGERS = [
+    "proof", "theorem", "scott", "ieee", "transactions", "communications",
+    "wireless", "networks", "lei", "chen", "yi", "guo", "wei", "wang",
+    "vldb", "spatial", "databases",
+]
+
+_BG_TITLE = corpus.exclude(corpus.TITLE_WORDS, _TRIGGERS)
+_BG_VENUE = corpus.exclude(corpus.VENUE_WORDS, _TRIGGERS)
+_BG_FIRST = corpus.exclude(corpus.FIRST_NAMES, _TRIGGERS)
+_BG_LAST = corpus.exclude(corpus.LAST_NAMES, _TRIGGERS)
+
+
+@dataclass
+class _Article:
+    title: str
+    authors: list[str] = field(default_factory=list)
+    journal: Optional[str] = None
+    review: Optional[str] = None
+    cited_titles: list[str] = field(default_factory=list)
+    cited_authors: list[str] = field(default_factory=list)
+    query_id: str = ""
+    grade: Optional[int] = None  # None: background or confounder
+
+
+def _special_articles() -> list[_Article]:
+    articles: list[_Article] = []
+
+    # -- QD1: proof + cohesive (Scott theorem) ------------------------------
+    articles += [
+        _Article("the scott theorem", authors=["dana hall"],
+                 review="a complete proof", query_id="QD1", grade=3),
+        _Article("scott theorem revisited", authors=["martin lee"],
+                 review="includes a shorter proof", query_id="QD1", grade=2),
+        # Confounders: scott and theorem in unrelated nodes with proof
+        # caught in between.
+        _Article("a theorem on proof complexity",
+                 authors=["michael scott"], query_id="QD1"),
+        _Article("proof assistants in practice", authors=["ridley scott"],
+                 cited_titles=["a density theorem for planar graphs"],
+                 query_id="QD1"),
+        _Article("automated proof search", authors=["walter scott"],
+                 review="extends a classical theorem", query_id="QD1"),
+    ]
+
+    # -- QD2: (IEEE transactions communications) + (wireless networks) ------
+    articles += [
+        _Article("routing in wireless networks", authors=["susan miller"],
+                 journal="ieee transactions communications",
+                 query_id="QD2", grade=3),
+        _Article("capacity of wireless networks", authors=["peter young"],
+                 journal="ieee transactions communications",
+                 query_id="QD2", grade=3),
+        # Cross-matched venues/titles.
+        _Article("scheduling in sensor networks", authors=["brian hunt"],
+                 journal="ieee transactions wireless communications",
+                 query_id="QD2"),
+        _Article("wireless channel estimation", authors=["carol walker"],
+                 journal="ieee networks communications letters transactions",
+                 query_id="QD2"),
+        _Article("transactions on overlay networks", authors=["kevin white"],
+                 journal="ieee wireless magazine communications",
+                 query_id="QD2"),
+    ]
+
+    # -- QD3: (Lei Chen) + (Yi Guo) ------------------------------------------
+    articles += [
+        _Article("similarity search over data streams",
+                 authors=["lei chen", "yi guo"], query_id="QD3", grade=3),
+        _Article("probabilistic skyline computation",
+                 authors=["lei chen", "yi guo", "tom walker"],
+                 query_id="QD3", grade=2),
+        # Cross-matched author pairs.
+        _Article("frequent pattern mining",
+                 authors=["lei guo", "yi chen"], query_id="QD3"),
+        _Article("graph pattern matching",
+                 authors=["lei young", "yi chen", "bob guo"],
+                 query_id="QD3"),
+        _Article("subsequence matching in time series",
+                 authors=["chen li", "lei zhang"],
+                 cited_titles=["an index structure"],
+                 cited_authors=["yi guo"], query_id="QD3"),
+    ]
+
+    # -- QD4: (Wei Wang) + (Yi Chen) -----------------------------------------
+    articles += [
+        _Article("clustering high dimensional data",
+                 authors=["wei wang", "yi chen"], query_id="QD4", grade=3),
+        _Article("keyword proximity in relational data",
+                 authors=["wei wang", "yi chen", "anna young"],
+                 query_id="QD4", grade=3),
+        _Article("top k query evaluation",
+                 authors=["wei chen", "yi wang"], query_id="QD4"),
+        _Article("adaptive indexing",
+                 authors=["yi wei", "chen wang"], query_id="QD4"),
+        _Article("approximate string matching",
+                 authors=["wang wei lin"],
+                 cited_titles=["survey notes"], cited_authors=["yi chen"],
+                 query_id="QD4"),
+    ]
+
+    # -- QD5: (VLDB journal) + (spatial databases) ---------------------------
+    articles += [
+        _Article("indexing spatial databases", authors=["laura martin"],
+                 journal="vldb journal", query_id="QD5", grade=3),
+        _Article("query optimization for spatial databases",
+                 authors=["james harris"], journal="vldb journal",
+                 query_id="QD5", grade=2),
+        # Cross-matched: "journal" drifts into the title, "spatial" into
+        # the venue.
+        _Article("journal bearing simulation databases",
+                 authors=["victor hall"], journal="vldb",
+                 review="spatial analysis", query_id="QD5"),
+        _Article("temporal databases", authors=["nina taylor"],
+                 journal="vldb spatial workshop journal", query_id="QD5"),
+        _Article("spatial statistics", authors=["oscar king"],
+                 journal="databases journal",
+                 cited_titles=["the vldb endowment report"],
+                 query_id="QD5"),
+    ]
+    return articles
+
+
+def _background_article(rng: random.Random) -> _Article:
+    return _Article(
+        title=corpus.phrase(rng, _BG_TITLE, 3, 7),
+        authors=[f"{rng.choice(_BG_FIRST)} {rng.choice(_BG_LAST)}"
+                 for _ in range(rng.randint(1, 3))],
+        journal=corpus.phrase(rng, _BG_VENUE, 2, 4)
+        if rng.random() < 0.5 else None,
+        review=corpus.phrase(rng, _BG_TITLE, 4, 8)
+        if rng.random() < 0.2 else None,
+        cited_titles=[corpus.phrase(rng, _BG_TITLE, 3, 5)
+                      for _ in range(rng.randint(0, 2))],
+    )
+
+
+def _emit_article(builder: TreeBuilder, recorder: RecordingBuilder,
+                  rng: random.Random, article: _Article) -> None:
+    node = builder.start("article")
+    if article.query_id and article.grade is not None:
+        recorder.mark(node, article.query_id, article.grade)
+    builder.leaf("title", article.title)
+    for author in article.authors:
+        builder.leaf("author", author)
+    builder.leaf("year", str(rng.randint(1990, 2015)))
+    if article.journal:
+        builder.leaf("journal", article.journal)
+    if article.review:
+        builder.leaf("review", article.review)
+    if article.cited_titles:
+        builder.start("references")
+        for position, cited_title in enumerate(article.cited_titles):
+            builder.start("article")
+            builder.leaf("title", cited_title)
+            if position < len(article.cited_authors):
+                builder.leaf("author", article.cited_authors[position])
+            else:
+                builder.leaf("author",
+                             f"{rng.choice(_BG_FIRST)} "
+                             f"{rng.choice(_BG_LAST)}")
+            builder.end()
+        builder.end()
+    builder.end()
+
+
+def generate_dblp(scale: int = 300, seed: int = 7,
+                  confounder_copies: int = 1) -> GeneratedDataset:
+    """Generate the DBLP-like dataset.
+
+    ``scale`` is the number of background articles; the 25 planted
+    articles (answers and confounders, 5 per query) are shuffled among
+    them deterministically for the given ``seed``.
+
+    ``confounder_copies`` replicates every confounder article (the
+    cross-matched plants that fool flat semantics) that many times —
+    the noise-sensitivity knob of the extension experiment in
+    ``benchmarks/bench_ext_confounder_sensitivity.py``.
+    """
+    if confounder_copies < 1:
+        raise ValueError("confounder_copies must be at least 1")
+    rng = random.Random(seed)
+    builder = TreeBuilder()
+    recorder = RecordingBuilder()
+    builder.start("bib")
+    specials = _special_articles()
+    if confounder_copies > 1:
+        replicated: list[_Article] = []
+        for article in specials:
+            replicated.append(article)
+            if article.query_id and article.grade is None:
+                for _ in range(confounder_copies - 1):
+                    replicated.append(article)
+        specials = replicated
+    total = scale + len(specials)
+    special_slots = set(rng.sample(range(total), len(specials)))
+    queue = list(specials)
+    for slot in range(total):
+        if slot in special_slots:
+            _emit_article(builder, recorder, rng, queue.pop(0))
+        else:
+            _emit_article(builder, recorder, rng, _background_article(rng))
+    builder.end()
+    return GeneratedDataset(
+        name="dblp",
+        tree=builder.finish(),
+        queries=dict(QUERIES),
+        planted=recorder.planted,
+    )

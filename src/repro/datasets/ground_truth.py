@@ -1,0 +1,79 @@
+"""Ground-truth bookkeeping for generated datasets.
+
+The paper's relevance assessments came from five expert users grading the
+tree patterns of candidate LCAs (§4.1).  Our generators *know* which
+records they planted as answers for each Table 2 query, so the simulated
+assessor is deterministic: a planted record root carries a grade on the
+paper's 4-value scale (0 = irrelevant, 3 = perfect), every other node
+grades 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.tree import dewey
+from repro.tree.tree import DataTree
+
+
+@dataclass(frozen=True)
+class PlantedRecord:
+    """One planted answer (or graded partial answer) for one query."""
+
+    query_id: str
+    code: dewey.Code
+    grade: int  # 1..3; grade 0 entities are simply not recorded
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.grade <= 3:
+            raise ValueError(f"grade must be 1..3, got {self.grade}")
+
+
+@dataclass
+class GeneratedDataset:
+    """A generated tree plus its per-query ground truth."""
+
+    name: str
+    tree: DataTree
+    queries: dict[str, str] = field(default_factory=dict)   # id -> query text
+    planted: list[PlantedRecord] = field(default_factory=list)
+
+    def grades(self, query_id: str) -> dict[dewey.Code, int]:
+        """Result code → grade for one query (codes absent grade 0)."""
+        return {
+            record.code: record.grade
+            for record in self.planted
+            if record.query_id == query_id
+        }
+
+    def relevant_codes(self, query_id: str,
+                       min_grade: int = 1) -> set[dewey.Code]:
+        """The binary-relevant codes of one query."""
+        return {
+            record.code
+            for record in self.planted
+            if record.query_id == query_id and record.grade >= min_grade
+        }
+
+    def query_ids(self) -> list[str]:
+        return list(self.queries)
+
+
+class RecordingBuilder:
+    """A :class:`~repro.tree.builder.TreeBuilder` companion that remembers
+    which subtree roots were planted as answers for which queries.
+
+    Generators call :meth:`mark` on the node returned by the builder for
+    the record (article, protein entry, team, …) that constitutes the
+    planted answer.
+    """
+
+    def __init__(self) -> None:
+        self.planted: list[PlantedRecord] = []
+
+    def mark(self, node, query_id: str, grade: int = 3,
+             note: str = "") -> None:
+        self.planted.append(
+            PlantedRecord(query_id, node.code, grade, note))

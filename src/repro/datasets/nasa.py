@@ -1,0 +1,243 @@
+"""Synthetic NASA astronomical dataset.
+
+Mimics the shape of the paper's NASA dataset (Table 1: depth 7,
+``datasets/dataset/{title, altname, keywords/keyword, descriptions/
+description/para, history/date/{year,...}, reference/source/other/author,
+tables/table/tableHead/field}``) and plants answers and confounders for
+the five NASA queries of Table 2:
+
+====  ==========================================================
+QN1   ``((ccd photometric system) magnitudes)``
+QN2   ``((stars types) (spectral classification))``
+QN3   ``((Astronomical (Data Center)) (Wilson luminosity codes))``
+QN4   ``((year 1968) (Zwicky Abell clusters))``
+QN5   ``((title Orion Nebula) (author Parenago))``
+====  ==========================================================
+
+QN3 exercises nested cohesive terms, QN4 and QN5 exercise label keywords
+(``year``, ``title``, ``author``).  Like PSD, NASA is deep: QN1 and QN2
+carry a grade-1 deep variant whose LCA size exceeds the minimum layer,
+reproducing the paper's top-1-size recall loss on this dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.datasets import corpus
+from repro.datasets.ground_truth import GeneratedDataset, RecordingBuilder
+from repro.tree.builder import TreeBuilder
+
+QUERIES: dict[str, str] = {
+    "QN1": "((ccd photometric system) magnitudes)",
+    "QN2": "((stars types) (spectral classification))",
+    "QN3": "((Astronomical (Data Center)) (Wilson luminosity codes))",
+    "QN4": "((year 1968) (Zwicky Abell clusters))",
+    "QN5": "((title Orion Nebula) (author Parenago))",
+}
+
+_TRIGGERS = [
+    "ccd", "photometric", "system", "magnitudes", "stars", "types",
+    "spectral", "classification", "astronomical", "data", "center",
+    "wilson", "luminosity", "codes", "1968", "zwicky", "abell",
+    "clusters", "orion", "nebula", "parenago",
+]
+
+_BG_ASTRO = corpus.exclude(
+    corpus.ASTRO_WORDS + ["galaxies", "variables", "binaries", "quasars",
+                          "comets", "asteroids", "spectra", "parallaxes",
+                          "proper", "motions", "emission", "sources"],
+    _TRIGGERS)
+_BG_AUTHORS = ["struve", "baade", "hubble", "shapley", "payne", "kuiper",
+               "oort", "chandra", "hoyle", "burbidge"]
+
+
+@dataclass
+class _Dataset:
+    title: str
+    altname: Optional[str] = None
+    keywords: list[str] = field(default_factory=list)
+    paras: list[str] = field(default_factory=list)
+    year: Optional[str] = None
+    authors: list[str] = field(default_factory=list)
+    fields: list[str] = field(default_factory=list)
+    query_id: str = ""
+    grade: Optional[int] = None
+
+
+def _special_datasets() -> list[_Dataset]:
+    sets: list[_Dataset] = []
+
+    # -- QN1: ((ccd photometric system) magnitudes) ---------------------------
+    sets += [
+        _Dataset("the ccd photometric system",
+                 keywords=["ubv magnitudes"], query_id="QN1", grade=3),
+        # Deep variant: the term sits in a description paragraph.
+        _Dataset("standard fields catalog",
+                 paras=["calibrated with the ccd photometric system"],
+                 keywords=["faint magnitudes"], query_id="QN1", grade=1),
+        # Confounders.
+        _Dataset("ccd camera archive", keywords=["photometric magnitudes"],
+                 paras=["detector system report"], query_id="QN1"),
+        _Dataset("photographic photometric survey",
+                 keywords=["ccd frames", "magnitudes"],
+                 paras=["reduced with a new system"], query_id="QN1"),
+    ]
+
+    # -- QN2: ((stars types) (spectral classification)) -----------------------
+    sets += [
+        _Dataset("spectral classification atlas",
+                 keywords=["stars types"], query_id="QN2", grade=3),
+        _Dataset("bright catalog",
+                 paras=["revised spectral classification tables"],
+                 keywords=["stars types"], query_id="QN2", grade=1),
+        # Confounders.
+        _Dataset("faint stars survey", keywords=["peculiar types"],
+                 paras=["spectral atlas"], fields=["classification flag"],
+                 query_id="QN2"),
+        _Dataset("variable stars monitoring",
+                 keywords=["spectral indices"],
+                 paras=["morphological types and their classification"],
+                 query_id="QN2"),
+    ]
+
+    # -- QN3: ((Astronomical (Data Center)) (Wilson luminosity codes)) --------
+    sets += [
+        _Dataset("wilson luminosity codes",
+                 altname="astronomical data center",
+                 query_id="QN3", grade=3),
+        # Confounders: data/center and wilson/luminosity/codes scattered.
+        _Dataset("astronomical center holdings",
+                 paras=["data archive of the wilson observatory"],
+                 keywords=["luminosity classes"], fields=["codes"],
+                 query_id="QN3"),
+        _Dataset("luminosity functions", altname="data center mirror",
+                 paras=["astronomical notes"],
+                 keywords=["wilson codes"], query_id="QN3"),
+    ]
+
+    # -- QN4: ((year 1968) (Zwicky Abell clusters)) ---------------------------
+    sets += [
+        _Dataset("zwicky abell clusters", year="1968",
+                 query_id="QN4", grade=3),
+        _Dataset("rich clusters of zwicky and abell", year="1968",
+                 query_id="QN4", grade=2),
+        # Confounders: 1968 away from the year node.
+        _Dataset("abell clusters compilation", year="1972",
+                 paras=["based on the 1968 zwicky lists"], query_id="QN4"),
+        _Dataset("zwicky compact galaxies", year="1969",
+                 keywords=["abell radius", "clusters"],
+                 paras=["epoch 1968 positions"], query_id="QN4"),
+    ]
+
+    # -- QN5: ((title Orion Nebula) (author Parenago)) ------------------------
+    sets += [
+        _Dataset("the orion nebula", authors=["parenago"],
+                 query_id="QN5", grade=3),
+        _Dataset("orion nebula proper motions", authors=["parenago"],
+                 query_id="QN5", grade=2),
+        # Confounders: parenago outside the author node, orion/nebula
+        # outside the title.
+        _Dataset("trapezium region survey", authors=["sharpless"],
+                 paras=["follows the parenago catalog of the orion nebula"],
+                 query_id="QN5"),
+        _Dataset("nebula emission atlas", authors=["johnson"],
+                 keywords=["orion region"],
+                 paras=["parenago numbering"], query_id="QN5"),
+    ]
+    return sets
+
+
+def _background_dataset(rng: random.Random) -> _Dataset:
+    years = [str(year) for year in range(1950, 2000) if year != 1968]
+    return _Dataset(
+        title=corpus.phrase(rng, _BG_ASTRO, 2, 5),
+        altname=corpus.phrase(rng, _BG_ASTRO, 2, 3)
+        if rng.random() < 0.4 else None,
+        keywords=[corpus.phrase(rng, _BG_ASTRO, 1, 2)
+                  for _ in range(rng.randint(1, 3))],
+        paras=[corpus.phrase(rng, _BG_ASTRO, 5, 10)
+               for _ in range(rng.randint(0, 2))],
+        year=rng.choice(years),
+        authors=[rng.choice(_BG_AUTHORS)
+                 for _ in range(rng.randint(1, 2))],
+        fields=[corpus.phrase(rng, _BG_ASTRO, 1, 2)
+                for _ in range(rng.randint(0, 3))],
+    )
+
+
+def _emit_dataset(builder: TreeBuilder, recorder: RecordingBuilder,
+                  rng: random.Random, spec: _Dataset) -> None:
+    node = builder.start("dataset")
+    if spec.query_id and spec.grade is not None:
+        recorder.mark(node, spec.query_id, spec.grade)
+    builder.leaf("title", spec.title)
+    if spec.altname:
+        builder.leaf("altname", spec.altname)
+    if spec.keywords:
+        builder.start("keywords")
+        for keyword in spec.keywords:
+            builder.leaf("keyword", keyword)
+        builder.end()
+    if spec.paras:
+        builder.start("descriptions")
+        builder.start("description")
+        for para in spec.paras:
+            builder.leaf("para", para)
+        builder.end()
+        builder.end()
+    if spec.year:
+        builder.start("history")
+        builder.start("date")
+        builder.leaf("year", spec.year)
+        builder.end()
+        builder.end()
+    if spec.authors:
+        builder.start("reference")
+        builder.start("source")
+        builder.start("other")
+        for author in spec.authors:
+            builder.leaf("author", author)
+        builder.end()
+        builder.end()
+        builder.end()
+    if spec.fields:
+        builder.start("tables")
+        builder.start("table")
+        builder.start("tableHead")
+        builder.start("fields")
+        for name in spec.fields:
+            builder.start("field")
+            builder.leaf("name", name)
+            builder.end()
+        builder.end()
+        builder.end()
+        builder.end()
+        builder.end()
+    builder.end()
+
+
+def generate_nasa(scale: int = 250, seed: int = 13) -> GeneratedDataset:
+    """Generate the NASA-like dataset (``scale`` background datasets)."""
+    rng = random.Random(seed)
+    builder = TreeBuilder()
+    recorder = RecordingBuilder()
+    builder.start("datasets")
+    specials = _special_datasets()
+    total = scale + len(specials)
+    special_slots = set(rng.sample(range(total), len(specials)))
+    queue = list(specials)
+    for slot in range(total):
+        if slot in special_slots:
+            _emit_dataset(builder, recorder, rng, queue.pop(0))
+        else:
+            _emit_dataset(builder, recorder, rng, _background_dataset(rng))
+    builder.end()
+    return GeneratedDataset(
+        name="nasa",
+        tree=builder.finish(),
+        queries=dict(QUERIES),
+        planted=recorder.planted,
+    )

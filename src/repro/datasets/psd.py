@@ -1,0 +1,232 @@
+"""Synthetic Protein Sequence Database (PSD) — like dataset.
+
+Mimics the shape of the paper's PSD snapshot (Table 1: depth 6,
+``ProteinDatabase/ProteinEntry/{header, protein, organism, reference/
+refinfo/..., genetics, classification, summary, sequence}``) and plants
+answers and confounders for the five PSD queries of Table 2:
+
+====  ==========================================================
+QP1   ``((african snail) mRNA)``
+QP2   ``((alpha 1) (isoform 3))``
+QP3   ``((penton protein) (human adenovirus 5))``
+QP4   ``(((B cell) stimulating factor) (house mouse))``
+QP5   ``((spectrin gene) (alpha 1))``
+====  ==========================================================
+
+The paper reports that top-1-size CohesiveLCA loses some recall on PSD
+because the dataset is deep and complex: relevant results occur at more
+than one LCA size.  We reproduce that by planting, for QP1 and QP2, a
+*deep* relevant variant whose match sits further from the entry root than
+the minimum-size plants (grade 1), so it falls outside the top size
+layer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.datasets import corpus
+from repro.datasets.ground_truth import GeneratedDataset, RecordingBuilder
+from repro.tree.builder import TreeBuilder
+
+QUERIES: dict[str, str] = {
+    "QP1": "((african snail) mRNA)",
+    "QP2": "((alpha 1) (isoform 3))",
+    "QP3": "((penton protein) (human adenovirus 5))",
+    "QP4": "(((B cell) stimulating factor) (house mouse))",
+    "QP5": "((spectrin gene) (alpha 1))",
+}
+
+_TRIGGERS = [
+    "african", "snail", "mrna", "alpha", "isoform", "penton",
+    "adenovirus", "human", "house", "mouse", "spectrin", "cell",
+    "stimulating", "factor", "b",
+]
+
+_BG_PROTEIN = corpus.exclude(corpus.PROTEIN_WORDS, _TRIGGERS)
+_BG_ORGANISMS = [
+    "fruit fly", "baker yeast", "zebrafish", "thale cress", "rice plant",
+    "chicken", "rabbit", "pig", "sheep", "norway rat",
+]
+# Background numbers avoid the digits the queries use (1, 3, 5).
+_BG_NUMBERS = ["2", "4", "6", "7", "8", "9"]
+
+
+@dataclass
+class _Entry:
+    protein_name: str
+    organism: str
+    summary: Optional[str] = None
+    gene: Optional[str] = None
+    ref_title: Optional[str] = None
+    ref_authors: list[str] = field(default_factory=list)
+    classification: Optional[str] = None
+    query_id: str = ""
+    grade: Optional[int] = None
+
+
+def _special_entries() -> list[_Entry]:
+    entries: list[_Entry] = []
+
+    # -- QP1: ((african snail) mRNA) -----------------------------------------
+    entries += [
+        _Entry("neuropeptide precursor", "giant african snail",
+               summary="complete mrna sequence", query_id="QP1", grade=3),
+        # Deep variant: the term match hides inside a reference title, so
+        # the LCA size is larger than the minimum layer (recall loss for
+        # top-1-size, as the paper reports on PSD).
+        _Entry("conotoxin homolog", "garden slug",
+               ref_title="cloning from the african snail",
+               summary="partial mrna", query_id="QP1", grade=1),
+        # Confounders: african and snail split across unrelated nodes.
+        _Entry("venom peptide", "african clawed frog",
+               summary="snail toxin related mrna", query_id="QP1"),
+        _Entry("shell matrix protein", "pond snail",
+               ref_title="an african expedition report",
+               summary="mrna evidence", query_id="QP1"),
+    ]
+
+    # -- QP2: ((alpha 1) (isoform 3)) ----------------------------------------
+    entries += [
+        _Entry("collagen alpha 1", "norway rat",
+               summary="isoform 3 specific", query_id="QP2", grade=3),
+        _Entry("actinin alpha 1", "chicken",
+               gene="variant isoform 3", query_id="QP2", grade=2),
+        _Entry("tubulin chain", "rabbit",
+               ref_title="the alpha 1 subfamily",
+               summary="evidence for isoform 3", query_id="QP2", grade=1),
+        # Confounders: alpha ... 1 and isoform ... 3 cross-matched.
+        _Entry("integrin alpha chain", "pig",
+               summary="isoform 1 of group 3", query_id="QP2"),
+        _Entry("laminin subunit 1", "sheep",
+               gene="alpha family isoform", summary="exon 3",
+               query_id="QP2"),
+    ]
+
+    # -- QP3: ((penton protein) (human adenovirus 5)) -------------------------
+    entries += [
+        _Entry("penton protein", "human adenovirus 5",
+               query_id="QP3", grade=3),
+        # Confounders.
+        _Entry("hexon protein", "human adenovirus 5",
+               summary="binds the penton region", query_id="QP3"),
+        _Entry("penton base fragment", "human herpesvirus 5",
+               gene="adenovirus like protein", query_id="QP3"),
+    ]
+
+    # -- QP4: (((B cell) stimulating factor) (house mouse)) -------------------
+    entries += [
+        _Entry("b cell stimulating factor", "house mouse",
+               query_id="QP4", grade=3),
+        _Entry("b cell stimulating factor 2 precursor", "house mouse",
+               query_id="QP4", grade=2),
+        # Confounders: b, cell, stimulating, factor scattered.
+        _Entry("growth factor beta", "house mouse",
+               summary="b lymphocyte cell stimulating activity",
+               query_id="QP4"),
+        _Entry("colony stimulating factor", "field mouse",
+               gene="b type cell line", summary="house keeping control",
+               query_id="QP4"),
+    ]
+
+    # -- QP5: ((spectrin gene) (alpha 1)) --------------------------------------
+    entries += [
+        _Entry("membrane skeleton component", "norway rat",
+               gene="spectrin", summary="alpha 1 chain",
+               query_id="QP5", grade=3),
+        _Entry("cytoskeletal protein", "chicken",
+               gene="spectrin", ref_title="the alpha 1 locus",
+               query_id="QP5", grade=1),
+        # Confounders: spectrin away from the gene node.
+        _Entry("ankyrin binding protein", "rabbit",
+               summary="interacts with spectrin alpha chains",
+               gene="ank 1", query_id="QP5"),
+        _Entry("alpha catenin", "pig",
+               ref_title="spectrin superfamily review",
+               gene="ctn 1", query_id="QP5"),
+    ]
+    return entries
+
+
+def _background_entry(rng: random.Random) -> _Entry:
+    return _Entry(
+        protein_name=corpus.phrase(rng, _BG_PROTEIN, 2, 4),
+        organism=rng.choice(_BG_ORGANISMS),
+        summary=corpus.phrase(rng, _BG_PROTEIN, 3, 6)
+        if rng.random() < 0.5 else None,
+        gene=f"{corpus.phrase(rng, _BG_PROTEIN, 1, 1)} "
+             f"{rng.choice(_BG_NUMBERS)}"
+        if rng.random() < 0.6 else None,
+        ref_title=corpus.phrase(rng, _BG_PROTEIN, 3, 6)
+        if rng.random() < 0.4 else None,
+        classification=corpus.phrase(rng, _BG_PROTEIN, 1, 2)
+        if rng.random() < 0.5 else None,
+    )
+
+
+def _emit_entry(builder: TreeBuilder, recorder: RecordingBuilder,
+                rng: random.Random, entry: _Entry) -> None:
+    node = builder.start("ProteinEntry")
+    if entry.query_id and entry.grade is not None:
+        recorder.mark(node, entry.query_id, entry.grade)
+    builder.start("header")
+    builder.leaf("uid", f"PE{rng.randint(10000, 99999)}")
+    builder.leaf("accession", f"A{rng.randint(10000, 99999)}")
+    builder.end()
+    builder.start("protein")
+    builder.leaf("name", entry.protein_name)
+    builder.end()
+    builder.start("organism")
+    builder.leaf("source", entry.organism)
+    builder.end()
+    if entry.summary:
+        builder.leaf("summary", entry.summary)
+    if entry.gene:
+        builder.start("genetics")
+        builder.leaf("gene", entry.gene)
+        builder.end()
+    if entry.ref_title or entry.ref_authors:
+        builder.start("reference")
+        builder.start("refinfo")
+        if entry.ref_title:
+            builder.leaf("title", entry.ref_title)
+        builder.start("authors")
+        names = entry.ref_authors or [corpus.phrase(rng, _BG_PROTEIN, 1, 1)]
+        for name in names:
+            builder.leaf("author", name)
+        builder.end()
+        builder.end()
+        builder.end()
+    if entry.classification:
+        builder.start("classification")
+        builder.leaf("superfamily", entry.classification)
+        builder.end()
+    builder.leaf("sequence", "".join(
+        rng.choices("acdefghiklmnpqrstvwy", k=rng.randint(20, 60))))
+    builder.end()
+
+
+def generate_psd(scale: int = 250, seed: int = 11) -> GeneratedDataset:
+    """Generate the PSD-like dataset (``scale`` background entries)."""
+    rng = random.Random(seed)
+    builder = TreeBuilder()
+    recorder = RecordingBuilder()
+    builder.start("ProteinDatabase")
+    specials = _special_entries()
+    total = scale + len(specials)
+    special_slots = set(rng.sample(range(total), len(specials)))
+    queue = list(specials)
+    for slot in range(total):
+        if slot in special_slots:
+            _emit_entry(builder, recorder, rng, queue.pop(0))
+        else:
+            _emit_entry(builder, recorder, rng, _background_entry(rng))
+    builder.end()
+    return GeneratedDataset(
+        name="psd",
+        tree=builder.finish(),
+        queries=dict(QUERIES),
+        planted=recorder.planted,
+    )

@@ -1,0 +1,63 @@
+"""Generic random tree generation.
+
+Used by the property tests (random differential testing of the engine
+against the brute-force oracle) and by benchmarks that need trees with a
+controlled shape but no particular schema.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.tree.builder import TreeBuilder
+from repro.tree.tree import DataTree
+
+
+@dataclass(frozen=True)
+class RandomTreeConfig:
+    """Shape parameters for :func:`generate_random_tree`."""
+
+    max_nodes: int = 200
+    max_depth: int = 6
+    max_children: int = 5
+    labels: Sequence[str] = ("a", "b", "c", "d", "e")
+    vocabulary: Sequence[str] = ("alpha", "beta", "gamma", "delta",
+                                 "epsilon", "zeta")
+    max_tokens_per_value: int = 3
+    value_probability: float = 0.7
+
+
+def generate_random_tree(config: RandomTreeConfig = RandomTreeConfig(),
+                         seed: Optional[int] = None,
+                         rng: Optional[random.Random] = None) -> DataTree:
+    """Generate a random ordered labeled tree.
+
+    Deterministic for a given ``seed`` (or supplied ``rng``).
+    """
+    rng = rng or random.Random(seed)
+    builder = TreeBuilder()
+    budget = rng.randint(1, config.max_nodes)
+    produced = 0
+
+    def value() -> Optional[str]:
+        if rng.random() >= config.value_probability:
+            return None
+        count = rng.randint(1, config.max_tokens_per_value)
+        return " ".join(rng.choices(config.vocabulary, k=count))
+
+    def grow(depth: int) -> None:
+        nonlocal produced
+        produced += 1
+        builder.start(rng.choice(config.labels), value())
+        if depth < config.max_depth:
+            children = rng.randint(0, config.max_children)
+            for _ in range(children):
+                if produced >= budget:
+                    break
+                grow(depth + 1)
+        builder.end()
+
+    grow(0)
+    return builder.finish()

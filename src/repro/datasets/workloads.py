@@ -1,0 +1,142 @@
+"""Query workloads for the efficiency experiments (paper §4.3).
+
+The paper's efficiency study uses collections of 10-, 15- and 20-keyword
+queries built from 10 *cohesiveness patterns* per size — e.g.
+``(xx((xxxx)(xxxx)))`` — instantiated with keywords "selected among the
+most frequent ones" of each dataset, and scales each keyword's inverted
+list from 100 to 1000 instances.  This module provides those patterns,
+the pattern generator used by the max-term-cardinality sweep of Fig. 6,
+and the query instantiation helper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.core.parser import parse_pattern
+from repro.core.query import Query
+from repro.errors import EvaluationError
+from repro.index.inverted import InvertedIndex
+
+# Ten patterns per query size, with terms of different cardinalities
+# nested at various depths (the paper's design, §4.3).
+EFFICIENCY_PATTERNS: dict[int, list[str]] = {
+    6: [
+        "(xxxxxx)",
+        "(xx(xx)(xx))",
+        "((xxx)(xxx))",
+        "(x(x(xx)(xx)))",
+        "((xx)((xx)(xx)))",
+        "(xxx(xxx))",
+        "(x(xxxxx))",
+        "((xxxx)(xx))",
+        "(xx(x(xxx)))",
+        "(x(xx(xxx)))",
+    ],
+    10: [
+        "(xx((xxxx)(xxxx)))",
+        "((xxxxx)(xxxxx))",
+        "(x(xxx)(xxx)(xxx))",
+        "((xx)(xx)(xx)(xx)(xx))",
+        "(xxxx(xx(xx))(xx))",
+        "((xxx)((xxx)(xxx))x)",
+        "(xx(xx)(xx)(xx)xx)",
+        "((xxxx)(xxx)(xxx))",
+        "(x(x(x(x(xx)x)x)x)x)",
+        "((xx)((xx)((xx)(xxxx))))",
+    ],
+    15: [
+        "(xxx((xxxx)(xxxx))(xxxx))",
+        "((xxxxx)(xxxxx)(xxxxx))",
+        "(xx(xxx)(xxx)(xxx)(xxx)x)",
+        "((xxx)(xxx)(xxx)(xxx)(xxx))",
+        "(xxxxx(xxxx(xxx))(xxx))",
+        "((xxxx)((xxxx)(xxxx))xxx)",
+        "(xx(xx)(xx)(xx)(xx)(xx)xxx)",
+        "((xxxxxx)(xxxxx)(xxxx))",
+        "(x(x(x(x(x(xxxxx)x)x)x)x)x)",
+        "((xxx)((xxx)((xxx)(xxxxxx))))",
+    ],
+    20: [
+        "(xxxx((xxxxx)(xxxxx))(xxxxxx))",
+        "((xxxxx)(xxxxx)(xxxxx)(xxxxx))",
+        "(xx(xxx)(xxx)(xxx)(xxx)(xxx)xxx)",
+        "((xxxx)(xxxx)(xxxx)(xxxx)(xxxx))",
+        "(xxxxxx(xxxxx(xxxx))(xxxxx))",
+        "((xxxxx)((xxxxx)(xxxxx))xxxxx)",
+        "(xxx(xx)(xx)(xx)(xx)(xx)(xx)(xx)xxx)",
+        "((xxxxxxx)(xxxxxxx)(xxxxxx))",
+        "(x(x(x(x(x(x(xxxxxxxx)x)x)x)x)x)x)",
+        "((xxxx)((xxxx)((xxxx)(xxxxxxxx))))",
+    ],
+}
+
+
+def pattern_with_max_cardinality(keywords: int, cardinality: int) -> Query:
+    """A query pattern over ``keywords`` slots whose maximum term
+    cardinality is exactly ``cardinality``.
+
+    Used by the Fig. 6 sweep: the paper varies the maximum term
+    cardinality at fixed keyword count and shows the running time tracks
+    ``Bell(cardinality)``.  Construction: the root term has ``cardinality``
+    members, one of which recursively absorbs the remaining keywords.
+    """
+    if cardinality < 2:
+        raise EvaluationError("maximum term cardinality must be at least 2")
+    if keywords < cardinality:
+        raise EvaluationError(
+            f"{keywords} keywords cannot reach cardinality {cardinality}")
+
+    def build(remaining: int) -> str:
+        if remaining <= cardinality:
+            return "(" + "x" * remaining + ")"
+        inner = build(remaining - cardinality + 1)
+        return "(" + "x" * (cardinality - 1) + inner + ")"
+
+    return parse_pattern(build(keywords))
+
+
+def frequent_keywords(index: InvertedIndex, count: int,
+                      rng: Optional[random.Random] = None,
+                      pool_factor: int = 3) -> list[str]:
+    """Pick ``count`` keywords among the most frequent ones of the index.
+
+    The paper stresses the algorithms this way ("they were selected among
+    the most frequent ones", §4.3).  Keywords are drawn without
+    replacement from the top ``count * pool_factor`` by list length.
+    """
+    pool = index.most_frequent(count * pool_factor)
+    if len(pool) < count:
+        raise EvaluationError(
+            f"index has only {len(pool)} keywords, need {count}")
+    rng = rng or random.Random()
+    return rng.sample(pool, count)
+
+
+def instantiate(pattern: str, index: InvertedIndex,
+                rng: Optional[random.Random] = None) -> Query:
+    """Instantiate one pattern with random frequent keywords."""
+    shape = parse_pattern(pattern)
+    keywords = frequent_keywords(index, shape.keyword_count, rng)
+    return shape.with_keywords(keywords)
+
+
+def workload(size: int, index: InvertedIndex, queries_per_pattern: int = 10,
+             seed: int = 0,
+             patterns: Optional[Sequence[str]] = None) -> list[Query]:
+    """The paper's §4.3 workload: ``queries_per_pattern`` random frequent-
+    keyword instantiations of each pattern of the given query ``size``."""
+    if patterns is None:
+        try:
+            patterns = EFFICIENCY_PATTERNS[size]
+        except KeyError:
+            raise EvaluationError(
+                f"no predefined patterns for size {size}; "
+                f"pass patterns= explicitly") from None
+    rng = random.Random(seed)
+    queries: list[Query] = []
+    for pattern in patterns:
+        for _ in range(queries_per_pattern):
+            queries.append(instantiate(pattern, index, rng))
+    return queries

@@ -1,0 +1,154 @@
+"""Synthetic XMark-like auction dataset.
+
+Mimics the shape of the XMark benchmark document (Table 1: the deepest
+dataset, maximum depth 11) used by the paper's *efficiency* experiments:
+``site/{regions/<continent>/item/..., people/person/...,
+open_auctions/open_auction/annotation/description/parlist/listitem/
+parlist/listitem/text/..., closed_auctions, categories}``.
+
+XMark carries no Table 2 effectiveness queries; its role is to stress
+CohesiveLCA on deep data (Fig. 5: evaluation on XMark is slower than on
+NASA, which is slower than on DBLP, tracking maximum depth).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets import corpus
+from repro.datasets.ground_truth import GeneratedDataset
+from repro.tree.builder import TreeBuilder
+
+_CONTINENTS = ["africa", "asia", "australia", "europe", "namerica",
+               "samerica"]
+
+
+def _text_phrase(rng: random.Random) -> str:
+    return corpus.phrase(rng, corpus.AUCTION_WORDS, 3, 8)
+
+
+def _emit_deep_description(builder: TreeBuilder, rng: random.Random,
+                           fanout: int) -> None:
+    """The parlist/listitem/parlist/listitem/text chain that gives XMark
+    its depth."""
+    builder.start("description")
+    builder.start("parlist")
+    for _ in range(max(1, fanout)):
+        builder.start("listitem")
+        if rng.random() < 0.6:
+            builder.start("parlist")
+            builder.start("listitem")
+            builder.start("text")
+            builder.leaf("keyword", _text_phrase(rng))
+            builder.end()
+            builder.end()
+            builder.end()
+        else:
+            builder.leaf("text", _text_phrase(rng))
+        builder.end()
+    builder.end()
+    builder.end()
+
+
+def _emit_item(builder: TreeBuilder, rng: random.Random) -> None:
+    builder.start("item")
+    builder.leaf("name", corpus.phrase(rng, corpus.AUCTION_WORDS, 1, 3))
+    builder.leaf("location", rng.choice(corpus.CITIES))
+    builder.leaf("quantity", str(rng.randint(1, 5)))
+    _emit_deep_description(builder, rng, rng.randint(1, 2))
+    builder.start("payment")
+    builder.leaf("method", rng.choice(["cash", "check", "wire"]))
+    builder.end()
+    builder.end()
+
+
+def _emit_person(builder: TreeBuilder, rng: random.Random,
+                 person_id: int) -> None:
+    builder.start("person")
+    builder.leaf("id", f"person{person_id}")
+    builder.leaf("name", corpus.person_name(rng))
+    builder.leaf("emailaddress",
+                 f"mailto person{person_id} example com")
+    builder.start("address")
+    builder.leaf("street", f"{rng.randint(1, 99)} "
+                 f"{rng.choice(corpus.AUCTION_WORDS)} street")
+    builder.leaf("city", rng.choice(corpus.CITIES))
+    builder.leaf("country", rng.choice(corpus.COUNTRIES))
+    builder.end()
+    if rng.random() < 0.6:
+        builder.start("profile")
+        for _ in range(rng.randint(1, 3)):
+            builder.leaf("interest",
+                         rng.choice(corpus.AUCTION_WORDS))
+        builder.end()
+    builder.end()
+
+
+def _emit_open_auction(builder: TreeBuilder, rng: random.Random,
+                       auction_id: int, people: int) -> None:
+    builder.start("open_auction")
+    builder.leaf("id", f"auction{auction_id}")
+    builder.leaf("initial", f"{rng.randint(1, 300)}")
+    for _ in range(rng.randint(1, 3)):
+        builder.start("bidder")
+        builder.leaf("date", f"{rng.randint(1, 28)} {rng.randint(1, 12)}")
+        builder.leaf("personref", f"person{rng.randrange(max(people, 1))}")
+        builder.leaf("increase", f"{rng.randint(1, 50)}")
+        builder.end()
+    builder.start("annotation")
+    _emit_deep_description(builder, rng, rng.randint(1, 2))
+    builder.end()
+    builder.leaf("current", f"{rng.randint(10, 500)}")
+    builder.end()
+
+
+def generate_xmark(scale: int = 100, seed: int = 23) -> GeneratedDataset:
+    """Generate the XMark-like dataset.
+
+    ``scale`` sets the number of items; people and auctions scale along
+    (roughly XMark's ratios).  Maximum depth is 11 (via
+    ``open_auctions/open_auction/annotation/description/parlist/listitem/
+    parlist/listitem/text/keyword``).
+    """
+    rng = random.Random(seed)
+    builder = TreeBuilder()
+    builder.start("site")
+    builder.start("regions")
+    per_region = max(1, scale // len(_CONTINENTS))
+    for continent in _CONTINENTS:
+        builder.start(continent)
+        for _ in range(per_region):
+            _emit_item(builder, rng)
+        builder.end()
+    builder.end()
+    people = max(2, scale // 2)
+    builder.start("people")
+    for person_id in range(people):
+        _emit_person(builder, rng, person_id)
+    builder.end()
+    builder.start("open_auctions")
+    for auction_id in range(max(1, scale // 2)):
+        _emit_open_auction(builder, rng, auction_id, people)
+    builder.end()
+    builder.start("closed_auctions")
+    for auction_id in range(max(1, scale // 4)):
+        builder.start("closed_auction")
+        builder.leaf("price", f"{rng.randint(5, 500)}")
+        builder.leaf("date", f"{rng.randint(1, 28)} {rng.randint(1, 12)}")
+        _emit_deep_description(builder, rng, 1)
+        builder.end()
+    builder.end()
+    builder.start("categories")
+    for category_id in range(max(1, scale // 10)):
+        builder.start("category")
+        builder.leaf("id", f"category{category_id}")
+        builder.leaf("name", rng.choice(corpus.AUCTION_WORDS))
+        builder.end()
+    builder.end()
+    builder.end()
+    return GeneratedDataset(
+        name="xmark",
+        tree=builder.finish(),
+        queries={},
+        planted=[],
+    )

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subsystems define narrower classes
+for programmatic handling (e.g. distinguishing a malformed query from a
+malformed XML document).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` package."""
+
+
+class QuerySyntaxError(ReproError):
+    """A cohesive keyword query string does not conform to the grammar.
+
+    Carries the character ``position`` at which parsing failed, when known.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class XMLSyntaxError(ReproError):
+    """An XML document is not well formed.
+
+    Carries ``line`` and ``column`` (1-based) of the offending character,
+    when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class TreeError(ReproError):
+    """An operation on a data tree violated a structural invariant."""
+
+
+class IndexError_(ReproError):
+    """An inverted-index operation failed (unknown keyword, bad store)."""
+
+
+class StoreFormatError(IndexError_):
+    """An on-disk posting store is corrupt or has an unsupported version."""
+
+
+class EvaluationError(ReproError):
+    """An experiment/evaluation harness was misconfigured."""

@@ -1,0 +1,36 @@
+"""Evaluation harness: IR metrics, relevance judging, experiment drivers.
+
+* :mod:`repro.evaluation.metrics` — precision / recall / F-measure, MAP,
+  DCG/NDCG (the metrics of §4.2);
+* :mod:`repro.evaluation.relevance` — the simulated expert assessor over
+  generated datasets' ground truth;
+* :mod:`repro.evaluation.experiments` — one driver per table/figure of
+  the paper's evaluation section;
+* :mod:`repro.evaluation.reporting` — plain-text tables for the
+  benchmark harness output.
+"""
+
+from repro.evaluation.metrics import (average_precision, dcg, f_measure,
+                                      ndcg, precision, recall)
+from repro.evaluation.patterns import PatternAssessor, PatternRule
+from repro.evaluation.relevance import Assessor
+from repro.evaluation.experiments import (EffectivenessRow,
+                                          effectiveness_table,
+                                          ranking_quality_table,
+                                          result_count_table)
+
+__all__ = [
+    "precision",
+    "recall",
+    "f_measure",
+    "average_precision",
+    "dcg",
+    "ndcg",
+    "Assessor",
+    "PatternAssessor",
+    "PatternRule",
+    "EffectivenessRow",
+    "result_count_table",
+    "effectiveness_table",
+    "ranking_quality_table",
+]

@@ -1,0 +1,170 @@
+"""Programmatic runners for the paper's efficiency experiments (§4.3).
+
+The ``benchmarks/`` harness prints the figures; this module is the
+library-level API behind them, so downstream users can re-run any sweep
+on their own data:
+
+* :func:`instance_scalability_sweep` — Fig. 5: runtime vs total keyword
+  instances, per query size;
+* :func:`cardinality_sweep` — Fig. 6: runtime and largest-sublattice
+  size vs maximum term cardinality;
+* :func:`keyword_count_comparison` — Fig. 7: CohesiveLCA vs LCAsz as
+  the keyword count grows;
+* :func:`algorithm_comparison` — Fig. 8: CohesiveLCA vs LCAsz vs SAOne
+  as the input grows.
+
+All runners are deterministic for a given seed and return flat lists of
+:class:`SweepPoint` rows ready for tabulation or plotting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.baselines import lcasz, sa_one
+from repro.core.lattice import bell_number
+from repro.core.query import Query
+from repro.datasets.workloads import (EFFICIENCY_PATTERNS,
+                                      frequent_keywords, instantiate,
+                                      pattern_with_max_cardinality)
+from repro.evaluation.experiments import (time_cohesive, timed,
+                                          total_instances)
+from repro.index.inverted import InvertedIndex
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured point of an efficiency sweep."""
+
+    label: str            # dataset or algorithm name
+    keywords: int
+    parameter: int        # the swept quantity (limit, cardinality, ...)
+    instances: int        # average total keyword instances consumed
+    seconds: float        # average evaluation time
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1000.0
+
+
+def _averaged(queries: Sequence[Query], index: InvertedIndex,
+              limit: Optional[int]) -> tuple[int, float]:
+    instances = 0
+    seconds = 0.0
+    for query in queries:
+        instances += total_instances(query, index, limit)
+        seconds += time_cohesive(query, index, limit)
+    count = max(1, len(queries))
+    return instances // count, seconds / count
+
+
+def instance_scalability_sweep(
+        index: InvertedIndex, label: str, size: int,
+        limits: Sequence[int] = (100, 200, 300, 400),
+        queries_per_pattern: int = 1, seed: int = 0,
+        patterns: Optional[Sequence[str]] = None) -> list[SweepPoint]:
+    """Fig. 5 series for one dataset and one query size."""
+    if patterns is None:
+        patterns = EFFICIENCY_PATTERNS[size]
+    rng = random.Random(seed)
+    queries = [instantiate(pattern, index, rng)
+               for pattern in patterns
+               for _ in range(queries_per_pattern)]
+    points = []
+    for limit in limits:
+        instances, seconds = _averaged(queries, index, limit)
+        points.append(SweepPoint(label, size, limit, instances, seconds))
+    return points
+
+
+def cardinality_sweep(
+        index: InvertedIndex, size: int,
+        cardinalities: Sequence[int] = (3, 4, 5, 6, 7),
+        total_instance_target: int = 3000,
+        queries_per_point: int = 3, seed: int = 0) -> list[SweepPoint]:
+    """Fig. 6 series: vary the maximum term cardinality at a fixed
+    instance total; pair each point with ``bell_number(cardinality)``."""
+    points = []
+    limit = max(1, total_instance_target // size)
+    for cardinality in cardinalities:
+        shape = pattern_with_max_cardinality(size, cardinality)
+        rng = random.Random(seed * 1000 + size * 10 + cardinality)
+        queries = [
+            shape.with_keywords(frequent_keywords(index, size, rng))
+            for _ in range(queries_per_point)
+        ]
+        instances, seconds = _averaged(queries, index, limit)
+        points.append(SweepPoint("CohesiveLCA", size, cardinality,
+                                 instances, seconds))
+    return points
+
+
+def largest_sublattice_curve(
+        cardinalities: Sequence[int] = (3, 4, 5, 6, 7)) -> list[int]:
+    """The right-hand axis of Fig. 6: Bell numbers of the cardinality."""
+    return [bell_number(cardinality) for cardinality in cardinalities]
+
+
+def keyword_count_comparison(
+        index: InvertedIndex,
+        keyword_counts: Sequence[int] = (2, 3, 4, 5, 6, 7),
+        list_limit: int = 300, queries_per_point: int = 3,
+        seed: int = 0) -> list[SweepPoint]:
+    """Fig. 7 series: CohesiveLCA (cohesive patterns) vs LCAsz (flat)."""
+    points = []
+    for count in keyword_counts:
+        rng = random.Random(seed * 100 + count)
+        cohesive_seconds = 0.0
+        flat_seconds = 0.0
+        instances = 0
+        for _ in range(queries_per_point):
+            keywords = frequent_keywords(index, count, rng)
+            if count >= 3:
+                shape = pattern_with_max_cardinality(
+                    count, max(2, (count + 1) // 2))
+                query = shape.with_keywords(keywords)
+            else:
+                query = Query.flat(keywords)
+            instances += total_instances(query, index, list_limit)
+            cohesive_seconds += time_cohesive(query, index, list_limit)
+            _, seconds = timed(
+                lambda: lcasz(keywords, index, list_limit=list_limit))
+            flat_seconds += seconds
+        instances //= queries_per_point
+        points.append(SweepPoint("CohesiveLCA", count, count, instances,
+                                 cohesive_seconds / queries_per_point))
+        points.append(SweepPoint("LCAsz", count, count, instances,
+                                 flat_seconds / queries_per_point))
+    return points
+
+
+def algorithm_comparison(
+        index: InvertedIndex, keywords_count: int = 6,
+        limits: Sequence[int] = (50, 100, 200, 300),
+        queries_per_point: int = 3, seed: int = 0) -> list[SweepPoint]:
+    """Fig. 8 series: CohesiveLCA vs LCAsz vs SAOne over growing input."""
+    shape = pattern_with_max_cardinality(keywords_count, 3)
+    points = []
+    for limit in limits:
+        rng = random.Random(seed * 100 + limit)
+        sums = {"CohesiveLCA": 0.0, "LCAsz": 0.0, "SAOne": 0.0}
+        instances = 0
+        for _ in range(queries_per_point):
+            keywords = frequent_keywords(index, keywords_count, rng)
+            query = shape.with_keywords(keywords)
+            instances += total_instances(query, index, limit)
+            sums["CohesiveLCA"] += time_cohesive(query, index, limit)
+            _, seconds = timed(
+                lambda: lcasz(keywords, index, list_limit=limit))
+            sums["LCAsz"] += seconds
+            _, seconds = timed(
+                lambda: sa_one(keywords, index, list_limit=limit))
+            sums["SAOne"] += seconds
+        instances //= queries_per_point
+        for name, total in sums.items():
+            points.append(SweepPoint(name, keywords_count, limit,
+                                     instances,
+                                     total / queries_per_point))
+    return points

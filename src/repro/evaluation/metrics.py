@@ -1,0 +1,86 @@
+"""IR effectiveness metrics (paper §4.2).
+
+The paper compares semantics with precision, recall and F-measure
+(``F = 2PR / (P + R)``), and evaluates its ranking scheme with Mean
+Average Precision and Normalized Discounted Cumulative Gain, all standard
+definitions from Baeza-Yates & Ribeiro-Neto.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Mapping, Sequence, TypeVar
+
+Item = TypeVar("Item", bound=Hashable)
+
+
+def precision(returned: Sequence[Item], relevant: set) -> float:
+    """Fraction of returned results that are relevant (1.0 for empty)."""
+    if not returned:
+        return 1.0
+    hits = sum(1 for item in returned if item in relevant)
+    return hits / len(returned)
+
+
+def recall(returned: Sequence[Item], relevant: set) -> float:
+    """Fraction of relevant results that are returned (1.0 if none exist)."""
+    if not relevant:
+        return 1.0
+    hits = len(relevant.intersection(returned))
+    return hits / len(relevant)
+
+
+def f_measure(returned: Sequence[Item], relevant: set) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(returned, relevant)
+    r = recall(returned, relevant)
+    if p + r == 0:
+        return 0.0
+    return 2 * p * r / (p + r)
+
+
+def average_precision(ranking: Sequence[Item], relevant: set) -> float:
+    """Average of the precision values at each relevant hit.
+
+    Relevant results never retrieved contribute precision 0 ("If a
+    correct result is never retrieved, its contributing precision value
+    is 0", §4.2).  1.0 when there is nothing relevant to find.
+    """
+    if not relevant:
+        return 1.0
+    hits = 0
+    total = 0.0
+    for position, item in enumerate(ranking, start=1):
+        if item in relevant:
+            hits += 1
+            total += hits / position
+    return total / len(relevant)
+
+
+def dcg(grades: Sequence[float]) -> float:
+    """Discounted cumulative gain of a graded ranking.
+
+    ``DCG = Σ grade_i / log2(i + 1)`` with 1-based positions: "the sum of
+    the grades of the query results until this ranking position, divided
+    (discounted) by the logarithm of that position" (§4.2).
+    """
+    return sum(grade / math.log2(position + 1)
+               for position, grade in enumerate(grades, start=1))
+
+
+def ndcg(ranking: Sequence[Item], grades: Mapping[Item, float]) -> float:
+    """NDCG of a ranking against graded relevance.
+
+    The ideal ranking re-sorts *all* graded items (including any the
+    ranking missed) by descending grade, so missing a highly graded
+    result is penalized.  1.0 when no graded items exist.
+    """
+    gained = [grades.get(item, 0.0) for item in ranking]
+    ideal_pool = list(grades.values())
+    # Items returned beyond the graded pool occupy positions in the ideal
+    # ranking with gain 0; pad so both lists rank the same universe.
+    ideal = sorted(ideal_pool, reverse=True)
+    best = dcg(ideal)
+    if best == 0:
+        return 1.0
+    return dcg(gained) / best

@@ -1,0 +1,102 @@
+"""Pattern-based relevance assessment.
+
+The paper's experts did not grade individual LCAs — there are too many —
+but the *tree patterns* the LCAs' matches define: "we used the tree
+patterns that the query instances of these LCAs define in the XML tree
+... The relevance of an LCA is the maximum relevance of the patterns
+with which the query instances of the LCA comply" (§4.1).
+
+:class:`PatternAssessor` implements that methodology for user-supplied
+data (where no generator ground truth exists): a rule grades every LCA
+whose **label path** matches a pattern, optionally further constrained
+by labels that must appear among the witness instances' label paths.
+
+Pattern syntax: ``/``-separated labels matched against the END of the
+LCA's root-to-node label path; ``*`` matches one arbitrary label; a
+leading ``//`` (the default) anchors nowhere, a leading ``/`` anchors at
+the document root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.tree import dewey
+from repro.tree.tree import DataTree
+
+
+@dataclass(frozen=True)
+class PatternRule:
+    """Grade LCAs whose label path matches ``pattern``."""
+
+    pattern: str
+    grade: int
+    # Labels that must occur inside the LCA's subtree for the rule to
+    # apply (e.g. the record must actually have an 'author' child).
+    requires: tuple[str, ...] = ()
+
+    def matches(self, tree: DataTree, code: dewey.Code) -> bool:
+        node = tree.get(code)
+        if node is None:
+            return False
+        if not _path_matches(self.pattern, node.label_path()):
+            return False
+        if self.requires:
+            subtree_labels = {n.label for n in tree.iter_subtree(code)}
+            if not set(self.requires) <= subtree_labels:
+                return False
+        return True
+
+
+def _path_matches(pattern: str, label_path: str) -> bool:
+    anchored = pattern.startswith("/") and not pattern.startswith("//")
+    parts = [part for part in pattern.strip("/").split("/") if part]
+    path = label_path.split("/")
+    if anchored:
+        if len(parts) != len(path):
+            return False
+        candidates = [path]
+    else:
+        if len(parts) > len(path):
+            return False
+        candidates = [path[len(path) - len(parts):]]
+    for candidate in candidates:
+        if all(p == "*" or p == segment
+               for p, segment in zip(parts, candidate)):
+            return True
+    return False
+
+
+@dataclass
+class PatternAssessor:
+    """Grades result LCAs with label-path rules (max over matches)."""
+
+    tree: DataTree
+    rules: list[PatternRule] = field(default_factory=list)
+
+    def add_rule(self, pattern: str, grade: int,
+                 requires: Sequence[str] = ()) -> "PatternAssessor":
+        self.rules.append(PatternRule(pattern, grade, tuple(requires)))
+        return self
+
+    def grade(self, code: dewey.Code) -> int:
+        """The 0–3 grade: maximum over all matching rules."""
+        best = 0
+        for rule in self.rules:
+            if rule.grade > best and rule.matches(self.tree, code):
+                best = rule.grade
+        return best
+
+    def is_relevant(self, code: dewey.Code, min_grade: int = 1) -> bool:
+        return self.grade(code) >= min_grade
+
+    def relevant_among(self, codes: Sequence[dewey.Code],
+                       min_grade: int = 1) -> set[dewey.Code]:
+        """The relevant subset of a candidate result list."""
+        return {code for code in codes
+                if self.is_relevant(code, min_grade)}
+
+    def grades_for(self, codes: Sequence[dewey.Code]
+                   ) -> dict[dewey.Code, int]:
+        return {code: self.grade(code) for code in codes}

@@ -1,0 +1,38 @@
+"""The simulated expert assessor.
+
+The paper's relevance assessments came from five expert users who graded
+the tree patterns of candidate LCAs on a 4-value scale (§4.1).  For
+generated datasets the generator *is* the expert: it knows exactly which
+records realize each query's intent.  :class:`Assessor` packages that
+ground truth in the form the metrics need.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.datasets.ground_truth import GeneratedDataset
+from repro.tree import dewey
+
+
+class Assessor:
+    """Binary and graded relevance for one query over one dataset."""
+
+    def __init__(self, dataset: GeneratedDataset, query_id: str):
+        if query_id not in dataset.queries:
+            raise KeyError(f"{dataset.name} has no query {query_id}")
+        self.dataset = dataset
+        self.query_id = query_id
+        self.grades: dict[dewey.Code, int] = dataset.grades(query_id)
+        self.relevant: set[dewey.Code] = dataset.relevant_codes(query_id)
+
+    def grade(self, code: dewey.Code) -> int:
+        """The 0–3 grade of one result LCA."""
+        return self.grades.get(code, 0)
+
+    def is_relevant(self, code: dewey.Code) -> bool:
+        return code in self.relevant
+
+    def graded_ranking(self, ranking: Sequence[dewey.Code]) -> list[int]:
+        """The grade sequence of a ranking (for DCG)."""
+        return [self.grade(code) for code in ranking]

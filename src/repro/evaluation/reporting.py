@@ -1,0 +1,81 @@
+"""Plain-text tables for the benchmark harness.
+
+The benchmark files print the same rows/series the paper's tables and
+figures report; this module does the column alignment.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[column])
+                           for column, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(widths[column])
+                               for column, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ascii_chart(series: Mapping[str, Sequence[tuple[float, float]]],
+                width: int = 56, title: str = "",
+                value_format: str = "{:.1f}") -> str:
+    """Render one or more (x, y) series as horizontal ASCII bars.
+
+    Each series is a sequence of ``(x, y)`` points; bars are scaled to
+    the global maximum ``y``.  Good enough to eyeball the figures'
+    shapes (linearity, orderings, crossovers) straight from the
+    benchmark reports.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    peak = max((y for points in series.values() for _x, y in points),
+               default=0.0)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max((len(name) for name in series), default=0)
+    x_width = max(
+        (len(f"{x:g}") for points in series.values()
+         for x, _y in points), default=1)
+    for name, points in series.items():
+        for x, y in points:
+            bar = "#" * max(1, round(y / peak * width)) if y > 0 else ""
+            lines.append(
+                f"{name:>{label_width}}  {x:>{x_width}g}  "
+                f"{value_format.format(y):>8s} |{bar}")
+        lines.append("")
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Mapping[str, Mapping[str, float]],
+                   value_format: str = "{:.1f}",
+                   scale: float = 100.0, title: str = "") -> str:
+    """Render a nested mapping (row → column → value) as a table.
+
+    Values are scaled (percentages by default) and formatted.
+    """
+    if not mapping:
+        return title
+    columns = list(next(iter(mapping.values())))
+    rows = [
+        [row_key] + [value_format.format(values[column] * scale)
+                     for column in columns]
+        for row_key, values in mapping.items()
+    ]
+    return format_table([""] + columns, rows, title=title)

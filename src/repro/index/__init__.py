@@ -1,0 +1,37 @@
+"""Inverted-list indexing substrate.
+
+The paper evaluates CohesiveLCA over per-keyword inverted lists of Dewey
+codes ("The keyword inverted lists of the parsed datasets were stored in a
+MySQL database", §4.1).  This package replaces that storage layer with an
+embedded one:
+
+* :mod:`repro.index.tokenizer` — turns node labels/values into keywords;
+* :class:`repro.index.inverted.InvertedIndex` — keyword → sorted posting
+  list of ``(dewey, term_frequency)`` pairs, built from a
+  :class:`~repro.tree.tree.DataTree`;
+* :mod:`repro.index.store` — a compact varint-delta binary file format for
+  persisting and memory-mapping-free reloading of an index;
+* :class:`repro.index.catalog.Catalog` — label / label-path statistics.
+"""
+
+from repro.index.catalog import Catalog
+from repro.index.inverted import InvertedIndex, Posting
+from repro.index.store import load_index, save_index
+from repro.index.streaming import (StreamingIndexer, index_xml,
+                                   index_xml_path)
+from repro.index.tokenizer import (Tokenizer, default_tokenizer,
+                                   unicode_tokenizer)
+
+__all__ = [
+    "Tokenizer",
+    "default_tokenizer",
+    "unicode_tokenizer",
+    "StreamingIndexer",
+    "index_xml",
+    "index_xml_path",
+    "InvertedIndex",
+    "Posting",
+    "Catalog",
+    "save_index",
+    "load_index",
+]

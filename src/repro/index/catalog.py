@@ -1,0 +1,62 @@
+"""Label and label-path catalog of a data tree.
+
+The catalog records the structural vocabulary of a dataset: its distinct
+labels, its distinct root-to-node label paths, and per-label node counts.
+It backs the Table-1 statistics and the pattern-based relevance assessment
+(the paper judges LCAs through the label-path patterns their matches
+define, §4.1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator
+
+from repro.tree.tree import DataTree
+
+
+class Catalog:
+    """Structural summary of one data tree."""
+
+    def __init__(self, tree: DataTree):
+        self._label_counts: Counter = Counter()
+        self._path_counts: Counter = Counter()
+        path_stack: list[str] = []
+        self._collect(tree)
+
+    def _collect(self, tree: DataTree) -> None:
+        # Single preorder pass, maintaining the label path incrementally
+        # instead of recomputing it per node.
+        stack: list[tuple[object, str]] = [(tree.root, tree.root.label)]
+        while stack:
+            node, path = stack.pop()
+            self._label_counts[node.label] += 1
+            self._path_counts[path] += 1
+            for child in reversed(node.children):
+                stack.append((child, f"{path}/{child.label}"))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def labels(self) -> set[str]:
+        return set(self._label_counts)
+
+    @property
+    def label_paths(self) -> set[str]:
+        return set(self._path_counts)
+
+    def label_count(self, label: str) -> int:
+        """Number of nodes carrying ``label``."""
+        return self._label_counts.get(label, 0)
+
+    def path_count(self, path: str) -> int:
+        """Number of nodes reached by the exact label path ``path``."""
+        return self._path_counts.get(path, 0)
+
+    def iter_paths(self) -> Iterator[tuple[str, int]]:
+        """Yield ``(label_path, node_count)`` pairs, most frequent first."""
+        return iter(self._path_counts.most_common())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Catalog labels={len(self._label_counts)} "
+                f"paths={len(self._path_counts)}>")

@@ -1,0 +1,158 @@
+"""In-memory inverted index over a data tree.
+
+For every keyword the index stores a *posting list*: the Dewey codes of
+the nodes that are instances of the keyword, in document order, each with
+the keyword's term frequency inside that node (needed by the
+repeated-keyword rule of Def. 2(a)).
+
+The search algorithms consume posting lists exactly the way the paper's
+algorithms consume the MySQL-resident inverted lists: as sorted sequences
+merged in Dewey order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.errors import IndexError_
+from repro.index.tokenizer import Tokenizer, default_tokenizer
+from repro.tree import dewey
+from repro.tree.tree import DataTree
+
+
+@dataclass(frozen=True, order=True)
+class Posting:
+    """One entry of an inverted list: a node and a term frequency."""
+
+    code: dewey.Code
+    frequency: int = 1
+
+
+class InvertedIndex:
+    """Keyword → posting list, over one data tree.
+
+    Build with :meth:`from_tree`; query with :meth:`postings`.  The index
+    also keeps the tree's per-node keyword counts implicitly via posting
+    frequencies, which is all the search algorithms need.
+    """
+
+    def __init__(self, postings: Mapping[str, Sequence[Posting]],
+                 tokenizer: Optional[Tokenizer] = None):
+        self._postings: dict[str, tuple[Posting, ...]] = {}
+        for keyword, plist in postings.items():
+            ordered = tuple(sorted(plist, key=lambda p: p.code))
+            self._postings[keyword] = ordered
+        self._tokenizer = tokenizer or default_tokenizer()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_tree(cls, tree: DataTree,
+                  tokenizer: Optional[Tokenizer] = None) -> "InvertedIndex":
+        """Index every node of ``tree`` (labels and values, paper §2)."""
+        tokenizer = tokenizer or default_tokenizer()
+        lists: dict[str, list[Posting]] = {}
+        for node in tree:
+            counts = tokenizer.counts(node.full_text())
+            for keyword, frequency in counts.items():
+                lists.setdefault(keyword, []).append(
+                    Posting(node.code, frequency))
+        # Nodes are visited in document order, so lists are already sorted.
+        return cls(lists, tokenizer)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def tokenizer(self) -> Tokenizer:
+        return self._tokenizer
+
+    def keywords(self) -> Iterator[str]:
+        """All indexed keywords (no particular order)."""
+        return iter(self._postings)
+
+    def __len__(self) -> int:
+        """Number of distinct keywords."""
+        return len(self._postings)
+
+    def __contains__(self, keyword: str) -> bool:
+        return self._normalize(keyword) in self._postings
+
+    def postings(self, keyword: str, limit: Optional[int] = None
+                 ) -> tuple[Posting, ...]:
+        """The posting list of ``keyword`` in document order.
+
+        ``limit`` truncates the list to its first ``limit`` entries, the
+        device the paper's efficiency experiments use ("scaling the size
+        of each keyword inverted list from 100 to 1000 instances", §4.3).
+        An unknown keyword yields an empty list.
+        """
+        plist = self._postings.get(self._normalize(keyword), ())
+        if limit is not None:
+            return plist[:limit]
+        return plist
+
+    def frequency(self, keyword: str) -> int:
+        """Total number of instances (list length) of ``keyword``."""
+        return len(self.postings(keyword))
+
+    def node_count(self, keyword: str, code: dewey.Code) -> int:
+        """How many times ``keyword`` occurs inside the node ``code``."""
+        for posting in self.postings(keyword):
+            if posting.code == code:
+                return posting.frequency
+        return 0
+
+    def most_frequent(self, n: int) -> list[str]:
+        """The ``n`` keywords with the longest inverted lists.
+
+        The paper's efficiency workloads pick keywords "among the most
+        frequent ones" to stress the algorithms (§4.3).
+        """
+        ranked = sorted(self._postings.items(),
+                        key=lambda kv: (-len(kv[1]), kv[0]))
+        return [keyword for keyword, _ in ranked[:n]]
+
+    def require(self, keywords: Iterable[str]) -> None:
+        """Raise :class:`~repro.errors.IndexError_` for unindexed keywords."""
+        missing = [k for k in keywords
+                   if self._normalize(k) not in self._postings]
+        if missing:
+            raise IndexError_(f"keywords not in index: {missing}")
+
+    # -- composition ---------------------------------------------------------
+
+    def merged_with(self, other: "InvertedIndex") -> "InvertedIndex":
+        """A new index combining this one's postings with ``other``'s.
+
+        Intended for corpora indexed in parts (e.g. one streamed document
+        at a time, with disjoint Dewey spaces assigned per document).
+        Postings for the same node sum their frequencies.
+        """
+        lists: dict[str, dict[dewey.Code, int]] = {}
+        for source in (self, other):
+            for keyword, plist in source.raw_postings().items():
+                bucket = lists.setdefault(keyword, {})
+                for posting in plist:
+                    bucket[posting.code] = bucket.get(posting.code, 0) + \
+                        posting.frequency
+        return InvertedIndex(
+            {
+                keyword: [Posting(code, frequency)
+                          for code, frequency in bucket.items()]
+                for keyword, bucket in lists.items()
+            },
+            self._tokenizer,
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _normalize(self, keyword: str) -> str:
+        try:
+            return self._tokenizer.normalize(keyword)
+        except ValueError:
+            return keyword
+
+    def raw_postings(self) -> Mapping[str, tuple[Posting, ...]]:
+        """The underlying keyword → posting-list mapping (read-only use)."""
+        return self._postings

@@ -1,0 +1,37 @@
+"""Ordered labeled trees with Dewey encoding.
+
+This package is the data-model substrate of the reproduction: the paper
+models data as ordered labeled trees whose nodes carry an id, a label and
+optionally a value, identified by Dewey codes assigned in preorder
+(paper §2).
+
+Public API
+----------
+:mod:`repro.tree.dewey`
+    Dewey-code algebra (tuples of ints): parsing, formatting, ancestor
+    tests, LCA computation, document order.
+:class:`repro.tree.node.Node`
+    A single tree node (label, value, Dewey code, children).
+:class:`repro.tree.tree.DataTree`
+    A whole tree with node lookup, traversals and LCA operations.
+:class:`repro.tree.builder.TreeBuilder`
+    Incremental construction with automatic Dewey assignment.
+:class:`repro.tree.stats.TreeStatistics`
+    Table-1 style dataset statistics.
+"""
+
+from repro.tree import dewey
+from repro.tree.builder import TreeBuilder, build_tree
+from repro.tree.node import Node
+from repro.tree.stats import TreeStatistics, compute_statistics
+from repro.tree.tree import DataTree
+
+__all__ = [
+    "dewey",
+    "Node",
+    "DataTree",
+    "TreeBuilder",
+    "build_tree",
+    "TreeStatistics",
+    "compute_statistics",
+]

@@ -1,0 +1,125 @@
+"""Tree construction helpers.
+
+Two construction styles are supported:
+
+* :class:`TreeBuilder` — an incremental push/pop API used by the XML loader
+  and the dataset generators, assigning Dewey codes as the tree grows;
+* :func:`build_tree` — a declarative helper turning nested
+  ``(label, value, [children])`` tuples into a :class:`DataTree`, which
+  keeps test fixtures compact and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.errors import TreeError
+from repro.tree.node import Node
+from repro.tree.tree import DataTree
+
+# A declarative node spec: (label,), (label, value) or (label, value, children).
+Spec = Union[tuple, str]
+
+
+class TreeBuilder:
+    """Incrementally build a :class:`DataTree` in document order.
+
+    Usage::
+
+        builder = TreeBuilder()
+        builder.start("bib")
+        builder.start("article")
+        builder.leaf("title", "Keyword search in XML data")
+        builder.end()   # article
+        builder.end()   # bib
+        tree = builder.finish()
+    """
+
+    def __init__(self):
+        self._root: Optional[Node] = None
+        self._stack: list[Node] = []
+        self._finished = False
+
+    def start(self, label: str, value: Optional[str] = None) -> Node:
+        """Open a new node as the next child of the current node."""
+        if self._finished:
+            raise TreeError("builder already finished")
+        if not self._stack:
+            if self._root is not None:
+                raise TreeError("a tree has exactly one root")
+            node = Node(label, value)
+            self._root = node
+        else:
+            node = self._stack[-1].add_child(label, value)
+        self._stack.append(node)
+        return node
+
+    def leaf(self, label: str, value: Optional[str] = None) -> Node:
+        """Add a childless node under the current node."""
+        node = self.start(label, value)
+        self.end()
+        return node
+
+    def end(self) -> None:
+        """Close the most recently opened node."""
+        if not self._stack:
+            raise TreeError("end() without a matching start()")
+        self._stack.pop()
+
+    def set_value(self, value: str) -> None:
+        """Set (or extend) the value of the currently open node."""
+        if not self._stack:
+            raise TreeError("no open node to set a value on")
+        node = self._stack[-1]
+        if node.value is None:
+            node.value = value
+        else:
+            node.value = f"{node.value} {value}"
+
+    def finish(self) -> DataTree:
+        """Close the builder and return the completed tree."""
+        if self._stack:
+            raise TreeError(
+                f"{len(self._stack)} node(s) still open; call end() first")
+        if self._root is None:
+            raise TreeError("no nodes were added")
+        self._finished = True
+        return DataTree(self._root)
+
+
+def build_tree(spec: Spec) -> DataTree:
+    """Build a tree from nested tuples.
+
+    Each node is ``label``, ``(label,)``, ``(label, value)`` or
+    ``(label, value, [child_spec, ...])``; ``value`` may be ``None``.
+
+    >>> tree = build_tree(("bib", None, [("article", None, [
+    ...     ("title", "XML keyword search"),
+    ... ])]))
+    >>> len(tree)
+    3
+    """
+    builder = TreeBuilder()
+    _build(builder, spec)
+    return builder.finish()
+
+
+def _build(builder: TreeBuilder, spec: Spec) -> None:
+    label, value, children = _unpack(spec)
+    builder.start(label, value)
+    for child in children:
+        _build(builder, child)
+    builder.end()
+
+
+def _unpack(spec: Spec) -> tuple[str, Optional[str], Sequence[Spec]]:
+    if isinstance(spec, str):
+        return spec, None, ()
+    if not isinstance(spec, tuple) or not spec or not isinstance(spec[0], str):
+        raise TreeError(f"bad node spec: {spec!r}")
+    label = spec[0]
+    value = spec[1] if len(spec) > 1 else None
+    children = spec[2] if len(spec) > 2 else ()
+    if value is not None and not isinstance(value, str):
+        raise TreeError(f"node value must be a string or None: {value!r}")
+    return label, value, children

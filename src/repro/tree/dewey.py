@@ -1,0 +1,131 @@
+"""Dewey-code algebra.
+
+A Dewey code identifies a tree node by the path of child ranks from the
+root: the root is ``()``, its first child ``(0,)``, the second child of the
+first child ``(0, 1)`` and so on.  Codes are plain tuples of ints, which
+
+* compare in *document order* (preorder) using ordinary tuple comparison,
+  with ancestors ordering before their descendants, and
+* express ancestor/descendant relationships by prefix containment,
+
+exactly the two properties the paper relies on for its stack machinery
+(paper §2: "The Dewey encoding scheme naturally expresses
+ancestor-descendant and parent-child relationships ... and conveniently
+supports the processing of nodes in stacks").
+
+The canonical text form is dot-separated ranks prefixed by the root marker
+``"r"`` (so the root prints as ``"r"`` and ``(0, 2)`` as ``"r.0.2"``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+Code = tuple[int, ...]
+
+ROOT: Code = ()
+
+
+def parse(text: str) -> Code:
+    """Parse the canonical text form back into a code.
+
+    >>> parse("r")
+    ()
+    >>> parse("r.0.2")
+    (0, 2)
+    """
+    text = text.strip()
+    if text in ("r", ""):
+        return ROOT
+    if text.startswith("r."):
+        text = text[2:]
+    return tuple(int(step) for step in text.split("."))
+
+
+def format_code(code: Code) -> str:
+    """Render ``code`` in the canonical text form (inverse of :func:`parse`)."""
+    if not code:
+        return "r"
+    return "r." + ".".join(str(step) for step in code)
+
+
+def depth(code: Code) -> int:
+    """Number of edges from the root (the root has depth 0)."""
+    return len(code)
+
+
+def parent(code: Code) -> Code:
+    """The code of the parent node.
+
+    Raises :class:`ValueError` for the root, which has no parent.
+    """
+    if not code:
+        raise ValueError("the root has no parent")
+    return code[:-1]
+
+
+def child(code: Code, rank: int) -> Code:
+    """The code of the ``rank``-th child (0-based)."""
+    if rank < 0:
+        raise ValueError(f"child rank must be non-negative, got {rank}")
+    return code + (rank,)
+
+
+def ancestors(code: Code, include_self: bool = False) -> Iterable[Code]:
+    """Yield ancestor codes from the root down to the parent (or self)."""
+    stop = len(code) + 1 if include_self else len(code)
+    for i in range(stop):
+        yield code[:i]
+
+
+def is_ancestor(a: Code, b: Code) -> bool:
+    """True iff ``a`` is a *proper* ancestor of ``b``."""
+    return len(a) < len(b) and b[: len(a)] == a
+
+
+def is_ancestor_or_self(a: Code, b: Code) -> bool:
+    """True iff ``a`` is ``b`` or a proper ancestor of ``b``."""
+    return len(a) <= len(b) and b[: len(a)] == a
+
+
+def common_prefix_length(a: Code, b: Code) -> int:
+    """Length of the longest common prefix of two codes."""
+    n = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        n += 1
+    return n
+
+
+def lca(a: Code, b: Code) -> Code:
+    """The lowest common ancestor of two codes (their common prefix)."""
+    return a[: common_prefix_length(a, b)]
+
+
+def lca_many(codes: Sequence[Code]) -> Code:
+    """The lowest common ancestor of a non-empty collection of codes."""
+    if not codes:
+        raise ValueError("lca_many() requires at least one code")
+    it = iter(codes)
+    acc = next(it)
+    for code in it:
+        acc = lca(acc, code)
+        if not acc:
+            return ROOT
+    return acc
+
+
+def document_order_key(code: Code) -> Code:
+    """Sort key for document (preorder) order.
+
+    Tuples already compare in document order; this exists for call sites
+    that want to be explicit about the ordering they rely on.
+    """
+    return code
+
+
+def distance_via_lca(a: Code, b: Code) -> int:
+    """Number of edges on the unique tree path between two nodes."""
+    k = common_prefix_length(a, b)
+    return (len(a) - k) + (len(b) - k)

@@ -1,0 +1,112 @@
+"""Tree nodes.
+
+A :class:`Node` is one node of an ordered labeled data tree: it has a
+label (its tag), an optional textual value, the Dewey code that identifies
+it, and an ordered list of children.  Nodes are created through
+:class:`repro.tree.builder.TreeBuilder`, which assigns Dewey codes in
+preorder.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.tree import dewey
+
+
+class Node:
+    """One node of an ordered labeled tree.
+
+    Attributes
+    ----------
+    label:
+        The node's tag (element name for XML data).
+    value:
+        The node's textual content, or ``None`` for pure structure nodes.
+    code:
+        The node's Dewey code (a tuple of child ranks).
+    children:
+        Ordered list of child nodes.
+    parent:
+        The parent node, or ``None`` for the root.
+    """
+
+    __slots__ = ("label", "value", "code", "children", "parent")
+
+    def __init__(self, label: str, value: Optional[str] = None,
+                 code: dewey.Code = dewey.ROOT,
+                 parent: Optional["Node"] = None):
+        self.label = label
+        self.value = value
+        self.code = code
+        self.children: list[Node] = []
+        self.parent = parent
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Number of edges between this node and the root."""
+        return len(self.code)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def add_child(self, label: str, value: Optional[str] = None) -> "Node":
+        """Append a child, assigning it the next sibling rank."""
+        child = Node(label, value, dewey.child(self.code, len(self.children)),
+                     parent=self)
+        self.children.append(child)
+        return child
+
+    def iter_preorder(self) -> Iterator["Node"]:
+        """Yield this node and all its descendants in document order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_ancestors(self, include_self: bool = False) -> Iterator["Node"]:
+        """Yield ancestors from the parent (or self) up to the root."""
+        node = self if include_self else self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def label_path(self) -> str:
+        """Slash-separated label path from the root to this node."""
+        labels = [a.label for a in self.iter_ancestors(include_self=True)]
+        return "/".join(reversed(labels))
+
+    # -- text --------------------------------------------------------------
+
+    def full_text(self) -> str:
+        """The searchable text of the node: its label plus its value.
+
+        The paper lets a keyword match either the label or the value of a
+        node (§2: "A keyword k may appear in the label or in the value of
+        a node").
+        """
+        if self.value is None:
+            return self.label
+        return f"{self.label} {self.value}"
+
+    # -- dunder ------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        value = "" if self.value is None else f" value={self.value!r}"
+        return f"<Node {dewey.format_code(self.code)} {self.label!r}{value}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return self.code == other.code and self.label == other.label
+
+    def __hash__(self) -> int:
+        return hash((self.code, self.label))

@@ -1,0 +1,75 @@
+"""Dataset statistics in the style of the paper's Table 1.
+
+Table 1 reports, per dataset: serialized size, maximum depth, number of
+nodes, number of (distinct) keywords, number of distinct labels and number
+of distinct label paths.  :func:`compute_statistics` derives all of these
+from a :class:`~repro.tree.tree.DataTree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.tree.tree import DataTree
+
+
+@dataclass(frozen=True)
+class TreeStatistics:
+    """The Table-1 statistics of one dataset."""
+
+    name: str
+    node_count: int
+    max_depth: int
+    distinct_keywords: int
+    total_keyword_instances: int
+    distinct_labels: int
+    distinct_label_paths: int
+    text_bytes: int
+
+    def as_row(self) -> dict[str, object]:
+        """A flat dict suitable for tabular reporting."""
+        return {
+            "dataset": self.name,
+            "size (text bytes)": self.text_bytes,
+            "maximum depth": self.max_depth,
+            "# nodes": self.node_count,
+            "# keywords": self.distinct_keywords,
+            "# distinct labels": self.distinct_labels,
+            "# dist. label paths": self.distinct_label_paths,
+        }
+
+
+def compute_statistics(tree: DataTree, name: str = "dataset",
+                       tokenizer: Optional[object] = None) -> TreeStatistics:
+    """Compute Table-1 statistics for ``tree``.
+
+    ``tokenizer`` defaults to the library's standard tokenizer; pass a
+    custom :class:`~repro.index.tokenizer.Tokenizer` to match a custom
+    indexing configuration.
+    """
+    # Imported here so `repro.tree` stays importable without `repro.index`.
+    from repro.index.tokenizer import default_tokenizer
+
+    tok = tokenizer or default_tokenizer()
+    keywords: set[str] = set()
+    instances = 0
+    labels: set[str] = set()
+    text_bytes = 0
+    for node in tree:
+        labels.add(node.label)
+        text = node.full_text()
+        text_bytes += len(text.encode("utf-8"))
+        node_keywords = set(tok.tokens(text))
+        keywords.update(node_keywords)
+        instances += len(node_keywords)
+    return TreeStatistics(
+        name=name,
+        node_count=len(tree),
+        max_depth=tree.max_depth,
+        distinct_keywords=len(keywords),
+        total_keyword_instances=instances,
+        distinct_labels=len(labels),
+        distinct_label_paths=len(tree.label_paths()),
+        text_bytes=text_bytes,
+    )

@@ -1,0 +1,117 @@
+"""The :class:`DataTree` container.
+
+A :class:`DataTree` owns a root :class:`~repro.tree.node.Node` and provides
+node lookup by Dewey code, traversals, LCA operations and structural
+queries.  It is the object every other subsystem (indexing, search
+algorithms, dataset generators) works against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import TreeError
+from repro.tree import dewey
+from repro.tree.node import Node
+
+
+class DataTree:
+    """An ordered labeled tree with Dewey-coded nodes."""
+
+    def __init__(self, root: Node):
+        if root.code != dewey.ROOT:
+            raise TreeError(
+                f"the root node must carry the root Dewey code, got "
+                f"{dewey.format_code(root.code)}")
+        self.root = root
+        self._by_code: dict[dewey.Code, Node] = {}
+        self._max_depth = 0
+        for node in root.iter_preorder():
+            self._by_code[node.code] = node
+            if node.depth > self._max_depth:
+                self._max_depth = node.depth
+
+    # -- size and shape ----------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of nodes in the tree."""
+        return len(self._by_code)
+
+    @property
+    def max_depth(self) -> int:
+        """Largest node depth (the root has depth 0)."""
+        return self._max_depth
+
+    # -- lookup ------------------------------------------------------------
+
+    def node(self, code: dewey.Code) -> Node:
+        """The node with the given Dewey code.
+
+        Raises :class:`~repro.errors.TreeError` if no such node exists.
+        """
+        try:
+            return self._by_code[code]
+        except KeyError:
+            raise TreeError(
+                f"no node with Dewey code {dewey.format_code(code)}") from None
+
+    def get(self, code: dewey.Code) -> Optional[Node]:
+        """The node with the given code, or ``None``."""
+        return self._by_code.get(code)
+
+    def __contains__(self, code: dewey.Code) -> bool:
+        return code in self._by_code
+
+    # -- traversal ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Node]:
+        """Iterate over all nodes in document order."""
+        return self.root.iter_preorder()
+
+    def iter_subtree(self, code: dewey.Code) -> Iterator[Node]:
+        """Iterate over the subtree rooted at ``code`` in document order."""
+        return self.node(code).iter_preorder()
+
+    def find_by_label(self, label: str) -> Iterator[Node]:
+        """Yield every node carrying the given label, in document order."""
+        for node in self:
+            if node.label == label:
+                yield node
+
+    # -- LCA operations ----------------------------------------------------
+
+    def lca(self, codes: Sequence[dewey.Code]) -> Node:
+        """The node that is the lowest common ancestor of ``codes``."""
+        return self.node(dewey.lca_many(codes))
+
+    def mct_size(self, codes: Sequence[dewey.Code]) -> int:
+        """Number of edges of the minimum connecting tree of ``codes``.
+
+        The MCT of a set of nodes is the minimal subtree of the data tree
+        containing all of them (paper §2.1); its edge set is the union of
+        the paths from each node to the LCA, so its size is the number of
+        distinct proper descendants of the LCA lying on those paths.
+        """
+        if not codes:
+            return 0
+        root = dewey.lca_many(codes)
+        edges: set[dewey.Code] = set()
+        for code in codes:
+            walker = code
+            while len(walker) > len(root):
+                edges.add(walker)
+                walker = walker[:-1]
+        return len(edges)
+
+    # -- misc ---------------------------------------------------------------
+
+    def label_paths(self) -> set[str]:
+        """All distinct root-to-node label paths in the tree."""
+        paths: set[str] = set()
+        for node in self:
+            paths.add(node.label_path())
+        return paths
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<DataTree root={self.root.label!r} nodes={len(self)} "
+                f"max_depth={self.max_depth}>")

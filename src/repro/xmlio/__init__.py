@@ -1,0 +1,33 @@
+"""A from-scratch XML substrate.
+
+The paper's datasets are XML documents.  This package implements the XML
+machinery the reproduction needs without third-party dependencies:
+
+* :mod:`repro.xmlio.escape` — entity escaping/unescaping;
+* :mod:`repro.xmlio.tokens` — the event types emitted by the parser;
+* :class:`repro.xmlio.pull_parser.PullParser` — a streaming, well-
+  formedness-checking tokenizer/parser (tags, attributes, text, CDATA,
+  comments, processing instructions, DOCTYPE, character references);
+* :func:`repro.xmlio.loader.load_tree` — XML text → :class:`DataTree`
+  (attributes become child nodes; text becomes node values);
+* :func:`repro.xmlio.writer.dump_tree` — :class:`DataTree` → XML text,
+  the inverse of the loader.
+"""
+
+from repro.xmlio.loader import load_tree, load_tree_from_path
+from repro.xmlio.pull_parser import PullParser
+from repro.xmlio.tokens import (Characters, Comment, EndElement,
+                                ProcessingInstruction, StartElement)
+from repro.xmlio.writer import dump_tree
+
+__all__ = [
+    "PullParser",
+    "StartElement",
+    "EndElement",
+    "Characters",
+    "Comment",
+    "ProcessingInstruction",
+    "load_tree",
+    "load_tree_from_path",
+    "dump_tree",
+]

@@ -1,0 +1,72 @@
+"""XML entity escaping and character-reference decoding."""
+
+from __future__ import annotations
+
+from repro.errors import XMLSyntaxError
+
+# The five predefined XML entities.
+NAMED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {**_TEXT_ESCAPES, '"': "&quot;"}
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for use between tags."""
+    return "".join(_TEXT_ESCAPES.get(ch, ch) for ch in text)
+
+
+def escape_attribute(text: str) -> str:
+    """Escape character data for use inside a double-quoted attribute."""
+    return "".join(_ATTR_ESCAPES.get(ch, ch) for ch in text)
+
+
+def decode_entity(body: str, line: int | None = None,
+                  column: int | None = None) -> str:
+    """Decode the body of one entity reference (the text between & and ;).
+
+    Supports the five predefined entities plus decimal (``#65``) and
+    hexadecimal (``#x41``) character references.
+    """
+    if body in NAMED_ENTITIES:
+        return NAMED_ENTITIES[body]
+    if body.startswith("#x") or body.startswith("#X"):
+        digits = body[2:]
+        base = 16
+    elif body.startswith("#"):
+        digits = body[1:]
+        base = 10
+    else:
+        raise XMLSyntaxError(f"unknown entity &{body};", line, column)
+    try:
+        point = int(digits, base)
+        return chr(point)
+    except (ValueError, OverflowError):
+        raise XMLSyntaxError(
+            f"bad character reference &{body};", line, column) from None
+
+
+def unescape(text: str) -> str:
+    """Decode all entity and character references in ``text``."""
+    if "&" not in text:
+        return text
+    parts: list[str] = []
+    i = 0
+    while True:
+        amp = text.find("&", i)
+        if amp < 0:
+            parts.append(text[i:])
+            break
+        parts.append(text[i:amp])
+        semi = text.find(";", amp + 1)
+        if semi < 0:
+            raise XMLSyntaxError("unterminated entity reference")
+        parts.append(decode_entity(text[amp + 1:semi]))
+        i = semi + 1
+    return "".join(parts)

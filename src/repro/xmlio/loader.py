@@ -1,0 +1,47 @@
+"""XML → :class:`~repro.tree.tree.DataTree` conversion.
+
+Mapping rules (the conventions used by the paper's datasets and by most
+LCA keyword-search work):
+
+* an element becomes a node labeled with its tag;
+* each attribute becomes a leaf child labeled with the attribute name and
+  valued with the attribute value (attributes are searchable data in
+  datasets such as XMark and Baseball);
+* character data becomes the element node's value; multiple text chunks
+  (mixed content, CDATA) are joined with single spaces.
+
+Comments and processing instructions are ignored: they are not data.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.tree.builder import TreeBuilder
+from repro.tree.tree import DataTree
+from repro.xmlio.pull_parser import PullParser
+from repro.xmlio.tokens import Characters, EndElement, StartElement
+
+
+def load_tree(text: str) -> DataTree:
+    """Parse an XML document string into a :class:`DataTree`."""
+    builder = TreeBuilder()
+    for event in PullParser(text):
+        if isinstance(event, StartElement):
+            builder.start(event.name)
+            for attribute, value in event.attributes:
+                builder.leaf(attribute, value)
+        elif isinstance(event, EndElement):
+            builder.end()
+        elif isinstance(event, Characters):
+            chunk = event.text.strip()
+            if chunk:
+                builder.set_value(" ".join(chunk.split()))
+    return builder.finish()
+
+
+def load_tree_from_path(path: Union[str, Path],
+                        encoding: str = "utf-8") -> DataTree:
+    """Load an XML file from disk into a :class:`DataTree`."""
+    return load_tree(Path(path).read_text(encoding=encoding))

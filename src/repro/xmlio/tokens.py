@@ -1,0 +1,56 @@
+"""Event types produced by the XML pull parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class of all parser events; carries the source position."""
+
+    line: int = field(default=0, kw_only=True)
+    column: int = field(default=0, kw_only=True)
+
+
+@dataclass(frozen=True)
+class StartElement(Event):
+    """An opening (or the opening half of a self-closing) tag."""
+
+    name: str
+    attributes: tuple[tuple[str, str], ...] = ()
+
+    def get(self, attribute: str, default: str | None = None) -> str | None:
+        for key, value in self.attributes:
+            if key == attribute:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class EndElement(Event):
+    """A closing tag (synthesized for self-closing tags)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Characters(Event):
+    """Character data (text or CDATA content), entities decoded."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class Comment(Event):
+    """An XML comment; ``text`` excludes the delimiters."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class ProcessingInstruction(Event):
+    """A processing instruction ``<?target data?>`` (incl. the XML decl)."""
+
+    target: str
+    data: str

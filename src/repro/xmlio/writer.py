@@ -1,0 +1,61 @@
+""":class:`~repro.tree.tree.DataTree` → XML serialization.
+
+The inverse of :mod:`repro.xmlio.loader` for trees whose labels are valid
+XML names: node labels become tags and node values become text content.
+(Attribute children loaded by the loader are serialized back as child
+elements — the tree-level round trip ``load(dump(tree)) == tree`` is exact
+and is property-tested; the XML-level round trip is not guaranteed to
+preserve the attribute/element distinction.)
+
+Serialization is iterative, so arbitrarily deep trees (beyond Python's
+recursion limit) serialize fine — matching the parser, the builder and
+the search engine, which are all iterative too.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+from repro.tree.node import Node
+from repro.tree.tree import DataTree
+from repro.xmlio.escape import escape_text
+
+
+def dump_tree(tree: DataTree, indent: int = 2,
+              declaration: bool = True) -> str:
+    """Serialize ``tree`` to pretty-printed XML text."""
+    out = io.StringIO()
+    if declaration:
+        out.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+    # Explicit stack of (node, depth, is_closing) frames instead of
+    # recursion: closing frames emit the end tag after the children.
+    stack: list[tuple[Node, int, bool]] = [(tree.root, 0, False)]
+    while stack:
+        node, depth, closing = stack.pop()
+        pad = " " * (indent * depth)
+        tag = node.label
+        if closing:
+            out.write(f"{pad}</{tag}>\n")
+            continue
+        if node.value is None and not node.children:
+            out.write(f"{pad}<{tag}/>\n")
+            continue
+        if not node.children:
+            out.write(f"{pad}<{tag}>{escape_text(node.value)}</{tag}>\n")
+            continue
+        out.write(f"{pad}<{tag}>")
+        if node.value is not None:
+            out.write(escape_text(node.value))
+        out.write("\n")
+        stack.append((node, depth, True))
+        for child in reversed(node.children):
+            stack.append((child, depth + 1, False))
+    return out.getvalue()
+
+
+def dump_tree_to_path(tree: DataTree, path: Union[str, Path],
+                      indent: int = 2) -> None:
+    """Serialize ``tree`` to a file."""
+    Path(path).write_text(dump_tree(tree, indent=indent), encoding="utf-8")

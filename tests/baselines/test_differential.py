@@ -1,0 +1,85 @@
+"""Property-based differential tests between independent implementations.
+
+* ``slca`` (definition-first) vs ``slca_indexed_lookup`` (pointer
+  algorithm);
+* ``sa_one`` (grouped-distribution stack algorithm) vs ``lcasz``
+  (lattice engine) — both compute all LCAs with minimum sizes;
+* structural invariants: SLCA ⊆ ELCA ⊆ all LCAs (the paper notes the
+  SLCA/ELCA containment in §4.2).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (all_lcas, elca, elca_hash_count, elca_stack,
+                             lcasz, sa_one, slca, slca_indexed_lookup,
+                             slca_scan_eager)
+from repro.index.inverted import InvertedIndex
+from repro.tree import dewey
+
+from tests.core.test_engine_oracle import trees
+
+keyword_sets = st.lists(st.sampled_from(["a", "b", "c", "d"]),
+                        min_size=1, max_size=3, unique=True)
+
+
+@given(trees(), keyword_sets)
+@settings(max_examples=120)
+def test_slca_implementations_agree(tree, keywords):
+    """Three independent SLCA algorithms: definition-first, Indexed
+    Lookup Eager, and Scan Eager."""
+    index = InvertedIndex.from_tree(tree)
+    reference = slca(keywords, index)
+    assert reference == slca_indexed_lookup(keywords, index)
+    assert reference == slca_scan_eager(keywords, index)
+
+
+@given(trees(), keyword_sets)
+@settings(max_examples=120)
+def test_sa_one_matches_lcasz(tree, keywords):
+    index = InvertedIndex.from_tree(tree)
+    ours = [(r.code, r.size) for r in lcasz(keywords, index)]
+    sa = [(r.code, r.size) for r in sa_one(keywords, index)]
+    assert ours == sa
+
+
+@given(trees(), keyword_sets)
+@settings(max_examples=120)
+def test_elca_implementations_agree(tree, keywords):
+    """Three independent ELCA algorithms: definition-first, the
+    streaming stack, and hash counting."""
+    index = InvertedIndex.from_tree(tree)
+    reference = elca(keywords, index)
+    assert reference == elca_stack(keywords, index)
+    assert reference == elca_hash_count(keywords, index)
+
+
+@given(trees(), keyword_sets)
+@settings(max_examples=100)
+def test_containment_chain(tree, keywords):
+    index = InvertedIndex.from_tree(tree)
+    lcas = {r.code for r in all_lcas(keywords, index)}
+    slcas = set(slca(keywords, index))
+    elcas = set(elca(keywords, index))
+    assert slcas <= elcas <= lcas
+
+
+@given(trees(), keyword_sets)
+@settings(max_examples=100)
+def test_slca_is_antichain(tree, keywords):
+    index = InvertedIndex.from_tree(tree)
+    slcas = slca(keywords, index)
+    for a in slcas:
+        for b in slcas:
+            assert a == b or not dewey.is_ancestor(a, b)
+
+
+@given(trees(), keyword_sets)
+@settings(max_examples=100)
+def test_every_lca_has_slca_descendant_or_self(tree, keywords):
+    index = InvertedIndex.from_tree(tree)
+    lcas = {r.code for r in all_lcas(keywords, index)}
+    slcas = set(slca(keywords, index))
+    for code in lcas:
+        assert any(dewey.is_ancestor_or_self(code, smallest)
+                   for smallest in slcas)

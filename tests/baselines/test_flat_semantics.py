@@ -1,0 +1,172 @@
+"""Unit tests for the flat-query baselines on hand-checked trees."""
+
+import pytest
+
+from repro.baselines import (all_lcas, elca, lcasz, mlca, sa_one, slca,
+                             slca_indexed_lookup, vlca)
+from repro.baselines.common import KeywordMatches, remove_ancestors
+from repro.index.inverted import InvertedIndex
+from repro.tree.builder import build_tree
+
+
+@pytest.fixture
+def tree():
+    # Two matches at article level, one nested deeper, shared keywords at
+    # the root level.
+    return build_tree(("bib", None, [
+        ("article", None, [                 # (0,)
+            ("title", "xml search"),
+            ("author", "cooper"),
+        ]),
+        ("article", None, [                 # (1,)
+            ("title", "xml"),
+            ("part", None, [                # (1,1)
+                ("a", "search"),
+                ("b", "cooper xml"),
+            ]),
+        ]),
+    ]))
+
+
+@pytest.fixture
+def index(tree):
+    return InvertedIndex.from_tree(tree)
+
+
+KEYWORDS = ["xml", "search", "cooper"]
+
+
+class TestAllLCAs:
+    def test_every_lca_found_with_sizes(self, index):
+        results = {r.code: r.size for r in all_lcas(KEYWORDS, index)}
+        # (1,1) covers all three keywords: a="search", b="cooper xml".
+        assert results[(1, 1)] == 2
+        assert results[(0,)] == 2
+        # xml@(1,0) + search@(1,1,0) + cooper@(1,1,1): the
+        # (1,)->(1,1) edge is shared, 4 distinct edges.
+        assert results[(1,)] == 4
+        # Root: the LCA must span both articles; cheapest is article 0's
+        # pair plus xml@(1,0): 3 + 2 = 5 edges.
+        assert results[()] == 5
+
+    def test_lcasz_is_all_lcas_ranked(self, index):
+        results = lcasz(KEYWORDS, index)
+        assert [r.size for r in results] == \
+            sorted(r.size for r in results)
+        assert {r.code for r in results} == \
+            {r.code for r in all_lcas(KEYWORDS, index)}
+
+
+class TestSLCA:
+    def test_slca_keeps_deepest_only(self, index):
+        assert slca(KEYWORDS, index) == [(0,), (1, 1)]
+
+    def test_indexed_lookup_matches_definition(self, index):
+        assert slca_indexed_lookup(KEYWORDS, index) == \
+            slca(KEYWORDS, index)
+
+    def test_single_keyword(self, index):
+        assert slca(["cooper"], index) == \
+            slca_indexed_lookup(["cooper"], index) == [(0, 1), (1, 1, 1)]
+
+    def test_missing_keyword(self, index):
+        assert slca(["xml", "zzz"], index) == []
+        assert slca_indexed_lookup(["xml", "zzz"], index) == []
+
+
+class TestELCA:
+    def test_elca_contains_slca(self, index):
+        assert set(slca(KEYWORDS, index)) <= set(elca(KEYWORDS, index))
+
+    def test_elca_excludes_root_here(self, index):
+        # Witnesses for the root would all fall inside descendant LCAs:
+        # xml has instances outside them? (1,0) "xml" is outside (1,1) and
+        # (0,), but search and cooper survive only inside them.
+        assert () not in elca(KEYWORDS, index)
+
+    def test_article1_is_elca(self, index):
+        # (1,) retains its own witness for xml at (1,0) but search/cooper
+        # only inside the descendant LCA (1,1) -> not exclusive.
+        results = elca(KEYWORDS, index)
+        assert (1,) not in results
+        assert (0,) in results and (1, 1) in results
+
+    def test_elca_with_witness_at_candidate(self):
+        tree = build_tree(("r", "xml", [
+            ("a", None, [("t", "xml search")]),
+            ("b", "search"),
+        ]))
+        index = InvertedIndex.from_tree(tree)
+        results = elca(["xml", "search"], index)
+        # (0,0) is an LCA; the root keeps its own xml instance and the
+        # (1,) search instance -> exclusive.
+        assert results == [(), (0, 0)]
+
+
+class TestVLCAMLCA:
+    def test_vlca_rejects_duplicate_internal_labels(self):
+        # MCT for the root spans two 'article' internal nodes.
+        tree = build_tree(("bib", None, [
+            ("article", None, [("title", "xml")]),
+            ("article", None, [("title", "search")]),
+        ]))
+        index = InvertedIndex.from_tree(tree)
+        assert vlca(["xml", "search"], index, tree) == []
+
+    def test_vlca_accepts_leaf_label_duplicates(self):
+        tree = build_tree(("article", None, [
+            ("author", "cooper"),
+            ("author", "davis"),
+        ]))
+        index = InvertedIndex.from_tree(tree)
+        assert vlca(["cooper", "davis"], index, tree) == [()]
+
+    def test_mlca_rejects_less_related_pairs(self):
+        # davis has a closer cooper (same article) than the cross-article
+        # pairing, so the root is not meaningful.
+        tree = build_tree(("bib", None, [
+            ("article", None, [("author", "cooper"), ("author", "davis")]),
+            ("article", None, [("author", "cooper")]),
+        ]))
+        index = InvertedIndex.from_tree(tree)
+        results = mlca(["cooper", "davis"], index, tree)
+        assert (0,) in results
+        assert () not in results
+
+    def test_mlca_accepts_unique_pairings(self, tree, index):
+        results = mlca(KEYWORDS, index, tree)
+        assert (0,) in results
+
+
+class TestSAOne:
+    def test_matches_lcasz(self, index):
+        ours = [(r.code, r.size) for r in lcasz(KEYWORDS, index)]
+        sa = [(r.code, r.size) for r in sa_one(KEYWORDS, index)]
+        assert ours == sa
+
+    def test_group_size_threshold_prunes(self, index):
+        pruned = sa_one(KEYWORDS, index, max_group_size=2)
+        assert {r.code for r in pruned} == {(0,), (1, 1)}
+
+    def test_missing_keyword(self, index):
+        assert sa_one(["xml", "zzz"], index) == []
+
+
+class TestHelpers:
+    def test_remove_ancestors(self):
+        codes = {(0,), (0, 1), (1,), (0, 1, 2)}
+        assert remove_ancestors(codes) == {(0, 1, 2), (1,)}
+
+    def test_keyword_matches_dedupe(self, index):
+        matches = KeywordMatches(["xml", "XML", "search"], index)
+        assert matches.keywords == ["xml", "search"]
+
+    def test_instances_under(self, index):
+        matches = KeywordMatches(["xml"], index)
+        assert matches.instances_under(0, (1,)) == [(1, 0), (1, 1, 1)]
+        assert matches.count_under(0, (0,)) == 1
+
+    def test_closest_lca(self, index):
+        matches = KeywordMatches(["cooper"], index)
+        # cooper instances: (0,1) and (1,1,1); anchor inside article 1.
+        assert matches.closest_lca(0, (1, 1, 0)) == (1, 1)

@@ -1,0 +1,107 @@
+"""Tests for the full SA algorithm (GDMCT computation)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import lcasz
+from repro.baselines.gdmct import GDMCT, lcas_from_gdmcts, sa_gdmcts
+from repro.index.inverted import InvertedIndex
+from repro.tree import dewey
+from repro.tree.builder import build_tree
+
+from tests.baselines.test_differential import keyword_sets
+from tests.core.test_engine_oracle import trees
+
+
+@pytest.fixture
+def tree():
+    return build_tree(("bib", None, [
+        ("article", None, [
+            ("title", "xml search"),
+            ("author", "cooper"),
+        ]),
+        ("article", None, [
+            ("title", "xml"),
+            ("note", "cooper search"),
+        ]),
+    ]))
+
+
+@pytest.fixture
+def index(tree):
+    return InvertedIndex.from_tree(tree)
+
+
+class TestGroups:
+    def test_groups_carry_witness_distances(self, index):
+        groups = sa_gdmcts(["xml", "cooper"], index)
+        best = groups[0]
+        assert best.size == 2
+        assert best.distance_of("xml") == 1
+        assert best.distance_of("cooper") == 1
+        with pytest.raises(KeyError):
+            best.distance_of("nothere")
+
+    def test_min_sizes_match_lcasz(self, index):
+        keywords = ["xml", "search", "cooper"]
+        assert lcas_from_gdmcts(sa_gdmcts(keywords, index)) == \
+            {r.code: r.size for r in lcasz(keywords, index)}
+
+    def test_size_threshold_prunes(self, index):
+        keywords = ["xml", "search", "cooper"]
+        bounded = sa_gdmcts(["xml", "search", "cooper"], index,
+                            max_size=2)
+        assert all(group.size <= 2 for group in bounded)
+        unbounded = sa_gdmcts(keywords, index)
+        assert len(bounded) < len(unbounded)
+
+    def test_single_keyword(self, index):
+        groups = sa_gdmcts(["cooper"], index)
+        assert all(group.size == 0 for group in groups)
+        assert {group.lca for group in groups} == \
+            {(0, 1), (1, 1)}
+
+    def test_missing_keyword(self, index):
+        assert sa_gdmcts(["xml", "zzz"], index) == []
+
+    def test_sorted_by_size(self, index):
+        groups = sa_gdmcts(["xml", "cooper"], index)
+        sizes = [group.size for group in groups]
+        assert sizes == sorted(sizes)
+
+
+def _oracle_groups(keywords, index):
+    """Enumerate every witness combination, group by distance signature."""
+    normalize = index.tokenizer.normalize
+    lists = [[p.code for p in index.postings(normalize(k))]
+             for k in keywords]
+    expected: dict[tuple, list[int]] = {}
+    for combo in itertools.product(*lists):
+        lca = dewey.lca_many(combo)
+        witnesses = tuple(sorted(
+            (normalize(keyword), len(code) - len(lca))
+            for keyword, code in zip(keywords, combo)))
+        edges = set()
+        for code in combo:
+            walker = code
+            while len(walker) > len(lca):
+                edges.add(walker)
+                walker = walker[:-1]
+        expected.setdefault((lca, witnesses), []).append(len(edges))
+    return {
+        key: (min(sizes), len(sizes))
+        for key, sizes in expected.items()
+    }
+
+
+@given(trees(), keyword_sets)
+@settings(max_examples=60)
+def test_gdmcts_match_exhaustive_enumeration(tree, keywords):
+    """Every (LCA, witness-signature) class, with its minimum edge count
+    and exact MCT count, must equal brute-force enumeration."""
+    index = InvertedIndex.from_tree(tree)
+    groups = sa_gdmcts(keywords, index)
+    actual = {(g.lca, g.witnesses): (g.size, g.count) for g in groups}
+    assert actual == _oracle_groups(keywords, index)

@@ -1,0 +1,62 @@
+"""Shared fixtures: the paper's Figure 1 tree and derived indexes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.index.inverted import InvertedIndex
+from repro.tree.builder import build_tree
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+# A reconstruction of the paper's Figure 1 data tree D1.  The paper's
+# stated facts hold on it: for the query
+# Q1 = (XML keyword search (Paul Cooper) (Mary Davis)),
+# the first article is a result of size 3, the third of size 6, and the
+# second (where Mary slips inside the Paul/Cooper subtree) is excluded.
+FIGURE1_SPEC = (
+    "bib", None, [
+        ("article", None, [                        # paper's node 2
+            ("title", "Keyword search in XML data"),
+            ("author", "Paul Cooper"),
+            ("author", "Mary Davis"),
+        ]),
+        ("article", None, [                        # paper's node 6
+            ("title", "XML Keyword search"),
+            ("author", "Paul Simpson"),
+            ("author", "Mary Cooper"),
+            ("author", "Mark Davis"),
+        ]),
+        ("article", None, [                        # paper's node 11
+            ("title", "XML retrieval in tree structured data"),
+            ("author", "Paul Cooper"),
+            ("author", "John Smith"),
+            ("references", None, [
+                ("article", None, [
+                    ("title", "A novel keyword search algorithm"),
+                    ("author", "Mary Davis"),
+                    ("author", "George Williams"),
+                ]),
+            ]),
+        ]),
+    ])
+
+Q1 = "(XML keyword search (Paul Cooper) (Mary Davis))"
+
+
+@pytest.fixture(scope="session")
+def figure1_tree():
+    return build_tree(FIGURE1_SPEC)
+
+
+@pytest.fixture(scope="session")
+def figure1_index(figure1_tree):
+    return InvertedIndex.from_tree(figure1_tree)

@@ -1,0 +1,57 @@
+"""Tests for the impenetrability ablation knob (Def. 2(b)(ii) off).
+
+With ``impenetrability=False`` a term only has to be *complete* before
+combining with external keywords — the subtree of its LCA is no longer
+protected.  The paper's running example is the perfect probe: article
+node 6 of Figure 1 (where Mary slips into the Paul/Cooper subtree) is
+rejected by the cohesive semantics but accepted by the ablated one.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.engine import CohesiveLCA, evaluate
+from repro.index.inverted import InvertedIndex
+
+from tests.conftest import Q1
+from tests.core.test_engine_oracle import queries, trees
+
+
+class TestFigure1Ablation:
+    def test_article6_reappears_without_impenetrability(self,
+                                                        figure1_index):
+        searcher = CohesiveLCA(figure1_index)
+        strict = {r.code for r in searcher.search(Q1)}
+        ablated = {r.code for r in
+                   searcher.search(Q1, impenetrability=False)}
+        assert (1,) not in strict
+        assert (1,) in ablated
+
+    def test_ablated_superset(self, figure1_index):
+        searcher = CohesiveLCA(figure1_index)
+        strict = searcher.search(Q1)
+        ablated = {r.code: r.size
+                   for r in searcher.search(Q1, impenetrability=False)}
+        for result in strict:
+            assert result.code in ablated
+            assert ablated[result.code] <= result.size
+
+    def test_flat_queries_unaffected(self, figure1_index):
+        searcher = CohesiveLCA(figure1_index)
+        flat = "(xml keyword search paul cooper mary davis)"
+        assert searcher.search(flat) == \
+            searcher.search(flat, impenetrability=False)
+
+
+@given(trees(), queries())
+@settings(max_examples=60)
+def test_ablation_never_loses_results(tree, query):
+    """Dropping a restriction can only admit more (or equal) results,
+    never fewer, and never with larger minimum sizes."""
+    index = InvertedIndex.from_tree(tree)
+    searcher = CohesiveLCA(index)
+    strict = searcher.search(query)
+    ablated = {r.code: r.size
+               for r in searcher.search(query, impenetrability=False)}
+    for result in strict:
+        assert result.code in ablated
+        assert ablated[result.code] <= result.size

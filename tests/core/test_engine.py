@@ -1,0 +1,172 @@
+"""Unit tests for the CohesiveLCA engine."""
+
+import pytest
+
+from repro.core.engine import (CohesiveLCA, evaluate, evaluate_on_lists,
+                               merge_posting_streams)
+from repro.core.parser import parse_query
+from repro.index.inverted import InvertedIndex, Posting
+from repro.tree.builder import build_tree
+from tests.conftest import Q1
+
+
+def codes_and_sizes(results):
+    return [(r.code, r.size) for r in results]
+
+
+class TestFigure1:
+    def test_paper_facts(self, figure1_index):
+        results = dict(codes_and_sizes(evaluate(Q1, figure1_index)))
+        assert results[(0,)] == 3     # paper's article node 2
+        assert results[(2,)] == 6     # paper's article node 11
+        assert (1,) not in results    # paper's article node 6
+
+    def test_results_sorted_by_size(self, figure1_index):
+        results = evaluate(Q1, figure1_index)
+        sizes = [result.size for result in results]
+        assert sizes == sorted(sizes)
+
+    def test_term_size_breakdown(self, figure1_index):
+        results = evaluate(Q1, figure1_index)
+        best = results[0]
+        assert best.code == (0,)
+        # term 0 = whole query; terms 1 and 2 are the single-author-node
+        # cohesive terms.
+        assert best.term_sizes[0] == 3
+        assert best.term_sizes[1] == 0
+        assert best.term_sizes[2] == 0
+
+
+class TestBasicQueries:
+    def test_single_keyword_returns_instances(self, figure1_index):
+        results = evaluate("(smith)", figure1_index)
+        assert codes_and_sizes(results) == [((2, 2), 0)]
+
+    def test_empty_for_unknown_keyword(self, figure1_index):
+        assert evaluate("(xml zzzznothere)", figure1_index) == []
+
+    def test_case_insensitive(self, figure1_index):
+        assert codes_and_sizes(evaluate("(SMITH)", figure1_index)) == \
+            [((2, 2), 0)]
+
+    def test_query_object_accepted(self, figure1_index):
+        query = parse_query("(xml smith)")
+        assert evaluate(query, figure1_index) == \
+            evaluate("(xml smith)", figure1_index)
+
+    def test_same_node_match_size_zero(self):
+        tree = build_tree(("r", None, [("x", "alpha beta")]))
+        index = InvertedIndex.from_tree(tree)
+        assert codes_and_sizes(evaluate("(alpha beta)", index)) == \
+            [((0,), 0)]
+
+    def test_list_limit_truncates_input(self, figure1_index):
+        full = evaluate("(paul)", figure1_index)
+        limited = evaluate("(paul)", figure1_index, list_limit=1)
+        assert len(full) == 3
+        assert len(limited) == 1
+
+
+class TestCohesiveFiltering:
+    def test_cross_matched_names_rejected(self):
+        # The paper's motivating example: (XML (John Smith) (George
+        # Brown)) must not match a John Brown / George Smith paper.
+        tree = build_tree(("bib", None, [
+            ("article", None, [
+                ("title", "xml data"),
+                ("author", "john brown"),
+                ("author", "george smith"),
+            ]),
+            ("article", None, [
+                ("title", "xml search"),
+                ("author", "john smith"),
+                ("author", "george brown"),
+            ]),
+        ]))
+        index = InvertedIndex.from_tree(tree)
+        cohesive = evaluate("(xml (john smith) (george brown))", index)
+        codes = {r.code for r in cohesive}
+        assert (1,) in codes
+        assert (0,) not in codes   # the cross-matched article is rejected
+        assert cohesive[0].code == (1,)  # and the good article ranks first
+        flat = evaluate("(xml john smith george brown)", index)
+        assert {(0,), (1,)} <= {r.code for r in flat}
+
+    def test_term_completed_at_node_blocks_combination_there(self):
+        # john and smith in different children of r, xml under r too:
+        # the term's LCA is r itself, so xml "slips in".
+        tree = build_tree(("r", None, [
+            ("a", "john"), ("b", "smith"), ("c", "xml"),
+        ]))
+        index = InvertedIndex.from_tree(tree)
+        assert evaluate("(xml (john smith))", index) == []
+
+    def test_completed_term_combines_at_proper_ancestor(self):
+        tree = build_tree(("r", None, [
+            ("grp", None, [("a", "john"), ("b", "smith")]),
+            ("c", "xml"),
+        ]))
+        index = InvertedIndex.from_tree(tree)
+        assert codes_and_sizes(evaluate("(xml (john smith))", index)) == \
+            [((), 4)]
+
+    def test_nested_terms(self):
+        tree = build_tree(("r", None, [
+            ("paper", None, [
+                ("title", "xml"),
+                ("venue", "acm conference"),
+            ]),
+        ]))
+        index = InvertedIndex.from_tree(tree)
+        results = evaluate("((xml) (acm conference))"
+                           .replace("(xml)", "xml"), index)
+        assert results[0].code == (0,)
+
+    def test_repeated_keywords_need_budget(self):
+        tree = build_tree(("r", None, [("x", "ha"), ("y", "ha ha")]))
+        index = InvertedIndex.from_tree(tree)
+        # (ha ha) on the double node alone: size 0; split: size 2.
+        results = dict(codes_and_sizes(evaluate("(ha ha)", index)))
+        assert results[(1,)] == 0
+        assert results[()] == 2
+
+
+class TestStreamMerging:
+    def test_groups_by_node(self):
+        lists = {
+            "a": [Posting((0,), 1), Posting((1,), 2)],
+            "b": [Posting((0,), 3)],
+        }
+        merged = list(merge_posting_streams(lists))
+        assert merged == [((0,), {"a": 1, "b": 3}), ((1,), {"a": 2})]
+
+    def test_order_is_document_order(self):
+        lists = {
+            "a": [Posting((1,))],
+            "b": [Posting((0, 5))],
+            "c": [Posting((0,))],
+        }
+        merged = [code for code, _ in merge_posting_streams(lists)]
+        assert merged == [(0,), (0, 5), (1,)]
+
+
+class TestEvaluateOnLists:
+    def test_missing_list_short_circuits(self):
+        query = parse_query("(a b)")
+        assert evaluate_on_lists(query, {"a": [Posting((0,))]}) == []
+
+    def test_explicit_lists(self):
+        query = parse_query("(a b)")
+        lists = {
+            "a": [Posting((0, 0))],
+            "b": [Posting((0, 1))],
+        }
+        results = evaluate_on_lists(query, lists)
+        assert codes_and_sizes(results) == [((0,), 2)]
+
+
+class TestSearcherFacade:
+    def test_search_parses_strings(self, figure1_index):
+        searcher = CohesiveLCA(figure1_index)
+        assert searcher.search("(xml)") == searcher.search(
+            parse_query("(xml)"))

@@ -1,0 +1,64 @@
+"""Property tests for structural invariants of the evaluation engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import CohesiveLCA, evaluate
+from repro.index.inverted import InvertedIndex
+from repro.tree import dewey
+
+from tests.core.test_engine_oracle import queries, trees
+
+
+@given(trees(), queries(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=80)
+def test_truncation_only_shrinks_results(tree, query, limit):
+    """Truncating inverted lists removes instances, so it can only lose
+    results — and any surviving LCA's minimum size can only grow (the
+    cheapest embedding may have used a truncated instance)."""
+    index = InvertedIndex.from_tree(tree)
+    searcher = CohesiveLCA(index)
+    full = {r.code: r.size for r in searcher.search(query)}
+    truncated = searcher.search(query, list_limit=limit)
+    for result in truncated:
+        assert result.code in full
+        assert result.size >= full[result.code]
+
+
+@given(trees(), queries())
+@settings(max_examples=80)
+def test_results_are_common_ancestors(tree, query):
+    """Every result LCA must be an ancestor-or-self of at least one
+    instance of every distinct query keyword."""
+    index = InvertedIndex.from_tree(tree)
+    normalize = index.tokenizer.normalize
+    results = evaluate(query, index)
+    for result in results:
+        for keyword in query.distinct_keywords():
+            instances = [p.code for p in index.postings(
+                normalize(keyword))]
+            assert any(dewey.is_ancestor_or_self(result.code, code)
+                       for code in instances)
+
+
+@given(trees(), queries())
+@settings(max_examples=80)
+def test_sizes_bounded_by_subtree(tree, query):
+    """An LCA size never exceeds (occurrences × depth below the LCA) and
+    the answer is duplicate-free and Def. 3 sorted."""
+    index = InvertedIndex.from_tree(tree)
+    results = evaluate(query, index)
+    codes = [r.code for r in results]
+    assert len(codes) == len(set(codes))
+    sizes = [r.size for r in results]
+    assert sizes == sorted(sizes)
+    depth_budget = tree.max_depth * max(1, query.keyword_count)
+    for result in results:
+        assert 0 <= result.size <= depth_budget
+
+
+@given(trees(), queries())
+@settings(max_examples=60)
+def test_evaluation_is_deterministic(tree, query):
+    index = InvertedIndex.from_tree(tree)
+    assert evaluate(query, index) == evaluate(query, index)

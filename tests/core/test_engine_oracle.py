@@ -1,0 +1,107 @@
+"""Property-based differential testing: engine vs. brute-force oracle.
+
+On random small trees and random cohesive queries (with nesting and
+keyword repetition), the fast stack engine must return exactly the LCAs
+and exact minimum sizes the literal Def. 2/3 semantics produce.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import evaluate
+from repro.core.query import Occurrence, Query, Term
+from repro.core.semantics import brute_force_evaluate
+from repro.index.inverted import InvertedIndex
+from repro.tree.builder import TreeBuilder
+
+VOCAB = ["a", "b", "c", "d"]
+
+
+@st.composite
+def trees(draw):
+    """Random tree of up to ~14 nodes over a 4-word vocabulary."""
+    node_count = draw(st.integers(min_value=1, max_value=14))
+    shape = draw(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),   # depth step
+            st.lists(st.sampled_from(VOCAB), max_size=3),  # value tokens
+        ),
+        min_size=node_count, max_size=node_count))
+    builder = TreeBuilder()
+    open_depth = 0
+    for position, (step, tokens) in enumerate(shape):
+        if position == 0:
+            builder.start("n", " ".join(tokens) or None)
+            open_depth = 1
+            continue
+        # Close some nodes (never the root), then open a child.
+        closes = min(step, open_depth - 1)
+        for _ in range(closes):
+            builder.end()
+            open_depth -= 1
+        builder.start("n", " ".join(tokens) or None)
+        open_depth += 1
+    for _ in range(open_depth):
+        builder.end()
+    return builder.finish()
+
+
+@st.composite
+def queries(draw):
+    """Random cohesive query with up to 4 occurrences, nesting ≤ 2."""
+
+    def term(keyword_budget, depth):
+        members = []
+        remaining = keyword_budget
+        while remaining > 0:
+            nest = (remaining >= 2 and depth < 2 and
+                    draw(st.booleans()) and draw(st.booleans()))
+            if nest:
+                take = draw(st.integers(min_value=2, max_value=remaining))
+                members.append(term(take, depth + 1))
+                remaining -= take
+            else:
+                members.append(Occurrence(draw(st.sampled_from(VOCAB))))
+                remaining -= 1
+        if len(members) == 1 and isinstance(members[0], Term):
+            members.append(Occurrence(draw(st.sampled_from(VOCAB))))
+        return Term(members)
+
+    total = draw(st.integers(min_value=1, max_value=4))
+    if total == 1:
+        return Query(Term([Occurrence(draw(st.sampled_from(VOCAB)))]))
+    return Query(term(total, 0))
+
+
+@given(trees(), queries())
+@settings(max_examples=150)
+def test_engine_matches_oracle(tree, query):
+    index = InvertedIndex.from_tree(tree)
+    fast = [(r.code, r.size) for r in evaluate(query, index)]
+    slow = [(r.code, r.size) for r in brute_force_evaluate(query, index)]
+    assert fast == slow
+
+
+@given(trees(), queries())
+@settings(max_examples=60)
+def test_term_size_breakdowns_are_consistent(tree, query):
+    """Every result's per-term sizes must sum consistently: the root
+    term's entry equals the result size, and each nested term's partial
+    size is bounded by it."""
+    index = InvertedIndex.from_tree(tree)
+    for result in evaluate(query, index):
+        assert result.term_sizes[0] == result.size
+        for partial in result.term_sizes[1:]:
+            assert partial is not None
+            assert 0 <= partial <= result.size
+
+
+@given(trees())
+@settings(max_examples=60)
+def test_flat_two_keyword_queries(tree):
+    """Dense check of the most common query shape."""
+    index = InvertedIndex.from_tree(tree)
+    query = Query.flat(["a", "b"])
+    fast = [(r.code, r.size) for r in evaluate(query, index)]
+    slow = [(r.code, r.size) for r in brute_force_evaluate(query, index)]
+    assert fast == slow

@@ -1,0 +1,47 @@
+"""Tests for query explanation."""
+
+from repro.core.explain import explain
+
+
+class TestWithoutIndex:
+    def test_fig3_numbers(self):
+        report = explain("((XML Keyword Search) (Paul Cooper) "
+                         "(Mary Davis))")
+        assert report.keyword_count == 7
+        assert report.full_lattice_size == 877
+        assert report.reduced_lattice_size == 9
+        assert report.stack_total == 14
+        assert report.largest_sublattice == 5
+        assert report.total_instances is None
+
+    def test_signature_count(self):
+        report = explain("(a (b c))")
+        # root subsets: 3; nested subsets: 3.
+        assert report.signature_count == 6
+
+    def test_render(self):
+        text = str(explain("(XML (John Smith))"))
+        assert "full lattice" in text
+        assert "[XML [John Smith]]" in text
+
+    def test_repeated_keywords_counted(self):
+        report = explain("(a (a b))")
+        assert report.keyword_count == 3
+        assert report.distinct_keywords == 2
+        by_kw = {stats.keyword: stats for stats in report.keywords}
+        assert by_kw["a"].occurrences == 2
+
+
+class TestWithIndex:
+    def test_instance_statistics(self, figure1_index):
+        report = explain("(xml (paul cooper))", figure1_index)
+        assert report.total_instances == \
+            figure1_index.frequency("xml") + \
+            figure1_index.frequency("paul") + \
+            figure1_index.frequency("cooper")
+        text = str(report)
+        assert "instance(s)" in text
+
+    def test_normalization_through_index(self, figure1_index):
+        report = explain("(XML (PAUL Cooper))", figure1_index)
+        assert report.total_instances > 0

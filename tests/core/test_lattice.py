@@ -1,0 +1,126 @@
+"""Tests for the partition-lattice machinery — including every lattice
+count the paper publishes in §3 (Figs. 2 and 3)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lattice import (admissible_blocks, admissible_partitions,
+                                bell_number, coarseness_levels,
+                                component_lattice_sizes,
+                                largest_sublattice_size, lattice_node_count,
+                                set_partitions, stack_count)
+
+
+class TestBellNumbers:
+    def test_known_values(self):
+        assert [bell_number(n) for n in range(8)] == \
+            [1, 1, 2, 5, 15, 52, 203, 877]
+
+    def test_paper_quote_b7(self):
+        # "the full lattice for 7 keywords has 877 nodes" (§3).
+        assert bell_number(7) == 877
+
+    @given(st.integers(min_value=0, max_value=9))
+    def test_matches_enumeration(self, n):
+        assert sum(1 for _ in set_partitions(range(n))) == bell_number(n)
+
+
+class TestSetPartitions:
+    def test_partitions_of_three(self):
+        parts = {frozenset(frozenset(b) for b in p)
+                 for p in set_partitions("abc")}
+        assert len(parts) == 5
+
+    def test_each_partition_covers_all_items(self):
+        for partition in set_partitions(range(4)):
+            assert sorted(x for block in partition for x in block) == \
+                [0, 1, 2, 3]
+
+    def test_empty(self):
+        assert list(set_partitions([])) == [[]]
+
+    def test_coarseness_levels(self):
+        levels = coarseness_levels(set_partitions(range(4)))
+        # Stirling numbers of the second kind for n=4: 1, 7, 6, 1.
+        assert levels == {1: 1, 2: 7, 3: 6, 4: 1}
+
+
+class TestPaperLatticeCounts:
+    """The published counts of Figs. 2 and 3."""
+
+    def test_fig2a_full_lattice(self):
+        assert lattice_node_count("(XML Query John Smith)") == 15
+
+    def test_fig2b_one_cohesive_term(self):
+        assert lattice_node_count("(XML Query (John Smith))") == 7
+
+    def test_fig2c_two_cohesive_terms(self):
+        assert lattice_node_count("((XML Query) (John Smith))") == 3
+
+    def test_fig3_composed_lattice(self):
+        query = "((XML Keyword Search) (Paul Cooper) (Mary Davis))"
+        assert lattice_node_count(query) == 9
+
+    def test_fig3_component_sizes(self):
+        query = "((XML Keyword Search) (Paul Cooper) (Mary Davis))"
+        # Root over three units (B3=5), then 5, 2, 2 for the terms.
+        assert sorted(component_lattice_sizes(query)) == [2, 2, 5, 5]
+        assert stack_count(query) == 14
+        assert largest_sublattice_size(query) == 5
+
+
+class TestAdmissiblePartitions:
+    def test_flat_query_full_lattice(self):
+        assert len(admissible_partitions("(a b c d)")) == bell_number(4)
+
+    def test_fig2b_admissible(self):
+        assert len(admissible_partitions("(XML Query (John Smith))")) == 7
+
+    def test_admissible_blocks_fig2b(self):
+        blocks = admissible_blocks("(XML Query (John Smith))")
+        # X, Q, J, S, XQ, JS, XJS, QJS, XQJS with occurrence ids 0..3.
+        assert frozenset([2, 3]) in blocks          # JS
+        assert frozenset([0, 2, 3]) in blocks       # X + JS
+        assert frozenset([0, 2]) not in blocks      # X + J alone: forbidden
+
+    def test_every_admissible_partition_covers_occurrences(self):
+        for partition in admissible_partitions("((a b) c)"):
+            assert sorted(x for block in partition for x in block) == \
+                [0, 1, 2]
+
+    def test_single_keyword(self):
+        assert len(admissible_partitions("(a)")) == 1
+
+
+class TestRenderLattice:
+    def test_fig2a_levels(self):
+        from repro.core.lattice import render_lattice
+        text = render_lattice("(XML Query John Smith)")
+        assert "15 admissible partitions" in text
+        assert "level 4:" in text and "level 1:" in text
+        assert "[J, Q, S, X]" in text
+        assert "[XQJS]" in text
+
+    def test_fig2b_reduction_visible(self):
+        from repro.core.lattice import render_lattice
+        text = render_lattice("(XML Query (John Smith))")
+        assert "7 admissible partitions" in text
+        # The forbidden partition [XJ, Q, S] must not appear.
+        assert "[JX, Q, S]" not in text
+
+    def test_initials_follow_occurrences(self):
+        from repro.core.lattice import render_lattice
+        text = render_lattice("(alpha (beta gamma))")
+        assert "[A, BG]" in text
+
+
+class TestLargestSublattice:
+    def test_grows_with_max_cardinality(self):
+        # The Fig. 6 curve: Bell numbers of the maximum term cardinality.
+        from repro.datasets.workloads import pattern_with_max_cardinality
+        sizes = [
+            largest_sublattice_size(pattern_with_max_cardinality(10, c))
+            for c in range(2, 8)
+        ]
+        assert sizes == [bell_number(c) for c in range(2, 8)]
+        assert sizes == sorted(sizes)

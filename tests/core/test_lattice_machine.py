@@ -1,0 +1,85 @@
+"""Tests for the literal Algorithm 1 implementation (lattice machine).
+
+The machine is the executable specification of the paper's §3; it must
+agree exactly with the optimized signature engine, which in turn agrees
+with the brute-force Def. 2 oracle.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.engine import evaluate
+from repro.core.lattice_machine import (LatticeMachine,
+                                        lattice_machine_evaluate)
+from repro.core.parser import parse_query
+from repro.index.inverted import InvertedIndex, Posting
+from repro.tree.builder import build_tree
+
+from tests.conftest import Q1
+from tests.core.test_engine_oracle import queries, trees
+
+
+def codes_and_sizes(results):
+    return [(r.code, r.size) for r in results]
+
+
+class TestFigure1:
+    def test_matches_engine_on_q1(self, figure1_index):
+        assert codes_and_sizes(lattice_machine_evaluate(
+            Q1, figure1_index)) == \
+            codes_and_sizes(evaluate(Q1, figure1_index))
+
+    def test_paper_facts_directly(self, figure1_index):
+        results = dict(codes_and_sizes(
+            lattice_machine_evaluate(Q1, figure1_index)))
+        assert results[(0,)] == 3
+        assert results[(2,)] == 6
+        assert (1,) not in results
+
+
+class TestStructure:
+    def test_stack_per_admissible_partition(self):
+        machine = LatticeMachine("((XML Query) (John Smith))")
+        # Fig. 2c: 5 admissible partitions (before the drawing-level
+        # coalescing that yields the 3 boxes).
+        assert len(machine._stacks) == 5
+
+    def test_levels_finest_first(self):
+        machine = LatticeMachine("(XML Query John Smith)")
+        levels = [stack.level for stack in machine._stacks]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_sink_is_single_block(self):
+        machine = LatticeMachine("(a b)")
+        assert machine._stacks[-1].level == 1
+
+
+class TestBasicQueries:
+    def test_single_keyword(self, figure1_index):
+        assert codes_and_sizes(lattice_machine_evaluate(
+            "(smith)", figure1_index)) == [((2, 2), 0)]
+
+    def test_empty_when_keyword_missing(self, figure1_index):
+        assert lattice_machine_evaluate("(xml zzz)", figure1_index) == []
+
+    def test_repeated_keywords(self):
+        tree = build_tree(("r", None, [("x", "ha"), ("y", "ha ha")]))
+        index = InvertedIndex.from_tree(tree)
+        results = dict(codes_and_sizes(
+            lattice_machine_evaluate("(ha ha)", index)))
+        assert results == {(1,): 0, (): 2}
+
+    def test_run_on_explicit_lists(self):
+        machine = LatticeMachine(parse_query("(a b)"))
+        results = machine.run({
+            "a": [Posting((0, 0))],
+            "b": [Posting((0, 1))],
+        })
+        assert codes_and_sizes(results) == [((0,), 2)]
+
+
+@given(trees(), queries())
+@settings(max_examples=60)
+def test_machine_matches_engine(tree, query):
+    index = InvertedIndex.from_tree(tree)
+    assert codes_and_sizes(lattice_machine_evaluate(query, index)) == \
+        codes_and_sizes(evaluate(query, index))

@@ -1,0 +1,137 @@
+"""Tests for the cohesive query AST and parser."""
+
+import pytest
+
+from repro.core.parser import parse_pattern, parse_query
+from repro.core.query import Occurrence, Query, Term, term_to_query
+from repro.errors import QuerySyntaxError
+
+
+class TestParserAccepts:
+    def test_flat_query(self):
+        query = parse_query("(XML John Smith)")
+        assert query.keywords() == ["XML", "John", "Smith"]
+        assert query.is_flat()
+        assert query.term_count == 1
+
+    def test_outer_parens_optional(self):
+        assert parse_query("XML John Smith") == \
+            parse_query("(XML John Smith)")
+
+    def test_single_keyword(self):
+        query = parse_query("(xml)")
+        assert query.keyword_count == 1
+
+    def test_nested_terms(self):
+        query = parse_query("(XML (John Smith) (George Brown))")
+        assert query.term_count == 3
+        assert query.max_term_cardinality == 3
+
+    def test_paper_grammar_example(self):
+        # ((title XML) ((John Smith) author)) from §2.1.
+        query = parse_query("((title XML) ((John Smith) author))")
+        assert query.term_count == 4
+        assert query.max_nesting_depth == 2
+
+    def test_keyword_repetition(self):
+        # (XML (John Smith) (citation (John Brown))) from §1.
+        query = parse_query("(XML (John Smith) (citation (John Brown)))")
+        assert query.keyword_multiplicities()["John"] == 2
+
+    def test_redundant_outer_wrap_unwrapped(self):
+        assert str(parse_query("((a b))")) == "(a b)"
+
+    def test_str_roundtrip(self):
+        text = "(XML (John Smith) (citation (George Brown)))"
+        assert str(parse_query(text)) == text
+        assert parse_query(str(parse_query(text))) == parse_query(text)
+
+
+class TestParserRejects:
+    @pytest.mark.parametrize("bad", [
+        "", "()", "(a (b))", "((a))", "(a (b)",
+        "(a", "a)", "(a))", "((a b) (c))",
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query("(a (b))")
+        assert "two members" in str(excinfo.value)
+
+
+class TestQueryInspection:
+    def test_term_ids_in_preorder(self):
+        query = parse_query("((a b) (c (d e)))")
+        assert [t.term_id for t in query.terms] == [0, 1, 2, 3]
+        # Term 3 is (d e), nested in term 2.
+        assert query.terms[3].parent_id == 2
+
+    def test_occurrence_ids_left_to_right(self):
+        query = parse_query("((a b) (c (d e)))")
+        assert [o.keyword for o in query.occurrences] == \
+            ["a", "b", "c", "d", "e"]
+        assert [o.occurrence_id for o in query.occurrences] == list(range(5))
+
+    def test_distinct_keywords_preserve_order(self):
+        query = parse_query("(b a (b c))")
+        assert query.distinct_keywords() == ["b", "a", "c"]
+
+    def test_max_nesting_depth(self):
+        assert parse_query("(a b)").max_nesting_depth == 0
+        assert parse_query("(a (b c))").max_nesting_depth == 1
+        assert parse_query("(a (b (c d)))").max_nesting_depth == 2
+
+    def test_pattern_rendering(self):
+        query = parse_query("(xx ((a b c d) (e f g h)))"
+                            .replace("xx", "k1 k2"))
+        assert query.pattern() == "(xx((xxxx)(xxxx)))"
+
+    def test_flat_constructor(self):
+        query = Query.flat(["a", "b"])
+        assert str(query) == "(a b)"
+        with pytest.raises(QuerySyntaxError):
+            Query.flat([])
+
+
+class TestPatterns:
+    def test_parse_pattern(self):
+        query = parse_pattern("(xx((xxxx)(xxxx)))")
+        assert query.keyword_count == 10
+        assert query.pattern() == "(xx((xxxx)(xxxx)))"
+
+    def test_with_keywords(self):
+        shape = parse_pattern("(x(xx))")
+        query = shape.with_keywords(["a", "b", "c"])
+        assert str(query) == "(a (b c))"
+
+    def test_with_keywords_wrong_count_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_pattern("(xx)").with_keywords(["only"])
+
+
+class TestTermToQuery:
+    def test_nested_term_extracted(self):
+        query = parse_query("(XML (John Smith))")
+        sub = term_to_query(query.terms[1])
+        assert str(sub) == "(John Smith)"
+        assert sub.term_count == 1
+
+    def test_term_structure_preserved(self):
+        query = parse_query("(a ((b c) d))")
+        sub = term_to_query(query.terms[1])
+        assert str(sub) == "((b c) d)"
+        assert sub.term_count == 2
+
+
+class TestTermValidation:
+    def test_empty_term_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            Term([])
+
+    def test_single_member_nested_term_rejected(self):
+        inner = Term([Occurrence("a"), Occurrence("b")])
+        with pytest.raises(QuerySyntaxError):
+            Query(Term([Term([inner])]))

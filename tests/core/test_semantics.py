@@ -1,0 +1,121 @@
+"""Tests for the brute-force reference semantics (the oracle itself).
+
+The oracle is what the fast engine is tested against, so its own
+behaviour is pinned here on hand-checked cases — most importantly the
+worked example of the paper's Figure 1.
+"""
+
+import pytest
+
+from repro.core.semantics import brute_force_evaluate, is_embedding
+from repro.core.parser import parse_query
+from repro.errors import EvaluationError
+from repro.index.inverted import InvertedIndex
+from repro.tree.builder import build_tree
+from tests.conftest import Q1
+
+
+def codes_and_sizes(results):
+    return [(r.code, r.size) for r in results]
+
+
+class TestFigure1:
+    """The paper's stated facts about Q1 on D1 (§2.1)."""
+
+    def test_article_2_is_result_of_size_3(self, figure1_tree):
+        results = dict(codes_and_sizes(
+            brute_force_evaluate(Q1, figure1_tree)))
+        assert results[(0,)] == 3
+
+    def test_article_11_is_result_of_size_6(self, figure1_tree):
+        results = dict(codes_and_sizes(
+            brute_force_evaluate(Q1, figure1_tree)))
+        assert results[(2,)] == 6
+
+    def test_article_6_is_not_a_result(self, figure1_tree):
+        # "the article node 6 is not a result of Q1": Mary slips into the
+        # subtree of Paul and Cooper.
+        results = dict(codes_and_sizes(
+            brute_force_evaluate(Q1, figure1_tree)))
+        assert (1,) not in results
+
+    def test_ranking_orders_node2_before_node11(self, figure1_tree):
+        results = brute_force_evaluate(Q1, figure1_tree)
+        positions = {r.code: i for i, r in enumerate(results)}
+        assert positions[(0,)] < positions[(2,)]
+
+    def test_flat_query_accepts_article_6(self, figure1_tree):
+        # Without cohesiveness the second article IS an LCA — this is
+        # exactly the imprecision the paper's semantics eliminates.
+        flat = "(XML keyword search Paul Cooper Mary Davis)"
+        results = dict(codes_and_sizes(
+            brute_force_evaluate(flat, figure1_tree)))
+        assert (1,) in results
+
+
+class TestEmbeddingConditions:
+    def test_repeated_keyword_needs_multiplicity(self):
+        tree = build_tree(("r", None, [("a", "dog dog"), ("b", "dog")]))
+        results = brute_force_evaluate("(dog dog)", tree)
+        codes = {r.code for r in results}
+        # Both occurrences on the double node (size 0) or split across
+        # the two nodes (size 2 at the root).
+        assert (0,) in codes
+        assert () in codes
+
+    def test_repeated_keyword_single_instance_insufficient(self):
+        tree = build_tree(("r", None, [("a", "dog")]))
+        results = brute_force_evaluate("(dog dog)", tree)
+        assert results == []
+
+    def test_single_node_term_is_exempt(self):
+        # Def. 2(b)(i): a term whose occurrences all map to one node does
+        # not exclude anything.
+        tree = build_tree(("r", None, [("x", "john smith"), ("y", "xml")]))
+        results = brute_force_evaluate("(xml (john smith))", tree)
+        assert {r.code for r in results} == {()}
+
+    def test_multi_node_term_excludes_intruders(self):
+        # john...smith spread across nodes with xml inside their LCA.
+        tree = build_tree(("r", None, [
+            ("x", "john"), ("y", "smith xml"),
+        ]))
+        results = brute_force_evaluate("(xml (john smith))", tree)
+        assert results == []
+
+    def test_is_embedding_direct(self, figure1_tree):
+        index = InvertedIndex.from_tree(figure1_tree)
+        query = parse_query("((paul cooper) mary)")
+        counts = {
+            posting.code: {"paul": 1, "cooper": 1, "mary": 1}
+            for keyword in ("paul", "cooper", "mary")
+            for posting in index.postings(keyword)
+        }
+        # Paul and Cooper on node (0,1) "Paul Cooper", Mary on (0,2).
+        good = [(0, 1), (0, 1), (0, 2)]
+        assert is_embedding(query, good, counts)
+        # Paul on (1,1) "Paul Simpson", Cooper on (1,2) "Mary Cooper":
+        # their LCA is article (1,) and Mary at (1,2) is inside it.
+        bad = [(1, 1), (1, 2), (1, 2)]
+        assert not is_embedding(query, bad, counts)
+
+
+class TestGuards:
+    def test_explosion_guard(self, figure1_tree):
+        with pytest.raises(EvaluationError):
+            brute_force_evaluate("(paul paul paul paul paul paul paul "
+                                 "paul paul paul paul paul)",
+                                 figure1_tree, max_embeddings=10)
+
+    def test_missing_keyword_returns_empty(self, figure1_tree):
+        assert brute_force_evaluate("(zzz xml)", figure1_tree) == []
+
+    def test_term_sizes_tracked(self, figure1_tree):
+        results = brute_force_evaluate(Q1, figure1_tree,
+                                       track_term_sizes=True)
+        by_code = {r.code: r for r in results}
+        sizes = by_code[(0,)].term_sizes
+        # Term 0 is the whole query (size 3); the nested (Paul Cooper)
+        # and (Mary Davis) terms each match single author nodes (size 0).
+        assert sizes[0] == 3
+        assert sizes[1] == 0 and sizes[2] == 0

@@ -1,0 +1,66 @@
+"""Tests for query compilation to signatures."""
+
+from repro.core.parser import parse_query
+from repro.core.signatures import (NO_USAGE, compile_query,
+                                   merge_breakdowns, merge_usage,
+                                   usage_fits)
+
+
+class TestCompile:
+    def test_flat_query(self):
+        compiled = compile_query(parse_query("(a b c)"))
+        assert compiled.term_count == 1
+        assert compiled.root.full_mask == 0b111
+        assert compiled.atoms == {"a": [(0, 1)], "b": [(0, 2)],
+                                  "c": [(0, 4)]}
+        assert not compiled.repeated_keywords
+
+    def test_nested_terms(self):
+        compiled = compile_query(parse_query("(x (y z))"))
+        assert compiled.term_count == 2
+        inner = compiled.terms[1]
+        assert inner.parent_id == 0
+        assert inner.member_index == 1
+        assert inner.full_mask == 0b11
+        assert compiled.atoms["y"] == [(1, 1)]
+
+    def test_repeated_keywords_detected(self):
+        compiled = compile_query(parse_query("(a (a b))"))
+        assert compiled.repeated_keywords == {"a"}
+        assert compiled.atoms["a"] == [(0, 1), (1, 1)]
+
+    def test_normalization_applied(self):
+        compiled = compile_query(parse_query("(Paul COOPER)"),
+                                 normalize=str.lower)
+        assert set(compiled.atoms) == {"paul", "cooper"}
+
+    def test_signature_count(self):
+        # (a b): 3 subsets; (x (y z)): 3 + 3.
+        assert compile_query(parse_query("(a b)")).signature_count() == 3
+        assert compile_query(parse_query("(x (y z))")).signature_count() == 6
+
+
+class TestUsage:
+    def test_merge_empty_fast_paths(self):
+        assert merge_usage(NO_USAGE, NO_USAGE) == ()
+        assert merge_usage((("a", 1),), NO_USAGE) == (("a", 1),)
+
+    def test_merge_sums(self):
+        merged = merge_usage((("a", 1), ("b", 2)), (("a", 2),))
+        assert merged == (("a", 3), ("b", 2))
+
+    def test_usage_fits(self):
+        assert usage_fits((("a", 2),), {"a": 2})
+        assert not usage_fits((("a", 3),), {"a": 2})
+        assert not usage_fits((("a", 1),), {})
+        assert usage_fits(NO_USAGE, {})
+
+
+class TestBreakdowns:
+    def test_merge_keeps_disjoint_entries(self):
+        assert merge_breakdowns((None, 3, None), (7, None, None)) == \
+            (7, 3, None)
+
+    def test_empty_breakdown_shape(self):
+        compiled = compile_query(parse_query("(x (y z))"))
+        assert compiled.empty_breakdown() == (None, None)

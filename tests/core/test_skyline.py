@@ -1,0 +1,111 @@
+"""Tests for the skyline semantics (the paper's §6 future work)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import evaluate
+from repro.core.results import Result
+from repro.core.skyline import (dominates, skyline, skyline_layers,
+                                skyline_search)
+from repro.index.inverted import InvertedIndex
+from repro.tree.builder import build_tree
+
+from tests.conftest import Q1
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1, 2), (2, 2))
+        assert dominates((1, 2), (1, 3))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1, 2), (1, 2))
+
+    def test_incomparable(self):
+        assert not dominates((1, 3), (2, 2))
+        assert not dominates((2, 2), (1, 3))
+
+    @given(st.lists(st.integers(0, 5), min_size=3, max_size=3).map(tuple),
+           st.lists(st.integers(0, 5), min_size=3, max_size=3).map(tuple))
+    def test_antisymmetric(self, a, b):
+        assert not (dominates(a, b) and dominates(b, a))
+
+
+class TestSkyline:
+    def _result(self, code, vector):
+        return Result(code, vector[0], vector)
+
+    def test_dominated_results_removed(self):
+        results = [
+            self._result((0,), (2, 0, 2)),
+            self._result((1,), (3, 1, 2)),   # dominated by (0,)? 3>2,1>0,2=2
+            self._result((2,), (3, 0, 1)),   # incomparable with (0,)
+        ]
+        front = skyline(results)
+        assert [r.code for r in front] == [(0,), (2,)]
+
+    def test_ties_both_kept(self):
+        results = [
+            self._result((0,), (2, 1, 1)),
+            self._result((1,), (2, 1, 1)),
+        ]
+        assert len(skyline(results)) == 2
+
+    def test_equal_total_size_tie_dominance(self):
+        # Same total size, but (1,) is strictly better on term 1: it must
+        # eject (0,) even though (0,) sorts first by document order.
+        results = [
+            self._result((0,), (4, 3, 1)),
+            self._result((1,), (4, 1, 1)),
+        ]
+        assert [r.code for r in skyline(results)] == [(1,)]
+
+    def test_empty(self):
+        assert skyline([]) == []
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 3), st.integers(0, 3)),
+        max_size=8))
+    @settings(max_examples=80)
+    def test_skyline_is_exactly_nondominated_set(self, vectors):
+        results = [Result((i,), v[0], v) for i, v in enumerate(vectors)]
+        front = {r.code for r in skyline(results)}
+        for result in results:
+            dominated = any(
+                dominates(other.term_sizes, result.term_sizes)
+                for other in results if other.code != result.code)
+            assert (result.code not in front) == dominated
+
+
+class TestLayers:
+    def test_layers_partition_results(self):
+        results = [Result((i,), s, (s,)) for i, s in enumerate([1, 2, 3])]
+        layers = skyline_layers(results)
+        assert [len(layer) for layer in layers] == [1, 1, 1]
+        flattened = {r.code for layer in layers for r in layer}
+        assert flattened == {r.code for r in results}
+
+    def test_max_layers(self):
+        results = [Result((i,), s, (s,)) for i, s in enumerate([1, 2, 3])]
+        assert len(skyline_layers(results, max_layers=2)) == 2
+
+
+class TestSkylineSearch:
+    def test_on_figure1(self, figure1_index):
+        front = skyline_search(Q1, figure1_index)
+        full = evaluate(Q1, figure1_index)
+        # The best-size result is always in the skyline.
+        assert front[0].code == full[0].code
+        assert {r.code for r in front} <= {r.code for r in full}
+
+    def test_skyline_keeps_per_term_winners(self):
+        # Two results with the same total size but different term
+        # profiles: both survive (incomparable).
+        tree = build_tree(("r", None, [
+            ("x", None, [("a", "john smith"), ("b", "xml")]),
+            ("y", None, [("c", "john"),
+                         ("d", None, [("e", "smith xml")])]),
+        ]))
+        index = InvertedIndex.from_tree(tree)
+        front = skyline_search("(xml (john smith))", index)
+        assert (0,) in {r.code for r in front}

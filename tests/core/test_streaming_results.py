@@ -1,0 +1,62 @@
+"""Tests for the lazy result-streaming API."""
+
+import types
+
+from hypothesis import given, settings
+
+from repro.core.engine import evaluate, stream_evaluate
+from repro.index.inverted import InvertedIndex
+
+from tests.conftest import Q1
+from tests.core.test_engine_oracle import queries, trees
+
+
+class TestStreamEvaluate:
+    def test_same_answer_set_as_search(self, figure1_index):
+        streamed = sorted(stream_evaluate(Q1, figure1_index),
+                          key=lambda r: r.sort_key())
+        assert streamed == evaluate(Q1, figure1_index)
+
+    def test_is_lazy(self, figure1_index):
+        generator = stream_evaluate(Q1, figure1_index)
+        assert isinstance(generator, types.GeneratorType)
+        first = next(generator)
+        assert first.size >= 0
+        generator.close()
+
+    def test_postorder_yield(self, figure1_index):
+        codes = [result.code
+                 for result in stream_evaluate(Q1, figure1_index)]
+        # Descendants finalize before their ancestors.
+        seen = set()
+        for code in codes:
+            for other in seen:
+                assert not all(a == b for a, b in zip(code, other)) or \
+                    len(code) <= len(other) or code[:len(other)] != other
+            seen.add(code)
+        # The document root, if present, comes last.
+        if () in seen:
+            assert codes[-1] == ()
+
+    def test_each_result_once(self, figure1_index):
+        codes = [result.code
+                 for result in stream_evaluate(Q1, figure1_index)]
+        assert len(codes) == len(set(codes))
+
+    def test_empty_on_missing_keyword(self, figure1_index):
+        assert list(stream_evaluate("(zzz xml)", figure1_index)) == []
+
+    def test_size_budget(self, figure1_index):
+        bounded = list(stream_evaluate(Q1, figure1_index, size_budget=3))
+        assert {r.code for r in bounded} == \
+            {r.code for r in evaluate(Q1, figure1_index) if r.size <= 3}
+
+
+@given(trees(), queries())
+@settings(max_examples=60)
+def test_stream_matches_batch(tree, query):
+    index = InvertedIndex.from_tree(tree)
+    streamed = sorted(
+        ((r.code, r.size) for r in stream_evaluate(query, index)))
+    batch = sorted((r.code, r.size) for r in evaluate(query, index))
+    assert streamed == batch

@@ -1,0 +1,73 @@
+"""Tests for size-budgeted evaluation and top-k-size search."""
+
+from hypothesis import given, settings
+
+from repro.core.engine import CohesiveLCA, evaluate
+from repro.core.topk import search_top_k, search_within_size
+from repro.index.inverted import InvertedIndex
+
+from tests.conftest import Q1
+from tests.core.test_engine_oracle import queries, trees
+
+
+class TestSizeBudget:
+    def test_budget_filters_exactly(self, figure1_index):
+        full = evaluate(Q1, figure1_index)
+        searcher = CohesiveLCA(figure1_index)
+        for budget in range(0, 9):
+            bounded = searcher.search(Q1, size_budget=budget)
+            expected = [r for r in full if r.size <= budget]
+            assert [(r.code, r.size) for r in bounded] == \
+                [(r.code, r.size) for r in expected]
+
+    def test_zero_budget(self, figure1_index):
+        searcher = CohesiveLCA(figure1_index)
+        assert searcher.search("(smith)", size_budget=0)[0].size == 0
+
+    @given(trees(), queries())
+    @settings(max_examples=60)
+    def test_budget_is_lossless_within_bound(self, tree, query):
+        index = InvertedIndex.from_tree(tree)
+        full = evaluate(query, index)
+        searcher = CohesiveLCA(index)
+        for budget in (0, 1, 3):
+            bounded = searcher.search(query, size_budget=budget)
+            assert [(r.code, r.size) for r in bounded] == \
+                [(r.code, r.size) for r in full if r.size <= budget]
+
+
+class TestTopK:
+    def test_prefix_of_full_answer(self, figure1_index):
+        full = evaluate(Q1, figure1_index)
+        for k in range(1, len(full) + 2):
+            top = search_top_k(Q1, figure1_index, k)
+            assert [(r.code, r.size) for r in top] == \
+                [(r.code, r.size) for r in full[:k]]
+
+    def test_k_zero(self, figure1_index):
+        assert search_top_k(Q1, figure1_index, 0) == []
+
+    def test_no_results(self, figure1_index):
+        assert search_top_k("(zzznothere xml)", figure1_index, 3) == []
+
+    def test_small_initial_budget_still_exact(self, figure1_index):
+        top = search_top_k(Q1, figure1_index, 2, initial_budget=1)
+        full = evaluate(Q1, figure1_index)
+        assert [(r.code, r.size) for r in top] == \
+            [(r.code, r.size) for r in full[:2]]
+
+    @given(trees(), queries())
+    @settings(max_examples=40)
+    def test_topk_matches_full_prefix(self, tree, query):
+        index = InvertedIndex.from_tree(tree)
+        full = evaluate(query, index)
+        top = search_top_k(query, index, 2)
+        assert [(r.code, r.size) for r in top] == \
+            [(r.code, r.size) for r in full[:2]]
+
+
+class TestSearchWithinSize:
+    def test_matches_budgeted_search(self, figure1_index):
+        direct = search_within_size(Q1, figure1_index, 4)
+        searcher = CohesiveLCA(figure1_index)
+        assert direct == searcher.search(Q1, size_budget=4)

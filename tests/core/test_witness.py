@@ -1,0 +1,57 @@
+"""Tests for witness (minimal MCT) reconstruction."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.engine import evaluate
+from repro.core.witness import Witness, reconstruct_witness
+from repro.errors import EvaluationError
+from repro.index.inverted import InvertedIndex
+from repro.tree import dewey
+
+from tests.conftest import Q1
+from tests.core.test_engine_oracle import queries, trees
+
+
+class TestFigure1Witness:
+    def test_witness_matches_result_size(self, figure1_index):
+        for result in evaluate(Q1, figure1_index):
+            witness = reconstruct_witness(Q1, figure1_index, result.code)
+            assert witness is not None
+            assert witness.size == result.size
+            assert dewey.lca_many(witness.assignment) == result.code
+
+    def test_witness_for_non_result_is_none(self, figure1_index):
+        # Paper's article node 6 is not a result: no valid embedding has
+        # it as LCA.
+        assert reconstruct_witness(Q1, figure1_index, (1,)) is None
+
+    def test_mct_nodes(self, figure1_index):
+        witness = reconstruct_witness(Q1, figure1_index, (0,))
+        nodes = witness.mct_nodes()
+        assert (0,) in nodes
+        # size = number of non-root MCT nodes (each contributes its
+        # parent edge).
+        assert len(nodes) == witness.size + 1
+
+    def test_no_instances_under_lca(self, figure1_index):
+        assert reconstruct_witness("(smith)", figure1_index, (0,)) is None
+
+
+class TestGuards:
+    def test_combination_cap(self, figure1_index):
+        with pytest.raises(EvaluationError):
+            reconstruct_witness(
+                "(paul mary paul mary paul mary paul mary)",
+                figure1_index, (), max_combinations=2)
+
+
+@given(trees(), queries())
+@settings(max_examples=40)
+def test_witness_agrees_with_engine(tree, query):
+    index = InvertedIndex.from_tree(tree)
+    for result in evaluate(query, index)[:3]:
+        witness = reconstruct_witness(query, index, result.code)
+        assert isinstance(witness, Witness)
+        assert witness.size == result.size
+        assert dewey.lca_many(witness.assignment) == result.code

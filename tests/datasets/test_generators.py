@@ -1,0 +1,121 @@
+"""Tests for the schema-mimicking dataset generators.
+
+The key guarantees the effectiveness experiments rest on:
+
+* determinism for a given seed;
+* every planted relevant record is an actual result of its query;
+* top-1-size CohesiveLCA has perfect precision on every query (the
+  Fig. 4 headline);
+* confounders make the flat semantics imprecise (the reason the paper's
+  comparison is interesting at all).
+"""
+
+import pytest
+
+from repro.baselines import slca
+from repro.core.engine import evaluate
+from repro.core.parser import parse_query
+from repro.core.ranking import top_size_results
+from repro.datasets import (generate_baseball, generate_dblp, generate_nasa,
+                            generate_psd, generate_xmark)
+from repro.index.inverted import InvertedIndex
+
+GENERATORS = [
+    (generate_dblp, 60),
+    (generate_psd, 50),
+    (generate_nasa, 50),
+    (generate_baseball, 10),
+]
+
+
+@pytest.fixture(scope="module", params=GENERATORS,
+                ids=lambda param: param[0].__name__)
+def dataset_and_index(request):
+    generate, scale = request.param
+    dataset = generate(scale=scale)
+    return dataset, InvertedIndex.from_tree(dataset.tree)
+
+
+class TestGeneratorContracts:
+    def test_deterministic(self):
+        first = generate_dblp(scale=20, seed=3)
+        second = generate_dblp(scale=20, seed=3)
+        assert len(first.tree) == len(second.tree)
+        assert [n.full_text() for n in first.tree] == \
+            [n.full_text() for n in second.tree]
+        assert first.planted == second.planted
+
+    def test_seed_changes_tree(self):
+        assert [n.full_text() for n in generate_dblp(scale=20, seed=1).tree] \
+            != [n.full_text() for n in generate_dblp(scale=20, seed=2).tree]
+
+    def test_queries_parse(self, dataset_and_index):
+        dataset, _ = dataset_and_index
+        assert len(dataset.queries) == 5
+        for text in dataset.queries.values():
+            parse_query(text)
+
+    def test_planted_codes_exist(self, dataset_and_index):
+        dataset, _ = dataset_and_index
+        assert dataset.planted
+        for record in dataset.planted:
+            assert record.code in dataset.tree
+
+    def test_every_query_has_relevant_answers(self, dataset_and_index):
+        dataset, _ = dataset_and_index
+        for query_id in dataset.queries:
+            assert dataset.relevant_codes(query_id), query_id
+
+
+class TestEffectivenessGuarantees:
+    def test_full_cohesive_recall_is_perfect(self, dataset_and_index):
+        dataset, index = dataset_and_index
+        for query_id, text in dataset.queries.items():
+            returned = {r.code for r in evaluate(text, index)}
+            missing = dataset.relevant_codes(query_id) - returned
+            assert not missing, (query_id, missing)
+
+    def test_top_size_precision_is_perfect(self, dataset_and_index):
+        dataset, index = dataset_and_index
+        for query_id, text in dataset.queries.items():
+            top = {r.code
+                   for r in top_size_results(evaluate(text, index))}
+            false_positives = top - dataset.relevant_codes(query_id)
+            assert not false_positives, (query_id, false_positives)
+
+    def test_confounders_fool_flat_slca(self, dataset_and_index):
+        # At least one query per dataset must have an SLCA result that is
+        # not relevant — otherwise the comparison would be vacuous.
+        dataset, index = dataset_and_index
+        fooled = 0
+        for query_id, text in dataset.queries.items():
+            keywords = parse_query(text).distinct_keywords()
+            flat = set(slca(keywords, index))
+            if flat - dataset.relevant_codes(query_id):
+                fooled += 1
+        assert fooled >= 3
+
+
+class TestShapes:
+    def test_dataset_depths_ordered_like_the_paper(self):
+        # Table 1: DBLP is the shallowest, XMark the deepest.
+        dblp = generate_dblp(scale=30).tree.max_depth
+        nasa = generate_nasa(scale=30).tree.max_depth
+        xmark = generate_xmark(scale=30).tree.max_depth
+        assert dblp < nasa < xmark
+        assert xmark >= 10
+
+    def test_scale_controls_size(self):
+        small = generate_psd(scale=10)
+        large = generate_psd(scale=40)
+        assert len(large.tree) > len(small.tree)
+
+    def test_xmark_has_no_effectiveness_queries(self):
+        dataset = generate_xmark(scale=10)
+        assert dataset.queries == {}
+        assert dataset.planted == []
+
+    def test_grades_within_scale(self, dataset_and_index):
+        dataset, _ = dataset_and_index
+        for record in dataset.planted:
+            assert 1 <= record.grade <= 3

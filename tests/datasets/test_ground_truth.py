@@ -1,0 +1,60 @@
+"""Tests for the ground-truth bookkeeping objects."""
+
+import pytest
+
+from repro.datasets.ground_truth import (GeneratedDataset, PlantedRecord,
+                                         RecordingBuilder)
+from repro.tree.builder import build_tree
+
+
+@pytest.fixture
+def dataset():
+    tree = build_tree(("r", None, [("a", "x"), ("b", "y")]))
+    return GeneratedDataset(
+        name="toy",
+        tree=tree,
+        queries={"Q1": "(x)", "Q2": "(y)"},
+        planted=[
+            PlantedRecord("Q1", (0,), 3),
+            PlantedRecord("Q1", (1,), 1),
+            PlantedRecord("Q2", (1,), 2),
+        ],
+    )
+
+
+class TestPlantedRecord:
+    def test_grade_bounds(self):
+        with pytest.raises(ValueError):
+            PlantedRecord("Q", (), 0)
+        with pytest.raises(ValueError):
+            PlantedRecord("Q", (), 4)
+        assert PlantedRecord("Q", (), 2).grade == 2
+
+    def test_frozen(self):
+        record = PlantedRecord("Q", (0,), 1)
+        with pytest.raises(AttributeError):
+            record.grade = 3
+
+
+class TestGeneratedDataset:
+    def test_grades_per_query(self, dataset):
+        assert dataset.grades("Q1") == {(0,): 3, (1,): 1}
+        assert dataset.grades("Q2") == {(1,): 2}
+        assert dataset.grades("Q9") == {}
+
+    def test_relevant_codes_with_threshold(self, dataset):
+        assert dataset.relevant_codes("Q1") == {(0,), (1,)}
+        assert dataset.relevant_codes("Q1", min_grade=2) == {(0,)}
+
+    def test_query_ids(self, dataset):
+        assert dataset.query_ids() == ["Q1", "Q2"]
+
+
+class TestRecordingBuilder:
+    def test_mark_records_code_and_grade(self):
+        tree = build_tree(("r", None, [("a", None)]))
+        recorder = RecordingBuilder()
+        recorder.mark(tree.node((0,)), "Q1", grade=2, note="why")
+        assert recorder.planted == [
+            PlantedRecord("Q1", (0,), 2, "why")
+        ]

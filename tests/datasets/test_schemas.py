@@ -1,0 +1,83 @@
+"""Schema-shape tests for the generators (the Table 1 contract).
+
+The generators stand in for the real datasets, so their structural
+vocabulary must stay faithful: these tests pin the label paths each
+schema promises (docs/DATASETS.md).
+"""
+
+import pytest
+
+from repro.datasets import (generate_baseball, generate_dblp,
+                            generate_nasa, generate_psd, generate_xmark)
+from repro.index.catalog import Catalog
+
+
+@pytest.fixture(scope="module")
+def catalogs():
+    return {
+        "dblp": Catalog(generate_dblp(scale=40).tree),
+        "psd": Catalog(generate_psd(scale=40).tree),
+        "nasa": Catalog(generate_nasa(scale=40).tree),
+        "baseball": Catalog(generate_baseball(scale=8).tree),
+        "xmark": Catalog(generate_xmark(scale=40).tree),
+    }
+
+
+EXPECTED_PATHS = {
+    "dblp": [
+        "bib/article/title",
+        "bib/article/author",
+        "bib/article/journal",
+        "bib/article/references/article/title",
+    ],
+    "psd": [
+        "ProteinDatabase/ProteinEntry/protein/name",
+        "ProteinDatabase/ProteinEntry/organism/source",
+        "ProteinDatabase/ProteinEntry/genetics/gene",
+        "ProteinDatabase/ProteinEntry/reference/refinfo/title",
+        "ProteinDatabase/ProteinEntry/sequence",
+    ],
+    "nasa": [
+        "datasets/dataset/title",
+        "datasets/dataset/keywords/keyword",
+        "datasets/dataset/descriptions/description/para",
+        "datasets/dataset/history/date/year",
+        "datasets/dataset/reference/source/other/author",
+        "datasets/dataset/tables/table/tableHead/fields/field/name",
+    ],
+    "baseball": [
+        "season/league/division/team/team_name",
+        "season/league/division/team/player/surname",
+        "season/league/division/team/player/position",
+        "season/league/division/team/player/errors",
+    ],
+    "xmark": [
+        "site/regions/africa/item/name",
+        "site/people/person/address/city",
+        "site/open_auctions/open_auction/bidder/increase",
+        "site/open_auctions/open_auction/annotation/description/parlist"
+        "/listitem/parlist/listitem/text/keyword",
+        "site/closed_auctions/closed_auction/price",
+        "site/categories/category/name",
+    ],
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_PATHS))
+def test_promised_label_paths_exist(catalogs, name):
+    catalog = catalogs[name]
+    for path in EXPECTED_PATHS[name]:
+        assert path in catalog.label_paths, path
+
+
+def test_vocabulary_sizes_are_small(catalogs):
+    # Table 1: dozens of labels, at most a few hundred label paths.
+    for name, catalog in catalogs.items():
+        assert len(catalog.labels) < 60, name
+        assert len(catalog.label_paths) < 200, name
+
+
+def test_xmark_deep_chain_is_populated(catalogs):
+    deep = ("site/open_auctions/open_auction/annotation/description/"
+            "parlist/listitem/parlist/listitem/text/keyword")
+    assert catalogs["xmark"].path_count(deep) > 0

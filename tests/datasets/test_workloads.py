@@ -1,0 +1,88 @@
+"""Tests for the efficiency workloads of §4.3."""
+
+import random
+
+import pytest
+
+from repro.core.lattice import bell_number, largest_sublattice_size
+from repro.core.parser import parse_pattern
+from repro.datasets import generate_dblp
+from repro.datasets.workloads import (EFFICIENCY_PATTERNS,
+                                      frequent_keywords, instantiate,
+                                      pattern_with_max_cardinality,
+                                      workload)
+from repro.errors import EvaluationError
+from repro.index.inverted import InvertedIndex
+
+
+@pytest.fixture(scope="module")
+def index():
+    return InvertedIndex.from_tree(generate_dblp(scale=60).tree)
+
+
+class TestPatternTables:
+    @pytest.mark.parametrize("size", sorted(EFFICIENCY_PATTERNS))
+    def test_ten_patterns_per_size(self, size):
+        assert len(EFFICIENCY_PATTERNS[size]) == 10
+
+    @pytest.mark.parametrize("size", sorted(EFFICIENCY_PATTERNS))
+    def test_patterns_have_declared_size(self, size):
+        for pattern in EFFICIENCY_PATTERNS[size]:
+            assert parse_pattern(pattern).keyword_count == size
+
+    @pytest.mark.parametrize("size", sorted(EFFICIENCY_PATTERNS))
+    def test_patterns_vary_cardinality_and_nesting(self, size):
+        shapes = [parse_pattern(p) for p in EFFICIENCY_PATTERNS[size]]
+        assert len({q.max_term_cardinality for q in shapes}) >= 3
+        assert len({q.max_nesting_depth for q in shapes}) >= 2
+
+
+class TestCardinalityBuilder:
+    @pytest.mark.parametrize("keywords", [10, 15, 20])
+    @pytest.mark.parametrize("cardinality", range(2, 8))
+    def test_exact_cardinality(self, keywords, cardinality):
+        query = pattern_with_max_cardinality(keywords, cardinality)
+        assert query.keyword_count == keywords
+        assert query.max_term_cardinality == cardinality
+
+    def test_sublattice_grows_as_bell(self):
+        sizes = [largest_sublattice_size(
+            pattern_with_max_cardinality(12, c)) for c in range(2, 7)]
+        assert sizes == [bell_number(c) for c in range(2, 7)]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EvaluationError):
+            pattern_with_max_cardinality(5, 1)
+        with pytest.raises(EvaluationError):
+            pattern_with_max_cardinality(3, 4)
+
+
+class TestInstantiation:
+    def test_frequent_keywords_are_frequent(self, index):
+        keywords = frequent_keywords(index, 5,
+                                     rng=random.Random(1))
+        cutoff = sorted((index.frequency(k) for k in index.keywords()),
+                        reverse=True)[30]
+        for keyword in keywords:
+            assert index.frequency(keyword) >= cutoff
+
+    def test_instantiate_fills_pattern(self, index):
+        query = instantiate("(xx(xx))", index, rng=random.Random(2))
+        assert query.keyword_count == 4
+        assert query.pattern() == "(xx(xx))"
+
+    def test_workload_sizes(self, index):
+        queries = workload(6, index, queries_per_pattern=2, seed=5)
+        assert len(queries) == 20
+        assert all(q.keyword_count == 6 for q in queries)
+
+    def test_workload_deterministic(self, index):
+        first = [str(q) for q in workload(6, index,
+                                          queries_per_pattern=1, seed=9)]
+        second = [str(q) for q in workload(6, index,
+                                           queries_per_pattern=1, seed=9)]
+        assert first == second
+
+    def test_workload_unknown_size_raises(self, index):
+        with pytest.raises(EvaluationError):
+            workload(7, index)

@@ -1,0 +1,68 @@
+"""Tests for the programmatic efficiency sweep runners."""
+
+import pytest
+
+from repro.core.lattice import bell_number
+from repro.datasets import generate_dblp
+from repro.evaluation.efficiency import (algorithm_comparison,
+                                         cardinality_sweep,
+                                         instance_scalability_sweep,
+                                         keyword_count_comparison,
+                                         largest_sublattice_curve)
+from repro.index.inverted import InvertedIndex
+
+
+@pytest.fixture(scope="module")
+def index():
+    return InvertedIndex.from_tree(generate_dblp(scale=250).tree)
+
+
+class TestInstanceSweep:
+    def test_points_shape(self, index):
+        points = instance_scalability_sweep(
+            index, "dblp", 6, limits=(20, 40),
+            patterns=["(xx(xx)(xx))"])
+        assert len(points) == 2
+        assert points[0].label == "dblp"
+        assert points[0].keywords == 6
+        assert points[0].instances <= points[1].instances
+        assert all(p.seconds >= 0 for p in points)
+
+    def test_deterministic(self, index):
+        first = instance_scalability_sweep(index, "d", 6, limits=(20,),
+                                           patterns=["((xxx)(xxx))"],
+                                           seed=3)
+        second = instance_scalability_sweep(index, "d", 6, limits=(20,),
+                                            patterns=["((xxx)(xxx))"],
+                                            seed=3)
+        assert [p.instances for p in first] == \
+            [p.instances for p in second]
+
+
+class TestCardinalitySweep:
+    def test_cardinalities_covered(self, index):
+        points = cardinality_sweep(index, 6, cardinalities=(2, 3),
+                                   total_instance_target=120,
+                                   queries_per_point=1)
+        assert [p.parameter for p in points] == [2, 3]
+
+    def test_sublattice_curve(self):
+        assert largest_sublattice_curve((3, 4, 5)) == \
+            [bell_number(3), bell_number(4), bell_number(5)]
+
+
+class TestComparisons:
+    def test_fig7_runner(self, index):
+        points = keyword_count_comparison(index, keyword_counts=(2, 3),
+                                          list_limit=30,
+                                          queries_per_point=1)
+        labels = {p.label for p in points}
+        assert labels == {"CohesiveLCA", "LCAsz"}
+        assert len(points) == 4
+
+    def test_fig8_runner(self, index):
+        points = algorithm_comparison(index, keywords_count=4,
+                                      limits=(20,), queries_per_point=1)
+        labels = [p.label for p in points]
+        assert labels == ["CohesiveLCA", "LCAsz", "SAOne"]
+        assert all(p.milliseconds == p.seconds * 1000 for p in points)

@@ -1,0 +1,113 @@
+"""Integration tests for the experiment drivers against generated data.
+
+These assert the *shape* of the paper's results — the claims its
+evaluation section makes — on our generated datasets:
+
+* Table 3: CohesiveLCA returns fewer results than the flat semantics,
+  and SLCA ⊆ ELCA;
+* Fig. 4 / Table 4: top-1-size CohesiveLCA has perfect precision; full
+  CohesiveLCA has perfect recall; the flat baselines trail both;
+* Table 5: MAP and NDCG of the cohesive-term ranking are high.
+"""
+
+import pytest
+
+from repro.datasets import generate_baseball, generate_dblp
+from repro.evaluation.experiments import (average_effectiveness,
+                                          dataset_ranking_quality,
+                                          effectiveness_table,
+                                          ranking_quality_table,
+                                          result_count_table,
+                                          time_cohesive, total_instances)
+from repro.evaluation.relevance import Assessor
+from repro.core.parser import parse_query
+from repro.index.inverted import InvertedIndex
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    dataset = generate_dblp(scale=80)
+    return dataset, InvertedIndex.from_tree(dataset.tree)
+
+
+class TestResultCounts:
+    def test_table3_shape(self, dblp):
+        dataset, index = dblp
+        rows = result_count_table(dataset, index)
+        assert len(rows) == 5
+        for row in rows:
+            assert row["CohesiveLCA"] <= row["SLCA"], row
+            assert row["SLCA"] <= row["ELCA"], row
+            assert row["CohesiveLCA"] >= 1
+
+
+class TestEffectiveness:
+    def test_fig4_and_table4_shape(self, dblp):
+        dataset, index = dblp
+        rows = effectiveness_table(dataset, index)
+        assert len(rows) == 5 * 6  # queries x semantics
+        averages = average_effectiveness(rows)
+        top = averages["top-1-size CohesiveLCA"]
+        full = averages["CohesiveLCA"]
+        assert top["precision"] == pytest.approx(1.0)
+        assert full["recall"] == pytest.approx(1.0)
+        for baseline in ("SLCA", "ELCA", "VLCA", "MLCA"):
+            assert averages[baseline]["precision"] < top["precision"]
+            assert averages[baseline]["f_measure"] < top["f_measure"]
+
+    def test_rows_carry_identifiers(self, dblp):
+        dataset, index = dblp
+        rows = effectiveness_table(dataset, index)
+        assert {row.dataset for row in rows} == {"dblp"}
+        assert {row.query_id for row in rows} == set(dataset.queries)
+
+
+class TestRankingQuality:
+    def test_table5_shape(self, dblp):
+        dataset, index = dblp
+        table = ranking_quality_table(dataset, index)
+        assert set(table) == set(dataset.queries)
+        for row in table.values():
+            assert 0.0 <= row["map"] <= 1.0
+            assert 0.0 <= row["ndcg"] <= 1.0
+        summary = dataset_ranking_quality(dataset, index)
+        assert summary["ndcg"] >= 0.9
+        assert summary["map"] >= 0.9
+
+    def test_baseball_statistical_queries(self):
+        dataset = generate_baseball(scale=10)
+        index = InvertedIndex.from_tree(dataset.tree)
+        summary = dataset_ranking_quality(dataset, index)
+        assert summary["ndcg"] >= 0.9
+
+
+class TestAssessor:
+    def test_grades_and_relevance(self, dblp):
+        dataset, _ = dblp
+        assessor = Assessor(dataset, "QD1")
+        codes = sorted(dataset.relevant_codes("QD1"))
+        assert assessor.is_relevant(codes[0])
+        assert assessor.grade(codes[0]) >= 1
+        assert assessor.grade(("nope",)) == 0
+        assert assessor.graded_ranking(codes) == \
+            [assessor.grade(code) for code in codes]
+
+    def test_unknown_query_raises(self, dblp):
+        dataset, _ = dblp
+        with pytest.raises(KeyError):
+            Assessor(dataset, "QX9")
+
+
+class TestEfficiencyHelpers:
+    def test_total_instances_respects_limit(self, dblp):
+        _, index = dblp
+        query = parse_query("(title author)")
+        unlimited = total_instances(query, index, None)
+        limited = total_instances(query, index, 5)
+        assert limited == 10
+        assert unlimited > limited
+
+    def test_time_cohesive_returns_seconds(self, dblp):
+        _, index = dblp
+        query = parse_query("(title author)")
+        assert time_cohesive(query, index, 50) >= 0.0

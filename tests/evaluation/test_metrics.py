@@ -1,0 +1,87 @@
+"""Tests for the IR metrics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (average_precision, dcg, f_measure,
+                                      ndcg, precision, recall)
+
+
+class TestPrecisionRecall:
+    def test_basic(self):
+        returned = ["a", "b", "c", "d"]
+        relevant = {"a", "c", "x"}
+        assert precision(returned, relevant) == 0.5
+        assert recall(returned, relevant) == pytest.approx(2 / 3)
+
+    def test_empty_returned(self):
+        assert precision([], {"a"}) == 1.0
+        assert recall([], {"a"}) == 0.0
+
+    def test_no_relevant(self):
+        assert recall(["a"], set()) == 1.0
+
+    def test_f_measure_harmonic(self):
+        returned = ["a", "b"]
+        relevant = {"a", "c"}
+        p, r = 0.5, 0.5
+        assert f_measure(returned, relevant) == \
+            pytest.approx(2 * p * r / (p + r))
+
+    def test_f_measure_zero(self):
+        assert f_measure(["a"], {"b"}) == 0.0
+
+    ranked = st.lists(st.sampled_from("abcdef"), max_size=6, unique=True)
+    relevant = st.sets(st.sampled_from("abcdef"), max_size=6)
+
+    @given(ranked, relevant)
+    def test_bounds(self, returned, relevant):
+        for metric in (precision, recall, f_measure, average_precision):
+            assert 0.0 <= metric(returned, relevant) <= 1.0
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(["a", "b"], {"a", "b"}) == 1.0
+
+    def test_relevant_late(self):
+        # relevant at positions 2 and 4: (1/2 + 2/4) / 2.
+        assert average_precision(["x", "a", "y", "b"], {"a", "b"}) == \
+            pytest.approx(0.5)
+
+    def test_missing_relevant_contributes_zero(self):
+        assert average_precision(["a"], {"a", "b"}) == pytest.approx(0.5)
+
+    def test_no_relevant(self):
+        assert average_precision(["a"], set()) == 1.0
+
+
+class TestDCG:
+    def test_dcg_formula(self):
+        grades = [3, 2, 0, 1]
+        expected = 3 / math.log2(2) + 2 / math.log2(3) + 0 + \
+            1 / math.log2(5)
+        assert dcg(grades) == pytest.approx(expected)
+
+    def test_ndcg_perfect(self):
+        grades = {"a": 3, "b": 2, "c": 1}
+        assert ndcg(["a", "b", "c"], grades) == pytest.approx(1.0)
+
+    def test_ndcg_penalizes_bad_order(self):
+        grades = {"a": 3, "b": 0}
+        assert ndcg(["b", "a"], grades) < 1.0
+
+    def test_ndcg_penalizes_missing(self):
+        grades = {"a": 3, "b": 3}
+        assert ndcg(["a"], grades) == pytest.approx(0.5, abs=0.2)
+
+    def test_ndcg_no_grades(self):
+        assert ndcg(["a"], {}) == 1.0
+
+    @given(st.permutations(["a", "b", "c", "d"]))
+    def test_ndcg_bounds(self, ranking):
+        grades = {"a": 3, "b": 2, "c": 1}
+        assert 0.0 <= ndcg(ranking, grades) <= 1.0

@@ -1,0 +1,76 @@
+"""Tests for pattern-based relevance assessment."""
+
+import pytest
+
+from repro.evaluation.patterns import (PatternAssessor, PatternRule,
+                                       _path_matches)
+
+
+class TestPathMatching:
+    def test_suffix_match_default(self):
+        assert _path_matches("article", "bib/article")
+        assert _path_matches("bib/article", "bib/article")
+        assert _path_matches("//article", "bib/article")
+        assert not _path_matches("article", "bib/article/title")
+
+    def test_anchored_match(self):
+        assert _path_matches("/bib/article", "bib/article")
+        assert not _path_matches("/article", "bib/article")
+
+    def test_wildcard(self):
+        assert _path_matches("bib/*", "bib/article")
+        assert _path_matches("*/article", "bib/article")
+        assert not _path_matches("*/*", "bib")
+
+    def test_longer_pattern_than_path(self):
+        assert not _path_matches("a/b/c", "b/c")
+
+
+class TestRules:
+    def test_requires_labels_in_subtree(self, figure1_tree):
+        rule = PatternRule("article", grade=3, requires=("references",))
+        # Only the third article has a references child.
+        assert not rule.matches(figure1_tree, (0,))
+        assert rule.matches(figure1_tree, (2,))
+
+    def test_missing_node_is_no_match(self, figure1_tree):
+        rule = PatternRule("article", grade=1)
+        assert not rule.matches(figure1_tree, (9, 9))
+
+
+class TestAssessor:
+    @pytest.fixture
+    def assessor(self, figure1_tree):
+        return (PatternAssessor(figure1_tree)
+                .add_rule("bib/article", 3)
+                .add_rule("references/article", 2)
+                .add_rule("bib", 1))
+
+    def test_max_grade_wins(self, assessor):
+        # references/article also suffix-matches 'article' rules? The
+        # bib/article rule requires the path to end with bib/article.
+        assert assessor.grade((2, 3, 0)) == 2
+        assert assessor.grade((0,)) == 3
+        assert assessor.grade(()) == 1
+
+    def test_ungraded_is_zero(self, assessor):
+        assert assessor.grade((0, 0)) == 0
+        assert not assessor.is_relevant((0, 0))
+
+    def test_relevant_among(self, assessor):
+        codes = [(0,), (0, 0), (2, 3, 0)]
+        assert assessor.relevant_among(codes) == {(0,), (2, 3, 0)}
+        assert assessor.relevant_among(codes, min_grade=3) == {(0,)}
+
+    def test_grades_for(self, assessor):
+        grades = assessor.grades_for([(0,), (0, 0)])
+        assert grades == {(0,): 3, (0, 0): 0}
+
+    def test_usable_with_metrics(self, figure1_tree, figure1_index,
+                                 assessor):
+        from repro.core.engine import evaluate
+        from repro.evaluation.metrics import ndcg
+        from tests.conftest import Q1
+        ranking = [r.code for r in evaluate(Q1, figure1_index)]
+        grades = assessor.grades_for(ranking)
+        assert 0.0 <= ndcg(ranking, grades) <= 1.0

@@ -1,0 +1,32 @@
+"""Tests for the ranking-scheme comparison extension."""
+
+import pytest
+
+from repro.datasets import generate_dblp, generate_psd
+from repro.evaluation.experiments import ranking_comparison
+from repro.index.inverted import InvertedIndex
+
+
+@pytest.fixture(scope="module", params=[generate_dblp, generate_psd],
+                ids=["dblp", "psd"])
+def dataset_and_index(request):
+    dataset = request.param(scale=50)
+    return dataset, InvertedIndex.from_tree(dataset.tree)
+
+
+def test_all_schemes_scored_per_query(dataset_and_index):
+    dataset, index = dataset_and_index
+    table = ranking_comparison(dataset, index)
+    assert set(table) == set(dataset.queries)
+    for row in table.values():
+        assert set(row) == {"size", "vector", "skyline"}
+        for value in row.values():
+            assert 0.0 <= value <= 1.0
+
+
+def test_schemes_rank_relevant_high(dataset_and_index):
+    dataset, index = dataset_and_index
+    table = ranking_comparison(dataset, index)
+    for scheme in ("size", "vector", "skyline"):
+        average = sum(row[scheme] for row in table.values()) / len(table)
+        assert average >= 0.8, scheme

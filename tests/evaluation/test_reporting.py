@@ -1,0 +1,55 @@
+"""Tests for the report formatting helpers."""
+
+from repro.evaluation.reporting import ascii_chart, format_mapping, \
+    format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1], ["longer", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        # All rows have equal width per column separators.
+        assert "longer" in lines[4]
+
+    def test_empty_rows(self):
+        text = format_table(["only"], [])
+        assert "only" in text
+
+
+class TestFormatMapping:
+    def test_percent_scaling(self):
+        text = format_mapping({"row": {"precision": 0.5}})
+        assert "50.0" in text
+
+    def test_empty(self):
+        assert format_mapping({}, title="t") == "t"
+
+
+class TestAsciiChart:
+    def test_bars_scale_to_peak(self):
+        text = ascii_chart({"s": [(1, 10.0), (2, 20.0)]}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_multiple_series_share_scale(self):
+        text = ascii_chart({
+            "fast": [(1, 1.0)],
+            "slow": [(1, 100.0)],
+        }, width=20)
+        fast_line = next(line for line in text.splitlines()
+                         if line.lstrip().startswith("fast"))
+        slow_line = next(line for line in text.splitlines()
+                         if line.lstrip().startswith("slow"))
+        assert slow_line.count("#") == 20
+        assert fast_line.count("#") == 1  # minimum visible bar
+
+    def test_zero_values(self):
+        text = ascii_chart({"s": [(1, 0.0)]})
+        assert "|" in text
+
+    def test_title(self):
+        assert ascii_chart({}, title="hello").splitlines()[0] == "hello"

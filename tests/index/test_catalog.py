@@ -1,0 +1,32 @@
+"""Tests for the label/label-path catalog."""
+
+from repro.index.catalog import Catalog
+from repro.tree.builder import build_tree
+
+
+def test_catalog_counts():
+    tree = build_tree(("bib", None, [
+        ("article", None, [("title", "a")]),
+        ("article", None, [("title", "b"), ("author", "c")]),
+    ]))
+    catalog = Catalog(tree)
+    assert catalog.labels == {"bib", "article", "title", "author"}
+    assert catalog.label_count("article") == 2
+    assert catalog.label_count("nope") == 0
+    assert catalog.path_count("bib/article/title") == 2
+    assert catalog.path_count("bib/article/author") == 1
+    assert catalog.label_paths == {
+        "bib", "bib/article", "bib/article/title", "bib/article/author",
+    }
+
+
+def test_iter_paths_most_common_first():
+    tree = build_tree(("r", None, [("x", None), ("x", None), ("y", None)]))
+    catalog = Catalog(tree)
+    paths = list(catalog.iter_paths())
+    assert paths[0] == ("r/x", 2)
+
+
+def test_catalog_matches_tree_label_paths(figure1_tree):
+    catalog = Catalog(figure1_tree)
+    assert catalog.label_paths == figure1_tree.label_paths()

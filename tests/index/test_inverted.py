@@ -1,0 +1,77 @@
+"""Tests for the in-memory inverted index."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.inverted import InvertedIndex, Posting
+from repro.tree.builder import build_tree
+
+
+@pytest.fixture
+def index():
+    tree = build_tree(("bib", None, [
+        ("article", None, [
+            ("title", "xml xml search"),
+            ("author", "paul cooper"),
+        ]),
+        ("article", None, [
+            ("title", "xml data"),
+        ]),
+    ]))
+    return InvertedIndex.from_tree(tree)
+
+
+class TestConstruction:
+    def test_postings_in_document_order(self, index):
+        codes = [p.code for p in index.postings("xml")]
+        assert codes == sorted(codes)
+        assert codes == [(0, 0), (1, 0)]
+
+    def test_frequency_counts_within_node(self, index):
+        posting = index.postings("xml")[0]
+        assert posting.frequency == 2
+
+    def test_labels_are_indexed(self, index):
+        # 'title' occurs as a label on two nodes.
+        assert index.frequency("title") == 2
+
+    def test_unknown_keyword_empty(self, index):
+        assert index.postings("nothere") == ()
+        assert "nothere" not in index
+        assert index.frequency("nothere") == 0
+
+    def test_len_counts_distinct_keywords(self, index):
+        assert len(index) > 5
+        assert set(index.keywords()) >= {"xml", "paul", "cooper", "title"}
+
+
+class TestQueries:
+    def test_limit_truncates(self, index):
+        assert len(index.postings("xml", limit=1)) == 1
+
+    def test_normalization_applied(self, index):
+        assert [p.code for p in index.postings("XML")] == [(0, 0), (1, 0)]
+        assert "Cooper" in index
+
+    def test_node_count(self, index):
+        assert index.node_count("xml", (0, 0)) == 2
+        assert index.node_count("xml", (0, 1)) == 0
+
+    def test_most_frequent(self, index):
+        top = index.most_frequent(3)
+        assert len(top) == 3
+        assert index.frequency(top[0]) >= index.frequency(top[2])
+
+    def test_require_raises_for_missing(self, index):
+        index.require(["xml", "cooper"])
+        with pytest.raises(IndexError_):
+            index.require(["xml", "missing"])
+
+
+class TestPostingOrdering:
+    def test_manual_construction_sorts(self):
+        index = InvertedIndex({
+            "k": [Posting((1,)), Posting((0,)), Posting((0, 2))],
+        })
+        assert [p.code for p in index.postings("k")] == \
+            [(0,), (0, 2), (1,)]

@@ -1,0 +1,48 @@
+"""Tests for index composition (merged_with)."""
+
+from repro.index.inverted import InvertedIndex, Posting
+from repro.tree.builder import build_tree
+
+
+def test_merge_disjoint_keywords():
+    a = InvertedIndex({"x": [Posting((0,))]})
+    b = InvertedIndex({"y": [Posting((1,))]})
+    merged = a.merged_with(b)
+    assert merged.frequency("x") == 1
+    assert merged.frequency("y") == 1
+
+
+def test_merge_sums_frequencies_for_same_node():
+    a = InvertedIndex({"x": [Posting((0,), 2)]})
+    b = InvertedIndex({"x": [Posting((0,), 3), Posting((1,), 1)]})
+    merged = a.merged_with(b)
+    postings = merged.postings("x")
+    assert [(p.code, p.frequency) for p in postings] == \
+        [((0,), 5), ((1,), 1)]
+
+
+def test_merge_keeps_document_order():
+    a = InvertedIndex({"x": [Posting((3,))]})
+    b = InvertedIndex({"x": [Posting((1,)), Posting((0, 2))]})
+    merged = a.merged_with(b)
+    codes = [p.code for p in merged.postings("x")]
+    assert codes == sorted(codes)
+
+
+def test_merged_index_searches(figure1_tree):
+    # Split the figure-1 index in two halves by keyword and recombine.
+    full = InvertedIndex.from_tree(figure1_tree)
+    keywords = sorted(full.keywords())
+    half = len(keywords) // 2
+    first = InvertedIndex({k: list(full.postings(k))
+                           for k in keywords[:half]})
+    second = InvertedIndex({k: list(full.postings(k))
+                            for k in keywords[half:]})
+    merged = first.merged_with(second)
+    assert merged.raw_postings() == full.raw_postings()
+
+
+def test_merge_empty():
+    a = InvertedIndex({"x": [Posting((0,))]})
+    b = InvertedIndex({})
+    assert a.merged_with(b).raw_postings() == a.raw_postings()

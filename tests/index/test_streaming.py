@@ -1,0 +1,80 @@
+"""Tests for the streaming XML indexer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.inverted import InvertedIndex
+from repro.index.streaming import StreamingIndexer, index_xml
+from repro.xmlio.loader import load_tree
+from repro.xmlio.pull_parser import PullParser
+from repro.xmlio.writer import dump_tree
+
+SAMPLE = """
+<bib>
+  <article id="a7">
+    <title>Keyword search in XML data</title>
+    <author>Paul Cooper</author>
+  </article>
+</bib>
+"""
+
+
+class TestEquivalenceWithTreePath:
+    def test_same_postings_as_from_tree(self):
+        streamed = index_xml(SAMPLE)
+        materialized = InvertedIndex.from_tree(load_tree(SAMPLE))
+        assert streamed.raw_postings() == materialized.raw_postings()
+
+    def test_counts_node_statistics(self):
+        indexer = StreamingIndexer()
+        for event in PullParser(SAMPLE):
+            indexer.feed(event)
+        index = indexer.finish()
+        tree = load_tree(SAMPLE)
+        assert indexer.node_count == len(tree)
+        assert indexer.max_depth == tree.max_depth
+        assert index.frequency("xml") == 1  # one instance node (the title)
+
+    def test_attributes_indexed(self):
+        index = index_xml(SAMPLE)
+        assert index.frequency("a7") == 1
+        assert index.frequency("id") == 1
+
+    def test_mixed_content(self):
+        streamed = index_xml("<a>one<b>two</b>three</a>")
+        materialized = InvertedIndex.from_tree(
+            load_tree("<a>one<b>two</b>three</a>"))
+        assert streamed.raw_postings() == materialized.raw_postings()
+
+    def test_unbalanced_feed_raises(self):
+        indexer = StreamingIndexer()
+        events = list(PullParser("<a><b/></a>"))
+        indexer.feed(events[0])
+        with pytest.raises(ValueError):
+            indexer.finish()
+
+
+@st.composite
+def xml_documents(draw):
+    labels = st.sampled_from(["a", "b", "item", "name"])
+    words = st.sampled_from(["alpha", "beta", "x1", "kappa"])
+
+    def spec(depth):
+        children = st.lists(spec(depth - 1), max_size=3) if depth \
+            else st.just([])
+        value = st.one_of(
+            st.none(),
+            st.lists(words, min_size=1, max_size=3).map(" ".join))
+        return st.tuples(labels, value, children)
+
+    from repro.tree.builder import build_tree
+    return dump_tree(build_tree(draw(spec(3))))
+
+
+@given(xml_documents())
+@settings(max_examples=50)
+def test_streaming_equals_materialized(document):
+    streamed = index_xml(document)
+    materialized = InvertedIndex.from_tree(load_tree(document))
+    assert streamed.raw_postings() == materialized.raw_postings()

@@ -1,0 +1,48 @@
+"""Tests for the keyword tokenizer."""
+
+import pytest
+
+from repro.index.tokenizer import Tokenizer, default_tokenizer
+
+
+class TestTokens:
+    def test_basic_split_and_lowercase(self):
+        tok = default_tokenizer()
+        assert list(tok.tokens("Paul Cooper")) == ["paul", "cooper"]
+
+    def test_punctuation_separates(self):
+        tok = default_tokenizer()
+        assert list(tok.tokens("XML-based search, 2nd ed.")) == \
+            ["xml", "based", "search", "2nd", "ed"]
+
+    def test_digits_are_tokens(self):
+        tok = default_tokenizer()
+        assert list(tok.tokens("0 errors in 7 games")) == \
+            ["0", "errors", "in", "7", "games"]
+
+    def test_counts_track_multiplicity(self):
+        tok = default_tokenizer()
+        counts = tok.counts("data data DATA base")
+        assert counts["data"] == 3
+        assert counts["base"] == 1
+
+    def test_case_preserved_when_disabled(self):
+        tok = Tokenizer(lowercase=False)
+        assert list(tok.tokens("Ab aB")) == ["Ab", "aB"]
+
+    def test_stopwords_dropped(self):
+        tok = Tokenizer(stopwords=["the", "IN"])
+        assert list(tok.tokens("the search IN xml")) == ["search", "xml"]
+
+
+class TestNormalize:
+    def test_single_keyword(self):
+        assert default_tokenizer().normalize("Cooper") == "cooper"
+
+    def test_multiword_raises(self):
+        with pytest.raises(ValueError):
+            default_tokenizer().normalize("two words")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            default_tokenizer().normalize("---")

@@ -1,0 +1,59 @@
+"""Unicode corpora through the whole pipeline."""
+
+from repro.core.engine import evaluate
+from repro.index.inverted import InvertedIndex
+from repro.index.tokenizer import unicode_tokenizer
+from repro.tree.builder import build_tree
+from repro.xmlio.loader import load_tree
+from repro.xmlio.writer import dump_tree
+
+GREEK = ("bib", None, [
+    ("article", None, [
+        ("title", "αναζήτηση λέξεων σε δέντρα"),
+        ("author", "Αγγελική Δημητρίου"),
+    ]),
+    ("article", None, [
+        ("title", "σχεσιακές βάσεις"),
+        ("author", "Γιάννης Βασιλείου"),
+    ]),
+])
+
+
+class TestUnicodeTokenizer:
+    def test_tokenizes_greek(self):
+        tok = unicode_tokenizer()
+        assert list(tok.tokens("Αγγελική Δημητρίου")) == \
+            ["αγγελική", "δημητρίου"]
+
+    def test_default_tokenizer_is_ascii_only(self):
+        from repro.index.tokenizer import default_tokenizer
+        assert list(default_tokenizer().tokens("αναζήτηση")) == []
+
+
+class TestUnicodePipeline:
+    def test_index_and_search_greek(self):
+        tree = build_tree(GREEK)
+        index = InvertedIndex.from_tree(tree, unicode_tokenizer())
+        results = evaluate("(αναζήτηση (Αγγελική Δημητρίου))", index)
+        assert results
+        assert results[0].code == (0,)
+
+    def test_cohesiveness_applies_to_greek(self):
+        tree = build_tree(GREEK)
+        index = InvertedIndex.from_tree(tree, unicode_tokenizer())
+        # Cross-matched: Αγγελική with Βασιλείου spans both articles.
+        cross = evaluate("((Αγγελική Βασιλείου))", index)
+        assert all(result.code == () for result in cross) or not cross
+
+    def test_xml_roundtrip_preserves_greek(self):
+        tree = build_tree(GREEK)
+        reloaded = load_tree(dump_tree(tree))
+        assert reloaded.node((0, 0)).value == "αναζήτηση λέξεων σε δέντρα"
+
+    def test_store_roundtrip_preserves_greek(self, tmp_path):
+        from repro.index.store import load_index, save_index
+        tree = build_tree(GREEK)
+        index = InvertedIndex.from_tree(tree, unicode_tokenizer())
+        save_index(index, tmp_path / "el.idx")
+        loaded = load_index(tmp_path / "el.idx")
+        assert loaded.raw_postings() == index.raw_postings()

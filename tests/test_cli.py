@@ -1,0 +1,140 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def document(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "dblp.xml"
+    assert main(["generate", "dblp", str(path), "--scale", "20",
+                 "--seed", "4"]) == 0
+    return path
+
+
+class TestGenerateAndStats:
+    def test_stats(self, document, capsys):
+        assert main(["stats", str(document)]) == 0
+        out = capsys.readouterr().out
+        assert "# nodes" in out
+        assert "maximum depth" in out
+
+    def test_generate_all_datasets(self, tmp_path):
+        for name in ("psd", "nasa", "baseball", "xmark"):
+            target = tmp_path / f"{name}.xml"
+            assert main(["generate", name, str(target),
+                         "--scale", "5"]) == 0
+            assert target.exists()
+
+
+class TestIndexAndSearch:
+    def test_index_then_search(self, document, tmp_path, capsys):
+        store = tmp_path / "dblp.idx"
+        assert main(["index", str(document), str(store)]) == 0
+        capsys.readouterr()
+        assert main(["search", str(document), "((Lei Chen) (Yi Guo))",
+                     "--index", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "result(s)" in out
+        assert "bib/article" in out
+
+    def test_search_without_store(self, document, capsys):
+        assert main(["search", str(document), "(lei chen)"]) == 0
+        assert "result(s)" in capsys.readouterr().out
+
+    def test_search_vector_ranking(self, document, capsys):
+        assert main(["search", str(document), "((Lei Chen) (Yi Guo))",
+                     "--rank", "vector"]) == 0
+        assert "score=" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("baseline", ["slca", "elca", "lcasz", "saone"])
+    def test_baselines(self, document, baseline, capsys):
+        assert main(["search", str(document), "(lei chen yi guo)",
+                     "--baseline", baseline]) == 0
+        assert "result(s)" in capsys.readouterr().out
+
+    def test_top_limits_output(self, document, capsys):
+        assert main(["search", str(document), "(title)", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert len([line for line in out.splitlines()
+                    if line.startswith("r")]) <= 2
+
+
+class TestAdvancedSearch:
+    def test_skyline_ranking(self, document, capsys):
+        assert main(["search", str(document), "((Lei Chen) (Yi Guo))",
+                     "--rank", "skyline"]) == 0
+        assert "terms=" in capsys.readouterr().out
+
+    def test_top_k(self, document, capsys):
+        assert main(["search", str(document), "((Lei Chen) (Yi Guo))",
+                     "--top-k", "1"]) == 0
+        assert "-- 1 result(s)" in capsys.readouterr().out
+
+    def test_max_size(self, document, capsys):
+        assert main(["search", str(document), "((Lei Chen) (Yi Guo))",
+                     "--max-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "size=2" in out
+        assert "size=3" not in out and "size=4" not in out
+
+    def test_witness(self, document, capsys):
+        assert main(["search", str(document), "((Lei Chen) (Yi Guo))",
+                     "--witness", "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "->" in out
+        assert "author" in out
+
+    def test_streaming_index(self, document, tmp_path, capsys):
+        store = tmp_path / "stream.idx"
+        assert main(["index", str(document), str(store),
+                     "--stream"]) == 0
+        capsys.readouterr()
+        assert main(["search", str(document), "(lei chen)",
+                     "--index", str(store)]) == 0
+        assert "result(s)" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_experiment_runs(self, capsys):
+        assert main(["experiment", "baseball", "--scale", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Table 4" in out
+        assert "MAP=" in out
+
+
+class TestExplain:
+    def test_explain_without_document(self, capsys):
+        assert main(["explain", "(XML (John Smith))"]) == 0
+        out = capsys.readouterr().out
+        assert "reduced lattice" in out
+        assert "term tree" in out
+
+    def test_explain_with_document(self, document, capsys):
+        assert main(["explain", "((Lei Chen) (Yi Guo))",
+                     "--document", str(document)]) == 0
+        assert "instance(s)" in capsys.readouterr().out
+
+
+class TestLattice:
+    def test_lattice_report(self, capsys):
+        assert main(["lattice",
+                     "((XML Keyword Search) (Paul Cooper) (Mary Davis))"
+                     ]) == 0
+        out = capsys.readouterr().out
+        assert "877" in out   # full lattice of 7 keywords
+        assert "9" in out     # reduced lattice
+
+
+class TestErrors:
+    def test_bad_query_reports_error(self, document, capsys):
+        assert main(["search", str(document), "((a))"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_xml_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<a><b></a>")
+        assert main(["stats", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,119 @@
+"""Tests for multi-document corpora."""
+
+import pytest
+
+from repro.corpus import Corpus
+
+DOC_A = """<bib>
+  <article>
+    <title>xml keyword search</title>
+    <author>john smith</author>
+  </article>
+</bib>"""
+
+DOC_B = """<bib>
+  <article>
+    <title>graph databases</title>
+    <author>george brown</author>
+  </article>
+  <article>
+    <title>xml views</title>
+    <author>john brown</author>
+  </article>
+</bib>"""
+
+
+@pytest.fixture
+def corpus():
+    corpus = Corpus()
+    corpus.add_document("a.xml", DOC_A)
+    corpus.add_document("b.xml", DOC_B)
+    return corpus
+
+
+class TestBuilding:
+    def test_document_ids_sequential(self):
+        corpus = Corpus()
+        assert corpus.add_document("x", DOC_A) == 0
+        assert corpus.add_document("y", DOC_B) == 1
+        assert len(corpus) == 2
+        assert corpus.documents == ["x", "y"]
+
+    def test_add_path(self, tmp_path):
+        target = tmp_path / "doc.xml"
+        target.write_text(DOC_A)
+        corpus = Corpus()
+        corpus.add_paths([target])
+        assert corpus.documents == ["doc.xml"]
+
+    def test_documents_share_keyword_space(self, corpus):
+        # 'xml' appears in both documents: postings span both subtrees.
+        codes = [p.code for p in corpus.index.postings("xml")]
+        assert any(code[0] == 0 for code in codes)
+        assert any(code[0] == 1 for code in codes)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, corpus, tmp_path):
+        path = tmp_path / "collection.ckscorpus"
+        written = corpus.save(path)
+        assert written == path.stat().st_size
+        reloaded = Corpus.load(path)
+        assert reloaded.documents == corpus.documents
+        assert reloaded.index.raw_postings() == \
+            corpus.index.raw_postings()
+
+    def test_reloaded_corpus_searches(self, corpus, tmp_path):
+        path = tmp_path / "collection.ckscorpus"
+        corpus.save(path)
+        reloaded = Corpus.load(path)
+        original = [(r.document, r.result.code, r.result.size)
+                    for r in corpus.search("(xml (john smith))")]
+        restored = [(r.document, r.result.code, r.result.size)
+                    for r in reloaded.search("(xml (john smith))")]
+        assert original == restored
+
+    def test_bad_magic_rejected(self, tmp_path):
+        from repro.errors import StoreFormatError
+        path = tmp_path / "bad.ckscorpus"
+        path.write_bytes(b"NOTACORP" + b"\x00" * 8)
+        with pytest.raises(StoreFormatError):
+            Corpus.load(path)
+
+    def test_truncated_file_rejected(self, corpus, tmp_path):
+        from repro.errors import StoreFormatError
+        path = tmp_path / "trunc.ckscorpus"
+        corpus.save(path)
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(StoreFormatError):
+            Corpus.load(path)
+
+
+class TestSearching:
+    def test_results_attributed_to_documents(self, corpus):
+        results = corpus.search("(xml (john smith))")
+        assert results
+        assert results[0].document == "a.xml"
+        assert results[0].result.code[0] == 0
+
+    def test_cohesiveness_across_corpus(self, corpus):
+        # john brown in b.xml must not satisfy (john smith).
+        names = {r.document for r in corpus.search("(xml (john smith))")}
+        assert names == {"a.xml"}
+
+    def test_cross_document_results_dropped_by_default(self, corpus):
+        # 'smith' only in a.xml, 'george' only in b.xml: any combined
+        # match would sit at the corpus root.
+        assert corpus.search("(smith george)") == []
+        kept = corpus.search("(smith george)", within_documents=False)
+        assert [r.document for r in kept] == ["<corpus>"]
+
+    def test_code_in_document(self, corpus):
+        result = corpus.search("(george brown)")[0]
+        assert result.document == "b.xml"
+        assert result.code_in_document == result.result.code[1:]
+
+    def test_document_name_lookup(self, corpus):
+        assert corpus.document_name((1, 0)) == "b.xml"
+        with pytest.raises(ValueError):
+            corpus.document_name(())

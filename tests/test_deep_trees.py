@@ -1,0 +1,61 @@
+"""End-to-end robustness on trees deeper than Python's recursion limit.
+
+Every pipeline stage is iterative (parser, builder, writer, indexer,
+engine, baselines), so a 5000-level chain must flow through the whole
+system without RecursionError.
+"""
+
+import sys
+
+import pytest
+
+from repro.core.engine import evaluate
+from repro.baselines import slca
+from repro.index.inverted import InvertedIndex
+from repro.index.streaming import index_xml
+from repro.tree.builder import TreeBuilder
+from repro.xmlio.loader import load_tree
+from repro.xmlio.writer import dump_tree
+
+DEPTH = max(5000, sys.getrecursionlimit() + 2000)
+
+
+@pytest.fixture(scope="module")
+def deep_tree():
+    builder = TreeBuilder()
+    for level in range(DEPTH):
+        builder.start("n", "alpha" if level == DEPTH - 2 else None)
+    builder.leaf("leaf", "omega")
+    for _ in range(DEPTH):
+        builder.end()
+    return builder.finish()
+
+
+def test_build_and_stats(deep_tree):
+    assert deep_tree.max_depth == DEPTH
+    assert len(deep_tree) == DEPTH + 1
+
+
+def test_writer_and_loader_survive(deep_tree):
+    text = dump_tree(deep_tree, indent=0)
+    reloaded = load_tree(text)
+    assert len(reloaded) == len(deep_tree)
+    assert reloaded.max_depth == deep_tree.max_depth
+
+
+def test_streaming_index_survives(deep_tree):
+    index = index_xml(dump_tree(deep_tree, indent=0))
+    assert index.frequency("omega") == 1
+
+
+def test_engine_survives(deep_tree):
+    index = InvertedIndex.from_tree(deep_tree)
+    results = evaluate("(alpha omega)", index)
+    assert results
+    # alpha sits just above the leaf's parent: the LCA is the alpha node.
+    assert results[0].size == 2
+
+
+def test_baseline_survives(deep_tree):
+    index = InvertedIndex.from_tree(deep_tree)
+    assert slca(["alpha", "omega"], index)

@@ -1,0 +1,71 @@
+"""Focused tests for small public surfaces not covered elsewhere."""
+
+import pytest
+
+from repro.core.results import Result
+from repro.baselines import slca_scan_eager
+from repro.core.explain import KeywordStats
+from repro.index.inverted import InvertedIndex
+from repro.tree.builder import build_tree
+
+
+class TestResult:
+    def test_sort_key_orders_by_size_then_document(self):
+        results = [Result((1,), 2), Result((0, 1), 2), Result((5,), 1)]
+        ordered = sorted(results, key=Result.sort_key)
+        assert [r.code for r in ordered] == [(5,), (0, 1), (1,)]
+
+    def test_str_uses_dewey_form(self):
+        assert str(Result((0, 2), 3)) == "r.0.2 (size 3)"
+
+    def test_frozen(self):
+        result = Result((0,), 1)
+        with pytest.raises(AttributeError):
+            result.size = 5
+
+    def test_default_term_sizes_empty(self):
+        assert Result((0,), 1).term_sizes == ()
+
+
+class TestScanEagerUnits:
+    @pytest.fixture
+    def index(self):
+        return InvertedIndex.from_tree(build_tree(("r", None, [
+            ("a", "x"), ("b", None, [("c", "y"), ("d", "x y")]),
+        ])))
+
+    def test_basic(self, index):
+        assert slca_scan_eager(["x", "y"], index) == [(1, 1)]
+
+    def test_single_keyword(self, index):
+        assert slca_scan_eager(["x"], index) == [(0,), (1, 1)]
+
+    def test_missing(self, index):
+        assert slca_scan_eager(["x", "zzz"], index) == []
+
+
+class TestExplainStats:
+    def test_keyword_stats_shape(self):
+        stats = KeywordStats("xml", 2, 10)
+        assert stats.keyword == "xml"
+        assert stats.occurrences == 2
+        assert stats.instances == 10
+
+
+class TestSemanticsRegistry:
+    def test_experiment_semantics_are_consistent(self):
+        from repro.evaluation.experiments import SEMANTICS
+        assert "CohesiveLCA" in SEMANTICS
+        assert "top-1-size CohesiveLCA" in SEMANTICS
+        assert len(SEMANTICS) == 6
+
+
+class TestCLIEntryPoint:
+    def test_console_script_target_exists(self):
+        from repro.cli import main
+        assert callable(main)
+
+    def test_unknown_command_exits(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])

@@ -1,0 +1,53 @@
+"""Contract tests for the public API surface."""
+
+import importlib
+import inspect
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_core_entry_points_present(self):
+        for name in ("CohesiveLCA", "evaluate", "parse_query",
+                     "InvertedIndex", "load_tree", "Corpus",
+                     "search_top_k", "skyline_search",
+                     "reconstruct_witness", "explain",
+                     "LatticeMachine"):
+            assert name in repro.__all__, name
+
+
+class TestDocumentation:
+    SUBPACKAGES = [
+        "repro.tree", "repro.xmlio", "repro.index", "repro.core",
+        "repro.baselines", "repro.datasets", "repro.evaluation",
+        "repro.corpus", "repro.cli",
+    ]
+
+    def test_every_subpackage_documented(self):
+        for name in self.SUBPACKAGES:
+            module = importlib.import_module(name)
+            assert module.__doc__ and module.__doc__.strip(), name
+
+    def test_public_callables_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                assert obj.__doc__ and obj.__doc__.strip(), name
+
+
+class TestErrorHierarchy:
+    def test_single_base_class(self):
+        from repro import errors
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (inspect.isclass(obj) and issubclass(obj, Exception)
+                    and obj is not errors.ReproError
+                    and obj.__module__ == "repro.errors"):
+                assert issubclass(obj, errors.ReproError), name

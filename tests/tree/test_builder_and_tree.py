@@ -1,0 +1,127 @@
+"""Tests for tree construction, Node and DataTree behaviour."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.tree.builder import TreeBuilder, build_tree
+from repro.tree.tree import DataTree
+
+
+@pytest.fixture
+def small_tree():
+    return build_tree(("r", None, [
+        ("a", "alpha", [("c", "gamma")]),
+        ("b", "beta"),
+    ]))
+
+
+class TestTreeBuilder:
+    def test_incremental_build(self):
+        builder = TreeBuilder()
+        builder.start("bib")
+        builder.start("article")
+        builder.leaf("title", "XML search")
+        builder.end()
+        builder.end()
+        tree = builder.finish()
+        assert len(tree) == 3
+        assert tree.node((0, 0)).value == "XML search"
+
+    def test_dewey_codes_follow_preorder(self, small_tree):
+        codes = [node.code for node in small_tree]
+        assert codes == [(), (0,), (0, 0), (1,)]
+
+    def test_set_value_appends(self):
+        builder = TreeBuilder()
+        builder.start("n")
+        builder.set_value("one")
+        builder.set_value("two")
+        builder.end()
+        assert builder.finish().root.value == "one two"
+
+    def test_unbalanced_end_raises(self):
+        builder = TreeBuilder()
+        with pytest.raises(TreeError):
+            builder.end()
+
+    def test_finish_with_open_nodes_raises(self):
+        builder = TreeBuilder()
+        builder.start("r")
+        with pytest.raises(TreeError):
+            builder.finish()
+
+    def test_two_roots_raise(self):
+        builder = TreeBuilder()
+        builder.start("r")
+        builder.end()
+        with pytest.raises(TreeError):
+            builder.start("r2")
+
+    def test_empty_finish_raises(self):
+        with pytest.raises(TreeError):
+            TreeBuilder().finish()
+
+    def test_bad_spec_raises(self):
+        with pytest.raises(TreeError):
+            build_tree((42,))
+        with pytest.raises(TreeError):
+            build_tree(("r", 13))
+
+
+class TestNode:
+    def test_full_text_includes_label_and_value(self, small_tree):
+        assert small_tree.node((0,)).full_text() == "a alpha"
+        # Structure-only nodes search by label alone (paper: a keyword may
+        # appear in the label or the value).
+        assert small_tree.root.full_text() == "r"
+
+    def test_label_path(self, small_tree):
+        assert small_tree.node((0, 0)).label_path() == "r/a/c"
+
+    def test_iter_ancestors(self, small_tree):
+        node = small_tree.node((0, 0))
+        assert [n.label for n in node.iter_ancestors()] == ["a", "r"]
+
+    def test_is_leaf_is_root(self, small_tree):
+        assert small_tree.root.is_root
+        assert not small_tree.root.is_leaf
+        assert small_tree.node((1,)).is_leaf
+
+
+class TestDataTree:
+    def test_len_and_depth(self, small_tree):
+        assert len(small_tree) == 4
+        assert small_tree.max_depth == 2
+
+    def test_lookup(self, small_tree):
+        assert small_tree.node((1,)).label == "b"
+        assert small_tree.get((9, 9)) is None
+        assert (0, 0) in small_tree
+        with pytest.raises(TreeError):
+            small_tree.node((9,))
+
+    def test_root_must_have_root_code(self, small_tree):
+        with pytest.raises(TreeError):
+            DataTree(small_tree.node((0,)))
+
+    def test_find_by_label(self, small_tree):
+        assert [n.code for n in small_tree.find_by_label("a")] == [(0,)]
+
+    def test_lca(self, small_tree):
+        assert small_tree.lca([(0, 0), (1,)]).code == ()
+
+    def test_mct_size_counts_distinct_edges(self, small_tree):
+        # Paths r->a->c and r->b share no edges: 3 edges total.
+        assert small_tree.mct_size([(0, 0), (1,)]) == 3
+        # Single node: zero edges.
+        assert small_tree.mct_size([(0,)]) == 0
+        # Nested paths counted once.
+        assert small_tree.mct_size([(0,), (0, 0)]) == 1
+        assert small_tree.mct_size([]) == 0
+
+    def test_label_paths(self, small_tree):
+        assert small_tree.label_paths() == {"r", "r/a", "r/a/c", "r/b"}
+
+    def test_subtree_iteration(self, small_tree):
+        labels = [n.label for n in small_tree.iter_subtree((0,))]
+        assert labels == ["a", "c"]

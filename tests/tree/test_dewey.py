@@ -1,0 +1,113 @@
+"""Unit and property tests for the Dewey-code algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tree import dewey
+
+codes = st.lists(st.integers(min_value=0, max_value=20),
+                 max_size=8).map(tuple)
+
+
+class TestParseFormat:
+    def test_root(self):
+        assert dewey.parse("r") == ()
+        assert dewey.format_code(()) == "r"
+
+    def test_simple(self):
+        assert dewey.parse("r.0.2") == (0, 2)
+        assert dewey.format_code((0, 2)) == "r.0.2"
+
+    def test_whitespace_tolerated(self):
+        assert dewey.parse("  r.1 ") == (1,)
+
+    @given(codes)
+    def test_roundtrip(self, code):
+        assert dewey.parse(dewey.format_code(code)) == code
+
+
+class TestStructure:
+    def test_depth(self):
+        assert dewey.depth(()) == 0
+        assert dewey.depth((3, 1, 4)) == 3
+
+    def test_parent(self):
+        assert dewey.parent((0, 1)) == (0,)
+
+    def test_parent_of_root_raises(self):
+        with pytest.raises(ValueError):
+            dewey.parent(())
+
+    def test_child(self):
+        assert dewey.child((1,), 2) == (1, 2)
+
+    def test_child_negative_rank_raises(self):
+        with pytest.raises(ValueError):
+            dewey.child((), -1)
+
+    def test_ancestors(self):
+        assert list(dewey.ancestors((1, 2, 3))) == [(), (1,), (1, 2)]
+        assert list(dewey.ancestors((1,), include_self=True)) == [(), (1,)]
+
+
+class TestRelations:
+    def test_is_ancestor_proper(self):
+        assert dewey.is_ancestor((), (0,))
+        assert dewey.is_ancestor((1,), (1, 5, 2))
+        assert not dewey.is_ancestor((1,), (1,))
+        assert not dewey.is_ancestor((1,), (2, 1))
+
+    def test_is_ancestor_or_self(self):
+        assert dewey.is_ancestor_or_self((1,), (1,))
+        assert dewey.is_ancestor_or_self((1,), (1, 0))
+        assert not dewey.is_ancestor_or_self((1, 0), (1,))
+
+    @given(codes, codes)
+    def test_lca_is_common_ancestor(self, a, b):
+        lca = dewey.lca(a, b)
+        assert dewey.is_ancestor_or_self(lca, a)
+        assert dewey.is_ancestor_or_self(lca, b)
+
+    @given(codes, codes)
+    def test_lca_commutes(self, a, b):
+        assert dewey.lca(a, b) == dewey.lca(b, a)
+
+    @given(codes)
+    def test_lca_idempotent(self, a):
+        assert dewey.lca(a, a) == a
+
+    def test_lca_many(self):
+        assert dewey.lca_many([(0, 1), (0, 2), (0, 1, 3)]) == (0,)
+        assert dewey.lca_many([(5,)]) == (5,)
+
+    def test_lca_many_empty_raises(self):
+        with pytest.raises(ValueError):
+            dewey.lca_many([])
+
+    @given(st.lists(codes, min_size=1, max_size=5))
+    def test_lca_many_is_deepest_common_ancestor(self, items):
+        lca = dewey.lca_many(items)
+        for code in items:
+            assert dewey.is_ancestor_or_self(lca, code)
+        # One level deeper is no longer a common ancestor of everything.
+        for code in items:
+            if len(code) > len(lca):
+                deeper = code[: len(lca) + 1]
+                assert not all(dewey.is_ancestor_or_self(deeper, other)
+                               for other in items)
+                break
+
+
+class TestDocumentOrder:
+    def test_ancestor_sorts_before_descendant(self):
+        assert (1,) < (1, 0)
+
+    def test_preorder_of_siblings(self):
+        assert (0, 5) < (1,)
+
+    @given(codes, codes)
+    def test_distance_via_lca(self, a, b):
+        expected = (len(a) + len(b)
+                    - 2 * dewey.common_prefix_length(a, b))
+        assert dewey.distance_via_lca(a, b) == expected

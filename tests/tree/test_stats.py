@@ -1,0 +1,38 @@
+"""Tests for the Table-1 statistics module."""
+
+from repro.tree.builder import build_tree
+from repro.tree.stats import compute_statistics
+
+
+def test_statistics_on_small_tree():
+    tree = build_tree(("bib", None, [
+        ("article", None, [
+            ("title", "xml search"),
+            ("author", "paul cooper"),
+        ]),
+        ("article", None, [
+            ("title", "xml data"),
+        ]),
+    ]))
+    stats = compute_statistics(tree, name="toy")
+    assert stats.name == "toy"
+    assert stats.node_count == 6
+    assert stats.max_depth == 2
+    assert stats.distinct_labels == 4  # bib, article, title, author
+    assert stats.distinct_label_paths == 4
+    # Keywords: bib, article, title, xml, search, author, paul, cooper,
+    # data.
+    assert stats.distinct_keywords == 9
+    row = stats.as_row()
+    assert row["# nodes"] == 6
+    assert row["maximum depth"] == 2
+
+
+def test_statistics_on_figure1(figure1_tree):
+    stats = compute_statistics(figure1_tree, name="figure1")
+    assert stats.node_count == len(figure1_tree)
+    # bib/article/references/article/title is the deepest path (4 edges).
+    assert stats.max_depth == figure1_tree.max_depth == 4
+    assert stats.distinct_labels == 5
+    assert stats.text_bytes > 0
+    assert stats.total_keyword_instances >= stats.distinct_keywords

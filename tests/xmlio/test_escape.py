@@ -1,0 +1,50 @@
+"""Tests for XML entity escaping/decoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import XMLSyntaxError
+from repro.xmlio.escape import (decode_entity, escape_attribute,
+                                escape_text, unescape)
+
+
+class TestEscape:
+    def test_escape_text(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_escape_attribute_also_quotes(self):
+        assert escape_attribute('say "hi"') == "say &quot;hi&quot;"
+
+    @given(st.text(max_size=100))
+    def test_escape_unescape_roundtrip(self, text):
+        assert unescape(escape_text(text)) == text
+
+
+class TestDecode:
+    def test_named_entities(self):
+        assert unescape("&amp;&lt;&gt;&quot;&apos;") == "&<>\"'"
+
+    def test_decimal_reference(self):
+        assert decode_entity("#65") == "A"
+
+    def test_hex_reference(self):
+        assert decode_entity("#x41") == "A"
+        assert decode_entity("#X41") == "A"
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            unescape("&nope;")
+
+    def test_bad_charref_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            decode_entity("#xzz")
+        with pytest.raises(XMLSyntaxError):
+            decode_entity("#999999999999")
+
+    def test_unterminated_reference_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            unescape("a &amp b")
+
+    def test_no_ampersand_fast_path(self):
+        assert unescape("plain text") == "plain text"

@@ -1,0 +1,90 @@
+"""Tests for XML ↔ DataTree conversion, including round trips."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tree.builder import build_tree
+from repro.xmlio.loader import load_tree
+from repro.xmlio.writer import dump_tree
+
+SAMPLE = """<?xml version="1.0"?>
+<bib>
+  <article id="a7">
+    <title>Keyword search in XML data</title>
+    <author>Paul Cooper</author>
+    <author>Mary Davis</author>
+  </article>
+</bib>
+"""
+
+
+class TestLoader:
+    def test_elements_become_nodes(self):
+        tree = load_tree(SAMPLE)
+        assert tree.root.label == "bib"
+        article = tree.node((0,))
+        assert article.label == "article"
+
+    def test_attributes_become_children(self):
+        tree = load_tree(SAMPLE)
+        id_node = tree.node((0, 0))
+        assert id_node.label == "id"
+        assert id_node.value == "a7"
+
+    def test_text_becomes_value(self):
+        tree = load_tree(SAMPLE)
+        assert tree.node((0, 1)).value == "Keyword search in XML data"
+
+    def test_mixed_content_joined(self):
+        tree = load_tree("<a>one<b/>two   three</a>")
+        assert tree.root.value == "one two three"
+
+    def test_cdata_merged_into_value(self):
+        tree = load_tree("<a><![CDATA[x < y]]></a>")
+        assert tree.root.value == "x < y"
+
+    def test_comments_ignored(self):
+        tree = load_tree("<a><!-- hidden -->text</a>")
+        assert tree.root.value == "text"
+        assert len(tree) == 1
+
+
+class TestWriter:
+    def test_dump_produces_wellformed_xml(self, figure1_tree):
+        text = dump_tree(figure1_tree)
+        assert text.startswith('<?xml version="1.0"')
+        reloaded = load_tree(text)
+        assert len(reloaded) == len(figure1_tree)
+
+    def test_escapes_special_characters(self):
+        tree = build_tree(("a", "x < y & z"))
+        text = dump_tree(tree)
+        assert "&lt;" in text and "&amp;" in text
+        assert load_tree(text).root.value == "x < y & z"
+
+
+def _trees(draw):
+    labels = st.sampled_from(["a", "b", "c", "item", "name"])
+    words = st.sampled_from(["alpha", "beta", "x1", "kappa"])
+
+    def spec(depth):
+        children = st.lists(spec(depth - 1), max_size=3) if depth else \
+            st.just([])
+        value = st.one_of(
+            st.none(),
+            st.lists(words, min_size=1, max_size=4).map(" ".join))
+        return st.tuples(labels, value, children)
+
+    return draw(spec(3))
+
+
+@given(st.data())
+def test_tree_xml_roundtrip(data):
+    spec = _trees(data.draw)
+    tree = build_tree(spec)
+    reloaded = load_tree(dump_tree(tree))
+    assert len(reloaded) == len(tree)
+    for original, copy in zip(tree, reloaded):
+        assert original.code == copy.code
+        assert original.label == copy.label
+        assert original.value == copy.value

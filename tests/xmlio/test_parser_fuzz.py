@@ -1,0 +1,56 @@
+"""Fuzz tests: the XML parser must reject garbage, never crash.
+
+Any input either parses into events or raises
+:class:`~repro.errors.XMLSyntaxError` — no other exception type may
+escape, whatever bytes arrive.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import XMLSyntaxError
+from repro.xmlio.pull_parser import PullParser
+
+# Alphabets chosen to hit the markup machinery hard.
+markup_soup = st.text(
+    alphabet="<>&;/=\"'ab \n!?-[]CDATA", max_size=120)
+arbitrary_text = st.text(max_size=120)
+
+
+@given(markup_soup)
+@settings(max_examples=300)
+def test_markup_soup_never_crashes(text):
+    try:
+        list(PullParser(text))
+    except XMLSyntaxError:
+        pass
+
+
+@given(arbitrary_text)
+@settings(max_examples=200)
+def test_arbitrary_text_never_crashes(text):
+    try:
+        list(PullParser(text))
+    except XMLSyntaxError:
+        pass
+
+
+@given(st.text(alphabet="ab<>/", min_size=1, max_size=40))
+@settings(max_examples=200)
+def test_wrapped_soup_in_valid_root(payload):
+    """Garbage inside a well-formed root either parses as text/markup or
+    is rejected cleanly; accepted documents must balance their tags."""
+    document = f"<root>{payload}</root>"
+    try:
+        events = list(PullParser(document))
+    except XMLSyntaxError:
+        return
+    depth = 0
+    for event in events:
+        name = type(event).__name__
+        if name == "StartElement":
+            depth += 1
+        elif name == "EndElement":
+            depth -= 1
+            assert depth >= 0
+    assert depth == 0

@@ -1,0 +1,109 @@
+"""Tests for the from-scratch XML pull parser."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmlio.pull_parser import PullParser
+from repro.xmlio.tokens import (Characters, Comment, EndElement,
+                                ProcessingInstruction, StartElement)
+
+
+def events(text, **kwargs):
+    return list(PullParser(text, **kwargs))
+
+
+class TestBasics:
+    def test_single_element(self):
+        assert events("<a/>") == [
+            StartElement("a", line=1, column=1),
+            EndElement("a", line=1, column=1),
+        ]
+
+    def test_nested_elements_and_text(self):
+        parsed = events("<a><b>hi</b></a>")
+        kinds = [type(event).__name__ for event in parsed]
+        assert kinds == ["StartElement", "StartElement", "Characters",
+                         "EndElement", "EndElement"]
+        assert parsed[2].text == "hi"
+
+    def test_attributes(self):
+        (start, _end) = events('<a x="1" y=\'two\'/>')
+        assert start.attributes == (("x", "1"), ("y", "two"))
+        assert start.get("x") == "1"
+        assert start.get("missing", "d") == "d"
+
+    def test_attribute_entities_decoded(self):
+        (start, _end) = events('<a t="a&amp;b"/>')
+        assert start.get("t") == "a&b"
+
+    def test_text_entities_decoded(self):
+        parsed = events("<a>1 &lt; 2</a>")
+        assert parsed[1].text == "1 < 2"
+
+    def test_whitespace_text_skipped_by_default(self):
+        parsed = events("<a>\n  <b/>\n</a>")
+        assert all(not isinstance(event, Characters) for event in parsed)
+
+    def test_whitespace_text_kept_on_request(self):
+        parsed = events("<a> <b/> </a>", keep_whitespace_text=True)
+        assert sum(isinstance(event, Characters) for event in parsed) == 2
+
+
+class TestSpecialConstructs:
+    def test_comment(self):
+        parsed = events("<a><!-- note --></a>")
+        assert Comment(" note ", line=1, column=4) in parsed
+
+    def test_cdata(self):
+        parsed = events("<a><![CDATA[<raw> & unescaped]]></a>")
+        assert parsed[1] == Characters("<raw> & unescaped",
+                                       line=1, column=4)
+
+    def test_processing_instruction_and_declaration(self):
+        parsed = events('<?xml version="1.0"?><a/>')
+        assert isinstance(parsed[0], ProcessingInstruction)
+        assert parsed[0].target == "xml"
+        assert parsed[0].data == 'version="1.0"'
+
+    def test_doctype_skipped(self):
+        parsed = events('<!DOCTYPE bib SYSTEM "bib.dtd" [ <!ENTITY x "y"> '
+                        ']><a/>')
+        assert isinstance(parsed[0], StartElement)
+
+    def test_comment_before_root(self):
+        parsed = events("<!-- head --><a/>")
+        assert isinstance(parsed[0], Comment)
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize("bad", [
+        "<a>",                       # unclosed element
+        "<a></b>",                   # mismatched tags
+        "</a>",                      # end tag with no start
+        "<a/><b/>",                  # two roots
+        "text<a/>",                  # data before the root
+        "<a x='1' x='2'/>",          # duplicate attribute
+        "<a x=1/>",                  # unquoted attribute
+        "<a x/>",                    # attribute without value
+        "<a x='<'/>",                # raw < in attribute
+        "<a><!-- -- --></a>",        # double hyphen in comment
+        "<a><![CDATA[oops</a>",      # unterminated CDATA
+        "<?pi <a/>",                 # unterminated PI
+        "<a>]]></a>",                # bare CDATA terminator in text
+        "",                          # no root
+        "<a b='1'",                  # truncated tag
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(XMLSyntaxError):
+            events(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            events("<a>\n</b>")
+        assert excinfo.value.line == 2
+
+    def test_streams_without_materializing(self):
+        # The parser is a generator: the first event arrives without
+        # parsing the rest of the (broken) document.
+        stream = PullParser("<a><b></mismatch>").events()
+        assert next(stream) == StartElement("a", line=1, column=1)
