@@ -20,6 +20,7 @@ import pytest
 from repro.datasets import (generate_baseball, generate_dblp, generate_nasa,
                             generate_psd, generate_xmark)
 from repro.index.inverted import InvertedIndex
+from repro.obs import metrics_scope
 
 _REPORTS: list[tuple[str, str]] = []
 
@@ -43,6 +44,28 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     for title, body in _REPORTS:
         terminalreporter.write_sep("=", title)
         terminalreporter.write_line(body)
+
+
+# -- per-run observability ---------------------------------------------------
+
+@pytest.fixture(autouse=True)
+def run_metrics(request):
+    """Isolate a metrics registry per benchmark test.
+
+    Counters and phase timings recorded by the instrumented engine /
+    index / baselines during the test are attached to pytest-benchmark's
+    ``extra_info``, so ``--benchmark-json`` output (the ``BENCH_*.json``
+    files) carries operation counts alongside the timings — the numbers
+    the paper's related work reports (node visits, list accesses).
+    """
+    benchmark = (request.getfixturevalue("benchmark")
+                 if "benchmark" in request.fixturenames else None)
+    with metrics_scope() as registry:
+        yield registry
+    if benchmark is not None:
+        snapshot = registry.snapshot()
+        benchmark.extra_info["counters"] = snapshot["counters"]
+        benchmark.extra_info["phases"] = snapshot["phases"]
 
 
 # -- effectiveness datasets (Table 2 queries + ground truth) ---------------

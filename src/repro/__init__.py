@@ -34,6 +34,8 @@ from repro.core.witness import Witness, reconstruct_witness
 from repro.errors import (QuerySyntaxError, ReproError, TreeError,
                           XMLSyntaxError)
 from repro.index.inverted import InvertedIndex
+from repro.obs import (MetricsRegistry, configure_logging, get_metrics,
+                       metrics_scope)
 from repro.index.store import load_index, save_index
 from repro.index.streaming import index_xml, index_xml_path
 from repro.tree.builder import TreeBuilder, build_tree
@@ -86,5 +88,9 @@ __all__ = [
     "QuerySyntaxError",
     "XMLSyntaxError",
     "TreeError",
+    "MetricsRegistry",
+    "metrics_scope",
+    "get_metrics",
+    "configure_logging",
     "__version__",
 ]

@@ -16,6 +16,7 @@ from repro.core.query import Query
 from repro.core.results import Result
 from repro.errors import EvaluationError
 from repro.index.inverted import InvertedIndex
+from repro.obs import get_metrics
 from repro.tree import dewey
 
 _AFTER_SUBTREE = (1 << 62,)  # sorts after any real child rank
@@ -37,6 +38,15 @@ class KeywordMatches:
                                                         limit=list_limit)]
             for keyword in self.keywords
         ]
+        # Baselines report list accesses (the count the DAG-compression
+        # and probabilistic-XML papers publish), guarded by one check.
+        metrics = get_metrics()
+        self._metrics = metrics if metrics.enabled else None
+        if self._metrics is not None:
+            metrics.declare("baseline_list_accesses")
+            metrics.inc("baseline_lists_loaded", self.k)
+            metrics.inc("baseline_instances_loaded",
+                        self.total_instances())
 
     # -- basic views ---------------------------------------------------------
 
@@ -59,12 +69,16 @@ class KeywordMatches:
     def instances_under(self, keyword_index: int,
                         root: dewey.Code) -> list[dewey.Code]:
         """Instances of one keyword inside the subtree of ``root``."""
+        if self._metrics is not None:
+            self._metrics.inc("baseline_list_accesses")
         instances = self.lists[keyword_index]
         left = bisect.bisect_left(instances, root)
         right = bisect.bisect_left(instances, root + _AFTER_SUBTREE)
         return instances[left:right]
 
     def count_under(self, keyword_index: int, root: dewey.Code) -> int:
+        if self._metrics is not None:
+            self._metrics.inc("baseline_list_accesses")
         instances = self.lists[keyword_index]
         left = bisect.bisect_left(instances, root)
         right = bisect.bisect_left(instances, root + _AFTER_SUBTREE)
@@ -78,6 +92,8 @@ class KeywordMatches:
         the successor of ``anchor`` — the pointer step at the heart of the
         Indexed Lookup Eager SLCA algorithm [Xu & Papakonstantinou 2005].
         """
+        if self._metrics is not None:
+            self._metrics.inc("baseline_list_accesses")
         instances = self.lists[keyword_index]
         if not instances:
             return None

@@ -11,12 +11,19 @@ Subcommands::
 ``search`` accepts ``--index`` to reuse a prebuilt store, ``--top`` to
 cut the answer, ``--baseline slca|elca|lcasz|saone`` to run a baseline
 instead, and ``--rank vector`` for the §2.2 cohesive-term ranking.
+
+Observability (see docs/OBSERVABILITY.md): ``search --metrics`` prints
+the counter/phase-timer report after the results, ``--metrics-json
+PATH`` writes the machine-readable snapshot, and ``--log-level LEVEL``
+turns on the ``repro.*`` logger hierarchy.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.baselines import elca, lcasz, sa_one, slca
@@ -28,10 +35,14 @@ from repro.core.ranking import rank_results
 from repro.errors import ReproError
 from repro.index.inverted import InvertedIndex
 from repro.index.store import load_index, save_index
+from repro.obs import (configure_logging, format_report, get_logger,
+                       get_metrics, metrics_scope)
 from repro.tree import dewey
 from repro.tree.stats import compute_statistics
 from repro.xmlio.loader import load_tree_from_path
 from repro.xmlio.writer import dump_tree_to_path
+
+_log = get_logger("cli")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -82,6 +93,16 @@ def _build_parser() -> argparse.ArgumentParser:
     search_cmd.add_argument("--witness", action="store_true",
                             help="also print a minimal matching subtree "
                                  "per result")
+    search_cmd.add_argument("--metrics", action="store_true",
+                            help="print the counter / phase-timer report "
+                                 "after the results")
+    search_cmd.add_argument("--metrics-json", dest="metrics_json",
+                            default=None, metavar="PATH",
+                            help="write the metrics snapshot as JSON")
+    search_cmd.add_argument("--log-level", dest="log_level", default=None,
+                            type=str.upper,
+                            choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+                            help="enable repro.* logging at this level")
 
     stats_cmd = sub.add_parser("stats", help="Table-1 dataset statistics")
     stats_cmd.add_argument("document")
@@ -123,12 +144,35 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    tree = load_tree_from_path(args.document)
-    index = load_index(args.index_path) if args.index_path \
-        else InvertedIndex.from_tree(tree)
+    if args.log_level:
+        configure_logging(args.log_level)
+    if not (args.metrics or args.metrics_json):
+        return _run_search(args)
+    with metrics_scope() as registry:
+        status = _run_search(args)
+        snapshot = registry.snapshot()
+    if args.metrics:
+        print()
+        print(format_report(snapshot))
+    if args.metrics_json:
+        Path(args.metrics_json).write_text(
+            json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
+        _log.info("metrics snapshot -> %s", args.metrics_json)
+    return status
+
+
+def _run_search(args: argparse.Namespace) -> int:
+    metrics = get_metrics()
+    with metrics.span("index-load"):
+        tree = load_tree_from_path(args.document)
+        index = load_index(args.index_path) if args.index_path \
+            else InvertedIndex.from_tree(tree)
+    _log.info("loaded %s: %d nodes, %d keywords", args.document,
+              len(tree), len(index))
     if args.baseline:
         return _run_baseline(args, index)
-    query = parse_query(args.query)
+    with metrics.span("parse"):
+        query = parse_query(args.query)
     if args.rank == "vector":
         ranked = rank_results(query, index, list_limit=args.list_limit)
         rows = [(item.code, item.size, f"score={item.score:.4f}")

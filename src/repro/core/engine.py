@@ -43,6 +43,7 @@ import heapq
 from collections import deque
 from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
+from repro.core.lattice import record_lattice_metrics
 from repro.core.parser import parse_query
 from repro.core.query import Query
 from repro.core.results import Result
@@ -50,6 +51,8 @@ from repro.core.signatures import (NO_USAGE, CompiledQuery, Usage,
                                    compile_query, merge_breakdowns,
                                    merge_usage, usage_fits)
 from repro.index.inverted import InvertedIndex, Posting
+from repro.obs import get_logger, get_metrics
+from repro.obs.metrics import AnyMetrics, MetricsRegistry
 from repro.tree import dewey
 
 # Table keys: (term_id, member_mask, usage, pure_self)
@@ -58,6 +61,22 @@ _Key = tuple[int, int, Usage, bool]
 _Value = tuple[int, tuple[Optional[int], ...]]
 
 _ROOT_TERM = 0
+
+_log = get_logger("core.engine")
+
+#: Counter catalogue of one engine run (see docs/OBSERVABILITY.md).
+#: Declared up front so reports show explicit zeros even when a run
+#: short-circuits (e.g. a query keyword with an empty inverted list).
+ENGINE_COUNTERS = (
+    "postings_consumed",
+    "stack_pushes",
+    "stack_pops",
+    "entries_merged",
+    "partial_lca_allocations",
+    "results_emitted",
+    "lattice_nodes_built",
+    "lattice_nodes_pruned",
+)
 
 
 class _Entry:
@@ -96,19 +115,37 @@ class _Evaluation:
 
     def __init__(self, compiled: CompiledQuery,
                  size_budget: Optional[int] = None,
-                 impenetrability: bool = True):
+                 impenetrability: bool = True,
+                 metrics: Optional[MetricsRegistry] = None):
         self.compiled = compiled
         self.size_budget = size_budget
         self.impenetrability = impenetrability
         self.results: dict[dewey.Code, _Value] = {}
         self._stack: list[_Entry] = [_Entry(dewey.ROOT)]
+        # Run statistics accumulate in plain integers (near-free on the
+        # hot path) and flush to the registry once, when the stream ends.
+        self._metrics = metrics if metrics is not None and \
+            metrics.enabled else None
+        self.stat_postings = 0
+        self.stat_pushes = 0
+        self.stat_pops = 0
+        self.stat_merged = 0
+        self.stat_allocations = 0
+        self.stat_results = 0
 
     # -- driving -------------------------------------------------------------
 
     def run(self, stream: Iterable[tuple[dewey.Code, dict[str, int]]]
             ) -> list[Result]:
-        ranked = list(self.stream(stream))
-        ranked.sort(key=Result.sort_key)
+        metrics = self._metrics
+        if metrics is None:
+            ranked = list(self.stream(stream))
+            ranked.sort(key=Result.sort_key)
+            return ranked
+        with metrics.span("stream-scan"):
+            ranked = list(self.stream(stream))
+        with metrics.span("rank"):
+            ranked.sort(key=Result.sort_key)
         return ranked
 
     def stream(self, stream: Iterable[tuple[dewey.Code, dict[str, int]]]
@@ -122,12 +159,15 @@ class _Evaluation:
         order; sort by :meth:`Result.sort_key` for the ranked answer.
         """
         for code, frequencies in stream:
+            self.stat_postings += len(frequencies)
             yield from self._align(code)
             self._add_instances(self._stack[-1], frequencies)
         yield from self._drain()
         root_value = self.results.get(dewey.ROOT)
         if root_value is not None:
+            self.stat_results += 1
             yield Result(dewey.ROOT, root_value[0], root_value[1])
+        self._flush()
 
     def _align(self, code: dewey.Code) -> Iterator[Result]:
         """Pop to the common ancestor of the previous path, push to
@@ -135,23 +175,45 @@ class _Evaluation:
         stack = self._stack
         while not dewey.is_ancestor_or_self(stack[-1].code, code):
             child = stack.pop()
+            self.stat_pops += 1
             self._merge_child(stack[-1], child)
             value = self.results.get(child.code)
             if value is not None:
+                self.stat_results += 1
                 yield Result(child.code, value[0], value[1])
         while stack[-1].code != code:
             next_code = code[: len(stack[-1].code) + 1]
             stack.append(_Entry(next_code))
+            self.stat_pushes += 1
 
     def _drain(self) -> Iterator[Result]:
         """Empty the stacks after the last instance (paper line 10)."""
         stack = self._stack
         while len(stack) > 1:
             child = stack.pop()
+            self.stat_pops += 1
             self._merge_child(stack[-1], child)
             value = self.results.get(child.code)
             if value is not None:
+                self.stat_results += 1
                 yield Result(child.code, value[0], value[1])
+
+    def _flush(self) -> None:
+        """Publish the run statistics to the active metrics registry."""
+        metrics = self._metrics
+        if metrics is None:
+            return
+        metrics.inc("postings_consumed", self.stat_postings)
+        metrics.inc("stack_pushes", self.stat_pushes)
+        metrics.inc("stack_pops", self.stat_pops)
+        metrics.inc("entries_merged", self.stat_merged)
+        metrics.inc("partial_lca_allocations", self.stat_allocations)
+        metrics.inc("results_emitted", self.stat_results)
+        _log.debug(
+            "evaluation done: %d postings, %d pushes, %d merges, "
+            "%d allocations, %d results", self.stat_postings,
+            self.stat_pushes, self.stat_merged, self.stat_allocations,
+            self.stat_results)
 
     # -- self instances -------------------------------------------------------
 
@@ -221,6 +283,7 @@ class _Evaluation:
                 lifted[sig] = (size + 1, bd)
         if not lifted:
             return
+        self.stat_merged += len(lifted)
         snapshot = list(parent.acc.items())
         fresh_before = dict(parent.fresh) if not self.impenetrability \
             else None
@@ -297,11 +360,13 @@ class _Evaluation:
                 current = entry.fresh.get(parent_sig)
                 if current is None or size < current[0]:
                     entry.fresh[parent_sig] = (size, breakdown)
+                    self.stat_allocations += 1
             return
         key = (term_id, mask, usage, pure)
         current = entry.acc.get(key)
         if current is None or size < current[0]:
             entry.acc[key] = (size, breakdown)
+            self.stat_allocations += 1
             if queue is not None and pure:
                 queue.append(key)
 
@@ -346,7 +411,12 @@ def evaluate_on_lists(query: Query,
     the results within it); ``impenetrability=False`` disables Def.
     2(b)(ii) for ablation studies.
     """
-    compiled = compile_query(query, normalize)
+    metrics = get_metrics()
+    with metrics.span("lattice-build"):
+        compiled = compile_query(query, normalize)
+    if metrics.enabled:
+        metrics.declare(*ENGINE_COUNTERS)
+        record_lattice_metrics(query, metrics)
     lists: dict[str, Sequence[Posting]] = {}
     for keyword in compiled.atoms:
         plist = posting_lists.get(keyword, ())
@@ -354,7 +424,8 @@ def evaluate_on_lists(query: Query,
             return []
         lists[keyword] = plist
     evaluation = _Evaluation(compiled, size_budget=size_budget,
-                             impenetrability=impenetrability)
+                             impenetrability=impenetrability,
+                             metrics=metrics if metrics.enabled else None)
     return evaluation.run(merge_posting_streams(lists))
 
 
@@ -385,7 +456,8 @@ class CohesiveLCA:
         2(b)(ii) disabled (ablation only).
         """
         if isinstance(query, str):
-            query = parse_query(query)
+            with get_metrics().span("parse"):
+                query = parse_query(query)
         normalize = self._index.tokenizer.normalize
         compiled_keywords = {
             normalize(keyword) for keyword in query.distinct_keywords()
@@ -409,17 +481,24 @@ def stream_evaluate(query: Union[str, Query], index: InvertedIndex,
     can consume results while the inverted lists are still streaming —
     no Def. 3 ordering until you sort.
     """
+    metrics = get_metrics()
     if isinstance(query, str):
-        query = parse_query(query)
+        with metrics.span("parse"):
+            query = parse_query(query)
     normalize = index.tokenizer.normalize
-    compiled = compile_query(query, normalize)
+    with metrics.span("lattice-build"):
+        compiled = compile_query(query, normalize)
+    if metrics.enabled:
+        metrics.declare(*ENGINE_COUNTERS)
+        record_lattice_metrics(query, metrics)
     lists: dict[str, Sequence[Posting]] = {}
     for keyword in compiled.atoms:
         plist = index.postings(keyword, limit=list_limit)
         if not plist:
             return
         lists[keyword] = plist
-    evaluation = _Evaluation(compiled, size_budget=size_budget)
+    evaluation = _Evaluation(compiled, size_budget=size_budget,
+                             metrics=metrics if metrics.enabled else None)
     yield from evaluation.stream(merge_posting_streams(lists))
 
 

@@ -40,13 +40,14 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, Mapping, Optional, Sequence, Union
 
-from repro.core.lattice import admissible_partitions
+from repro.core.lattice import admissible_partitions, record_lattice_metrics
 from repro.core.parser import parse_query
 from repro.core.query import Query
 from repro.core.results import Result
 from repro.core.signatures import (NO_USAGE, Usage, merge_usage,
                                    usage_fits)
 from repro.index.inverted import InvertedIndex, Posting
+from repro.obs import get_metrics
 from repro.tree import dewey
 
 Block = frozenset
@@ -127,6 +128,20 @@ class LatticeMachine:
         # Shared path bookkeeping: codes plus per-node keyword budgets.
         self._path: list[dewey.Code] = [dewey.ROOT]
         self._budgets: list[dict[str, int]] = [{}]
+        # Observability: the machine materializes the lattice, so its
+        # stack count is the exact built-node figure (§3 reduction).
+        metrics = get_metrics()
+        self._metrics = metrics if metrics.enabled else None
+        if self._metrics is not None:
+            metrics.declare("postings_consumed", "stack_pushes",
+                            "stack_pops", "partial_lca_allocations",
+                            "results_emitted")
+            record_lattice_metrics(query, metrics,
+                                   built=len(self._stacks))
+        self._stat_postings = 0
+        self._stat_pushes = 0
+        self._stat_pops = 0
+        self._stat_allocations = 0
 
     # -- public API -----------------------------------------------------------
 
@@ -167,6 +182,14 @@ class LatticeMachine:
         ranked = [Result(code, size)
                   for code, size in self._results.items()]
         ranked.sort(key=Result.sort_key)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.inc("postings_consumed", self._stat_postings)
+            metrics.inc("stack_pushes", self._stat_pushes)
+            metrics.inc("stack_pops", self._stat_pops)
+            metrics.inc("partial_lca_allocations",
+                        self._stat_allocations)
+            metrics.inc("results_emitted", len(ranked))
         return ranked
 
     def search(self, index: InvertedIndex,
@@ -181,6 +204,7 @@ class LatticeMachine:
     # -- node arrival ------------------------------------------------------------
 
     def _feed(self, code: dewey.Code, frequencies: dict[str, int]) -> None:
+        self._stat_postings += len(frequencies)
         while not dewey.is_ancestor_or_self(self._path[-1], code):
             self._pop_deepest()
         while self._path[-1] != code:
@@ -189,6 +213,7 @@ class LatticeMachine:
             self._budgets.append({})
             for stack in self._stacks:
                 stack.entries.append(_Entry(next_code, stack.partition))
+            self._stat_pushes += len(self._stacks)
         self._budgets[-1] = frequencies
         # Keyword instances enter every singleton column (line 5 pushes
         # them into the source stack; propagation spreads them to every
@@ -224,6 +249,7 @@ class LatticeMachine:
             current = column.get(key)
             if current is None or size < current:
                 column[key] = size
+                self._stat_allocations += 1
                 improved = True
         return improved
 
@@ -241,6 +267,7 @@ class LatticeMachine:
         fix (everything still happens inside the popped entries)."""
         code = self._path.pop()
         budget = self._budgets.pop()
+        self._stat_pops += len(self._stacks)
         step = code[-1]
         changed = True
         while changed:

@@ -20,10 +20,18 @@ class QuerySyntaxError(ReproError):
     """
 
     def __init__(self, message: str, position: int | None = None):
+        # Keep the un-decorated message: default Exception pickling
+        # replays __init__ with self.args, and args holds the decorated
+        # string, which would lose ``position`` and stack a second
+        # "(at position N)" suffix on every round-trip.
+        self.raw_message = message
         if position is not None:
             message = f"{message} (at position {position})"
         super().__init__(message)
         self.position = position
+
+    def __reduce__(self):
+        return (type(self), (self.raw_message, self.position))
 
 
 class XMLSyntaxError(ReproError):
@@ -35,11 +43,15 @@ class XMLSyntaxError(ReproError):
 
     def __init__(self, message: str, line: int | None = None,
                  column: int | None = None):
+        self.raw_message = message
         if line is not None:
             message = f"{message} (line {line}, column {column})"
         super().__init__(message)
         self.line = line
         self.column = column
+
+    def __reduce__(self):
+        return (type(self), (self.raw_message, self.line, self.column))
 
 
 class TreeError(ReproError):

@@ -17,6 +17,7 @@ from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.errors import IndexError_
 from repro.index.tokenizer import Tokenizer, default_tokenizer
+from repro.obs import get_metrics
 from repro.tree import dewey
 from repro.tree.tree import DataTree
 
@@ -89,7 +90,12 @@ class InvertedIndex:
         """
         plist = self._postings.get(self._normalize(keyword), ())
         if limit is not None:
-            return plist[:limit]
+            plist = plist[:limit]
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("index_lists_requested")
+            metrics.inc("index_postings_returned", len(plist))
+            metrics.observe("posting_list_length", len(plist))
         return plist
 
     def frequency(self, keyword: str) -> int:

@@ -28,8 +28,11 @@ from typing import BinaryIO, Union
 
 from repro.errors import StoreFormatError
 from repro.index.inverted import InvertedIndex, Posting
+from repro.obs import get_logger, get_metrics
 
 MAGIC = b"CKSIDX1\n"
+
+_log = get_logger("index.store")
 
 PathLike = Union[str, Path]
 
@@ -69,6 +72,10 @@ def save_index(index: InvertedIndex, path: PathLike) -> int:
     """Persist ``index`` to ``path``; returns the number of bytes written."""
     blob = encode_index(index)
     Path(path).write_bytes(blob)
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("store_bytes_written", len(blob))
+    _log.debug("wrote %d bytes to %s", len(blob), path)
     return len(blob)
 
 
@@ -103,7 +110,14 @@ def encode_index(index: InvertedIndex) -> bytes:
 
 def load_index(path: PathLike) -> InvertedIndex:
     """Load an index previously written by :func:`save_index`."""
-    return decode_index(Path(path).read_bytes())
+    metrics = get_metrics()
+    with metrics.span("index-load"):
+        blob = Path(path).read_bytes()
+        index = decode_index(blob)
+    if metrics.enabled:
+        metrics.inc("store_bytes_read", len(blob))
+    _log.debug("read %d bytes from %s", len(blob), path)
+    return index
 
 
 def decode_index(blob: bytes) -> InvertedIndex:

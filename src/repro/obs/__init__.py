@@ -1,0 +1,44 @@
+"""Engine-wide observability: metrics, phase tracing and logging.
+
+A dependency-free layer the hot paths report into:
+
+* :class:`MetricsRegistry` — named counters and histograms, activated
+  per-block with :func:`metrics_scope` (isolated registries for tests
+  and benchmarks) or process-wide with :func:`set_global_metrics`;
+* nested span tracing with monotonic phase timers (``parse``,
+  ``index-load``, ``lattice-build``, ``stream-scan``, ``rank``),
+  rendered as a human tree (:func:`format_report`) or JSON
+  (:meth:`MetricsRegistry.snapshot`);
+* a no-op fast path — :func:`get_metrics` returns the
+  :data:`NULL_METRICS` singleton when nothing is activated, so
+  instrumentation costs near zero by default;
+* :func:`configure_logging` / :func:`get_logger` for the stdlib
+  ``repro.*`` logger hierarchy (no handlers installed on import).
+
+See ``docs/OBSERVABILITY.md`` for the metric-name catalogue and which
+paper figure each counter validates.
+"""
+
+from repro.obs.logconfig import configure_logging, get_logger
+from repro.obs.metrics import (NULL_METRICS, AnyMetrics, Histogram,
+                               MetricsRegistry, NullMetrics, get_metrics,
+                               metrics_scope, set_global_metrics)
+from repro.obs.report import format_report
+from repro.obs.trace import Span, aggregate_phases, render_spans
+
+__all__ = [
+    "AnyMetrics",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "Span",
+    "aggregate_phases",
+    "configure_logging",
+    "format_report",
+    "get_logger",
+    "get_metrics",
+    "metrics_scope",
+    "render_spans",
+    "set_global_metrics",
+]

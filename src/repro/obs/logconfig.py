@@ -1,0 +1,66 @@
+"""Stdlib-``logging`` setup for the ``repro.*`` logger hierarchy.
+
+Importing :mod:`repro` installs **no** handlers and configures nothing —
+library code only ever calls :func:`get_logger`, which is free until a
+record is actually emitted.  Applications (and ``cohesive-search
+--log-level``) opt in with :func:`configure_logging`, which installs one
+stream handler on the ``repro`` root logger, idempotently: calling it
+again re-levels the existing handler instead of stacking duplicates.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO, Union
+
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+# Attribute stamped on the handler we install, so reconfiguration finds
+# it among any handlers the application may have added itself.
+_MARKER = "_repro_obs_handler"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name
+                             else ROOT_LOGGER)
+
+
+def _coerce_level(level: Union[int, str]) -> int:
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(level.upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    return resolved
+
+
+def configure_logging(level: Union[int, str] = "INFO",
+                      stream: Optional[TextIO] = None,
+                      fmt: str = _FORMAT) -> logging.Logger:
+    """Send ``repro.*`` log records to ``stream`` (default stderr).
+
+    Idempotent: repeated calls adjust the level (and stream/format) of
+    the handler installed by the first call rather than adding another.
+    Returns the configured ``repro`` root logger.  ``level`` may be a
+    ``logging`` constant or a case-insensitive name like ``"debug"``;
+    an unknown name raises :class:`ValueError`.
+    """
+    resolved = _coerce_level(level)
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(resolved)
+
+    handler = next((h for h in logger.handlers if getattr(h, _MARKER,
+                                                          False)), None)
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        setattr(handler, _MARKER, True)
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(resolved)
+    handler.setFormatter(logging.Formatter(fmt))
+    return logger

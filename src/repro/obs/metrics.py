@@ -1,0 +1,310 @@
+"""Metrics registries: named counters, histograms and span traces.
+
+The design has one invariant: **instrumented code must cost near zero
+when observability is off** (the default).  :func:`get_metrics` returns
+the singleton :data:`NULL_METRICS` unless a registry has been activated,
+and every ``NullMetrics`` method is a no-op — hot paths either batch
+their counts into plain integers and flush once per run, or guard
+per-operation counting behind a single ``registry.enabled`` check.
+
+Activation is scoped::
+
+    with metrics_scope() as m:
+        searcher.search(query)
+    print(m.counter("postings_consumed"))
+
+``metrics_scope`` installs a fresh (or caller-supplied) registry in a
+:class:`contextvars.ContextVar`, so concurrently running tests, asyncio
+tasks and benchmark rounds each observe an isolated registry.  A
+process-global default can additionally be installed with
+:func:`set_global_metrics` (used by long-running services); the lookup
+order is *active scope → global default → null*.
+
+:class:`MetricsRegistry` is thread-safe: counter and histogram updates
+take an internal lock, and the span stack is thread-local so traces from
+worker threads interleave without corruption.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional, Union
+
+from repro.obs.trace import Span, aggregate_phases
+
+
+class Histogram:
+    """Streaming summary of observed values: count, sum, min, max, mean."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Fold one value into the summary."""
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observed values (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class _NullContext:
+    """A reusable no-op context manager (the disabled span/timer)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullMetrics:
+    """The disabled registry: every operation is a no-op.
+
+    Returned by :func:`get_metrics` when no registry is active, so
+    instrumented code never needs an ``if metrics is not None`` dance —
+    though hot paths should still check :attr:`enabled` once and skip
+    their bookkeeping entirely.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Ignore a counter increment."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Ignore a histogram observation."""
+
+    def declare(self, *names: str) -> None:
+        """Ignore counter pre-registration."""
+
+    def span(self, name: str):
+        """A no-op context manager."""
+        return _NULL_CONTEXT
+
+    def timer(self, name: str):
+        """A no-op context manager (alias of :meth:`span`)."""
+        return _NULL_CONTEXT
+
+    def counter(self, name: str) -> int:
+        """Always 0."""
+        return 0
+
+    def snapshot(self) -> dict:
+        """An empty snapshot, shaped like a real one."""
+        return {"counters": {}, "histograms": {}, "phases": {}, "spans": []}
+
+
+NULL_METRICS = NullMetrics()
+
+
+class MetricsRegistry:
+    """A thread-safe registry of named counters, histograms and spans.
+
+    Counters are monotonically increasing integers (:meth:`inc`);
+    histograms summarize value distributions (:meth:`observe`); spans
+    time nested pipeline phases (:meth:`span`).  :meth:`snapshot`
+    freezes everything into a JSON-serializable dict.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._spans: list[Span] = []
+        self._span_stacks = threading.local()
+
+    # -- counters ----------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` (default 1) to the counter ``name``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def declare(self, *names: str) -> None:
+        """Ensure counters exist (at 0) even if never incremented.
+
+        Instrumented subsystems declare their counter catalogue up
+        front so reports and JSON dumps show explicit zeros — e.g. a
+        query with an empty inverted list short-circuits before any
+        posting is consumed, yet ``postings_consumed: 0`` must appear.
+        """
+        with self._lock:
+            for name in names:
+                self._counters.setdefault(name, 0)
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never touched)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """A sorted copy of all counters."""
+        with self._lock:
+            return dict(sorted(self._counters.items()))
+
+    # -- histograms --------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the histogram ``name``."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.observe(value)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram ``name`` (an empty one if never observed)."""
+        with self._lock:
+            return self._histograms.get(name, Histogram())
+
+    # -- spans -------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Time a region; nested calls build a phase tree.
+
+        The span stack is per-thread: spans opened on different threads
+        form separate trees instead of corrupting each other's nesting.
+        """
+        stack: list[Span] = getattr(self._span_stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._span_stacks.stack = stack
+        span = Span(name, time.perf_counter())
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = time.perf_counter()
+            stack.pop()
+            if stack:
+                stack[-1].children.append(span)
+            else:
+                with self._lock:
+                    self._spans.append(span)
+
+    def timer(self, name: str):
+        """Alias of :meth:`span` — reads better for non-nested timings."""
+        return self.span(name)
+
+    @property
+    def spans(self) -> list[Span]:
+        """The completed top-level spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Freeze the registry into a JSON-serializable dict.
+
+        Shape::
+
+            {"counters": {name: int},
+             "histograms": {name: {count, sum, min, max, mean}},
+             "phases": {span-name: total-seconds},
+             "spans": [{name, seconds, children: [...]}, ...]}
+        """
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            histograms = {name: histogram.as_dict()
+                          for name, histogram in
+                          sorted(self._histograms.items())}
+            spans = list(self._spans)
+        return {
+            "counters": counters,
+            "histograms": histograms,
+            "phases": {name: round(seconds, 9) for name, seconds in
+                       sorted(aggregate_phases(spans).items())},
+            "spans": [span.as_dict() for span in spans],
+        }
+
+
+AnyMetrics = Union[MetricsRegistry, NullMetrics]
+
+_ACTIVE: ContextVar[Optional[MetricsRegistry]] = ContextVar(
+    "repro_obs_active_registry", default=None)
+_GLOBAL: Optional[MetricsRegistry] = None
+
+
+def get_metrics() -> AnyMetrics:
+    """The registry instrumented code should report to, right now.
+
+    Lookup order: the innermost :func:`metrics_scope` registry, then the
+    process-global default installed by :func:`set_global_metrics`, then
+    the no-op :data:`NULL_METRICS`.  Never returns ``None`` — callers
+    can use the result unconditionally, or check ``.enabled`` once to
+    skip bookkeeping entirely on hot paths.
+    """
+    active = _ACTIVE.get()
+    if active is not None:
+        return active
+    if _GLOBAL is not None:
+        return _GLOBAL
+    return NULL_METRICS
+
+
+@contextmanager
+def metrics_scope(registry: Optional[MetricsRegistry] = None
+                  ) -> Iterator[MetricsRegistry]:
+    """Activate an isolated registry for the duration of the block.
+
+    Yields the registry (a fresh one unless ``registry`` is given).
+    Scopes nest: the innermost wins; on exit the previous registry — or
+    the disabled default — is restored.  Context-local, so concurrent
+    tests and asyncio tasks do not observe each other's counters.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    token = _ACTIVE.set(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE.reset(token)
+
+
+def set_global_metrics(registry: Optional[MetricsRegistry]
+                       ) -> Optional[MetricsRegistry]:
+    """Install (or, with ``None``, remove) the process-global registry.
+
+    Returns the previously installed registry.  Scoped registries from
+    :func:`metrics_scope` still take precedence while active.
+    """
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = registry
+    return previous

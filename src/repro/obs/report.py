@@ -1,0 +1,70 @@
+"""Human rendering of metrics snapshots (the ``--metrics`` report)."""
+
+from __future__ import annotations
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_report(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as aligned text.
+
+    Sections (each omitted when empty): ``counters`` (name/value),
+    ``histograms`` (count/min/mean/max), ``phases`` (total
+    milliseconds per phase name) and ``trace`` (the nested span tree).
+    """
+    lines: list[str] = []
+
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}s}  {value}")
+
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        if lines:
+            lines.append("")
+        lines.append("histograms")
+        width = max(len(name) for name in histograms)
+        for name, data in histograms.items():
+            lines.append(
+                f"  {name:<{width}s}  count={data['count']} "
+                f"min={_format_value(data['min'])} "
+                f"mean={_format_value(data['mean'])} "
+                f"max={_format_value(data['max'])}")
+
+    phases = snapshot.get("phases", {})
+    if phases:
+        if lines:
+            lines.append("")
+        lines.append("phases")
+        width = max(len(name) for name in phases)
+        for name, seconds in phases.items():
+            lines.append(f"  {name:<{width}s}  {seconds * 1000:10.3f} ms")
+
+    spans = snapshot.get("spans", [])
+    if spans:
+        if lines:
+            lines.append("")
+        lines.append("trace")
+        lines.extend(_render_span_dicts(spans, 1))
+
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def _render_span_dicts(spans: list, depth: int) -> list[str]:
+    lines: list[str] = []
+    for span in spans:
+        pad = "  " * depth
+        lines.append(f"{pad}{span['name']:<{max(1, 26 - 2 * depth)}s}"
+                     f"{span['seconds'] * 1000:10.3f} ms")
+        lines.extend(_render_span_dicts(span.get("children", []),
+                                        depth + 1))
+    return lines

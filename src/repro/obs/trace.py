@@ -1,0 +1,89 @@
+"""Nested span tracing with monotonic phase timers.
+
+A :class:`Span` is one timed region of the evaluation pipeline — the
+canonical phase names are ``parse``, ``index-load``, ``lattice-build``,
+``stream-scan`` and ``rank`` — measured with :func:`time.perf_counter`
+(monotonic, sub-microsecond).  Spans nest: a span opened while another
+span of the same registry is active on the same thread becomes its
+child, so a trace is a forest of phase trees.
+
+Spans are created through :meth:`repro.obs.metrics.MetricsRegistry.span`;
+this module holds the data type plus the two renderers shared by the CLI
+and the JSON dump: :func:`render_spans` (human tree) and
+:func:`aggregate_phases` (name → total seconds).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class Span:
+    """One timed region: a name, start/end instants, and child spans."""
+
+    __slots__ = ("name", "start", "end", "children")
+
+    def __init__(self, name: str, start: float):
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.children: list["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (used by ``--metrics-json``)."""
+        entry: dict = {
+            "name": self.name,
+            "seconds": round(self.duration, 9),
+        }
+        if self.children:
+            entry["children"] = [child.as_dict() for child in self.children]
+        return entry
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration * 1000:.3f} ms)"
+
+
+def render_spans(spans: Iterable[Span], indent: int = 0) -> str:
+    """A human-readable tree of spans with millisecond durations."""
+    lines: list[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        pad = "  " * depth
+        lines.append(f"{pad}{span.name:<{max(1, 24 - 2 * depth)}s} "
+                     f"{span.duration * 1000:10.3f} ms")
+        for child in span.children:
+            walk(child, depth + 1)
+
+    for span in spans:
+        walk(span, indent)
+    return "\n".join(lines)
+
+
+def aggregate_phases(spans: Iterable[Span]) -> dict[str, float]:
+    """Total seconds per span name, across all nesting depths.
+
+    This is the ``phases`` section of a metrics snapshot: one entry per
+    distinct phase name, durations summed over every occurrence —
+    except that a span nested inside a same-named ancestor contributes
+    nothing (its time is already inside the ancestor's), so re-entrant
+    phases like a CLI ``index-load`` wrapping the store's own
+    ``index-load`` are not double-counted.
+    """
+    totals: dict[str, float] = {}
+
+    def walk(span: Span, active: frozenset[str]) -> None:
+        if span.name not in active:
+            totals[span.name] = totals.get(span.name, 0.0) + span.duration
+        for child in span.children:
+            walk(child, active | {span.name})
+
+    for span in spans:
+        walk(span, frozenset())
+    return totals

@@ -1,0 +1,105 @@
+"""The instrumented hot paths report the counters the paper's
+experiments need — and report nothing at all when observability is off.
+"""
+
+from repro.baselines.slca import slca_indexed_lookup
+from repro.core.engine import CohesiveLCA, stream_evaluate
+from repro.core.lattice import bell_number, lattice_node_count
+from repro.core.lattice_machine import lattice_machine_evaluate
+from repro.index.store import load_index, save_index
+from repro.obs import metrics_scope
+
+from tests.conftest import Q1
+
+
+class TestEngineCounters:
+    def test_search_populates_core_counters(self, figure1_index):
+        with metrics_scope() as metrics:
+            results = CohesiveLCA(figure1_index).search(Q1)
+        counters = metrics.counters
+        assert counters["results_emitted"] == len(results) == 3
+        assert counters["postings_consumed"] > 0
+        assert counters["stack_pushes"] > 0
+        assert counters["stack_pushes"] == counters["stack_pops"]
+        assert counters["partial_lca_allocations"] > 0
+        assert counters["entries_merged"] > 0
+
+    def test_lattice_reduction_counters(self, figure1_index):
+        with metrics_scope() as metrics:
+            CohesiveLCA(figure1_index).search(Q1)
+        built = metrics.counter("lattice_nodes_built")
+        pruned = metrics.counter("lattice_nodes_pruned")
+        assert built == lattice_node_count(Q1)
+        assert built + pruned == bell_number(7)  # Q1 has 7 keywords
+
+    def test_phase_timers_cover_the_pipeline(self, figure1_index):
+        with metrics_scope() as metrics:
+            CohesiveLCA(figure1_index).search(Q1)
+        phases = metrics.snapshot()["phases"]
+        for phase in ("parse", "lattice-build", "stream-scan", "rank"):
+            assert phase in phases, phase
+
+    def test_empty_list_short_circuit_still_declares(self, figure1_index):
+        with metrics_scope() as metrics:
+            results = CohesiveLCA(figure1_index).search("(xml zzznope)")
+        assert results == []
+        counters = metrics.counters
+        assert counters["postings_consumed"] == 0
+        assert counters["results_emitted"] == 0
+        assert "stack_pushes" in counters
+
+    def test_streaming_evaluation_flushes_on_exhaustion(
+            self, figure1_index):
+        with metrics_scope() as metrics:
+            results = list(stream_evaluate(Q1, figure1_index))
+        assert metrics.counter("results_emitted") == len(results)
+
+    def test_disabled_by_default_records_nothing(self, figure1_index):
+        with metrics_scope() as probe:
+            pass  # only used to prove the previous run left no trace
+        CohesiveLCA(figure1_index).search(Q1)
+        assert probe.counters == {}
+
+
+class TestLatticeMachineCounters:
+    def test_machine_reports_exact_stack_count(self, figure1_index):
+        query = "(XML (Paul Cooper))"
+        with metrics_scope() as metrics:
+            results = lattice_machine_evaluate(query, figure1_index)
+        counters = metrics.counters
+        assert counters["results_emitted"] == len(results)
+        assert counters["postings_consumed"] > 0
+        assert counters["stack_pushes"] == counters["stack_pops"]
+        assert counters["lattice_nodes_built"] > 0
+        assert counters["partial_lca_allocations"] > 0
+
+
+class TestIndexCounters:
+    def test_postings_access_is_counted(self, figure1_index):
+        with metrics_scope() as metrics:
+            plist = figure1_index.postings("xml")
+        assert metrics.counter("index_lists_requested") == 1
+        assert metrics.counter("index_postings_returned") == len(plist)
+        histogram = metrics.histogram("posting_list_length")
+        assert histogram.count == 1
+        assert histogram.maximum == len(plist)
+
+    def test_store_round_trip_counts_bytes(self, figure1_index,
+                                           tmp_path):
+        path = tmp_path / "fig1.idx"
+        with metrics_scope() as metrics:
+            written = save_index(figure1_index, path)
+            load_index(path)
+        assert metrics.counter("store_bytes_written") == written
+        assert metrics.counter("store_bytes_read") == written
+        assert "index-load" in metrics.snapshot()["phases"]
+
+
+class TestBaselineCounters:
+    def test_slca_counts_list_accesses(self, figure1_index):
+        with metrics_scope() as metrics:
+            slca_indexed_lookup(["xml", "cooper"], figure1_index)
+        counters = metrics.counters
+        assert counters["baseline_lists_loaded"] == 2
+        assert counters["baseline_instances_loaded"] > 0
+        assert counters["baseline_list_accesses"] > 0

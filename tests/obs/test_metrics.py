@@ -1,0 +1,158 @@
+"""Unit tests for the metrics registry: counters, histograms, scoping."""
+
+import threading
+
+import pytest
+
+from repro.obs import (NULL_METRICS, MetricsRegistry, get_metrics,
+                       metrics_scope, set_global_metrics)
+
+
+class TestCounters:
+    def test_inc_defaults_to_one(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a")
+        assert registry.counter("a") == 2
+
+    def test_inc_with_value(self):
+        registry = MetricsRegistry()
+        registry.inc("a", 5)
+        registry.inc("a", 7)
+        assert registry.counter("a") == 12
+
+    def test_unknown_counter_reads_zero(self):
+        assert MetricsRegistry().counter("never") == 0
+
+    def test_declare_creates_zeros_without_clobbering(self):
+        registry = MetricsRegistry()
+        registry.inc("existing", 3)
+        registry.declare("existing", "fresh")
+        assert registry.counters == {"existing": 3, "fresh": 0}
+
+    def test_counters_view_is_sorted_copy(self):
+        registry = MetricsRegistry()
+        registry.inc("b")
+        registry.inc("a")
+        view = registry.counters
+        assert list(view) == ["a", "b"]
+        view["c"] = 1  # mutating the copy must not touch the registry
+        assert registry.counter("c") == 0
+
+
+class TestHistograms:
+    def test_summary_statistics(self):
+        registry = MetricsRegistry()
+        for value in (4, 1, 7):
+            registry.observe("sizes", value)
+        histogram = registry.histogram("sizes")
+        assert histogram.count == 3
+        assert histogram.total == 12
+        assert histogram.minimum == 1
+        assert histogram.maximum == 7
+        assert histogram.mean == 4
+
+    def test_empty_histogram(self):
+        histogram = MetricsRegistry().histogram("missing")
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.as_dict()["min"] is None
+
+
+class TestScoping:
+    def test_disabled_by_default(self):
+        assert get_metrics() is NULL_METRICS
+        assert not get_metrics().enabled
+
+    def test_scope_activates_and_isolates(self):
+        with metrics_scope() as outer:
+            outer_seen = get_metrics()
+            assert outer_seen is outer
+            with metrics_scope() as inner:
+                get_metrics().inc("x")
+                assert inner.counter("x") == 1
+            assert outer.counter("x") == 0
+            assert get_metrics() is outer
+        assert get_metrics() is NULL_METRICS
+
+    def test_scope_accepts_existing_registry(self):
+        registry = MetricsRegistry()
+        with metrics_scope(registry) as active:
+            assert active is registry
+            get_metrics().inc("hit")
+        assert registry.counter("hit") == 1
+
+    def test_scope_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with metrics_scope():
+                raise RuntimeError("boom")
+        assert get_metrics() is NULL_METRICS
+
+    def test_global_default_below_scopes(self):
+        fallback = MetricsRegistry()
+        previous = set_global_metrics(fallback)
+        try:
+            get_metrics().inc("global_hit")
+            assert fallback.counter("global_hit") == 1
+            with metrics_scope() as scoped:
+                get_metrics().inc("scoped_hit")
+            assert scoped.counter("scoped_hit") == 1
+            assert fallback.counter("scoped_hit") == 0
+        finally:
+            set_global_metrics(previous)
+        assert get_metrics() is NULL_METRICS
+
+
+class TestNullMetrics:
+    def test_all_operations_are_noops(self):
+        NULL_METRICS.inc("a")
+        NULL_METRICS.observe("h", 1.0)
+        NULL_METRICS.declare("a", "b")
+        with NULL_METRICS.span("phase"):
+            pass
+        with NULL_METRICS.timer("phase"):
+            pass
+        assert NULL_METRICS.counter("a") == 0
+        snapshot = NULL_METRICS.snapshot()
+        assert snapshot == {"counters": {}, "histograms": {},
+                            "phases": {}, "spans": []}
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        threads = 8
+        rounds = 5_000
+
+        def work():
+            for _ in range(rounds):
+                registry.inc("shared")
+                registry.observe("values", 1)
+
+        workers = [threading.Thread(target=work) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert registry.counter("shared") == threads * rounds
+        assert registry.histogram("values").count == threads * rounds
+
+    def test_spans_from_threads_do_not_interleave(self):
+        registry = MetricsRegistry()
+
+        def work(name):
+            with registry.span(name):
+                with registry.span(f"{name}-child"):
+                    pass
+
+        workers = [threading.Thread(target=work, args=(f"t{i}",))
+                   for i in range(4)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        spans = registry.spans
+        assert len(spans) == 4  # one root per thread
+        for span in spans:
+            assert [child.name for child in span.children] == \
+                [f"{span.name}-child"]

@@ -1,0 +1,97 @@
+"""Span nesting, snapshot JSON shape, and report rendering."""
+
+import json
+
+from repro.obs import MetricsRegistry, format_report
+
+
+class TestSpanNesting:
+    def test_children_attach_to_enclosing_span(self):
+        registry = MetricsRegistry()
+        with registry.span("outer"):
+            with registry.span("inner-a"):
+                pass
+            with registry.span("inner-b"):
+                pass
+        spans = registry.spans
+        assert [span.name for span in spans] == ["outer"]
+        assert [child.name for child in spans[0].children] == \
+            ["inner-a", "inner-b"]
+
+    def test_durations_are_monotonic(self):
+        registry = MetricsRegistry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+        outer = registry.spans[0]
+        inner = outer.children[0]
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_sibling_spans_form_a_forest(self):
+        registry = MetricsRegistry()
+        with registry.span("first"):
+            pass
+        with registry.span("second"):
+            pass
+        assert [span.name for span in registry.spans] == \
+            ["first", "second"]
+
+
+class TestSnapshot:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.inc("postings_consumed", 10)
+        registry.observe("posting_list_length", 4)
+        with registry.span("stream-scan"):
+            with registry.span("rank"):
+                pass
+        return registry
+
+    def test_shape_and_json_round_trip(self):
+        snapshot = self._populated().snapshot()
+        assert set(snapshot) == {"counters", "histograms", "phases",
+                                 "spans"}
+        decoded = json.loads(json.dumps(snapshot))
+        assert decoded["counters"]["postings_consumed"] == 10
+        assert decoded["histograms"]["posting_list_length"]["count"] == 1
+        assert set(decoded["phases"]) == {"stream-scan", "rank"}
+        (scan,) = decoded["spans"]
+        assert scan["name"] == "stream-scan"
+        assert scan["children"][0]["name"] == "rank"
+        assert scan["seconds"] >= scan["children"][0]["seconds"]
+
+    def test_phases_aggregate_repeated_spans(self):
+        registry = MetricsRegistry()
+        for _ in range(3):
+            with registry.span("rank"):
+                pass
+        snapshot = registry.snapshot()
+        assert len(snapshot["spans"]) == 3
+        assert set(snapshot["phases"]) == {"rank"}
+
+    def test_nested_same_name_span_not_double_counted(self):
+        registry = MetricsRegistry()
+        with registry.span("index-load"):
+            with registry.span("index-load"):
+                pass
+        outer = registry.spans[0]
+        assert registry.snapshot()["phases"]["index-load"] == \
+            round(outer.duration, 9)
+
+
+class TestReport:
+    def test_report_lists_every_section(self):
+        registry = MetricsRegistry()
+        registry.inc("results_emitted", 3)
+        registry.observe("posting_list_length", 7)
+        with registry.span("stream-scan"):
+            pass
+        text = format_report(registry.snapshot())
+        for section in ("counters", "histograms", "phases", "trace"):
+            assert section in text
+        assert "results_emitted" in text
+        assert "stream-scan" in text
+
+    def test_empty_snapshot_message(self):
+        assert format_report(MetricsRegistry().snapshot()) == \
+            "(no metrics recorded)"

@@ -1,5 +1,8 @@
 """End-to-end tests of the command-line interface."""
 
+import json
+import logging
+
 import pytest
 
 from repro.cli import main
@@ -126,6 +129,72 @@ class TestLattice:
         out = capsys.readouterr().out
         assert "877" in out   # full lattice of 7 keywords
         assert "9" in out     # reduced lattice
+
+
+class TestObservability:
+    REQUIRED = ("postings_consumed", "stack_pushes", "lattice_nodes_built",
+                "lattice_nodes_pruned", "results_emitted")
+
+    def test_metrics_report_printed(self, document, capsys):
+        assert main(["search", str(document), "((Lei Chen) (Yi Guo))",
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "counters" in out
+        assert "phases" in out
+        for name in self.REQUIRED:
+            assert name in out, name
+        assert "stream-scan" in out
+
+    def test_metrics_json_dump(self, document, tmp_path, capsys):
+        target = tmp_path / "metrics.json"
+        assert main(["search", str(document), "((Lei Chen) (Yi Guo))",
+                     "--metrics-json", str(target)]) == 0
+        snapshot = json.loads(target.read_text())
+        for name in self.REQUIRED:
+            assert name in snapshot["counters"], name
+        assert snapshot["counters"]["results_emitted"] > 0
+        for phase in ("index-load", "parse", "lattice-build",
+                      "stream-scan", "rank"):
+            assert phase in snapshot["phases"], phase
+
+    def test_metrics_json_with_no_results_keeps_catalogue(
+            self, document, tmp_path, capsys):
+        target = tmp_path / "empty.json"
+        assert main(["search", str(document), "(a (b c))",
+                     "--metrics-json", str(target)]) == 0
+        snapshot = json.loads(target.read_text())
+        for name in self.REQUIRED:
+            assert name in snapshot["counters"], name
+        assert snapshot["counters"]["results_emitted"] == 0
+
+    def test_metrics_with_baseline(self, document, capsys):
+        # elca goes through KeywordMatches, so the baseline counters
+        # appear; slca (definition-first) routes through the engine and
+        # reports the engine catalogue instead.
+        assert main(["search", str(document), "(lei chen)",
+                     "--baseline", "elca", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline_lists_loaded" in out
+
+    def test_log_level_flag(self, document, capsys):
+        assert main(["search", str(document), "(lei chen)",
+                     "--log-level", "debug"]) == 0
+        logger = logging.getLogger("repro")
+        assert logger.level == logging.DEBUG
+        assert any(getattr(h, "_repro_obs_handler", False)
+                   for h in logger.handlers)
+        # Re-leveling must adjust the existing handler, not stack one.
+        assert main(["search", str(document), "(lei chen)",
+                     "--log-level", "warning"]) == 0
+        assert logger.level == logging.WARNING
+        assert sum(1 for h in logger.handlers
+                   if getattr(h, "_repro_obs_handler", False)) == 1
+
+    def test_search_without_flags_leaves_metrics_off(self, document,
+                                                     capsys):
+        from repro.obs import NULL_METRICS, get_metrics
+        assert main(["search", str(document), "(lei chen)"]) == 0
+        assert get_metrics() is NULL_METRICS
 
 
 class TestErrors:

@@ -1,0 +1,88 @@
+"""Regression tests: rich exceptions must survive pickle/copy.
+
+The ``__init__`` methods of :class:`QuerySyntaxError` and
+:class:`XMLSyntaxError` decorate the message with the error location,
+which used to break ``Exception.__reduce__`` round-trips: unpickling
+replayed ``__init__`` with the already-decorated message as the only
+argument, losing ``position``/``line``/``column`` and stacking a second
+location suffix per round-trip.
+"""
+
+import copy
+import pickle
+
+import pytest
+
+from repro.errors import QuerySyntaxError, XMLSyntaxError
+
+
+def _round_trips(error):
+    yield pickle.loads(pickle.dumps(error))
+    yield copy.copy(error)
+    yield copy.deepcopy(error)
+
+
+class TestQuerySyntaxError:
+    def test_round_trips_preserve_position_and_message(self):
+        error = QuerySyntaxError("unbalanced parenthesis", position=17)
+        for clone in _round_trips(error):
+            assert clone.position == 17
+            assert str(clone) == str(error)
+            assert "(at position 17)" in str(clone)
+
+    def test_repeated_pickling_does_not_stack_suffixes(self):
+        error = QuerySyntaxError("bad token", position=3)
+        for _ in range(3):
+            error = pickle.loads(pickle.dumps(error))
+        assert str(error).count("(at position 3)") == 1
+        assert error.position == 3
+
+    def test_without_position(self):
+        error = QuerySyntaxError("empty query")
+        for clone in _round_trips(error):
+            assert clone.position is None
+            assert str(clone) == "empty query"
+
+
+class TestXMLSyntaxError:
+    def test_round_trips_preserve_line_and_column(self):
+        error = XMLSyntaxError("mismatched tag", line=4, column=9)
+        for clone in _round_trips(error):
+            assert (clone.line, clone.column) == (4, 9)
+            assert str(clone) == str(error)
+            assert "(line 4, column 9)" in str(clone)
+
+    def test_repeated_pickling_does_not_stack_suffixes(self):
+        error = XMLSyntaxError("stray <", line=2, column=1)
+        for _ in range(3):
+            error = pickle.loads(pickle.dumps(error))
+        assert str(error).count("(line 2, column 1)") == 1
+        assert (error.line, error.column) == (2, 1)
+
+    def test_without_location(self):
+        error = XMLSyntaxError("truncated document")
+        for clone in _round_trips(error):
+            assert clone.line is None
+            assert clone.column is None
+            assert str(clone) == "truncated document"
+
+
+class TestRaisedInstancesRoundTrip:
+    """The fix holds for errors produced by the real parsers."""
+
+    def test_query_parser_error(self):
+        from repro.core.parser import parse_query
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query("((a)")
+        clone = pickle.loads(pickle.dumps(excinfo.value))
+        assert str(clone) == str(excinfo.value)
+        assert clone.position == excinfo.value.position
+
+    def test_xml_parser_error(self):
+        from repro.xmlio.loader import load_tree
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            load_tree("<a><b></a>")
+        clone = pickle.loads(pickle.dumps(excinfo.value))
+        assert str(clone) == str(excinfo.value)
+        assert clone.line == excinfo.value.line
+        assert clone.column == excinfo.value.column

@@ -19,15 +19,28 @@ class TestExports:
                      "InvertedIndex", "load_tree", "Corpus",
                      "search_top_k", "skyline_search",
                      "reconstruct_witness", "explain",
-                     "LatticeMachine"):
+                     "LatticeMachine", "metrics_scope", "get_metrics",
+                     "configure_logging"):
             assert name in repro.__all__, name
+
+    def test_import_installs_no_logging_handlers(self):
+        # Subprocess: handlers installed by other tests (via the CLI's
+        # --log-level) must not contaminate the import-time check.
+        import subprocess
+        import sys
+        code = ("import logging, repro; "
+                "import sys; "
+                "sys.exit(1 if logging.getLogger('repro').handlers "
+                "else 0)")
+        proc = subprocess.run([sys.executable, "-c", code])
+        assert proc.returncode == 0
 
 
 class TestDocumentation:
     SUBPACKAGES = [
         "repro.tree", "repro.xmlio", "repro.index", "repro.core",
         "repro.baselines", "repro.datasets", "repro.evaluation",
-        "repro.corpus", "repro.cli",
+        "repro.corpus", "repro.cli", "repro.obs",
     ]
 
     def test_every_subpackage_documented(self):
