@@ -1,0 +1,139 @@
+"""The SearchSession runtime — shared-scan batch vs sequential evaluate.
+
+A realistic keyword-search workload repeats queries and reuses frequent
+keywords; the session runtime exploits both.  This bench builds a
+10-query workload — four distinct queries over a shared frequent-keyword
+pool, repeated with the head-heavy skew real query logs show
+(3 + 3 + 2 + 2) — against a generated DBLP index and compares
+
+* **sequential** — ten independent ``evaluate()`` calls, each paying
+  parse + lattice compile + posting fetch + a private Dewey scan; and
+* **batch** — one ``SearchSession.search_batch`` call: plans deduped by
+  canonical text, one merged heap scan over the union of the posting
+  lists feeding every query's path-stack machine push-style.
+
+The acceptance bar (and the assertion below) is a ≥2× wall-clock win
+for batch, with byte-identical answers.  ``REPRO_BENCH_MODE`` selects
+which mode the pytest-benchmark measurement records (the CI smoke job
+runs both), and the cache counters land in ``extra_info``.
+"""
+
+import os
+import time
+
+from repro.core.engine import evaluate
+from repro.datasets import generate_dblp
+from repro.index.inverted import InvertedIndex
+from repro.runtime import SearchSession
+from repro.evaluation.reporting import format_table
+
+from conftest import report, scaled
+
+MODE = os.environ.get("REPRO_BENCH_MODE", "batch")
+ROUNDS = 5
+
+
+def _workload(index: InvertedIndex) -> list[str]:
+    """Ten queries: four distinct over shared frequent keywords, with
+    the head-heavy repetition of a real query log (3+3+2+2)."""
+    frequent = index.most_frequent(6)
+    a, b, c, d, e, f = frequent
+    q1 = f"({a} {b})"
+    q2 = f"({a} ({b} {c}))"
+    q3 = f"(({a} {d}) ({b} {e}))"
+    q4 = f"({c} {d} {e} {f})"
+    return [q1, q2, q1, q3, q2, q4, q1, q2, q3, q4]
+
+
+def _sequential(index, workload):
+    return [evaluate(query, index) for query in workload]
+
+
+def _batch(session, workload):
+    return session.search_batch(workload)
+
+
+def _best_of(callable_, rounds=ROUNDS):
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _best_of_interleaved(first, second, rounds=ROUNDS):
+    """Best-of timings with alternating execution, so machine drift
+    (frequency scaling, competing load) hits both modes equally."""
+    best = [float("inf"), float("inf")]
+    results = [None, None]
+    for _ in range(rounds):
+        for position, callable_ in enumerate((first, second)):
+            start = time.perf_counter()
+            results[position] = callable_()
+            best[position] = min(best[position],
+                                 time.perf_counter() - start)
+    return best[0], results[0], best[1], results[1]
+
+
+def test_batch_speedup_over_sequential_evaluate(benchmark):
+    dataset = generate_dblp(scale=scaled(400), seed=9)
+    index = InvertedIndex.from_tree(dataset.tree)
+    workload = _workload(index)
+    session = SearchSession(index)
+
+    sequential_s, sequential_answers, batch_s, batch_answers = \
+        _best_of_interleaved(lambda: _sequential(index, workload),
+                             lambda: _batch(session, workload))
+
+    # Identical answers, then the measured mode for the benchmark record.
+    assert batch_answers == sequential_answers
+    if MODE == "sequential":
+        benchmark.pedantic(lambda: _sequential(index, workload),
+                           rounds=1, iterations=1)
+    else:
+        benchmark.pedantic(lambda: _batch(session, workload),
+                           rounds=1, iterations=1)
+    benchmark.extra_info["mode"] = MODE
+    benchmark.extra_info["cache_stats"] = session.cache_stats()
+
+    speedup = sequential_s / batch_s if batch_s else float("inf")
+    stats = session.cache_stats()
+    report("Runtime: batch vs sequential (10-query workload)",
+           format_table(
+               ["mode", "best of 5 (ms)", "speedup", "plan hit rate",
+                "posting hit rate"],
+               [["sequential evaluate()", f"{sequential_s * 1e3:.2f}",
+                 "1.00", "-", "-"],
+                ["session.search_batch", f"{batch_s * 1e3:.2f}",
+                 f"{speedup:.2f}",
+                 f"{stats['plan_cache']['hit_rate']:.2f}",
+                 f"{stats['posting_cache']['hit_rate']:.2f}"]]))
+
+    assert speedup >= 2.0, (
+        f"batch must be >=2x faster: sequential {sequential_s * 1e3:.2f}ms"
+        f" vs batch {batch_s * 1e3:.2f}ms ({speedup:.2f}x)")
+
+
+def test_warm_session_single_query_beats_cold_evaluate(benchmark):
+    """A long-lived session also wins on repeated single queries."""
+    dataset = generate_dblp(scale=scaled(400), seed=9)
+    index = InvertedIndex.from_tree(dataset.tree)
+    a, b = index.most_frequent(2)
+    query = f"({a} ({b} {a}))"
+    session = SearchSession(index)
+    assert session.search(query) == evaluate(query, index)
+
+    cold_s, _ = _best_of(lambda: evaluate(query, index))
+    warm_s, _ = _best_of(lambda: session.search(query))
+    benchmark.pedantic(lambda: session.search(query),
+                       rounds=1, iterations=1)
+    benchmark.extra_info["cache_stats"] = session.cache_stats()
+
+    report("Runtime: warm session vs cold evaluate (one query)",
+           format_table(
+               ["path", "best of 5 (ms)"],
+               [["cold evaluate()", f"{cold_s * 1e3:.3f}"],
+                ["warm session.search()", f"{warm_s * 1e3:.3f}"]]))
+    # The warm path skips parse/compile/fetch; it must not be slower.
+    assert warm_s <= cold_s * 1.2

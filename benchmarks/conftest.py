@@ -12,6 +12,7 @@ multiplier) to grow or shrink them.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -66,6 +67,36 @@ def run_metrics(request):
         snapshot = registry.snapshot()
         benchmark.extra_info["counters"] = snapshot["counters"]
         benchmark.extra_info["phases"] = snapshot["phases"]
+        rates = _cache_hit_rates(snapshot["counters"])
+        if rates:
+            benchmark.extra_info["cache_hit_rates"] = rates
+        _dump_extra_info(request.node.name, benchmark.extra_info)
+
+
+def _cache_hit_rates(counters: dict) -> dict:
+    """Hit rates of the runtime caches, from their counters."""
+    rates = {}
+    for cache in ("plan_cache", "posting_cache"):
+        hits = counters.get(f"{cache}_hits", 0)
+        misses = counters.get(f"{cache}_misses", 0)
+        if hits + misses:
+            rates[cache] = round(hits / (hits + misses), 4)
+    return rates
+
+
+def _dump_extra_info(test_name: str, extra_info: dict) -> None:
+    """Write one JSON file per test when REPRO_BENCH_EXTRA_INFO_DIR is
+    set — how the CI smoke job asserts on counters with
+    ``--benchmark-disable`` (which skips ``--benchmark-json``)."""
+    directory = os.environ.get("REPRO_BENCH_EXTRA_INFO_DIR")
+    if not directory:
+        return
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    slug = "".join(ch if ch.isalnum() else "_" for ch in test_name)
+    (target / f"{slug}.json").write_text(
+        json.dumps(extra_info, indent=2, default=str) + "\n",
+        encoding="utf-8")
 
 
 # -- effectiveness datasets (Table 2 queries + ground truth) ---------------

@@ -5,14 +5,20 @@ Y. Vassiliou, *Cohesive Keyword Search on Tree Data*, EDBT 2016.
 
 Quickstart::
 
-    from repro import CohesiveLCA, InvertedIndex, load_tree
+    from repro import InvertedIndex, SearchSession, load_tree
 
     tree = load_tree(open("bib.xml").read())
-    index = InvertedIndex.from_tree(tree)
-    searcher = CohesiveLCA(index)
-    for result in searcher.search("(XML (John Smith) (George Brown))"):
+    session = SearchSession(InvertedIndex.from_tree(tree))
+    for result in session.search("(XML (John Smith) (George Brown))"):
         node = tree.node(result.code)
         print(node.label_path(), "size", result.size)
+
+:class:`SearchSession` is the unified runtime: one ``search(query,
+options)`` facade over every evaluation mode, compiled-plan and
+posting-slice caching across a workload, and ``search_batch`` for
+shared-scan execution of many queries at once (see docs/API.md).  The
+classic entry points (``CohesiveLCA``, ``evaluate``, ``search_top_k``,
+``skyline_search``, ...) remain as thin wrappers.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
@@ -38,6 +44,8 @@ from repro.obs import (MetricsRegistry, configure_logging, get_metrics,
                        metrics_scope)
 from repro.index.store import load_index, save_index
 from repro.index.streaming import index_xml, index_xml_path
+from repro.runtime import (ALGORITHMS, CompiledPlan, OptionsError,
+                           RANK_MODES, SearchOptions, SearchSession)
 from repro.tree.builder import TreeBuilder, build_tree
 from repro.tree.stats import compute_statistics
 from repro.tree.tree import DataTree
@@ -47,6 +55,12 @@ from repro.xmlio.writer import dump_tree
 __version__ = "1.0.0"
 
 __all__ = [
+    "SearchSession",
+    "SearchOptions",
+    "CompiledPlan",
+    "OptionsError",
+    "ALGORITHMS",
+    "RANK_MODES",
     "CohesiveLCA",
     "Corpus",
     "DocumentResult",

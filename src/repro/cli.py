@@ -9,13 +9,19 @@ Subcommands::
     cohesive-search generate dblp OUT.xml         # emit a synthetic dataset
 
 ``search`` accepts ``--index`` to reuse a prebuilt store, ``--top`` to
-cut the answer, ``--baseline slca|elca|lcasz|saone`` to run a baseline
-instead, and ``--rank vector`` for the §2.2 cohesive-term ranking.
+cut the answer, ``--algorithm
+cohesive|machine|slca|elca|lcasz|saone`` to pick the evaluation
+algorithm (``--baseline`` is a deprecated alias for the flat
+baselines), ``--rank vector`` for the §2.2 cohesive-term ranking,
+``--repeat N`` to re-run the query through the session's plan cache,
+and ``--workload FILE`` to evaluate a whole query file against one
+shared-scan batch (`repro.runtime`).
 
 Observability (see docs/OBSERVABILITY.md): ``search --metrics`` prints
-the counter/phase-timer report after the results, ``--metrics-json
-PATH`` writes the machine-readable snapshot, and ``--log-level LEVEL``
-turns on the ``repro.*`` logger hierarchy.
+the counter/phase-timer report — including the session's plan-cache
+and posting-cache hit/miss/eviction counters — after the results,
+``--metrics-json PATH`` writes the machine-readable snapshot, and
+``--log-level LEVEL`` turns on the ``repro.*`` logger hierarchy.
 """
 
 from __future__ import annotations
@@ -26,23 +32,25 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.baselines import elca, lcasz, sa_one, slca
-from repro.core.engine import CohesiveLCA
 from repro.core.lattice import (bell_number, lattice_node_count,
                                 largest_sublattice_size, stack_count)
 from repro.core.parser import parse_query
-from repro.core.ranking import rank_results
 from repro.errors import ReproError
 from repro.index.inverted import InvertedIndex
 from repro.index.store import load_index, save_index
 from repro.obs import (configure_logging, format_report, get_logger,
                        get_metrics, metrics_scope)
+from repro.runtime import ALGORITHMS, SearchOptions, SearchSession
 from repro.tree import dewey
 from repro.tree.stats import compute_statistics
 from repro.xmlio.loader import load_tree_from_path
 from repro.xmlio.writer import dump_tree_to_path
 
 _log = get_logger("cli")
+
+#: ``--baseline`` is deprecated; it warns once per process.
+_BASELINE_ALIASES = ("slca", "elca", "lcasz", "saone")
+_baseline_warned = False
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -69,16 +77,33 @@ def _build_parser() -> argparse.ArgumentParser:
 
     search_cmd = sub.add_parser("search", help="evaluate a query")
     search_cmd.add_argument("document")
-    search_cmd.add_argument("query")
+    search_cmd.add_argument("query", nargs="?", default=None,
+                            help="the query (omit with --workload FILE)")
     search_cmd.add_argument("--index", dest="index_path", default=None,
                             help="reuse a posting store built with 'index'")
     search_cmd.add_argument("--top", type=int, default=None,
                             help="print only the first N results")
     search_cmd.add_argument("--list-limit", type=int, default=None,
                             help="truncate every inverted list (paper §4.3)")
+    search_cmd.add_argument("--algorithm", default=None,
+                            choices=list(ALGORITHMS),
+                            help="evaluation algorithm: the CohesiveLCA "
+                                 "engine (default), the literal lattice "
+                                 "machine, or a flat baseline")
     search_cmd.add_argument("--baseline", default=None,
-                            choices=["slca", "elca", "lcasz", "saone"],
-                            help="run a flat baseline instead")
+                            choices=list(_BASELINE_ALIASES),
+                            help="deprecated alias of --algorithm for "
+                                 "the flat baselines")
+    search_cmd.add_argument("--repeat", type=int, default=1,
+                            metavar="N",
+                            help="run the query N times through one "
+                                 "search session (exercises the plan "
+                                 "and posting caches)")
+    search_cmd.add_argument("--workload", default=None, metavar="FILE",
+                            help="evaluate every query in FILE (one per "
+                                 "line, # comments) as one shared-scan "
+                                 "batch instead of a single query; the "
+                                 "positional QUERY is ignored")
     search_cmd.add_argument("--rank", default="size",
                             choices=["size", "vector", "skyline"],
                             help="Def. 3 size ranking, §2.2 vector "
@@ -161,7 +186,39 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return status
 
 
+def _resolve_algorithm(args: argparse.Namespace) -> str:
+    """``--algorithm``, honouring the deprecated ``--baseline`` alias."""
+    global _baseline_warned
+    if args.baseline is not None:
+        if not _baseline_warned:
+            _log.warning(
+                "--baseline is deprecated; use --algorithm %s",
+                args.baseline)
+            _baseline_warned = True
+        if args.algorithm is not None and \
+                args.algorithm != args.baseline:
+            raise ReproError(
+                f"--algorithm {args.algorithm} conflicts with "
+                f"--baseline {args.baseline}")
+        return args.baseline
+    return args.algorithm or "cohesive"
+
+
+def _search_options(args: argparse.Namespace,
+                    algorithm: str) -> SearchOptions:
+    if algorithm != "cohesive":
+        # Baselines / the machine ignore rank, top-k and size bounds,
+        # as the pre-session CLI did.
+        return SearchOptions(algorithm=algorithm,
+                             list_limit=args.list_limit)
+    return SearchOptions(rank=args.rank, top_k=args.top_k,
+                         max_size=args.max_size,
+                         list_limit=args.list_limit)
+
+
 def _run_search(args: argparse.Namespace) -> int:
+    if args.query is None and args.workload is None:
+        raise ReproError("search needs a query or --workload FILE")
     metrics = get_metrics()
     with metrics.span("index-load"):
         tree = load_tree_from_path(args.document)
@@ -169,36 +226,68 @@ def _run_search(args: argparse.Namespace) -> int:
             else InvertedIndex.from_tree(tree)
     _log.info("loaded %s: %d nodes, %d keywords", args.document,
               len(tree), len(index))
-    if args.baseline:
-        return _run_baseline(args, index)
-    with metrics.span("parse"):
-        query = parse_query(args.query)
-    if args.rank == "vector":
-        ranked = rank_results(query, index, list_limit=args.list_limit)
-        rows = [(item.code, item.size, f"score={item.score:.4f}")
-                for item in ranked]
-    elif args.rank == "skyline":
-        from repro.core.skyline import skyline_search
-        results = skyline_search(query, index, list_limit=args.list_limit)
-        rows = [(result.code, result.size,
-                 f"terms={result.term_sizes}") for result in results]
-    elif args.top_k is not None:
-        from repro.core.topk import search_top_k
-        results = search_top_k(query, index, args.top_k,
-                               list_limit=args.list_limit)
-        rows = [(result.code, result.size, "") for result in results]
+    algorithm = _resolve_algorithm(args)
+    options = _search_options(args, algorithm)
+    session = SearchSession(index)
+    repeat = max(1, args.repeat)
+    if args.workload is not None:
+        return _run_workload(args, session, options, repeat)
+    for _ in range(repeat - 1):  # warm the caches; results identical
+        session.search(args.query, options)
+    results = session.search(args.query, options)
+    if algorithm in ("cohesive", "machine"):
+        rows = [(item.code, item.size, _extra(item, options.rank))
+                for item in results]
+        for code, size, extra in rows[: args.top]:
+            label_path = tree.node(code).label_path() \
+                if code in tree else "?"
+            print(f"{dewey.format_code(code):20s} size={size:<3d} "
+                  f"{label_path} {extra}")
+            if args.witness:
+                _print_witness(session.plan(args.query).query, index,
+                               tree, code)
     else:
-        results = CohesiveLCA(index).search(query,
-                                            list_limit=args.list_limit,
-                                            size_budget=args.max_size)
-        rows = [(result.code, result.size, "") for result in results]
-    for code, size, extra in rows[: args.top]:
-        label_path = tree.node(code).label_path() if code in tree else "?"
-        print(f"{dewey.format_code(code):20s} size={size:<3d} "
-              f"{label_path} {extra}")
-        if args.witness:
-            _print_witness(query, index, tree, code)
+        rows = [(result.code,
+                 "" if algorithm in ("slca", "elca")
+                 else f"size={result.size}")
+                for result in results]
+        for code, extra in rows[: args.top]:
+            print(f"{dewey.format_code(code):20s} {extra}")
     print(f"-- {len(rows)} result(s)")
+    if repeat > 1:
+        stats = session.cache_stats()
+        plan, posting = stats["plan_cache"], stats["posting_cache"]
+        print(f"-- repeated {repeat}x: plan cache "
+              f"{plan['hits']}/{plan['hits'] + plan['misses']} hits, "
+              f"posting cache {posting['hits']}/"
+              f"{posting['hits'] + posting['misses']} hits")
+    return 0
+
+
+def _extra(item, rank: str) -> str:
+    if rank == "vector":
+        return f"score={item.score:.4f}"
+    if rank == "skyline":
+        return f"terms={item.term_sizes}"
+    return ""
+
+
+def _run_workload(args: argparse.Namespace, session: SearchSession,
+                  options: SearchOptions, repeat: int) -> int:
+    text = Path(args.workload).read_text(encoding="utf-8")
+    queries = [line.strip() for line in text.splitlines()
+               if line.strip() and not line.lstrip().startswith("#")]
+    if not queries:
+        raise ReproError(f"workload {args.workload} contains no queries")
+    for _ in range(repeat - 1):
+        session.search_batch(queries, options)
+    answers = session.search_batch(queries, options)
+    for query, results in zip(queries, answers):
+        print(f"{len(results):6d} result(s)  {query}")
+    stats = session.cache_stats()
+    print(f"-- {len(queries)} queries, one shared scan; plan cache "
+          f"hit rate {stats['plan_cache']['hit_rate']:.2f}, posting "
+          f"cache hit rate {stats['posting_cache']['hit_rate']:.2f}")
     return 0
 
 
@@ -213,28 +302,6 @@ def _print_witness(query, index, tree, code) -> None:
         location = node.label_path() if node else "?"
         print(f"      {occurrence.keyword:15s} -> "
               f"{dewey.format_code(instance):15s} {location}")
-
-
-def _run_baseline(args: argparse.Namespace, index: InvertedIndex) -> int:
-    keywords = parse_query(args.query).distinct_keywords()
-    if args.baseline == "slca":
-        codes = slca(keywords, index, list_limit=args.list_limit)
-        rows = [(code, "") for code in codes]
-    elif args.baseline == "elca":
-        codes = elca(keywords, index, list_limit=args.list_limit)
-        rows = [(code, "") for code in codes]
-    elif args.baseline == "lcasz":
-        rows = [(result.code, f"size={result.size}")
-                for result in lcasz(keywords, index,
-                                    list_limit=args.list_limit)]
-    else:
-        rows = [(result.code, f"size={result.size}")
-                for result in sa_one(keywords, index,
-                                     list_limit=args.list_limit)]
-    for code, extra in rows[: args.top]:
-        print(f"{dewey.format_code(code):20s} {extra}")
-    print(f"-- {len(rows)} result(s)")
-    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:

@@ -44,7 +44,6 @@ from collections import deque
 from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from repro.core.lattice import record_lattice_metrics
-from repro.core.parser import parse_query
 from repro.core.query import Query
 from repro.core.results import Result
 from repro.core.signatures import (NO_USAGE, CompiledQuery, Usage,
@@ -52,7 +51,7 @@ from repro.core.signatures import (NO_USAGE, CompiledQuery, Usage,
                                    merge_usage, usage_fits)
 from repro.index.inverted import InvertedIndex, Posting
 from repro.obs import get_logger, get_metrics
-from repro.obs.metrics import AnyMetrics, MetricsRegistry
+from repro.obs.metrics import MetricsRegistry
 from repro.tree import dewey
 
 # Table keys: (term_id, member_mask, usage, pure_self)
@@ -168,6 +167,52 @@ class _Evaluation:
             self.stat_results += 1
             yield Result(dewey.ROOT, root_value[0], root_value[1])
         self._flush()
+
+    # -- push-style driving (shared-scan batch execution) ---------------------
+
+    def feed(self, code: dewey.Code, frequencies: dict[str, int]) -> None:
+        """Push one ``(node, keyword frequencies)`` event into the run.
+
+        The push-style dual of :meth:`stream`: an external driver (the
+        :mod:`repro.runtime` shared-scan batch executor) owns the merged
+        Dewey-order scan and feeds each query's evaluation from it.
+        Events must arrive in Dewey order, one per instance node.
+        """
+        self.stat_postings += len(frequencies)
+        # The body of _align, minus the generator protocol and the
+        # Result objects it would build per pop: push mode reads every
+        # result off self.results in finish(), so materializing them
+        # here is pure overhead on the shared scan's hottest loop.
+        stack = self._stack
+        while not dewey.is_ancestor_or_self(stack[-1].code, code):
+            child = stack.pop()
+            self.stat_pops += 1
+            self._merge_child(stack[-1], child)
+        while stack[-1].code != code:
+            next_code = code[: len(stack[-1].code) + 1]
+            stack.append(_Entry(next_code))
+            self.stat_pushes += 1
+        self._add_instances(stack[-1], frequencies)
+
+    def finish(self) -> list[Result]:
+        """End a push-style run: drain the stack, return ranked results.
+
+        Equivalent to the tail of :meth:`run` — the result set is read
+        off :attr:`results`, which the pops populate, so push- and
+        pull-style runs return identical answers.
+        """
+        stack = self._stack
+        while len(stack) > 1:
+            child = stack.pop()
+            self.stat_pops += 1
+            self._merge_child(stack[-1], child)
+        ranked = [Result(code, value[0], value[1])
+                  for code, value in self.results.items()]
+        ranked.sort(key=Result.sort_key)
+        # One count per answer, matching pull mode's per-pop counting.
+        self.stat_results += len(ranked)
+        self._flush()
+        return ranked
 
     def _align(self, code: dewey.Code) -> Iterator[Result]:
         """Pop to the common ancestor of the previous path, push to
@@ -398,6 +443,53 @@ def merge_posting_streams(
         yield pending_code, pending
 
 
+def evaluate_compiled(compiled: CompiledQuery,
+                      posting_lists: Mapping[str, Sequence[Posting]],
+                      size_budget: Optional[int] = None,
+                      impenetrability: bool = True) -> list[Result]:
+    """Run CohesiveLCA on an already-compiled query.
+
+    The amortizable core of :func:`evaluate_on_lists`: parsing and
+    lattice compilation have already happened, so a cached
+    :class:`CompiledQuery` (see :mod:`repro.runtime`) goes straight to
+    the single Dewey-order scan.
+    """
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.declare(*ENGINE_COUNTERS)
+        record_lattice_metrics(compiled.query, metrics)
+    lists: dict[str, Sequence[Posting]] = {}
+    for keyword in compiled.atoms:
+        plist = posting_lists.get(keyword, ())
+        if not plist:
+            return []
+        lists[keyword] = plist
+    evaluation = _Evaluation(compiled, size_budget=size_budget,
+                             impenetrability=impenetrability,
+                             metrics=metrics if metrics.enabled else None)
+    return evaluation.run(merge_posting_streams(lists))
+
+
+def push_evaluation(compiled: CompiledQuery,
+                    size_budget: Optional[int] = None,
+                    impenetrability: bool = True) -> _Evaluation:
+    """A push-style evaluation an external scan driver can feed.
+
+    Returns an evaluation object exposing ``feed(code, frequencies)``
+    and ``finish() -> list[Result]``; the caller owns the merged
+    Dewey-order scan (the shared-scan batch executor feeds many of
+    these from one stream).  Lattice metrics are recorded here so a
+    batch run accounts one lattice per query, like sequential runs.
+    """
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.declare(*ENGINE_COUNTERS)
+        record_lattice_metrics(compiled.query, metrics)
+    return _Evaluation(compiled, size_budget=size_budget,
+                       impenetrability=impenetrability,
+                       metrics=metrics if metrics.enabled else None)
+
+
 def evaluate_on_lists(query: Query,
                       posting_lists: Mapping[str, Sequence[Posting]],
                       normalize=None, size_budget: Optional[int] = None,
@@ -414,19 +506,9 @@ def evaluate_on_lists(query: Query,
     metrics = get_metrics()
     with metrics.span("lattice-build"):
         compiled = compile_query(query, normalize)
-    if metrics.enabled:
-        metrics.declare(*ENGINE_COUNTERS)
-        record_lattice_metrics(query, metrics)
-    lists: dict[str, Sequence[Posting]] = {}
-    for keyword in compiled.atoms:
-        plist = posting_lists.get(keyword, ())
-        if not plist:
-            return []
-        lists[keyword] = plist
-    evaluation = _Evaluation(compiled, size_budget=size_budget,
-                             impenetrability=impenetrability,
-                             metrics=metrics if metrics.enabled else None)
-    return evaluation.run(merge_posting_streams(lists))
+    return evaluate_compiled(compiled, posting_lists,
+                             size_budget=size_budget,
+                             impenetrability=impenetrability)
 
 
 class CohesiveLCA:
@@ -437,10 +519,18 @@ class CohesiveLCA:
         index = InvertedIndex.from_tree(tree)
         searcher = CohesiveLCA(index)
         results = searcher.search("(XML (John Smith) (George Brown))")
+
+    A thin wrapper around a private :class:`repro.runtime.SearchSession`,
+    so a long-lived searcher amortizes parsing, lattice compilation and
+    posting lookups across repeated queries.  Construct a session
+    directly for the full surface (batch execution, baselines, rank
+    modes — see docs/API.md).
     """
 
     def __init__(self, index: InvertedIndex):
+        from repro.runtime import SearchSession
         self._index = index
+        self._session = SearchSession(index)
 
     def search(self, query: Union[str, Query],
                list_limit: Optional[int] = None,
@@ -455,20 +545,9 @@ class CohesiveLCA:
         during the run.  ``impenetrability=False`` evaluates with Def.
         2(b)(ii) disabled (ablation only).
         """
-        if isinstance(query, str):
-            with get_metrics().span("parse"):
-                query = parse_query(query)
-        normalize = self._index.tokenizer.normalize
-        compiled_keywords = {
-            normalize(keyword) for keyword in query.distinct_keywords()
-        }
-        posting_lists = {
-            keyword: self._index.postings(keyword, limit=list_limit)
-            for keyword in compiled_keywords
-        }
-        return evaluate_on_lists(query, posting_lists, normalize,
-                                 size_budget=size_budget,
-                                 impenetrability=impenetrability)
+        return self._session.search(query, list_limit=list_limit,
+                                    max_size=size_budget,
+                                    impenetrability=impenetrability)
 
 
 def stream_evaluate(query: Union[str, Query], index: InvertedIndex,
@@ -479,27 +558,12 @@ def stream_evaluate(query: Union[str, Query], index: InvertedIndex,
 
     Same answer set as :func:`evaluate` (property-tested), but a pipeline
     can consume results while the inverted lists are still streaming —
-    no Def. 3 ordering until you sort.
+    no Def. 3 ordering until you sort.  Delegates to
+    :meth:`repro.runtime.SearchSession.stream`.
     """
-    metrics = get_metrics()
-    if isinstance(query, str):
-        with metrics.span("parse"):
-            query = parse_query(query)
-    normalize = index.tokenizer.normalize
-    with metrics.span("lattice-build"):
-        compiled = compile_query(query, normalize)
-    if metrics.enabled:
-        metrics.declare(*ENGINE_COUNTERS)
-        record_lattice_metrics(query, metrics)
-    lists: dict[str, Sequence[Posting]] = {}
-    for keyword in compiled.atoms:
-        plist = index.postings(keyword, limit=list_limit)
-        if not plist:
-            return
-        lists[keyword] = plist
-    evaluation = _Evaluation(compiled, size_budget=size_budget,
-                             metrics=metrics if metrics.enabled else None)
-    yield from evaluation.stream(merge_posting_streams(lists))
+    from repro.runtime import SearchSession
+    yield from SearchSession(index).stream(query, list_limit=list_limit,
+                                           max_size=size_budget)
 
 
 def evaluate(query: Union[str, Query], index: InvertedIndex,

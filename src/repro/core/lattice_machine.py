@@ -168,6 +168,21 @@ class LatticeMachine:
             pending[keyword] = pending.get(keyword, 0) + frequency
         if pending_code is not None:
             self._feed(pending_code, pending)
+        return self.finalize()
+
+    def feed_node(self, code: dewey.Code,
+                  frequencies: dict[str, int]) -> None:
+        """Push one ``(node, keyword frequencies)`` event into the run.
+
+        The push-style dual of :meth:`run`: an external driver (the
+        shared-scan batch executor of :mod:`repro.runtime`) owns the
+        merged Dewey-order scan and feeds the machine one instance node
+        at a time, in Dewey order.
+        """
+        self._feed(code, frequencies)
+
+    def finalize(self) -> list[Result]:
+        """Empty the stacks (paper line 10) and return ranked results."""
         while len(self._path) > 1:
             self._pop_deepest()
         # The document root's entry has no parent to pop into; run its
@@ -191,6 +206,11 @@ class LatticeMachine:
                         self._stat_allocations)
             metrics.inc("results_emitted", len(ranked))
         return ranked
+
+    @property
+    def keywords(self) -> frozenset[str]:
+        """The machine's normalized keywords (its share of a batch scan)."""
+        return frozenset(self._atoms)
 
     def search(self, index: InvertedIndex,
                list_limit: Optional[int] = None) -> list[Result]:
@@ -337,8 +357,11 @@ def lattice_machine_evaluate(query: Union[str, Query],
                              index: InvertedIndex,
                              list_limit: Optional[int] = None
                              ) -> list[Result]:
-    """Convenience wrapper mirroring :func:`repro.core.engine.evaluate`."""
-    if isinstance(query, str):
-        query = parse_query(query)
-    machine = LatticeMachine(query, index.tokenizer.normalize)
-    return machine.search(index, list_limit=list_limit)
+    """Convenience wrapper mirroring :func:`repro.core.engine.evaluate`.
+
+    Thin wrapper over :meth:`repro.runtime.SearchSession.search` with
+    ``algorithm="machine"``.
+    """
+    from repro.runtime import SearchSession
+    return SearchSession(index).search(query, algorithm="machine",
+                                       list_limit=list_limit)

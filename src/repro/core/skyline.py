@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
-from repro.core.engine import CohesiveLCA
-from repro.core.parser import parse_query
 from repro.core.query import Query
 from repro.core.results import Result
 from repro.index.inverted import InvertedIndex
@@ -82,8 +80,11 @@ def skyline_layers(results: Sequence[Result],
 
 def skyline_search(query: Union[str, Query], index: InvertedIndex,
                    list_limit: Optional[int] = None) -> list[Result]:
-    """Evaluate ``query`` and return its skyline."""
-    if isinstance(query, str):
-        query = parse_query(query)
-    return skyline(CohesiveLCA(index).search(query,
-                                             list_limit=list_limit))
+    """Evaluate ``query`` and return its skyline.
+
+    Thin wrapper over :meth:`repro.runtime.SearchSession.search` with
+    ``rank="skyline"``.
+    """
+    from repro.runtime import SearchSession
+    return SearchSession(index).search(query, rank="skyline",
+                                       list_limit=list_limit)

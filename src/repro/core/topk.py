@@ -17,23 +17,9 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-from repro.core.engine import CohesiveLCA
-from repro.core.parser import parse_query
 from repro.core.query import Query
 from repro.core.results import Result
 from repro.index.inverted import InvertedIndex
-
-
-def _max_instance_depth(query: Query, index: InvertedIndex,
-                        list_limit: Optional[int]) -> int:
-    normalize = index.tokenizer.normalize
-    deepest = 0
-    for keyword in query.distinct_keywords():
-        for posting in index.postings(normalize(keyword),
-                                      limit=list_limit):
-            if len(posting.code) > deepest:
-                deepest = len(posting.code)
-    return deepest
 
 
 def search_top_k(query: Union[str, Query], index: InvertedIndex, k: int,
@@ -45,27 +31,25 @@ def search_top_k(query: Union[str, Query], index: InvertedIndex, k: int,
     is (number of keyword occurrences) × (maximum instance depth); once
     the budget reaches it the answer is complete, so the function always
     terminates with the exact prefix.
+
+    Thin wrapper over :meth:`repro.runtime.SearchSession.search` with
+    ``top_k`` — a long-lived session additionally amortizes the plan
+    and posting lookups across the budget-growing passes.
     """
-    if k <= 0:
-        return []
-    if isinstance(query, str):
-        query = parse_query(query)
-    searcher = CohesiveLCA(index)
-    depth = _max_instance_depth(query, index, list_limit)
-    ceiling = max(1, depth * query.keyword_count)
-    budget = initial_budget if initial_budget is not None \
-        else max(1, depth)
-    while True:
-        results = searcher.search(query, list_limit=list_limit,
-                                  size_budget=budget)
-        if len(results) >= k or budget >= ceiling:
-            return results[:k]
-        budget = min(ceiling, budget * 2)
+    from repro.runtime import SearchSession
+    return SearchSession(index).search(query, top_k=k,
+                                       list_limit=list_limit,
+                                       initial_budget=initial_budget)
 
 
 def search_within_size(query: Union[str, Query], index: InvertedIndex,
                        size_budget: int,
                        list_limit: Optional[int] = None) -> list[Result]:
-    """All results with LCA size at most ``size_budget`` (exact)."""
-    return CohesiveLCA(index).search(query, list_limit=list_limit,
-                                     size_budget=size_budget)
+    """All results with LCA size at most ``size_budget`` (exact).
+
+    Thin wrapper over :meth:`repro.runtime.SearchSession.search` with
+    ``max_size``.
+    """
+    from repro.runtime import SearchSession
+    return SearchSession(index).search(query, max_size=size_budget,
+                                       list_limit=list_limit)

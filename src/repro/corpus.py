@@ -15,22 +15,48 @@ Note on semantics: with a virtual root, a result may span several
 documents (its LCA is the corpus root).  That is usually noise, so
 :meth:`Corpus.search` drops corpus-root results by default; pass
 ``within_documents=False`` to keep them.
+
+Large collections can fan the search out over processes: pass
+``workers=N`` to :meth:`Corpus.search`.  Documents are sharded across
+the pool, each worker runs its own :class:`~repro.runtime.SearchSession`
+over its shard's postings, and the parent merges the ranked shard
+answers.  This is exact (not approximate) because a within-document
+result depends only on its own document's postings — the corpus root is
+the only cross-document LCA, and the within-document mode drops it
+anyway.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Optional, Union
+from typing import Iterable, Optional, Sequence, Union
 
-from repro.core.engine import CohesiveLCA
+from repro.core.parser import parse_query
 from repro.core.query import Query
 from repro.core.results import Result
-from repro.index.inverted import InvertedIndex
+from repro.errors import ReproError
+from repro.index.inverted import InvertedIndex, Posting
 from repro.index.streaming import StreamingIndexer
 from repro.index.tokenizer import Tokenizer, default_tokenizer
+from repro.obs import get_logger
 from repro.tree import dewey
 from repro.xmlio.pull_parser import PullParser
+
+_log = get_logger("repro.corpus")
+
+
+def _search_shard(query_text: str,
+                  postings: dict[str, tuple[Posting, ...]],
+                  tokenizer: Optional[Tokenizer]) -> list[Result]:
+    """Worker: evaluate ``query_text`` over one shard's postings.
+
+    Runs in a pool process.  The shard postings are already sliced to
+    any ``list_limit`` by the parent, so the session searches unlimited.
+    """
+    from repro.runtime import SearchSession
+    index = InvertedIndex(postings, tokenizer)
+    return SearchSession(index).search(query_text)
 
 
 @dataclass(frozen=True)
@@ -53,6 +79,7 @@ class Corpus:
         self._tokenizer = tokenizer or default_tokenizer()
         self._names: list[str] = []
         self._index = InvertedIndex({}, self._tokenizer)
+        self._session = None
 
     # -- building ------------------------------------------------------------
 
@@ -65,6 +92,10 @@ class Corpus:
             indexer.feed(event)
         self._index = self._index.merged_with(indexer.finish())
         self._names.append(name)
+        if self._session is not None:
+            # Keep the long-lived session's caches honest: swapping the
+            # index flushes both the plan and posting caches.
+            self._session.swap_index(self._index)
         return document_id
 
     def add_path(self, path: Union[str, Path],
@@ -91,6 +122,19 @@ class Corpus:
     def index(self) -> InvertedIndex:
         """The merged corpus-wide inverted index."""
         return self._index
+
+    @property
+    def session(self):
+        """The corpus's long-lived :class:`~repro.runtime.SearchSession`.
+
+        Created on first use; :meth:`add_document` swaps the new merged
+        index in (flushing the caches) so the session never serves stale
+        plans or postings.
+        """
+        if self._session is None:
+            from repro.runtime import SearchSession
+            self._session = SearchSession(self._index)
+        return self._session
 
     def document_name(self, code: dewey.Code) -> str:
         if not code:
@@ -157,15 +201,35 @@ class Corpus:
 
     def search(self, query: Union[str, Query],
                list_limit: Optional[int] = None,
-               within_documents: bool = True) -> list[DocumentResult]:
+               within_documents: bool = True,
+               workers: Optional[int] = None) -> list[DocumentResult]:
         """Evaluate a cohesive query across the whole collection.
 
         Results come back ranked by LCA size, each tagged with its
         document.  ``within_documents=True`` (default) drops results
         whose LCA is the virtual corpus root (matches stitched together
-        from several documents)."""
-        results = CohesiveLCA(self._index).search(query,
-                                                  list_limit=list_limit)
+        from several documents).
+
+        ``workers=N`` (N > 1) shards the documents across a process
+        pool, one :class:`~repro.runtime.SearchSession` per worker, and
+        merges the ranked shard answers — the answer is identical to the
+        sequential one.  Requires ``within_documents=True`` (only the
+        corpus root spans shards).  If the pool cannot start, the search
+        falls back to sequential with a warning.
+        """
+        if workers is not None and workers > 1:
+            if not within_documents:
+                raise ReproError(
+                    "workers>1 requires within_documents=True: the "
+                    "corpus-root result spans shards")
+            results = self._search_parallel(query, list_limit, workers)
+            if results is not None:
+                return self._attribute(results, within_documents=True)
+        results = self.session.search(query, list_limit=list_limit)
+        return self._attribute(results, within_documents)
+
+    def _attribute(self, results: Sequence[Result],
+                   within_documents: bool) -> list[DocumentResult]:
         attributed: list[DocumentResult] = []
         for result in results:
             if not result.code:
@@ -176,3 +240,71 @@ class Corpus:
             attributed.append(
                 DocumentResult(self._names[result.code[0]], result))
         return attributed
+
+    def _search_parallel(self, query: Union[str, Query],
+                         list_limit: Optional[int],
+                         workers: int) -> Optional[list[Result]]:
+        """Fan the search out over a process pool; ``None`` on failure.
+
+        The parent slices every keyword's *corpus-wide* list to
+        ``list_limit`` first, then shards the slices by document id —
+        sharding before slicing would change which instances survive the
+        limit and break the identical-answer guarantee.
+        """
+        parsed = parse_query(query) if isinstance(query, str) else query
+        keywords = sorted(parsed.distinct_keywords())
+        lists = {keyword: self._index.postings(keyword, limit=list_limit)
+                 for keyword in keywords}
+        if any(not plist for plist in lists.values()):
+            return []
+        shards = self._shard_postings(lists, workers)
+        if len(shards) <= 1:
+            return None  # nothing to parallelize; run sequentially
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
+            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+                futures = [
+                    pool.submit(_search_shard, str(parsed), shard,
+                                self._tokenizer)
+                    for shard in shards
+                ]
+                merged: list[Result] = []
+                for future in futures:
+                    merged.extend(future.result())
+        except (OSError, ValueError, TypeError, AttributeError,
+                ImportError, BrokenProcessPool) as error:
+            _log.warning("parallel search unavailable (%s); "
+                         "falling back to sequential", error)
+            return None
+        merged.sort(key=Result.sort_key)
+        return merged
+
+    def _shard_postings(self, lists: dict[str, tuple[Posting, ...]],
+                        workers: int
+                        ) -> list[dict[str, tuple[Posting, ...]]]:
+        """Split keyword lists into per-shard sub-lists by document id.
+
+        Documents are assigned to shards contiguously; a shard keeps a
+        keyword only if the shard holds at least one of its postings (a
+        worker whose shard misses any query keyword answers empty, which
+        is exactly the sequential semantics for those documents).
+        """
+        count = len(self._names)
+        shard_count = min(workers, count)
+        if shard_count <= 1:
+            return [dict(lists)]
+        bounds = [(shard * count) // shard_count
+                  for shard in range(shard_count + 1)]
+        shards: list[dict[str, tuple[Posting, ...]]] = []
+        for shard in range(shard_count):
+            low, high = bounds[shard], bounds[shard + 1]
+            sliced = {}
+            for keyword, plist in lists.items():
+                part = tuple(posting for posting in plist
+                             if low <= posting.code[0] < high)
+                if part:
+                    sliced[keyword] = part
+            if sliced:
+                shards.append(sliced)
+        return shards

@@ -13,6 +13,7 @@ merged in Dewey order.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.errors import IndexError_
@@ -160,5 +161,11 @@ class InvertedIndex:
             return keyword
 
     def raw_postings(self) -> Mapping[str, tuple[Posting, ...]]:
-        """The underlying keyword → posting-list mapping (read-only use)."""
-        return self._postings
+        """The underlying keyword → posting-list mapping, read-only.
+
+        Returned as a :class:`types.MappingProxyType` over tuple-valued
+        lists: posting slices are shared freely (the runtime layer
+        caches them across queries), so no caller may ever observe —
+        or cause — a mutation.
+        """
+        return MappingProxyType(self._postings)

@@ -1,0 +1,124 @@
+"""Obs-instrumented LRU caches for the search runtime.
+
+A :class:`SearchSession` owns two of these: the compiled-query *plan
+cache* and the per-keyword *posting-slice cache*.  Both follow the
+observability cost discipline (docs/OBSERVABILITY.md): lifetime
+statistics accumulate in plain integers on the cache object, and the
+caller — who already holds the active registry for the current public
+entry point — passes it in so hits/misses/evictions surface as counters
+(``{name}_hits``, ``{name}_misses``, ``{name}_evictions``) without an
+extra ``get_metrics()`` per lookup.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Optional
+
+from repro.obs.metrics import AnyMetrics
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Parameters
+    ----------
+    name:
+        Counter prefix (``plan_cache``, ``posting_cache``); lookups
+        increment ``{name}_hits`` / ``{name}_misses`` and evictions
+        ``{name}_evictions`` on the registry handed to :meth:`lookup`.
+    maxsize:
+        Entry budget; ``0`` disables caching entirely (every lookup is
+        a miss and nothing is retained).
+    """
+
+    __slots__ = ("name", "maxsize", "_entries", "hits", "misses",
+                 "evictions")
+
+    def __init__(self, name: str, maxsize: int):
+        if maxsize < 0:
+            raise ValueError(f"{name}: maxsize must be >= 0")
+        self.name = name
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: Hashable, factory: Callable[[], Any],
+               metrics: Optional[AnyMetrics] = None) -> Any:
+        """Return the cached value for ``key``, computing it on a miss.
+
+        A hit refreshes the entry's recency; a miss calls ``factory``,
+        stores the value (evicting the least-recently-used entry when
+        over budget) and returns it.  ``metrics`` — the registry the
+        calling entry point already holds — receives the counters when
+        enabled.
+        """
+        value = self._entries.get(key, _MISSING)
+        if value is not _MISSING:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if metrics is not None and metrics.enabled:
+                metrics.inc(f"{self.name}_hits")
+            return value
+        self.misses += 1
+        if metrics is not None and metrics.enabled:
+            metrics.inc(f"{self.name}_misses")
+        value = factory()
+        if self.maxsize:
+            self._entries[key] = value
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                if metrics is not None and metrics.enabled:
+                    metrics.inc(f"{self.name}_evictions")
+        return value
+
+    def insert(self, key: Hashable, value: Any) -> None:
+        """Store ``key`` without counting a lookup (alias registration).
+
+        Evictions still count: the entry displaces someone either way.
+        """
+        if not self.maxsize:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are lifetime and survive)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hits / lookups (0.0 before the first lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        """JSON-ready lifetime statistics of this cache."""
+        return {
+            "name": self.name,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def counter_names(self) -> tuple[str, str, str]:
+        """The registry counters this cache reports to."""
+        return (f"{self.name}_hits", f"{self.name}_misses",
+                f"{self.name}_evictions")

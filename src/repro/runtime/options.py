@@ -1,0 +1,101 @@
+"""Search options: one value object for every evaluation mode.
+
+The engine grew five divergent entry points (``evaluate``,
+``stream_evaluate``, ``lattice_machine_evaluate``, ``search_top_k``,
+``search_within_size``) plus ranking variants; :class:`SearchOptions`
+normalizes all of their knobs into a single immutable — therefore
+plan-cache-safe — value that :meth:`repro.runtime.SearchSession.search`
+routes on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ReproError
+
+#: Evaluation algorithms the session can route to.  ``cohesive`` is the
+#: optimized path-stack engine (paper §3), ``machine`` the literal
+#: Algorithm 1 lattice machine; the remaining four are the flat
+#: baselines of §4 (which ignore cohesiveness structure).
+ALGORITHMS = ("cohesive", "machine", "slca", "elca", "lcasz", "saone")
+
+#: Rank modes: Def. 3 size ranking, the §2.2 cohesive-term vector
+#: ranking, or the §6 skyline semantics.  Only ``cohesive`` results
+#: carry the term-size vectors the latter two need.
+RANK_MODES = ("size", "vector", "skyline")
+
+
+class OptionsError(ReproError):
+    """An invalid :class:`SearchOptions` combination."""
+
+
+@dataclass(frozen=True)
+class SearchOptions:
+    """Everything that parameterizes one search, in one hashable value.
+
+    Attributes
+    ----------
+    algorithm:
+        One of :data:`ALGORITHMS`.
+    rank:
+        One of :data:`RANK_MODES` (``cohesive`` algorithm only).
+    top_k:
+        Budgeted top-k-size search: return only the first ``k``
+        results of the Def. 3 ranking, evaluated with a growing size
+        budget (``cohesive`` only).
+    max_size:
+        Only results of LCA size ≤ ``max_size`` (``cohesive`` only;
+        prunes during the scan, lossless within the bound).
+    initial_budget:
+        Starting size budget of the top-k loop (defaults to the
+        deepest instance's depth; only meaningful with ``top_k``).
+    list_limit:
+        Truncate every inverted list to its first ``list_limit``
+        postings (the paper's §4.3 device).  Applied by slicing the
+        cached posting tuple, so it composes with the posting cache.
+    impenetrability:
+        ``False`` disables Def. 2(b)(ii) (ablation studies only).
+    """
+
+    algorithm: str = "cohesive"
+    rank: str = "size"
+    top_k: Optional[int] = None
+    max_size: Optional[int] = None
+    initial_budget: Optional[int] = None
+    list_limit: Optional[int] = None
+    impenetrability: bool = True
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise OptionsError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"expected one of {ALGORITHMS}")
+        if self.rank not in RANK_MODES:
+            raise OptionsError(
+                f"unknown rank mode {self.rank!r}; "
+                f"expected one of {RANK_MODES}")
+        if self.algorithm != "cohesive":
+            if self.rank != "size":
+                raise OptionsError(
+                    f"rank={self.rank!r} requires algorithm='cohesive' "
+                    "(only engine results carry term-size vectors)")
+            if self.top_k is not None or self.max_size is not None:
+                raise OptionsError(
+                    "top_k / max_size require algorithm='cohesive'")
+            if not self.impenetrability:
+                raise OptionsError(
+                    "impenetrability=False requires algorithm='cohesive'")
+        if self.top_k is not None and self.top_k < 0:
+            raise OptionsError("top_k must be >= 0")
+        if self.initial_budget is not None and self.initial_budget < 1:
+            raise OptionsError("initial_budget must be >= 1")
+        if self.max_size is not None and self.max_size < 0:
+            raise OptionsError("max_size must be >= 0")
+        if self.list_limit is not None and self.list_limit < 0:
+            raise OptionsError("list_limit must be >= 0")
+
+    def with_(self, **changes) -> "SearchOptions":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)

@@ -1,0 +1,400 @@
+"""The search runtime: compiled-plan caching and a unified facade.
+
+A :class:`SearchSession` owns a loaded :class:`~repro.index.inverted.
+InvertedIndex` plus two LRU caches:
+
+* the **plan cache** — normalized query text → parsed
+  :class:`~repro.core.query.Query` + compiled signature lattice
+  (:class:`~repro.core.signatures.CompiledQuery`), so repeated queries
+  skip parsing and lattice compilation entirely;
+* the **posting-slice cache** — normalized keyword → the keyword's
+  immutable posting tuple, so a workload touching the same keywords
+  skips the index round trip (and its per-request accounting).
+
+One :meth:`SearchSession.search` facade routes every evaluation mode —
+the CohesiveLCA engine, the literal lattice machine, the four flat
+baselines, size/vector/skyline ranking, top-k-size and bounded-size
+search — on a :class:`~repro.runtime.options.SearchOptions` value, and
+:meth:`SearchSession.search_batch` executes a whole query workload
+against **one** shared Dewey-order scan (see :mod:`repro.runtime.batch`).
+
+Cache effectiveness is observable: ``plan_cache_{hits,misses,
+evictions}`` and ``posting_cache_{...}`` counters report to the active
+metrics registry, and :meth:`SearchSession.cache_stats` exposes
+lifetime numbers (docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.core.engine import (ENGINE_COUNTERS, evaluate_compiled,
+                               merge_posting_streams, push_evaluation)
+from repro.core.parser import parse_query
+from repro.core.query import Query
+from repro.core.results import Result
+from repro.core.signatures import CompiledQuery, compile_query
+from repro.index.inverted import InvertedIndex, Posting
+from repro.obs import get_logger, get_metrics
+from repro.obs.metrics import AnyMetrics
+from repro.runtime.cache import LRUCache
+from repro.runtime.options import OptionsError, SearchOptions
+from repro.tree.tree import DataTree
+
+_log = get_logger("runtime.session")
+
+#: Counter catalogue of the runtime layer (see docs/OBSERVABILITY.md).
+RUNTIME_COUNTERS = (
+    "plan_cache_hits",
+    "plan_cache_misses",
+    "plan_cache_evictions",
+    "posting_cache_hits",
+    "posting_cache_misses",
+    "posting_cache_evictions",
+    "batch_queries",
+    "batch_distinct_plans",
+    "batch_scan_nodes",
+)
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A query lowered once, reused across an entire session.
+
+    ``key`` is the canonical query text (the parsed query rendered
+    back), which identifies the plan across whitespace variants and is
+    the deduplication key of the shared-scan batch executor.
+    """
+
+    key: str
+    query: Query
+    compiled: CompiledQuery
+
+    @property
+    def keywords(self) -> tuple[str, ...]:
+        """The plan's normalized distinct keywords."""
+        return tuple(self.compiled.atoms)
+
+
+class SearchSession:
+    """A long-lived search runtime over one inverted index.
+
+    Example::
+
+        session = SearchSession(index)
+        results = session.search("(XML (John Smith) (George Brown))")
+        top = session.search(query, SearchOptions(top_k=5))
+        all_answers = session.search_batch(workload)   # one shared scan
+
+    Sessions are cheap to construct but meant to persist: the caches
+    amortize per-query setup across a workload, which is where the
+    paper's cost model says the time goes (§3 — the evaluation is one
+    pass over the inverted lists; everything else is overhead that
+    repeats identically per query).
+
+    Thread-safety: sessions are designed for one searching thread (or
+    one session per worker, as :mod:`repro.corpus` does); the caches
+    are not locked.
+    """
+
+    def __init__(self, index: InvertedIndex,
+                 plan_cache_size: int = 128,
+                 posting_cache_size: int = 512):
+        self._index = index
+        self._plans = LRUCache("plan_cache", plan_cache_size)
+        self._postings_cache = LRUCache("posting_cache",
+                                        posting_cache_size)
+
+    # -- index ownership ----------------------------------------------------
+
+    @property
+    def index(self) -> InvertedIndex:
+        """The index this session searches."""
+        return self._index
+
+    def swap_index(self, index: InvertedIndex) -> None:
+        """Point the session at a different index.
+
+        Both caches are flushed: plans embed the old tokenizer's
+        normalization and posting slices belong to the old index, so
+        a stale hit could silently search the wrong data.
+        """
+        self._index = index
+        self.invalidate()
+
+    def rebuild_index(self, tree: DataTree) -> None:
+        """Re-index ``tree`` and swap the result in (caches flushed)."""
+        self.swap_index(InvertedIndex.from_tree(tree))
+
+    def invalidate(self) -> None:
+        """Flush both caches (lifetime statistics survive)."""
+        self._plans.clear()
+        self._postings_cache.clear()
+        _log.debug("session caches invalidated")
+
+    # -- cache plumbing -----------------------------------------------------
+
+    def plan(self, query: Union[str, Query],
+             metrics: Optional[AnyMetrics] = None) -> CompiledPlan:
+        """The compiled plan of ``query``, from the plan cache.
+
+        String queries are keyed by whitespace-normalized text first
+        (the common repeated-workload hit costs one ``str.split``), and
+        the resulting plan is also registered under its canonical text
+        so equivalent spellings converge on one entry.
+        """
+        if metrics is None:
+            metrics = get_metrics()
+        if isinstance(query, str):
+            key = " ".join(query.split())
+            return self._plans.lookup(
+                key, lambda: self._compile_text(key, metrics), metrics)
+        return self._plans.lookup(
+            str(query), lambda: self._compile_parsed(query, metrics),
+            metrics)
+
+    def _compile_text(self, text: str, metrics: AnyMetrics) -> CompiledPlan:
+        with metrics.span("parse"):
+            query = parse_query(text)
+        return self._compile_parsed(query, metrics)
+
+    def _compile_parsed(self, query: Query,
+                        metrics: AnyMetrics) -> CompiledPlan:
+        with metrics.span("lattice-build"):
+            compiled = compile_query(query,
+                                     self._index.tokenizer.normalize)
+        plan = CompiledPlan(str(query), query, compiled)
+        # Register the canonical spelling too: "(a  B)" and "(a b)"
+        # share this plan object from now on.
+        if plan.key not in self._plans:
+            self._plans.insert(plan.key, plan)
+        return plan
+
+    def postings(self, keyword: str, list_limit: Optional[int] = None,
+                 metrics: Optional[AnyMetrics] = None
+                 ) -> tuple[Posting, ...]:
+        """The posting slice of a normalized keyword, from the cache.
+
+        The cache stores each keyword's **full immutable tuple**;
+        ``list_limit`` slices the cached value, so every limit shares
+        one entry.  Tuples make a cache hit mutation-proof: no caller
+        can corrupt what a later query observes.
+        """
+        if metrics is None:
+            metrics = get_metrics()
+        plist: tuple[Posting, ...] = self._postings_cache.lookup(
+            keyword, lambda: tuple(self._index.postings(keyword)),
+            metrics)
+        if list_limit is not None:
+            plist = plist[:list_limit]
+        return plist
+
+    def cache_stats(self) -> dict:
+        """Lifetime statistics of both caches (JSON-ready)."""
+        return {
+            "plan_cache": self._plans.stats(),
+            "posting_cache": self._postings_cache.stats(),
+        }
+
+    # -- the facade ---------------------------------------------------------
+
+    def search(self, query: Union[str, Query],
+               options: Optional[SearchOptions] = None,
+               **changes) -> list:
+        """Evaluate one query under ``options`` (default settings if
+        omitted); keyword arguments override individual options::
+
+            session.search(q)                         # CohesiveLCA, Def. 3
+            session.search(q, algorithm="slca")       # a flat baseline
+            session.search(q, top_k=10)               # budgeted top-k
+            session.search(q, rank="skyline")         # §6 semantics
+
+        Returns :class:`~repro.core.results.Result` rows for every
+        algorithm (``slca``/``elca`` report bare LCA nodes, so their
+        rows carry size 0 and no term vector), except
+        ``rank="vector"``, which returns scored
+        :class:`~repro.core.ranking.RankedResult` rows.
+        """
+        options = self._resolve(options, changes)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.declare(*RUNTIME_COUNTERS)
+        plan = self.plan(query, metrics)
+        if options.algorithm == "cohesive":
+            return self._search_cohesive(plan, options, metrics)
+        if options.algorithm == "machine":
+            return self._search_machine(plan, options, metrics)
+        return self._search_baseline(plan, options)
+
+    def stream(self, query: Union[str, Query],
+               options: Optional[SearchOptions] = None,
+               **changes) -> Iterator[Result]:
+        """Yield engine results lazily as their nodes finalize.
+
+        The streaming analogue of :meth:`search` (``cohesive``
+        algorithm, no ranking): same answer set, post-order yield
+        discipline — sort by :meth:`Result.sort_key` for Def. 3 order.
+        """
+        options = self._resolve(options, changes)
+        if options.algorithm != "cohesive" or options.rank != "size" \
+                or options.top_k is not None:
+            raise OptionsError(
+                "stream() supports algorithm='cohesive' with "
+                "rank='size' and no top_k")
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.declare(*RUNTIME_COUNTERS)
+        plan = self.plan(query, metrics)
+        lists = self._plan_lists(plan, options, metrics)
+        if lists is None:
+            return
+        evaluation = push_evaluation(
+            plan.compiled, size_budget=options.max_size,
+            impenetrability=options.impenetrability)
+        yield from evaluation.stream(merge_posting_streams(lists))
+
+    def search_batch(self, queries: Sequence[Union[str, Query]],
+                     options: Optional[SearchOptions] = None,
+                     **changes) -> list[list]:
+        """Evaluate a whole workload against one shared Dewey scan.
+
+        Returns one ranked result list per input query, in input
+        order, byte-identical to ``[self.search(q, options) for q in
+        queries]`` (property-tested).  Identical queries (after
+        canonicalization) are evaluated once and fanned out; distinct
+        queries share a single merged heap scan over the union of
+        their posting lists — each query's path-stack machine is fed
+        only its own keywords' events, so results cannot differ from a
+        private scan.
+
+        ``cohesive`` and ``machine`` runs share the scan; ``top_k``,
+        the flat baselines and ``rank`` post-processing fall back to
+        per-query evaluation of the (already deduplicated) plans.
+        """
+        options = self._resolve(options, changes)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.declare(*RUNTIME_COUNTERS)
+            metrics.inc("batch_queries", len(queries))
+        plans = [self.plan(query, metrics) for query in queries]
+        distinct: dict[str, CompiledPlan] = {}
+        for plan in plans:
+            distinct.setdefault(plan.key, plan)
+        if metrics.enabled:
+            metrics.inc("batch_distinct_plans", len(distinct))
+        shareable = options.algorithm in ("cohesive", "machine") \
+            and options.top_k is None
+        if shareable:
+            from repro.runtime.batch import shared_scan
+            answers = shared_scan(self, list(distinct.values()), options,
+                                  metrics)
+            if options.rank != "size":
+                answers = {key: self._apply_rank(distinct[key], results,
+                                                 options)
+                           for key, results in answers.items()}
+        else:
+            answers = {key: self.search(plan.query, options)
+                       for key, plan in distinct.items()}
+        # Fan out per workload position; copy so callers that mutate
+        # one answer list cannot corrupt a duplicate query's answer.
+        return [list(answers[plan.key]) for plan in plans]
+
+    # -- routing ------------------------------------------------------------
+
+    @staticmethod
+    def _resolve(options: Optional[SearchOptions],
+                 changes: dict) -> SearchOptions:
+        if options is None:
+            return SearchOptions(**changes)
+        return options.with_(**changes) if changes else options
+
+    def _plan_lists(self, plan: CompiledPlan, options: SearchOptions,
+                    metrics: AnyMetrics
+                    ) -> Optional[dict[str, tuple[Posting, ...]]]:
+        """Posting slices for every plan keyword, or ``None`` if some
+        keyword has no instances (then the query has no results)."""
+        lists: dict[str, tuple[Posting, ...]] = {}
+        for keyword in plan.compiled.atoms:
+            plist = self.postings(keyword, options.list_limit, metrics)
+            if not plist:
+                return None
+            lists[keyword] = plist
+        return lists
+
+    def _search_cohesive(self, plan: CompiledPlan, options: SearchOptions,
+                         metrics: AnyMetrics) -> list:
+        lists = self._plan_lists(plan, options, metrics)
+        if lists is None:
+            if metrics.enabled:  # the catalogue still shows zeros
+                metrics.declare(*ENGINE_COUNTERS)
+            return []
+        if options.top_k is not None:
+            results = self._top_k(plan, lists, options)
+        else:
+            results = evaluate_compiled(
+                plan.compiled, lists, size_budget=options.max_size,
+                impenetrability=options.impenetrability)
+        return self._apply_rank(plan, results, options)
+
+    def _top_k(self, plan: CompiledPlan,
+               lists: dict[str, tuple[Posting, ...]],
+               options: SearchOptions) -> list[Result]:
+        """The growing-size-budget loop of top-k-size search, run on
+        the cached plan and posting slices (cf. repro.core.topk)."""
+        k = options.top_k or 0
+        if k <= 0:
+            return []
+        depth = max((len(posting.code)
+                     for plist in lists.values() for posting in plist),
+                    default=0)
+        ceiling = max(1, depth * plan.query.keyword_count)
+        budget = options.initial_budget \
+            if options.initial_budget is not None else max(1, depth)
+        while True:
+            results = evaluate_compiled(
+                plan.compiled, lists, size_budget=budget,
+                impenetrability=options.impenetrability)
+            if len(results) >= k or budget >= ceiling:
+                return results[:k]
+            budget = min(ceiling, budget * 2)
+
+    def _apply_rank(self, plan: CompiledPlan, results: list[Result],
+                    options: SearchOptions) -> list:
+        if options.rank == "vector":
+            from repro.core.ranking import rank_results
+            return rank_results(plan.query, self._index, results=results,
+                                list_limit=options.list_limit)
+        if options.rank == "skyline":
+            from repro.core.skyline import skyline
+            return skyline(results)
+        return results
+
+    def _search_machine(self, plan: CompiledPlan, options: SearchOptions,
+                        metrics: AnyMetrics) -> list[Result]:
+        from repro.core.lattice_machine import LatticeMachine
+        machine = LatticeMachine(plan.query,
+                                 self._index.tokenizer.normalize)
+        lists = {keyword: self.postings(keyword, options.list_limit,
+                                        metrics)
+                 for keyword in machine.keywords}
+        return machine.run(lists)
+
+    def _search_baseline(self, plan: CompiledPlan,
+                         options: SearchOptions) -> list[Result]:
+        """Route to a flat baseline (cohesiveness structure ignored)."""
+        from repro.baselines import elca, lcasz, sa_one, slca
+        keywords = plan.query.distinct_keywords()
+        if options.algorithm == "slca":
+            codes = slca(keywords, self._index,
+                         list_limit=options.list_limit)
+            return [Result(code, 0) for code in codes]
+        if options.algorithm == "elca":
+            codes = elca(keywords, self._index,
+                         list_limit=options.list_limit)
+            return [Result(code, 0) for code in codes]
+        if options.algorithm == "lcasz":
+            return lcasz(keywords, self._index,
+                         list_limit=options.list_limit)
+        return sa_one(keywords, self._index,
+                      list_limit=options.list_limit)

@@ -1,0 +1,44 @@
+"""Regression: posting lists must be immutable.
+
+The runtime layer caches posting slices across queries, so a caller
+mutating what the index hands out would silently corrupt every later
+query's answer.  The index therefore deals exclusively in tuples and
+exposes its mapping through a read-only proxy.
+"""
+
+import pytest
+
+from repro.index.inverted import InvertedIndex, Posting
+
+
+@pytest.fixture()
+def index(figure1_tree):
+    return InvertedIndex.from_tree(figure1_tree)
+
+
+class TestPostingImmutability:
+    def test_postings_returns_tuple(self, index):
+        assert isinstance(index.postings("xml"), tuple)
+        assert isinstance(index.postings("xml", limit=1), tuple)
+
+    def test_posting_entries_are_frozen(self, index):
+        posting = index.postings("xml")[0]
+        with pytest.raises(AttributeError):
+            posting.frequency = 99
+
+    def test_raw_postings_mapping_is_read_only(self, index):
+        raw = index.raw_postings()
+        with pytest.raises(TypeError):
+            raw["xml"] = ()
+        with pytest.raises(TypeError):
+            del raw["xml"]
+
+    def test_raw_postings_values_are_tuples(self, index):
+        assert all(isinstance(plist, tuple)
+                   for plist in index.raw_postings().values())
+
+    def test_mutable_input_is_copied_on_construction(self):
+        lists = {"xml": [Posting((0,), 1)]}
+        index = InvertedIndex(lists)
+        lists["xml"].append(Posting((1,), 1))
+        assert len(index.postings("xml")) == 1

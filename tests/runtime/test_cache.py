@@ -1,0 +1,101 @@
+"""The runtime LRU cache: eviction policy and counter reporting."""
+
+import pytest
+
+from repro.obs import metrics_scope
+from repro.runtime import LRUCache
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = LRUCache("plan_cache", 4)
+        calls = []
+        assert cache.lookup("a", lambda: calls.append("a") or 1) == 1
+        assert cache.lookup("a", lambda: calls.append("a") or 2) == 1
+        assert calls == ["a"]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache("posting_cache", 2)
+        cache.lookup("a", lambda: 1)
+        cache.lookup("b", lambda: 2)
+        cache.lookup("a", lambda: 0)      # refresh a; b is now LRU
+        cache.lookup("c", lambda: 3)      # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+        assert cache.lookup("b", lambda: 9) == 9  # recomputed
+
+    def test_zero_maxsize_disables_caching(self):
+        cache = LRUCache("plan_cache", 0)
+        assert cache.lookup("a", lambda: 1) == 1
+        assert cache.lookup("a", lambda: 2) == 2  # never retained
+        assert len(cache) == 0
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache("plan_cache", -1)
+
+    def test_insert_counts_no_lookup(self):
+        cache = LRUCache("plan_cache", 2)
+        cache.insert("alias", 1)
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.lookup("alias", lambda: 9) == 1
+        assert cache.hits == 1
+
+    def test_insert_still_evicts(self):
+        cache = LRUCache("plan_cache", 1)
+        cache.insert("a", 1)
+        cache.insert("b", 2)
+        assert cache.evictions == 1 and "a" not in cache
+
+    def test_clear_keeps_lifetime_statistics(self):
+        cache = LRUCache("posting_cache", 4)
+        cache.lookup("a", lambda: 1)
+        cache.lookup("a", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.lookup("a", lambda: 5) == 5  # cold again
+
+
+class TestStatistics:
+    def test_hit_rate(self):
+        cache = LRUCache("plan_cache", 4)
+        assert cache.hit_rate == 0.0
+        cache.lookup("a", lambda: 1)
+        cache.lookup("a", lambda: 1)
+        cache.lookup("a", lambda: 1)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_stats_shape(self):
+        cache = LRUCache("plan_cache", 4)
+        cache.lookup("a", lambda: 1)
+        stats = cache.stats()
+        assert stats["name"] == "plan_cache"
+        assert stats["size"] == 1 and stats["maxsize"] == 4
+        assert stats["misses"] == 1 and stats["hits"] == 0
+
+    def test_counter_names(self):
+        cache = LRUCache("posting_cache", 4)
+        assert cache.counter_names() == (
+            "posting_cache_hits", "posting_cache_misses",
+            "posting_cache_evictions")
+
+
+class TestMetricsReporting:
+    def test_counters_reach_registry(self):
+        cache = LRUCache("plan_cache", 1)
+        with metrics_scope() as registry:
+            cache.lookup("a", lambda: 1, registry)
+            cache.lookup("a", lambda: 1, registry)
+            cache.lookup("b", lambda: 2, registry)  # miss + eviction
+            counters = registry.snapshot()["counters"]
+        assert counters["plan_cache_hits"] == 1
+        assert counters["plan_cache_misses"] == 2
+        assert counters["plan_cache_evictions"] == 1
+
+    def test_disabled_registry_costs_nothing(self):
+        cache = LRUCache("plan_cache", 2)
+        cache.lookup("a", lambda: 1, None)  # no registry at all
+        assert cache.misses == 1  # lifetime stats still accumulate

@@ -1,0 +1,101 @@
+"""Cache invalidation: an index swap must never serve stale answers."""
+
+from repro.index.inverted import InvertedIndex
+from repro.runtime import SearchSession
+from repro.tree.builder import build_tree
+
+SMALL = ("bib", None, [
+    ("article", None, [
+        ("title", "xml search"),
+        ("author", "Alice Cooper"),
+    ]),
+])
+
+GROWN = ("bib", None, [
+    ("article", None, [
+        ("title", "xml search"),
+        ("author", "Alice Cooper"),
+    ]),
+    ("article", None, [
+        ("title", "xml retrieval"),
+        ("author", "Bob Cooper"),
+    ]),
+])
+
+
+def _index(spec):
+    return InvertedIndex.from_tree(build_tree(spec))
+
+
+class TestSwapIndex:
+    def test_swap_flushes_both_caches(self):
+        session = SearchSession(_index(SMALL))
+        session.search("(xml cooper)")
+        assert session.cache_stats()["plan_cache"]["size"] > 0
+        assert session.cache_stats()["posting_cache"]["size"] > 0
+        session.swap_index(_index(GROWN))
+        assert session.cache_stats()["plan_cache"]["size"] == 0
+        assert session.cache_stats()["posting_cache"]["size"] == 0
+
+    def test_swap_prevents_stale_results(self):
+        session = SearchSession(_index(SMALL))
+        before = session.search("(xml cooper)")
+        assert [result.code for result in before] == [(0,)]
+        session.swap_index(_index(GROWN))
+        after = session.search("(xml cooper)")
+        # both articles now match (plus the cross-article bib root)
+        assert {result.code for result in after} >= {(0,), (1,)}
+        # and the posting slice really is the new index's
+        assert len(session.postings("cooper")) == 2
+
+    def test_lifetime_statistics_survive_swap(self):
+        session = SearchSession(_index(SMALL))
+        session.search("(xml cooper)")
+        misses = session.cache_stats()["plan_cache"]["misses"]
+        session.swap_index(_index(GROWN))
+        assert session.cache_stats()["plan_cache"]["misses"] == misses
+
+    def test_index_property_tracks_swap(self):
+        grown = _index(GROWN)
+        session = SearchSession(_index(SMALL))
+        session.swap_index(grown)
+        assert session.index is grown
+
+
+class TestRebuildIndex:
+    def test_rebuild_from_tree(self):
+        session = SearchSession(_index(SMALL))
+        session.search("(xml cooper)")
+        session.rebuild_index(build_tree(GROWN))
+        codes = {result.code for result in session.search("(xml cooper)")}
+        assert codes >= {(0,), (1,)}
+
+
+class TestInvalidate:
+    def test_explicit_invalidate_flushes(self):
+        session = SearchSession(_index(SMALL))
+        session.search("(xml cooper)")
+        session.invalidate()
+        stats = session.cache_stats()
+        assert stats["plan_cache"]["size"] == 0
+        assert stats["posting_cache"]["size"] == 0
+        # next search recompiles: a fresh miss, not a stale hit
+        session.search("(xml cooper)")
+        assert stats["plan_cache"]["misses"] < \
+            session.cache_stats()["plan_cache"]["misses"]
+
+
+class TestCorpusSession:
+    def test_add_document_invalidates_corpus_session(self):
+        from repro.corpus import Corpus
+        corpus = Corpus()
+        corpus.add_document(
+            "a.xml",
+            "<bib><article><title>xml search</title>"
+            "<author>Alice Cooper</author></article></bib>")
+        assert len(corpus.search("(xml cooper)")) == 1
+        corpus.add_document(
+            "b.xml",
+            "<bib><article><title>xml retrieval</title>"
+            "<author>Bob Cooper</author></article></bib>")
+        assert len(corpus.search("(xml cooper)")) == 2

@@ -1,0 +1,154 @@
+"""The SearchSession facade: routing, caching, and legacy parity."""
+
+import pytest
+
+from repro.baselines import elca, lcasz, sa_one, slca
+from repro.core.parser import parse_query
+from repro.core.ranking import rank_results
+from repro.core.results import Result
+from repro.core.skyline import skyline
+from repro.obs import metrics_scope
+from repro.runtime import OptionsError, SearchOptions, SearchSession
+
+from tests.conftest import Q1
+
+
+@pytest.fixture()
+def session(figure1_index):
+    return SearchSession(figure1_index)
+
+
+class TestRouting:
+    """Every legacy entry point's answer, through the one facade."""
+
+    def test_cohesive_matches_paper_facts(self, session):
+        results = {result.code: result.size
+                   for result in session.search(Q1)}
+        assert results[(0,)] == 3     # paper's article node 2
+        assert results[(2,)] == 6     # paper's article node 11
+        assert (1,) not in results    # paper's article node 6
+
+    def test_machine_matches_engine(self, session):
+        # The literal Algorithm 1 machine reports no term-size vectors,
+        # so parity is on (code, size) pairs and their order.
+        machine = session.search(Q1, algorithm="machine")
+        engine = session.search(Q1)
+        assert [(r.code, r.size) for r in machine] == \
+            [(r.code, r.size) for r in engine]
+
+    def test_slca_matches_baseline(self, session, figure1_index):
+        keywords = parse_query(Q1).distinct_keywords()
+        expected = [Result(code, 0)
+                    for code in slca(keywords, figure1_index)]
+        assert session.search(Q1, algorithm="slca") == expected
+
+    def test_elca_matches_baseline(self, session, figure1_index):
+        keywords = parse_query(Q1).distinct_keywords()
+        expected = [Result(code, 0)
+                    for code in elca(keywords, figure1_index)]
+        assert session.search(Q1, algorithm="elca") == expected
+
+    def test_lcasz_matches_baseline(self, session, figure1_index):
+        keywords = parse_query(Q1).distinct_keywords()
+        assert session.search(Q1, algorithm="lcasz") == \
+            lcasz(keywords, figure1_index)
+
+    def test_saone_matches_baseline(self, session, figure1_index):
+        keywords = parse_query(Q1).distinct_keywords()
+        assert session.search(Q1, algorithm="saone") == \
+            sa_one(keywords, figure1_index)
+
+    def test_top_k_is_ranking_prefix(self, session):
+        full = session.search(Q1)
+        assert session.search(Q1, top_k=1) == full[:1]
+        assert session.search(Q1, top_k=10) == full
+
+    def test_top_k_zero(self, session):
+        assert session.search(Q1, top_k=0) == []
+
+    def test_max_size_bounds_results(self, session):
+        bounded = session.search(Q1, max_size=3)
+        assert [result.size for result in bounded] == [3]
+
+    def test_skyline_rank(self, session):
+        full = session.search(Q1)
+        assert session.search(Q1, rank="skyline") == skyline(full)
+
+    def test_vector_rank(self, session, figure1_index):
+        query = parse_query(Q1)
+        expected = rank_results(query, figure1_index)
+        assert session.search(Q1, rank="vector") == expected
+
+    def test_stream_matches_search(self, session):
+        streamed = sorted(session.stream(Q1), key=Result.sort_key)
+        assert streamed == session.search(Q1)
+
+    def test_stream_rejects_non_streamable_options(self, session):
+        with pytest.raises(OptionsError):
+            list(session.stream(Q1, algorithm="slca"))
+        with pytest.raises(OptionsError):
+            list(session.stream(Q1, top_k=2))
+
+    def test_options_object_and_kwargs_agree(self, session):
+        assert session.search(Q1, SearchOptions(max_size=3)) == \
+            session.search(Q1, max_size=3)
+
+    def test_unknown_keyword_means_no_results(self, session):
+        assert session.search("(xml nonexistentkeyword)") == []
+
+    def test_query_object_accepted(self, session):
+        assert session.search(parse_query(Q1)) == session.search(Q1)
+
+
+class TestPlanCache:
+    def test_repeat_query_hits(self, session):
+        session.search(Q1)
+        session.search(Q1)
+        stats = session.cache_stats()["plan_cache"]
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_spelling_variants_share_one_plan(self, session):
+        first = session.plan("(xml   keyword )")
+        second = session.plan("  (xml keyword)")
+        canonical = session.plan(str(first.query))
+        assert first is second is canonical
+
+    def test_counters_reach_registry(self, session):
+        with metrics_scope() as registry:
+            session.search(Q1)
+            session.search(Q1)
+            counters = registry.snapshot()["counters"]
+        assert counters["plan_cache_misses"] == 1
+        assert counters["plan_cache_hits"] == 1
+        assert counters["posting_cache_misses"] > 0
+
+    def test_phases_recorded_on_miss(self, session):
+        with metrics_scope() as registry:
+            session.search(Q1)
+            phases = registry.snapshot()["phases"]
+        assert "parse" in phases and "lattice-build" in phases
+
+
+class TestPostingCache:
+    def test_repeat_keyword_hits(self, session):
+        session.postings("xml")
+        session.postings("xml")
+        stats = session.cache_stats()["posting_cache"]
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_limit_slices_shared_entry(self, session, figure1_index):
+        full = session.postings("xml")
+        limited = session.postings("xml", list_limit=1)
+        assert limited == full[:1]
+        stats = session.cache_stats()["posting_cache"]
+        assert stats["misses"] == 1 and stats["hits"] == 1
+
+    def test_slices_are_tuples(self, session):
+        assert isinstance(session.postings("xml"), tuple)
+
+    def test_list_limit_affects_results(self, session):
+        # With every list cut to one posting, the query can only match
+        # where those first instances co-occur.
+        limited = session.search(Q1, list_limit=1)
+        full = session.search(Q1)
+        assert len(limited) <= len(full)

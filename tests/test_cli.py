@@ -197,6 +197,120 @@ class TestObservability:
         assert get_metrics() is NULL_METRICS
 
 
+class TestRuntimeFlags:
+    """The session-backed flags: --algorithm, --repeat, --workload."""
+
+    @pytest.mark.parametrize("algorithm",
+                             ["cohesive", "machine", "slca", "elca",
+                              "lcasz", "saone"])
+    def test_algorithm_flag(self, document, algorithm, capsys):
+        assert main(["search", str(document), "(lei chen yi guo)",
+                     "--algorithm", algorithm]) == 0
+        assert "result(s)" in capsys.readouterr().out
+
+    def test_machine_agrees_with_cohesive(self, document, capsys):
+        assert main(["search", str(document),
+                     "((Lei Chen) (Yi Guo))"]) == 0
+        engine_out = capsys.readouterr().out
+        assert main(["search", str(document), "((Lei Chen) (Yi Guo))",
+                     "--algorithm", "machine"]) == 0
+        assert capsys.readouterr().out == engine_out
+
+    def test_baseline_alias_matches_algorithm(self, document, capsys):
+        assert main(["search", str(document), "(lei chen)",
+                     "--algorithm", "slca"]) == 0
+        direct = capsys.readouterr().out
+        assert main(["search", str(document), "(lei chen)",
+                     "--baseline", "slca"]) == 0
+        assert capsys.readouterr().out == direct
+
+    def test_baseline_deprecation_warns_once(self, document, caplog):
+        import repro.cli as cli_module
+        cli_module._baseline_warned = False
+        with caplog.at_level(logging.WARNING, logger="repro.cli"):
+            assert main(["search", str(document), "(lei chen)",
+                         "--baseline", "slca"]) == 0
+            assert main(["search", str(document), "(lei chen)",
+                         "--baseline", "elca"]) == 0
+        warnings = [record for record in caplog.records
+                    if "deprecated" in record.getMessage()]
+        assert len(warnings) == 1
+
+    def test_conflicting_algorithm_and_baseline(self, document, capsys):
+        assert main(["search", str(document), "(lei chen)",
+                     "--algorithm", "cohesive",
+                     "--baseline", "slca"]) == 1
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_repeat_reports_cache_hits(self, document, capsys):
+        assert main(["search", str(document), "(lei chen)",
+                     "--repeat", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "repeated 3x" in out
+        assert "plan cache 2/3 hits" in out
+
+    def test_repeat_populates_cache_counters(self, document, tmp_path,
+                                             capsys):
+        dump = tmp_path / "metrics.json"
+        assert main(["search", str(document), "(lei chen)",
+                     "--repeat", "2", "--metrics-json",
+                     str(dump)]) == 0
+        snapshot = json.loads(dump.read_text())
+        assert snapshot["counters"]["plan_cache_hits"] == 1
+        assert snapshot["counters"]["plan_cache_misses"] == 1
+        assert snapshot["counters"]["posting_cache_hits"] >= 1
+
+    def test_workload_batch(self, document, tmp_path, capsys):
+        workload = tmp_path / "workload.txt"
+        workload.write_text("(lei chen)\n"
+                            "# a comment line\n"
+                            "\n"
+                            "(yi guo)\n"
+                            "(lei chen)\n", encoding="utf-8")
+        assert main(["search", str(document), "--workload",
+                     str(workload)]) == 0
+        out = capsys.readouterr().out
+        assert "3 queries, one shared scan" in out
+        assert "(lei chen)" in out and "(yi guo)" in out
+        assert "plan cache hit rate" in out
+
+    def test_workload_counts_match_single_queries(self, document,
+                                                  tmp_path, capsys):
+        assert main(["search", str(document), "(lei chen)"]) == 0
+        single = capsys.readouterr().out.splitlines()[-1]
+        count = single.split()[1]  # "-- N result(s)"
+        workload = tmp_path / "workload.txt"
+        workload.write_text("(lei chen)\n", encoding="utf-8")
+        assert main(["search", str(document), "--workload",
+                     str(workload)]) == 0
+        out = capsys.readouterr().out
+        assert f"{count} result(s) (lei chen)" in " ".join(out.split())
+
+    def test_workload_batch_counters(self, document, tmp_path):
+        workload = tmp_path / "workload.txt"
+        workload.write_text("(lei chen)\n(yi guo)\n(lei chen)\n",
+                            encoding="utf-8")
+        dump = tmp_path / "metrics.json"
+        assert main(["search", str(document), "--workload",
+                     str(workload), "--metrics-json", str(dump)]) == 0
+        counters = json.loads(dump.read_text())["counters"]
+        assert counters["batch_queries"] == 3
+        assert counters["batch_distinct_plans"] == 2
+        assert counters["batch_scan_nodes"] > 0
+
+    def test_empty_workload_is_an_error(self, document, tmp_path,
+                                        capsys):
+        workload = tmp_path / "empty.txt"
+        workload.write_text("# only comments\n", encoding="utf-8")
+        assert main(["search", str(document), "--workload",
+                     str(workload)]) == 1
+        assert "no queries" in capsys.readouterr().err
+
+    def test_missing_query_and_workload(self, document, capsys):
+        assert main(["search", str(document)]) == 1
+        assert "query or --workload" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_bad_query_reports_error(self, document, capsys):
         assert main(["search", str(document), "((a))"]) == 1

@@ -117,3 +117,61 @@ class TestSearching:
         assert corpus.document_name((1, 0)) == "b.xml"
         with pytest.raises(ValueError):
             corpus.document_name(())
+
+
+def _rows(results):
+    return [(r.document, r.result) for r in results]
+
+
+class TestParallelSearch:
+    @pytest.fixture
+    def big_corpus(self):
+        corpus = Corpus()
+        for step in range(5):
+            corpus.add_document(f"doc{step}.xml", DOC_A if step % 2
+                                else DOC_B)
+        return corpus
+
+    def test_parallel_equals_sequential(self, big_corpus):
+        sequential = big_corpus.search("(xml john)")
+        parallel = big_corpus.search("(xml john)", workers=3)
+        assert _rows(parallel) == _rows(sequential)
+
+    def test_parallel_with_list_limit(self, big_corpus):
+        # The limit is applied to the corpus-wide list before sharding,
+        # so the surviving instances are the same in both modes.
+        sequential = big_corpus.search("(xml john)", list_limit=3)
+        parallel = big_corpus.search("(xml john)", list_limit=3,
+                                     workers=2)
+        assert _rows(parallel) == _rows(sequential)
+
+    def test_parallel_missing_keyword(self, big_corpus):
+        assert big_corpus.search("(xml zzznothing)", workers=2) == []
+
+    def test_more_workers_than_documents(self, corpus):
+        sequential = corpus.search("(xml john)")
+        parallel = corpus.search("(xml john)", workers=16)
+        assert _rows(parallel) == _rows(sequential)
+
+    def test_single_document_falls_back_sequential(self):
+        corpus = Corpus()
+        corpus.add_document("only.xml", DOC_A)
+        assert _rows(corpus.search("(xml john)", workers=4)) == \
+            _rows(corpus.search("(xml john)"))
+
+    def test_workers_require_within_documents(self, corpus):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            corpus.search("(xml john)", workers=2,
+                          within_documents=False)
+
+    def test_session_persists_and_invalidates(self, corpus):
+        corpus.search("(xml john)")
+        session = corpus.session
+        assert session.cache_stats()["plan_cache"]["size"] > 0
+        corpus.add_document("c.xml", DOC_A)
+        assert corpus.session is session  # same long-lived session
+        assert session.cache_stats()["plan_cache"]["size"] == 0
+        # the new document is immediately visible
+        names = {r.document for r in corpus.search("(xml john smith)")}
+        assert names == {"a.xml", "c.xml"}

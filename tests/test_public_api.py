@@ -20,8 +20,17 @@ class TestExports:
                      "search_top_k", "skyline_search",
                      "reconstruct_witness", "explain",
                      "LatticeMachine", "metrics_scope", "get_metrics",
-                     "configure_logging"):
+                     "configure_logging", "SearchSession",
+                     "SearchOptions", "ALGORITHMS"):
             assert name in repro.__all__, name
+
+    def test_session_facade_covers_legacy_entry_points(self):
+        # The legacy functions delegate to the session facade; both
+        # must stay importable from the package root.
+        from repro import SearchOptions, SearchSession
+        assert callable(SearchSession.search)
+        assert callable(SearchSession.search_batch)
+        assert SearchOptions().algorithm == "cohesive"
 
     def test_import_installs_no_logging_handlers(self):
         # Subprocess: handlers installed by other tests (via the CLI's
