@@ -42,7 +42,10 @@ from repro.errors import (QuerySyntaxError, ReproError, TreeError,
 from repro.index.inverted import InvertedIndex
 from repro.obs import (MetricsRegistry, configure_logging, get_metrics,
                        metrics_scope)
+from repro.index.segmented import SegmentedIndex
 from repro.index.store import load_index, save_index
+from repro.index.store_v2 import (LazyIndex, merge_index, open_index,
+                                  save_index_v2)
 from repro.index.streaming import index_xml, index_xml_path
 from repro.runtime import (ALGORITHMS, CompiledPlan, OptionsError,
                            RANK_MODES, SearchOptions, SearchSession)
@@ -91,6 +94,11 @@ __all__ = [
     "reconstruct_witness",
     "save_index",
     "load_index",
+    "save_index_v2",
+    "open_index",
+    "merge_index",
+    "LazyIndex",
+    "SegmentedIndex",
     "DataTree",
     "TreeBuilder",
     "build_tree",

@@ -2,11 +2,21 @@
 
 Subcommands::
 
-    cohesive-search index  DOC.xml INDEX.bin      # build a posting store
+    cohesive-search index build   DOC.xml IDX     # build a posting store
+    cohesive-search index merge   IDX             # compact / upgrade a store
+    cohesive-search index inspect IDX             # format + segment report
     cohesive-search search DOC.xml "(a (b c))"    # run a query
     cohesive-search stats  DOC.xml                # Table-1 statistics
     cohesive-search lattice "(a (b c))"           # lattice accounting
     cohesive-search generate dblp OUT.xml         # emit a synthetic dataset
+
+``index build`` writes the mmap-friendly CKSIDX2 format by default
+(``--format v1`` keeps the legacy layout); ``index merge`` compacts a
+segmented v2 store — or upgrades a v1 store — in place or to
+``--output``; ``index inspect`` prints format, segments, tombstones and
+dead bytes (docs/INDEX_FORMAT.md).  The bare legacy spelling
+``index DOC.xml IDX`` still works as an alias of ``index build``, and
+``search --index`` autodetects either format on its magic.
 
 ``search`` accepts ``--index`` to reuse a prebuilt store, ``--top`` to
 cut the answer, ``--algorithm
@@ -37,7 +47,9 @@ from repro.core.lattice import (bell_number, lattice_node_count,
 from repro.core.parser import parse_query
 from repro.errors import ReproError
 from repro.index.inverted import InvertedIndex
-from repro.index.store import load_index, save_index
+from repro.index.store import save_index
+from repro.index.store_v2 import (inspect_index, merge_index, open_index,
+                                  save_index_v2)
 from repro.obs import (configure_logging, format_report, get_logger,
                        get_metrics, metrics_scope)
 from repro.runtime import ALGORITHMS, SearchOptions, SearchSession
@@ -60,12 +72,31 @@ def _build_parser() -> argparse.ArgumentParser:
                     "reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    index_cmd = sub.add_parser("index", help="build a binary posting store")
-    index_cmd.add_argument("document")
-    index_cmd.add_argument("output")
-    index_cmd.add_argument("--stream", action="store_true",
+    index_cmd = sub.add_parser(
+        "index", help="build / merge / inspect binary posting stores")
+    index_sub = index_cmd.add_subparsers(dest="index_command",
+                                         required=True)
+    build_cmd = index_sub.add_parser(
+        "build", help="index a document into a posting store")
+    build_cmd.add_argument("document")
+    build_cmd.add_argument("output")
+    build_cmd.add_argument("--stream", action="store_true",
                            help="index from the XML event stream without "
                                 "materializing the tree (O(depth) memory)")
+    build_cmd.add_argument("--format", dest="store_format", default="v2",
+                           choices=["v1", "v2"],
+                           help="store format: v2 (mmap + lazy decode, "
+                                "default) or the legacy v1 layout")
+    merge_cmd = index_sub.add_parser(
+        "merge", help="compact a segmented v2 store (or upgrade a v1 "
+                      "store) to one segment")
+    merge_cmd.add_argument("store")
+    merge_cmd.add_argument("--output", default=None,
+                           help="write the compacted store here instead "
+                                "of replacing STORE in place")
+    inspect_cmd = index_sub.add_parser(
+        "inspect", help="report a store's format, segments and sizes")
+    inspect_cmd.add_argument("store")
 
     experiment_cmd = sub.add_parser(
         "experiment",
@@ -154,6 +185,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
+    handlers = {
+        "build": _cmd_index_build,
+        "merge": _cmd_index_merge,
+        "inspect": _cmd_index_inspect,
+    }
+    return handlers[args.index_command](args)
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
     if args.stream:
         from repro.index.streaming import index_xml_path
         index = index_xml_path(args.document)
@@ -162,9 +202,36 @@ def _cmd_index(args: argparse.Namespace) -> int:
         tree = load_tree_from_path(args.document)
         index = InvertedIndex.from_tree(tree)
         nodes = str(len(tree))
-    written = save_index(index, args.output)
+    if args.store_format == "v1":
+        written = save_index(index, args.output)
+    else:
+        written = save_index_v2(index, args.output)
     print(f"indexed {nodes} nodes, {len(index)} keywords, "
-          f"{written} bytes -> {args.output}")
+          f"{written} bytes ({args.store_format}) -> {args.output}")
+    return 0
+
+
+def _cmd_index_merge(args: argparse.Namespace) -> int:
+    before = inspect_index(args.store)
+    written = merge_index(args.store, output=args.output)
+    target = args.output or args.store
+    print(f"merged {before['segments']} segment(s) "
+          f"({before['format']}, {before['bytes']} bytes) -> "
+          f"1 segment (CKSIDX2, {written} bytes) {target}")
+    return 0
+
+
+def _cmd_index_inspect(args: argparse.Namespace) -> int:
+    summary = inspect_index(args.store)
+    for key in ("path", "format", "bytes", "keywords", "postings",
+                "segments", "tombstones"):
+        print(f"{key:22s} {summary[key]}")
+    if summary["format"] == "CKSIDX2":
+        print(f"{'keywords / segment':22s} "
+              f"{' '.join(map(str, summary['segment_keywords']))}")
+        print(f"{'live payload bytes':22s} "
+              f"{summary['live_payload_bytes']}")
+        print(f"{'dead bytes':22s} {summary['dead_bytes']}")
     return 0
 
 
@@ -222,7 +289,7 @@ def _run_search(args: argparse.Namespace) -> int:
     metrics = get_metrics()
     with metrics.span("index-load"):
         tree = load_tree_from_path(args.document)
-        index = load_index(args.index_path) if args.index_path \
+        index = open_index(args.index_path) if args.index_path \
             else InvertedIndex.from_tree(tree)
     _log.info("loaded %s: %d nodes, %d keywords", args.document,
               len(tree), len(index))
@@ -408,8 +475,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+_INDEX_SUBCOMMANDS = ("build", "merge", "inspect")
+
+
+def _normalize_argv(argv: Sequence[str]) -> list[str]:
+    """Keep the pre-subcommand spelling ``index DOC.xml IDX`` working
+    as an alias of ``index build DOC.xml IDX``."""
+    argv = list(argv)
+    if len(argv) >= 2 and argv[0] == "index" and \
+            argv[1] not in _INDEX_SUBCOMMANDS and \
+            argv[1] not in ("-h", "--help"):
+        _log.warning("'index DOC OUT' is deprecated; use "
+                     "'index build DOC OUT'")
+        argv.insert(1, "build")
+    return argv
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    if argv is None:  # pragma: no cover - process entry
+        argv = sys.argv[1:]
+    args = _build_parser().parse_args(_normalize_argv(argv))
     handlers = {
         "index": _cmd_index,
         "search": _cmd_search,

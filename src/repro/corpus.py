@@ -8,8 +8,11 @@ works unchanged across the collection, and results attribute naturally
 to documents via their first Dewey step.
 
 Documents are indexed with the streaming indexer (never materialized)
-and the corpus index is the merge of the per-document indexes, so
-corpora much larger than memory-resident trees are fine.
+and the corpus index is a :class:`~repro.index.segmented.SegmentedIndex`
+over the per-document indexes: adding a document appends a segment in
+O(1) instead of re-merging the whole collection, and keyword lists merge
+lazily on first access.  Call :meth:`Corpus.compact` to fold the
+segments into one flat index when the collection stops growing.
 
 Note on semantics: with a virtual root, a result may span several
 documents (its LCA is the corpus root).  That is usually noise, so
@@ -37,6 +40,7 @@ from repro.core.query import Query
 from repro.core.results import Result
 from repro.errors import ReproError
 from repro.index.inverted import InvertedIndex, Posting
+from repro.index.segmented import SegmentedIndex
 from repro.index.streaming import StreamingIndexer
 from repro.index.tokenizer import Tokenizer, default_tokenizer
 from repro.obs import get_logger
@@ -78,19 +82,29 @@ class Corpus:
     def __init__(self, tokenizer: Optional[Tokenizer] = None):
         self._tokenizer = tokenizer or default_tokenizer()
         self._names: list[str] = []
-        self._index = InvertedIndex({}, self._tokenizer)
+        self._index: InvertedIndex = SegmentedIndex((), self._tokenizer)
         self._session = None
 
     # -- building ------------------------------------------------------------
 
     def add_document(self, name: str, xml_text: str) -> int:
-        """Index one document; returns its document id (Dewey step)."""
+        """Index one document; returns its document id (Dewey step).
+
+        The document becomes a new index *segment* (O(1) append; no
+        rebuild of the merged index), mirroring the append-only
+        segments of the on-disk CKSIDX2 store.
+        """
         document_id = len(self._names)
         indexer = StreamingIndexer(self._tokenizer,
                                    root_prefix=(document_id,))
         for event in PullParser(xml_text):
             indexer.feed(event)
-        self._index = self._index.merged_with(indexer.finish())
+        segment = indexer.finish()
+        if isinstance(self._index, SegmentedIndex):
+            self._index = self._index.with_segment(segment)
+        else:  # a loaded/compacted flat index becomes segment 0
+            self._index = SegmentedIndex((self._index, segment),
+                                         self._tokenizer)
         self._names.append(name)
         if self._session is not None:
             # Keep the long-lived session's caches honest: swapping the
@@ -120,8 +134,31 @@ class Corpus:
 
     @property
     def index(self) -> InvertedIndex:
-        """The merged corpus-wide inverted index."""
+        """The merged corpus-wide inverted index (a lazy segment view
+        while the corpus grows; see :meth:`compact`)."""
         return self._index
+
+    @property
+    def segment_count(self) -> int:
+        """Index segments backing the corpus (one per added document;
+        1 after :meth:`compact` or :meth:`load`)."""
+        if isinstance(self._index, SegmentedIndex):
+            return self._index.segment_count
+        return 1
+
+    def compact(self) -> None:
+        """Fold the per-document segments into one flat index.
+
+        Worth doing once a collection stops growing: per-keyword merge
+        work disappears from the query path.  The session's caches are
+        flushed (the swap discipline of :meth:`add_document`).
+        """
+        if not isinstance(self._index, SegmentedIndex):
+            return
+        self._index = SegmentedIndex((self._index.compact(),),
+                                     self._tokenizer)
+        if self._session is not None:
+            self._session.swap_index(self._index)
 
     @property
     def session(self):
@@ -193,8 +230,9 @@ class Corpus:
         index = decode_index(blob)
         corpus = cls(tokenizer)
         corpus._names = names
-        corpus._index = InvertedIndex(index.raw_postings(),
-                                      corpus._tokenizer)
+        corpus._index = SegmentedIndex(
+            (InvertedIndex(index.raw_postings(), corpus._tokenizer),),
+            corpus._tokenizer)
         return corpus
 
     # -- searching ------------------------------------------------------------

@@ -1,0 +1,118 @@
+"""In-memory segmented indexes: incremental corpora without rebuilds.
+
+:meth:`InvertedIndex.merged_with` materializes the union of two indexes,
+so building a corpus one document at a time costs O(total index) *per
+document*.  A :class:`SegmentedIndex` instead keeps the per-document
+member indexes as *segments* and resolves a keyword's merged posting
+list lazily, on first access, with per-keyword memoization — the
+in-memory analogue of the CKSIDX2 append-only segment files
+(:mod:`repro.index.store_v2`), sharing their merge semantics:
+same-code frequencies sum.
+
+Adding a segment is O(1) (:meth:`with_segment` returns a new view over
+the extended segment tuple); an explicit :meth:`compact` folds
+everything into a plain :class:`InvertedIndex` when the per-access merge
+overhead stops paying for itself (many segments, hot keywords).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping as MappingABC
+from typing import Optional, Sequence
+
+from repro.index.inverted import InvertedIndex, Posting
+from repro.index.tokenizer import Tokenizer, default_tokenizer
+from repro.tree import dewey
+
+
+def _merge_lists(lists: Sequence[Sequence[Posting]]) -> tuple[Posting, ...]:
+    """Dewey-ordered union; same-code frequencies sum (the
+    :meth:`InvertedIndex.merged_with` semantics)."""
+    if len(lists) == 1:
+        return tuple(lists[0])
+    bucket: dict[dewey.Code, int] = {}
+    for plist in lists:
+        for posting in plist:
+            bucket[posting.code] = bucket.get(posting.code, 0) + \
+                posting.frequency
+    return tuple(Posting(code, frequency)
+                 for code, frequency in sorted(bucket.items()))
+
+
+class _UnionPostings(MappingABC):
+    """keyword → merged posting tuple over the member segments, memoized."""
+
+    __slots__ = ("_segments", "_keys", "_cache")
+
+    def __init__(self, segments: Sequence[InvertedIndex]):
+        self._segments = tuple(segments)
+        keys: dict[str, None] = {}
+        for segment in self._segments:
+            for keyword in segment.raw_postings():
+                keys.setdefault(keyword, None)
+        self._keys = keys
+        self._cache: dict[str, tuple[Posting, ...]] = {}
+
+    def __getitem__(self, keyword: str) -> tuple[Posting, ...]:
+        cached = self._cache.get(keyword)
+        if cached is not None:
+            return cached
+        if keyword not in self._keys:
+            raise KeyError(keyword)
+        lists = [plist for segment in self._segments
+                 for plist in (segment.raw_postings().get(keyword),)
+                 if plist]
+        merged = _merge_lists(lists)
+        self._cache[keyword] = merged
+        return merged
+
+    def __iter__(self):
+        return iter(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, keyword) -> bool:  # avoid the merge .get does
+        return keyword in self._keys
+
+
+class SegmentedIndex(InvertedIndex):
+    """The union of member indexes, merged lazily per keyword.
+
+    Read-equivalent to folding the members with
+    :meth:`InvertedIndex.merged_with` (property-tested), but
+    construction is O(#keywords) bookkeeping instead of O(postings), so
+    :meth:`repro.corpus.Corpus.add_document` stays cheap no matter how
+    large the collection has grown.
+    """
+
+    def __init__(self, segments: Sequence[InvertedIndex] = (),
+                 tokenizer: Optional[Tokenizer] = None):
+        # No super().__init__(): _postings is the lazy union mapping,
+        # which the inherited read methods consume as-is.
+        self._segments = tuple(segments)
+        self._postings = _UnionPostings(self._segments)
+        self._tokenizer = tokenizer or default_tokenizer()
+
+    @property
+    def segments(self) -> tuple[InvertedIndex, ...]:
+        return self._segments
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def with_segment(self, segment: InvertedIndex) -> "SegmentedIndex":
+        """A new view including ``segment`` (existing views unchanged)."""
+        return SegmentedIndex(self._segments + (segment,), self._tokenizer)
+
+    def compact(self) -> InvertedIndex:
+        """Fold all segments into one plain :class:`InvertedIndex`."""
+        return InvertedIndex(
+            {keyword: self._postings[keyword] for keyword in self._postings},
+            self._tokenizer)
+
+    def raw_postings(self):
+        """The lazy union mapping, read-only (decodes on access)."""
+        from types import MappingProxyType
+        return MappingProxyType(self._postings)

@@ -1,0 +1,706 @@
+"""CKSIDX2: the mmap-backed, segmented, lazily-decoded posting store.
+
+The v1 format (:mod:`repro.index.store`) interleaves keywords and
+posting blocks, so :func:`~repro.index.store.load_index` must decode the
+*whole* file before the first query — cold-start cost scales with the
+index even when a query touches two keywords.  CKSIDX2 separates data
+from metadata: posting blocks (front-coded exactly as in v1) sit in the
+body, and a *directory* at the end of the file maps every keyword to its
+``(offset, length, npost)`` extent.  :func:`load_index_v2` memory-maps
+the file, parses only the directory, and returns a :class:`LazyIndex`
+that decodes a keyword's block on first access.
+
+Incremental updates are append-only *segments*: :func:`append_segment`
+writes a new payload of posting blocks after the current end of file and
+a fresh directory + footer covering all segments; the superseded
+directory becomes dead space until :func:`merge_index` compacts the
+store back to a single segment.  A segment entry may also be a
+*tombstone* (:func:`append_tombstones`), which shadows every older
+segment's postings for that keyword.
+
+Layout::
+
+    magic      8 bytes  b"CKSIDX2\\n"
+    payload*            concatenated posting blocks (any order)
+    directory           varint-encoded, see below
+    footer    24 bytes  dir_offset u64 LE | dir_length u64 LE
+                        | b"CKS2TAIL"
+
+    directory:
+        nseg varint                       # segments, oldest first
+        per segment:
+            nkw varint
+            per keyword (sorted):
+                klen varint, key bytes (UTF-8)
+                flag varint               # 0 postings, 1 tombstone
+                offset varint             # absolute file offset
+                length varint             # block length in bytes
+                npost varint              # postings in the block
+
+    posting block (same front coding as v1, npost lives in the
+    directory):
+        per posting:
+            shared varint   # prefix steps shared with previous code
+            extra  varint   # number of new steps
+            step*  varint   # the new steps
+            freq   varint
+
+Appending repeats ``payload directory footer`` after the previous
+footer; readers find the *live* directory through the footer at EOF, so
+earlier directories (and shadowed blocks) are simply dead bytes.  See
+docs/INDEX_FORMAT.md for the full specification and lifecycle.
+"""
+
+from __future__ import annotations
+
+import io
+import mmap
+import os
+import struct
+from collections.abc import Mapping as MappingABC
+from dataclasses import dataclass
+from pathlib import Path
+from types import MappingProxyType
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from repro.errors import StoreFormatError
+from repro.index.inverted import InvertedIndex, Posting
+from repro.index.store import MAGIC as MAGIC_V1
+from repro.index.store import load_index as _load_index_v1
+from repro.index.store import write_varint
+from repro.index.tokenizer import Tokenizer, default_tokenizer
+from repro.obs import get_logger, get_metrics
+from repro.tree import dewey
+
+MAGIC_V2 = b"CKSIDX2\n"
+TAIL_MAGIC = b"CKS2TAIL"
+FOOTER_SIZE = 8 + 8 + len(TAIL_MAGIC)
+
+_FOOTER_STRUCT = struct.Struct("<QQ8s")
+
+_log = get_logger("index.store_v2")
+
+PathLike = Union[str, Path]
+
+#: Counter catalogue of the v2 store (see docs/INDEX_FORMAT.md).
+STORE_V2_COUNTERS = (
+    "index_open_v1",
+    "index_open_v2",
+    "posting_decode_blocks",
+    "posting_decode_postings",
+    "posting_decode_cache_hits",
+    "segment_appends",
+    "segment_tombstones",
+    "segment_merges",
+)
+
+
+# -- varint reading over a buffer ------------------------------------------
+
+def _read_varint_at(buffer, position: int, end: int) -> tuple[int, int]:
+    """Read an LEB128 varint from ``buffer[position:end]``.
+
+    Returns ``(value, next_position)``; raises
+    :class:`~repro.errors.StoreFormatError` on truncation or overflow.
+    """
+    result = 0
+    shift = 0
+    while True:
+        if position >= end:
+            raise StoreFormatError("truncated varint")
+        byte = buffer[position]
+        position += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, position
+        shift += 7
+        if shift > 63:
+            raise StoreFormatError("varint too long")
+
+
+# -- posting blocks ---------------------------------------------------------
+
+def encode_posting_block(plist: Sequence[Posting]) -> bytes:
+    """Front-code one posting list (the v1 body encoding, sans count)."""
+    buffer = io.BytesIO()
+    previous: tuple[int, ...] = ()
+    for posting in plist:
+        code = posting.code
+        shared = 0
+        for a, b in zip(previous, code):
+            if a != b:
+                break
+            shared += 1
+        write_varint(buffer, shared)
+        write_varint(buffer, len(code) - shared)
+        for step in code[shared:]:
+            write_varint(buffer, step)
+        write_varint(buffer, posting.frequency)
+        previous = code
+    return buffer.getvalue()
+
+
+def decode_posting_block(buffer, start: int, length: int,
+                         npost: int) -> tuple[Posting, ...]:
+    """Decode a front-coded block of exactly ``npost`` postings.
+
+    ``buffer`` may be any byte-indexable object (bytes, mmap).  The
+    block must consume exactly ``length`` bytes.
+    """
+    end = start + length
+    position = start
+    postings: list[Posting] = []
+    previous: tuple[int, ...] = ()
+    for _ in range(npost):
+        shared, position = _read_varint_at(buffer, position, end)
+        if shared > len(previous):
+            raise StoreFormatError(
+                f"shared prefix {shared} longer than previous code")
+        extra, position = _read_varint_at(buffer, position, end)
+        steps = []
+        for _ in range(extra):
+            step, position = _read_varint_at(buffer, position, end)
+            steps.append(step)
+        code = previous[:shared] + tuple(steps)
+        frequency, position = _read_varint_at(buffer, position, end)
+        postings.append(Posting(code, frequency))
+        previous = code
+    if position != end:
+        raise StoreFormatError("trailing bytes after posting block")
+    return tuple(postings)
+
+
+# -- the directory ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class Extent:
+    """One directory entry: where a keyword's block lives in one segment."""
+
+    keyword: str
+    tombstone: bool
+    offset: int
+    length: int
+    npost: int
+
+
+def _encode_segment_payload(postings: Mapping[str, Sequence[Posting]],
+                            base_offset: int,
+                            tombstones: Iterable[str] = ()
+                            ) -> tuple[bytes, list[Extent]]:
+    """Encode one segment's blocks; extents carry absolute offsets."""
+    payload = io.BytesIO()
+    extents: list[Extent] = []
+    entries: dict[str, Optional[Sequence[Posting]]] = {
+        keyword: plist for keyword, plist in postings.items()}
+    for keyword in tombstones:
+        entries[keyword] = None
+    for keyword in sorted(entries):
+        plist = entries[keyword]
+        if plist is None:
+            extents.append(Extent(keyword, True, 0, 0, 0))
+            continue
+        block = encode_posting_block(
+            sorted(plist, key=lambda posting: posting.code))
+        extents.append(Extent(keyword, False,
+                              base_offset + payload.tell(),
+                              len(block), len(plist)))
+        payload.write(block)
+    return payload.getvalue(), extents
+
+
+def _encode_directory(segments: Sequence[Sequence[Extent]]) -> bytes:
+    buffer = io.BytesIO()
+    write_varint(buffer, len(segments))
+    for extents in segments:
+        write_varint(buffer, len(extents))
+        for extent in extents:
+            encoded = extent.keyword.encode("utf-8")
+            write_varint(buffer, len(encoded))
+            buffer.write(encoded)
+            write_varint(buffer, 1 if extent.tombstone else 0)
+            write_varint(buffer, extent.offset)
+            write_varint(buffer, extent.length)
+            write_varint(buffer, extent.npost)
+    return buffer.getvalue()
+
+
+def _encode_footer(dir_offset: int, dir_length: int) -> bytes:
+    return _FOOTER_STRUCT.pack(dir_offset, dir_length, TAIL_MAGIC)
+
+
+def _parse_directory(buffer, size: int) -> list[list[Extent]]:
+    """Parse the live directory of an open v2 container.
+
+    Validates the footer and every extent against the file size, so a
+    corrupt directory can never send a reader past EOF.
+    """
+    if size < len(MAGIC_V2) + FOOTER_SIZE:
+        raise StoreFormatError("file too short for a CKSIDX2 store")
+    if bytes(buffer[:len(MAGIC_V2)]) != MAGIC_V2:
+        raise StoreFormatError(
+            f"bad magic {bytes(buffer[:len(MAGIC_V2)])!r}; not a CKSIDX2 "
+            "store")
+    try:
+        dir_offset, dir_length, tail = _FOOTER_STRUCT.unpack(
+            bytes(buffer[size - FOOTER_SIZE:size]))
+    except struct.error as error:  # pragma: no cover - size checked above
+        raise StoreFormatError(f"unreadable footer: {error}") from None
+    if tail != TAIL_MAGIC:
+        raise StoreFormatError(f"bad footer magic {tail!r}")
+    if dir_offset < len(MAGIC_V2) or \
+            dir_offset + dir_length > size - FOOTER_SIZE:
+        raise StoreFormatError(
+            f"directory extent [{dir_offset}, {dir_offset + dir_length})"
+            f" outside the file body")
+    position = dir_offset
+    end = dir_offset + dir_length
+    nseg, position = _read_varint_at(buffer, position, end)
+    segments: list[list[Extent]] = []
+    for _ in range(nseg):
+        nkw, position = _read_varint_at(buffer, position, end)
+        extents: list[Extent] = []
+        for _ in range(nkw):
+            klen, position = _read_varint_at(buffer, position, end)
+            if position + klen > end:
+                raise StoreFormatError("truncated keyword in directory")
+            try:
+                keyword = bytes(buffer[position:position + klen]) \
+                    .decode("utf-8")
+            except UnicodeDecodeError as error:
+                raise StoreFormatError(
+                    f"undecodable keyword in directory: {error}") from None
+            position += klen
+            flag, position = _read_varint_at(buffer, position, end)
+            offset, position = _read_varint_at(buffer, position, end)
+            length, position = _read_varint_at(buffer, position, end)
+            npost, position = _read_varint_at(buffer, position, end)
+            if flag not in (0, 1):
+                raise StoreFormatError(f"bad extent flag {flag}")
+            tombstone = flag == 1
+            if not tombstone:
+                if offset < len(MAGIC_V2) or \
+                        offset + length > size - FOOTER_SIZE:
+                    raise StoreFormatError(
+                        f"posting block [{offset}, {offset + length}) "
+                        f"for {keyword!r} outside the file body")
+                # A posting needs >= 3 bytes (shared, extra, freq), so
+                # an absurd npost is caught before any decode attempt.
+                if npost * 3 > length:
+                    raise StoreFormatError(
+                        f"{npost} postings cannot fit in {length} bytes")
+            extents.append(Extent(keyword, tombstone, offset, length,
+                                  npost))
+        segments.append(extents)
+    if position != end:
+        raise StoreFormatError("trailing bytes after directory")
+    return segments
+
+
+def _live_extents(segments: Sequence[Sequence[Extent]]
+                  ) -> dict[str, tuple[Extent, ...]]:
+    """keyword → its live extents, oldest first.
+
+    Scans newest → oldest; a tombstone shadows everything older, so the
+    scan stops there for that keyword.
+    """
+    live: dict[str, list[Extent]] = {}
+    dead: set[str] = set()
+    for extents in reversed(segments):
+        for extent in extents:
+            if extent.keyword in dead:
+                continue
+            if extent.tombstone:
+                dead.add(extent.keyword)
+                continue
+            live.setdefault(extent.keyword, []).append(extent)
+    return {keyword: tuple(reversed(entries))
+            for keyword, entries in live.items() if entries}
+
+
+# -- lazy reading -----------------------------------------------------------
+
+def _merge_decoded(lists: Sequence[tuple[Posting, ...]]
+                   ) -> tuple[Posting, ...]:
+    """Merge per-segment lists: Dewey order, same-code frequencies sum
+    (the :meth:`InvertedIndex.merged_with` semantics)."""
+    if len(lists) == 1:
+        return lists[0]
+    bucket: dict[dewey.Code, int] = {}
+    for plist in lists:
+        for posting in plist:
+            bucket[posting.code] = bucket.get(posting.code, 0) + \
+                posting.frequency
+    return tuple(Posting(code, frequency)
+                 for code, frequency in sorted(bucket.items()))
+
+
+class _LazyPostings(MappingABC):
+    """keyword → posting tuple, decoded from the store on first access.
+
+    The mapping protocol (plus :class:`collections.abc.Mapping`'s
+    ``get``/``items``/``__eq__`` mixins) is exactly what
+    :class:`~repro.index.inverted.InvertedIndex` expects of its
+    ``_postings``, so a :class:`LazyIndex` inherits the whole read API.
+    """
+
+    __slots__ = ("_buffer", "_extents", "_cache")
+
+    def __init__(self, buffer, extents: dict[str, tuple[Extent, ...]]):
+        self._buffer = buffer
+        self._extents = extents
+        self._cache: dict[str, tuple[Posting, ...]] = {}
+
+    def __getitem__(self, keyword: str) -> tuple[Posting, ...]:
+        cached = self._cache.get(keyword)
+        metrics = get_metrics()
+        if cached is not None:
+            if metrics.enabled:
+                metrics.inc("posting_decode_cache_hits")
+            return cached
+        extents = self._extents[keyword]  # KeyError → keyword absent
+        decoded = _merge_decoded([
+            decode_posting_block(self._buffer, extent.offset,
+                                 extent.length, extent.npost)
+            for extent in extents])
+        self._cache[keyword] = decoded
+        if metrics.enabled:
+            metrics.inc("posting_decode_blocks", len(extents))
+            metrics.inc("posting_decode_postings", len(decoded))
+        return decoded
+
+    def __iter__(self):
+        return iter(self._extents)
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    def __contains__(self, keyword) -> bool:  # skip the decode .get does
+        return keyword in self._extents
+
+    def list_length(self, keyword: str) -> int:
+        """Exact list length, without decoding when one segment holds
+        the keyword (the directory's ``npost`` is authoritative)."""
+        extents = self._extents.get(keyword)
+        if extents is None:
+            return 0
+        if len(extents) == 1:
+            return extents[0].npost
+        return len(self[keyword])
+
+    def decoded_keywords(self) -> frozenset:
+        """The keywords whose blocks have been decoded so far."""
+        return frozenset(self._cache)
+
+
+class LazyIndex(InvertedIndex):
+    """An :class:`InvertedIndex` served lazily from a CKSIDX2 store.
+
+    Satisfies the full read API — :meth:`postings`, :meth:`keywords`,
+    :meth:`most_frequent`, :meth:`raw_postings` (immutable view),
+    :meth:`merged_with` — but decodes a keyword's posting block only on
+    first access, and keeps it cached thereafter.  Open with
+    :func:`load_index_v2` (or :func:`open_index`); close with
+    :meth:`close` or a ``with`` block.  The view is a snapshot: segments
+    appended to the file after opening are not visible until re-open.
+    """
+
+    def __init__(self, path: Path, file, buffer,
+                 segments: list[list[Extent]],
+                 tokenizer: Optional[Tokenizer] = None):
+        # Deliberately no super().__init__(): _postings is the lazy
+        # mapping, which the inherited read methods consume as-is.
+        self._postings = _LazyPostings(buffer, _live_extents(segments))
+        self._tokenizer = tokenizer or default_tokenizer()
+        self._path = path
+        self._file = file
+        self._buffer = buffer
+        self._segments = segments
+
+    # -- store-specific surface ---------------------------------------------
+
+    @property
+    def path(self) -> Path:
+        """The store file this index reads from."""
+        return self._path
+
+    @property
+    def segment_count(self) -> int:
+        """Number of segments in the directory snapshot."""
+        return len(self._segments)
+
+    def decoded_keywords(self) -> frozenset:
+        """Keywords decoded so far (observability / test hook)."""
+        return self._postings.decoded_keywords()
+
+    def close(self) -> None:
+        """Release the mmap and the file handle (idempotent)."""
+        buffer, self._buffer = self._buffer, None
+        if isinstance(buffer, mmap.mmap):
+            buffer.close()
+        file, self._file = self._file, None
+        if file is not None:
+            file.close()
+
+    def __enter__(self) -> "LazyIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- read-API overrides that exploit the directory ----------------------
+
+    def frequency(self, keyword: str) -> int:
+        """List length from the directory — no decode for the common
+        single-segment case."""
+        return self._postings.list_length(self._normalize(keyword))
+
+    def most_frequent(self, n: int) -> list[str]:
+        ranked = sorted(self._postings._extents,
+                        key=lambda k: (-self._postings.list_length(k), k))
+        return ranked[:n]
+
+    def raw_postings(self) -> Mapping[str, tuple[Posting, ...]]:
+        """The lazy keyword → posting-list mapping, read-only."""
+        return MappingProxyType(self._postings)
+
+
+# -- public entry points ----------------------------------------------------
+
+def encode_index_v2(index: Union[InvertedIndex,
+                                 Mapping[str, Sequence[Posting]]]) -> bytes:
+    """Serialize an index as a single-segment CKSIDX2 container."""
+    postings = index.raw_postings() if isinstance(index, InvertedIndex) \
+        else index
+    buffer = io.BytesIO()
+    buffer.write(MAGIC_V2)
+    payload, extents = _encode_segment_payload(postings, len(MAGIC_V2))
+    buffer.write(payload)
+    directory = _encode_directory([extents])
+    buffer.write(directory)
+    buffer.write(_encode_footer(len(MAGIC_V2) + len(payload),
+                                len(directory)))
+    return buffer.getvalue()
+
+
+def save_index_v2(index: InvertedIndex, path: PathLike) -> int:
+    """Persist ``index`` at ``path`` in the v2 format; returns bytes
+    written."""
+    blob = encode_index_v2(index)
+    Path(path).write_bytes(blob)
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("store_bytes_written", len(blob))
+    _log.debug("wrote %d v2 bytes to %s", len(blob), path)
+    return len(blob)
+
+
+def load_index_v2(path: PathLike,
+                  tokenizer: Optional[Tokenizer] = None) -> LazyIndex:
+    """Memory-map a CKSIDX2 store; postings decode on first access."""
+    path = Path(path)
+    metrics = get_metrics()
+    with metrics.span("index-open"):
+        file = open(path, "rb")
+        try:
+            size = os.fstat(file.fileno()).st_size
+            if size == 0:
+                raise StoreFormatError("empty file is not a CKSIDX2 store")
+            buffer = mmap.mmap(file.fileno(), 0, access=mmap.ACCESS_READ)
+            try:
+                segments = _parse_directory(buffer, size)
+            except BaseException:
+                buffer.close()
+                raise
+        except BaseException:
+            file.close()
+            raise
+    if metrics.enabled:
+        metrics.inc("index_open_v2")
+    _log.debug("opened %s lazily: %d segment(s)", path, len(segments))
+    return LazyIndex(path, file, buffer, segments, tokenizer)
+
+
+def open_index(path: PathLike,
+               tokenizer: Optional[Tokenizer] = None) -> InvertedIndex:
+    """Open a posting store of either format, autodetected on magic.
+
+    CKSIDX2 stores open lazily (:class:`LazyIndex`); legacy CKSIDX1
+    stores keep their eager read path, so every existing file stays
+    readable with no deprecation step.
+    """
+    path = Path(path)
+    with open(path, "rb") as probe:
+        magic = probe.read(len(MAGIC_V2))
+    if magic == MAGIC_V2:
+        return load_index_v2(path, tokenizer)
+    if magic == MAGIC_V1:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("index_open_v1")
+        index = _load_index_v1(path)
+        if tokenizer is not None:
+            index = InvertedIndex(index.raw_postings(), tokenizer)
+        return index
+    raise StoreFormatError(
+        f"bad magic {magic!r}; not a posting store or unsupported version")
+
+
+def append_segment(path: PathLike,
+                   postings: Union[InvertedIndex,
+                                   Mapping[str, Sequence[Posting]]]) -> int:
+    """Append one segment of postings to an existing v2 store.
+
+    Returns the number of bytes appended.  The new segment's lists merge
+    with (not replace) older segments' lists for the same keyword —
+    same-code frequencies sum, matching
+    :meth:`InvertedIndex.merged_with`.  Readers that opened the store
+    before the append keep serving their snapshot.
+    """
+    if isinstance(postings, InvertedIndex):
+        postings = postings.raw_postings()
+    return _append(path, postings, ())
+
+
+def append_tombstones(path: PathLike, keywords: Iterable[str]) -> int:
+    """Append a tombstone segment deleting ``keywords``.
+
+    A tombstone shadows every older segment's postings for the keyword;
+    the bytes are reclaimed by the next :func:`merge_index`.
+    """
+    keywords = list(keywords)
+    appended = _append(path, {}, keywords)
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("segment_tombstones", len(keywords))
+    return appended
+
+
+def _append(path: PathLike, postings: Mapping[str, Sequence[Posting]],
+            tombstones: Sequence[str]) -> int:
+    path = Path(path)
+    with open(path, "rb") as file:
+        size = os.fstat(file.fileno()).st_size
+        if size == 0:
+            raise StoreFormatError("empty file is not a CKSIDX2 store")
+        buffer = mmap.mmap(file.fileno(), 0, access=mmap.ACCESS_READ)
+        try:
+            segments = _parse_directory(buffer, size)
+        finally:
+            buffer.close()
+    with open(path, "r+b") as out:
+        out.seek(0, os.SEEK_END)
+        base = out.tell()
+        payload, extents = _encode_segment_payload(postings, base,
+                                                   tombstones)
+        segments.append(extents)
+        directory = _encode_directory(segments)
+        out.write(payload)
+        out.write(directory)
+        out.write(_encode_footer(base + len(payload), len(directory)))
+        appended = out.tell() - base
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("segment_appends")
+        metrics.inc("store_bytes_written", appended)
+    _log.debug("appended segment #%d (%d bytes) to %s",
+               len(segments), appended, path)
+    return appended
+
+
+def merge_index(path: PathLike, output: Optional[PathLike] = None,
+                tokenizer: Optional[Tokenizer] = None) -> int:
+    """Compact a store to a single-segment CKSIDX2 file.
+
+    In place by default (atomic: temp file + ``os.replace``); pass
+    ``output`` to write elsewhere and leave the source untouched.
+    Accepts a v1 store too, which upgrades it to v2.  Returns the bytes
+    written.
+    """
+    path = Path(path)
+    target = Path(output) if output is not None else path
+    with open(path, "rb") as probe:
+        magic = probe.read(len(MAGIC_V2))
+    if magic == MAGIC_V1:
+        index: InvertedIndex = _load_index_v1(path)
+        merged = dict(index.raw_postings())
+        dropped = 1  # one v1 "segment" rewritten
+    elif magic == MAGIC_V2:
+        with load_index_v2(path, tokenizer) as lazy:
+            merged = {keyword: lazy.raw_postings()[keyword]
+                      for keyword in lazy.raw_postings()}
+            dropped = lazy.segment_count
+    else:
+        raise StoreFormatError(
+            f"bad magic {magic!r}; not a posting store or unsupported "
+            "version")
+    blob = encode_index_v2(merged)
+    scratch = target.with_name(target.name + ".merge.tmp")
+    scratch.write_bytes(blob)
+    os.replace(scratch, target)
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("segment_merges")
+        metrics.inc("store_bytes_written", len(blob))
+    _log.debug("merged %s (%d segment(s)) -> %s (%d bytes)",
+               path, dropped, target, len(blob))
+    return len(blob)
+
+
+def inspect_index(path: PathLike) -> dict:
+    """Structural summary of a store file (either format), JSON-ready."""
+    path = Path(path)
+    size = path.stat().st_size
+    with open(path, "rb") as probe:
+        magic = probe.read(len(MAGIC_V2))
+    if magic == MAGIC_V1:
+        index = _load_index_v1(path)
+        postings = index.raw_postings()
+        return {
+            "path": str(path),
+            "format": "CKSIDX1",
+            "bytes": size,
+            "keywords": len(postings),
+            "postings": sum(len(plist) for plist in postings.values()),
+            "segments": 1,
+            "tombstones": 0,
+            "lazy": False,
+        }
+    if magic != MAGIC_V2:
+        raise StoreFormatError(
+            f"bad magic {magic!r}; not a posting store or unsupported "
+            "version")
+    with open(path, "rb") as file:
+        buffer = mmap.mmap(file.fileno(), 0, access=mmap.ACCESS_READ)
+        try:
+            segments = _parse_directory(buffer, size)
+        finally:
+            buffer.close()
+    live = _live_extents(segments)
+    live_bytes = sum(extent.length for extents in live.values()
+                     for extent in extents)
+    return {
+        "path": str(path),
+        "format": "CKSIDX2",
+        "bytes": size,
+        "keywords": len(live),
+        "postings": sum(extent.npost for extents in live.values()
+                        for extent in extents),
+        "segments": len(segments),
+        "segment_keywords": [len(extents) for extents in segments],
+        "tombstones": sum(1 for extents in segments
+                          for extent in extents if extent.tombstone),
+        "live_payload_bytes": live_bytes,
+        "dead_bytes": size - live_bytes - len(MAGIC_V2) - FOOTER_SIZE
+        - _directory_size(segments),
+        "lazy": True,
+    }
+
+
+def _directory_size(segments: Sequence[Sequence[Extent]]) -> int:
+    return len(_encode_directory(segments))

@@ -108,6 +108,18 @@ class SearchSession:
 
     # -- index ownership ----------------------------------------------------
 
+    @classmethod
+    def from_store(cls, path, tokenizer=None, **sizes) -> "SearchSession":
+        """A session over an on-disk posting store (format autodetected).
+
+        CKSIDX2 stores open lazily — the session is ready after reading
+        only the store's directory, and each keyword's posting block is
+        decoded the first time the posting cache misses on it.  Legacy
+        CKSIDX1 stores load eagerly, as before.
+        """
+        from repro.index.store_v2 import open_index
+        return cls(open_index(path, tokenizer), **sizes)
+
     @property
     def index(self) -> InvertedIndex:
         """The index this session searches."""

@@ -1,0 +1,417 @@
+"""CKSIDX2 store: round trips, laziness, segments, corruption."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_, StoreFormatError
+from repro.index.inverted import InvertedIndex, Posting
+from repro.index.store import MAGIC as MAGIC_V1
+from repro.index.store import load_index, save_index
+from repro.index.store_v2 import (FOOTER_SIZE, MAGIC_V2, TAIL_MAGIC,
+                                  LazyIndex, append_segment,
+                                  append_tombstones, inspect_index,
+                                  load_index_v2, merge_index, open_index,
+                                  save_index_v2)
+from repro.obs import metrics_scope
+
+posting_lists = st.dictionaries(
+    st.text(alphabet="abcdefg", min_size=1, max_size=6),
+    st.lists(
+        st.tuples(
+            st.lists(st.integers(0, 30), max_size=6).map(tuple),
+            st.integers(1, 5),
+        ),
+        max_size=10,
+        unique_by=lambda pair: pair[0],
+    ),
+    max_size=6,
+)
+
+
+def _index(lists) -> InvertedIndex:
+    return InvertedIndex({
+        keyword: [Posting(code, freq) for code, freq in pairs]
+        for keyword, pairs in lists.items()
+    })
+
+
+class TestRoundtrip:
+    @given(lists=posting_lists)
+    def test_v2_roundtrip(self, tmp_path_factory, lists):
+        """load(save(idx)) == idx for the v2 format."""
+        path = tmp_path_factory.mktemp("v2") / "index.idx2"
+        index = _index(lists)
+        written = save_index_v2(index, path)
+        assert written == path.stat().st_size
+        with load_index_v2(path) as lazy:
+            assert lazy.raw_postings() == index.raw_postings()
+
+    @given(lists=posting_lists)
+    def test_v1_roundtrip(self, tmp_path_factory, lists):
+        """The same property holds for v1 (shared harness)."""
+        path = tmp_path_factory.mktemp("v1") / "index.idx"
+        index = _index(lists)
+        save_index(index, path)
+        assert load_index(path).raw_postings() == index.raw_postings()
+
+    @given(lists=posting_lists)
+    def test_v2_lazy_equals_v1_eager_keyword_by_keyword(
+            self, tmp_path_factory, lists):
+        directory = tmp_path_factory.mktemp("both")
+        index = _index(lists)
+        save_index(index, directory / "v1.idx")
+        save_index_v2(index, directory / "v2.idx2")
+        eager = load_index(directory / "v1.idx")
+        with load_index_v2(directory / "v2.idx2") as lazy:
+            assert set(lazy.keywords()) == set(eager.keywords())
+            for keyword in eager.keywords():
+                assert lazy.postings(keyword) == eager.postings(keyword)
+                assert lazy.frequency(keyword) == eager.frequency(keyword)
+
+    def test_roundtrip_from_tree(self, figure1_tree, tmp_path):
+        index = InvertedIndex.from_tree(figure1_tree)
+        path = tmp_path / "fig1.idx2"
+        save_index_v2(index, path)
+        with load_index_v2(path) as lazy:
+            assert lazy.raw_postings() == index.raw_postings()
+            assert lazy.most_frequent(3) == index.most_frequent(3)
+
+
+class TestLaziness:
+    def test_open_decodes_nothing(self, figure1_index, tmp_path):
+        path = tmp_path / "lazy.idx2"
+        save_index_v2(figure1_index, path)
+        with load_index_v2(path) as lazy:
+            assert lazy.decoded_keywords() == frozenset()
+            assert len(lazy) == len(figure1_index)  # directory only
+
+    def test_access_decodes_exactly_one_block(self, figure1_index,
+                                              tmp_path):
+        path = tmp_path / "lazy.idx2"
+        save_index_v2(figure1_index, path)
+        with load_index_v2(path) as lazy:
+            lazy.postings("xml")
+            assert lazy.decoded_keywords() == {"xml"}
+
+    def test_decode_counters(self, figure1_index, tmp_path):
+        path = tmp_path / "metrics.idx2"
+        save_index_v2(figure1_index, path)
+        with metrics_scope() as metrics:
+            with load_index_v2(path) as lazy:
+                assert metrics.counter("index_open_v2") == 1
+                assert metrics.counter("posting_decode_blocks") == 0
+                lazy.postings("xml")
+                assert metrics.counter("posting_decode_blocks") == 1
+                assert metrics.counter("posting_decode_postings") > 0
+                lazy.postings("xml")  # cached: no second decode
+                assert metrics.counter("posting_decode_blocks") == 1
+                assert metrics.counter("posting_decode_cache_hits") >= 1
+
+    def test_frequency_needs_no_decode(self, figure1_index, tmp_path):
+        path = tmp_path / "freq.idx2"
+        save_index_v2(figure1_index, path)
+        with load_index_v2(path) as lazy:
+            assert lazy.frequency("xml") == figure1_index.frequency("xml")
+            assert lazy.most_frequent(5) == figure1_index.most_frequent(5)
+            assert lazy.decoded_keywords() == frozenset()
+
+    def test_immutable_views(self, figure1_index, tmp_path):
+        path = tmp_path / "imm.idx2"
+        save_index_v2(figure1_index, path)
+        with load_index_v2(path) as lazy:
+            view = lazy.raw_postings()
+            with pytest.raises(TypeError):
+                view["xml"] = ()
+            assert isinstance(lazy.postings("xml"), tuple)
+
+    def test_read_api_parity(self, figure1_index, tmp_path):
+        path = tmp_path / "api.idx2"
+        save_index_v2(figure1_index, path)
+        with load_index_v2(path) as lazy:
+            assert "xml" in lazy and "notaword" not in lazy
+            code = figure1_index.postings("xml")[0].code
+            assert lazy.node_count("xml", code) == \
+                figure1_index.node_count("xml", code)
+            with pytest.raises(IndexError_):
+                lazy.require(["xml", "notaword"])
+            merged = lazy.merged_with(InvertedIndex(
+                {"extra": [Posting((9,), 1)]}))
+            assert "extra" in merged and "xml" in merged
+
+
+class TestSegments:
+    def test_append_merges_lists(self, tmp_path):
+        path = tmp_path / "seg.idx2"
+        save_index_v2(InvertedIndex({"k": [Posting((0,), 1)]}), path)
+        append_segment(path, InvertedIndex({"k": [Posting((1,), 2)],
+                                            "new": [Posting((2,), 1)]}))
+        with load_index_v2(path) as lazy:
+            assert lazy.segment_count == 2
+            assert lazy.postings("k") == (Posting((0,), 1),
+                                          Posting((1,), 2))
+            assert lazy.postings("new") == (Posting((2,), 1),)
+
+    def test_append_sums_same_code_frequencies(self, tmp_path):
+        """Segment merge must match InvertedIndex.merged_with."""
+        path = tmp_path / "sum.idx2"
+        first = InvertedIndex({"k": [Posting((0,), 1)]})
+        second = InvertedIndex({"k": [Posting((0,), 2)]})
+        save_index_v2(first, path)
+        append_segment(path, second)
+        with load_index_v2(path) as lazy:
+            assert lazy.postings("k") == \
+                first.merged_with(second).postings("k")
+
+    def test_tombstone_shadows_older_segments(self, tmp_path):
+        path = tmp_path / "tomb.idx2"
+        save_index_v2(InvertedIndex({"dead": [Posting((0,), 1)],
+                                     "kept": [Posting((1,), 1)]}), path)
+        append_tombstones(path, ["dead"])
+        with load_index_v2(path) as lazy:
+            assert "dead" not in lazy
+            assert lazy.postings("dead") == ()
+            assert lazy.postings("kept") == (Posting((1,), 1),)
+
+    def test_reinsert_after_tombstone(self, tmp_path):
+        path = tmp_path / "re.idx2"
+        save_index_v2(InvertedIndex({"k": [Posting((0,), 1)]}), path)
+        append_tombstones(path, ["k"])
+        append_segment(path, InvertedIndex({"k": [Posting((5,), 3)]}))
+        with load_index_v2(path) as lazy:
+            assert lazy.postings("k") == (Posting((5,), 3),)
+
+    def test_open_snapshot_survives_append(self, tmp_path):
+        path = tmp_path / "snap.idx2"
+        save_index_v2(InvertedIndex({"k": [Posting((0,), 1)]}), path)
+        with load_index_v2(path) as snapshot:
+            append_segment(path, InvertedIndex({"k": [Posting((1,), 1)]}))
+            assert snapshot.postings("k") == (Posting((0,), 1),)
+        with load_index_v2(path) as fresh:
+            assert len(fresh.postings("k")) == 2
+
+    def test_merge_compacts_to_one_segment(self, tmp_path):
+        path = tmp_path / "compact.idx2"
+        save_index_v2(InvertedIndex({"k": [Posting((0,), 1)]}), path)
+        append_segment(path, InvertedIndex({"k": [Posting((1,), 1)]}))
+        append_tombstones(path, ["k"])
+        append_segment(path, InvertedIndex({"k": [Posting((2,), 7)],
+                                            "j": [Posting((3,), 1)]}))
+        before = inspect_index(path)
+        assert before["segments"] == 4 and before["tombstones"] == 1
+        merge_index(path)
+        after = inspect_index(path)
+        assert after["segments"] == 1 and after["tombstones"] == 0
+        assert after["bytes"] < before["bytes"]
+        with load_index_v2(path) as lazy:
+            assert lazy.postings("k") == (Posting((2,), 7),)
+            assert lazy.postings("j") == (Posting((3,), 1),)
+
+    def test_merge_to_output_leaves_source(self, tmp_path):
+        source = tmp_path / "src.idx2"
+        target = tmp_path / "dst.idx2"
+        save_index_v2(InvertedIndex({"k": [Posting((0,), 1)]}), source)
+        append_segment(source, InvertedIndex({"k": [Posting((1,), 1)]}))
+        merge_index(source, output=target)
+        assert inspect_index(source)["segments"] == 2
+        assert inspect_index(target)["segments"] == 1
+
+    def test_segment_counters(self, tmp_path):
+        path = tmp_path / "cnt.idx2"
+        save_index_v2(InvertedIndex({"k": [Posting((0,), 1)]}), path)
+        with metrics_scope() as metrics:
+            append_segment(path, InvertedIndex({"k": [Posting((1,), 1)]}))
+            append_tombstones(path, ["k"])
+            merge_index(path)
+            assert metrics.counter("segment_appends") == 2
+            assert metrics.counter("segment_tombstones") == 1
+            assert metrics.counter("segment_merges") == 1
+
+
+class TestAutodetect:
+    def test_open_v1(self, figure1_index, tmp_path):
+        path = tmp_path / "v1.idx"
+        save_index(figure1_index, path)
+        opened = open_index(path)
+        assert not isinstance(opened, LazyIndex)
+        assert opened.raw_postings() == figure1_index.raw_postings()
+
+    def test_open_v2(self, figure1_index, tmp_path):
+        path = tmp_path / "v2.idx2"
+        save_index_v2(figure1_index, path)
+        opened = open_index(path)
+        assert isinstance(opened, LazyIndex)
+        assert opened.raw_postings() == figure1_index.raw_postings()
+        opened.close()
+
+    def test_open_counters(self, figure1_index, tmp_path):
+        save_index(figure1_index, tmp_path / "a.idx")
+        save_index_v2(figure1_index, tmp_path / "b.idx2")
+        with metrics_scope() as metrics:
+            open_index(tmp_path / "a.idx")
+            open_index(tmp_path / "b.idx2").close()
+            assert metrics.counter("index_open_v1") == 1
+            assert metrics.counter("index_open_v2") == 1
+
+    def test_open_unknown_magic(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOTASTORE-------")
+        with pytest.raises(StoreFormatError):
+            open_index(path)
+
+    def test_merge_upgrades_v1(self, figure1_index, tmp_path):
+        path = tmp_path / "old.idx"
+        save_index(figure1_index, path)
+        merge_index(path)
+        assert inspect_index(path)["format"] == "CKSIDX2"
+        with load_index_v2(path) as lazy:
+            assert lazy.raw_postings() == figure1_index.raw_postings()
+
+    def test_inspect_v1(self, figure1_index, tmp_path):
+        path = tmp_path / "v1.idx"
+        save_index(figure1_index, path)
+        summary = inspect_index(path)
+        assert summary["format"] == "CKSIDX1"
+        assert summary["keywords"] == len(figure1_index)
+        assert summary["lazy"] is False
+
+
+def _store_bytes(index: InvertedIndex) -> bytearray:
+    from repro.index.store_v2 import encode_index_v2
+    return bytearray(encode_index_v2(index))
+
+
+class TestCorruption:
+    """Every malformed input must raise StoreFormatError — never
+    IndexError, struct.error or an unhandled crash (v1 behaves the
+    same; see tests/index/test_store.py)."""
+
+    def _load(self, tmp_path, blob: bytes):
+        path = tmp_path / "corrupt.idx2"
+        path.write_bytes(blob)
+        return load_index_v2(path)
+
+    def test_empty_file(self, tmp_path):
+        with pytest.raises(StoreFormatError):
+            self._load(tmp_path, b"")
+
+    def test_bad_magic(self, tmp_path):
+        with pytest.raises(StoreFormatError):
+            self._load(tmp_path, b"NOTANIDX" + bytes(FOOTER_SIZE))
+
+    def test_bad_tail_magic(self, tmp_path):
+        blob = _store_bytes(InvertedIndex({"k": [Posting((0,), 1)]}))
+        blob[-len(TAIL_MAGIC):] = b"XXXXXXXX"
+        with pytest.raises(StoreFormatError):
+            self._load(tmp_path, bytes(blob))
+
+    def test_truncated_footer(self, tmp_path):
+        blob = _store_bytes(InvertedIndex({"k": [Posting((0,), 1)]}))
+        with pytest.raises(StoreFormatError):
+            self._load(tmp_path, bytes(blob[:len(MAGIC_V2) + 3]))
+
+    def test_directory_offset_past_eof(self, tmp_path):
+        blob = _store_bytes(InvertedIndex({"k": [Posting((0,), 1)]}))
+        footer = struct.pack("<QQ8s", 10_000, 5, TAIL_MAGIC)
+        with pytest.raises(StoreFormatError):
+            self._load(tmp_path, bytes(blob[:-FOOTER_SIZE]) + footer)
+
+    def test_posting_block_past_eof(self, tmp_path):
+        # A directory whose extent points beyond the file body.
+        import io
+
+        from repro.index.store import write_varint
+        from repro.index.store_v2 import (_encode_directory,
+                                          _encode_footer, Extent)
+        body = io.BytesIO()
+        body.write(MAGIC_V2)
+        directory = _encode_directory(
+            [[Extent("k", False, 100_000, 30, 3)]])
+        offset = body.tell()
+        body.write(directory)
+        body.write(_encode_footer(offset, len(directory)))
+        with pytest.raises(StoreFormatError):
+            self._load(tmp_path, body.getvalue())
+
+    def test_npost_overflowing_block(self, tmp_path):
+        # npost claims more postings than the block could possibly hold.
+        import io
+
+        from repro.index.store_v2 import (_encode_directory,
+                                          _encode_footer, Extent)
+        body = io.BytesIO()
+        body.write(MAGIC_V2)
+        block = b"\x00\x00\x01"  # one posting: shared=0 extra=0 freq=1
+        body.write(block)
+        directory = _encode_directory(
+            [[Extent("k", False, len(MAGIC_V2), len(block), 500)]])
+        offset = body.tell()
+        body.write(directory)
+        body.write(_encode_footer(offset, len(directory)))
+        with pytest.raises(StoreFormatError):
+            self._load(tmp_path, body.getvalue())
+
+    def test_overflowing_varint_in_directory(self, tmp_path):
+        # 10 continuation bytes: shift exceeds 63 -> StoreFormatError.
+        import io
+
+        from repro.index.store_v2 import _encode_footer
+        body = io.BytesIO()
+        body.write(MAGIC_V2)
+        directory = b"\xff" * 10 + b"\x7f"
+        offset = body.tell()
+        body.write(directory)
+        body.write(_encode_footer(offset, len(directory)))
+        with pytest.raises(StoreFormatError):
+            self._load(tmp_path, body.getvalue())
+
+    def test_bad_shared_prefix_in_block(self, tmp_path, figure1_index):
+        # shared=3 with no previous code must be rejected at decode.
+        import io
+
+        from repro.index.store_v2 import (_encode_directory,
+                                          _encode_footer, Extent)
+        body = io.BytesIO()
+        body.write(MAGIC_V2)
+        block = b"\x03\x00\x01"  # shared=3 extra=0 freq=1
+        body.write(block)
+        directory = _encode_directory(
+            [[Extent("k", False, len(MAGIC_V2), len(block), 1)]])
+        offset = body.tell()
+        body.write(directory)
+        body.write(_encode_footer(offset, len(directory)))
+        path = tmp_path / "shared.idx2"
+        path.write_bytes(body.getvalue())
+        with load_index_v2(path) as lazy:
+            with pytest.raises(StoreFormatError):
+                lazy.postings("k")
+
+    @given(position=st.integers(min_value=0, max_value=10_000),
+           value=st.integers(0, 255))
+    def test_single_byte_corruption_never_crashes(self, figure1_tree,
+                                                  tmp_path_factory,
+                                                  position, value):
+        """Flipping any byte must either still open+decode or raise a
+        *store* error — never an unhandled crash."""
+        path = tmp_path_factory.mktemp("fuzz2") / "f.idx2"
+        index = InvertedIndex.from_tree(figure1_tree)
+        save_index_v2(index, path)
+        blob = bytearray(path.read_bytes())
+        position %= len(blob)
+        blob[position] = value
+        path.write_bytes(bytes(blob))
+        try:
+            with load_index_v2(path) as lazy:
+                for keyword in lazy.keywords():
+                    lazy.postings(keyword)
+        except (StoreFormatError, MemoryError):
+            pass
+
+    def test_append_to_v1_store_rejected(self, figure1_index, tmp_path):
+        path = tmp_path / "v1.idx"
+        save_index(figure1_index, path)
+        assert path.read_bytes().startswith(MAGIC_V1)
+        with pytest.raises(StoreFormatError):
+            append_segment(path, figure1_index)

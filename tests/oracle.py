@@ -1,0 +1,146 @@
+"""Brute-force differential-testing oracle for cohesive keyword search.
+
+An *independent* implementation of the paper's Definitions 1-3, written
+straight from their text: enumerate every candidate assignment of query
+occurrences to keyword instances, keep the assignments that are
+embeddings (Def. 2), and report each LCA with its minimum MCT size
+(Def. 3).  No stacks, no partition lattice, no code shared with
+:mod:`repro.core.engine`, :mod:`repro.core.lattice_machine` or
+:mod:`repro.core.semantics` — even the Dewey helpers are re-derived
+here — so agreement with the engine is evidence, not tautology.
+
+Exponential in the number of query occurrences; use on small trees and
+queries only (the hypothesis suites keep both tiny).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import product
+from typing import Union
+
+from repro.core.parser import parse_query
+from repro.core.query import Query, Term
+from repro.index.tokenizer import default_tokenizer
+from repro.tree.tree import DataTree
+
+Code = tuple
+
+#: Hard cap on enumerated assignments, to keep accidents cheap.
+MAX_ASSIGNMENTS = 2_000_000
+
+
+# -- Dewey helpers, re-derived (tuples compare in document order) -----------
+
+def _lca(a: Code, b: Code) -> Code:
+    """Longest common prefix of two Dewey codes."""
+    n = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        n += 1
+    return a[:n]
+
+
+def _lca_many(codes) -> Code:
+    acc = codes[0]
+    for code in codes[1:]:
+        acc = _lca(acc, code)
+    return acc
+
+
+def _in_subtree(root: Code, node: Code) -> bool:
+    """True iff ``node`` is ``root`` or a descendant of it, i.e.
+    lca(node, root) == root."""
+    return node[:len(root)] == root
+
+
+def _mct_edges(root: Code, codes) -> int:
+    """Edges of the minimal connecting tree: the union of the paths from
+    ``root`` down to every code (Def. 3's MCT size)."""
+    edges = set()
+    for code in codes:
+        while len(code) > len(root):
+            edges.add(code)
+            code = code[:-1]
+    return len(edges)
+
+
+# -- Def. 1-3, literally ----------------------------------------------------
+
+def keyword_instances(tree: DataTree, tokenizer=None) -> dict:
+    """keyword → {node code → occurrence count} over ``tree`` (Def. 1's
+    instance relation: a node is an instance of every keyword its label
+    or value contains)."""
+    tokenizer = tokenizer or default_tokenizer()
+    instances: dict[str, dict[Code, int]] = {}
+    for node in tree:
+        for keyword, count in tokenizer.counts(node.full_text()).items():
+            instances.setdefault(keyword, {})[node.code] = count
+    return instances
+
+
+def _is_embedding(query: Query, assignment, instances) -> bool:
+    """Def. 2, condition by condition, on one candidate assignment."""
+    # (a) Multiplicity: if m occurrences of keyword k map to node n,
+    # then n must contain k at least m times.
+    demanded: Counter = Counter()
+    for occurrence, node in zip(query.occurrences, assignment):
+        demanded[(node, occurrence.keyword.lower())] += 1
+    for (node, keyword), count in demanded.items():
+        if instances.get(keyword, {}).get(node, 0) < count:
+            return False
+    # (b) Cohesiveness: for every (non-root) term t, the instances of
+    # t's occurrences are impenetrable — either they all coincide on
+    # one node, or no instance of an occurrence outside t falls in the
+    # subtree rooted at their LCA.
+    for term in query.terms:
+        if term.term_id == 0:
+            continue  # no occurrences outside the query itself
+        member_ids = {occ.occurrence_id for occ in term.occurrences()}
+        inside = [assignment[i] for i in sorted(member_ids)]
+        if len(set(inside)) == 1:
+            continue
+        fence = _lca_many(inside)
+        for i, node in enumerate(assignment):
+            if i not in member_ids and _in_subtree(fence, node):
+                return False
+    return True
+
+
+def oracle_search(tree: DataTree, query: Union[str, Query],
+                  tokenizer=None) -> list[tuple[Code, int]]:
+    """All cohesive results of ``query`` on ``tree``, by enumeration.
+
+    Returns ``(lca code, lca size)`` pairs ranked as Def. 3 prescribes:
+    ascending size, ties in document order.  Empty when some keyword has
+    no instance.
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    instances = keyword_instances(tree, tokenizer)
+    candidate_lists = []
+    total = 1
+    for occurrence in query.occurrences:
+        nodes = sorted(instances.get(occurrence.keyword.lower(), {}))
+        if not nodes:
+            return []
+        candidate_lists.append(nodes)
+        total *= len(nodes)
+        if total > MAX_ASSIGNMENTS:
+            raise ValueError(f"{total} candidate assignments; "
+                             f"the oracle is for small inputs only")
+    best: dict[Code, int] = {}
+    for assignment in product(*candidate_lists):
+        if not _is_embedding(query, assignment, instances):
+            continue
+        root = _lca_many(assignment)
+        size = _mct_edges(root, assignment)
+        if root not in best or size < best[root]:
+            best[root] = size
+    return sorted(best.items(), key=lambda item: (item[1], item[0]))
+
+
+def oracle_term_instances(query: Query) -> list[Term]:
+    """The non-root terms of ``query`` (convenience for assertions)."""
+    return [term for term in query.terms if term.term_id != 0]

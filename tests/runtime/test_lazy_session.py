@@ -1,0 +1,92 @@
+"""SearchSession over a mmap-backed LazyIndex.
+
+The runtime must be storage-agnostic: every session behaviour (single
+search, shared-scan batch, plan/posting caching, swap_index) has to
+produce byte-identical answers whether the index is the eager in-memory
+``InvertedIndex`` or a :class:`LazyIndex` opened from a CKSIDX2 file.
+"""
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.index.store_v2 import LazyIndex, save_index_v2
+from repro.obs import metrics_scope
+from repro.runtime import SearchOptions, SearchSession
+
+from tests.conftest import Q1
+
+WORKLOAD = [Q1, "(xml keyword)", Q1, "(paul  cooper)",
+            "(mary davis)", "(xml (paul cooper))"]
+
+
+@pytest.fixture()
+def lazy_index(figure1_index, tmp_path):
+    path = tmp_path / "figure1.idx2"
+    save_index_v2(figure1_index, path)
+    session_index = SearchSession.from_store(path)._index
+    yield session_index
+    session_index.close()
+
+
+@pytest.fixture()
+def lazy_session(lazy_index):
+    return SearchSession(lazy_index)
+
+
+def test_from_store_opens_lazy(figure1_index, tmp_path):
+    path = tmp_path / "s.idx2"
+    save_index_v2(figure1_index, path)
+    session = SearchSession.from_store(path)
+    assert isinstance(session._index, LazyIndex)
+    assert session.search(Q1) == \
+        SearchSession(figure1_index).search(Q1)
+    session._index.close()
+
+
+@pytest.mark.parametrize("algorithm", ["cohesive", "machine"])
+def test_search_parity(lazy_session, figure1_index, algorithm):
+    eager = SearchSession(figure1_index)
+    options = SearchOptions(algorithm=algorithm)
+    for query in WORKLOAD:
+        assert lazy_session.search(query, options) == \
+            eager.search(query, options)
+
+
+@pytest.mark.parametrize("algorithm", ["cohesive", "machine"])
+def test_batch_equals_sequential_over_lazy(lazy_session, figure1_index,
+                                           algorithm):
+    """The acceptance bar: shared-scan batch over a LazyIndex matches
+    per-query sequential evaluation over the eager index."""
+    options = SearchOptions(algorithm=algorithm)
+    batch = lazy_session.search_batch(WORKLOAD, options)
+    eager = SearchSession(figure1_index)
+    sequential = [eager.search(query, options) for query in WORKLOAD]
+    assert batch == sequential
+
+
+def test_posting_cache_on_lazy_decodes_once(lazy_session):
+    with metrics_scope() as metrics:
+        lazy_session.search(Q1)
+        decoded = metrics.counter("posting_decode_blocks")
+        assert decoded > 0
+        lazy_session.search(Q1)
+        # Session posting cache + block cache: no further decodes.
+        assert metrics.counter("posting_decode_blocks") == decoded
+
+
+def test_swap_index_flushes_to_new_store(lazy_session, figure1_index,
+                                         tmp_path):
+    extra = InvertedIndex({"zzz": figure1_index.postings("xml")})
+    assert lazy_session.search("(zzz)") == []
+    lazy_session.swap_index(figure1_index.merged_with(extra))
+    assert lazy_session.search("(zzz)") != []
+    assert lazy_session.search(Q1) == \
+        SearchSession(figure1_index).search(Q1)
+
+
+def test_ranked_modes_over_lazy(lazy_session, figure1_index):
+    eager = SearchSession(figure1_index)
+    for rank in ("size", "skyline"):
+        options = SearchOptions(rank=rank)
+        assert lazy_session.search(Q1, options) == \
+            eager.search(Q1, options)

@@ -99,6 +99,79 @@ class TestAdvancedSearch:
         assert "result(s)" in capsys.readouterr().out
 
 
+class TestIndexSubcommands:
+    """`index build|merge|inspect`, formats and the legacy alias."""
+
+    def test_build_defaults_to_v2(self, document, tmp_path, capsys):
+        store = tmp_path / "dblp.idx2"
+        assert main(["index", "build", str(document), str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "(v2)" in out
+        assert store.read_bytes().startswith(b"CKSIDX2\n")
+
+    def test_build_v1_format(self, document, tmp_path, capsys):
+        store = tmp_path / "dblp.idx"
+        assert main(["index", "build", str(document), str(store),
+                     "--format", "v1"]) == 0
+        assert "(v1)" in capsys.readouterr().out
+        assert store.read_bytes().startswith(b"CKSIDX1\n")
+
+    def test_legacy_spelling_still_builds(self, document, tmp_path,
+                                          caplog):
+        store = tmp_path / "legacy.idx"
+        with caplog.at_level(logging.WARNING, logger="repro.cli"):
+            assert main(["index", str(document), str(store)]) == 0
+        assert store.exists()
+        assert any("deprecated" in record.getMessage()
+                   for record in caplog.records)
+
+    @pytest.mark.parametrize("fmt", ["v1", "v2"])
+    def test_search_autodetects_format(self, document, tmp_path, fmt,
+                                       capsys):
+        store = tmp_path / f"auto.{fmt}"
+        assert main(["index", "build", str(document), str(store),
+                     "--format", fmt]) == 0
+        capsys.readouterr()
+        assert main(["search", str(document), "((Lei Chen) (Yi Guo))",
+                     "--index", str(store)]) == 0
+        assert "bib/article" in capsys.readouterr().out
+
+    def test_inspect_v2(self, document, tmp_path, capsys):
+        store = tmp_path / "inspect.idx2"
+        assert main(["index", "build", str(document), str(store)]) == 0
+        capsys.readouterr()
+        assert main(["index", "inspect", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "CKSIDX2" in out
+        assert "segments" in out and "dead bytes" in out
+
+    def test_merge_upgrades_v1_to_v2(self, document, tmp_path, capsys):
+        store = tmp_path / "upgrade.idx"
+        assert main(["index", "build", str(document), str(store),
+                     "--format", "v1"]) == 0
+        capsys.readouterr()
+        assert main(["index", "merge", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "CKSIDX1" in out and "CKSIDX2" in out
+        assert store.read_bytes().startswith(b"CKSIDX2\n")
+        assert main(["search", str(document), "(lei chen)",
+                     "--index", str(store)]) == 0
+
+    def test_merge_to_separate_output(self, document, tmp_path, capsys):
+        source = tmp_path / "src.idx2"
+        target = tmp_path / "dst.idx2"
+        assert main(["index", "build", str(document), str(source)]) == 0
+        assert main(["index", "merge", str(source), "--output",
+                     str(target)]) == 0
+        assert target.exists() and source.exists()
+
+    def test_inspect_bad_file_reports_error(self, tmp_path, capsys):
+        junk = tmp_path / "junk.idx"
+        junk.write_bytes(b"not an index at all")
+        assert main(["index", "inspect", str(junk)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestExperiment:
     def test_experiment_runs(self, capsys):
         assert main(["experiment", "baseball", "--scale", "6"]) == 0

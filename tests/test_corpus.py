@@ -119,6 +119,51 @@ class TestSearching:
             corpus.document_name(())
 
 
+class TestIncrementalSegments:
+    """add_document appends a segment instead of re-merging the index."""
+
+    def test_segment_count_grows_per_document(self):
+        corpus = Corpus()
+        assert corpus.segment_count == 0
+        corpus.add_document("a.xml", DOC_A)
+        assert corpus.segment_count == 1
+        corpus.add_document("b.xml", DOC_B)
+        assert corpus.segment_count == 2
+
+    def test_compact_folds_segments(self, corpus):
+        before = corpus.search("(xml john)")
+        assert corpus.segment_count == 2
+        corpus.compact()
+        assert corpus.segment_count == 1
+        assert _rows(corpus.search("(xml john)")) == _rows(before)
+
+    def test_compact_then_add_appends_again(self, corpus):
+        corpus.compact()
+        corpus.add_document("c.xml", DOC_A)
+        assert corpus.segment_count == 2
+        names = {r.document for r in corpus.search("(xml john smith)")}
+        assert names == {"a.xml", "c.xml"}
+
+    def test_segmented_index_equals_flat_merge(self, corpus):
+        """The lazy union must match an eager merged_with fold of the
+        same per-document segments."""
+        segments = list(corpus.index.segments)
+        assert len(segments) == 2
+        flat = segments[0]
+        for segment in segments[1:]:
+            flat = flat.merged_with(segment)
+        assert corpus.index.raw_postings() == flat.raw_postings()
+
+    def test_save_load_roundtrip_with_segments(self, corpus, tmp_path):
+        path = tmp_path / "seg.ckscorpus"
+        corpus.add_document("c.xml", DOC_A)
+        corpus.save(path)
+        reloaded = Corpus.load(path)
+        assert reloaded.index.raw_postings() == \
+            corpus.index.raw_postings()
+        assert reloaded.segment_count == 1  # persisted form is flat
+
+
 def _rows(results):
     return [(r.document, r.result) for r in results]
 
