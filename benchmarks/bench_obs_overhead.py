@@ -1,0 +1,138 @@
+"""Observability overhead — the cost discipline, measured.
+
+docs/OBSERVABILITY.md promises that instrumentation "costs near zero
+by default": hot paths batch counts into plain integers and flush once
+per run, and :func:`repro.obs.get_metrics` hands back the no-op
+``NULL_METRICS`` singleton unless a registry is active.  This harness
+holds the layer to that promise on a realistic hot loop (a query
+workload through one :class:`SearchSession`):
+
+* **stubbed** — ``get_metrics`` monkeypatched to return the null
+  singleton directly, i.e. the lookup machinery (context-var scope +
+  global fallback) compiled away.  The floor a build with no
+  observability layer at all would hit.
+* **null** — the shipped default: real ``get_metrics`` resolution,
+  no registry active.  Must be within 5% of stubbed.
+* **active** — a live :class:`MetricsRegistry` in scope, counters,
+  histograms and spans all recording.  Must cost < 15% over null.
+
+Timings use min-of-rounds (the standard noise-robust estimator for
+"how fast can this go"); each round runs the whole workload.
+"""
+
+import time
+
+import repro.core.engine as engine_mod
+import repro.core.lattice as lattice_mod
+import repro.core.lattice_machine as machine_mod
+import repro.index.inverted as inverted_mod
+import repro.obs.metrics as metrics_mod
+import repro.runtime.session as session_mod
+from repro.obs import metrics_scope
+from repro.obs.metrics import NULL_METRICS
+from repro.runtime import SearchSession
+from repro.evaluation.reporting import format_table
+
+from conftest import report
+
+#: Every module whose hot path resolves a registry via get_metrics().
+_INSTRUMENTED_MODULES = (engine_mod, lattice_mod, machine_mod,
+                         inverted_mod, session_mod)
+
+PATTERNS = ["(xx)", "(x(xx))", "((xx)(xx))"]
+ROUNDS = 7
+NULL_TOLERANCE = 0.05
+ACTIVE_TOLERANCE = 0.15
+
+
+def _workload(index):
+    import random
+    from repro.datasets.workloads import instantiate
+    rng = random.Random(7)
+    return [str(instantiate(pattern, index, rng))
+            for pattern in PATTERNS for _ in range(4)]
+
+
+def _time_workload(session, queries, rounds=ROUNDS):
+    """Min-of-rounds wall time of running every query once.
+
+    The plan / posting caches are warmed first so every round does the
+    same work (the engine still evaluates each query; only parsing and
+    posting fetch hit the caches)."""
+    for query in queries:
+        session.search(query)
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for query in queries:
+            session.search(query)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class _NoScope:
+    """Temporarily deactivate the harness's autouse metrics scope, so
+    the null/stubbed configurations measure the true default path."""
+
+    def __enter__(self):
+        self._token = metrics_mod._ACTIVE.set(None)
+        return self
+
+    def __exit__(self, *exc):
+        metrics_mod._ACTIVE.reset(self._token)
+        return False
+
+
+class _Stubbed:
+    """Patch get_metrics to a direct null return in every hot module."""
+
+    def __enter__(self):
+        self._saved = [(module, module.get_metrics)
+                       for module in _INSTRUMENTED_MODULES]
+        for module in _INSTRUMENTED_MODULES:
+            module.get_metrics = lambda: NULL_METRICS
+        return self
+
+    def __exit__(self, *exc):
+        for module, original in self._saved:
+            module.get_metrics = original
+        return False
+
+
+def test_observability_overhead(benchmark, efficiency_indexes):
+    _, index = efficiency_indexes["dblp"]
+    session = SearchSession(index)
+    queries = _workload(index)
+
+    def compute():
+        with _NoScope():
+            with _Stubbed():
+                stubbed = _time_workload(session, queries)
+            null = _time_workload(session, queries)
+        with metrics_scope():
+            active = _time_workload(session, queries)
+        return stubbed, null, active
+
+    stubbed, null, active = benchmark.pedantic(compute, rounds=1,
+                                               iterations=1)
+    null_overhead = null / stubbed - 1.0
+    active_overhead = active / null - 1.0
+    report("Observability overhead (hot loop, min of "
+           f"{ROUNDS} rounds, {len(queries)} queries/round)",
+           format_table(
+               ["configuration", "ms / round", "overhead"],
+               [["stubbed (no get_metrics)",
+                 f"{stubbed * 1000:.2f}", "--"],
+                ["null (shipped default)", f"{null * 1000:.2f}",
+                 f"{null_overhead * 100:+.1f}% vs stubbed"],
+                ["active registry", f"{active * 1000:.2f}",
+                 f"{active_overhead * 100:+.1f}% vs null"]]))
+
+    # The shipped default must be indistinguishable from a build with
+    # no observability layer, and a live registry must stay cheap.
+    assert null <= stubbed * (1.0 + NULL_TOLERANCE), \
+        f"null path {null_overhead * 100:.1f}% over stubbed " \
+        f"(allowed {NULL_TOLERANCE * 100:.0f}%)"
+    assert active <= null * (1.0 + ACTIVE_TOLERANCE), \
+        f"active registry {active_overhead * 100:.1f}% over null " \
+        f"(allowed {ACTIVE_TOLERANCE * 100:.0f}%)"

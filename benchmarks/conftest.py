@@ -67,10 +67,15 @@ def run_metrics(request):
         snapshot = registry.snapshot()
         benchmark.extra_info["counters"] = snapshot["counters"]
         benchmark.extra_info["phases"] = snapshot["phases"]
+        if snapshot["histograms"]:
+            # count/mean plus p50/p90/p99 — the quantiles CI trend
+            # dashboards need to catch tail regressions the mean hides.
+            benchmark.extra_info["histograms"] = snapshot["histograms"]
         rates = _cache_hit_rates(snapshot["counters"])
         if rates:
             benchmark.extra_info["cache_hit_rates"] = rates
         _dump_extra_info(request.node.name, benchmark.extra_info)
+        _emit_event(request.node.name, snapshot)
 
 
 def _cache_hit_rates(counters: dict) -> dict:
@@ -97,6 +102,18 @@ def _dump_extra_info(test_name: str, extra_info: dict) -> None:
     (target / f"{slug}.json").write_text(
         json.dumps(extra_info, indent=2, default=str) + "\n",
         encoding="utf-8")
+
+
+def _emit_event(test_name: str, snapshot: dict) -> None:
+    """Append one schema-versioned JSONL event per benchmark when
+    REPRO_BENCH_EVENTS_JSONL is set (per-process files, so a
+    ``pytest-xdist`` or ProcessPool run never interleaves writers)."""
+    path = os.environ.get("REPRO_BENCH_EVENTS_JSONL")
+    if not path:
+        return
+    from repro.obs import JsonlSink
+    with JsonlSink(path, per_process=True) as sink:
+        sink.emit_snapshot(snapshot, event="benchmark", test=test_name)
 
 
 # -- effectiveness datasets (Table 2 queries + ground truth) ---------------

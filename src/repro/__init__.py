@@ -40,8 +40,9 @@ from repro.core.witness import Witness, reconstruct_witness
 from repro.errors import (QuerySyntaxError, ReproError, TreeError,
                           XMLSyntaxError)
 from repro.index.inverted import InvertedIndex
-from repro.obs import (MetricsRegistry, configure_logging, get_metrics,
-                       metrics_scope)
+from repro.obs import (JsonlSink, MetricsRegistry, QueryProfile,
+                       SlowQueryLog, TelemetryServer, configure_logging,
+                       get_metrics, metrics_scope, to_openmetrics)
 from repro.index.segmented import SegmentedIndex
 from repro.index.store import load_index, save_index
 from repro.index.store_v2 import (LazyIndex, merge_index, open_index,
@@ -114,5 +115,10 @@ __all__ = [
     "metrics_scope",
     "get_metrics",
     "configure_logging",
+    "JsonlSink",
+    "QueryProfile",
+    "SlowQueryLog",
+    "TelemetryServer",
+    "to_openmetrics",
     "__version__",
 ]

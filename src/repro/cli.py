@@ -30,8 +30,16 @@ shared-scan batch (`repro.runtime`).
 Observability (see docs/OBSERVABILITY.md): ``search --metrics`` prints
 the counter/phase-timer report — including the session's plan-cache
 and posting-cache hit/miss/eviction counters — after the results,
-``--metrics-json PATH`` writes the machine-readable snapshot, and
-``--log-level LEVEL`` turns on the ``repro.*`` logger hierarchy.
+``--metrics-json PATH`` writes the machine-readable snapshot (``-``
+prints it to stdout), and ``--log-level LEVEL`` turns on the
+``repro.*`` logger hierarchy.  ``explain QUERY --index IDX --format
+tree|json`` runs the query profiler and emits the full
+:class:`~repro.obs.profile.QueryProfile`; ``search`` additionally
+takes ``--slow-query-ms N`` (capture profiles of queries at or above
+the threshold), ``--events-jsonl PATH`` (one schema-versioned JSONL
+event per query/batch) and ``--telemetry-port N`` /
+``--telemetry-linger S`` (serve ``/metrics``, ``/healthz`` and
+``/profilez`` over HTTP during — and ``S`` seconds past — the run).
 """
 
 from __future__ import annotations
@@ -154,7 +162,27 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "after the results")
     search_cmd.add_argument("--metrics-json", dest="metrics_json",
                             default=None, metavar="PATH",
-                            help="write the metrics snapshot as JSON")
+                            help="write the metrics snapshot as JSON "
+                                 "('-' prints it to stdout)")
+    search_cmd.add_argument("--slow-query-ms", dest="slow_query_ms",
+                            type=float, default=None, metavar="MS",
+                            help="capture the full QueryProfile of any "
+                                 "query/batch at or above MS "
+                                 "milliseconds of wall time")
+    search_cmd.add_argument("--events-jsonl", dest="events_jsonl",
+                            default=None, metavar="PATH",
+                            help="append one schema-versioned JSONL "
+                                 "event per query/batch to PATH")
+    search_cmd.add_argument("--telemetry-port", dest="telemetry_port",
+                            type=int, default=None, metavar="PORT",
+                            help="serve /metrics, /healthz and /profilez "
+                                 "on PORT (0 picks a free port) during "
+                                 "the run")
+    search_cmd.add_argument("--telemetry-linger", dest="telemetry_linger",
+                            type=float, default=0.0, metavar="SECONDS",
+                            help="keep the telemetry endpoint up this "
+                                 "many seconds after the results (for "
+                                 "scrapers; default 0)")
     search_cmd.add_argument("--log-level", dest="log_level", default=None,
                             type=str.upper,
                             choices=["DEBUG", "INFO", "WARNING", "ERROR"],
@@ -168,11 +196,22 @@ def _build_parser() -> argparse.ArgumentParser:
     lattice_cmd.add_argument("query")
 
     explain_cmd = sub.add_parser(
-        "explain", help="structure / lattice / cost report for a query")
+        "explain", help="structure / lattice / cost report for a query "
+                        "(a full QueryProfile when run against an "
+                        "index or document)")
     explain_cmd.add_argument("query")
     explain_cmd.add_argument("--document", default=None,
-                             help="also show per-keyword instance "
-                                  "statistics against this XML file")
+                             help="profile the query against this XML "
+                                  "file (indexed in memory)")
+    explain_cmd.add_argument("--index", dest="index_path", default=None,
+                             help="profile the query against a prebuilt "
+                                  "posting store (format autodetected; "
+                                  "lazy stores also report bytes "
+                                  "decoded)")
+    explain_cmd.add_argument("--format", dest="format", default="tree",
+                             choices=["tree", "json"],
+                             help="render the profile as a human tree "
+                                  "(default) or schema-versioned JSON")
 
     generate_cmd = sub.add_parser("generate",
                                   help="emit a synthetic dataset as XML")
@@ -238,15 +277,19 @@ def _cmd_index_inspect(args: argparse.Namespace) -> int:
 def _cmd_search(args: argparse.Namespace) -> int:
     if args.log_level:
         configure_logging(args.log_level)
-    if not (args.metrics or args.metrics_json):
+    observing = args.metrics or args.metrics_json \
+        or args.telemetry_port is not None
+    if not observing:
         return _run_search(args)
     with metrics_scope() as registry:
-        status = _run_search(args)
+        status = _run_search(args, registry)
         snapshot = registry.snapshot()
     if args.metrics:
         print()
         print(format_report(snapshot))
-    if args.metrics_json:
+    if args.metrics_json == "-":
+        print(json.dumps(snapshot, indent=2))
+    elif args.metrics_json:
         Path(args.metrics_json).write_text(
             json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
         _log.info("metrics snapshot -> %s", args.metrics_json)
@@ -283,7 +326,8 @@ def _search_options(args: argparse.Namespace,
                          list_limit=args.list_limit)
 
 
-def _run_search(args: argparse.Namespace) -> int:
+def _run_search(args: argparse.Namespace,
+                registry=None) -> int:
     if args.query is None and args.workload is None:
         raise ReproError("search needs a query or --workload FILE")
     metrics = get_metrics()
@@ -296,12 +340,43 @@ def _run_search(args: argparse.Namespace) -> int:
     algorithm = _resolve_algorithm(args)
     options = _search_options(args, algorithm)
     session = SearchSession(index)
+    try:
+        if args.slow_query_ms is not None:
+            session.configure_slow_query_log(args.slow_query_ms / 1000.0)
+        if args.events_jsonl:
+            from repro.obs import JsonlSink
+            session.attach_event_sink(JsonlSink(args.events_jsonl))
+        if args.telemetry_port is not None:
+            server = session.serve_telemetry(port=args.telemetry_port,
+                                             registry=registry)
+            print(f"-- telemetry on {server.url} "
+                  f"(/metrics /healthz /profilez)")
+        status = _run_queries(args, session, options, tree)
+        if args.telemetry_port is not None and args.telemetry_linger > 0:
+            import time
+            time.sleep(args.telemetry_linger)
+        return status
+    finally:
+        slow_log = session.slow_query_log
+        if slow_log is not None and slow_log.recorded:
+            print(f"-- {slow_log.recorded} slow quer"
+                  f"{'y' if slow_log.recorded == 1 else 'ies'} captured "
+                  f"(>= {slow_log.threshold * 1000:.1f} ms)")
+        if session._event_sink is not None:
+            session._event_sink.close()
+        session.close_telemetry()
+
+
+def _run_queries(args: argparse.Namespace, session: SearchSession,
+                 options, tree) -> int:
     repeat = max(1, args.repeat)
     if args.workload is not None:
         return _run_workload(args, session, options, repeat)
     for _ in range(repeat - 1):  # warm the caches; results identical
         session.search(args.query, options)
     results = session.search(args.query, options)
+    algorithm = options.algorithm
+    index = session.index
     if algorithm in ("cohesive", "machine"):
         rows = [(item.code, item.size, _extra(item, options.rank))
                 for item in results]
@@ -418,11 +493,25 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    from repro.core.explain import explain
-    index = None
-    if args.document:
-        index = InvertedIndex.from_tree(load_tree_from_path(args.document))
-    print(explain(args.query, index))
+    if args.index_path is None and args.document is None:
+        # No data to run against: the static structure/lattice report.
+        if args.format == "json":
+            raise ReproError(
+                "explain --format json profiles a real run; pass "
+                "--index STORE or --document DOC.xml")
+        from repro.core.explain import explain
+        print(explain(args.query))
+        return 0
+    if args.index_path is not None:
+        session = SearchSession.from_store(args.index_path)
+    else:
+        session = SearchSession(InvertedIndex.from_tree(
+            load_tree_from_path(args.document)))
+    profile = session.explain(args.query)
+    if args.format == "json":
+        print(json.dumps(profile.to_dict(), indent=2))
+    else:
+        print(profile.format_tree())
     return 0
 
 

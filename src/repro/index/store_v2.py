@@ -88,6 +88,7 @@ STORE_V2_COUNTERS = (
     "index_open_v2",
     "posting_decode_blocks",
     "posting_decode_postings",
+    "posting_decode_bytes",
     "posting_decode_cache_hits",
     "segment_appends",
     "segment_tombstones",
@@ -343,12 +344,16 @@ class _LazyPostings(MappingABC):
     ``_postings``, so a :class:`LazyIndex` inherits the whole read API.
     """
 
-    __slots__ = ("_buffer", "_extents", "_cache")
+    __slots__ = ("_buffer", "_extents", "_cache", "bytes_decoded")
 
     def __init__(self, buffer, extents: dict[str, tuple[Extent, ...]]):
         self._buffer = buffer
         self._extents = extents
         self._cache: dict[str, tuple[Posting, ...]] = {}
+        # Lifetime bytes pulled off disk by block decodes — plain int
+        # so the accounting survives metrics_scope boundaries and the
+        # query profiler can report it even with observability off.
+        self.bytes_decoded = 0
 
     def __getitem__(self, keyword: str) -> tuple[Posting, ...]:
         cached = self._cache.get(keyword)
@@ -363,10 +368,21 @@ class _LazyPostings(MappingABC):
                                  extent.length, extent.npost)
             for extent in extents])
         self._cache[keyword] = decoded
+        block_bytes = sum(extent.length for extent in extents)
+        self.bytes_decoded += block_bytes
         if metrics.enabled:
             metrics.inc("posting_decode_blocks", len(extents))
             metrics.inc("posting_decode_postings", len(decoded))
+            metrics.inc("posting_decode_bytes", block_bytes)
         return decoded
+
+    def list_bytes(self, keyword: str) -> int:
+        """On-disk bytes of a keyword's live posting blocks (0 if
+        absent) — read from the directory, no decode."""
+        extents = self._extents.get(keyword)
+        if extents is None:
+            return 0
+        return sum(extent.length for extent in extents)
 
     def __iter__(self):
         return iter(self._extents)
@@ -431,6 +447,16 @@ class LazyIndex(InvertedIndex):
     def decoded_keywords(self) -> frozenset:
         """Keywords decoded so far (observability / test hook)."""
         return self._postings.decoded_keywords()
+
+    @property
+    def bytes_decoded(self) -> int:
+        """Lifetime on-disk bytes decoded by this index's lazy reads."""
+        return self._postings.bytes_decoded
+
+    def list_bytes(self, keyword: str) -> int:
+        """On-disk byte size of a keyword's live posting blocks, from
+        the directory (no decode; 0 for an absent keyword)."""
+        return self._postings.list_bytes(self._normalize(keyword))
 
     def close(self) -> None:
         """Release the mmap and the file handle (idempotent)."""

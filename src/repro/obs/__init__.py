@@ -19,26 +19,43 @@ See ``docs/OBSERVABILITY.md`` for the metric-name catalogue and which
 paper figure each counter validates.
 """
 
+from repro.obs.export import (EVENT_SCHEMA_VERSION, JsonlSink, merge_jsonl,
+                              parse_openmetrics, read_jsonl,
+                              sanitize_metric_name, to_openmetrics)
 from repro.obs.logconfig import configure_logging, get_logger
 from repro.obs.metrics import (NULL_METRICS, AnyMetrics, Histogram,
                                MetricsRegistry, NullMetrics, get_metrics,
                                metrics_scope, set_global_metrics)
+from repro.obs.profile import (PROFILE_SCHEMA_VERSION, QueryProfile,
+                               SlowQueryLog)
 from repro.obs.report import format_report
+from repro.obs.server import TelemetryServer
 from repro.obs.trace import Span, aggregate_phases, render_spans
 
 __all__ = [
     "AnyMetrics",
+    "EVENT_SCHEMA_VERSION",
     "Histogram",
+    "JsonlSink",
     "MetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",
+    "PROFILE_SCHEMA_VERSION",
+    "QueryProfile",
+    "SlowQueryLog",
     "Span",
+    "TelemetryServer",
     "aggregate_phases",
     "configure_logging",
     "format_report",
     "get_logger",
     "get_metrics",
+    "merge_jsonl",
     "metrics_scope",
+    "parse_openmetrics",
+    "read_jsonl",
     "render_spans",
+    "sanitize_metric_name",
     "set_global_metrics",
+    "to_openmetrics",
 ]

@@ -1,0 +1,280 @@
+"""Exporters: OpenMetrics text exposition and a JSONL event sink.
+
+Two ways a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` leaves
+the process:
+
+* :func:`to_openmetrics` renders the snapshot in the OpenMetrics /
+  Prometheus text exposition format — counters become ``<ns>_<name>``
+  counter families (sample suffix ``_total``), histograms become
+  summary families with ``quantile="0.5|0.9|0.99"`` series backed by
+  the :class:`~repro.obs.metrics.Histogram` reservoir, and phase
+  timings become one labelled ``<ns>_phase_seconds`` family.  This is
+  what the telemetry endpoint (:mod:`repro.obs.server`) serves on
+  ``/metrics``.
+* :class:`JsonlSink` appends schema-versioned JSON events, one per
+  line, to a line-buffered file — the structured log a long-running
+  :class:`~repro.runtime.session.SearchSession` emits per query /
+  batch / counter flush.  Under ``ProcessPoolExecutor`` fan-out each
+  worker opens its own ``per_process`` file (the pid is spliced into
+  the name) and :func:`merge_jsonl` folds them back into one stream.
+
+Metric names are sanitized through :func:`sanitize_metric_name`:
+OpenMetrics names must match ``[a-zA-Z_:][a-zA-Z0-9_:]*``, but the
+engine's phase names are dotted/hyphenated (``index-open``,
+``runtime.session``), so every invalid character maps to ``_``.
+:func:`parse_openmetrics` is the matching validating reader used by
+the round-trip tests and the CI smoke job — it rejects malformed
+names, unknown sample suffixes and a missing ``# EOF`` terminator.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+#: Version of the JSONL event schema; bump on incompatible changes.
+EVENT_SCHEMA_VERSION = 1
+
+#: The quantiles exported for every histogram (summary) family.
+EXPORT_QUANTILES = (("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99))
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_INVALID_CHAR_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+PathLike = Union[str, Path]
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an arbitrary metric/phase name onto the OpenMetrics charset.
+
+    Every character outside ``[a-zA-Z0-9_:]`` becomes ``_`` (so
+    ``index-open`` → ``index_open``, ``runtime.session`` →
+    ``runtime_session``); a leading digit gains a ``_`` prefix; an
+    empty name is rejected.  The result always matches
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+    """
+    if not name:
+        raise ValueError("metric name must be non-empty")
+    sanitized = _INVALID_CHAR_RE.sub("_", name)
+    if sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def to_openmetrics(snapshot: dict, namespace: str = "repro") -> str:
+    """Render a metrics snapshot as OpenMetrics text exposition.
+
+    ``snapshot`` is the :meth:`MetricsRegistry.snapshot` shape; the
+    output ends with the mandatory ``# EOF`` line and is accepted by
+    Prometheus' and this module's own :func:`parse_openmetrics`.
+    """
+    prefix = sanitize_metric_name(namespace)
+    lines: list[str] = []
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        family = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family}_total {_format_number(value)}")
+
+    for name, data in sorted(snapshot.get("histograms", {}).items()):
+        family = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {family} summary")
+        lines.append(f"{family}_count {_format_number(data['count'])}")
+        lines.append(f"{family}_sum {_format_number(data['sum'])}")
+        for label, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+            quantile = data.get(key)
+            if quantile is not None:
+                lines.append(f'{family}{{quantile="{label}"}} '
+                             f"{_format_number(quantile)}")
+
+    phases = snapshot.get("phases", {})
+    if phases:
+        family = f"{prefix}_phase_seconds"
+        lines.append(f"# TYPE {family} counter")
+        for name, seconds in sorted(phases.items()):
+            label = _escape_label_value(name)
+            lines.append(f'{family}_total{{phase="{label}"}} '
+                         f"{_format_number(seconds)}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_openmetrics(text: str) -> dict:
+    """Parse (and validate) an OpenMetrics exposition produced by
+    :func:`to_openmetrics`.
+
+    Returns ``family → {"type": str, "samples": [(suffix, labels,
+    value), ...]}`` where ``suffix`` is the sample name with the family
+    prefix stripped (``"_total"``, ``"_count"``, ``""`` for quantile
+    series).  Raises :class:`ValueError` on malformed names, samples
+    outside any family, or a missing ``# EOF`` terminator — the
+    round-trip guard of the exporter tests and the CI smoke job.
+    """
+    families: dict[str, dict] = {}
+    current: Optional[str] = None
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition does not end with # EOF")
+    for line in lines[:-1]:
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"malformed TYPE line: {line!r}")
+            _, _, family, metric_type = parts
+            if not _NAME_RE.fullmatch(family):
+                raise ValueError(f"invalid family name {family!r}")
+            families[family] = {"type": metric_type, "samples": []}
+            current = family
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line: {line!r}")
+        name = match.group("name")
+        if current is None or not name.startswith(current):
+            raise ValueError(f"sample {name!r} outside its family")
+        labels = dict(
+            (key, value.replace('\\"', '"').replace("\\n", "\n")
+             .replace("\\\\", "\\"))
+            for key, value in _LABEL_RE.findall(match.group("labels") or ""))
+        suffix = name[len(current):]
+        if suffix not in ("", "_total", "_count", "_sum", "_bucket"):
+            raise ValueError(f"unknown sample suffix {suffix!r} on {name!r}")
+        families[current]["samples"].append(
+            (suffix, labels, float(match.group("value"))))
+    return families
+
+
+class JsonlSink:
+    """A line-buffered JSONL event sink (one JSON object per line).
+
+    Every event carries ``schema`` (:data:`EVENT_SCHEMA_VERSION`),
+    ``event`` (the kind: ``query``, ``batch``, ``snapshot``, ...) and
+    ``pid``, so merged streams from a process pool stay attributable.
+    With ``per_process=True`` the pid is spliced into the file name
+    (``events.jsonl`` → ``events.12345.jsonl``): each worker of a
+    ``ProcessPoolExecutor`` appends to its own file with no
+    cross-process interleaving, and :func:`merge_jsonl` folds the
+    family back into one stream.
+
+    The file opens lazily on the first :meth:`emit` and is
+    line-buffered, so a crash loses at most the current line.
+    """
+
+    def __init__(self, path: PathLike, per_process: bool = False):
+        self._requested = Path(path)
+        self._per_process = per_process
+        self._file = None
+
+    @property
+    def path(self) -> Path:
+        """The file this sink writes (pid-suffixed when per-process)."""
+        if not self._per_process:
+            return self._requested
+        stem = self._requested.stem or self._requested.name
+        suffix = self._requested.suffix if self._requested.stem else ""
+        return self._requested.with_name(f"{stem}.{os.getpid()}{suffix}")
+
+    def emit(self, event: str, payload: Optional[dict] = None,
+             **fields) -> dict:
+        """Append one event line; returns the emitted record."""
+        record = {"schema": EVENT_SCHEMA_VERSION, "event": event,
+                  "pid": os.getpid()}
+        if payload:
+            record.update(payload)
+        if fields:
+            record.update(fields)
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "a", buffering=1,
+                              encoding="utf-8")
+        self._file.write(json.dumps(record, sort_keys=True,
+                                    default=str) + "\n")
+        return record
+
+    def emit_snapshot(self, snapshot: dict, event: str = "snapshot",
+                      **fields) -> dict:
+        """Emit a whole registry snapshot as one ``snapshot`` event."""
+        return self.emit(event, {"counters": snapshot.get("counters", {}),
+                                 "histograms": snapshot.get("histograms",
+                                                            {}),
+                                 "phases": snapshot.get("phases", {})},
+                         **fields)
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        file, self._file = self._file, None
+        if file is not None:
+            file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl(path: PathLike) -> list[dict]:
+    """Load every event of one JSONL file (skipping blank lines)."""
+    events = []
+    with open(path, encoding="utf-8") as file:
+        for line in file:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def merge_jsonl(paths: Union[PathLike, Iterable[PathLike]],
+                output: PathLike) -> int:
+    """Merge per-process JSONL files into one stream; returns the
+    event count.
+
+    ``paths`` may be a single directory — then every ``*.jsonl`` file
+    in it (sorted) is merged — or an iterable of files.  Events keep
+    their per-file order; files are concatenated in sorted-path order,
+    and every line is validated through ``json.loads`` on the way.
+    """
+    if isinstance(paths, (str, Path)) and Path(paths).is_dir():
+        members: Sequence[Path] = sorted(Path(paths).glob("*.jsonl"))
+    elif isinstance(paths, (str, Path)):
+        members = [Path(paths)]
+    else:
+        members = sorted(Path(member) for member in paths)
+    output = Path(output)
+    count = 0
+    with open(output, "w", encoding="utf-8") as out:
+        for member in members:
+            if member.resolve() == output.resolve():
+                continue
+            for event in read_jsonl(member):
+                out.write(json.dumps(event, sort_keys=True) + "\n")
+                count += 1
+    return count

@@ -27,6 +27,7 @@ worker threads interleave without corruption.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from contextlib import contextmanager
@@ -35,17 +36,33 @@ from typing import Iterator, Optional, Union
 
 from repro.obs.trace import Span, aggregate_phases
 
+#: Sample budget per histogram: quantiles are exact up to this many
+#: observations, then Vitter's Algorithm R keeps a uniform sample.
+RESERVOIR_SIZE = 1024
+
 
 class Histogram:
-    """Streaming summary of observed values: count, sum, min, max, mean."""
+    """Streaming summary of observed values: count, sum, min, max, mean,
+    and reservoir-or-exact quantiles (p50/p90/p99).
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    The first :data:`RESERVOIR_SIZE` observations are all retained, so
+    quantiles are exact for short runs (every test workload, most
+    benchmark rounds); past that, reservoir sampling (Algorithm R,
+    seeded deterministically) keeps a uniform sample, so a long-lived
+    service's latency quantiles stay O(1) in memory and statistically
+    honest for skewed distributions the mean hides.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "_samples",
+                 "_random")
 
     def __init__(self):
         self.count = 0
         self.total = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        self._samples: list[float] = []
+        self._random = random.Random(0x5EED)
 
     def observe(self, value: float) -> None:
         """Fold one value into the summary."""
@@ -55,11 +72,32 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        if len(self._samples) < RESERVOIR_SIZE:
+            self._samples.append(value)
+        else:
+            slot = self._random.randrange(self.count)
+            if slot < RESERVOIR_SIZE:
+                self._samples[slot] = value
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of the observed values (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile (0 <= q <= 1) of the retained sample.
+
+        Exact while ``count <= RESERVOIR_SIZE``, an unbiased estimate
+        after; ``None`` before the first observation.  Uses the
+        nearest-rank method, so the result is always an observed value.
+        """
+        if not self._samples:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
 
     def as_dict(self) -> dict:
         """JSON-ready representation."""
@@ -69,6 +107,9 @@ class Histogram:
             "min": self.minimum,
             "max": self.maximum,
             "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -38,6 +38,9 @@ def format_report(snapshot: dict) -> str:
                 f"  {name:<{width}s}  count={data['count']} "
                 f"min={_format_value(data['min'])} "
                 f"mean={_format_value(data['mean'])} "
+                f"p50={_format_value(data.get('p50'))} "
+                f"p90={_format_value(data.get('p90'))} "
+                f"p99={_format_value(data.get('p99'))} "
                 f"max={_format_value(data['max'])}")
 
     phases = snapshot.get("phases", {})

@@ -1,0 +1,164 @@
+"""The live telemetry endpoint: ``/metrics``, ``/healthz``, ``/profilez``.
+
+A :class:`TelemetryServer` is a stdlib :class:`http.server.
+ThreadingHTTPServer` running on a daemon thread, exposing a long-lived
+process (typically a :class:`~repro.runtime.session.SearchSession`
+started with :meth:`~repro.runtime.session.SearchSession.
+serve_telemetry`) to scrapers:
+
+* ``GET /metrics``  — the active registry's snapshot in OpenMetrics
+  text exposition (:func:`repro.obs.export.to_openmetrics`), with the
+  latency summaries' p50/p90/p99 quantile series;
+* ``GET /healthz``  — liveness JSON (status, uptime, whatever the
+  health provider adds);
+* ``GET /profilez`` — the slow-query log's retained
+  :class:`~repro.obs.profile.QueryProfile` records as a JSON array,
+  newest first.
+
+The server pulls — every request calls the provider callables handed
+to the constructor — so the serving hot path never pushes anything:
+observability stays pull-based and costs nothing between scrapes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.obs.export import to_openmetrics
+from repro.obs.logconfig import get_logger
+
+_log = get_logger("obs.server")
+
+#: The content type OpenMetrics scrapers negotiate for.
+OPENMETRICS_CONTENT_TYPE = \
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+class TelemetryServer:
+    """Serve telemetry over HTTP from provider callables.
+
+    Parameters
+    ----------
+    snapshot_provider:
+        Zero-argument callable returning a metrics snapshot dict
+        (:meth:`MetricsRegistry.snapshot`); backs ``/metrics``.
+    health_provider:
+        Optional callable returning a JSON-ready dict merged into the
+        ``/healthz`` body (``status`` and ``uptime_seconds`` are
+        always present).
+    profiles_provider:
+        Optional callable returning the list of JSON-ready slow-query
+        profiles served on ``/profilez`` (defaults to an empty list).
+    port:
+        TCP port; ``0`` picks a free one (see :attr:`port`).
+    host:
+        Bind address, loopback by default — telemetry is unauthenticated,
+        so exposing it beyond the host is an explicit opt-in.
+    namespace:
+        Metric-name prefix of the OpenMetrics exposition.
+    """
+
+    def __init__(self, snapshot_provider: Callable[[], dict],
+                 health_provider: Optional[Callable[[], dict]] = None,
+                 profiles_provider: Optional[Callable[[], list]] = None,
+                 port: int = 0, host: str = "127.0.0.1",
+                 namespace: str = "repro"):
+        self._snapshot_provider = snapshot_provider
+        self._health_provider = health_provider
+        self._profiles_provider = profiles_provider
+        self._namespace = namespace
+        self._started = time.time()
+        telemetry = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+                telemetry._route(self)
+
+            def log_message(self, fmt, *args):  # route to repro.* logs
+                _log.debug("telemetry %s", fmt % args)
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-telemetry",
+            daemon=True)
+        self._thread.start()
+        _log.info("telemetry endpoint on %s", self.url)
+
+    # -- surface -------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolved when constructed with 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint."""
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since the server started."""
+        return time.time() - self._started
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        httpd, self._httpd = self._httpd, None
+        if httpd is None:
+            return
+        httpd.shutdown()
+        httpd.server_close()
+        self._thread.join(timeout=5.0)
+        _log.info("telemetry endpoint closed")
+
+    def __enter__(self) -> "TelemetryServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- routing -------------------------------------------------------------
+
+    def _route(self, request: BaseHTTPRequestHandler) -> None:
+        path = request.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = to_openmetrics(self._snapshot_provider(),
+                                      self._namespace)
+                self._reply(request, 200, OPENMETRICS_CONTENT_TYPE, body)
+            elif path == "/healthz":
+                health = {"status": "ok",
+                          "uptime_seconds": round(self.uptime_seconds, 3)}
+                if self._health_provider is not None:
+                    health.update(self._health_provider())
+                self._reply(request, 200, "application/json",
+                            json.dumps(health, sort_keys=True,
+                                       default=str))
+            elif path == "/profilez":
+                profiles = self._profiles_provider() \
+                    if self._profiles_provider is not None else []
+                self._reply(request, 200, "application/json",
+                            json.dumps(profiles, default=str))
+            else:
+                self._reply(request, 404, "text/plain",
+                            f"unknown route {path}; try /metrics, "
+                            f"/healthz or /profilez")
+        except Exception as error:  # pragma: no cover - provider bugs
+            _log.exception("telemetry handler failed on %s", path)
+            self._reply(request, 500, "text/plain", f"error: {error}")
+
+    @staticmethod
+    def _reply(request: BaseHTTPRequestHandler, status: int,
+               content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        request.send_response(status)
+        request.send_header("Content-Type", content_type)
+        request.send_header("Content-Length", str(len(payload)))
+        request.end_headers()
+        request.wfile.write(payload)

@@ -26,6 +26,7 @@ lifetime numbers (docs/OBSERVABILITY.md).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence, Union
 
@@ -36,8 +37,9 @@ from repro.core.query import Query
 from repro.core.results import Result
 from repro.core.signatures import CompiledQuery, compile_query
 from repro.index.inverted import InvertedIndex, Posting
-from repro.obs import get_logger, get_metrics
+from repro.obs import get_logger, get_metrics, metrics_scope
 from repro.obs.metrics import AnyMetrics
+from repro.obs.profile import QueryProfile, SlowQueryLog
 from repro.runtime.cache import LRUCache
 from repro.runtime.options import OptionsError, SearchOptions
 from repro.tree.tree import DataTree
@@ -55,6 +57,7 @@ RUNTIME_COUNTERS = (
     "batch_queries",
     "batch_distinct_plans",
     "batch_scan_nodes",
+    "slow_queries_recorded",
 )
 
 
@@ -100,11 +103,21 @@ class SearchSession:
 
     def __init__(self, index: InvertedIndex,
                  plan_cache_size: int = 128,
-                 posting_cache_size: int = 512):
+                 posting_cache_size: int = 512,
+                 slow_query_threshold: Optional[float] = None,
+                 slow_log_capacity: int = 32,
+                 event_sink=None):
         self._index = index
         self._plans = LRUCache("plan_cache", plan_cache_size)
         self._postings_cache = LRUCache("posting_cache",
                                         posting_cache_size)
+        self._slow_log: Optional[SlowQueryLog] = None
+        if slow_query_threshold is not None:
+            self._slow_log = SlowQueryLog(slow_query_threshold,
+                                          slow_log_capacity)
+        self._event_sink = event_sink
+        self._telemetry = None
+        self._owns_global_registry = False
 
     # -- index ownership ----------------------------------------------------
 
@@ -230,6 +243,30 @@ class SearchSession:
         """
         options = self._resolve(options, changes)
         metrics = get_metrics()
+        profiling = self._slow_log is not None or \
+            self._event_sink is not None
+        if not (metrics.enabled or profiling):
+            return self._execute(query, options, metrics)
+        # Observed path: time the query, feed the latency histogram,
+        # and hand the run to the slow-query log / event sink.  When
+        # no ambient registry is active, a private scope captures the
+        # phases and counters the captured QueryProfile needs.
+        start = time.perf_counter()
+        if metrics.enabled:
+            results = self._execute(query, options, metrics)
+        else:
+            with metrics_scope() as metrics:
+                results = self._execute(query, options, metrics)
+        duration = time.perf_counter() - start
+        metrics.observe("search_seconds", duration)
+        if profiling:
+            self._record_query(query, options, results, duration,
+                               metrics)
+        return results
+
+    def _execute(self, query: Union[str, Query],
+                 options: SearchOptions, metrics: AnyMetrics) -> list:
+        """Route one resolved query (the pre-profiler ``search`` body)."""
         if metrics.enabled:
             metrics.declare(*RUNTIME_COUNTERS)
         plan = self.plan(query, metrics)
@@ -286,6 +323,27 @@ class SearchSession:
         """
         options = self._resolve(options, changes)
         metrics = get_metrics()
+        profiling = self._slow_log is not None or \
+            self._event_sink is not None
+        if not (metrics.enabled or profiling):
+            return self._execute_batch(queries, options, metrics)
+        start = time.perf_counter()
+        if metrics.enabled:
+            answers = self._execute_batch(queries, options, metrics)
+        else:
+            with metrics_scope() as metrics:
+                answers = self._execute_batch(queries, options, metrics)
+        duration = time.perf_counter() - start
+        metrics.observe("batch_seconds", duration)
+        if profiling:
+            self._record_batch(queries, options, answers, duration,
+                               metrics)
+        return answers
+
+    def _execute_batch(self, queries: Sequence[Union[str, Query]],
+                       options: SearchOptions,
+                       metrics: AnyMetrics) -> list[list]:
+        """The shared-scan batch body (pre-profiler ``search_batch``)."""
         if metrics.enabled:
             metrics.declare(*RUNTIME_COUNTERS)
             metrics.inc("batch_queries", len(queries))
@@ -306,11 +364,247 @@ class SearchSession:
                                                  options)
                            for key, results in answers.items()}
         else:
-            answers = {key: self.search(plan.query, options)
+            answers = {key: self._execute(plan.query, options, metrics)
                        for key, plan in distinct.items()}
         # Fan out per workload position; copy so callers that mutate
         # one answer list cannot corrupt a duplicate query's answer.
         return [list(answers[plan.key]) for plan in plans]
+
+    # -- the query profiler (EXPLAIN) ---------------------------------------
+
+    def explain(self, query: Union[str, Query],
+                options: Optional[SearchOptions] = None,
+                **changes) -> QueryProfile:
+        """Run ``query`` under a private registry and return its full
+        :class:`~repro.obs.profile.QueryProfile`: compiled-plan and
+        lattice dimensions, per-keyword posting-list lengths and bytes
+        decoded, per-layer cache hits, per-phase wall times, result
+        count and top scores.  The run is real (results are computed,
+        caches are warmed), so a second ``explain`` of the same query
+        shows the cache-hit profile of a repeated query.
+        """
+        options = self._resolve(options, changes)
+        with metrics_scope() as registry:
+            start = time.perf_counter()
+            results = self._execute(query, options, registry)
+            duration = time.perf_counter() - start
+            registry.observe("search_seconds", duration)
+            snapshot = registry.snapshot()
+        return self._build_profile(query, options, results, duration,
+                                   snapshot)
+
+    def _record_query(self, query: Union[str, Query],
+                      options: SearchOptions, results: list,
+                      duration: float, metrics: AnyMetrics) -> None:
+        """Slow-log capture + event emission after an observed query."""
+        slow = self._slow_log is not None and \
+            self._slow_log.is_slow(duration)
+        if slow:
+            profile = self._build_profile(query, options, results,
+                                          duration, metrics.snapshot())
+            self._slow_log.record(profile)
+            if metrics.enabled:
+                metrics.inc("slow_queries_recorded")
+            _log.warning("slow query (%.1f ms >= %.1f ms): %s",
+                         duration * 1000,
+                         self._slow_log.threshold * 1000, profile.query)
+        if self._event_sink is not None:
+            self._event_sink.emit(
+                "query", query=str(query), algorithm=options.algorithm,
+                duration_seconds=round(duration, 9),
+                result_count=len(results), slow=slow)
+
+    def _record_batch(self, queries: Sequence[Union[str, Query]],
+                      options: SearchOptions, answers: list[list],
+                      duration: float, metrics: AnyMetrics) -> None:
+        """Slow-log capture + event emission after an observed batch.
+
+        Per-query attribution inside the one shared scan is not
+        meaningful, so the profile covers the whole workload (``kind=
+        "batch"``) with the union of its keywords.
+        """
+        slow = self._slow_log is not None and \
+            self._slow_log.is_slow(duration)
+        result_count = sum(len(results) for results in answers)
+        if slow:
+            snapshot = metrics.snapshot()
+            profile = QueryProfile(
+                query=f"<batch of {len(queries)} queries>",
+                kind="batch", algorithm=options.algorithm,
+                options=self._options_dict(options),
+                keywords=self._keyword_stats(
+                    {keyword
+                     for query in queries
+                     for keyword in self.plan(query).keywords}),
+                phases=snapshot["phases"],
+                counters=snapshot["counters"],
+                caches=self._cache_layers(snapshot["counters"]),
+                bytes_decoded=snapshot["counters"].get(
+                    "posting_decode_bytes", 0),
+                result_count=result_count,
+                duration_seconds=duration)
+            self._slow_log.record(profile)
+            if metrics.enabled:
+                metrics.inc("slow_queries_recorded")
+            _log.warning("slow batch (%.1f ms >= %.1f ms): %d queries",
+                         duration * 1000,
+                         self._slow_log.threshold * 1000, len(queries))
+        if self._event_sink is not None:
+            self._event_sink.emit(
+                "batch", queries=len(queries),
+                algorithm=options.algorithm,
+                duration_seconds=round(duration, 9),
+                result_count=result_count, slow=slow)
+
+    def _build_profile(self, query: Union[str, Query],
+                       options: SearchOptions, results: list,
+                       duration: float, snapshot: dict) -> QueryProfile:
+        from repro.core.lattice import (bell_number,
+                                        largest_sublattice_size,
+                                        lattice_node_count, stack_count)
+        plan = self.plan(query)
+        parsed = plan.query
+        if options.rank == "vector":
+            top_scores = [round(item.score, 6) for item in results[:5]]
+        else:
+            top_scores = [item.size for item in results[:5]]
+        return QueryProfile(
+            query=plan.key,
+            algorithm=options.algorithm,
+            options=self._options_dict(options),
+            keywords={
+                keyword: {"occurrences": len(slots),
+                          "postings": self._index.frequency(keyword),
+                          "bytes": self._list_bytes(keyword)}
+                for keyword, slots in plan.compiled.atoms.items()},
+            lattice={
+                "full_lattice": bell_number(parsed.keyword_count),
+                "reduced_nodes": lattice_node_count(parsed),
+                "stacks": stack_count(parsed),
+                "largest_sublattice": largest_sublattice_size(parsed),
+                "max_term_cardinality": parsed.max_term_cardinality,
+                "signatures": plan.compiled.signature_count(),
+            },
+            phases=snapshot["phases"],
+            counters=snapshot["counters"],
+            caches=self._cache_layers(snapshot["counters"]),
+            bytes_decoded=snapshot["counters"].get(
+                "posting_decode_bytes", 0),
+            result_count=len(results),
+            top_scores=top_scores,
+            duration_seconds=duration)
+
+    @staticmethod
+    def _options_dict(options: SearchOptions) -> dict:
+        return {name: value
+                for name, value in vars(options).items()
+                if value is not None}
+
+    def _keyword_stats(self, keywords) -> dict:
+        return {keyword: {"occurrences": 1,
+                          "postings": self._index.frequency(keyword),
+                          "bytes": self._list_bytes(keyword)}
+                for keyword in sorted(keywords)}
+
+    def _list_bytes(self, keyword: str) -> int:
+        """On-disk bytes of the keyword's posting blocks (0 when the
+        index is not a lazy store)."""
+        list_bytes = getattr(self._index, "list_bytes", None)
+        return list_bytes(keyword) if list_bytes is not None else 0
+
+    @staticmethod
+    def _cache_layers(counters: dict) -> dict:
+        """Per-layer hit/miss pairs from a counter snapshot."""
+        return {
+            "plan_cache": {
+                "hits": counters.get("plan_cache_hits", 0),
+                "misses": counters.get("plan_cache_misses", 0)},
+            "posting_cache": {
+                "hits": counters.get("posting_cache_hits", 0),
+                "misses": counters.get("posting_cache_misses", 0)},
+            "posting_decode": {
+                "hits": counters.get("posting_decode_cache_hits", 0),
+                "misses": counters.get("posting_decode_blocks", 0)},
+        }
+
+    # -- slow-query log / event sink / telemetry ----------------------------
+
+    @property
+    def slow_query_log(self) -> Optional[SlowQueryLog]:
+        """The configured slow-query log, or ``None``."""
+        return self._slow_log
+
+    def configure_slow_query_log(self, threshold: float,
+                                 capacity: int = 32) -> SlowQueryLog:
+        """Enable (or reconfigure) the slow-query log.
+
+        ``threshold`` is wall seconds; a ``search``/``search_batch``
+        call at or above it has its full profile captured into a ring
+        of the newest ``capacity`` entries, served on ``/profilez``.
+        """
+        self._slow_log = SlowQueryLog(threshold, capacity)
+        return self._slow_log
+
+    def attach_event_sink(self, sink) -> None:
+        """Emit one JSONL event per ``search``/``search_batch`` to
+        ``sink`` (a :class:`repro.obs.export.JsonlSink`); ``None``
+        detaches."""
+        self._event_sink = sink
+
+    def serve_telemetry(self, port: int = 0, host: str = "127.0.0.1",
+                        registry=None, namespace: str = "repro"):
+        """Start the live telemetry endpoint for this session.
+
+        Exposes ``/metrics`` (OpenMetrics exposition of ``registry``),
+        ``/healthz`` (index size, cache and slow-query statistics) and
+        ``/profilez`` (the slow-query log as JSON).  Without an
+        explicit ``registry`` a fresh one is installed process-wide
+        via :func:`~repro.obs.metrics.set_global_metrics`, so every
+        subsequent search on any thread reports into the scrape
+        (scoped registries still take precedence while active).
+        Returns the :class:`~repro.obs.server.TelemetryServer`; stop
+        it with :meth:`close_telemetry`.
+        """
+        from repro.obs.metrics import MetricsRegistry, set_global_metrics
+        from repro.obs.server import TelemetryServer
+        if self._telemetry is not None:
+            self.close_telemetry()
+        if registry is None:
+            registry = MetricsRegistry()
+            set_global_metrics(registry)
+            self._owns_global_registry = True
+        self._telemetry = TelemetryServer(
+            registry.snapshot,
+            health_provider=self._health,
+            profiles_provider=lambda: (self._slow_log.as_json()
+                                       if self._slow_log is not None
+                                       else []),
+            port=port, host=host, namespace=namespace)
+        return self._telemetry
+
+    def close_telemetry(self) -> None:
+        """Stop the telemetry endpoint started by
+        :meth:`serve_telemetry` (idempotent)."""
+        telemetry, self._telemetry = self._telemetry, None
+        if telemetry is not None:
+            telemetry.close()
+        if self._owns_global_registry:
+            from repro.obs.metrics import set_global_metrics
+            set_global_metrics(None)
+            self._owns_global_registry = False
+
+    def _health(self) -> dict:
+        health = {
+            "keywords": len(self._index),
+            "caches": self.cache_stats(),
+        }
+        if self._slow_log is not None:
+            health["slow_queries"] = {
+                "threshold_seconds": self._slow_log.threshold,
+                "recorded": self._slow_log.recorded,
+                "retained": len(self._slow_log),
+            }
+        return health
 
     # -- routing ------------------------------------------------------------
 

@@ -1,0 +1,55 @@
+"""docs/OBSERVABILITY.md's counter catalogue must match the code.
+
+Two directions: every counter the source increments (literal
+``inc("...")`` calls plus the declared catalogues) must appear in the
+docs' tables, and every counter the tables list must exist in the
+source — so the catalogue can be trusted when wiring dashboards
+against ``/metrics``.
+"""
+
+import re
+from pathlib import Path
+
+from repro.core.engine import ENGINE_COUNTERS
+from repro.index.store_v2 import STORE_V2_COUNTERS
+from repro.runtime.session import RUNTIME_COUNTERS
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+DOC = REPO / "docs" / "OBSERVABILITY.md"
+
+_INC_LITERAL = re.compile(r'\.inc\(\s*"([a-z0-9_]+)"')
+_BACKTICKED = re.compile(r"`([a-z0-9_]+)`")
+
+
+def _code_counters() -> set:
+    names = set(ENGINE_COUNTERS) | set(RUNTIME_COUNTERS) \
+        | set(STORE_V2_COUNTERS)
+    for path in SRC.rglob("*.py"):
+        names.update(_INC_LITERAL.findall(path.read_text(encoding="utf-8")))
+    return names
+
+
+def _documented_counters() -> set:
+    """Backticked names in the first column of the catalogue tables."""
+    names = set()
+    for line in DOC.read_text(encoding="utf-8").splitlines():
+        if not line.startswith("| `"):
+            continue
+        first_cell = line.split("|")[1]
+        names.update(_BACKTICKED.findall(first_cell))
+    return names
+
+
+def test_every_incremented_counter_is_documented():
+    missing = _code_counters() - _documented_counters()
+    assert not missing, \
+        f"counters incremented in src/repro/ but absent from " \
+        f"docs/OBSERVABILITY.md: {sorted(missing)}"
+
+
+def test_every_documented_counter_exists_in_code():
+    stale = _documented_counters() - _code_counters()
+    assert not stale, \
+        f"counters documented in docs/OBSERVABILITY.md but never " \
+        f"incremented in src/repro/: {sorted(stale)}"

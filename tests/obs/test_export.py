@@ -1,0 +1,171 @@
+"""Exporters: name sanitizing, OpenMetrics round-trips, JSONL sink."""
+
+import json
+import re
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import (EVENT_SCHEMA_VERSION, JsonlSink, MetricsRegistry,
+                       merge_jsonl, parse_openmetrics, read_jsonl,
+                       sanitize_metric_name, to_openmetrics)
+
+OPENMETRICS_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+
+
+class TestSanitizeMetricName:
+    def test_valid_names_pass_through(self):
+        for name in ("postings_consumed", "repro:phase", "_private"):
+            assert sanitize_metric_name(name) == name
+
+    def test_hyphens_and_dots_become_underscores(self):
+        assert sanitize_metric_name("index-open") == "index_open"
+        assert sanitize_metric_name("runtime.session") == "runtime_session"
+        assert sanitize_metric_name("a b/c") == "a_b_c"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert sanitize_metric_name("95th_percentile") == "_95th_percentile"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            sanitize_metric_name("")
+
+    @given(st.text(min_size=1, max_size=40))
+    def test_output_always_matches_charset(self, name):
+        assert OPENMETRICS_NAME.fullmatch(sanitize_metric_name(name))
+
+
+class TestToOpenMetrics:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.inc("postings_consumed", 42)
+        registry.inc("results_emitted", 3)
+        for value in (0.001, 0.002, 0.040):
+            registry.observe("search_seconds", value)
+        with registry.span("index-open"):
+            pass
+        return registry.snapshot()
+
+    def test_counters_become_total_samples(self):
+        text = to_openmetrics(self._snapshot())
+        assert "# TYPE repro_postings_consumed counter" in text
+        assert "repro_postings_consumed_total 42" in text
+        assert text.endswith("# EOF\n")
+
+    def test_histograms_become_summaries_with_quantiles(self):
+        text = to_openmetrics(self._snapshot())
+        assert "# TYPE repro_search_seconds summary" in text
+        assert "repro_search_seconds_count 3" in text
+        assert 'repro_search_seconds{quantile="0.5"}' in text
+        assert 'repro_search_seconds{quantile="0.99"}' in text
+
+    def test_phase_names_are_sanitized(self):
+        text = to_openmetrics(self._snapshot())
+        # index-open is not a legal OpenMetrics name; the hyphen lives
+        # on in the label value, never in the family name.
+        assert 'repro_phase_seconds_total{phase="index-open"}' in text
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                assert OPENMETRICS_NAME.fullmatch(line.split(" ")[2])
+
+    def test_round_trip_through_parser(self):
+        snapshot = self._snapshot()
+        families = parse_openmetrics(to_openmetrics(snapshot))
+        counters = families["repro_postings_consumed"]
+        assert counters["type"] == "counter"
+        assert counters["samples"] == [("_total", {}, 42.0)]
+        summary = families["repro_search_seconds"]
+        quantiles = {labels["quantile"]: value
+                     for suffix, labels, value in summary["samples"]
+                     if suffix == ""}
+        assert quantiles["0.5"] == pytest.approx(0.002)
+        assert quantiles["0.99"] == pytest.approx(0.040)
+        phases = families["repro_phase_seconds"]
+        assert phases["samples"][0][1] == {"phase": "index-open"}
+
+    def test_custom_namespace_is_sanitized(self):
+        text = to_openmetrics({"counters": {"x": 1}}, namespace="my-app")
+        assert "my_app_x_total 1" in text
+
+    def test_parser_rejects_missing_eof(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics("# TYPE repro_x counter\nrepro_x_total 1\n")
+
+    def test_parser_rejects_malformed_sample(self):
+        text = "# TYPE repro_x counter\nrepro_x_total one two\n# EOF"
+        with pytest.raises(ValueError, match="malformed"):
+            parse_openmetrics(text)
+
+    def test_parser_rejects_orphan_sample(self):
+        with pytest.raises(ValueError, match="outside"):
+            parse_openmetrics("other_y_total 1\n# EOF")
+
+    def test_empty_snapshot_is_valid_exposition(self):
+        assert parse_openmetrics(to_openmetrics({})) == {}
+
+
+class TestJsonlSink:
+    def test_events_round_trip_with_schema(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit("query", query="(a b)", duration_seconds=0.01)
+            sink.emit("batch", {"queries": 3})
+        events = read_jsonl(path)
+        assert [event["event"] for event in events] == ["query", "batch"]
+        for event in events:
+            assert event["schema"] == EVENT_SCHEMA_VERSION
+            assert isinstance(event["pid"], int)
+        # every line is independently parseable JSON
+        for line in path.read_text().splitlines():
+            assert json.loads(line)["schema"] == EVENT_SCHEMA_VERSION
+
+    def test_emit_snapshot(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("results_emitted", 7)
+        with JsonlSink(tmp_path / "e.jsonl") as sink:
+            sink.emit_snapshot(registry.snapshot(), test="t1")
+        (event,) = read_jsonl(tmp_path / "e.jsonl")
+        assert event["event"] == "snapshot"
+        assert event["counters"]["results_emitted"] == 7
+        assert event["test"] == "t1"
+
+    def test_per_process_path_contains_pid(self, tmp_path):
+        import os
+        sink = JsonlSink(tmp_path / "events.jsonl", per_process=True)
+        assert str(os.getpid()) in sink.path.name
+        assert sink.path.suffix == ".jsonl"
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "e.jsonl")
+        sink.emit("query")
+        sink.close()
+        sink.close()
+
+    def test_merge_directory(self, tmp_path):
+        for worker in ("a", "b"):
+            with JsonlSink(tmp_path / f"events.{worker}.jsonl") as sink:
+                sink.emit("query", worker=worker)
+        merged = tmp_path / "merged.jsonl"
+        assert merge_jsonl(tmp_path, merged) == 2
+        workers = [event["worker"] for event in read_jsonl(merged)]
+        assert workers == ["a", "b"]
+
+    def test_merge_skips_its_own_output(self, tmp_path):
+        with JsonlSink(tmp_path / "events.jsonl") as sink:
+            sink.emit("query")
+        merged = tmp_path / "merged.jsonl"
+        assert merge_jsonl(tmp_path, merged) == 1
+        # re-merging must not double-count the previous merge result
+        assert merge_jsonl(tmp_path, merged) == 1
+
+    def test_merge_explicit_file_list(self, tmp_path):
+        paths = []
+        for n in range(3):
+            path = tmp_path / f"w{n}.jsonl"
+            with JsonlSink(path) as sink:
+                sink.emit("query", n=n)
+            paths.append(path)
+        merged = tmp_path / "out.jsonl"
+        assert merge_jsonl(paths, merged) == 3
+        assert [event["n"] for event in read_jsonl(merged)] == [0, 1, 2]

@@ -4,8 +4,9 @@ import threading
 
 import pytest
 
-from repro.obs import (NULL_METRICS, MetricsRegistry, get_metrics,
-                       metrics_scope, set_global_metrics)
+from repro.obs import (NULL_METRICS, Histogram, MetricsRegistry,
+                       get_metrics, metrics_scope, set_global_metrics)
+from repro.obs.metrics import RESERVOIR_SIZE
 
 
 class TestCounters:
@@ -57,6 +58,66 @@ class TestHistograms:
         assert histogram.count == 0
         assert histogram.mean == 0.0
         assert histogram.as_dict()["min"] is None
+
+    def test_quantiles_exact_for_small_runs(self):
+        histogram = Histogram()
+        for value in range(1, 101):  # 1..100
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 1
+        assert histogram.quantile(0.5) == 51  # nearest rank
+        assert histogram.quantile(0.9) == 91
+        assert histogram.quantile(0.99) == 100
+        assert histogram.quantile(1.0) == 100
+
+    def test_quantile_validation_and_empty(self):
+        histogram = Histogram()
+        assert histogram.quantile(0.5) is None
+        histogram.observe(3.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+
+    def test_as_dict_includes_quantiles_and_min(self):
+        registry = MetricsRegistry()
+        for value in (5, 1, 9, 7, 3):
+            registry.observe("latency", value)
+        data = registry.histogram("latency").as_dict()
+        assert data["min"] == 1
+        assert data["p50"] == 5
+        assert data["p90"] == 9
+        assert data["p99"] == 9
+        assert set(data) == {"count", "sum", "min", "max", "mean",
+                             "p50", "p90", "p99"}
+
+    def test_reservoir_keeps_quantiles_honest_past_capacity(self):
+        histogram = Histogram()
+        total = RESERVOIR_SIZE * 8
+        for value in range(total):  # uniform 0..total-1
+            histogram.observe(value)
+        assert histogram.count == total
+        assert len(histogram._samples) == RESERVOIR_SIZE
+        # the reservoir is a uniform sample: p50 within 10% of truth
+        assert abs(histogram.quantile(0.5) - total / 2) < total * 0.1
+        assert histogram.quantile(0.99) > histogram.quantile(0.5)
+
+    def test_reservoir_is_deterministic(self):
+        def build():
+            histogram = Histogram()
+            for value in range(RESERVOIR_SIZE * 3):
+                histogram.observe(value)
+            return histogram.quantile(0.9)
+        assert build() == build()
+
+    def test_report_renders_quantiles(self):
+        from repro.obs import format_report
+        registry = MetricsRegistry()
+        for value in (0.01, 0.02, 0.90):
+            registry.observe("search_seconds", value)
+        text = format_report(registry.snapshot())
+        assert "p50=" in text
+        assert "p90=" in text
+        assert "p99=" in text
 
 
 class TestScoping:

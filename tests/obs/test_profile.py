@@ -1,0 +1,146 @@
+"""Query profiles (EXPLAIN) and the slow-query log."""
+
+import json
+
+import pytest
+
+from repro.obs import PROFILE_SCHEMA_VERSION, QueryProfile, SlowQueryLog
+from repro.runtime import SearchOptions, SearchSession
+
+from tests.conftest import Q1
+
+
+class TestSessionExplain:
+    def test_profile_is_fully_populated(self, figure1_index):
+        session = SearchSession(figure1_index)
+        profile = session.explain(Q1)
+        assert profile.kind == "query"
+        assert profile.query == Q1
+        assert profile.algorithm == "cohesive"
+        assert profile.result_count == 3
+        assert profile.duration_seconds > 0
+        # per-phase wall times
+        assert profile.phases.get("parse", 0) > 0
+        assert profile.phases.get("stream-scan", 0) > 0
+        # lattice accounting (paper §5's cost drivers)
+        assert profile.lattice["max_term_cardinality"] == 5
+        assert profile.lattice["reduced_nodes"] >= 1
+        assert profile.lattice["stacks"] >= 1
+        # input lists: every keyword with its posting count
+        assert set(profile.keywords) == {"xml", "keyword", "search",
+                                         "paul", "cooper", "mary", "davis"}
+        assert profile.total_instances == sum(
+            stats["postings"] for stats in profile.keywords.values())
+        assert profile.total_instances > 0
+        # cache layers report hit/miss dicts
+        assert set(profile.caches) >= {"plan_cache", "posting_cache"}
+        assert profile.counters["results_emitted"] == 3
+
+    def test_explain_scores_follow_rank_mode(self, figure1_index):
+        session = SearchSession(figure1_index)
+        sized = session.explain(Q1)
+        assert sized.top_scores == sorted(sized.top_scores)
+        vector = session.explain(Q1, SearchOptions(rank="vector"))
+        assert all(isinstance(score, float)
+                   for score in vector.top_scores)
+
+    def test_to_dict_is_json_ready_and_versioned(self, figure1_index):
+        profile = SearchSession(figure1_index).explain(Q1)
+        data = json.loads(json.dumps(profile.to_dict()))
+        assert data["schema"] == PROFILE_SCHEMA_VERSION
+        assert data["result_count"] == 3
+        assert data["lattice"]["max_term_cardinality"] == 5
+        assert data["keywords"]["davis"]["postings"] == 3
+
+    def test_format_tree_renders_sections(self, figure1_index):
+        text = SearchSession(figure1_index).explain(Q1).format_tree()
+        for section in ("lattice", "input", "phases", "caches",
+                        "counters"):
+            assert section in text
+        assert "instance(s)" in text
+        assert "max_term_cardinality" in text
+
+    def test_explain_leaves_no_registry_behind(self, figure1_index):
+        from repro.obs import get_metrics
+        SearchSession(figure1_index).explain(Q1)
+        assert not get_metrics().enabled
+
+
+class TestSlowQueryLog:
+    def test_threshold_and_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold=-0.1)
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold=0.1, capacity=0)
+
+    def test_is_slow_boundary(self):
+        log = SlowQueryLog(threshold=0.5)
+        assert log.is_slow(0.5)
+        assert log.is_slow(1.0)
+        assert not log.is_slow(0.49)
+
+    def test_ring_evicts_oldest(self):
+        log = SlowQueryLog(threshold=0.0, capacity=2)
+        for n in range(3):
+            log.record(QueryProfile(query=f"q{n}"))
+        assert log.recorded == 3  # lifetime count survives eviction
+        assert len(log) == 2
+        assert [profile.query for profile in log.entries()] == ["q2", "q1"]
+
+    def test_as_json_newest_first(self):
+        log = SlowQueryLog(threshold=0.0)
+        log.record(QueryProfile(query="old"))
+        log.record(QueryProfile(query="new"))
+        payload = log.as_json()
+        assert [entry["query"] for entry in payload] == ["new", "old"]
+        assert payload[0]["schema"] == PROFILE_SCHEMA_VERSION
+
+    def test_clear_keeps_lifetime_count(self):
+        log = SlowQueryLog(threshold=0.0)
+        log.record(QueryProfile(query="q"))
+        log.clear()
+        assert len(log) == 0
+        assert log.recorded == 1
+
+
+class TestSessionSlowCapture:
+    def test_slow_query_captured_with_full_profile(self, figure1_index):
+        session = SearchSession(figure1_index)
+        session.configure_slow_query_log(threshold=0.0)
+        session.search(Q1)
+        log = session.slow_query_log
+        assert log.recorded == 1
+        (profile,) = log.entries()
+        assert profile.query == Q1
+        assert profile.result_count == 3
+        assert profile.counters["results_emitted"] == 3
+        assert profile.phases.get("stream-scan", 0) > 0
+
+    def test_fast_queries_not_captured(self, figure1_index):
+        session = SearchSession(figure1_index)
+        session.configure_slow_query_log(threshold=60.0)
+        session.search(Q1)
+        assert session.slow_query_log.recorded == 0
+
+    def test_batch_capture_is_one_profile(self, figure1_index):
+        session = SearchSession(figure1_index)
+        session.configure_slow_query_log(threshold=0.0)
+        session.search_batch([Q1, "(xml retrieval)"])
+        (profile,) = session.slow_query_log.entries()
+        assert profile.kind == "batch"
+        assert "2 queries" in profile.query
+
+    def test_event_sink_receives_query_events(self, figure1_index,
+                                              tmp_path):
+        from repro.obs import JsonlSink, read_jsonl
+        session = SearchSession(figure1_index)
+        sink = JsonlSink(tmp_path / "events.jsonl")
+        session.attach_event_sink(sink)
+        session.search(Q1)
+        session.search_batch([Q1])
+        sink.close()
+        events = read_jsonl(tmp_path / "events.jsonl")
+        assert [event["event"] for event in events] == ["query", "batch"]
+        assert events[0]["query"] == Q1
+        assert events[0]["result_count"] == 3
+        assert all(event["schema"] == 1 for event in events)

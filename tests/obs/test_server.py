@@ -1,0 +1,148 @@
+"""The live telemetry endpoint: /metrics, /healthz, /profilez."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (MetricsRegistry, QueryProfile, TelemetryServer,
+                       parse_openmetrics)
+from repro.obs.server import OPENMETRICS_CONTENT_TYPE
+from repro.runtime import SearchSession
+
+from tests.conftest import Q1
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return (response.status, response.headers.get("Content-Type"),
+                response.read().decode("utf-8"))
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.inc("postings_consumed", 10)
+    for value in (0.001, 0.002, 0.050):
+        registry.observe("search_seconds", value)
+    return registry
+
+
+class TestTelemetryServer:
+    def test_port_zero_picks_a_free_port(self, registry):
+        with TelemetryServer(registry.snapshot) as server:
+            assert server.port > 0
+            assert server.url.endswith(str(server.port))
+
+    def test_metrics_route_serves_valid_openmetrics(self, registry):
+        with TelemetryServer(registry.snapshot) as server:
+            status, content_type, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert content_type == OPENMETRICS_CONTENT_TYPE
+        families = parse_openmetrics(body)  # validating parser
+        assert families["repro_postings_consumed"]["samples"] == \
+            [("_total", {}, 10.0)]
+        quantiles = {labels.get("quantile"): value
+                     for suffix, labels, value in
+                     families["repro_search_seconds"]["samples"]
+                     if suffix == ""}
+        assert quantiles["0.99"] == pytest.approx(0.050)
+
+    def test_healthz_merges_provider(self, registry):
+        with TelemetryServer(registry.snapshot,
+                             health_provider=lambda: {"keywords": 9}
+                             ) as server:
+            status, content_type, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert content_type == "application/json"
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["keywords"] == 9
+        assert health["uptime_seconds"] >= 0
+
+    def test_profilez_serves_profiles(self, registry):
+        profiles = [QueryProfile(query="(a b)", result_count=4).to_dict()]
+        with TelemetryServer(registry.snapshot,
+                             profiles_provider=lambda: profiles) as server:
+            status, _, body = _get(server.url + "/profilez")
+        assert status == 200
+        (entry,) = json.loads(body)
+        assert entry["query"] == "(a b)"
+        assert entry["result_count"] == 4
+
+    def test_profilez_defaults_to_empty(self, registry):
+        with TelemetryServer(registry.snapshot) as server:
+            _, _, body = _get(server.url + "/profilez")
+        assert json.loads(body) == []
+
+    def test_unknown_route_is_404(self, registry):
+        with TelemetryServer(registry.snapshot) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "/nope")
+            assert excinfo.value.code == 404
+
+    def test_close_is_idempotent(self, registry):
+        server = TelemetryServer(registry.snapshot)
+        server.close()
+        server.close()
+
+
+class TestSessionTelemetry:
+    def test_serve_telemetry_end_to_end(self, figure1_index):
+        session = SearchSession(figure1_index)
+        session.configure_slow_query_log(threshold=0.0)
+        try:
+            server = session.serve_telemetry(port=0)
+            session.search(Q1)
+
+            _, _, body = _get(server.url + "/metrics")
+            families = parse_openmetrics(body)
+            assert families["repro_results_emitted"]["samples"] == \
+                [("_total", {}, 3.0)]
+            quantile_labels = {labels.get("quantile")
+                               for _, labels, _ in
+                               families["repro_search_seconds"]["samples"]}
+            assert "0.99" in quantile_labels
+
+            _, _, body = _get(server.url + "/healthz")
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            assert health["keywords"] == len(figure1_index)
+            assert health["slow_queries"]["recorded"] == 1
+
+            _, _, body = _get(server.url + "/profilez")
+            (profile,) = json.loads(body)
+            assert profile["query"] == Q1
+            assert profile["result_count"] == 3
+            assert profile["counters"]["results_emitted"] == 3
+        finally:
+            session.close_telemetry()
+
+    def test_close_telemetry_removes_global_registry(self, figure1_index):
+        from repro.obs import get_metrics
+        session = SearchSession(figure1_index)
+        session.serve_telemetry(port=0)
+        assert get_metrics().enabled
+        session.close_telemetry()
+        assert not get_metrics().enabled
+
+    def test_explicit_registry_is_respected(self, figure1_index,
+                                            metrics_off):
+        registry = MetricsRegistry()
+        registry.inc("results_emitted", 123)
+        session = SearchSession(figure1_index)
+        try:
+            server = session.serve_telemetry(port=0, registry=registry)
+            _, _, body = _get(server.url + "/metrics")
+            assert "repro_results_emitted_total 123" in body
+        finally:
+            session.close_telemetry()
+
+
+@pytest.fixture
+def metrics_off():
+    """Guard: these tests must not leak a process-global registry."""
+    from repro.obs import get_metrics
+    yield
+    assert not get_metrics().enabled

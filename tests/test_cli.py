@@ -193,6 +193,42 @@ class TestExplain:
                      "--document", str(document)]) == 0
         assert "instance(s)" in capsys.readouterr().out
 
+    def test_explain_against_index_emits_full_profile(self, document,
+                                                      tmp_path, capsys):
+        store = tmp_path / "dblp.idx"
+        assert main(["index", str(document), str(store)]) == 0
+        capsys.readouterr()
+        assert main(["explain", "((Lei Chen) (Yi Guo))",
+                     "--index", str(store), "--format", "json"]) == 0
+        profile = json.loads(capsys.readouterr().out)
+        assert profile["schema"] == 1
+        # the acceptance bar: phases, lattice, caches and bytes decoded
+        # are all populated from a real run against the store
+        assert profile["phases"]["stream-scan"] > 0
+        assert profile["phases"]["lattice-build"] > 0
+        assert profile["lattice"]["reduced_nodes"] >= 1
+        assert profile["lattice"]["max_term_cardinality"] == 2
+        assert profile["caches"]["plan_cache"]["misses"] == 1
+        assert profile["bytes_decoded"] > 0
+        for stats in profile["keywords"].values():
+            assert stats["postings"] > 0
+            assert stats["bytes"] > 0
+        assert profile["result_count"] > 0
+        assert profile["top_scores"]
+
+    def test_explain_tree_format_against_document(self, document,
+                                                  capsys):
+        assert main(["explain", "((Lei Chen) (Yi Guo))",
+                     "--document", str(document),
+                     "--format", "tree"]) == 0
+        out = capsys.readouterr().out
+        for section in ("lattice", "phases", "caches", "counters"):
+            assert section in out
+
+    def test_explain_json_without_data_is_an_error(self, capsys):
+        assert main(["explain", "(a (b c))", "--format", "json"]) == 1
+        assert "--index" in capsys.readouterr().err
+
 
 class TestLattice:
     def test_lattice_report(self, capsys):
@@ -239,6 +275,63 @@ class TestObservability:
         for name in self.REQUIRED:
             assert name in snapshot["counters"], name
         assert snapshot["counters"]["results_emitted"] == 0
+
+    def test_metrics_json_dash_prints_to_stdout(self, document, capsys):
+        assert main(["search", str(document), "((Lei Chen) (Yi Guo))",
+                     "--metrics-json", "-"]) == 0
+        out = capsys.readouterr().out
+        snapshot = json.loads(out[out.index("{"):])
+        assert snapshot["counters"]["results_emitted"] > 0
+        assert "search_seconds" in snapshot["histograms"]
+        assert snapshot["histograms"]["search_seconds"]["p99"] is not None
+
+    def test_slow_query_flag_reports_captures(self, document, capsys):
+        assert main(["search", str(document), "((Lei Chen) (Yi Guo))",
+                     "--slow-query-ms", "0"]) == 0
+        assert "1 slow query captured" in capsys.readouterr().out
+
+    def test_events_jsonl_flag_writes_events(self, document, tmp_path,
+                                             capsys):
+        target = tmp_path / "events.jsonl"
+        assert main(["search", str(document), "((Lei Chen) (Yi Guo))",
+                     "--events-jsonl", str(target)]) == 0
+        (event,) = [json.loads(line)
+                    for line in target.read_text().splitlines()]
+        assert event["schema"] == 1
+        assert event["event"] == "query"
+        assert event["result_count"] > 0
+
+    def test_telemetry_port_serves_during_run(self, document, capsys):
+        import urllib.request
+        from repro.obs import parse_openmetrics
+        from repro.runtime import session as session_module
+
+        captured = {}
+        original = session_module.SearchSession.serve_telemetry
+
+        def spying(self, **kwargs):
+            server = original(self, **kwargs)
+            with urllib.request.urlopen(server.url + "/healthz",
+                                        timeout=5) as response:
+                captured["health"] = json.loads(response.read())
+            with urllib.request.urlopen(server.url + "/metrics",
+                                        timeout=5) as response:
+                captured["metrics"] = response.read().decode()
+            return server
+
+        session_module.SearchSession.serve_telemetry = spying
+        try:
+            assert main(["search", str(document), "((Lei Chen) (Yi Guo))",
+                         "--telemetry-port", "0"]) == 0
+        finally:
+            session_module.SearchSession.serve_telemetry = original
+        assert "telemetry on http://" in capsys.readouterr().out
+        assert captured["health"]["status"] == "ok"
+        parse_openmetrics(captured["metrics"])  # valid exposition
+        # the CLI's scoped registry backs the scrape, and the session
+        # tears the endpoint down with the run
+        from repro.obs import NULL_METRICS, get_metrics
+        assert get_metrics() is NULL_METRICS
 
     def test_metrics_with_baseline(self, document, capsys):
         # elca goes through KeywordMatches, so the baseline counters
