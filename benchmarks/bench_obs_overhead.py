@@ -30,6 +30,7 @@ import repro.obs.metrics as metrics_mod
 import repro.runtime.session as session_mod
 from repro.obs import metrics_scope
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracing import NULL_TRACER
 from repro.runtime import SearchSession
 from repro.evaluation.reporting import format_table
 
@@ -84,18 +85,22 @@ class _NoScope:
 
 
 class _Stubbed:
-    """Patch get_metrics to a direct null return in every hot module."""
+    """Patch get_metrics (and the session's get_tracer) to direct null
+    returns in every hot module."""
 
     def __enter__(self):
         self._saved = [(module, module.get_metrics)
                        for module in _INSTRUMENTED_MODULES]
         for module in _INSTRUMENTED_MODULES:
             module.get_metrics = lambda: NULL_METRICS
+        self._saved_tracer = session_mod.get_tracer
+        session_mod.get_tracer = lambda: NULL_TRACER
         return self
 
     def __exit__(self, *exc):
         for module, original in self._saved:
             module.get_metrics = original
+        session_mod.get_tracer = self._saved_tracer
         return False
 
 

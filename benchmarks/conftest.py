@@ -8,12 +8,21 @@ survive pytest's output capturing.
 Scales are chosen so the whole harness runs in minutes on a laptop while
 preserving the paper's shapes; set ``REPRO_BENCH_SCALE`` (a float
 multiplier) to grow or shrink them.
+
+Every test additionally appends one schema-versioned record — wall
+seconds, counters, histogram quantiles, peak RSS, git SHA — to
+``benchmarks/BENCH_history.jsonl`` (override with
+``REPRO_BENCH_HISTORY``; set it to ``0``/``off`` to disable) and
+regenerates ``BENCH_summary.json`` next to it at session end.  The
+``cohesive-search bench-check`` CLI gates on that history (see
+docs/OBSERVABILITY.md, "Benchmark history").
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -22,10 +31,29 @@ from repro.datasets import (generate_baseball, generate_dblp, generate_nasa,
                             generate_psd, generate_xmark)
 from repro.index.inverted import InvertedIndex
 from repro.obs import metrics_scope
+from repro.obs import bench as bench_history
 
 _REPORTS: list[tuple[str, str]] = []
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: One run id per pytest session, grouping its history records.
+RUN_ID = os.environ.get("REPRO_BENCH_RUN_ID") \
+    or f"{int(time.time())}-{os.getpid()}"
+
+_GIT_SHA = bench_history.git_sha(Path(__file__).parent)
+_HISTORY_WROTE = False
+
+
+def _history_path() -> Path | None:
+    """The history file to append to, or ``None`` when disabled."""
+    value = os.environ.get("REPRO_BENCH_HISTORY")
+    if value is not None and value.strip().lower() in ("", "0", "off",
+                                                       "none"):
+        return None
+    if value:
+        return Path(value)
+    return Path(__file__).parent / "BENCH_history.jsonl"
 
 
 def scaled(value: int) -> int:
@@ -61,10 +89,13 @@ def run_metrics(request):
     """
     benchmark = (request.getfixturevalue("benchmark")
                  if "benchmark" in request.fixturenames else None)
+    started = time.perf_counter()
     with metrics_scope() as registry:
         yield registry
+    wall_seconds = time.perf_counter() - started
+    snapshot = registry.snapshot()
+    _record_history(request.node.name, wall_seconds, snapshot)
     if benchmark is not None:
-        snapshot = registry.snapshot()
         benchmark.extra_info["counters"] = snapshot["counters"]
         benchmark.extra_info["phases"] = snapshot["phases"]
         if snapshot["histograms"]:
@@ -76,6 +107,30 @@ def run_metrics(request):
             benchmark.extra_info["cache_hit_rates"] = rates
         _dump_extra_info(request.node.name, benchmark.extra_info)
         _emit_event(request.node.name, snapshot)
+
+
+def _record_history(test_name: str, wall_seconds: float,
+                    snapshot: dict) -> None:
+    """Append one BENCH_history.jsonl record for the finished test."""
+    global _HISTORY_WROTE
+    path = _history_path()
+    if path is None:
+        return
+    record = bench_history.make_record(test_name, wall_seconds, RUN_ID,
+                                       snapshot, sha=_GIT_SHA)
+    bench_history.append_record(path, record)
+    _HISTORY_WROTE = True
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Regenerate BENCH_summary.json once the run's records are in."""
+    if not _HISTORY_WROTE:
+        return
+    path = _history_path()
+    if path is None:
+        return
+    bench_history.write_summary(
+        path, path.parent / "BENCH_summary.json")
 
 
 def _cache_hit_rates(counters: dict) -> dict:

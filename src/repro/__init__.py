@@ -41,8 +41,10 @@ from repro.errors import (QuerySyntaxError, ReproError, TreeError,
                           XMLSyntaxError)
 from repro.index.inverted import InvertedIndex
 from repro.obs import (JsonlSink, MetricsRegistry, QueryProfile,
-                       SlowQueryLog, TelemetryServer, configure_logging,
-                       get_metrics, metrics_scope, to_openmetrics)
+                       SlowQueryLog, TelemetryServer, TraceSpan, Tracer,
+                       configure_logging, get_metrics, get_tracer,
+                       metrics_scope, to_chrome_trace, to_openmetrics,
+                       trace_scope, write_chrome_trace)
 from repro.index.segmented import SegmentedIndex
 from repro.index.store import load_index, save_index
 from repro.index.store_v2 import (LazyIndex, merge_index, open_index,
@@ -119,6 +121,12 @@ __all__ = [
     "QueryProfile",
     "SlowQueryLog",
     "TelemetryServer",
+    "Tracer",
+    "TraceSpan",
+    "get_tracer",
+    "trace_scope",
+    "to_chrome_trace",
     "to_openmetrics",
+    "write_chrome_trace",
     "__version__",
 ]

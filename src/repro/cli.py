@@ -37,9 +37,18 @@ tree|json`` runs the query profiler and emits the full
 :class:`~repro.obs.profile.QueryProfile`; ``search`` additionally
 takes ``--slow-query-ms N`` (capture profiles of queries at or above
 the threshold), ``--events-jsonl PATH`` (one schema-versioned JSONL
-event per query/batch) and ``--telemetry-port N`` /
-``--telemetry-linger S`` (serve ``/metrics``, ``/healthz`` and
-``/profilez`` over HTTP during — and ``S`` seconds past — the run).
+event per query/batch), ``--telemetry-port N`` /
+``--telemetry-linger S`` (serve ``/metrics``, ``/healthz``,
+``/profilez`` and ``/tracez`` over HTTP during — and ``S`` seconds
+past — the run) and ``--trace-dir DIR`` (write one Perfetto-loadable
+Chrome trace JSON per query trace).
+
+``trace DOC.xml QUERY --out trace.json`` records one query end to end
+— phase spans, tracemalloc memory deltas, posting-decode bytes — as a
+Chrome trace-event file for https://ui.perfetto.dev.  ``bench-check``
+compares the latest ``benchmarks/BENCH_history.jsonl`` run against the
+trailing median and exits non-zero on a >25% wall-time regression
+(docs/OBSERVABILITY.md, "Benchmark history").
 """
 
 from __future__ import annotations
@@ -60,6 +69,7 @@ from repro.index.store_v2 import (inspect_index, merge_index, open_index,
                                   save_index_v2)
 from repro.obs import (configure_logging, format_report, get_logger,
                        get_metrics, metrics_scope)
+from repro.obs.bench import DEFAULT_MIN_SECONDS, DEFAULT_THRESHOLD
 from repro.runtime import ALGORITHMS, SearchOptions, SearchSession
 from repro.tree import dewey
 from repro.tree.stats import compute_statistics
@@ -183,10 +193,54 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="keep the telemetry endpoint up this "
                                  "many seconds after the results (for "
                                  "scrapers; default 0)")
+    search_cmd.add_argument("--trace-dir", dest="trace_dir", default=None,
+                            metavar="DIR",
+                            help="record every query as a trace and "
+                                 "write one Perfetto-loadable Chrome "
+                                 "trace JSON per trace into DIR")
     search_cmd.add_argument("--log-level", dest="log_level", default=None,
                             type=str.upper,
                             choices=["DEBUG", "INFO", "WARNING", "ERROR"],
                             help="enable repro.* logging at this level")
+
+    trace_cmd = sub.add_parser(
+        "trace", help="record one query end to end as a "
+                      "Perfetto-loadable Chrome trace")
+    trace_cmd.add_argument("document")
+    trace_cmd.add_argument("query")
+    trace_cmd.add_argument("--out", default="trace.json", metavar="PATH",
+                           help="where to write the Chrome trace-event "
+                                "JSON (default trace.json)")
+    trace_cmd.add_argument("--index", dest="index_path", default=None,
+                           help="trace against a prebuilt posting store "
+                                "instead of indexing DOCUMENT in memory")
+    trace_cmd.add_argument("--algorithm", default=None,
+                           choices=list(ALGORITHMS),
+                           help="evaluation algorithm (default cohesive)")
+    trace_cmd.add_argument("--no-memory", dest="memory",
+                           action="store_false",
+                           help="skip tracemalloc allocation accounting "
+                                "(mem_* span attributes become 0)")
+
+    bench_cmd = sub.add_parser(
+        "bench-check", help="fail on wall-time regressions against the "
+                            "trailing benchmark history")
+    bench_cmd.add_argument("--history",
+                           default="benchmarks/BENCH_history.jsonl",
+                           metavar="PATH",
+                           help="the BENCH_history.jsonl the benchmark "
+                                "suite appends to")
+    bench_cmd.add_argument("--threshold", type=float,
+                           default=DEFAULT_THRESHOLD,
+                           help="fractional slowdown budget over the "
+                                "trailing median (default 0.25 = 25%%)")
+    bench_cmd.add_argument("--min-seconds", dest="min_seconds",
+                           type=float, default=DEFAULT_MIN_SECONDS,
+                           help="ignore tests whose trailing median is "
+                                "under this many seconds (jitter floor)")
+    bench_cmd.add_argument("--summary", default=None, metavar="PATH",
+                           help="also regenerate the BENCH_summary.json "
+                                "artifact here")
 
     stats_cmd = sub.add_parser("stats", help="Table-1 dataset statistics")
     stats_cmd.add_argument("document")
@@ -277,6 +331,27 @@ def _cmd_index_inspect(args: argparse.Namespace) -> int:
 def _cmd_search(args: argparse.Namespace) -> int:
     if args.log_level:
         configure_logging(args.log_level)
+    if args.trace_dir is None:
+        return _search_observed(args)
+    from repro.obs import write_chrome_trace
+    from repro.obs.tracing import Tracer, trace_scope
+    tracer = Tracer(memory=True)
+    try:
+        with trace_scope(tracer):
+            status = _search_observed(args)
+        directory = Path(args.trace_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        trace_ids = tracer.trace_ids()
+        for trace_id in trace_ids:
+            write_chrome_trace(directory / f"trace-{trace_id}.json",
+                               tracer.spans(trace_id))
+        print(f"-- {len(trace_ids)} trace(s) -> {directory}")
+    finally:
+        tracer.close()
+    return status
+
+
+def _search_observed(args: argparse.Namespace) -> int:
     observing = args.metrics or args.metrics_json \
         or args.telemetry_port is not None
     if not observing:
@@ -349,8 +424,10 @@ def _run_search(args: argparse.Namespace,
         if args.telemetry_port is not None:
             server = session.serve_telemetry(port=args.telemetry_port,
                                              registry=registry)
+            # flushed eagerly so a supervisor tailing a pipe can
+            # discover the bound port before the search finishes
             print(f"-- telemetry on {server.url} "
-                  f"(/metrics /healthz /profilez)")
+                  f"(/metrics /healthz /profilez /tracez)", flush=True)
         status = _run_queries(args, session, options, tree)
         if args.telemetry_port is not None and args.telemetry_linger > 0:
             import time
@@ -444,6 +521,42 @@ def _print_witness(query, index, tree, code) -> None:
         location = node.label_path() if node else "?"
         print(f"      {occurrence.keyword:15s} -> "
               f"{dewey.format_code(instance):15s} {location}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import write_chrome_trace
+    from repro.obs.tracing import Tracer, trace_scope
+    if args.index_path is not None:
+        session = SearchSession.from_store(args.index_path)
+    else:
+        session = SearchSession(InvertedIndex.from_tree(
+            load_tree_from_path(args.document)))
+    options = SearchOptions(algorithm=args.algorithm or "cohesive")
+    tracer = Tracer(memory=args.memory)
+    try:
+        with trace_scope(tracer):
+            results = session.search(args.query, options)
+        spans = tracer.spans()
+        path = write_chrome_trace(args.out, spans)
+        root = next((span for span in spans if span.is_root), None)
+        print(f"{len(results)} result(s), {len(spans)} span(s) in trace "
+              f"{root.trace_id if root is not None else '?'} -> {path}")
+        print("open in https://ui.perfetto.dev or chrome://tracing")
+    finally:
+        tracer.close()
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from repro.obs import bench
+    records = bench.load_history(args.history)
+    rows = bench.check_regressions(records, args.threshold,
+                                   args.min_seconds)
+    print(bench.format_check(rows, args.threshold))
+    if args.summary:
+        bench.write_summary(args.history, args.summary)
+        print(f"-- summary -> {args.summary}")
+    return 1 if any(row["regressed"] for row in rows) else 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -587,6 +700,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "index": _cmd_index,
         "search": _cmd_search,
+        "trace": _cmd_trace,
+        "bench-check": _cmd_bench_check,
         "stats": _cmd_stats,
         "lattice": _cmd_lattice,
         "explain": _cmd_explain,

@@ -44,6 +44,8 @@ from repro.index.segmented import SegmentedIndex
 from repro.index.streaming import StreamingIndexer
 from repro.index.tokenizer import Tokenizer, default_tokenizer
 from repro.obs import get_logger
+from repro.obs.tracing import (Tracer, activate_wire, current_trace_wire,
+                               get_tracer, trace_scope)
 from repro.tree import dewey
 from repro.xmlio.pull_parser import PullParser
 
@@ -52,15 +54,32 @@ _log = get_logger("repro.corpus")
 
 def _search_shard(query_text: str,
                   postings: dict[str, tuple[Posting, ...]],
-                  tokenizer: Optional[Tokenizer]) -> list[Result]:
+                  tokenizer: Optional[Tokenizer],
+                  trace_wire: Optional[dict] = None,
+                  shard: Optional[int] = None
+                  ) -> tuple[list[Result], list[dict]]:
     """Worker: evaluate ``query_text`` over one shard's postings.
 
     Runs in a pool process.  The shard postings are already sliced to
-    any ``list_limit`` by the parent, so the session searches unlimited.
+    any ``list_limit`` by the parent, so the session searches
+    unlimited.  With a serialized ``trace_wire`` the worker re-enters
+    the parent's trace context under a local tracer, so its spans —
+    stamped with the worker's own pid — come back as the second
+    element for the parent to :meth:`~repro.obs.tracing.Tracer.adopt`
+    into one coherent cross-process trace.
     """
     from repro.runtime import SearchSession
     index = InvertedIndex(postings, tokenizer)
-    return SearchSession(index).search(query_text)
+    if trace_wire is None:
+        return SearchSession(index).search(query_text), []
+    tracer = Tracer(memory=trace_wire.get("memory", False))
+    try:
+        with trace_scope(tracer), activate_wire(trace_wire):
+            with tracer.span("shard", shard=shard):
+                results = SearchSession(index).search(query_text)
+    finally:
+        tracer.close()
+    return results, [span.as_dict() for span in tracer.spans()]
 
 
 @dataclass(frozen=True)
@@ -255,6 +274,21 @@ class Corpus:
         corpus root spans shards).  If the pool cannot start, the search
         falls back to sequential with a warning.
         """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._search_impl(query, list_limit, within_documents,
+                                     workers)
+        with tracer.span("corpus-search", query=str(query),
+                         workers=workers or 1) as span:
+            attributed = self._search_impl(query, list_limit,
+                                           within_documents, workers)
+            span.set_attr("result_count", len(attributed))
+        return attributed
+
+    def _search_impl(self, query: Union[str, Query],
+                     list_limit: Optional[int],
+                     within_documents: bool,
+                     workers: Optional[int]) -> list[DocumentResult]:
         if workers is not None and workers > 1:
             if not within_documents:
                 raise ReproError(
@@ -298,18 +332,23 @@ class Corpus:
         shards = self._shard_postings(lists, workers)
         if len(shards) <= 1:
             return None  # nothing to parallelize; run sequentially
+        tracer = get_tracer()
+        wire = current_trace_wire(tracer) if tracer.enabled else None
         try:
             from concurrent.futures import ProcessPoolExecutor
             from concurrent.futures.process import BrokenProcessPool
             with ProcessPoolExecutor(max_workers=len(shards)) as pool:
                 futures = [
                     pool.submit(_search_shard, str(parsed), shard,
-                                self._tokenizer)
-                    for shard in shards
+                                self._tokenizer, wire, number)
+                    for number, shard in enumerate(shards)
                 ]
                 merged: list[Result] = []
                 for future in futures:
-                    merged.extend(future.result())
+                    results, shard_spans = future.result()
+                    merged.extend(results)
+                    if shard_spans:
+                        tracer.adopt(shard_spans)
         except (OSError, ValueError, TypeError, AttributeError,
                 ImportError, BrokenProcessPool) as error:
             _log.warning("parallel search unavailable (%s); "

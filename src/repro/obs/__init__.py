@@ -13,15 +13,21 @@ A dependency-free layer the hot paths report into:
   :data:`NULL_METRICS` singleton when nothing is activated, so
   instrumentation costs near zero by default;
 * :func:`configure_logging` / :func:`get_logger` for the stdlib
-  ``repro.*`` logger hierarchy (no handlers installed on import).
+  ``repro.*`` logger hierarchy (no handlers installed on import);
+* query-scoped distributed tracing (:mod:`repro.obs.tracing`) — one
+  :class:`TraceSpan` tree per logical query, propagated across
+  process-pool workers and exported as Perfetto-loadable Chrome
+  trace-event JSON (:func:`to_chrome_trace`).
 
 See ``docs/OBSERVABILITY.md`` for the metric-name catalogue and which
 paper figure each counter validates.
 """
 
-from repro.obs.export import (EVENT_SCHEMA_VERSION, JsonlSink, merge_jsonl,
-                              parse_openmetrics, read_jsonl,
-                              sanitize_metric_name, to_openmetrics)
+from repro.obs.export import (CHROME_TRACE_CATEGORY, EVENT_SCHEMA_VERSION,
+                              JsonlSink, merge_jsonl, parse_openmetrics,
+                              read_jsonl, sanitize_metric_name,
+                              to_chrome_trace, to_openmetrics,
+                              write_chrome_trace)
 from repro.obs.logconfig import configure_logging, get_logger
 from repro.obs.metrics import (NULL_METRICS, AnyMetrics, Histogram,
                                MetricsRegistry, NullMetrics, get_metrics,
@@ -31,31 +37,50 @@ from repro.obs.profile import (PROFILE_SCHEMA_VERSION, QueryProfile,
 from repro.obs.report import format_report
 from repro.obs.server import TelemetryServer
 from repro.obs.trace import Span, aggregate_phases, render_spans
+from repro.obs.tracing import (NULL_TRACER, TRACE_ATTRIBUTES, NullTracer,
+                               Tracer, TraceSpan, activate_wire,
+                               current_trace_wire, get_tracer,
+                               recent_traces, set_global_tracer,
+                               trace_scope)
 
 __all__ = [
     "AnyMetrics",
+    "CHROME_TRACE_CATEGORY",
     "EVENT_SCHEMA_VERSION",
     "Histogram",
     "JsonlSink",
     "MetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",
+    "NullTracer",
+    "NULL_TRACER",
     "PROFILE_SCHEMA_VERSION",
     "QueryProfile",
     "SlowQueryLog",
     "Span",
     "TelemetryServer",
+    "TraceSpan",
+    "Tracer",
+    "TRACE_ATTRIBUTES",
+    "activate_wire",
     "aggregate_phases",
     "configure_logging",
+    "current_trace_wire",
     "format_report",
     "get_logger",
     "get_metrics",
+    "get_tracer",
     "merge_jsonl",
     "metrics_scope",
     "parse_openmetrics",
     "read_jsonl",
+    "recent_traces",
     "render_spans",
     "sanitize_metric_name",
     "set_global_metrics",
+    "set_global_tracer",
+    "to_chrome_trace",
     "to_openmetrics",
+    "trace_scope",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,279 @@
+"""Benchmark history and the perf-regression sentinel.
+
+Every benchmark run appends one schema-versioned JSON record per test
+to ``BENCH_history.jsonl`` (wired up by ``benchmarks/conftest.py``):
+wall seconds, the run's counter snapshot and histogram quantiles, the
+process's peak RSS and the git SHA, all grouped under one ``run`` id
+per pytest session.  That turns the benchmark harness from a pile of
+human-readable ``.txt`` reports into a machine-readable perf
+trajectory.
+
+On top of the history sit three consumers:
+
+* :func:`write_summary` regenerates ``BENCH_summary.json`` — per
+  test, the latest run's numbers next to the trailing median — the
+  artifact CI uploads;
+* :func:`check_regressions` compares the latest run against the
+  trailing median of the prior runs and flags every test that got
+  more than ``threshold`` (default 25%) slower — the paper's §3
+  linear-in-input-size guarantee, enforced per commit;
+* the CLI's ``bench-check`` subcommand renders the comparison and
+  exits non-zero on any regression, giving CI a genuine perf gate.
+
+Records whose median wall time sits under ``min_seconds`` are ignored
+by the sentinel: micro-timings jitter far beyond 25% for reasons that
+have nothing to do with the code under test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import subprocess
+import time
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+#: Version of the history record schema; bump on incompatible changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: Regression threshold: latest > median * (1 + threshold) fails.
+DEFAULT_THRESHOLD = 0.25
+
+#: Tests whose trailing-median wall time is under this many seconds
+#: are too jittery to gate on and are skipped by the sentinel.
+DEFAULT_MIN_SECONDS = 0.005
+
+#: How many trailing prior runs feed the median.
+TRAILING_RUNS = 20
+
+PathLike = Union[str, Path]
+
+
+def git_sha(cwd: Optional[PathLike] = None) -> Optional[str]:
+    """The current commit SHA, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=False)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def peak_rss_kb() -> Optional[int]:
+    """The process's peak resident set size in KiB (``None`` where
+    :mod:`resource` is unavailable, e.g. Windows)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    import sys
+    if sys.platform == "darwin":  # pragma: no cover - platform branch
+        usage //= 1024
+    return int(usage)
+
+
+def make_record(test: str, wall_seconds: float, run_id: str,
+                snapshot: Optional[dict] = None,
+                sha: Optional[str] = None,
+                timestamp: Optional[float] = None) -> dict:
+    """One history record for ``test``.
+
+    ``snapshot`` is a :meth:`MetricsRegistry.snapshot` dict — its
+    counters ride along whole, its histograms are reduced to their
+    count/sum/quantile summaries.
+    """
+    snapshot = snapshot or {}
+    quantiles = {
+        name: {key: data.get(key)
+               for key in ("count", "sum", "mean", "p50", "p90", "p99")}
+        for name, data in snapshot.get("histograms", {}).items()
+    }
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "run": run_id,
+        "test": test,
+        "timestamp": time.time() if timestamp is None else timestamp,
+        "git_sha": sha,
+        "wall_seconds": round(float(wall_seconds), 9),
+        "counters": dict(snapshot.get("counters", {})),
+        "quantiles": quantiles,
+        "phases": dict(snapshot.get("phases", {})),
+        "peak_rss_kb": peak_rss_kb(),
+        "pid": os.getpid(),
+    }
+
+
+def append_record(path: PathLike, record: dict) -> None:
+    """Append one record to the history file (created on demand)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as file:
+        file.write(json.dumps(record, sort_keys=True, default=str)
+                   + "\n")
+
+
+def load_history(path: PathLike) -> list[dict]:
+    """Every parseable record of the history file (missing file →
+    empty; a corrupt line is skipped, not fatal — history must never
+    break the benchmarks that write it)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    with open(path, encoding="utf-8") as file:
+        for line in file:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "test" in record \
+                    and "wall_seconds" in record:
+                records.append(record)
+    return records
+
+
+def _runs_in_order(records: Sequence[dict]) -> list[str]:
+    """Run ids ordered by each run's earliest timestamp."""
+    first_seen: dict[str, float] = {}
+    for record in records:
+        run = record.get("run", "?")
+        stamp = record.get("timestamp", 0.0)
+        if run not in first_seen or stamp < first_seen[run]:
+            first_seen[run] = stamp
+    return sorted(first_seen, key=first_seen.get)
+
+
+def _per_test_wall(records: Sequence[dict], run: str) -> dict[str, float]:
+    """test → median wall seconds within one run (a test may repeat)."""
+    walls: dict[str, list[float]] = {}
+    for record in records:
+        if record.get("run") == run:
+            walls.setdefault(record["test"], []).append(
+                float(record["wall_seconds"]))
+    return {test: statistics.median(values)
+            for test, values in walls.items()}
+
+
+def summarize(records: Sequence[dict]) -> dict:
+    """The ``BENCH_summary.json`` shape: per test, the latest run's
+    wall time next to the trailing median of the prior runs."""
+    runs = _runs_in_order(records)
+    if not runs:
+        return {"schema": BENCH_SCHEMA_VERSION, "runs": 0, "tests": {}}
+    latest_run = runs[-1]
+    latest = _per_test_wall(records, latest_run)
+    prior = [_per_test_wall(records, run)
+             for run in runs[:-1][-TRAILING_RUNS:]]
+    latest_records = {record["test"]: record for record in records
+                      if record.get("run") == latest_run}
+    tests = {}
+    for test in sorted(latest):
+        history = [walls[test] for walls in prior if test in walls]
+        record = latest_records.get(test, {})
+        tests[test] = {
+            "wall_seconds": latest[test],
+            "trailing_median_seconds":
+                statistics.median(history) if history else None,
+            "prior_runs": len(history),
+            "counters": record.get("counters", {}),
+            "quantiles": record.get("quantiles", {}),
+            "peak_rss_kb": record.get("peak_rss_kb"),
+        }
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "runs": len(runs),
+        "latest_run": latest_run,
+        "git_sha": next((record.get("git_sha") for record in records
+                         if record.get("run") == latest_run), None),
+        "tests": tests,
+    }
+
+
+def write_summary(history_path: PathLike,
+                  summary_path: PathLike) -> dict:
+    """Regenerate ``BENCH_summary.json`` from the history; returns
+    the summary dict."""
+    summary = summarize(load_history(history_path))
+    summary_path = Path(summary_path)
+    summary_path.parent.mkdir(parents=True, exist_ok=True)
+    summary_path.write_text(json.dumps(summary, indent=2, sort_keys=True)
+                            + "\n", encoding="utf-8")
+    return summary
+
+
+def check_regressions(records: Sequence[dict],
+                      threshold: float = DEFAULT_THRESHOLD,
+                      min_seconds: float = DEFAULT_MIN_SECONDS
+                      ) -> list[dict]:
+    """Compare the latest run against the trailing median per test.
+
+    Returns one row per comparable test — ``{"test", "latest",
+    "median", "ratio", "regressed"}`` — where ``regressed`` means the
+    latest wall time exceeded the trailing median by more than
+    ``threshold`` *and* the median is at least ``min_seconds`` (so
+    micro-benchmark jitter cannot fail a build).  Tests new in the
+    latest run, or with no prior runs at all, are reported with
+    ``median=None`` and never regress.
+    """
+    runs = _runs_in_order(records)
+    if not runs:
+        return []
+    latest = _per_test_wall(records, runs[-1])
+    prior = [_per_test_wall(records, run)
+             for run in runs[:-1][-TRAILING_RUNS:]]
+    rows = []
+    for test in sorted(latest):
+        history = [walls[test] for walls in prior if test in walls]
+        if not history:
+            rows.append({"test": test, "latest": latest[test],
+                         "median": None, "ratio": None,
+                         "regressed": False})
+            continue
+        median = statistics.median(history)
+        ratio = latest[test] / median if median > 0 else float("inf")
+        regressed = median >= min_seconds and \
+            latest[test] > median * (1.0 + threshold)
+        rows.append({"test": test, "latest": latest[test],
+                     "median": median, "ratio": ratio,
+                     "regressed": regressed})
+    return rows
+
+
+def format_check(rows: Sequence[dict],
+                 threshold: float = DEFAULT_THRESHOLD) -> str:
+    """Human rendering of a :func:`check_regressions` result."""
+    if not rows:
+        return "bench-check: no benchmark history (nothing to compare)"
+    width = max(len(row["test"]) for row in rows)
+    lines = [f"{'benchmark':<{width}s}  {'median':>10s}  "
+             f"{'latest':>10s}  {'delta':>8s}"]
+    for row in rows:
+        if row["median"] is None:
+            lines.append(f"{row['test']:<{width}s}  {'--':>10s}  "
+                         f"{row['latest'] * 1000:8.2f}ms  {'new':>8s}")
+            continue
+        delta = (row["ratio"] - 1.0) * 100
+        flag = "  << REGRESSION" if row["regressed"] else ""
+        lines.append(f"{row['test']:<{width}s}  "
+                     f"{row['median'] * 1000:8.2f}ms  "
+                     f"{row['latest'] * 1000:8.2f}ms  "
+                     f"{delta:+7.1f}%{flag}")
+    regressions = [row for row in rows if row["regressed"]]
+    lines.append("")
+    if regressions:
+        lines.append(
+            f"bench-check: {len(regressions)} regression(s) over the "
+            f"{threshold * 100:.0f}% budget")
+    else:
+        lines.append("bench-check: ok (no regression over "
+                     f"{threshold * 100:.0f}%)")
+    return "\n".join(lines)

@@ -29,6 +29,7 @@ names, unknown sample suffixes and a missing ``# EOF`` terminator.
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import re
@@ -95,8 +96,12 @@ def to_openmetrics(snapshot: dict, namespace: str = "repro") -> str:
     for name, data in sorted(snapshot.get("histograms", {}).items()):
         family = f"{prefix}_{sanitize_metric_name(name)}"
         lines.append(f"# TYPE {family} summary")
-        lines.append(f"{family}_count {_format_number(data['count'])}")
-        lines.append(f"{family}_sum {_format_number(data['sum'])}")
+        # _count and _sum are mandatory summary samples — emitted even
+        # for a histogram whose reservoir never saw a sample.
+        lines.append(
+            f"{family}_count {_format_number(data.get('count', 0))}")
+        lines.append(
+            f"{family}_sum {_format_number(data.get('sum', 0.0))}")
         for label, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
             quantile = data.get(key)
             if quantile is not None:
@@ -185,7 +190,11 @@ class JsonlSink:
     family back into one stream.
 
     The file opens lazily on the first :meth:`emit` and is
-    line-buffered, so a crash loses at most the current line.
+    line-buffered, so a crash loses at most the current line; an
+    ``atexit`` hook additionally flushes and closes an open sink when
+    the interpreter exits, so tail events survive a process that
+    never called :meth:`close` (use the sink as a context manager to
+    close deterministically).
     """
 
     def __init__(self, path: PathLike, per_process: bool = False):
@@ -215,6 +224,7 @@ class JsonlSink:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._file = open(self.path, "a", buffering=1,
                               encoding="utf-8")
+            atexit.register(self.close)
         self._file.write(json.dumps(record, sort_keys=True,
                                     default=str) + "\n")
         return record
@@ -233,12 +243,70 @@ class JsonlSink:
         file, self._file = self._file, None
         if file is not None:
             file.close()
+            atexit.unregister(self.close)
 
     def __enter__(self) -> "JsonlSink":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+#: ``cat`` every trace event carries (filterable in the Perfetto UI).
+CHROME_TRACE_CATEGORY = "repro"
+
+
+def to_chrome_trace(spans: Iterable) -> dict:
+    """Render trace spans as a Chrome trace-event JSON object.
+
+    ``spans`` are :class:`~repro.obs.tracing.TraceSpan` objects (or
+    their ``as_dict`` wire form).  Each becomes one complete
+    (``"ph": "X"``) event — ``ts``/``dur`` in microseconds, the
+    recording ``pid``/``tid`` as the lane, and the trace ids plus the
+    structured attributes under ``args`` — alongside one
+    ``process_name`` metadata event per pid, so a multi-process trace
+    reads as labelled rows.  The result loads in Perfetto
+    (https://ui.perfetto.dev) and ``chrome://tracing``.
+    """
+    events = []
+    pids = {}
+    for span in spans:
+        data = span if isinstance(span, dict) else span.as_dict()
+        args = {
+            "trace_id": data["trace_id"],
+            "span_id": data["span_id"],
+            "parent_id": data.get("parent_id"),
+        }
+        args.update(data.get("attrs", {}))
+        events.append({
+            "name": data["name"],
+            "cat": CHROME_TRACE_CATEGORY,
+            "ph": "X",
+            "ts": data["start_wall"] * 1e6,
+            "dur": data["duration"] * 1e6,
+            "pid": data["pid"],
+            "tid": data["tid"],
+            "args": args,
+        })
+        pids[data["pid"]] = pids.get(data["pid"], False) \
+            or data.get("parent_id") is None
+    events.sort(key=lambda event: event["ts"])
+    metadata = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": f"repro{' (parent)' if has_root else ''} "
+                          f"pid {pid}"}}
+        for pid, has_root in sorted(pids.items())
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: PathLike, spans: Iterable) -> Path:
+    """Write :func:`to_chrome_trace` output to ``path``; returns it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(spans), indent=2,
+                               default=str) + "\n", encoding="utf-8")
+    return path
 
 
 def read_jsonl(path: PathLike) -> list[dict]:

@@ -34,14 +34,17 @@ def format_report(snapshot: dict) -> str:
         lines.append("histograms")
         width = max(len(name) for name in histograms)
         for name, data in histograms.items():
+            # count and sum are always reported, even for a histogram
+            # whose reservoir never saw a sample.
             lines.append(
-                f"  {name:<{width}s}  count={data['count']} "
-                f"min={_format_value(data['min'])} "
-                f"mean={_format_value(data['mean'])} "
+                f"  {name:<{width}s}  count={data.get('count', 0)} "
+                f"sum={_format_value(data.get('sum', 0.0))} "
+                f"min={_format_value(data.get('min'))} "
+                f"mean={_format_value(data.get('mean'))} "
                 f"p50={_format_value(data.get('p50'))} "
                 f"p90={_format_value(data.get('p90'))} "
                 f"p99={_format_value(data.get('p99'))} "
-                f"max={_format_value(data['max'])}")
+                f"max={_format_value(data.get('max'))}")
 
     phases = snapshot.get("phases", {})
     if phases:

@@ -13,7 +13,10 @@ serve_telemetry`) to scrapers:
   health provider adds);
 * ``GET /profilez`` — the slow-query log's retained
   :class:`~repro.obs.profile.QueryProfile` records as a JSON array,
-  newest first.
+  newest first;
+* ``GET /tracez``   — digests of the most recent completed traces
+  (trace id, root span, span/pid fan-out, duration) from the active
+  tracer, newest first.
 
 The server pulls — every request calls the provider callables handed
 to the constructor — so the serving hot path never pushes anything:
@@ -53,6 +56,10 @@ class TelemetryServer:
     profiles_provider:
         Optional callable returning the list of JSON-ready slow-query
         profiles served on ``/profilez`` (defaults to an empty list).
+    traces_provider:
+        Optional callable returning the list of JSON-ready trace
+        digests served on ``/tracez`` (defaults to an empty list;
+        wire :func:`repro.obs.tracing.recent_traces` here).
     port:
         TCP port; ``0`` picks a free one (see :attr:`port`).
     host:
@@ -65,11 +72,13 @@ class TelemetryServer:
     def __init__(self, snapshot_provider: Callable[[], dict],
                  health_provider: Optional[Callable[[], dict]] = None,
                  profiles_provider: Optional[Callable[[], list]] = None,
+                 traces_provider: Optional[Callable[[], list]] = None,
                  port: int = 0, host: str = "127.0.0.1",
                  namespace: str = "repro"):
         self._snapshot_provider = snapshot_provider
         self._health_provider = health_provider
         self._profiles_provider = profiles_provider
+        self._traces_provider = traces_provider
         self._namespace = namespace
         self._started = time.time()
         telemetry = self
@@ -145,10 +154,15 @@ class TelemetryServer:
                     if self._profiles_provider is not None else []
                 self._reply(request, 200, "application/json",
                             json.dumps(profiles, default=str))
+            elif path == "/tracez":
+                traces = self._traces_provider() \
+                    if self._traces_provider is not None else []
+                self._reply(request, 200, "application/json",
+                            json.dumps(traces, default=str))
             else:
                 self._reply(request, 404, "text/plain",
                             f"unknown route {path}; try /metrics, "
-                            f"/healthz or /profilez")
+                            f"/healthz, /profilez or /tracez")
         except Exception as error:  # pragma: no cover - provider bugs
             _log.exception("telemetry handler failed on %s", path)
             self._reply(request, 500, "text/plain", f"error: {error}")

@@ -19,15 +19,17 @@ from typing import Iterable, Optional
 
 
 class Span:
-    """One timed region: a name, start/end instants, and child spans."""
+    """One timed region: a name, start/end instants, child spans and
+    optional structured attributes (``set_attr``)."""
 
-    __slots__ = ("name", "start", "end", "children")
+    __slots__ = ("name", "start", "end", "children", "attrs")
 
     def __init__(self, name: str, start: float):
         self.name = name
         self.start = start
         self.end: Optional[float] = None
         self.children: list["Span"] = []
+        self.attrs: Optional[dict] = None
 
     @property
     def duration(self) -> float:
@@ -36,12 +38,21 @@ class Span:
             return 0.0
         return self.end - self.start
 
+    def set_attr(self, name: str, value) -> None:
+        """Attach one structured attribute (carried into trace
+        exports when the span is adopted into a trace timeline)."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs[name] = value
+
     def as_dict(self) -> dict:
         """JSON-ready representation (used by ``--metrics-json``)."""
         entry: dict = {
             "name": self.name,
             "seconds": round(self.duration, 9),
         }
+        if self.attrs:
+            entry["attrs"] = dict(self.attrs)
         if self.children:
             entry["children"] = [child.as_dict() for child in self.children]
         return entry

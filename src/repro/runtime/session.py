@@ -40,6 +40,7 @@ from repro.index.inverted import InvertedIndex, Posting
 from repro.obs import get_logger, get_metrics, metrics_scope
 from repro.obs.metrics import AnyMetrics
 from repro.obs.profile import QueryProfile, SlowQueryLog
+from repro.obs.tracing import get_tracer
 from repro.runtime.cache import LRUCache
 from repro.runtime.options import OptionsError, SearchOptions
 from repro.tree.tree import DataTree
@@ -243,16 +244,20 @@ class SearchSession:
         """
         options = self._resolve(options, changes)
         metrics = get_metrics()
+        tracer = get_tracer()
         profiling = self._slow_log is not None or \
             self._event_sink is not None
-        if not (metrics.enabled or profiling):
+        if not (metrics.enabled or profiling or tracer.enabled):
             return self._execute(query, options, metrics)
         # Observed path: time the query, feed the latency histogram,
         # and hand the run to the slow-query log / event sink.  When
         # no ambient registry is active, a private scope captures the
         # phases and counters the captured QueryProfile needs.
         start = time.perf_counter()
-        if metrics.enabled:
+        if tracer.enabled:
+            results, metrics = self._execute_traced(
+                query, options, metrics, tracer, "search")
+        elif metrics.enabled:
             results = self._execute(query, options, metrics)
         else:
             with metrics_scope() as metrics:
@@ -276,6 +281,50 @@ class SearchSession:
             return self._search_machine(plan, options, metrics)
         return self._search_baseline(plan, options)
 
+    def _execute_traced(self, target, options: SearchOptions,
+                        metrics: AnyMetrics, tracer, kind: str):
+        """Run one query (``kind="search"``) or workload
+        (``kind="search-batch"``) inside a trace span.
+
+        The span roots a new trace — or joins the ambient one, e.g. a
+        corpus fan-out worker that re-entered the parent's serialized
+        context — and the registry phase spans recorded during the
+        run are adopted into the trace as its children, so the
+        timeline shows parse / lattice-build / stream-scan detail
+        with no extra instrumentation.  Returns ``(results, the
+        registry that observed the run)``.
+        """
+        if kind == "search":
+            runner = self._execute
+            attrs = {"query": " ".join(str(target).split()),
+                     "algorithm": options.algorithm}
+        else:
+            runner = self._execute_batch
+            attrs = {"queries": len(target),
+                     "algorithm": options.algorithm}
+        with tracer.span(kind, **attrs) as span:
+            if metrics.enabled:
+                before = len(metrics.spans)
+                results = runner(target, options, metrics)
+                phase_spans = metrics.spans[before:]
+            else:
+                with metrics_scope() as metrics:
+                    results = runner(target, options, metrics)
+                phase_spans = metrics.spans
+                # A private scope starts from zero, so the final
+                # counter values ARE this span's deltas.
+                for counter in ("posting_decode_bytes",
+                                "plan_cache_hits",
+                                "posting_cache_hits"):
+                    span.set_attr(counter, metrics.counter(counter))
+            if kind == "search":
+                span.set_attr("result_count", len(results))
+            else:
+                span.set_attr("result_count",
+                              sum(len(rows) for rows in results))
+            tracer.adopt_phases(phase_spans, parent=span)
+        return results, metrics
+
     def stream(self, query: Union[str, Query],
                options: Optional[SearchOptions] = None,
                **changes) -> Iterator[Result]:
@@ -291,6 +340,15 @@ class SearchSession:
             raise OptionsError(
                 "stream() supports algorithm='cohesive' with "
                 "rank='size' and no top_k")
+        tracer = get_tracer()
+        if tracer.enabled:
+            yield from self._stream_traced(query, options, tracer)
+            return
+        yield from self._stream_results(query, options)
+
+    def _stream_results(self, query: Union[str, Query],
+                        options: SearchOptions) -> Iterator[Result]:
+        """The untraced streaming body (post-validation)."""
         metrics = get_metrics()
         if metrics.enabled:
             metrics.declare(*RUNTIME_COUNTERS)
@@ -302,6 +360,21 @@ class SearchSession:
             plan.compiled, size_budget=options.max_size,
             impenetrability=options.impenetrability)
         yield from evaluation.stream(merge_posting_streams(lists))
+
+    def _stream_traced(self, query: Union[str, Query],
+                       options: SearchOptions,
+                       tracer) -> Iterator[Result]:
+        """Streaming under a trace span: the span closes when the
+        stream is exhausted (or closed early) and carries the yielded
+        result count."""
+        with tracer.span("stream",
+                         query=" ".join(str(query).split()),
+                         algorithm=options.algorithm) as span:
+            count = 0
+            for result in self._stream_results(query, options):
+                count += 1
+                yield result
+            span.set_attr("result_count", count)
 
     def search_batch(self, queries: Sequence[Union[str, Query]],
                      options: Optional[SearchOptions] = None,
@@ -323,12 +396,16 @@ class SearchSession:
         """
         options = self._resolve(options, changes)
         metrics = get_metrics()
+        tracer = get_tracer()
         profiling = self._slow_log is not None or \
             self._event_sink is not None
-        if not (metrics.enabled or profiling):
+        if not (metrics.enabled or profiling or tracer.enabled):
             return self._execute_batch(queries, options, metrics)
         start = time.perf_counter()
-        if metrics.enabled:
+        if tracer.enabled:
+            answers, metrics = self._execute_traced(
+                queries, options, metrics, tracer, "search-batch")
+        elif metrics.enabled:
             answers = self._execute_batch(queries, options, metrics)
         else:
             with metrics_scope() as metrics:
@@ -556,8 +633,9 @@ class SearchSession:
         """Start the live telemetry endpoint for this session.
 
         Exposes ``/metrics`` (OpenMetrics exposition of ``registry``),
-        ``/healthz`` (index size, cache and slow-query statistics) and
-        ``/profilez`` (the slow-query log as JSON).  Without an
+        ``/healthz`` (index size, cache and slow-query statistics),
+        ``/profilez`` (the slow-query log as JSON) and ``/tracez``
+        (digests of the active tracer's recent traces).  Without an
         explicit ``registry`` a fresh one is installed process-wide
         via :func:`~repro.obs.metrics.set_global_metrics`, so every
         subsequent search on any thread reports into the scrape
@@ -573,12 +651,14 @@ class SearchSession:
             registry = MetricsRegistry()
             set_global_metrics(registry)
             self._owns_global_registry = True
+        from repro.obs.tracing import recent_traces
         self._telemetry = TelemetryServer(
             registry.snapshot,
             health_provider=self._health,
             profiles_provider=lambda: (self._slow_log.as_json()
                                        if self._slow_log is not None
                                        else []),
+            traces_provider=recent_traces,
             port=port, host=host, namespace=namespace)
         return self._telemetry
 

@@ -1,0 +1,219 @@
+"""Benchmark history records, summaries and the regression sentinel."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import bench
+from repro.obs.metrics import MetricsRegistry
+
+
+def _snapshot() -> dict:
+    registry = MetricsRegistry()
+    registry.inc("postings_consumed", 30)
+    registry.observe("search_seconds", 0.002)
+    with registry.span("stream-scan"):
+        pass
+    return registry.snapshot()
+
+
+def _write_runs(path, runs):
+    """``runs`` is ``[(run_id, {test: wall_seconds})]`` in time order."""
+    stamp = 1_000_000.0
+    for run_id, walls in runs:
+        for test, wall in walls.items():
+            bench.append_record(path, bench.make_record(
+                test, wall, run_id, timestamp=stamp))
+            stamp += 1.0
+
+
+# -- records -----------------------------------------------------------------
+
+def test_make_record_schema():
+    record = bench.make_record("test_fig5", 0.25, "run-1", _snapshot(),
+                               sha="abc123", timestamp=42.0)
+    assert record["schema"] == bench.BENCH_SCHEMA_VERSION
+    assert record["run"] == "run-1"
+    assert record["test"] == "test_fig5"
+    assert record["timestamp"] == 42.0
+    assert record["git_sha"] == "abc123"
+    assert record["wall_seconds"] == 0.25
+    assert record["counters"]["postings_consumed"] == 30
+    quantiles = record["quantiles"]["search_seconds"]
+    assert quantiles["count"] == 1
+    assert quantiles["sum"] == 0.002
+    assert set(quantiles) == {"count", "sum", "mean", "p50", "p90",
+                              "p99"}
+    assert record["phases"]["stream-scan"] >= 0
+    assert isinstance(record["pid"], int)
+    json.dumps(record)  # JSONL-safe
+
+
+def test_append_and_load_round_trip(tmp_path):
+    path = tmp_path / "BENCH_history.jsonl"
+    for number in range(3):
+        bench.append_record(path, bench.make_record(
+            f"t{number}", 0.1, "run-1", timestamp=float(number)))
+    records = bench.load_history(path)
+    assert [record["test"] for record in records] == ["t0", "t1", "t2"]
+
+
+def test_load_history_skips_corrupt_lines(tmp_path):
+    path = tmp_path / "BENCH_history.jsonl"
+    bench.append_record(path, bench.make_record("good", 0.1, "run-1",
+                                                timestamp=1.0))
+    with open(path, "a", encoding="utf-8") as file:
+        file.write("{not json\n")
+        file.write('{"test": "half-record"}\n')  # missing wall_seconds
+        file.write("\n")
+    bench.append_record(path, bench.make_record("good2", 0.2, "run-1",
+                                                timestamp=2.0))
+    records = bench.load_history(path)
+    assert [record["test"] for record in records] == ["good", "good2"]
+
+
+def test_load_history_missing_file(tmp_path):
+    assert bench.load_history(tmp_path / "absent.jsonl") == []
+
+
+def test_peak_rss_is_positive():
+    assert bench.peak_rss_kb() > 0
+
+
+def test_git_sha_in_repo_and_outside(tmp_path):
+    assert bench.git_sha() is None or len(bench.git_sha()) == 40
+    assert bench.git_sha(tmp_path) is None
+
+
+# -- summary -----------------------------------------------------------------
+
+def test_summarize_latest_vs_trailing_median(tmp_path):
+    path = tmp_path / "BENCH_history.jsonl"
+    _write_runs(path, [
+        ("run-1", {"a": 0.10, "b": 0.50}),
+        ("run-2", {"a": 0.20, "b": 0.50}),
+        ("run-3", {"a": 0.30, "b": 0.50, "c": 0.01}),
+    ])
+    summary = bench.summarize(bench.load_history(path))
+    assert summary["runs"] == 3
+    assert summary["latest_run"] == "run-3"
+    tests = summary["tests"]
+    assert tests["a"]["wall_seconds"] == 0.30
+    assert tests["a"]["trailing_median_seconds"] == \
+        pytest.approx(0.15)
+    assert tests["a"]["prior_runs"] == 2
+    assert tests["c"]["trailing_median_seconds"] is None
+    assert tests["c"]["prior_runs"] == 0
+
+
+def test_write_summary_creates_artifact(tmp_path):
+    history = tmp_path / "BENCH_history.jsonl"
+    _write_runs(history, [("run-1", {"a": 0.10})])
+    summary_path = tmp_path / "BENCH_summary.json"
+    returned = bench.write_summary(history, summary_path)
+    on_disk = json.loads(summary_path.read_text(encoding="utf-8"))
+    assert on_disk == json.loads(json.dumps(returned))
+    assert on_disk["tests"]["a"]["wall_seconds"] == 0.10
+
+
+def test_empty_summary_shape():
+    assert bench.summarize([]) == {
+        "schema": bench.BENCH_SCHEMA_VERSION, "runs": 0, "tests": {}}
+
+
+# -- the regression sentinel -------------------------------------------------
+
+def test_unchanged_timings_do_not_regress(tmp_path):
+    path = tmp_path / "BENCH_history.jsonl"
+    _write_runs(path, [("run-1", {"a": 0.10}), ("run-2", {"a": 0.10})])
+    rows = bench.check_regressions(bench.load_history(path))
+    assert [row["regressed"] for row in rows] == [False]
+
+
+def test_double_wall_time_regresses(tmp_path):
+    path = tmp_path / "BENCH_history.jsonl"
+    _write_runs(path, [("run-1", {"a": 0.10}), ("run-2", {"a": 0.20})])
+    (row,) = bench.check_regressions(bench.load_history(path))
+    assert row["regressed"]
+    assert row["ratio"] == 2.0
+    report = bench.format_check([row])
+    assert "REGRESSION" in report
+
+
+def test_within_threshold_passes(tmp_path):
+    path = tmp_path / "BENCH_history.jsonl"
+    _write_runs(path, [("run-1", {"a": 0.10}), ("run-2", {"a": 0.12})])
+    (row,) = bench.check_regressions(bench.load_history(path))
+    assert not row["regressed"]
+
+
+def test_micro_timings_never_regress(tmp_path):
+    path = tmp_path / "BENCH_history.jsonl"
+    _write_runs(path, [("run-1", {"a": 0.001}), ("run-2", {"a": 0.004})])
+    (row,) = bench.check_regressions(bench.load_history(path))
+    assert not row["regressed"], "medians under min_seconds are jitter"
+
+
+def test_new_test_never_regresses(tmp_path):
+    path = tmp_path / "BENCH_history.jsonl"
+    _write_runs(path, [("run-1", {"a": 0.10}),
+                       ("run-2", {"a": 0.10, "b": 9.0})])
+    rows = {row["test"]: row
+            for row in bench.check_regressions(bench.load_history(path))}
+    assert rows["b"]["median"] is None
+    assert not rows["b"]["regressed"]
+
+
+def test_median_uses_trailing_window(tmp_path):
+    path = tmp_path / "BENCH_history.jsonl"
+    runs = [(f"run-{number}", {"a": 10.0}) for number in range(5)]
+    runs += [(f"run-{number}", {"a": 0.10})
+             for number in range(5, 5 + bench.TRAILING_RUNS)]
+    runs.append(("run-latest", {"a": 0.11}))
+    _write_runs(path, runs)
+    (row,) = bench.check_regressions(bench.load_history(path))
+    assert row["median"] == 0.10, \
+        "ancient slow runs must age out of the trailing window"
+    assert not row["regressed"]
+
+
+# -- the CLI gate ------------------------------------------------------------
+
+def test_cli_bench_check_ok(tmp_path, capsys):
+    path = tmp_path / "BENCH_history.jsonl"
+    _write_runs(path, [("run-1", {"a": 0.10}), ("run-2", {"a": 0.10})])
+    assert main(["bench-check", "--history", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "bench-check: ok" in out
+
+
+def test_cli_bench_check_fails_on_regression(tmp_path, capsys):
+    path = tmp_path / "BENCH_history.jsonl"
+    _write_runs(path, [("run-1", {"a": 0.10}), ("run-2", {"a": 0.20})])
+    assert main(["bench-check", "--history", str(path)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_cli_bench_check_threshold_override(tmp_path):
+    path = tmp_path / "BENCH_history.jsonl"
+    _write_runs(path, [("run-1", {"a": 0.10}), ("run-2", {"a": 0.20})])
+    assert main(["bench-check", "--history", str(path),
+                 "--threshold", "1.5"]) == 0
+
+
+def test_cli_bench_check_writes_summary(tmp_path):
+    path = tmp_path / "BENCH_history.jsonl"
+    _write_runs(path, [("run-1", {"a": 0.10})])
+    summary = tmp_path / "BENCH_summary.json"
+    assert main(["bench-check", "--history", str(path),
+                 "--summary", str(summary)]) == 0
+    assert json.loads(summary.read_text(encoding="utf-8"))["runs"] == 1
+
+
+def test_cli_bench_check_no_history(tmp_path, capsys):
+    assert main(["bench-check", "--history",
+                 str(tmp_path / "none.jsonl")]) == 0
+    assert "no benchmark history" in capsys.readouterr().out

@@ -1,10 +1,14 @@
-"""docs/OBSERVABILITY.md's counter catalogue must match the code.
+"""docs/OBSERVABILITY.md's catalogues must match the code.
 
-Two directions: every counter the source increments (literal
-``inc("...")`` calls plus the declared catalogues) must appear in the
-docs' tables, and every counter the tables list must exist in the
-source — so the catalogue can be trusted when wiring dashboards
-against ``/metrics``.
+Counters, two directions: every counter the source increments
+(literal ``inc("...")`` calls plus the declared catalogues) must
+appear in the docs' tables, and every counter the tables list must
+exist in the source — so the catalogue can be trusted when wiring
+dashboards against ``/metrics``.
+
+Trace span attributes, same two directions: the "Span attribute
+catalogue" table (rows prefixed ``| attr:``) against
+:data:`repro.obs.tracing.TRACE_ATTRIBUTES`.
 """
 
 import re
@@ -12,6 +16,7 @@ from pathlib import Path
 
 from repro.core.engine import ENGINE_COUNTERS
 from repro.index.store_v2 import STORE_V2_COUNTERS
+from repro.obs.tracing import TRACE_ATTRIBUTES
 from repro.runtime.session import RUNTIME_COUNTERS
 
 REPO = Path(__file__).resolve().parents[2]
@@ -53,3 +58,28 @@ def test_every_documented_counter_exists_in_code():
     assert not stale, \
         f"counters documented in docs/OBSERVABILITY.md but never " \
         f"incremented in src/repro/: {sorted(stale)}"
+
+
+def _documented_trace_attributes() -> set:
+    """Backticked names in the ``| attr:``-prefixed catalogue rows."""
+    names = set()
+    for line in DOC.read_text(encoding="utf-8").splitlines():
+        if not line.startswith("| attr:"):
+            continue
+        first_cell = line.split("|")[1]
+        names.update(_BACKTICKED.findall(first_cell))
+    return names
+
+
+def test_every_trace_attribute_is_documented():
+    missing = set(TRACE_ATTRIBUTES) - _documented_trace_attributes()
+    assert not missing, \
+        f"span attributes in TRACE_ATTRIBUTES but absent from " \
+        f"docs/OBSERVABILITY.md's attribute catalogue: {sorted(missing)}"
+
+
+def test_every_documented_trace_attribute_exists_in_code():
+    stale = _documented_trace_attributes() - set(TRACE_ATTRIBUTES)
+    assert not stale, \
+        f"span attributes documented in docs/OBSERVABILITY.md but " \
+        f"missing from TRACE_ATTRIBUTES: {sorted(stale)}"

@@ -1,15 +1,20 @@
-"""Exporters: name sanitizing, OpenMetrics round-trips, JSONL sink."""
+"""Exporters: name sanitizing, OpenMetrics round-trips, JSONL sink,
+Chrome trace-event JSON."""
 
 import json
 import re
+import subprocess
+import sys
 
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.obs import (EVENT_SCHEMA_VERSION, JsonlSink, MetricsRegistry,
-                       merge_jsonl, parse_openmetrics, read_jsonl,
-                       sanitize_metric_name, to_openmetrics)
+from repro.obs import (CHROME_TRACE_CATEGORY, EVENT_SCHEMA_VERSION,
+                       JsonlSink, MetricsRegistry, Tracer, merge_jsonl,
+                       parse_openmetrics, read_jsonl,
+                       sanitize_metric_name, to_chrome_trace,
+                       to_openmetrics, write_chrome_trace)
 
 OPENMETRICS_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
 
@@ -169,3 +174,97 @@ class TestJsonlSink:
         merged = tmp_path / "out.jsonl"
         assert merge_jsonl(paths, merged) == 3
         assert [event["n"] for event in read_jsonl(merged)] == [0, 1, 2]
+
+    def test_atexit_flushes_unclosed_sink(self, tmp_path):
+        """A process that emits but never closes still lands its tail
+        events on disk: the atexit hook flushes at interpreter exit."""
+        path = tmp_path / "events.jsonl"
+        script = (
+            "import sys; sys.path.insert(0, sys.argv[2])\n"
+            "from repro.obs import JsonlSink\n"
+            "sink = JsonlSink(sys.argv[1])\n"
+            "sink.emit('query', query='(a b)')\n"
+            "# no close(), no context manager: atexit must save us\n"
+        )
+        import repro
+        src = str(next(iter(repro.__path__)) + "/..")
+        subprocess.run([sys.executable, "-c", script, str(path), src],
+                       check=True, timeout=60)
+        (event,) = read_jsonl(path)
+        assert event["event"] == "query"
+        assert event["query"] == "(a b)"
+
+    def test_close_unregisters_atexit_hook(self, tmp_path):
+        """close() detaches the atexit hook so a closed sink is never
+        re-touched (and the hook list does not grow unbounded)."""
+        import atexit
+        sink = JsonlSink(tmp_path / "e.jsonl")
+        sink.emit("query")
+        sink.close()
+        # Re-registering then unregistering the same bound method must
+        # leave zero registrations — i.e. close() already removed its
+        # own hook, and a second close() stays a no-op.
+        atexit.unregister(sink.close)
+        sink.close()
+        assert read_jsonl(tmp_path / "e.jsonl")[0]["event"] == "query"
+
+
+class TestChromeTrace:
+    def _spans(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("search", query="(a b)"):
+                with tracer.span("parse"):
+                    pass
+                with tracer.span("stream-scan"):
+                    pass
+            return tracer.spans()
+        finally:
+            tracer.close()
+
+    def test_complete_events_with_category_and_args(self):
+        trace = to_chrome_trace(self._spans())
+        assert trace["displayTimeUnit"] == "ms"
+        events = [event for event in trace["traceEvents"]
+                  if event["ph"] == "X"]
+        assert len(events) == 3
+        for event in events:
+            assert event["cat"] == CHROME_TRACE_CATEGORY
+            assert event["dur"] >= 0
+            assert "trace_id" in event["args"]
+            assert "span_id" in event["args"]
+        root = next(event for event in events
+                    if event["name"] == "search")
+        assert root["args"]["parent_id"] is None
+        assert root["args"]["query"] == "(a b)"
+
+    def test_events_sorted_by_ts_with_pid_metadata(self):
+        trace = to_chrome_trace(self._spans())
+        complete = [event["ts"] for event in trace["traceEvents"]
+                    if event["ph"] == "X"]
+        assert complete == sorted(complete)
+        metadata = [event for event in trace["traceEvents"]
+                    if event["ph"] == "M"]
+        assert len(metadata) == 1
+        assert metadata[0]["name"] == "process_name"
+        assert "(parent)" in metadata[0]["args"]["name"]
+
+    def test_accepts_wire_dicts(self):
+        wire = [span.as_dict() for span in self._spans()]
+        from_objects = to_chrome_trace(self._spans())
+        from_dicts = to_chrome_trace(wire)
+        assert {event["name"] for event in from_dicts["traceEvents"]} \
+            == {event["name"] for event in from_objects["traceEvents"]}
+
+    def test_empty_spans_give_empty_trace(self):
+        assert to_chrome_trace([]) == {"traceEvents": [],
+                                       "displayTimeUnit": "ms"}
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        path = tmp_path / "nested" / "trace.json"
+        returned = write_chrome_trace(path, self._spans())
+        assert returned == path
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        names = {event["name"] for event in loaded["traceEvents"]
+                 if event["ph"] == "X"}
+        assert names == {"search", "parse", "stream-scan"}

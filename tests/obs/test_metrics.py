@@ -59,6 +59,34 @@ class TestHistograms:
         assert histogram.mean == 0.0
         assert histogram.as_dict()["min"] is None
 
+    def test_empty_histogram_survives_every_renderer(self):
+        """Regression: a histogram declared but never observed must
+        flow through as_dict, format_report and to_openmetrics with
+        count=0/sum=0 rather than crashing on the missing quantiles."""
+        from repro.obs import (format_report, parse_openmetrics,
+                               to_openmetrics)
+        histogram = Histogram()
+        data = histogram.as_dict()
+        assert data["count"] == 0
+        assert data["sum"] == 0.0
+        assert data["min"] is None and data["max"] is None
+
+        snapshot = {"counters": {}, "histograms": {"quiet_seconds": data},
+                    "phases": {}}
+        report = format_report(snapshot)
+        assert "quiet_seconds" in report
+        assert "count=0" in report
+        assert "sum=0.000" in report
+
+        text = to_openmetrics(snapshot)
+        assert "repro_quiet_seconds_count 0" in text
+        assert "repro_quiet_seconds_sum 0.0" in text
+        assert "quantile" not in text  # no series without samples
+        families = parse_openmetrics(text)
+        samples = {suffix: value for suffix, _, value in
+                   families["repro_quiet_seconds"]["samples"]}
+        assert samples == {"_count": 0.0, "_sum": 0.0}
+
     def test_quantiles_exact_for_small_runs(self):
         histogram = Histogram()
         for value in range(1, 101):  # 1..100

@@ -102,6 +102,49 @@ class TestSlowQueryLog:
         assert len(log) == 0
         assert log.recorded == 1
 
+    def test_concurrent_recording_is_safe(self):
+        """N writer threads race record() against a reader that drains
+        entries()/clear(): no exceptions, no lost lifetime counts, and
+        the ring never exceeds capacity."""
+        import threading
+
+        capacity = 16
+        writers, per_writer = 8, 50
+        log = SlowQueryLog(threshold=0.0, capacity=capacity)
+        start = threading.Barrier(writers + 1)
+        errors = []
+
+        def write(worker):
+            try:
+                start.wait()
+                for n in range(per_writer):
+                    log.record(QueryProfile(query=f"w{worker}-{n}"))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def churn():
+            try:
+                start.wait()
+                for _ in range(100):
+                    for profile in log.entries():
+                        assert profile.query.startswith("w")
+                    len(log)
+                    log.as_json()
+                    log.clear()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(worker,))
+                   for worker in range(writers)]
+        threads.append(threading.Thread(target=churn))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert log.recorded == writers * per_writer
+        assert len(log) <= capacity
+
 
 class TestSessionSlowCapture:
     def test_slow_query_captured_with_full_profile(self, figure1_index):

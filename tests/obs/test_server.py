@@ -1,4 +1,4 @@
-"""The live telemetry endpoint: /metrics, /healthz, /profilez."""
+"""The live telemetry endpoint: /metrics, /healthz, /profilez, /tracez."""
 
 import json
 import urllib.error
@@ -76,6 +76,21 @@ class TestTelemetryServer:
             _, _, body = _get(server.url + "/profilez")
         assert json.loads(body) == []
 
+    def test_tracez_serves_provider_digests(self, registry):
+        digests = [{"trace_id": "abc", "root": "search", "spans": 5,
+                    "pids": [1234], "duration_seconds": 0.01}]
+        with TelemetryServer(registry.snapshot,
+                             traces_provider=lambda: digests) as server:
+            status, content_type, body = _get(server.url + "/tracez")
+        assert status == 200
+        assert content_type == "application/json"
+        assert json.loads(body) == digests
+
+    def test_tracez_defaults_to_empty(self, registry):
+        with TelemetryServer(registry.snapshot) as server:
+            _, _, body = _get(server.url + "/tracez")
+        assert json.loads(body) == []
+
     def test_unknown_route_is_404(self, registry):
         with TelemetryServer(registry.snapshot) as server:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
@@ -117,6 +132,30 @@ class TestSessionTelemetry:
             assert profile["result_count"] == 3
             assert profile["counters"]["results_emitted"] == 3
         finally:
+            session.close_telemetry()
+
+    def test_tracez_reflects_traced_searches(self, figure1_index):
+        # The endpoint's provider runs on the server's handler thread,
+        # so only a process-global tracer is visible to it (scoped
+        # tracers are context-local by design).
+        from repro.obs import Tracer, set_global_tracer
+        session = SearchSession(figure1_index)
+        tracer = Tracer()
+        set_global_tracer(tracer)
+        try:
+            server = session.serve_telemetry(port=0)
+            session.search(Q1)
+            _, _, body = _get(server.url + "/tracez")
+            (digest,) = json.loads(body)
+            assert digest["root"] == "search"
+            assert digest["spans"] >= 1
+            # With the tracer gone the endpoint reads empty again.
+            set_global_tracer(None)
+            _, _, body = _get(server.url + "/tracez")
+            assert json.loads(body) == []
+        finally:
+            set_global_tracer(None)
+            tracer.close()
             session.close_telemetry()
 
     def test_close_telemetry_removes_global_registry(self, figure1_index):

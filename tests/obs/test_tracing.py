@@ -1,0 +1,413 @@
+"""Query-scoped tracing: span trees, cross-process propagation,
+memory accounting and the Chrome trace export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.corpus import Corpus
+from repro.index.inverted import InvertedIndex
+from repro.obs import metrics_scope, to_chrome_trace, write_chrome_trace
+from repro.obs.tracing import (NULL_TRACER, TRACE_ATTRIBUTES, Tracer,
+                               TraceSpan, activate_wire,
+                               current_trace_wire, get_tracer,
+                               recent_traces, set_global_tracer,
+                               trace_scope)
+from repro.runtime import SearchSession
+
+from tests.conftest import Q1
+
+REQUIRED_ATTRS = ("mem_alloc_delta", "posting_decode_bytes")
+
+DOC_A = """
+<bib>
+  <article>
+    <title>cohesive keyword search</title>
+    <author>paul cooper</author>
+  </article>
+</bib>
+"""
+
+DOC_B = """
+<bib>
+  <article>
+    <title>keyword search on tree data</title>
+    <author>mary davis</author>
+  </article>
+</bib>
+"""
+
+
+@pytest.fixture
+def session(figure1_index):
+    return SearchSession(figure1_index)
+
+
+def _corpus():
+    corpus = Corpus()
+    corpus.add_document("a.xml", DOC_A)
+    corpus.add_document("b.xml", DOC_B)
+    return corpus
+
+
+# -- activation --------------------------------------------------------------
+
+def test_default_tracer_is_null():
+    tracer = get_tracer()
+    assert tracer is NULL_TRACER
+    assert not tracer.enabled
+    with tracer.span("anything") as span:
+        assert span is None
+    assert tracer.spans() == []
+
+
+def test_trace_scope_activates_and_restores():
+    with trace_scope() as tracer:
+        assert get_tracer() is tracer
+        assert tracer.enabled
+    assert get_tracer() is NULL_TRACER
+
+
+def test_global_tracer_fallback_and_scope_precedence():
+    tracer = Tracer()
+    assert set_global_tracer(tracer) is None
+    try:
+        assert get_tracer() is tracer
+        with trace_scope() as scoped:
+            assert get_tracer() is scoped
+        assert get_tracer() is tracer
+    finally:
+        assert set_global_tracer(None) is tracer
+    assert get_tracer() is NULL_TRACER
+
+
+# -- span trees from the session ---------------------------------------------
+
+def test_search_produces_one_trace_tree(session):
+    with trace_scope() as tracer:
+        results = session.search(Q1)
+    spans = tracer.spans()
+    assert results
+    roots = [span for span in spans if span.is_root]
+    assert [root.name for root in roots] == ["search"]
+    root = roots[0]
+    assert root.attrs["query"] == Q1
+    assert root.attrs["algorithm"] == "cohesive"
+    assert root.attrs["result_count"] == len(results)
+    assert {span.trace_id for span in spans} == {root.trace_id}
+    # Phase detail rides along as children of the query span.
+    children = [span for span in spans
+                if span.parent_id == root.span_id]
+    assert {"parse", "lattice-build", "stream-scan"} <= \
+        {span.name for span in children}
+    for span in spans:
+        for attr in REQUIRED_ATTRS:
+            assert attr in span.attrs, (span.name, attr)
+        assert span.attrs.keys() <= set(TRACE_ATTRIBUTES)
+
+
+def test_each_search_roots_a_distinct_trace(session):
+    with trace_scope() as tracer:
+        session.search(Q1)
+        session.search(Q1)
+    assert len(tracer.trace_ids()) == 2
+
+
+def test_search_nests_under_ambient_span(session):
+    with trace_scope() as tracer:
+        with tracer.span("workload") as outer:
+            session.search(Q1)
+    spans = tracer.spans()
+    roots = [span for span in spans if span.is_root]
+    assert [root.name for root in roots] == ["workload"]
+    search = next(span for span in spans if span.name == "search")
+    assert search.parent_id == outer.span_id
+    assert search.trace_id == outer.trace_id
+
+
+def test_search_batch_span_counts_queries_and_results(session):
+    with trace_scope() as tracer:
+        answers = session.search_batch([Q1, Q1])
+    root = next(span for span in tracer.spans() if span.is_root)
+    assert root.name == "search-batch"
+    assert root.attrs["queries"] == 2
+    assert root.attrs["result_count"] == sum(len(a) for a in answers)
+
+
+def test_stream_span_closes_with_result_count(session):
+    with trace_scope() as tracer:
+        results = list(session.stream(Q1))
+    root = next(span for span in tracer.spans() if span.is_root)
+    assert root.name == "stream"
+    assert root.attrs["result_count"] == len(results)
+
+
+def test_traced_search_results_match_untraced(session):
+    untraced = session.search(Q1)
+    with trace_scope():
+        traced = session.search(Q1)
+    assert traced == untraced
+
+
+def test_counter_deltas_with_ambient_registry(session):
+    with metrics_scope() as registry, trace_scope() as tracer:
+        session.search(Q1)
+        session.search(Q1)  # second run hits the plan/posting caches
+    second = [span for span in tracer.spans() if span.name == "search"][1]
+    assert second.attrs["plan_cache_hits"] == 1
+    assert second.attrs["posting_cache_hits"] > 0
+    # One increment per live span exit (adopted phase spans were
+    # already accounted for when their registry recorded them).
+    assert registry.counter("trace_spans_recorded") == 2
+
+
+def test_memory_accounting_measures_allocations():
+    with trace_scope(memory=True) as tracer:
+        with tracer.span("alloc") as span:
+            blob = [bytearray(1024) for _ in range(64)]
+        assert len(blob) == 64
+    assert span.attrs["mem_alloc_delta"] > 0
+    assert span.attrs["mem_peak"] > 0
+
+
+def test_memory_off_stamps_zeroes():
+    with trace_scope() as tracer:
+        with tracer.span("alloc"):
+            list(range(1000))
+    span = tracer.spans()[0]
+    assert span.attrs["mem_alloc_delta"] == 0
+    assert span.attrs["mem_peak"] == 0
+
+
+def test_capacity_bounds_retained_spans():
+    tracer = Tracer(capacity=4)
+    with trace_scope(tracer):
+        for number in range(10):
+            with tracer.span(f"s{number}"):
+                pass
+    names = [span.name for span in tracer.spans()]
+    assert names == ["s6", "s7", "s8", "s9"]
+    tracer.close()
+
+
+# -- wire serialization ------------------------------------------------------
+
+def test_wire_round_trip():
+    assert current_trace_wire() is None
+    with trace_scope(memory=False) as tracer:
+        with tracer.span("parent") as parent:
+            wire = current_trace_wire()
+            assert wire == {"trace_id": parent.trace_id,
+                            "span_id": parent.span_id,
+                            "memory": False}
+            json.loads(json.dumps(wire))  # plain-picklable / JSON-safe
+    worker = Tracer()
+    with trace_scope(worker), activate_wire(wire):
+        with worker.span("child"):
+            pass
+    child = worker.spans()[0]
+    assert child.trace_id == parent.trace_id
+    assert child.parent_id == parent.span_id
+    worker.close()
+
+
+def test_adopt_folds_worker_span_dicts():
+    with trace_scope() as tracer:
+        with tracer.span("parent") as parent:
+            shipped = TraceSpan("remote", parent.trace_id, "abc123",
+                                parent.span_id, parent.start_wall,
+                                0.001, pid=99999, tid=1).as_dict()
+        tracer.adopt([shipped])
+    remote = next(span for span in tracer.spans()
+                  if span.name == "remote")
+    assert remote.pid == 99999
+    assert remote.trace_id == parent.trace_id
+
+
+# -- cross-process propagation -----------------------------------------------
+
+def test_corpus_parallel_search_is_one_trace_across_pids():
+    import os
+    corpus = _corpus()
+    with trace_scope(memory=True) as tracer:
+        corpus.search("(keyword search)", workers=2)
+    spans = tracer.spans()
+    roots = [span for span in spans if span.is_root]
+    assert [root.name for root in roots] == ["corpus-search"]
+    root = roots[0]
+    assert root.attrs["workers"] == 2
+    # One trace id across every span, parent and workers alike.
+    assert {span.trace_id for span in spans} == {root.trace_id}
+    pids = {span.pid for span in spans}
+    assert len(pids) >= 2, "worker spans must carry their own pid"
+    assert os.getpid() in pids
+    # Every worker shard span hangs under the corpus-search span.
+    shards = [span for span in spans if span.name == "shard"]
+    assert len(shards) == 2
+    assert {span.parent_id for span in shards} == {root.span_id}
+    assert {span.attrs["shard"] for span in shards} == {0, 1}
+    assert all(span.pid != os.getpid() for span in shards)
+    # The acceptance bar: EVERY span carries the accounting attrs.
+    for span in spans:
+        for attr in REQUIRED_ATTRS:
+            assert attr in span.attrs, (span.name, attr)
+    # Worker session spans are children of their shard span.
+    searches = [span for span in spans if span.name == "search"]
+    assert {span.parent_id for span in searches} <= \
+        {span.span_id for span in shards}
+
+
+def test_corpus_parallel_chrome_export_spans_two_process_lanes():
+    corpus = _corpus()
+    with trace_scope(memory=True) as tracer:
+        corpus.search("(keyword search)", workers=2)
+    document = to_chrome_trace(tracer.spans())
+    events = [event for event in document["traceEvents"]
+              if event["ph"] == "X"]
+    assert len({event["pid"] for event in events}) >= 2
+    assert {event["args"]["trace_id"] for event in events} == \
+        {tracer.spans()[0].trace_id}
+
+
+def test_corpus_search_untraced_records_nothing():
+    corpus = _corpus()
+    results = corpus.search("(keyword search)", workers=2)
+    assert get_tracer() is NULL_TRACER
+    assert len(results) == 2
+
+
+def test_corpus_parallel_results_unchanged_by_tracing():
+    corpus = _corpus()
+    plain = corpus.search("(keyword search)", workers=2)
+    with trace_scope(memory=True):
+        traced = corpus.search("(keyword search)", workers=2)
+    assert [(row.document, row.result) for row in traced] == \
+        [(row.document, row.result) for row in plain]
+
+
+# -- reading: trace_ids, summaries, /tracez ----------------------------------
+
+def test_trace_ids_newest_first(session):
+    with trace_scope() as tracer:
+        session.search(Q1)
+        first = tracer.trace_ids()[0]
+        session.search(Q1)
+        ids = tracer.trace_ids()
+    assert len(ids) == 2
+    assert ids[-1] == first
+
+
+def test_summaries_digest_shape(session):
+    with trace_scope() as tracer:
+        session.search(Q1)
+        digests = tracer.summaries()
+        assert recent_traces() == digests
+    assert len(digests) == 1
+    digest = digests[0]
+    assert digest["root"] == "search"
+    assert digest["spans"] == len(tracer.spans())
+    assert digest["pids"] == [tracer.spans()[0].pid]
+    assert digest["duration_seconds"] > 0
+
+
+def test_recent_traces_empty_when_tracing_off():
+    assert recent_traces() == []
+
+
+def test_clear_drops_spans(session):
+    with trace_scope() as tracer:
+        session.search(Q1)
+        assert tracer.spans()
+        tracer.clear()
+        assert tracer.spans() == []
+        assert tracer.trace_ids() == []
+
+
+# -- Chrome trace export properties ------------------------------------------
+
+def _strict_nesting_per_lane(events) -> None:
+    """Complete events on one (pid, tid) lane must nest strictly:
+    sorted by start, every event either contains the next or ends
+    before it starts."""
+    lanes = {}
+    for event in events:
+        lanes.setdefault((event["pid"], event["tid"]), []).append(event)
+    for lane in lanes.values():
+        lane.sort(key=lambda event: (event["ts"], -event["dur"]))
+        stack = []
+        for event in lane:
+            while stack and \
+                    event["ts"] >= stack[-1]["ts"] + stack[-1]["dur"]:
+                stack.pop()
+            if stack:
+                enclosing = stack[-1]
+                assert event["ts"] + event["dur"] <= \
+                    enclosing["ts"] + enclosing["dur"] + 1e-6, \
+                    (event["name"], enclosing["name"])
+            stack.append(event)
+
+
+def test_chrome_trace_round_trips_and_nests(session, tmp_path):
+    with trace_scope(memory=True) as tracer:
+        session.search(Q1)
+        session.search_batch([Q1])
+    path = write_chrome_trace(tmp_path / "trace.json", tracer.spans())
+    document = json.loads(path.read_text(encoding="utf-8"))
+    events = [event for event in document["traceEvents"]
+              if event["ph"] == "X"]
+    assert len(events) == len(tracer.spans())
+    for event in events:
+        assert event["cat"] == "repro"
+        assert event["dur"] >= 0
+        for attr in REQUIRED_ATTRS:
+            assert attr in event["args"]
+    metadata = [event for event in document["traceEvents"]
+                if event["ph"] == "M"]
+    assert [event["name"] for event in metadata] == ["process_name"]
+    _strict_nesting_per_lane(events)
+
+
+@st.composite
+def _span_forests(draw):
+    """Random single-process span forests with correct nesting."""
+    tracer = Tracer()
+    spans = []
+
+    def grow(depth):
+        count = draw(st.integers(0, 3 if depth == 0 else 2))
+        for _ in range(count):
+            with tracer.span(draw(st.sampled_from(
+                    ["parse", "scan", "rank", "merge"]))) as span:
+                spans.append(span)
+                if depth < 2:
+                    grow(depth + 1)
+
+    grow(0)
+    tracer.close()
+    return spans
+
+
+@given(_span_forests())
+def test_chrome_trace_property_round_trip_and_lane_nesting(spans):
+    document = json.loads(json.dumps(to_chrome_trace(spans)))
+    events = [event for event in document["traceEvents"]
+              if event["ph"] == "X"]
+    assert len(events) == len(spans)
+    assert [event["ts"] for event in events] == \
+        sorted(event["ts"] for event in events)
+    _strict_nesting_per_lane(events)
+
+
+def test_chrome_trace_accepts_wire_dicts():
+    span = TraceSpan("shard", "t" * 16, "s" * 16, None, 100.0, 0.5,
+                     pid=7, tid=7, attrs={"shard": 1})
+    document = to_chrome_trace([span.as_dict()])
+    events = [event for event in document["traceEvents"]
+              if event["ph"] == "X"]
+    assert events[0]["args"]["shard"] == 1
+    assert events[0]["ts"] == pytest.approx(100.0 * 1e6)
+    assert events[0]["dur"] == pytest.approx(0.5 * 1e6)

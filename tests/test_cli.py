@@ -487,3 +487,67 @@ class TestErrors:
         bad.write_text("<a><b></a>")
         assert main(["stats", str(bad)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestTrace:
+    QUERY = "((Lei Chen) (Yi Guo))"
+
+    def test_trace_writes_chrome_trace(self, document, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", str(document), self.QUERY,
+                     "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "Perfetto" in printed or "perfetto" in printed
+        trace = json.loads(out.read_text(encoding="utf-8"))
+        events = [event for event in trace["traceEvents"]
+                  if event["ph"] == "X"]
+        assert events, "trace must contain complete events"
+        trace_ids = {event["args"]["trace_id"] for event in events}
+        assert len(trace_ids) == 1
+        root = next(event for event in events
+                    if event["args"]["parent_id"] is None)
+        assert root["name"] == "search"
+        # memory accounting is on by default
+        assert "mem_alloc_delta" in root["args"]
+        assert "posting_decode_bytes" in root["args"]
+
+    def test_trace_no_memory_flag(self, document, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", str(document), self.QUERY,
+                     "--out", str(out), "--no-memory"]) == 0
+        trace = json.loads(out.read_text(encoding="utf-8"))
+        roots = [event for event in trace["traceEvents"]
+                 if event["ph"] == "X"
+                 and event["args"]["parent_id"] is None]
+        assert roots[0]["args"]["mem_alloc_delta"] == 0
+
+    def test_trace_against_prebuilt_index(self, document, tmp_path):
+        store = tmp_path / "dblp.idx"
+        assert main(["index", str(document), str(store)]) == 0
+        out = tmp_path / "trace.json"
+        assert main(["trace", str(document), self.QUERY,
+                     "--index", str(store), "--out", str(out)]) == 0
+        assert json.loads(out.read_text(encoding="utf-8"))["traceEvents"]
+
+    def test_search_trace_dir_writes_one_file_per_trace(
+            self, document, tmp_path, capsys):
+        traces = tmp_path / "traces"
+        assert main(["search", str(document), self.QUERY,
+                     "--trace-dir", str(traces)]) == 0
+        files = sorted(traces.glob("trace-*.json"))
+        assert len(files) == 1
+        trace = json.loads(files[0].read_text(encoding="utf-8"))
+        names = {event["name"] for event in trace["traceEvents"]
+                 if event["ph"] == "X"}
+        assert "search" in names
+        assert "trace(s)" in capsys.readouterr().out
+
+    def test_trace_dir_with_workload_writes_per_query_traces(
+            self, document, tmp_path):
+        workload = tmp_path / "workload.txt"
+        workload.write_text(f"{self.QUERY}\n{self.QUERY}\n",
+                            encoding="utf-8")
+        traces = tmp_path / "traces"
+        assert main(["search", str(document), "--workload",
+                     str(workload), "--trace-dir", str(traces)]) == 0
+        assert len(list(traces.glob("trace-*.json"))) >= 1
