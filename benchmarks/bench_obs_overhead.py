@@ -15,6 +15,12 @@ workload through one :class:`SearchSession`):
   no registry active.  Must be within 5% of stubbed.
 * **active** — a live :class:`MetricsRegistry` in scope, counters,
   histograms and spans all recording.  Must cost < 15% over null.
+* **profiled** — the active configuration with the continuous
+  profiling layer on top: a 50 hz :class:`StackSampler` and a
+  1-second :class:`ResourceWatchdog` running on their daemon threads.
+  Must cost < 10% over the metrics-only active baseline — the
+  always-on-in-production promise of docs/OBSERVABILITY.md's
+  "Continuous profiling" section.
 
 Timings use min-of-rounds (the standard noise-robust estimator for
 "how fast can this go"); each round runs the whole workload.
@@ -44,6 +50,9 @@ PATTERNS = ["(xx)", "(x(xx))", "((xx)(xx))"]
 ROUNDS = 7
 NULL_TOLERANCE = 0.05
 ACTIVE_TOLERANCE = 0.15
+PROFILED_TOLERANCE = 0.10
+SAMPLER_HZ = 50
+WATCHDOG_INTERVAL = 1.0
 
 
 def _workload(index):
@@ -141,3 +150,43 @@ def test_observability_overhead(benchmark, efficiency_indexes):
     assert active <= null * (1.0 + ACTIVE_TOLERANCE), \
         f"active registry {active_overhead * 100:.1f}% over null " \
         f"(allowed {ACTIVE_TOLERANCE * 100:.0f}%)"
+
+
+def test_continuous_profiling_overhead(benchmark, efficiency_indexes):
+    """A 50 hz sampler plus a 1 s watchdog must not slow the serving
+    path by more than 10% over the metrics-only baseline — the price
+    of leaving continuous profiling on for the life of a service."""
+    _, index = efficiency_indexes["dblp"]
+    session = SearchSession(index)
+    queries = _workload(index)
+
+    def compute():
+        with metrics_scope():
+            active = _time_workload(session, queries)
+        with metrics_scope() as registry:
+            session.start_watchdog(interval=WATCHDOG_INTERVAL,
+                                   registry=registry)
+            session.start_cpu_profiler(hz=SAMPLER_HZ)
+            try:
+                profiled = _time_workload(session, queries)
+            finally:
+                profiler = session.stop_cpu_profiler()
+                watchdog = session.stop_watchdog()
+        return active, profiled, profiler.sample_count, \
+            watchdog.sampled
+
+    active, profiled, samples, snaps = benchmark.pedantic(
+        compute, rounds=1, iterations=1)
+    overhead = profiled / active - 1.0
+    report("Continuous profiling overhead "
+           f"({SAMPLER_HZ} hz sampler + {WATCHDOG_INTERVAL:.0f} s "
+           f"watchdog, min of {ROUNDS} rounds)",
+           format_table(
+               ["configuration", "ms / round", "overhead"],
+               [["active registry", f"{active * 1000:.2f}", "--"],
+                [f"+ sampler/watchdog ({samples} samples, "
+                 f"{snaps} snapshots)", f"{profiled * 1000:.2f}",
+                 f"{overhead * 100:+.1f}% vs active"]]))
+    assert profiled <= active * (1.0 + PROFILED_TOLERANCE), \
+        f"profiled path {overhead * 100:.1f}% over the metrics-only " \
+        f"baseline (allowed {PROFILED_TOLERANCE * 100:.0f}%)"

@@ -10,7 +10,8 @@ preserving the paper's shapes; set ``REPRO_BENCH_SCALE`` (a float
 multiplier) to grow or shrink them.
 
 Every test additionally appends one schema-versioned record — wall
-seconds, counters, histogram quantiles, peak RSS, git SHA — to
+seconds, counters, final gauge levels, histogram quantiles, peak RSS,
+git SHA — to
 ``benchmarks/BENCH_history.jsonl`` (override with
 ``REPRO_BENCH_HISTORY``; set it to ``0``/``off`` to disable) and
 regenerates ``BENCH_summary.json`` next to it at session end.  The
@@ -102,6 +103,10 @@ def run_metrics(request):
             # count/mean plus p50/p90/p99 — the quantiles CI trend
             # dashboards need to catch tail regressions the mean hides.
             benchmark.extra_info["histograms"] = snapshot["histograms"]
+        if snapshot["gauges"]:
+            # final levels (value/min/max) of the run's gauges — cache
+            # occupancy and byte footprints next to the timings.
+            benchmark.extra_info["gauges"] = snapshot["gauges"]
         rates = _cache_hit_rates(snapshot["counters"])
         if rates:
             benchmark.extra_info["cache_hit_rates"] = rates

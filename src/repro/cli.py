@@ -39,9 +39,15 @@ takes ``--slow-query-ms N`` (capture profiles of queries at or above
 the threshold), ``--events-jsonl PATH`` (one schema-versioned JSONL
 event per query/batch), ``--telemetry-port N`` /
 ``--telemetry-linger S`` (serve ``/metrics``, ``/healthz``,
-``/profilez`` and ``/tracez`` over HTTP during — and ``S`` seconds
-past — the run) and ``--trace-dir DIR`` (write one Perfetto-loadable
-Chrome trace JSON per query trace).
+``/profilez``, ``/tracez``, ``/flamez`` and ``/resourcez`` over HTTP
+during — and ``S`` seconds past — the run; a resource watchdog
+snapshots RSS/fds/gauges for ``/resourcez`` while the endpoint is
+up), ``--trace-dir DIR`` (write one Perfetto-loadable Chrome trace
+JSON per query trace) and ``--flame-out PATH`` (sample the query
+thread's stacks and write a collapsed flamegraph profile plus a
+speedscope JSON twin).  ``profile DOC QUERY --hz 97 --repeat 100
+--out profile.folded`` does the same sampling as a standalone
+subcommand.
 
 ``trace DOC.xml QUERY --out trace.json`` records one query end to end
 — phase spans, tracemalloc memory deltas, posting-decode bytes — as a
@@ -115,6 +121,9 @@ def _build_parser() -> argparse.ArgumentParser:
     inspect_cmd = index_sub.add_parser(
         "inspect", help="report a store's format, segments and sizes")
     inspect_cmd.add_argument("store")
+    inspect_cmd.add_argument("--json", action="store_true",
+                             help="emit the report as JSON instead of "
+                                  "the human table")
 
     experiment_cmd = sub.add_parser(
         "experiment",
@@ -198,6 +207,16 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="record every query as a trace and "
                                  "write one Perfetto-loadable Chrome "
                                  "trace JSON per trace into DIR")
+    search_cmd.add_argument("--flame-out", dest="flame_out",
+                            default=None, metavar="PATH",
+                            help="sample the query thread's stacks "
+                                 "during the run and write the "
+                                 "collapsed (folded) profile to PATH "
+                                 "plus a speedscope JSON twin")
+    search_cmd.add_argument("--profile-hz", dest="profile_hz",
+                            type=float, default=None, metavar="HZ",
+                            help="stack-sampling rate for --flame-out "
+                                 "(default 97)")
     search_cmd.add_argument("--log-level", dest="log_level", default=None,
                             type=str.upper,
                             choices=["DEBUG", "INFO", "WARNING", "ERROR"],
@@ -221,6 +240,32 @@ def _build_parser() -> argparse.ArgumentParser:
                            action="store_false",
                            help="skip tracemalloc allocation accounting "
                                 "(mem_* span attributes become 0)")
+
+    profile_cmd = sub.add_parser(
+        "profile", help="sample a query's stacks into a collapsed "
+                        "flamegraph profile")
+    profile_cmd.add_argument("document")
+    profile_cmd.add_argument("query")
+    profile_cmd.add_argument("--hz", type=float, default=None,
+                             help="stack-sampling rate (default 97)")
+    profile_cmd.add_argument("--out", default="profile.folded",
+                             metavar="PATH",
+                             help="collapsed-stack output; a "
+                                  "speedscope JSON twin is written "
+                                  "alongside (default profile.folded)")
+    profile_cmd.add_argument("--repeat", type=int, default=100,
+                             metavar="N",
+                             help="run the query N times so short "
+                                  "queries accumulate samples "
+                                  "(default 100)")
+    profile_cmd.add_argument("--index", dest="index_path", default=None,
+                             help="profile against a prebuilt posting "
+                                  "store instead of indexing DOCUMENT "
+                                  "in memory")
+    profile_cmd.add_argument("--algorithm", default=None,
+                             choices=list(ALGORITHMS),
+                             help="evaluation algorithm (default "
+                                  "cohesive)")
 
     bench_cmd = sub.add_parser(
         "bench-check", help="fail on wall-time regressions against the "
@@ -316,6 +361,9 @@ def _cmd_index_merge(args: argparse.Namespace) -> int:
 
 def _cmd_index_inspect(args: argparse.Namespace) -> int:
     summary = inspect_index(args.store)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
     for key in ("path", "format", "bytes", "keywords", "postings",
                 "segments", "tombstones"):
         print(f"{key:22s} {summary[key]}")
@@ -427,8 +475,14 @@ def _run_search(args: argparse.Namespace,
             # flushed eagerly so a supervisor tailing a pipe can
             # discover the bound port before the search finishes
             print(f"-- telemetry on {server.url} "
-                  f"(/metrics /healthz /profilez /tracez)", flush=True)
-        status = _run_queries(args, session, options, tree)
+                  f"(/metrics /healthz /profilez /tracez /flamez "
+                  f"/resourcez)", flush=True)
+        if args.flame_out:
+            with session.profile_cpu(hz=args.profile_hz) as sampler:
+                status = _run_queries(args, session, options, tree)
+            _write_flame_profile(sampler, args.flame_out)
+        else:
+            status = _run_queries(args, session, options, tree)
         if args.telemetry_port is not None and args.telemetry_linger > 0:
             import time
             time.sleep(args.telemetry_linger)
@@ -544,6 +598,35 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print("open in https://ui.perfetto.dev or chrome://tracing")
     finally:
         tracer.close()
+    return 0
+
+
+def _write_flame_profile(sampler, out: str) -> Path:
+    """Write the collapsed profile at ``out`` plus its speedscope
+    twin (``out`` with a ``.speedscope.json`` suffix)."""
+    from repro.obs import write_speedscope
+    path = sampler.write_collapsed(out)
+    twin = path.with_suffix(".speedscope.json")
+    write_speedscope(twin, sampler.folded(), name=path.stem)
+    print(f"-- {sampler.sample_count} stack sample(s) -> {path} "
+          f"(speedscope: {twin})")
+    return path
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.index_path is not None:
+        session = SearchSession.from_store(args.index_path)
+    else:
+        session = SearchSession(InvertedIndex.from_tree(
+            load_tree_from_path(args.document)))
+    options = SearchOptions(algorithm=args.algorithm or "cohesive")
+    repeat = max(1, args.repeat)
+    with session.profile_cpu(hz=args.hz) as sampler:
+        for _ in range(repeat - 1):
+            session.search(args.query, options)
+        results = session.search(args.query, options)
+    _write_flame_profile(sampler, args.out)
+    print(f"{len(results)} result(s) over {repeat} run(s)")
     return 0
 
 
@@ -701,6 +784,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "index": _cmd_index,
         "search": _cmd_search,
         "trace": _cmd_trace,
+        "profile": _cmd_profile,
         "bench-check": _cmd_bench_check,
         "stats": _cmd_stats,
         "lattice": _cmd_lattice,

@@ -95,6 +95,13 @@ STORE_V2_COUNTERS = (
     "segment_merges",
 )
 
+#: Gauge catalogue of the v2 store: decoded-block residency of the
+#: lazy posting cache (see docs/OBSERVABILITY.md).
+STORE_V2_GAUGES = (
+    "index_decoded_blocks",
+    "index_decoded_bytes",
+)
+
 
 # -- varint reading over a buffer ------------------------------------------
 
@@ -374,6 +381,11 @@ class _LazyPostings(MappingABC):
             metrics.inc("posting_decode_blocks", len(extents))
             metrics.inc("posting_decode_postings", len(decoded))
             metrics.inc("posting_decode_bytes", block_bytes)
+            # Residency gauges: how much of the store is materialized
+            # in this process right now (only moves on a decode, so
+            # the cache-hit fast path stays untouched).
+            metrics.gauge_set("index_decoded_blocks", len(self._cache))
+            metrics.gauge_set("index_decoded_bytes", self.bytes_decoded)
         return decoded
 
     def list_bytes(self, keyword: str) -> int:

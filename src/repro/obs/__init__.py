@@ -27,14 +27,16 @@ from repro.obs.export import (CHROME_TRACE_CATEGORY, EVENT_SCHEMA_VERSION,
                               JsonlSink, merge_jsonl, parse_openmetrics,
                               read_jsonl, sanitize_metric_name,
                               to_chrome_trace, to_openmetrics,
-                              write_chrome_trace)
+                              to_speedscope, write_chrome_trace,
+                              write_speedscope)
 from repro.obs.logconfig import configure_logging, get_logger
-from repro.obs.metrics import (NULL_METRICS, AnyMetrics, Histogram,
+from repro.obs.metrics import (NULL_METRICS, AnyMetrics, Gauge, Histogram,
                                MetricsRegistry, NullMetrics, get_metrics,
                                metrics_scope, set_global_metrics)
 from repro.obs.profile import (PROFILE_SCHEMA_VERSION, QueryProfile,
                                SlowQueryLog)
 from repro.obs.report import format_report
+from repro.obs.sampler import StackSampler
 from repro.obs.server import TelemetryServer
 from repro.obs.trace import Span, aggregate_phases, render_spans
 from repro.obs.tracing import (NULL_TRACER, TRACE_ATTRIBUTES, NullTracer,
@@ -42,11 +44,13 @@ from repro.obs.tracing import (NULL_TRACER, TRACE_ATTRIBUTES, NullTracer,
                                current_trace_wire, get_tracer,
                                recent_traces, set_global_tracer,
                                trace_scope)
+from repro.obs.watchdog import WATCHDOG_GAUGES, ResourceWatchdog
 
 __all__ = [
     "AnyMetrics",
     "CHROME_TRACE_CATEGORY",
     "EVENT_SCHEMA_VERSION",
+    "Gauge",
     "Histogram",
     "JsonlSink",
     "MetricsRegistry",
@@ -56,12 +60,15 @@ __all__ = [
     "NULL_TRACER",
     "PROFILE_SCHEMA_VERSION",
     "QueryProfile",
+    "ResourceWatchdog",
     "SlowQueryLog",
     "Span",
+    "StackSampler",
     "TelemetryServer",
     "TraceSpan",
     "Tracer",
     "TRACE_ATTRIBUTES",
+    "WATCHDOG_GAUGES",
     "activate_wire",
     "aggregate_phases",
     "configure_logging",
@@ -81,6 +88,8 @@ __all__ = [
     "set_global_tracer",
     "to_chrome_trace",
     "to_openmetrics",
+    "to_speedscope",
     "trace_scope",
     "write_chrome_trace",
+    "write_speedscope",
 ]

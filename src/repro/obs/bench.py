@@ -2,9 +2,9 @@
 
 Every benchmark run appends one schema-versioned JSON record per test
 to ``BENCH_history.jsonl`` (wired up by ``benchmarks/conftest.py``):
-wall seconds, the run's counter snapshot and histogram quantiles, the
-process's peak RSS and the git SHA, all grouped under one ``run`` id
-per pytest session.  That turns the benchmark harness from a pile of
+wall seconds, the run's counter snapshot, final gauge levels,
+histogram quantiles, the process's peak RSS and the git SHA, all
+grouped under one ``run`` id per pytest session.  That turns the benchmark harness from a pile of
 human-readable ``.txt`` reports into a machine-readable perf
 trajectory.
 
@@ -31,6 +31,7 @@ import json
 import os
 import statistics
 import subprocess
+import sys
 import time
 from pathlib import Path
 from typing import Optional, Sequence, Union
@@ -63,6 +64,19 @@ def git_sha(cwd: Optional[PathLike] = None) -> Optional[str]:
     return sha if out.returncode == 0 and sha else None
 
 
+def _normalize_maxrss(value: float, platform: str) -> int:
+    """``ru_maxrss`` normalized to KiB.
+
+    ``getrusage`` reports the peak RSS in *bytes* on macOS but in
+    *KiB* on Linux (and the other platforms :mod:`resource` exists
+    on); record comparability across CI runners depends on collapsing
+    that difference here.
+    """
+    if platform == "darwin":
+        return int(value) // 1024
+    return int(value)
+
+
 def peak_rss_kb() -> Optional[int]:
     """The process's peak resident set size in KiB (``None`` where
     :mod:`resource` is unavailable, e.g. Windows)."""
@@ -71,11 +85,7 @@ def peak_rss_kb() -> Optional[int]:
     except ImportError:  # pragma: no cover - non-POSIX
         return None
     usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # ru_maxrss is KiB on Linux, bytes on macOS.
-    import sys
-    if sys.platform == "darwin":  # pragma: no cover - platform branch
-        usage //= 1024
-    return int(usage)
+    return _normalize_maxrss(usage, sys.platform)
 
 
 def make_record(test: str, wall_seconds: float, run_id: str,
@@ -85,7 +95,8 @@ def make_record(test: str, wall_seconds: float, run_id: str,
     """One history record for ``test``.
 
     ``snapshot`` is a :meth:`MetricsRegistry.snapshot` dict — its
-    counters ride along whole, its histograms are reduced to their
+    counters and final gauge levels (value/min/max since reset) ride
+    along whole, its histograms are reduced to their
     count/sum/quantile summaries.
     """
     snapshot = snapshot or {}
@@ -102,6 +113,9 @@ def make_record(test: str, wall_seconds: float, run_id: str,
         "git_sha": sha,
         "wall_seconds": round(float(wall_seconds), 9),
         "counters": dict(snapshot.get("counters", {})),
+        "gauges": {name: dict(data)
+                   for name, data in
+                   snapshot.get("gauges", {}).items()},
         "quantiles": quantiles,
         "phases": dict(snapshot.get("phases", {})),
         "peak_rss_kb": peak_rss_kb(),

@@ -5,9 +5,11 @@ the process:
 
 * :func:`to_openmetrics` renders the snapshot in the OpenMetrics /
   Prometheus text exposition format — counters become ``<ns>_<name>``
-  counter families (sample suffix ``_total``), histograms become
-  summary families with ``quantile="0.5|0.9|0.99"`` series backed by
-  the :class:`~repro.obs.metrics.Histogram` reservoir, and phase
+  counter families (sample suffix ``_total``), gauges become gauge
+  families (a bare sample for the value plus ``stat="min|max"``
+  excursion series), histograms become summary families with
+  ``quantile="0.5|0.9|0.99"`` series backed by the
+  :class:`~repro.obs.metrics.Histogram` reservoir, and phase
   timings become one labelled ``<ns>_phase_seconds`` family.  This is
   what the telemetry endpoint (:mod:`repro.obs.server`) serves on
   ``/metrics``.
@@ -92,6 +94,18 @@ def to_openmetrics(snapshot: dict, namespace: str = "repro") -> str:
         family = f"{prefix}_{sanitize_metric_name(name)}"
         lines.append(f"# TYPE {family} counter")
         lines.append(f"{family}_total {_format_number(value)}")
+
+    for name, data in sorted(snapshot.get("gauges", {}).items()):
+        family = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_format_number(data.get('value', 0))}")
+        # min/max excursion since reset, as labelled series of the same
+        # family (suffix "" keeps the parser's round-trip happy).
+        for stat in ("min", "max"):
+            extreme = data.get(stat)
+            if extreme is not None:
+                lines.append(f'{family}{{stat="{stat}"}} '
+                             f"{_format_number(extreme)}")
 
     for name, data in sorted(snapshot.get("histograms", {}).items()):
         family = f"{prefix}_{sanitize_metric_name(name)}"
@@ -233,6 +247,7 @@ class JsonlSink:
                       **fields) -> dict:
         """Emit a whole registry snapshot as one ``snapshot`` event."""
         return self.emit(event, {"counters": snapshot.get("counters", {}),
+                                 "gauges": snapshot.get("gauges", {}),
                                  "histograms": snapshot.get("histograms",
                                                             {}),
                                  "phases": snapshot.get("phases", {})},
@@ -306,6 +321,61 @@ def write_chrome_trace(path: PathLike, spans: Iterable) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(to_chrome_trace(spans), indent=2,
                                default=str) + "\n", encoding="utf-8")
+    return path
+
+
+#: The schema URL speedscope uses to recognize its own file format.
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+
+def to_speedscope(folded: dict, name: str = "repro profile") -> dict:
+    """Render folded stack counts as a speedscope JSON document.
+
+    ``folded`` is the ``stack-key → sample-count`` map of
+    :meth:`repro.obs.sampler.StackSampler.folded` (keys are
+    ``;``-joined frames, root first).  The result is a *sampled*-type
+    speedscope profile — one sample entry per distinct stack, weighted
+    by its count — loadable at https://www.speedscope.app and by the
+    ``speedscope`` CLI.
+    """
+    frame_index: dict[str, int] = {}
+    samples: list[list[int]] = []
+    weights: list[int] = []
+    for key, count in sorted(folded.items()):
+        stack = []
+        for label in key.split(";"):
+            index = frame_index.get(label)
+            if index is None:
+                index = frame_index[label] = len(frame_index)
+            stack.append(index)
+        samples.append(stack)
+        weights.append(count)
+    total = sum(weights)
+    return {
+        "$schema": SPEEDSCOPE_SCHEMA,
+        "shared": {"frames": [{"name": label} for label in frame_index]},
+        "profiles": [{
+            "type": "sampled",
+            "name": name,
+            "unit": "none",
+            "startValue": 0,
+            "endValue": total,
+            "samples": samples,
+            "weights": weights,
+        }],
+        "name": name,
+        "activeProfileIndex": 0,
+        "exporter": "repro",
+    }
+
+
+def write_speedscope(path: PathLike, folded: dict,
+                     name: str = "repro profile") -> Path:
+    """Write :func:`to_speedscope` output to ``path``; returns it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_speedscope(folded, name), indent=2)
+                    + "\n", encoding="utf-8")
     return path
 
 

@@ -113,6 +113,51 @@ class Histogram:
         }
 
 
+class Gauge:
+    """A settable instantaneous value: last value plus the extremes
+    observed since construction (or the last :meth:`reset_extremes`).
+
+    Counters only go up and histograms summarize distributions; a gauge
+    answers "what is the level *right now*" — cache occupancy, resident
+    bytes, in-flight queries, ring depth.  ``min``/``max`` bracket the
+    excursion between scrapes, so a pull-based scraper still sees the
+    spike a 15-second interval would otherwise hide.
+    """
+
+    __slots__ = ("value", "minimum", "maximum")
+
+    def __init__(self, value: float = 0):
+        self.value = value
+        self.minimum = value
+        self.maximum = value
+
+    def set(self, value: float) -> None:
+        """Replace the current value (extremes widen to cover it)."""
+        self.value = value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def inc(self, value: float = 1) -> None:
+        """Add ``value`` (default 1) to the gauge."""
+        self.set(self.value + value)
+
+    def dec(self, value: float = 1) -> None:
+        """Subtract ``value`` (default 1) from the gauge."""
+        self.set(self.value - value)
+
+    def reset_extremes(self) -> None:
+        """Collapse min/max onto the current value (post-scrape)."""
+        self.minimum = self.value
+        self.maximum = self.value
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {"value": self.value, "min": self.minimum,
+                "max": self.maximum}
+
+
 class _NullContext:
     """A reusable no-op context manager (the disabled span/timer)."""
 
@@ -150,6 +195,19 @@ class NullMetrics:
     def declare(self, *names: str) -> None:
         """Ignore counter pre-registration."""
 
+    def gauge_set(self, name: str, value: float) -> None:
+        """Ignore a gauge assignment."""
+
+    def gauge_inc(self, name: str, value: float = 1) -> None:
+        """Ignore a gauge increment."""
+
+    def gauge_dec(self, name: str, value: float = 1) -> None:
+        """Ignore a gauge decrement."""
+
+    def gauge(self, name: str) -> float:
+        """Always 0."""
+        return 0
+
     def span(self, name: str):
         """A no-op context manager."""
         return _NULL_CONTEXT
@@ -164,7 +222,8 @@ class NullMetrics:
 
     def snapshot(self) -> dict:
         """An empty snapshot, shaped like a real one."""
-        return {"counters": {}, "histograms": {}, "phases": {}, "spans": []}
+        return {"counters": {}, "gauges": {}, "histograms": {},
+                "phases": {}, "spans": []}
 
 
 NULL_METRICS = NullMetrics()
@@ -184,6 +243,7 @@ class MetricsRegistry:
     def __init__(self):
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._spans: list[Span] = []
         self._span_stacks = threading.local()
@@ -217,6 +277,42 @@ class MetricsRegistry:
         """A sorted copy of all counters."""
         with self._lock:
             return dict(sorted(self._counters.items()))
+
+    # -- gauges ------------------------------------------------------------
+
+    def gauge_set(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (creating it at 0)."""
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                self._gauges[name] = Gauge(value)
+            else:
+                gauge.set(value)
+
+    def gauge_inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` (default 1) to the gauge ``name``."""
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge()
+            gauge.inc(value)
+
+    def gauge_dec(self, name: str, value: float = 1) -> None:
+        """Subtract ``value`` (default 1) from the gauge ``name``."""
+        self.gauge_inc(name, -value)
+
+    def gauge(self, name: str) -> float:
+        """Current value of gauge ``name`` (0 if never set)."""
+        with self._lock:
+            gauge = self._gauges.get(name)
+            return gauge.value if gauge is not None else 0
+
+    @property
+    def gauges(self) -> dict[str, dict]:
+        """A sorted copy of all gauges as ``{name: {value, min, max}}``."""
+        with self._lock:
+            return {name: gauge.as_dict() for name, gauge in
+                    sorted(self._gauges.items())}
 
     # -- histograms --------------------------------------------------------
 
@@ -277,18 +373,22 @@ class MetricsRegistry:
         Shape::
 
             {"counters": {name: int},
+             "gauges": {name: {value, min, max}},
              "histograms": {name: {count, sum, min, max, mean}},
              "phases": {span-name: total-seconds},
              "spans": [{name, seconds, children: [...]}, ...]}
         """
         with self._lock:
             counters = dict(sorted(self._counters.items()))
+            gauges = {name: gauge.as_dict() for name, gauge in
+                      sorted(self._gauges.items())}
             histograms = {name: histogram.as_dict()
                           for name, histogram in
                           sorted(self._histograms.items())}
             spans = list(self._spans)
         return {
             "counters": counters,
+            "gauges": gauges,
             "histograms": histograms,
             "phases": {name: round(seconds, 9) for name, seconds in
                        sorted(aggregate_phases(spans).items())},

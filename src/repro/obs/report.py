@@ -15,8 +15,9 @@ def format_report(snapshot: dict) -> str:
     """Render a :meth:`MetricsRegistry.snapshot` dict as aligned text.
 
     Sections (each omitted when empty): ``counters`` (name/value),
-    ``histograms`` (count/min/mean/max), ``phases`` (total
-    milliseconds per phase name) and ``trace`` (the nested span tree).
+    ``gauges`` (value plus min/max excursion), ``histograms``
+    (count/min/mean/max), ``phases`` (total milliseconds per phase
+    name) and ``trace`` (the nested span tree).
     """
     lines: list[str] = []
 
@@ -26,6 +27,18 @@ def format_report(snapshot: dict) -> str:
         width = max(len(name) for name in counters)
         for name, value in counters.items():
             lines.append(f"  {name:<{width}s}  {value}")
+
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        if lines:
+            lines.append("")
+        lines.append("gauges")
+        width = max(len(name) for name in gauges)
+        for name, data in gauges.items():
+            lines.append(
+                f"  {name:<{width}s}  value={_format_value(data.get('value'))} "
+                f"min={_format_value(data.get('min'))} "
+                f"max={_format_value(data.get('max'))}")
 
     histograms = snapshot.get("histograms", {})
     if histograms:

@@ -16,7 +16,11 @@ serve_telemetry`) to scrapers:
   newest first;
 * ``GET /tracez``   — digests of the most recent completed traces
   (trace id, root span, span/pid fan-out, duration) from the active
-  tracer, newest first.
+  tracer, newest first;
+* ``GET /flamez``   — the continuous profiler's aggregated stacks in
+  collapsed (folded) text form, ready for any flamegraph tool;
+* ``GET /resourcez`` — the resource watchdog's snapshot/breach rings
+  as JSON (RSS, fds, threads, gauge levels over time).
 
 The server pulls — every request calls the provider callables handed
 to the constructor — so the serving hot path never pushes anything:
@@ -60,6 +64,16 @@ class TelemetryServer:
         Optional callable returning the list of JSON-ready trace
         digests served on ``/tracez`` (defaults to an empty list;
         wire :func:`repro.obs.tracing.recent_traces` here).
+    flame_provider:
+        Optional callable returning collapsed-stack text served on
+        ``/flamez`` (wire
+        :meth:`repro.obs.sampler.StackSampler.to_collapsed` here;
+        defaults to an empty profile).
+    resources_provider:
+        Optional callable returning the JSON-ready dict served on
+        ``/resourcez`` (wire
+        :meth:`repro.obs.watchdog.ResourceWatchdog.as_json` here;
+        defaults to an empty document).
     port:
         TCP port; ``0`` picks a free one (see :attr:`port`).
     host:
@@ -73,12 +87,16 @@ class TelemetryServer:
                  health_provider: Optional[Callable[[], dict]] = None,
                  profiles_provider: Optional[Callable[[], list]] = None,
                  traces_provider: Optional[Callable[[], list]] = None,
+                 flame_provider: Optional[Callable[[], str]] = None,
+                 resources_provider: Optional[Callable[[], dict]] = None,
                  port: int = 0, host: str = "127.0.0.1",
                  namespace: str = "repro"):
         self._snapshot_provider = snapshot_provider
         self._health_provider = health_provider
         self._profiles_provider = profiles_provider
         self._traces_provider = traces_provider
+        self._flame_provider = flame_provider
+        self._resources_provider = resources_provider
         self._namespace = namespace
         self._started = time.time()
         telemetry = self
@@ -159,10 +177,22 @@ class TelemetryServer:
                     if self._traces_provider is not None else []
                 self._reply(request, 200, "application/json",
                             json.dumps(traces, default=str))
+            elif path == "/flamez":
+                collapsed = self._flame_provider() \
+                    if self._flame_provider is not None else ""
+                self._reply(request, 200,
+                            "text/plain; charset=utf-8", collapsed)
+            elif path == "/resourcez":
+                resources = self._resources_provider() \
+                    if self._resources_provider is not None \
+                    else {"snapshots": [], "breaches": []}
+                self._reply(request, 200, "application/json",
+                            json.dumps(resources, default=str))
             else:
                 self._reply(request, 404, "text/plain",
                             f"unknown route {path}; try /metrics, "
-                            f"/healthz, /profilez or /tracez")
+                            f"/healthz, /profilez, /tracez, /flamez "
+                            f"or /resourcez")
         except Exception as error:  # pragma: no cover - provider bugs
             _log.exception("telemetry handler failed on %s", path)
             self._reply(request, 500, "text/plain", f"error: {error}")

@@ -67,6 +67,11 @@ TRACE_ATTRIBUTES = (
     "posting_cache_hits",
 )
 
+#: Gauge catalogue of the tracing layer (see docs/OBSERVABILITY.md).
+TRACING_GAUGES = (
+    "trace_ring_depth",
+)
+
 #: The counters whose per-span deltas become span attributes.
 _DELTA_COUNTERS = (
     ("posting_decode_bytes", "posting_decode_bytes"),
@@ -297,8 +302,17 @@ class Tracer:
     def _record(self, span: TraceSpan) -> None:
         with self._lock:
             self._spans.append(span)
-            if len(self._spans) > self._capacity:
-                del self._spans[:len(self._spans) - self._capacity]
+            overflow = len(self._spans) - self._capacity
+            if overflow > 0:
+                del self._spans[:overflow]
+            depth = len(self._spans)
+        metrics = get_metrics()
+        if metrics.enabled:
+            if overflow > 0:
+                # Silent truncation made visible: these spans left the
+                # ring before any exporter could read them.
+                metrics.inc("trace_spans_dropped", overflow)
+            metrics.gauge_set("trace_ring_depth", depth)
 
     def adopt(self, span_dicts: Sequence[dict]) -> None:
         """Fold spans recorded elsewhere (a pool worker) into this

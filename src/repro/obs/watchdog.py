@@ -1,0 +1,271 @@
+"""A resource watchdog for long-lived serving processes.
+
+:class:`ResourceWatchdog` is the steady-state counterpart of the
+slow-query log: a background daemon thread that periodically snapshots
+what the process is *holding* — resident set size, open file
+descriptors, thread count, the tracemalloc peak when tracing is on,
+and every gauge of the active metrics registry — into a bounded ring
+(the same pattern as :class:`~repro.obs.profile.SlowQueryLog`).  The
+telemetry endpoint serves the ring on ``/resourcez``, so "what grew
+between these two scrapes" is answerable without attaching a debugger.
+
+Each snapshot is also evaluated against optional **soft budgets**
+(``max_rss_mb``, ``max_fds``, ``max_threads``, ``max_cache_bytes``,
+or ``gauge:<name>`` for any registered gauge).  A breach does not stop
+anything — these are early-warning thresholds, not limits — but it is
+recorded into its own ring, counted on the ``watchdog_breaches``
+counter, emitted to the JSONL event sink when one is attached, and
+logged at WARNING.
+
+The process-level probes read ``/proc/self`` on Linux and degrade
+gracefully elsewhere (``None`` in the snapshot rather than an error),
+mirroring the platform handling of
+:func:`repro.obs.bench.peak_rss_kb`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import tracemalloc
+from collections import deque
+from typing import Iterator, Optional
+
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import get_metrics
+
+_log = get_logger("obs.watchdog")
+
+#: Gauge catalogue of the watchdog (see docs/OBSERVABILITY.md): the
+#: process-level levels it republishes into the metrics registry.
+WATCHDOG_GAUGES = (
+    "process_rss_bytes",
+    "process_open_fds",
+    "process_threads",
+    "tracemalloc_peak_bytes",
+)
+
+#: Budget keys with a built-in meaning; anything else must use the
+#: ``gauge:<name>`` form.
+BUDGET_KEYS = ("max_rss_mb", "max_fds", "max_threads",
+               "max_cache_bytes")
+
+
+def current_rss_bytes() -> Optional[int]:
+    """The process's *current* resident set size in bytes.
+
+    Reads ``/proc/self/statm`` (Linux); falls back to the normalized
+    peak from :func:`~repro.obs.bench.peak_rss_kb` — a monotonic
+    over-estimate, but comparable — and ``None`` when neither source
+    exists.
+    """
+    try:
+        with open("/proc/self/statm", encoding="ascii") as statm:
+            fields = statm.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        pass
+    from repro.obs.bench import peak_rss_kb
+    peak = peak_rss_kb()
+    return peak * 1024 if peak is not None else None
+
+
+def open_fd_count() -> Optional[int]:
+    """How many file descriptors the process holds open (``None``
+    where ``/proc/self/fd`` does not exist)."""
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return None
+
+
+class ResourceWatchdog:
+    """Periodic resource snapshots with soft-budget evaluation.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between snapshots (the first is taken immediately on
+        :meth:`start`).
+    capacity:
+        Ring size for both snapshots and breach events.
+    budgets:
+        Optional ``{key: limit}`` soft budgets — ``max_rss_mb``
+        (megabytes), ``max_fds``, ``max_threads``, ``max_cache_bytes``
+        (the summed ``*_cache_bytes`` gauges), or ``gauge:<name>``
+        against any gauge's current value.
+    registry:
+        The metrics registry to read gauges from and publish
+        process-level gauges / the breach counter into.  ``None``
+        resolves :func:`~repro.obs.metrics.get_metrics` at each
+        snapshot — on the watchdog's own thread that reaches the
+        process-global registry, never a context-scoped one.
+    sink:
+        Optional :class:`~repro.obs.export.JsonlSink`; every breach is
+        emitted as one ``resource_breach`` event.
+    """
+
+    def __init__(self, interval: float = 1.0, capacity: int = 64,
+                 budgets: Optional[dict] = None, registry=None,
+                 sink=None):
+        if interval <= 0:
+            raise ValueError("interval must be > 0 seconds")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.interval = float(interval)
+        self.capacity = capacity
+        self.budgets = dict(budgets or {})
+        for key in self.budgets:
+            if key not in BUDGET_KEYS and not key.startswith("gauge:"):
+                raise ValueError(f"unknown budget {key!r}")
+        self._registry = registry
+        self._sink = sink
+        self._lock = threading.Lock()
+        self._snapshots: deque[dict] = deque(maxlen=capacity)
+        self._breaches: deque[dict] = deque(maxlen=capacity)
+        self.sampled = 0   # lifetime snapshots, survives ring eviction
+        self.breached = 0  # lifetime breaches
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the sampling thread is currently alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "ResourceWatchdog":
+        """Take one snapshot now and start the daemon sampler."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self.snap()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-resource-watchdog",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> "ResourceWatchdog":
+        """Stop and join the sampling thread (idempotent)."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+        return self
+
+    def __enter__(self) -> "ResourceWatchdog":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.snap()
+
+    # -- sampling ----------------------------------------------------------
+
+    def _metrics(self):
+        return self._registry if self._registry is not None \
+            else get_metrics()
+
+    def snap(self) -> dict:
+        """Take one snapshot, publish the process gauges, evaluate the
+        budgets, and return the snapshot dict."""
+        metrics = self._metrics()
+        snapshot = {
+            "timestamp": time.time(),
+            "rss_bytes": current_rss_bytes(),
+            "open_fds": open_fd_count(),
+            "threads": threading.active_count(),
+            "tracemalloc_peak_bytes":
+                tracemalloc.get_traced_memory()[1]
+                if tracemalloc.is_tracing() else None,
+            "gauges": {name: data["value"]
+                       for name, data in
+                       getattr(metrics, "gauges", {}).items()}
+            if metrics.enabled else {},
+        }
+        if metrics.enabled:
+            for field, gauge in (("rss_bytes", "process_rss_bytes"),
+                                 ("open_fds", "process_open_fds"),
+                                 ("threads", "process_threads"),
+                                 ("tracemalloc_peak_bytes",
+                                  "tracemalloc_peak_bytes")):
+                value = snapshot[field]
+                if value is not None:
+                    metrics.gauge_set(gauge, value)
+        with self._lock:
+            self._snapshots.append(snapshot)
+            self.sampled += 1
+        self._evaluate(snapshot, metrics)
+        return snapshot
+
+    def _evaluate(self, snapshot: dict, metrics) -> None:
+        for key, limit in self.budgets.items():
+            value = self._budget_value(key, snapshot)
+            if value is None or value <= limit:
+                continue
+            breach = {"timestamp": snapshot["timestamp"],
+                      "budget": key, "limit": limit, "value": value}
+            with self._lock:
+                self._breaches.append(breach)
+                self.breached += 1
+            if metrics.enabled:
+                metrics.inc("watchdog_breaches")
+            if self._sink is not None:
+                self._sink.emit("resource_breach", breach)
+            _log.warning("resource budget %s breached: %s > %s",
+                         key, value, limit)
+
+    @staticmethod
+    def _budget_value(key: str, snapshot: dict) -> Optional[float]:
+        if key == "max_rss_mb":
+            rss = snapshot["rss_bytes"]
+            return rss / (1024 * 1024) if rss is not None else None
+        if key == "max_fds":
+            return snapshot["open_fds"]
+        if key == "max_threads":
+            return snapshot["threads"]
+        if key == "max_cache_bytes":
+            return sum(value
+                       for name, value in snapshot["gauges"].items()
+                       if name.endswith("_cache_bytes"))
+        return snapshot["gauges"].get(key[len("gauge:"):])
+
+    # -- reading -----------------------------------------------------------
+
+    def snapshots(self) -> list[dict]:
+        """The retained snapshots, oldest first."""
+        with self._lock:
+            return list(self._snapshots)
+
+    def breaches(self) -> list[dict]:
+        """The retained breach events, oldest first."""
+        with self._lock:
+            return list(self._breaches)
+
+    def as_json(self) -> dict:
+        """The ``/resourcez`` document: configuration, the snapshot
+        ring (oldest first) and the breach ring."""
+        with self._lock:
+            snapshots = list(self._snapshots)
+            breaches = list(self._breaches)
+        return {
+            "interval_seconds": self.interval,
+            "budgets": dict(self.budgets),
+            "sampled": self.sampled,
+            "breached": self.breached,
+            "snapshots": snapshots,
+            "breaches": breaches,
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._snapshots)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.snapshots())

@@ -8,16 +8,41 @@ caller — who already holds the active registry for the current public
 entry point — passes it in so hits/misses/evictions surface as counters
 (``{name}_hits``, ``{name}_misses``, ``{name}_evictions``) without an
 extra ``get_metrics()`` per lookup.
+
+Occupancy is additionally published as gauges — ``{name}_entries`` and
+``{name}_bytes`` (a :func:`_weigh` one-level ``sys.getsizeof``
+estimate) — but only when occupancy actually changes (miss-insert,
+eviction, clear), never on the hot hit path.
 """
 
 from __future__ import annotations
 
+import sys
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Optional
 
 from repro.obs.metrics import AnyMetrics
 
 _MISSING = object()
+
+
+def _weigh(value: Any) -> int:
+    """Approximate resident size of a cached value, in bytes.
+
+    ``sys.getsizeof`` on the value plus one level of container
+    contents — deep enough to distinguish a 10-entry posting slice
+    from a 10k-entry one without a full recursive walk per insert.
+    """
+    try:
+        weight = sys.getsizeof(value)
+        if isinstance(value, (list, tuple, set, frozenset)):
+            weight += sum(sys.getsizeof(item) for item in value)
+        elif isinstance(value, dict):
+            weight += sum(sys.getsizeof(k) + sys.getsizeof(v)
+                          for k, v in value.items())
+        return weight
+    except TypeError:
+        return 0
 
 
 class LRUCache:
@@ -34,8 +59,8 @@ class LRUCache:
         a miss and nothing is retained).
     """
 
-    __slots__ = ("name", "maxsize", "_entries", "hits", "misses",
-                 "evictions")
+    __slots__ = ("name", "maxsize", "_entries", "_weights",
+                 "weight_bytes", "hits", "misses", "evictions")
 
     def __init__(self, name: str, maxsize: int):
         if maxsize < 0:
@@ -43,6 +68,8 @@ class LRUCache:
         self.name = name
         self.maxsize = maxsize
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._weights: dict[Hashable, int] = {}
+        self.weight_bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -75,30 +102,53 @@ class LRUCache:
             metrics.inc(f"{self.name}_misses")
         value = factory()
         if self.maxsize:
-            self._entries[key] = value
+            self._store(key, value)
             if len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+                self._evict()
                 if metrics is not None and metrics.enabled:
                     metrics.inc(f"{self.name}_evictions")
+            if metrics is not None and metrics.enabled:
+                self._publish_gauges(metrics)
         return value
 
-    def insert(self, key: Hashable, value: Any) -> None:
+    def insert(self, key: Hashable, value: Any,
+               metrics: Optional[AnyMetrics] = None) -> None:
         """Store ``key`` without counting a lookup (alias registration).
 
         Evictions still count: the entry displaces someone either way.
         """
         if not self.maxsize:
             return
-        self._entries[key] = value
+        self._store(key, value)
         self._entries.move_to_end(key)
         if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+            self._evict()
+        if metrics is not None and metrics.enabled:
+            self._publish_gauges(metrics)
 
-    def clear(self) -> None:
+    def _store(self, key: Hashable, value: Any) -> None:
+        previous = self._weights.pop(key, 0)
+        weight = _weigh(value)
+        self._entries[key] = value
+        self._weights[key] = weight
+        self.weight_bytes += weight - previous
+
+    def _evict(self) -> None:
+        key, _ = self._entries.popitem(last=False)
+        self.weight_bytes -= self._weights.pop(key, 0)
+        self.evictions += 1
+
+    def _publish_gauges(self, metrics: AnyMetrics) -> None:
+        metrics.gauge_set(f"{self.name}_entries", len(self._entries))
+        metrics.gauge_set(f"{self.name}_bytes", self.weight_bytes)
+
+    def clear(self, metrics: Optional[AnyMetrics] = None) -> None:
         """Drop every entry (statistics are lifetime and survive)."""
         self._entries.clear()
+        self._weights.clear()
+        self.weight_bytes = 0
+        if metrics is not None and metrics.enabled:
+            self._publish_gauges(metrics)
 
     @property
     def hit_rate(self) -> float:
@@ -112,6 +162,7 @@ class LRUCache:
             "name": self.name,
             "size": len(self._entries),
             "maxsize": self.maxsize,
+            "weight_bytes": self.weight_bytes,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
@@ -122,3 +173,7 @@ class LRUCache:
         """The registry counters this cache reports to."""
         return (f"{self.name}_hits", f"{self.name}_misses",
                 f"{self.name}_evictions")
+
+    def gauge_names(self) -> tuple[str, str]:
+        """The registry gauges this cache publishes on occupancy change."""
+        return (f"{self.name}_entries", f"{self.name}_bytes")

@@ -26,7 +26,9 @@ lifetime numbers (docs/OBSERVABILITY.md).
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence, Union
 
@@ -59,6 +61,17 @@ RUNTIME_COUNTERS = (
     "batch_distinct_plans",
     "batch_scan_nodes",
     "slow_queries_recorded",
+)
+
+#: Gauge catalogue of the runtime layer (see docs/OBSERVABILITY.md).
+#: The cache gauges are published by ``LRUCache._publish_gauges`` under
+#: its ``{name}_entries`` / ``{name}_bytes`` scheme.
+RUNTIME_GAUGES = (
+    "plan_cache_entries",
+    "plan_cache_bytes",
+    "posting_cache_entries",
+    "posting_cache_bytes",
+    "session_inflight_queries",
 )
 
 
@@ -119,6 +132,8 @@ class SearchSession:
         self._event_sink = event_sink
         self._telemetry = None
         self._owns_global_registry = False
+        self._profiler = None
+        self._watchdog = None
 
     # -- index ownership ----------------------------------------------------
 
@@ -155,8 +170,9 @@ class SearchSession:
 
     def invalidate(self) -> None:
         """Flush both caches (lifetime statistics survive)."""
-        self._plans.clear()
-        self._postings_cache.clear()
+        metrics = get_metrics()
+        self._plans.clear(metrics)
+        self._postings_cache.clear(metrics)
         _log.debug("session caches invalidated")
 
     # -- cache plumbing -----------------------------------------------------
@@ -194,7 +210,7 @@ class SearchSession:
         # Register the canonical spelling too: "(a  B)" and "(a b)"
         # share this plan object from now on.
         if plan.key not in self._plans:
-            self._plans.insert(plan.key, plan)
+            self._plans.insert(plan.key, plan, metrics)
         return plan
 
     def postings(self, keyword: str, list_limit: Optional[int] = None,
@@ -253,15 +269,25 @@ class SearchSession:
         # and hand the run to the slow-query log / event sink.  When
         # no ambient registry is active, a private scope captures the
         # phases and counters the captured QueryProfile needs.
+        # ``inflight`` pins the *ambient* registry: the body may rebind
+        # ``metrics`` to a private scope, and the gauge must dec on the
+        # same registry it inc'd.
+        inflight = metrics if metrics.enabled else None
+        if inflight is not None:
+            inflight.gauge_inc("session_inflight_queries")
         start = time.perf_counter()
-        if tracer.enabled:
-            results, metrics = self._execute_traced(
-                query, options, metrics, tracer, "search")
-        elif metrics.enabled:
-            results = self._execute(query, options, metrics)
-        else:
-            with metrics_scope() as metrics:
+        try:
+            if tracer.enabled:
+                results, metrics = self._execute_traced(
+                    query, options, metrics, tracer, "search")
+            elif metrics.enabled:
                 results = self._execute(query, options, metrics)
+            else:
+                with metrics_scope() as metrics:
+                    results = self._execute(query, options, metrics)
+        finally:
+            if inflight is not None:
+                inflight.gauge_dec("session_inflight_queries")
         duration = time.perf_counter() - start
         metrics.observe("search_seconds", duration)
         if profiling:
@@ -401,15 +427,23 @@ class SearchSession:
             self._event_sink is not None
         if not (metrics.enabled or profiling or tracer.enabled):
             return self._execute_batch(queries, options, metrics)
+        inflight = metrics if metrics.enabled else None
+        if inflight is not None:
+            inflight.gauge_inc("session_inflight_queries")
         start = time.perf_counter()
-        if tracer.enabled:
-            answers, metrics = self._execute_traced(
-                queries, options, metrics, tracer, "search-batch")
-        elif metrics.enabled:
-            answers = self._execute_batch(queries, options, metrics)
-        else:
-            with metrics_scope() as metrics:
+        try:
+            if tracer.enabled:
+                answers, metrics = self._execute_traced(
+                    queries, options, metrics, tracer, "search-batch")
+            elif metrics.enabled:
                 answers = self._execute_batch(queries, options, metrics)
+            else:
+                with metrics_scope() as metrics:
+                    answers = self._execute_batch(queries, options,
+                                                  metrics)
+        finally:
+            if inflight is not None:
+                inflight.gauge_dec("session_inflight_queries")
         duration = time.perf_counter() - start
         metrics.observe("batch_seconds", duration)
         if profiling:
@@ -604,6 +638,79 @@ class SearchSession:
                 "misses": counters.get("posting_decode_blocks", 0)},
         }
 
+    # -- continuous profiling / resource watchdog ---------------------------
+
+    @contextmanager
+    def profile_cpu(self, hz: Optional[float] = None):
+        """Sample this thread's stacks for the duration of the block.
+
+        Yields the running
+        :class:`~repro.obs.sampler.StackSampler`, restricted to the
+        calling thread, so the folded profile covers exactly the
+        searches issued inside the block::
+
+            with session.profile_cpu(hz=200) as sampler:
+                for query in workload:
+                    session.search(query)
+            sampler.write_collapsed("profile.folded")
+        """
+        from repro.obs.sampler import DEFAULT_HZ, StackSampler
+        sampler = StackSampler(hz=hz or DEFAULT_HZ,
+                               thread_ids=(threading.get_ident(),))
+        self._profiler = sampler  # /flamez serves it during and after
+        with sampler:
+            yield sampler
+
+    def start_cpu_profiler(self, hz: Optional[float] = None):
+        """Start (or return the already-running) continuous profiler.
+
+        Samples **every** live thread at ``hz`` until
+        :meth:`stop_cpu_profiler`; the aggregated collapsed profile is
+        what ``/flamez`` serves.
+        """
+        if self._profiler is not None and self._profiler.running:
+            return self._profiler
+        from repro.obs.sampler import DEFAULT_HZ, StackSampler
+        self._profiler = StackSampler(hz=hz or DEFAULT_HZ)
+        return self._profiler.start()
+
+    def stop_cpu_profiler(self):
+        """Stop the continuous profiler; returns it (or ``None``) so
+        the caller can still export the aggregated profile."""
+        profiler, self._profiler = self._profiler, None
+        if profiler is not None:
+            profiler.stop()
+        return profiler
+
+    def start_watchdog(self, interval: float = 1.0,
+                       budgets: Optional[dict] = None,
+                       capacity: int = 64, registry=None):
+        """Start (or return the already-running) resource watchdog.
+
+        Snapshots RSS / fds / threads / gauges every ``interval``
+        seconds into the ring ``/resourcez`` serves, evaluating the
+        optional soft ``budgets`` (see
+        :class:`~repro.obs.watchdog.ResourceWatchdog`); breaches go to
+        the session's event sink when one is attached.
+        """
+        if self._watchdog is not None and self._watchdog.running:
+            return self._watchdog
+        from repro.obs.watchdog import ResourceWatchdog
+        self._watchdog = ResourceWatchdog(interval=interval,
+                                          capacity=capacity,
+                                          budgets=budgets,
+                                          registry=registry,
+                                          sink=self._event_sink)
+        return self._watchdog.start()
+
+    def stop_watchdog(self):
+        """Stop the resource watchdog; returns it (or ``None``) so the
+        caller can still read the snapshot history."""
+        watchdog, self._watchdog = self._watchdog, None
+        if watchdog is not None:
+            watchdog.stop()
+        return watchdog
+
     # -- slow-query log / event sink / telemetry ----------------------------
 
     @property
@@ -629,19 +736,29 @@ class SearchSession:
         self._event_sink = sink
 
     def serve_telemetry(self, port: int = 0, host: str = "127.0.0.1",
-                        registry=None, namespace: str = "repro"):
+                        registry=None, namespace: str = "repro",
+                        watchdog_interval: Optional[float] = 1.0,
+                        watchdog_budgets: Optional[dict] = None):
         """Start the live telemetry endpoint for this session.
 
         Exposes ``/metrics`` (OpenMetrics exposition of ``registry``),
         ``/healthz`` (index size, cache and slow-query statistics),
-        ``/profilez`` (the slow-query log as JSON) and ``/tracez``
-        (digests of the active tracer's recent traces).  Without an
-        explicit ``registry`` a fresh one is installed process-wide
-        via :func:`~repro.obs.metrics.set_global_metrics`, so every
+        ``/profilez`` (the slow-query log as JSON), ``/tracez``
+        (digests of the active tracer's recent traces), ``/flamez``
+        (the continuous profiler's collapsed stacks — start one with
+        :meth:`start_cpu_profiler`) and ``/resourcez`` (the resource
+        watchdog's snapshot history).  Without an explicit
+        ``registry`` a fresh one is installed process-wide via
+        :func:`~repro.obs.metrics.set_global_metrics`, so every
         subsequent search on any thread reports into the scrape
         (scoped registries still take precedence while active).
+
+        A resource watchdog is started automatically at
+        ``watchdog_interval`` seconds (pass ``None`` to opt out) so
+        ``/resourcez`` has history from the first scrape on; a
+        watchdog already started via :meth:`start_watchdog` is kept.
         Returns the :class:`~repro.obs.server.TelemetryServer`; stop
-        it with :meth:`close_telemetry`.
+        everything with :meth:`close_telemetry`.
         """
         from repro.obs.metrics import MetricsRegistry, set_global_metrics
         from repro.obs.server import TelemetryServer
@@ -651,6 +768,10 @@ class SearchSession:
             registry = MetricsRegistry()
             set_global_metrics(registry)
             self._owns_global_registry = True
+        if watchdog_interval is not None:
+            self.start_watchdog(interval=watchdog_interval,
+                                budgets=watchdog_budgets,
+                                registry=registry)
         from repro.obs.tracing import recent_traces
         self._telemetry = TelemetryServer(
             registry.snapshot,
@@ -659,15 +780,25 @@ class SearchSession:
                                        if self._slow_log is not None
                                        else []),
             traces_provider=recent_traces,
+            flame_provider=lambda: (self._profiler.to_collapsed()
+                                    if self._profiler is not None
+                                    else ""),
+            resources_provider=lambda: (self._watchdog.as_json()
+                                        if self._watchdog is not None
+                                        else {"snapshots": [],
+                                              "breaches": []}),
             port=port, host=host, namespace=namespace)
         return self._telemetry
 
     def close_telemetry(self) -> None:
         """Stop the telemetry endpoint started by
-        :meth:`serve_telemetry` (idempotent)."""
+        :meth:`serve_telemetry`, plus the watchdog and continuous
+        profiler if running (idempotent)."""
         telemetry, self._telemetry = self._telemetry, None
         if telemetry is not None:
             telemetry.close()
+        self.stop_watchdog()
+        self.stop_cpu_profiler()
         if self._owns_global_registry:
             from repro.obs.metrics import set_global_metrics
             set_global_metrics(None)

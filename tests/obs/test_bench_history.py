@@ -15,6 +15,7 @@ def _snapshot() -> dict:
     registry = MetricsRegistry()
     registry.inc("postings_consumed", 30)
     registry.observe("search_seconds", 0.002)
+    registry.gauge_set("plan_cache_entries", 4)
     with registry.span("stream-scan"):
         pass
     return registry.snapshot()
@@ -42,6 +43,8 @@ def test_make_record_schema():
     assert record["git_sha"] == "abc123"
     assert record["wall_seconds"] == 0.25
     assert record["counters"]["postings_consumed"] == 30
+    assert record["gauges"]["plan_cache_entries"] == \
+        {"value": 4, "min": 4, "max": 4}
     quantiles = record["quantiles"]["search_seconds"]
     assert quantiles["count"] == 1
     assert quantiles["sum"] == 0.002
@@ -81,6 +84,30 @@ def test_load_history_missing_file(tmp_path):
 
 def test_peak_rss_is_positive():
     assert bench.peak_rss_kb() > 0
+
+
+class TestMaxrssNormalization:
+    """``ru_maxrss`` is KiB on Linux but *bytes* on macOS."""
+
+    def test_linux_is_already_kib(self):
+        assert bench._normalize_maxrss(51200, "linux") == 51200
+
+    def test_darwin_bytes_become_kib(self):
+        assert bench._normalize_maxrss(52_428_800, "darwin") == 51200
+
+    def test_peak_rss_normalizes_via_sys_platform(self, monkeypatch):
+        import resource
+        import types
+
+        def fake_getrusage(who):
+            assert who == resource.RUSAGE_SELF
+            return types.SimpleNamespace(ru_maxrss=8_388_608)
+
+        monkeypatch.setattr(resource, "getrusage", fake_getrusage)
+        monkeypatch.setattr(bench.sys, "platform", "darwin")
+        assert bench.peak_rss_kb() == 8192
+        monkeypatch.setattr(bench.sys, "platform", "linux")
+        assert bench.peak_rss_kb() == 8_388_608
 
 
 def test_git_sha_in_repo_and_outside(tmp_path):

@@ -9,15 +9,22 @@ dashboards against ``/metrics``.
 Trace span attributes, same two directions: the "Span attribute
 catalogue" table (rows prefixed ``| attr:``) against
 :data:`repro.obs.tracing.TRACE_ATTRIBUTES`.
+
+Gauges, same two directions: the gauge catalogue (rows prefixed
+``| gauge:``) against the declared gauge tuples plus literal
+``gauge_set/inc/dec("...")`` calls.  The runtime-cache gauge names are
+built from f-strings (``f"{name}_entries"``), which the literal regex
+cannot see — that is what :data:`RUNTIME_GAUGES` is for.
 """
 
 import re
 from pathlib import Path
 
 from repro.core.engine import ENGINE_COUNTERS
-from repro.index.store_v2 import STORE_V2_COUNTERS
-from repro.obs.tracing import TRACE_ATTRIBUTES
-from repro.runtime.session import RUNTIME_COUNTERS
+from repro.index.store_v2 import STORE_V2_COUNTERS, STORE_V2_GAUGES
+from repro.obs.tracing import TRACE_ATTRIBUTES, TRACING_GAUGES
+from repro.obs.watchdog import WATCHDOG_GAUGES
+from repro.runtime.session import RUNTIME_COUNTERS, RUNTIME_GAUGES
 
 REPO = Path(__file__).resolve().parents[2]
 SRC = REPO / "src" / "repro"
@@ -83,3 +90,41 @@ def test_every_documented_trace_attribute_exists_in_code():
     assert not stale, \
         f"span attributes documented in docs/OBSERVABILITY.md but " \
         f"missing from TRACE_ATTRIBUTES: {sorted(stale)}"
+
+
+_GAUGE_LITERAL = re.compile(
+    r'\.gauge_(?:set|inc|dec)\(\s*"([a-z0-9_]+)"')
+
+
+def _code_gauges() -> set:
+    names = set(RUNTIME_GAUGES) | set(STORE_V2_GAUGES) \
+        | set(TRACING_GAUGES) | set(WATCHDOG_GAUGES)
+    for path in SRC.rglob("*.py"):
+        names.update(
+            _GAUGE_LITERAL.findall(path.read_text(encoding="utf-8")))
+    return names
+
+
+def _documented_gauges() -> set:
+    """Backticked names in the ``| gauge:``-prefixed catalogue rows."""
+    names = set()
+    for line in DOC.read_text(encoding="utf-8").splitlines():
+        if not line.startswith("| gauge:"):
+            continue
+        first_cell = line.split("|")[1]
+        names.update(_BACKTICKED.findall(first_cell))
+    return names
+
+
+def test_every_published_gauge_is_documented():
+    missing = _code_gauges() - _documented_gauges()
+    assert not missing, \
+        f"gauges published in src/repro/ but absent from " \
+        f"docs/OBSERVABILITY.md's gauge catalogue: {sorted(missing)}"
+
+
+def test_every_documented_gauge_exists_in_code():
+    stale = _documented_gauges() - _code_gauges()
+    assert not stale, \
+        f"gauges documented in docs/OBSERVABILITY.md but never " \
+        f"published in src/repro/: {sorted(stale)}"

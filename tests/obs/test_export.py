@@ -58,6 +58,28 @@ class TestToOpenMetrics:
         assert "repro_postings_consumed_total 42" in text
         assert text.endswith("# EOF\n")
 
+    def test_gauges_become_gauge_families(self):
+        registry = MetricsRegistry()
+        registry.gauge_set("plan_cache_entries", 12)
+        registry.gauge_set("plan_cache_entries", 8)
+        text = to_openmetrics(registry.snapshot())
+        assert "# TYPE repro_plan_cache_entries gauge" in text
+        assert "repro_plan_cache_entries 8" in text
+        assert 'repro_plan_cache_entries{stat="min"} 8' in text
+        assert 'repro_plan_cache_entries{stat="max"} 12' in text
+
+    def test_gauges_round_trip_through_parser(self):
+        registry = MetricsRegistry()
+        registry.gauge_set("inflight", 2)
+        registry.gauge_dec("inflight")
+        families = parse_openmetrics(to_openmetrics(registry.snapshot()))
+        gauge = families["repro_inflight"]
+        assert gauge["type"] == "gauge"
+        samples = {(suffix, labels.get("stat")): value
+                   for suffix, labels, value in gauge["samples"]}
+        assert samples == {("", None): 1.0, ("", "min"): 1.0,
+                           ("", "max"): 2.0}
+
     def test_histograms_become_summaries_with_quantiles(self):
         text = to_openmetrics(self._snapshot())
         assert "# TYPE repro_search_seconds summary" in text

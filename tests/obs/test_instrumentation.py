@@ -95,6 +95,55 @@ class TestIndexCounters:
         assert "index-load" in metrics.snapshot()["phases"]
 
 
+class TestHotPathGauges:
+    def test_search_publishes_cache_occupancy_gauges(self, figure1_index):
+        from repro.runtime import SearchSession
+        session = SearchSession(figure1_index)
+        with metrics_scope() as metrics:
+            session.search(Q1)
+        gauges = metrics.snapshot()["gauges"]
+        assert gauges["plan_cache_entries"]["value"] >= 1
+        assert gauges["plan_cache_bytes"]["value"] > 0
+        assert gauges["posting_cache_entries"]["value"] >= 1
+        assert gauges["posting_cache_bytes"]["value"] > 0
+
+    def test_inflight_gauge_returns_to_zero_with_peak_one(
+            self, figure1_index):
+        from repro.runtime import SearchSession
+        session = SearchSession(figure1_index)
+        with metrics_scope() as metrics:
+            session.search(Q1)
+            session.search(Q1)
+        inflight = metrics.snapshot()["gauges"]["session_inflight_queries"]
+        assert inflight == {"value": 0, "min": 0, "max": 1}
+
+    def test_lazy_store_publishes_residency_gauges(self, figure1_index,
+                                                   tmp_path):
+        from repro.index.store_v2 import open_index, save_index_v2
+        path = tmp_path / "fig1.cks2"
+        save_index_v2(figure1_index, path)
+        lazy = open_index(path)
+        with metrics_scope() as metrics:
+            lazy.postings("xml")
+            lazy.postings("cooper")
+        gauges = metrics.snapshot()["gauges"]
+        assert gauges["index_decoded_blocks"]["value"] == 2
+        assert gauges["index_decoded_bytes"]["value"] > 0
+
+    def test_tracer_ring_depth_gauge(self):
+        from repro.obs import Tracer
+        tracer = Tracer(capacity=2)
+        try:
+            with metrics_scope() as metrics:
+                for _ in range(3):
+                    with tracer.span("s"):
+                        pass
+            assert metrics.gauge("trace_ring_depth") == 2
+            assert metrics.counter("trace_spans_dropped") == 1
+        finally:
+            tracer.close()
+
+
 class TestBaselineCounters:
     def test_slca_counts_list_accesses(self, figure1_index):
         with metrics_scope() as metrics:

@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro.obs import (NULL_METRICS, Histogram, MetricsRegistry,
+from repro.obs import (NULL_METRICS, Gauge, Histogram, MetricsRegistry,
                        get_metrics, metrics_scope, set_global_metrics)
 from repro.obs.metrics import RESERVOIR_SIZE
 
@@ -39,6 +39,75 @@ class TestCounters:
         assert list(view) == ["a", "b"]
         view["c"] = 1  # mutating the copy must not touch the registry
         assert registry.counter("c") == 0
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        registry.gauge_set("depth", 5)
+        registry.gauge_inc("depth", 3)
+        registry.gauge_dec("depth")
+        assert registry.gauge("depth") == 7
+
+    def test_unknown_gauge_reads_zero(self):
+        assert MetricsRegistry().gauge("never") == 0
+
+    def test_extremes_bracket_the_excursion(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.set(-4)
+        gauge.set(2)
+        assert gauge.as_dict() == {"value": 2, "min": -4, "max": 10}
+        gauge.reset_extremes()
+        assert gauge.as_dict() == {"value": 2, "min": 2, "max": 2}
+
+    def test_inc_from_nothing_starts_at_zero(self):
+        registry = MetricsRegistry()
+        registry.gauge_inc("inflight")
+        registry.gauge_dec("inflight")
+        data = registry.gauges["inflight"]
+        assert data == {"value": 0, "min": 0, "max": 1}
+
+    def test_gauges_view_is_sorted_copy(self):
+        registry = MetricsRegistry()
+        registry.gauge_set("b", 1)
+        registry.gauge_set("a", 2)
+        view = registry.gauges
+        assert list(view) == ["a", "b"]
+        view["c"] = {"value": 9}
+        assert registry.gauge("c") == 0
+
+    def test_snapshot_includes_gauges(self):
+        registry = MetricsRegistry()
+        registry.gauge_set("rss_bytes", 1000)
+        registry.gauge_set("rss_bytes", 800)
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]["rss_bytes"] == \
+            {"value": 800, "min": 800, "max": 1000}
+
+    def test_report_renders_gauges_section(self):
+        from repro.obs import format_report
+        registry = MetricsRegistry()
+        registry.gauge_set("posting_cache_bytes", 4096)
+        text = format_report(registry.snapshot())
+        assert "gauges" in text
+        assert "posting_cache_bytes" in text
+        assert "value=4096" in text
+
+    def test_concurrent_gauge_updates_are_exact(self):
+        registry = MetricsRegistry()
+        threads, rounds = 8, 2_000
+
+        def work():
+            for _ in range(rounds):
+                registry.gauge_inc("shared")
+
+        workers = [threading.Thread(target=work) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert registry.gauge("shared") == threads * rounds
 
 
 class TestHistograms:
@@ -148,6 +217,68 @@ class TestHistograms:
         assert "p99=" in text
 
 
+class TestHistogramQuantileEdgeCases:
+    """Degenerate distributions must render the *same* p50/p90/p99 in
+    the human report and the OpenMetrics exposition."""
+
+    @staticmethod
+    def _quantiles_everywhere(registry, name):
+        """(as_dict, report-line, exposition-series) for ``name``."""
+        from repro.obs import (format_report, parse_openmetrics,
+                               to_openmetrics)
+        snapshot = registry.snapshot()
+        data = snapshot["histograms"][name]
+        line = next(line for line in
+                    format_report(snapshot).splitlines()
+                    if line.lstrip().startswith(name))
+        series = {labels["quantile"]: value
+                  for suffix, labels, value in
+                  parse_openmetrics(to_openmetrics(snapshot))
+                  [f"repro_{name}"]["samples"]
+                  if suffix == "" and "quantile" in labels}
+        return data, line, series
+
+    def _assert_consistent(self, registry, name, expected):
+        data, line, series = self._quantiles_everywhere(registry, name)
+        for q_key, q_label in (("p50", "0.5"), ("p90", "0.9"),
+                               ("p99", "0.99")):
+            assert data[q_key] == expected
+            assert f"{q_key}={expected:.3f}" in line
+            assert series[q_label] == expected
+
+    def test_single_observation_collapses_all_quantiles(self):
+        registry = MetricsRegistry()
+        registry.observe("lat_seconds", 0.25)
+        histogram = registry.histogram("lat_seconds")
+        assert histogram.count == 1
+        self._assert_consistent(registry, "lat_seconds", 0.25)
+
+    def test_exactly_full_reservoir_stays_exact(self):
+        registry = MetricsRegistry()
+        for value in range(1, RESERVOIR_SIZE + 1):  # 1..1024
+            registry.observe("lat_seconds", float(value))
+        histogram = registry.histogram("lat_seconds")
+        assert histogram.count == RESERVOIR_SIZE
+        assert len(histogram._samples) == RESERVOIR_SIZE
+        # nearest rank over the exact sample: q -> int(q * 1024) + 1
+        data, line, series = self._quantiles_everywhere(
+            registry, "lat_seconds")
+        for q_key, q_label, expected in (("p50", "0.5", 513.0),
+                                         ("p90", "0.9", 922.0),
+                                         ("p99", "0.99", 1014.0)):
+            assert data[q_key] == expected
+            assert f"{q_key}={expected:.3f}" in line
+            assert series[q_label] == expected
+
+    def test_all_equal_values_pin_every_quantile(self):
+        registry = MetricsRegistry()
+        for _ in range(RESERVOIR_SIZE + 7):  # past the reservoir too
+            registry.observe("lat_seconds", 3.5)
+        histogram = registry.histogram("lat_seconds")
+        assert histogram.minimum == histogram.maximum == 3.5
+        self._assert_consistent(registry, "lat_seconds", 3.5)
+
+
 class TestScoping:
     def test_disabled_by_default(self):
         assert get_metrics() is NULL_METRICS
@@ -197,14 +328,18 @@ class TestNullMetrics:
         NULL_METRICS.inc("a")
         NULL_METRICS.observe("h", 1.0)
         NULL_METRICS.declare("a", "b")
+        NULL_METRICS.gauge_set("g", 5)
+        NULL_METRICS.gauge_inc("g")
+        NULL_METRICS.gauge_dec("g")
         with NULL_METRICS.span("phase"):
             pass
         with NULL_METRICS.timer("phase"):
             pass
         assert NULL_METRICS.counter("a") == 0
+        assert NULL_METRICS.gauge("g") == 0
         snapshot = NULL_METRICS.snapshot()
-        assert snapshot == {"counters": {}, "histograms": {},
-                            "phases": {}, "spans": []}
+        assert snapshot == {"counters": {}, "gauges": {},
+                            "histograms": {}, "phases": {}, "spans": []}
 
 
 class TestThreadSafety:

@@ -1,0 +1,181 @@
+"""The sampling CPU profiler: folded aggregation and exporters."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.export import to_speedscope, write_speedscope
+from repro.obs.sampler import DEFAULT_HZ, StackSampler, _frame_label
+
+
+def _spin(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(range(100))
+
+
+def _sample_busy_thread(sampler_kwargs=None, seconds=0.3):
+    """Run a busy worker under a sampler; returns (sampler, worker tid)."""
+    stop = threading.Event()
+    worker = threading.Thread(target=_spin, args=(stop,), daemon=True)
+    worker.start()
+    kwargs = {"hz": 500, "thread_ids": (worker.ident,)}
+    kwargs.update(sampler_kwargs or {})
+    try:
+        with StackSampler(**kwargs) as sampler:
+            time.sleep(seconds)
+    finally:
+        stop.set()
+        worker.join(timeout=5.0)
+    return sampler, worker.ident
+
+
+class TestStackSampler:
+    def test_rejects_non_positive_hz(self):
+        with pytest.raises(ValueError):
+            StackSampler(hz=0)
+        with pytest.raises(ValueError):
+            StackSampler(hz=-1)
+
+    def test_default_hz_is_prime(self):
+        assert DEFAULT_HZ == 97
+        assert all(DEFAULT_HZ % d for d in range(2, DEFAULT_HZ))
+
+    def test_empty_before_first_sample(self):
+        sampler = StackSampler()
+        assert sampler.folded() == {}
+        assert sampler.to_collapsed() == ""
+        assert sampler.sample_count == 0
+        assert not sampler.running
+
+    def test_samples_a_busy_thread(self):
+        sampler, _ = _sample_busy_thread()
+        assert sampler.sample_count > 0
+        folded = sampler.folded()
+        assert sum(folded.values()) == sampler.sample_count
+        # the spin loop dominates the profile
+        assert any("_spin" in key for key in folded)
+
+    def test_collapsed_lines_are_sorted_stack_count_pairs(self):
+        sampler, _ = _sample_busy_thread()
+        lines = sampler.to_collapsed().splitlines()
+        assert lines == sorted(lines)
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert ";" in stack or "." in stack
+            assert int(count) > 0
+
+    def test_thread_filter_excludes_other_threads(self):
+        # restricted to a tid that never runs Python code -> no samples
+        sampler, _ = _sample_busy_thread(
+            sampler_kwargs={"thread_ids": (987654321,)})
+        assert sampler.sample_count == 0
+
+    def test_sampler_never_samples_itself(self):
+        sampler, _ = _sample_busy_thread()
+        assert all("StackSampler._run" not in key
+                   for key in sampler.folded())
+
+    def test_reset_drops_samples(self):
+        sampler, _ = _sample_busy_thread()
+        assert sampler.sample_count > 0
+        sampler.reset()
+        assert sampler.folded() == {}
+        assert sampler.sample_count == 0
+
+    def test_counts_accumulate_across_start_stop_cycles(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_spin, args=(stop,),
+                                  daemon=True)
+        worker.start()
+        sampler = StackSampler(hz=500, thread_ids=(worker.ident,))
+        try:
+            with sampler:
+                time.sleep(0.15)
+            first = sampler.sample_count
+            with sampler:
+                time.sleep(0.15)
+        finally:
+            stop.set()
+            worker.join(timeout=5.0)
+        assert first > 0
+        assert sampler.sample_count > first
+
+    def test_stop_is_idempotent(self):
+        sampler = StackSampler().start()
+        assert sampler.running
+        sampler.stop()
+        sampler.stop()
+        assert not sampler.running
+
+    def test_write_collapsed(self, tmp_path):
+        sampler, _ = _sample_busy_thread()
+        path = sampler.write_collapsed(tmp_path / "deep" / "p.folded")
+        text = path.read_text(encoding="utf-8")
+        assert text.endswith("\n")
+        assert text.rstrip("\n") == sampler.to_collapsed()
+
+    def test_write_collapsed_empty_profile(self, tmp_path):
+        path = StackSampler().write_collapsed(tmp_path / "p.folded")
+        assert path.read_text(encoding="utf-8") == ""
+
+    def test_frame_label_uses_module_and_qualname(self):
+        import sys
+        frame = sys._getframe()
+        label = _frame_label(frame)
+        assert label.startswith("tests.obs.test_sampler.")
+        assert label.endswith("test_frame_label_uses_module_and_qualname")
+
+
+class TestSpeedscopeExport:
+    def test_document_shape_and_weights(self):
+        folded = {"a;b;c": 3, "a;b": 2, "d": 1}
+        doc = to_speedscope(folded, name="unit")
+        assert doc["$schema"] == \
+            "https://www.speedscope.app/file-format-schema.json"
+        assert doc["name"] == "unit"
+        profile = doc["profiles"][0]
+        assert profile["type"] == "sampled"
+        assert sum(profile["weights"]) == 6
+        assert len(profile["samples"]) == len(profile["weights"]) == 3
+        frames = [f["name"] for f in doc["shared"]["frames"]]
+        assert set(frames) == {"a", "b", "c", "d"}
+        # samples reference frames by index, root first
+        first = profile["samples"][0]
+        assert [frames[i] for i in first] == ["a", "b"]
+
+    def test_empty_profile_is_valid(self):
+        doc = to_speedscope({})
+        profile = doc["profiles"][0]
+        assert profile["samples"] == []
+        assert profile["weights"] == []
+        assert profile["endValue"] == 0
+
+    def test_write_speedscope_round_trips_json(self, tmp_path):
+        sampler, _ = _sample_busy_thread()
+        path = write_speedscope(tmp_path / "p.speedscope.json",
+                                sampler.folded())
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert sum(doc["profiles"][0]["weights"]) == \
+            sampler.sample_count
+
+
+class TestSessionProfiling:
+    def test_profile_cpu_captures_the_search(self):
+        from repro.index.inverted import InvertedIndex
+        from repro.runtime import SearchSession
+        from repro.xmlio.loader import load_tree
+        tree = load_tree(
+            "<root>" + "<a><b>alpha</b><c>beta</c></a>" * 50 +
+            "</root>")
+        session = SearchSession(InvertedIndex.from_tree(tree))
+        with session.profile_cpu(hz=500) as sampler:
+            deadline = time.monotonic() + 0.3
+            while time.monotonic() < deadline:
+                session.search("(alpha beta)")
+        assert sampler.sample_count > 0
+        assert any("repro" in key for key in sampler.folded())
+        # the sampler stays referenced so /flamez can serve it
+        assert session._profiler is sampler
+        assert not sampler.running

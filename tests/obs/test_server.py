@@ -1,4 +1,5 @@
-"""The live telemetry endpoint: /metrics, /healthz, /profilez, /tracez."""
+"""The live telemetry endpoint: /metrics, /healthz, /profilez,
+/tracez, /flamez and /resourcez."""
 
 import json
 import urllib.error
@@ -91,11 +92,48 @@ class TestTelemetryServer:
             _, _, body = _get(server.url + "/tracez")
         assert json.loads(body) == []
 
+    def test_flamez_serves_collapsed_profile(self, registry):
+        collapsed = "a;b;c 5\na;b 2"
+        with TelemetryServer(registry.snapshot,
+                             flame_provider=lambda: collapsed) as server:
+            status, content_type, body = _get(server.url + "/flamez")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert body == collapsed
+
+    def test_flamez_defaults_to_empty_profile(self, registry):
+        with TelemetryServer(registry.snapshot) as server:
+            status, _, body = _get(server.url + "/flamez")
+        assert status == 200
+        assert body == ""
+
+    def test_resourcez_serves_watchdog_document(self, registry):
+        from repro.obs import ResourceWatchdog
+        watchdog = ResourceWatchdog(registry=registry)
+        watchdog.snap()
+        with TelemetryServer(registry.snapshot,
+                             resources_provider=watchdog.as_json
+                             ) as server:
+            status, content_type, body = _get(server.url + "/resourcez")
+        assert status == 200
+        assert content_type == "application/json"
+        document = json.loads(body)
+        assert document["sampled"] == 1
+        (snapshot,) = document["snapshots"]
+        assert snapshot["threads"] >= 1
+
+    def test_resourcez_defaults_to_empty_document(self, registry):
+        with TelemetryServer(registry.snapshot) as server:
+            _, _, body = _get(server.url + "/resourcez")
+        assert json.loads(body) == {"snapshots": [], "breaches": []}
+
     def test_unknown_route_is_404(self, registry):
         with TelemetryServer(registry.snapshot) as server:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 _get(server.url + "/nope")
             assert excinfo.value.code == 404
+            body = excinfo.value.read().decode("utf-8")
+            assert "/flamez" in body and "/resourcez" in body
 
     def test_close_is_idempotent(self, registry):
         server = TelemetryServer(registry.snapshot)
@@ -156,6 +194,55 @@ class TestSessionTelemetry:
         finally:
             set_global_tracer(None)
             tracer.close()
+            session.close_telemetry()
+
+    def test_resourcez_has_history_from_the_auto_watchdog(
+            self, figure1_index):
+        import time
+        session = SearchSession(figure1_index)
+        try:
+            server = session.serve_telemetry(port=0,
+                                             watchdog_interval=0.05)
+            session.search(Q1)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                _, _, body = _get(server.url + "/resourcez")
+                document = json.loads(body)
+                latest = document["snapshots"][-1]
+                if document["sampled"] >= 2 and latest["gauges"]:
+                    break
+                time.sleep(0.02)
+            assert document["sampled"] >= 2
+            assert latest["threads"] >= 1
+            assert "plan_cache_entries" in latest["gauges"]
+        finally:
+            session.close_telemetry()
+        assert session._watchdog is None
+
+    def test_serve_telemetry_can_opt_out_of_the_watchdog(
+            self, figure1_index):
+        session = SearchSession(figure1_index)
+        try:
+            server = session.serve_telemetry(port=0,
+                                             watchdog_interval=None)
+            _, _, body = _get(server.url + "/resourcez")
+            assert json.loads(body) == {"snapshots": [],
+                                        "breaches": []}
+        finally:
+            session.close_telemetry()
+
+    def test_flamez_serves_the_session_profiler(self, figure1_index):
+        session = SearchSession(figure1_index)
+        try:
+            server = session.serve_telemetry(port=0)
+            with session.profile_cpu(hz=500):
+                import time
+                deadline = time.monotonic() + 0.2
+                while time.monotonic() < deadline:
+                    session.search(Q1)
+            _, _, body = _get(server.url + "/flamez")
+            assert "repro" in body  # engine frames dominate
+        finally:
             session.close_telemetry()
 
     def test_close_telemetry_removes_global_registry(self, figure1_index):

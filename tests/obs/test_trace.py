@@ -49,8 +49,8 @@ class TestSnapshot:
 
     def test_shape_and_json_round_trip(self):
         snapshot = self._populated().snapshot()
-        assert set(snapshot) == {"counters", "histograms", "phases",
-                                 "spans"}
+        assert set(snapshot) == {"counters", "gauges", "histograms",
+                                 "phases", "spans"}
         decoded = json.loads(json.dumps(snapshot))
         assert decoded["counters"]["postings_consumed"] == 10
         assert decoded["histograms"]["posting_list_length"]["count"] == 1

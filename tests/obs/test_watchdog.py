@@ -1,0 +1,198 @@
+"""The resource watchdog: snapshots, rings and soft budgets."""
+
+import sys
+import time
+import tracemalloc
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.watchdog import (BUDGET_KEYS, WATCHDOG_GAUGES,
+                                ResourceWatchdog, current_rss_bytes,
+                                open_fd_count)
+
+
+class _RecordingSink:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, kind, payload):
+        self.events.append((kind, payload))
+
+
+class TestProbes:
+    @pytest.mark.skipif(not sys.platform.startswith("linux"),
+                        reason="/proc probes are Linux-only")
+    def test_current_rss_bytes_is_plausible(self):
+        rss = current_rss_bytes()
+        assert isinstance(rss, int)
+        assert rss > 1024 * 1024  # a CPython process is > 1 MiB
+
+    @pytest.mark.skipif(not sys.platform.startswith("linux"),
+                        reason="/proc probes are Linux-only")
+    def test_open_fd_count_is_positive(self):
+        fds = open_fd_count()
+        assert isinstance(fds, int)
+        assert fds > 0
+
+
+class TestConstruction:
+    def test_rejects_bad_interval_and_capacity(self):
+        with pytest.raises(ValueError):
+            ResourceWatchdog(interval=0)
+        with pytest.raises(ValueError):
+            ResourceWatchdog(interval=-1)
+        with pytest.raises(ValueError):
+            ResourceWatchdog(capacity=0)
+
+    def test_rejects_unknown_budget_keys(self):
+        with pytest.raises(ValueError, match="max_rss_gb"):
+            ResourceWatchdog(budgets={"max_rss_gb": 1})
+        # every built-in key and the gauge:<name> form are accepted
+        ResourceWatchdog(budgets=dict.fromkeys(BUDGET_KEYS, 1))
+        ResourceWatchdog(budgets={"gauge:plan_cache_entries": 1})
+
+
+class TestSnapshots:
+    def test_snap_shape(self):
+        watchdog = ResourceWatchdog(registry=MetricsRegistry())
+        snapshot = watchdog.snap()
+        assert set(snapshot) == {"timestamp", "rss_bytes", "open_fds",
+                                 "threads", "tracemalloc_peak_bytes",
+                                 "gauges"}
+        assert snapshot["threads"] >= 1
+        assert watchdog.sampled == 1
+        assert len(watchdog) == 1
+
+    def test_snap_republishes_process_gauges(self):
+        registry = MetricsRegistry()
+        snapshot = ResourceWatchdog(registry=registry).snap()
+        for field, gauge in (("rss_bytes", "process_rss_bytes"),
+                             ("open_fds", "process_open_fds"),
+                             ("threads", "process_threads")):
+            if snapshot[field] is not None:
+                assert registry.gauge(gauge) == snapshot[field]
+                assert gauge in WATCHDOG_GAUGES
+
+    def test_snap_captures_registry_gauges(self):
+        registry = MetricsRegistry()
+        registry.gauge_set("plan_cache_entries", 7)
+        snapshot = ResourceWatchdog(registry=registry).snap()
+        assert snapshot["gauges"]["plan_cache_entries"] == 7
+
+    def test_tracemalloc_peak_none_unless_tracing(self):
+        registry = MetricsRegistry()
+        watchdog = ResourceWatchdog(registry=registry)
+        assert watchdog.snap()["tracemalloc_peak_bytes"] is None
+        tracemalloc.start()
+        try:
+            peak = watchdog.snap()["tracemalloc_peak_bytes"]
+        finally:
+            tracemalloc.stop()
+        assert isinstance(peak, int)
+        assert registry.gauge("tracemalloc_peak_bytes") == peak
+
+    def test_ring_keeps_newest_but_counts_lifetime(self):
+        watchdog = ResourceWatchdog(capacity=3,
+                                    registry=MetricsRegistry())
+        for _ in range(5):
+            watchdog.snap()
+        assert len(watchdog) == 3
+        assert watchdog.sampled == 5
+        snapshots = watchdog.snapshots()
+        assert snapshots == sorted(snapshots,
+                                   key=lambda s: s["timestamp"])
+        assert list(watchdog) == snapshots
+
+    def test_null_metrics_snapshot_has_no_gauges(self):
+        # default registry resolution reaches NULL_METRICS here
+        snapshot = ResourceWatchdog().snap()
+        assert snapshot["gauges"] == {}
+
+
+class TestBudgets:
+    def test_rss_budget_breach_is_recorded_counted_and_emitted(self):
+        registry = MetricsRegistry()
+        sink = _RecordingSink()
+        watchdog = ResourceWatchdog(budgets={"max_rss_mb": 0.001},
+                                    registry=registry, sink=sink)
+        snapshot = watchdog.snap()
+        if snapshot["rss_bytes"] is None:
+            pytest.skip("no RSS probe on this platform")
+        assert watchdog.breached == 1
+        breach = watchdog.breaches()[0]
+        assert breach["budget"] == "max_rss_mb"
+        assert breach["limit"] == 0.001
+        assert breach["value"] > 0.001
+        assert registry.counters["watchdog_breaches"] == 1
+        assert sink.events == [("resource_breach", breach)]
+
+    def test_within_budget_records_nothing(self):
+        registry = MetricsRegistry()
+        watchdog = ResourceWatchdog(budgets={"max_rss_mb": 1 << 20,
+                                             "max_threads": 10_000},
+                                    registry=registry)
+        watchdog.snap()
+        assert watchdog.breached == 0
+        assert "watchdog_breaches" not in registry.counters
+
+    def test_gauge_budget_targets_a_named_gauge(self):
+        registry = MetricsRegistry()
+        registry.gauge_set("plan_cache_entries", 9)
+        watchdog = ResourceWatchdog(
+            budgets={"gauge:plan_cache_entries": 5}, registry=registry)
+        watchdog.snap()
+        assert watchdog.breached == 1
+        assert watchdog.breaches()[0]["value"] == 9
+
+    def test_max_cache_bytes_sums_cache_byte_gauges(self):
+        registry = MetricsRegistry()
+        registry.gauge_set("plan_cache_bytes", 600)
+        registry.gauge_set("posting_cache_bytes", 500)
+        registry.gauge_set("plan_cache_entries", 999_999)  # not summed
+        watchdog = ResourceWatchdog(budgets={"max_cache_bytes": 1000},
+                                    registry=registry)
+        watchdog.snap()
+        assert watchdog.breached == 1
+        assert watchdog.breaches()[0]["value"] == 1100
+
+    def test_missing_gauge_budget_never_breaches(self):
+        watchdog = ResourceWatchdog(budgets={"gauge:absent": 1},
+                                    registry=MetricsRegistry())
+        watchdog.snap()
+        assert watchdog.breached == 0
+
+
+class TestLifecycle:
+    def test_background_sampling_accumulates(self):
+        watchdog = ResourceWatchdog(interval=0.01,
+                                    registry=MetricsRegistry())
+        with watchdog:
+            assert watchdog.running
+            deadline = time.monotonic() + 2.0
+            while watchdog.sampled < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert not watchdog.running
+        assert watchdog.sampled >= 3  # immediate snap + periodic ones
+
+    def test_start_and_stop_are_idempotent(self):
+        watchdog = ResourceWatchdog(interval=0.01,
+                                    registry=MetricsRegistry())
+        assert watchdog.start() is watchdog
+        assert watchdog.start() is watchdog
+        watchdog.stop()
+        watchdog.stop()
+        assert not watchdog.running
+
+    def test_as_json_document(self):
+        watchdog = ResourceWatchdog(interval=0.5, capacity=8,
+                                    budgets={"max_threads": 10_000},
+                                    registry=MetricsRegistry())
+        watchdog.snap()
+        document = watchdog.as_json()
+        assert document["interval_seconds"] == 0.5
+        assert document["budgets"] == {"max_threads": 10_000}
+        assert document["sampled"] == 1
+        assert document["breached"] == 0
+        assert len(document["snapshots"]) == 1
+        assert document["breaches"] == []

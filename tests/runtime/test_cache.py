@@ -83,6 +83,65 @@ class TestStatistics:
             "posting_cache_evictions")
 
 
+class TestWeightTracking:
+    def test_weight_accumulates_and_shrinks(self):
+        cache = LRUCache("posting_cache", 2)
+        cache.lookup("a", lambda: (1, 2, 3))
+        weight_one = cache.weight_bytes
+        assert weight_one > 0
+        cache.lookup("b", lambda: (4, 5, 6))
+        assert cache.weight_bytes > weight_one
+        cache.lookup("c", lambda: (7, 8, 9))  # evicts a
+        cache.lookup("d", lambda: (0, 1, 2))  # evicts b
+        assert len(cache) == 2
+        cache.clear()
+        assert cache.weight_bytes == 0
+
+    def test_reinsert_same_key_does_not_double_count(self):
+        cache = LRUCache("plan_cache", 4)
+        cache.insert("k", (1, 2, 3))
+        weight = cache.weight_bytes
+        cache.insert("k", (1, 2, 3))
+        assert cache.weight_bytes == weight
+
+    def test_stats_include_weight(self):
+        cache = LRUCache("plan_cache", 4)
+        cache.lookup("a", lambda: [1] * 100)
+        assert cache.stats()["weight_bytes"] == cache.weight_bytes > 0
+
+    def test_gauge_names(self):
+        cache = LRUCache("posting_cache", 4)
+        assert cache.gauge_names() == (
+            "posting_cache_entries", "posting_cache_bytes")
+
+
+class TestOccupancyGauges:
+    def test_gauges_track_miss_evict_clear(self):
+        cache = LRUCache("plan_cache", 2)
+        with metrics_scope() as registry:
+            cache.lookup("a", lambda: (1,), registry)
+            assert registry.gauge("plan_cache_entries") == 1
+            cache.lookup("b", lambda: (2,), registry)
+            cache.lookup("c", lambda: (3,), registry)  # evicts a
+            assert registry.gauge("plan_cache_entries") == 2
+            assert registry.gauge("plan_cache_bytes") == \
+                cache.weight_bytes > 0
+            cache.clear(registry)
+            assert registry.gauge("plan_cache_entries") == 0
+            assert registry.gauge("plan_cache_bytes") == 0
+            # max excursion survives the clear
+            gauges = registry.snapshot()["gauges"]
+            assert gauges["plan_cache_entries"]["max"] == 2
+
+    def test_hits_do_not_touch_gauges(self):
+        cache = LRUCache("plan_cache", 2)
+        with metrics_scope() as registry:
+            cache.lookup("a", lambda: (1,), registry)
+            before = registry.snapshot()["gauges"]
+            cache.lookup("a", lambda: (1,), registry)  # pure hit
+            assert registry.snapshot()["gauges"] == before
+
+
 class TestMetricsReporting:
     def test_counters_reach_registry(self):
         cache = LRUCache("plan_cache", 1)

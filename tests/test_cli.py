@@ -145,6 +145,17 @@ class TestIndexSubcommands:
         assert "CKSIDX2" in out
         assert "segments" in out and "dead bytes" in out
 
+    def test_inspect_json_flag_emits_the_report_as_json(
+            self, document, tmp_path, capsys):
+        store = tmp_path / "inspect.idx2"
+        assert main(["index", "build", str(document), str(store)]) == 0
+        capsys.readouterr()
+        assert main(["index", "inspect", str(store), "--json"]) == 0
+        out = capsys.readouterr().out
+        summary = json.loads(out)
+        assert summary["format"] == "CKSIDX2"
+        assert summary["segments"] >= 1
+
     def test_merge_upgrades_v1_to_v2(self, document, tmp_path, capsys):
         store = tmp_path / "upgrade.idx"
         assert main(["index", "build", str(document), str(store),
@@ -551,3 +562,42 @@ class TestTrace:
         assert main(["search", str(document), "--workload",
                      str(workload), "--trace-dir", str(traces)]) == 0
         assert len(list(traces.glob("trace-*.json"))) >= 1
+
+
+class TestProfiling:
+    QUERY = "((Lei Chen) (Yi Guo))"
+
+    def test_profile_writes_collapsed_and_speedscope(
+            self, document, tmp_path, capsys):
+        out = tmp_path / "flame.folded"
+        assert main(["profile", str(document), self.QUERY,
+                     "--out", str(out), "--hz", "500",
+                     "--repeat", "200"]) == 0
+        printed = capsys.readouterr().out
+        assert "stack sample(s)" in printed
+        folded = out.read_text(encoding="utf-8").strip()
+        assert folded, "collapsed profile is empty"
+        assert any("repro" in line for line in folded.splitlines())
+        twin = out.with_suffix(".speedscope.json")
+        doc = json.loads(twin.read_text(encoding="utf-8"))
+        assert doc["$schema"].endswith("file-format-schema.json")
+        assert doc["profiles"][0]["weights"]
+
+    def test_profile_against_prebuilt_index(self, document, tmp_path):
+        store = tmp_path / "dblp.idx"
+        assert main(["index", "build", str(document), str(store)]) == 0
+        out = tmp_path / "flame.folded"
+        assert main(["profile", str(document), self.QUERY,
+                     "--index", str(store), "--out", str(out),
+                     "--hz", "500", "--repeat", "200"]) == 0
+        assert out.read_text(encoding="utf-8").strip()
+
+    def test_search_flame_out_writes_both_artifacts(
+            self, document, tmp_path, capsys):
+        out = tmp_path / "search.folded"
+        assert main(["search", str(document), self.QUERY,
+                     "--repeat", "200", "--flame-out", str(out),
+                     "--profile-hz", "500"]) == 0
+        assert "stack sample(s)" in capsys.readouterr().out
+        assert out.read_text(encoding="utf-8").strip()
+        assert out.with_suffix(".speedscope.json").exists()
