@@ -51,7 +51,10 @@ from repro.index.store_v2 import (LazyIndex, merge_index, open_index,
                                   save_index_v2)
 from repro.index.streaming import index_xml, index_xml_path
 from repro.runtime import (ALGORITHMS, CompiledPlan, OptionsError,
-                           RANK_MODES, SearchOptions, SearchSession)
+                           RANK_MODES, SearchOptions, SearchSession,
+                           ServingHandles)
+from repro.server import (SearchServer, WIRE_SCHEMA_VERSION, WireError,
+                          serve)
 from repro.tree.builder import TreeBuilder, build_tree
 from repro.tree.stats import compute_statistics
 from repro.tree.tree import DataTree
@@ -63,6 +66,11 @@ __version__ = "1.0.0"
 __all__ = [
     "SearchSession",
     "SearchOptions",
+    "ServingHandles",
+    "SearchServer",
+    "serve",
+    "WireError",
+    "WIRE_SCHEMA_VERSION",
     "CompiledPlan",
     "OptionsError",
     "ALGORITHMS",

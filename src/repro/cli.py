@@ -6,6 +6,7 @@ Subcommands::
     cohesive-search index merge   IDX             # compact / upgrade a store
     cohesive-search index inspect IDX             # format + segment report
     cohesive-search search DOC.xml "(a (b c))"    # run a query
+    cohesive-search serve  IDX --port 8080        # HTTP search service
     cohesive-search stats  DOC.xml                # Table-1 statistics
     cohesive-search lattice "(a (b c))"           # lattice accounting
     cohesive-search generate dblp OUT.xml         # emit a synthetic dataset
@@ -21,11 +22,19 @@ dead bytes (docs/INDEX_FORMAT.md).  The bare legacy spelling
 ``search`` accepts ``--index`` to reuse a prebuilt store, ``--top`` to
 cut the answer, ``--algorithm
 cohesive|machine|slca|elca|lcasz|saone`` to pick the evaluation
-algorithm (``--baseline`` is a deprecated alias for the flat
-baselines), ``--rank vector`` for the §2.2 cohesive-term ranking,
-``--repeat N`` to re-run the query through the session's plan cache,
-and ``--workload FILE`` to evaluate a whole query file against one
+algorithm (the old ``--baseline`` alias was removed and now fails
+with a migration hint), ``--format json`` to emit the
+schema-versioned wire body the search server speaks (docs/SERVER.md),
+``--rank vector`` for the §2.2 cohesive-term ranking, ``--repeat N``
+to re-run the query through the session's plan cache, and
+``--workload FILE`` to evaluate a whole query file against one
 shared-scan batch (`repro.runtime`).
+
+``serve IDX --port 8080`` runs the network-facing search service over
+a posting store: ``POST /search`` / ``POST /batch`` / ``GET /explain``
+in the wire format, plus ``/healthz``, ``/metrics`` and ``/tracez``;
+bounded admission replies 429 under overload, SIGHUP hot-swaps the
+index with zero dropped requests (docs/SERVER.md).
 
 Observability (see docs/OBSERVABILITY.md): ``search --metrics`` prints
 the counter/phase-timer report — including the session's plan-cache
@@ -84,9 +93,9 @@ from repro.xmlio.writer import dump_tree_to_path
 
 _log = get_logger("cli")
 
-#: ``--baseline`` is deprecated; it warns once per process.
+#: The algorithms ``--baseline`` used to alias before its removal; the
+#: flag is kept only to fail with a precise migration hint.
 _BASELINE_ALIASES = ("slca", "elca", "lcasz", "saone")
-_baseline_warned = False
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -150,8 +159,14 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "machine, or a flat baseline")
     search_cmd.add_argument("--baseline", default=None,
                             choices=list(_BASELINE_ALIASES),
-                            help="deprecated alias of --algorithm for "
-                                 "the flat baselines")
+                            help="removed; use --algorithm (fails with "
+                                 "a migration hint)")
+    search_cmd.add_argument("--format", dest="output_format",
+                            default="text", choices=["text", "json"],
+                            help="human text (default) or the "
+                                 "schema-versioned wire JSON the "
+                                 "search server speaks "
+                                 "(docs/SERVER.md)")
     search_cmd.add_argument("--repeat", type=int, default=1,
                             metavar="N",
                             help="run the query N times through one "
@@ -221,6 +236,38 @@ def _build_parser() -> argparse.ArgumentParser:
                             type=str.upper,
                             choices=["DEBUG", "INFO", "WARNING", "ERROR"],
                             help="enable repro.* logging at this level")
+
+    serve_cmd = sub.add_parser(
+        "serve", help="serve a posting store over HTTP "
+                      "(POST /search, POST /batch, GET /explain, "
+                      "GET /healthz — docs/SERVER.md)")
+    serve_cmd.add_argument("store",
+                           help="a posting store built with 'index "
+                                "build' (CKSIDX2 stores open lazily)")
+    serve_cmd.add_argument("--port", type=int, default=8080,
+                           help="TCP port (0 picks a free one; the "
+                                "bound URL is printed on stdout)")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (loopback by default)")
+    serve_cmd.add_argument("--workers", type=int, default=4,
+                           help="concurrent request executions over "
+                                "the one shared session (default 4)")
+    serve_cmd.add_argument("--queue-limit", dest="queue_limit",
+                           type=int, default=16,
+                           help="admitted-but-waiting requests beyond "
+                                "--workers; the next one is rejected "
+                                "with 429 (default 16)")
+    serve_cmd.add_argument("--timeout", dest="request_timeout",
+                           type=float, default=30.0, metavar="SECONDS",
+                           help="default per-request wall budget; "
+                                "expiry replies 504 (default 30)")
+    serve_cmd.add_argument("--no-watchdog", dest="watchdog",
+                           action="store_false",
+                           help="skip the 1s resource watchdog")
+    serve_cmd.add_argument("--log-level", dest="log_level", default=None,
+                           type=str.upper,
+                           choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+                           help="enable repro.* logging at this level")
 
     trace_cmd = sub.add_parser(
         "trace", help="record one query end to end as a "
@@ -420,20 +467,11 @@ def _search_observed(args: argparse.Namespace) -> int:
 
 
 def _resolve_algorithm(args: argparse.Namespace) -> str:
-    """``--algorithm``, honouring the deprecated ``--baseline`` alias."""
-    global _baseline_warned
+    """``--algorithm``; the removed ``--baseline`` alias fails loudly."""
     if args.baseline is not None:
-        if not _baseline_warned:
-            _log.warning(
-                "--baseline is deprecated; use --algorithm %s",
-                args.baseline)
-            _baseline_warned = True
-        if args.algorithm is not None and \
-                args.algorithm != args.baseline:
-            raise ReproError(
-                f"--algorithm {args.algorithm} conflicts with "
-                f"--baseline {args.baseline}")
-        return args.baseline
+        raise ReproError(
+            f"--baseline was removed; use --algorithm {args.baseline} "
+            "(see docs/API.md, 'Migrating from the pre-session CLI')")
     return args.algorithm or "cohesive"
 
 
@@ -463,39 +501,38 @@ def _run_search(args: argparse.Namespace,
     algorithm = _resolve_algorithm(args)
     options = _search_options(args, algorithm)
     session = SearchSession(index)
+    serving_kwargs: dict = {}
+    if args.slow_query_ms is not None:
+        serving_kwargs["slow_query_log"] = args.slow_query_ms / 1000.0
+    if args.events_jsonl:
+        serving_kwargs["events"] = args.events_jsonl
+    if args.telemetry_port is not None:
+        serving_kwargs["telemetry"] = {"port": args.telemetry_port}
+        serving_kwargs["registry"] = registry
     try:
-        if args.slow_query_ms is not None:
-            session.configure_slow_query_log(args.slow_query_ms / 1000.0)
-        if args.events_jsonl:
-            from repro.obs import JsonlSink
-            session.attach_event_sink(JsonlSink(args.events_jsonl))
-        if args.telemetry_port is not None:
-            server = session.serve_telemetry(port=args.telemetry_port,
-                                             registry=registry)
-            # flushed eagerly so a supervisor tailing a pipe can
-            # discover the bound port before the search finishes
-            print(f"-- telemetry on {server.url} "
-                  f"(/metrics /healthz /profilez /tracez /flamez "
-                  f"/resourcez)", flush=True)
-        if args.flame_out:
-            with session.profile_cpu(hz=args.profile_hz) as sampler:
+        with session.serving(**serving_kwargs) as run:
+            if run.telemetry is not None:
+                # flushed eagerly so a supervisor tailing a pipe can
+                # discover the bound port before the search finishes
+                print(f"-- telemetry on {run.telemetry.url} "
+                      f"(/metrics /healthz /profilez /tracez /flamez "
+                      f"/resourcez)", flush=True)
+            if args.flame_out:
+                with session.profile_cpu(hz=args.profile_hz) as sampler:
+                    status = _run_queries(args, session, options, tree)
+                _write_flame_profile(sampler, args.flame_out)
+            else:
                 status = _run_queries(args, session, options, tree)
-            _write_flame_profile(sampler, args.flame_out)
-        else:
-            status = _run_queries(args, session, options, tree)
-        if args.telemetry_port is not None and args.telemetry_linger > 0:
-            import time
-            time.sleep(args.telemetry_linger)
-        return status
+            if run.telemetry is not None and args.telemetry_linger > 0:
+                import time
+                time.sleep(args.telemetry_linger)
+            return status
     finally:
         slow_log = session.slow_query_log
         if slow_log is not None and slow_log.recorded:
             print(f"-- {slow_log.recorded} slow quer"
                   f"{'y' if slow_log.recorded == 1 else 'ies'} captured "
                   f"(>= {slow_log.threshold * 1000:.1f} ms)")
-        if session._event_sink is not None:
-            session._event_sink.close()
-        session.close_telemetry()
 
 
 def _run_queries(args: argparse.Namespace, session: SearchSession,
@@ -505,6 +542,16 @@ def _run_queries(args: argparse.Namespace, session: SearchSession,
         return _run_workload(args, session, options, repeat)
     for _ in range(repeat - 1):  # warm the caches; results identical
         session.search(args.query, options)
+    if args.output_format == "json":
+        import time as _time
+        from repro.server import wire
+        start = _time.perf_counter()
+        results = session.search(args.query, options)
+        duration = _time.perf_counter() - start
+        body = wire.search_response(args.query, options,
+                                    results[: args.top], duration)
+        print(json.dumps(body, indent=2, sort_keys=True))
+        return 0
     results = session.search(args.query, options)
     algorithm = options.algorithm
     index = session.index
@@ -554,6 +601,15 @@ def _run_workload(args: argparse.Namespace, session: SearchSession,
         raise ReproError(f"workload {args.workload} contains no queries")
     for _ in range(repeat - 1):
         session.search_batch(queries, options)
+    if args.output_format == "json":
+        import time as _time
+        from repro.server import wire
+        start = _time.perf_counter()
+        answers = session.search_batch(queries, options)
+        duration = _time.perf_counter() - start
+        body = wire.batch_response(queries, options, answers, duration)
+        print(json.dumps(body, indent=2, sort_keys=True))
+        return 0
     answers = session.search_batch(queries, options)
     for query, results in zip(queries, answers):
         print(f"{len(results):6d} result(s)  {query}")
@@ -575,6 +631,17 @@ def _print_witness(query, index, tree, code) -> None:
         location = node.label_path() if node else "?"
         print(f"      {occurrence.keyword:15s} -> "
               f"{dewey.format_code(instance):15s} {location}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.log_level:
+        configure_logging(args.log_level)
+    from repro.server import serve
+    serve(args.store, port=args.port, host=args.host,
+          workers=args.workers, queue_limit=args.queue_limit,
+          request_timeout=args.request_timeout,
+          watchdog_interval=1.0 if args.watchdog else None)
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -783,6 +850,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "index": _cmd_index,
         "search": _cmd_search,
+        "serve": _cmd_serve,
         "trace": _cmd_trace,
         "profile": _cmd_profile,
         "bench-check": _cmd_bench_check,

@@ -22,8 +22,9 @@ legacy entry points.
 from repro.runtime.cache import LRUCache
 from repro.runtime.options import (ALGORITHMS, RANK_MODES, OptionsError,
                                    SearchOptions)
-from repro.runtime.session import (RUNTIME_COUNTERS, CompiledPlan,
-                                   SearchSession)
+from repro.runtime.session import (RUNTIME_COUNTERS, RUNTIME_GAUGES,
+                                   CompiledPlan, SearchSession,
+                                   ServingHandles)
 
 __all__ = [
     "ALGORITHMS",
@@ -31,7 +32,9 @@ __all__ = [
     "OptionsError",
     "SearchOptions",
     "SearchSession",
+    "ServingHandles",
     "CompiledPlan",
     "LRUCache",
     "RUNTIME_COUNTERS",
+    "RUNTIME_GAUGES",
 ]

@@ -66,22 +66,26 @@ def _make_consumer(plan: "CompiledPlan", options: SearchOptions,
 
 def shared_scan(session: "SearchSession", plans: list["CompiledPlan"],
                 options: SearchOptions,
-                metrics: Optional[AnyMetrics] = None
-                ) -> dict[str, list[Result]]:
+                metrics: Optional[AnyMetrics] = None,
+                state=None) -> dict[str, list[Result]]:
     """Evaluate distinct ``plans`` against one merged Dewey scan.
 
     Returns ``plan.key → ranked results`` (Def. 3 size order; rank
     post-processing is the caller's).  Plans with an empty posting
     list short-circuit to ``[]`` without joining the scan, exactly as
-    sequential evaluation short-circuits.
+    sequential evaluation short-circuits.  ``state`` pins the caller's
+    session-state snapshot so a concurrent ``swap_index`` cannot tear
+    the scan (defaults to the session's current state).
     """
+    if state is None:
+        state = session._state
     answers: dict[str, list[Result]] = {}
     consumers: list[_Consumer] = []
     union_lists: dict[str, tuple] = {}
     by_keyword: dict[str, list[_Consumer]] = {}
-    normalize = session.index.tokenizer.normalize
+    normalize = state.index.tokenizer.normalize
     for plan in plans:
-        lists = session._plan_lists(plan, options, metrics)
+        lists = session._plan_lists(plan, options, metrics, state)
         if lists is None:
             answers[plan.key] = []
             continue

@@ -13,11 +13,20 @@ Occupancy is additionally published as gauges — ``{name}_entries`` and
 ``{name}_bytes`` (a :func:`_weigh` one-level ``sys.getsizeof``
 estimate) — but only when occupancy actually changes (miss-insert,
 eviction, clear), never on the hot hit path.
+
+The caches are thread-safe: the search server shares one session (and
+therefore these two caches) across its whole worker pool, so every
+structural mutation of the underlying ``OrderedDict`` happens under a
+per-cache lock.  Factories run *outside* the lock — a slow compile or
+posting decode must not serialize unrelated lookups — so two threads
+missing on the same key may both compute it; the second insert simply
+overwrites the first with an equal value.
 """
 
 from __future__ import annotations
 
 import sys
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Optional
 
@@ -59,7 +68,7 @@ class LRUCache:
         a miss and nothing is retained).
     """
 
-    __slots__ = ("name", "maxsize", "_entries", "_weights",
+    __slots__ = ("name", "maxsize", "_entries", "_weights", "_lock",
                  "weight_bytes", "hits", "misses", "evictions")
 
     def __init__(self, name: str, maxsize: int):
@@ -69,10 +78,26 @@ class LRUCache:
         self.maxsize = maxsize
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._weights: dict[Hashable, int] = {}
+        self._lock = threading.Lock()
         self.weight_bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def successor(self) -> "LRUCache":
+        """An empty cache with the same name/budget, inheriting this
+        cache's lifetime statistics.
+
+        ``swap_index`` retires the whole cache pair atomically (a
+        searcher that already grabbed the old state keeps a coherent
+        view); the successor keeps ``cache_stats`` lifetime-shaped
+        across swaps, as in-place :meth:`clear` always did.
+        """
+        fresh = LRUCache(self.name, self.maxsize)
+        fresh.hits = self.hits
+        fresh.misses = self.misses
+        fresh.evictions = self.evictions
+        return fresh
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -90,24 +115,29 @@ class LRUCache:
         calling entry point already holds — receives the counters when
         enabled.
         """
-        value = self._entries.get(key, _MISSING)
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING:
+                self._entries.move_to_end(key)
+                self.hits += 1
         if value is not _MISSING:
-            self._entries.move_to_end(key)
-            self.hits += 1
             if metrics is not None and metrics.enabled:
                 metrics.inc(f"{self.name}_hits")
             return value
         self.misses += 1
         if metrics is not None and metrics.enabled:
             metrics.inc(f"{self.name}_misses")
-        value = factory()
+        value = factory()  # outside the lock: may be slow, may re-enter
         if self.maxsize:
-            self._store(key, value)
-            if len(self._entries) > self.maxsize:
-                self._evict()
-                if metrics is not None and metrics.enabled:
-                    metrics.inc(f"{self.name}_evictions")
+            evicted = False
+            with self._lock:
+                self._store(key, value)
+                if len(self._entries) > self.maxsize:
+                    self._evict()
+                    evicted = True
             if metrics is not None and metrics.enabled:
+                if evicted:
+                    metrics.inc(f"{self.name}_evictions")
                 self._publish_gauges(metrics)
         return value
 
@@ -119,10 +149,11 @@ class LRUCache:
         """
         if not self.maxsize:
             return
-        self._store(key, value)
-        self._entries.move_to_end(key)
-        if len(self._entries) > self.maxsize:
-            self._evict()
+        with self._lock:
+            self._store(key, value)
+            self._entries.move_to_end(key)
+            if len(self._entries) > self.maxsize:
+                self._evict()
         if metrics is not None and metrics.enabled:
             self._publish_gauges(metrics)
 
@@ -144,9 +175,10 @@ class LRUCache:
 
     def clear(self, metrics: Optional[AnyMetrics] = None) -> None:
         """Drop every entry (statistics are lifetime and survive)."""
-        self._entries.clear()
-        self._weights.clear()
-        self.weight_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._weights.clear()
+            self.weight_bytes = 0
         if metrics is not None and metrics.enabled:
             self._publish_gauges(metrics)
 

@@ -10,7 +10,7 @@ routes on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from typing import Optional
 
 from repro.errors import ReproError
@@ -99,3 +99,38 @@ class SearchOptions:
     def with_(self, **changes) -> "SearchOptions":
         """A copy with ``changes`` applied (re-validated)."""
         return replace(self, **changes)
+
+    # -- the wire format -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Every field, defaults included, as a JSON-ready dict.
+
+        The serializable half of the wire contract shared by the HTTP
+        search service, ``search --format json`` and the JSONL event
+        sinks: ``SearchOptions.from_dict(options.to_dict()) ==
+        options`` always holds (property-tested), so options survive
+        any number of serialize/deserialize hops unchanged.
+        """
+        return {field.name: getattr(self, field.name)
+                for field in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchOptions":
+        """Rebuild options from a :meth:`to_dict`-shaped mapping.
+
+        Partial dicts are accepted (absent fields keep their
+        defaults); unknown keys raise :class:`OptionsError` — a typo'd
+        wire request must fail loudly, not silently search with
+        defaults.  Field values are validated by ``__post_init__`` as
+        usual.
+        """
+        if not isinstance(data, dict):
+            raise OptionsError(
+                f"options must be a mapping, got {type(data).__name__}")
+        known = {field.name for field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise OptionsError(
+                f"unknown option(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}")
+        return cls(**data)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence, Union
@@ -75,6 +76,48 @@ RUNTIME_GAUGES = (
 )
 
 
+#: Deprecated lifecycle methods that already warned this process (one
+#: warning per name, not per call).
+_DEPRECATION_WARNED: set[str] = set()
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    if old in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(old)
+    warnings.warn(
+        f"SearchSession.{old}() is deprecated; use "
+        f"SearchSession.{new} (docs/API.md, 'Session lifecycle')",
+        DeprecationWarning, stacklevel=3)
+
+
+@dataclass(frozen=True)
+class _SessionState:
+    """One coherent (index, plan cache, posting cache) triple.
+
+    Searches capture the state once at entry and use it throughout, so
+    a concurrent :meth:`SearchSession.swap_index` can never hand a
+    request the new index with the old caches (or vice versa): the
+    swap builds a whole new state and publishes it with one atomic
+    attribute assignment.
+    """
+
+    index: InvertedIndex
+    plans: "LRUCache"
+    postings: "LRUCache"
+
+
+@dataclass(frozen=True)
+class ServingHandles:
+    """What :meth:`SearchSession.serving` started, for the block's use."""
+
+    telemetry: Optional[object] = None
+    watchdog: Optional[object] = None
+    profiler: Optional[object] = None
+    slow_log: Optional[SlowQueryLog] = None
+    sink: Optional[object] = None
+
+
 @dataclass(frozen=True)
 class CompiledPlan:
     """A query lowered once, reused across an entire session.
@@ -110,9 +153,13 @@ class SearchSession:
     pass over the inverted lists; everything else is overhead that
     repeats identically per query).
 
-    Thread-safety: sessions are designed for one searching thread (or
-    one session per worker, as :mod:`repro.corpus` does); the caches
-    are not locked.
+    Thread-safety: searches may run concurrently from many threads
+    over one session (the search server shares one session across its
+    whole worker pool).  Each search captures the session's
+    ``(index, caches)`` state once at entry, the caches lock their
+    structural mutations, and :meth:`swap_index` publishes a whole new
+    state atomically — so a hot swap mid-request can never produce a
+    torn read.
     """
 
     def __init__(self, index: InvertedIndex,
@@ -121,10 +168,11 @@ class SearchSession:
                  slow_query_threshold: Optional[float] = None,
                  slow_log_capacity: int = 32,
                  event_sink=None):
-        self._index = index
-        self._plans = LRUCache("plan_cache", plan_cache_size)
-        self._postings_cache = LRUCache("posting_cache",
-                                        posting_cache_size)
+        self._state = _SessionState(
+            index,
+            LRUCache("plan_cache", plan_cache_size),
+            LRUCache("posting_cache", posting_cache_size))
+        self._swap_lock = threading.Lock()
         self._slow_log: Optional[SlowQueryLog] = None
         if slow_query_threshold is not None:
             self._slow_log = SlowQueryLog(slow_query_threshold,
@@ -152,17 +200,45 @@ class SearchSession:
     @property
     def index(self) -> InvertedIndex:
         """The index this session searches."""
-        return self._index
+        return self._state.index
+
+    @property
+    def _index(self) -> InvertedIndex:
+        return self._state.index
+
+    @property
+    def _plans(self) -> LRUCache:
+        return self._state.plans
+
+    @property
+    def _postings_cache(self) -> LRUCache:
+        return self._state.postings
 
     def swap_index(self, index: InvertedIndex) -> None:
-        """Point the session at a different index.
+        """Point the session at a different index, atomically.
 
-        Both caches are flushed: plans embed the old tokenizer's
-        normalization and posting slices belong to the old index, so
-        a stale hit could silently search the wrong data.
+        Both caches are flushed (their lifetime statistics carry
+        over): plans embed the old tokenizer's normalization and
+        posting slices belong to the old index, so a stale hit could
+        silently search the wrong data.  The new (index, caches)
+        triple is published as one state assignment, so a search
+        running concurrently on another thread either completes
+        entirely on the old state or starts entirely on the new one —
+        never a mix.  The old index object is left open: in-flight
+        requests may still be decoding from it (the caller that wants
+        to ``close()`` a retired mmap store must wait for its
+        requests to drain, as the search server does).
         """
-        self._index = index
-        self.invalidate()
+        with self._swap_lock:
+            state = self._state
+            self._state = _SessionState(index,
+                                        state.plans.successor(),
+                                        state.postings.successor())
+        metrics = get_metrics()
+        if metrics.enabled:
+            state.plans.clear(metrics)  # re-publish occupancy gauges
+            state.postings.clear(metrics)
+        _log.info("index swapped: %d keywords", len(index))
 
     def rebuild_index(self, tree: DataTree) -> None:
         """Re-index ``tree`` and swap the result in (caches flushed)."""
@@ -171,14 +247,16 @@ class SearchSession:
     def invalidate(self) -> None:
         """Flush both caches (lifetime statistics survive)."""
         metrics = get_metrics()
-        self._plans.clear(metrics)
-        self._postings_cache.clear(metrics)
+        state = self._state
+        state.plans.clear(metrics)
+        state.postings.clear(metrics)
         _log.debug("session caches invalidated")
 
     # -- cache plumbing -----------------------------------------------------
 
     def plan(self, query: Union[str, Query],
-             metrics: Optional[AnyMetrics] = None) -> CompiledPlan:
+             metrics: Optional[AnyMetrics] = None,
+             state: Optional[_SessionState] = None) -> CompiledPlan:
         """The compiled plan of ``query``, from the plan cache.
 
         String queries are keyed by whitespace-normalized text first
@@ -188,33 +266,39 @@ class SearchSession:
         """
         if metrics is None:
             metrics = get_metrics()
+        if state is None:
+            state = self._state
         if isinstance(query, str):
             key = " ".join(query.split())
-            return self._plans.lookup(
-                key, lambda: self._compile_text(key, metrics), metrics)
-        return self._plans.lookup(
-            str(query), lambda: self._compile_parsed(query, metrics),
+            return state.plans.lookup(
+                key, lambda: self._compile_text(key, metrics, state),
+                metrics)
+        return state.plans.lookup(
+            str(query),
+            lambda: self._compile_parsed(query, metrics, state),
             metrics)
 
-    def _compile_text(self, text: str, metrics: AnyMetrics) -> CompiledPlan:
+    def _compile_text(self, text: str, metrics: AnyMetrics,
+                      state: _SessionState) -> CompiledPlan:
         with metrics.span("parse"):
             query = parse_query(text)
-        return self._compile_parsed(query, metrics)
+        return self._compile_parsed(query, metrics, state)
 
-    def _compile_parsed(self, query: Query,
-                        metrics: AnyMetrics) -> CompiledPlan:
+    def _compile_parsed(self, query: Query, metrics: AnyMetrics,
+                        state: _SessionState) -> CompiledPlan:
         with metrics.span("lattice-build"):
             compiled = compile_query(query,
-                                     self._index.tokenizer.normalize)
+                                     state.index.tokenizer.normalize)
         plan = CompiledPlan(str(query), query, compiled)
         # Register the canonical spelling too: "(a  B)" and "(a b)"
         # share this plan object from now on.
-        if plan.key not in self._plans:
-            self._plans.insert(plan.key, plan, metrics)
+        if plan.key not in state.plans:
+            state.plans.insert(plan.key, plan, metrics)
         return plan
 
     def postings(self, keyword: str, list_limit: Optional[int] = None,
-                 metrics: Optional[AnyMetrics] = None
+                 metrics: Optional[AnyMetrics] = None,
+                 state: Optional[_SessionState] = None
                  ) -> tuple[Posting, ...]:
         """The posting slice of a normalized keyword, from the cache.
 
@@ -225,8 +309,10 @@ class SearchSession:
         """
         if metrics is None:
             metrics = get_metrics()
-        plist: tuple[Posting, ...] = self._postings_cache.lookup(
-            keyword, lambda: tuple(self._index.postings(keyword)),
+        if state is None:
+            state = self._state
+        plist: tuple[Posting, ...] = state.postings.lookup(
+            keyword, lambda: tuple(state.index.postings(keyword)),
             metrics)
         if list_limit is not None:
             plist = plist[:list_limit]
@@ -234,9 +320,10 @@ class SearchSession:
 
     def cache_stats(self) -> dict:
         """Lifetime statistics of both caches (JSON-ready)."""
+        state = self._state
         return {
-            "plan_cache": self._plans.stats(),
-            "posting_cache": self._postings_cache.stats(),
+            "plan_cache": state.plans.stats(),
+            "posting_cache": state.postings.stats(),
         }
 
     # -- the facade ---------------------------------------------------------
@@ -261,10 +348,11 @@ class SearchSession:
         options = self._resolve(options, changes)
         metrics = get_metrics()
         tracer = get_tracer()
+        state = self._state  # one coherent snapshot for this request
         profiling = self._slow_log is not None or \
             self._event_sink is not None
         if not (metrics.enabled or profiling or tracer.enabled):
-            return self._execute(query, options, metrics)
+            return self._execute(query, options, metrics, state)
         # Observed path: time the query, feed the latency histogram,
         # and hand the run to the slow-query log / event sink.  When
         # no ambient registry is active, a private scope captures the
@@ -279,12 +367,13 @@ class SearchSession:
         try:
             if tracer.enabled:
                 results, metrics = self._execute_traced(
-                    query, options, metrics, tracer, "search")
+                    query, options, metrics, tracer, "search", state)
             elif metrics.enabled:
-                results = self._execute(query, options, metrics)
+                results = self._execute(query, options, metrics, state)
             else:
                 with metrics_scope() as metrics:
-                    results = self._execute(query, options, metrics)
+                    results = self._execute(query, options, metrics,
+                                            state)
         finally:
             if inflight is not None:
                 inflight.gauge_dec("session_inflight_queries")
@@ -296,19 +385,23 @@ class SearchSession:
         return results
 
     def _execute(self, query: Union[str, Query],
-                 options: SearchOptions, metrics: AnyMetrics) -> list:
+                 options: SearchOptions, metrics: AnyMetrics,
+                 state: Optional[_SessionState] = None) -> list:
         """Route one resolved query (the pre-profiler ``search`` body)."""
+        if state is None:
+            state = self._state
         if metrics.enabled:
             metrics.declare(*RUNTIME_COUNTERS)
-        plan = self.plan(query, metrics)
+        plan = self.plan(query, metrics, state)
         if options.algorithm == "cohesive":
-            return self._search_cohesive(plan, options, metrics)
+            return self._search_cohesive(plan, options, metrics, state)
         if options.algorithm == "machine":
-            return self._search_machine(plan, options, metrics)
-        return self._search_baseline(plan, options)
+            return self._search_machine(plan, options, metrics, state)
+        return self._search_baseline(plan, options, state)
 
     def _execute_traced(self, target, options: SearchOptions,
-                        metrics: AnyMetrics, tracer, kind: str):
+                        metrics: AnyMetrics, tracer, kind: str,
+                        state: Optional[_SessionState] = None):
         """Run one query (``kind="search"``) or workload
         (``kind="search-batch"``) inside a trace span.
 
@@ -320,6 +413,8 @@ class SearchSession:
         with no extra instrumentation.  Returns ``(results, the
         registry that observed the run)``.
         """
+        if state is None:
+            state = self._state
         if kind == "search":
             runner = self._execute
             attrs = {"query": " ".join(str(target).split()),
@@ -331,11 +426,11 @@ class SearchSession:
         with tracer.span(kind, **attrs) as span:
             if metrics.enabled:
                 before = len(metrics.spans)
-                results = runner(target, options, metrics)
+                results = runner(target, options, metrics, state)
                 phase_spans = metrics.spans[before:]
             else:
                 with metrics_scope() as metrics:
-                    results = runner(target, options, metrics)
+                    results = runner(target, options, metrics, state)
                 phase_spans = metrics.spans
                 # A private scope starts from zero, so the final
                 # counter values ARE this span's deltas.
@@ -376,10 +471,11 @@ class SearchSession:
                         options: SearchOptions) -> Iterator[Result]:
         """The untraced streaming body (post-validation)."""
         metrics = get_metrics()
+        state = self._state
         if metrics.enabled:
             metrics.declare(*RUNTIME_COUNTERS)
-        plan = self.plan(query, metrics)
-        lists = self._plan_lists(plan, options, metrics)
+        plan = self.plan(query, metrics, state)
+        lists = self._plan_lists(plan, options, metrics, state)
         if lists is None:
             return
         evaluation = push_evaluation(
@@ -423,10 +519,11 @@ class SearchSession:
         options = self._resolve(options, changes)
         metrics = get_metrics()
         tracer = get_tracer()
+        state = self._state
         profiling = self._slow_log is not None or \
             self._event_sink is not None
         if not (metrics.enabled or profiling or tracer.enabled):
-            return self._execute_batch(queries, options, metrics)
+            return self._execute_batch(queries, options, metrics, state)
         inflight = metrics if metrics.enabled else None
         if inflight is not None:
             inflight.gauge_inc("session_inflight_queries")
@@ -434,13 +531,15 @@ class SearchSession:
         try:
             if tracer.enabled:
                 answers, metrics = self._execute_traced(
-                    queries, options, metrics, tracer, "search-batch")
+                    queries, options, metrics, tracer, "search-batch",
+                    state)
             elif metrics.enabled:
-                answers = self._execute_batch(queries, options, metrics)
+                answers = self._execute_batch(queries, options, metrics,
+                                              state)
             else:
                 with metrics_scope() as metrics:
                     answers = self._execute_batch(queries, options,
-                                                  metrics)
+                                                  metrics, state)
         finally:
             if inflight is not None:
                 inflight.gauge_dec("session_inflight_queries")
@@ -452,13 +551,16 @@ class SearchSession:
         return answers
 
     def _execute_batch(self, queries: Sequence[Union[str, Query]],
-                       options: SearchOptions,
-                       metrics: AnyMetrics) -> list[list]:
+                       options: SearchOptions, metrics: AnyMetrics,
+                       state: Optional[_SessionState] = None
+                       ) -> list[list]:
         """The shared-scan batch body (pre-profiler ``search_batch``)."""
+        if state is None:
+            state = self._state
         if metrics.enabled:
             metrics.declare(*RUNTIME_COUNTERS)
             metrics.inc("batch_queries", len(queries))
-        plans = [self.plan(query, metrics) for query in queries]
+        plans = [self.plan(query, metrics, state) for query in queries]
         distinct: dict[str, CompiledPlan] = {}
         for plan in plans:
             distinct.setdefault(plan.key, plan)
@@ -469,13 +571,14 @@ class SearchSession:
         if shareable:
             from repro.runtime.batch import shared_scan
             answers = shared_scan(self, list(distinct.values()), options,
-                                  metrics)
+                                  metrics, state)
             if options.rank != "size":
                 answers = {key: self._apply_rank(distinct[key], results,
-                                                 options)
+                                                 options, state)
                            for key, results in answers.items()}
         else:
-            answers = {key: self._execute(plan.query, options, metrics)
+            answers = {key: self._execute(plan.query, options, metrics,
+                                          state)
                        for key, plan in distinct.items()}
         # Fan out per workload position; copy so callers that mutate
         # one answer list cannot corrupt a duplicate query's answer.
@@ -661,38 +764,22 @@ class SearchSession:
         with sampler:
             yield sampler
 
-    def start_cpu_profiler(self, hz: Optional[float] = None):
-        """Start (or return the already-running) continuous profiler.
-
-        Samples **every** live thread at ``hz`` until
-        :meth:`stop_cpu_profiler`; the aggregated collapsed profile is
-        what ``/flamez`` serves.
-        """
+    def _start_cpu_profiler(self, hz: Optional[float] = None):
         if self._profiler is not None and self._profiler.running:
             return self._profiler
         from repro.obs.sampler import DEFAULT_HZ, StackSampler
         self._profiler = StackSampler(hz=hz or DEFAULT_HZ)
         return self._profiler.start()
 
-    def stop_cpu_profiler(self):
-        """Stop the continuous profiler; returns it (or ``None``) so
-        the caller can still export the aggregated profile."""
+    def _stop_cpu_profiler(self):
         profiler, self._profiler = self._profiler, None
         if profiler is not None:
             profiler.stop()
         return profiler
 
-    def start_watchdog(self, interval: float = 1.0,
-                       budgets: Optional[dict] = None,
-                       capacity: int = 64, registry=None):
-        """Start (or return the already-running) resource watchdog.
-
-        Snapshots RSS / fds / threads / gauges every ``interval``
-        seconds into the ring ``/resourcez`` serves, evaluating the
-        optional soft ``budgets`` (see
-        :class:`~repro.obs.watchdog.ResourceWatchdog`); breaches go to
-        the session's event sink when one is attached.
-        """
+    def _start_watchdog(self, interval: float = 1.0,
+                        budgets: Optional[dict] = None,
+                        capacity: int = 64, registry=None):
         if self._watchdog is not None and self._watchdog.running:
             return self._watchdog
         from repro.obs.watchdog import ResourceWatchdog
@@ -703,9 +790,7 @@ class SearchSession:
                                           sink=self._event_sink)
         return self._watchdog.start()
 
-    def stop_watchdog(self):
-        """Stop the resource watchdog; returns it (or ``None``) so the
-        caller can still read the snapshot history."""
+    def _stop_watchdog(self):
         watchdog, self._watchdog = self._watchdog, None
         if watchdog is not None:
             watchdog.stop()
@@ -735,43 +820,22 @@ class SearchSession:
         detaches."""
         self._event_sink = sink
 
-    def serve_telemetry(self, port: int = 0, host: str = "127.0.0.1",
-                        registry=None, namespace: str = "repro",
-                        watchdog_interval: Optional[float] = 1.0,
-                        watchdog_budgets: Optional[dict] = None):
-        """Start the live telemetry endpoint for this session.
-
-        Exposes ``/metrics`` (OpenMetrics exposition of ``registry``),
-        ``/healthz`` (index size, cache and slow-query statistics),
-        ``/profilez`` (the slow-query log as JSON), ``/tracez``
-        (digests of the active tracer's recent traces), ``/flamez``
-        (the continuous profiler's collapsed stacks — start one with
-        :meth:`start_cpu_profiler`) and ``/resourcez`` (the resource
-        watchdog's snapshot history).  Without an explicit
-        ``registry`` a fresh one is installed process-wide via
-        :func:`~repro.obs.metrics.set_global_metrics`, so every
-        subsequent search on any thread reports into the scrape
-        (scoped registries still take precedence while active).
-
-        A resource watchdog is started automatically at
-        ``watchdog_interval`` seconds (pass ``None`` to opt out) so
-        ``/resourcez`` has history from the first scrape on; a
-        watchdog already started via :meth:`start_watchdog` is kept.
-        Returns the :class:`~repro.obs.server.TelemetryServer`; stop
-        everything with :meth:`close_telemetry`.
-        """
+    def _serve_telemetry(self, port: int = 0, host: str = "127.0.0.1",
+                         registry=None, namespace: str = "repro",
+                         watchdog_interval: Optional[float] = 1.0,
+                         watchdog_budgets: Optional[dict] = None):
         from repro.obs.metrics import MetricsRegistry, set_global_metrics
         from repro.obs.server import TelemetryServer
         if self._telemetry is not None:
-            self.close_telemetry()
+            self._close_serving()
         if registry is None:
             registry = MetricsRegistry()
             set_global_metrics(registry)
             self._owns_global_registry = True
         if watchdog_interval is not None:
-            self.start_watchdog(interval=watchdog_interval,
-                                budgets=watchdog_budgets,
-                                registry=registry)
+            self._start_watchdog(interval=watchdog_interval,
+                                 budgets=watchdog_budgets,
+                                 registry=registry)
         from repro.obs.tracing import recent_traces
         self._telemetry = TelemetryServer(
             registry.snapshot,
@@ -790,19 +854,159 @@ class SearchSession:
             port=port, host=host, namespace=namespace)
         return self._telemetry
 
-    def close_telemetry(self) -> None:
-        """Stop the telemetry endpoint started by
-        :meth:`serve_telemetry`, plus the watchdog and continuous
-        profiler if running (idempotent)."""
+    def _close_serving(self) -> None:
         telemetry, self._telemetry = self._telemetry, None
         if telemetry is not None:
             telemetry.close()
-        self.stop_watchdog()
-        self.stop_cpu_profiler()
+        self._stop_watchdog()
+        self._stop_cpu_profiler()
         if self._owns_global_registry:
             from repro.obs.metrics import set_global_metrics
             set_global_metrics(None)
             self._owns_global_registry = False
+
+    @contextmanager
+    def serving(self, telemetry=None, watchdog=None, cpu_profiler=None,
+                slow_query_log=None, events=None,
+                registry=None, namespace: str = "repro"):
+        """Everything a long-lived serving process needs, one ``with``.
+
+        The context-managed replacement for the sprawling
+        ``serve_telemetry``/``close_telemetry``/``start_watchdog``/
+        ``start_cpu_profiler``... lifecycle (those names survive as
+        deprecated wrappers — docs/API.md, 'Session lifecycle').
+        Starts exactly what the keyword arguments ask for, yields a
+        :class:`ServingHandles`, and tears everything down on exit —
+        in reverse order, idempotently, even when the body raises::
+
+            with session.serving(telemetry=9464, watchdog=1.0) as run:
+                print(run.telemetry.url)
+                ...serve forever...
+
+        Parameters
+        ----------
+        telemetry:
+            ``True`` or a port number starts the live telemetry
+            endpoint (``/metrics`` ``/healthz`` ``/profilez``
+            ``/tracez`` ``/flamez`` ``/resourcez``); a dict is passed
+            through to the endpoint constructor (``port=``, ``host=``,
+            ...).  Without an explicit ``registry`` a fresh one is
+            installed process-wide so every thread's searches land in
+            the scrape.  ``None``/``False`` serves nothing.
+        watchdog:
+            Resource-watchdog interval in seconds, or a dict of
+            watchdog options (``interval=``, ``budgets=``, ...), or
+            ``False`` to opt out.  Default: a 1s watchdog when
+            ``telemetry`` is on (so ``/resourcez`` has history from
+            the first scrape), none otherwise.
+        cpu_profiler:
+            ``True`` (default rate) or a sampling rate in hz starts
+            the continuous profiler feeding ``/flamez``.
+        slow_query_log:
+            Threshold in wall seconds (or a ``(threshold, capacity)``
+            pair) enables the slow-query log for the block.
+        events:
+            A :class:`repro.obs.export.JsonlSink` (attached, left
+            open) or a path (a sink is opened and closed with the
+            block).
+        registry:
+            Metrics registry for the telemetry scrape and watchdog;
+            defaults to a fresh process-global one when telemetry is
+            on.
+        """
+        handles_sink = None
+        owns_sink = False
+        if events is not None:
+            if hasattr(events, "emit"):
+                handles_sink = events
+            else:
+                from repro.obs.export import JsonlSink
+                handles_sink = JsonlSink(events)
+                owns_sink = True
+            self.attach_event_sink(handles_sink)
+        if slow_query_log is not None:
+            if isinstance(slow_query_log, tuple):
+                self.configure_slow_query_log(*slow_query_log)
+            else:
+                self.configure_slow_query_log(slow_query_log)
+        started_telemetry = None
+        try:
+            if telemetry not in (None, False):
+                kwargs = dict(telemetry) if isinstance(telemetry, dict) \
+                    else {"port": 0 if telemetry is True else telemetry}
+                kwargs.setdefault("registry", registry)
+                kwargs.setdefault("namespace", namespace)
+                if watchdog is False:
+                    kwargs.setdefault("watchdog_interval", None)
+                elif isinstance(watchdog, dict):
+                    # started separately below, with full options
+                    kwargs.setdefault("watchdog_interval", None)
+                elif watchdog is not None and watchdog is not True:
+                    kwargs.setdefault("watchdog_interval", watchdog)
+                started_telemetry = self._serve_telemetry(**kwargs)
+            if isinstance(watchdog, dict):
+                self._start_watchdog(registry=registry, **watchdog)
+            elif started_telemetry is None and \
+                    watchdog not in (None, False):
+                interval = 1.0 if watchdog is True else watchdog
+                self._start_watchdog(interval=interval,
+                                     registry=registry)
+            if cpu_profiler not in (None, False):
+                hz = None if cpu_profiler is True else cpu_profiler
+                self._start_cpu_profiler(hz=hz)
+            yield ServingHandles(telemetry=self._telemetry,
+                                 watchdog=self._watchdog,
+                                 profiler=self._profiler,
+                                 slow_log=self._slow_log,
+                                 sink=handles_sink)
+        finally:
+            self._close_serving()
+            if owns_sink:
+                self.attach_event_sink(None)
+                handles_sink.close()
+
+    # -- deprecated lifecycle wrappers (docs/API.md migration table) --------
+
+    def serve_telemetry(self, port: int = 0, host: str = "127.0.0.1",
+                        registry=None, namespace: str = "repro",
+                        watchdog_interval: Optional[float] = 1.0,
+                        watchdog_budgets: Optional[dict] = None):
+        """Deprecated — use :meth:`serving` (``telemetry=...``)."""
+        _warn_deprecated("serve_telemetry", "serving(telemetry=...)")
+        return self._serve_telemetry(
+            port=port, host=host, registry=registry, namespace=namespace,
+            watchdog_interval=watchdog_interval,
+            watchdog_budgets=watchdog_budgets)
+
+    def close_telemetry(self) -> None:
+        """Deprecated — use :meth:`serving` (teardown is automatic)."""
+        _warn_deprecated("close_telemetry", "serving(...)")
+        self._close_serving()
+
+    def start_watchdog(self, interval: float = 1.0,
+                       budgets: Optional[dict] = None,
+                       capacity: int = 64, registry=None):
+        """Deprecated — use :meth:`serving` (``watchdog=...``)."""
+        _warn_deprecated("start_watchdog", "serving(watchdog=...)")
+        return self._start_watchdog(interval=interval, budgets=budgets,
+                                    capacity=capacity, registry=registry)
+
+    def stop_watchdog(self):
+        """Deprecated — use :meth:`serving` (teardown is automatic)."""
+        _warn_deprecated("stop_watchdog", "serving(watchdog=...)")
+        return self._stop_watchdog()
+
+    def start_cpu_profiler(self, hz: Optional[float] = None):
+        """Deprecated — use :meth:`serving` (``cpu_profiler=...``)."""
+        _warn_deprecated("start_cpu_profiler",
+                         "serving(cpu_profiler=...)")
+        return self._start_cpu_profiler(hz=hz)
+
+    def stop_cpu_profiler(self):
+        """Deprecated — use :meth:`serving` (teardown is automatic)."""
+        _warn_deprecated("stop_cpu_profiler",
+                        "serving(cpu_profiler=...)")
+        return self._stop_cpu_profiler()
 
     def _health(self) -> dict:
         health = {
@@ -827,21 +1031,26 @@ class SearchSession:
         return options.with_(**changes) if changes else options
 
     def _plan_lists(self, plan: CompiledPlan, options: SearchOptions,
-                    metrics: AnyMetrics
+                    metrics: AnyMetrics,
+                    state: Optional[_SessionState] = None
                     ) -> Optional[dict[str, tuple[Posting, ...]]]:
         """Posting slices for every plan keyword, or ``None`` if some
         keyword has no instances (then the query has no results)."""
+        if state is None:
+            state = self._state
         lists: dict[str, tuple[Posting, ...]] = {}
         for keyword in plan.compiled.atoms:
-            plist = self.postings(keyword, options.list_limit, metrics)
+            plist = self.postings(keyword, options.list_limit, metrics,
+                                  state)
             if not plist:
                 return None
             lists[keyword] = plist
         return lists
 
     def _search_cohesive(self, plan: CompiledPlan, options: SearchOptions,
-                         metrics: AnyMetrics) -> list:
-        lists = self._plan_lists(plan, options, metrics)
+                         metrics: AnyMetrics,
+                         state: _SessionState) -> list:
+        lists = self._plan_lists(plan, options, metrics, state)
         if lists is None:
             if metrics.enabled:  # the catalogue still shows zeros
                 metrics.declare(*ENGINE_COUNTERS)
@@ -852,7 +1061,7 @@ class SearchSession:
             results = evaluate_compiled(
                 plan.compiled, lists, size_budget=options.max_size,
                 impenetrability=options.impenetrability)
-        return self._apply_rank(plan, results, options)
+        return self._apply_rank(plan, results, options, state)
 
     def _top_k(self, plan: CompiledPlan,
                lists: dict[str, tuple[Posting, ...]],
@@ -877,10 +1086,13 @@ class SearchSession:
             budget = min(ceiling, budget * 2)
 
     def _apply_rank(self, plan: CompiledPlan, results: list[Result],
-                    options: SearchOptions) -> list:
+                    options: SearchOptions,
+                    state: Optional[_SessionState] = None) -> list:
+        if state is None:
+            state = self._state
         if options.rank == "vector":
             from repro.core.ranking import rank_results
-            return rank_results(plan.query, self._index, results=results,
+            return rank_results(plan.query, state.index, results=results,
                                 list_limit=options.list_limit)
         if options.rank == "skyline":
             from repro.core.skyline import skyline
@@ -888,30 +1100,38 @@ class SearchSession:
         return results
 
     def _search_machine(self, plan: CompiledPlan, options: SearchOptions,
-                        metrics: AnyMetrics) -> list[Result]:
+                        metrics: AnyMetrics,
+                        state: Optional[_SessionState] = None
+                        ) -> list[Result]:
         from repro.core.lattice_machine import LatticeMachine
+        if state is None:
+            state = self._state
         machine = LatticeMachine(plan.query,
-                                 self._index.tokenizer.normalize)
+                                 state.index.tokenizer.normalize)
         lists = {keyword: self.postings(keyword, options.list_limit,
-                                        metrics)
+                                        metrics, state)
                  for keyword in machine.keywords}
         return machine.run(lists)
 
     def _search_baseline(self, plan: CompiledPlan,
-                         options: SearchOptions) -> list[Result]:
+                         options: SearchOptions,
+                         state: Optional[_SessionState] = None
+                         ) -> list[Result]:
         """Route to a flat baseline (cohesiveness structure ignored)."""
         from repro.baselines import elca, lcasz, sa_one, slca
+        if state is None:
+            state = self._state
         keywords = plan.query.distinct_keywords()
         if options.algorithm == "slca":
-            codes = slca(keywords, self._index,
+            codes = slca(keywords, state.index,
                          list_limit=options.list_limit)
             return [Result(code, 0) for code in codes]
         if options.algorithm == "elca":
-            codes = elca(keywords, self._index,
+            codes = elca(keywords, state.index,
                          list_limit=options.list_limit)
             return [Result(code, 0) for code in codes]
         if options.algorithm == "lcasz":
-            return lcasz(keywords, self._index,
+            return lcasz(keywords, state.index,
                          list_limit=options.list_limit)
-        return sa_one(keywords, self._index,
+        return sa_one(keywords, state.index,
                       list_limit=options.list_limit)

@@ -1,0 +1,57 @@
+"""The network-facing search service (docs/SERVER.md).
+
+One shared :class:`~repro.runtime.session.SearchSession` behind a
+bounded worker pool and a versioned JSON wire format::
+
+    from repro.server import SearchServer, serve
+
+    server = SearchServer(session, index_path="index.ckx", port=8080)
+    ...
+    server.close()
+
+    serve("index.ckx", port=8080)        # blocking; SIGHUP hot-swaps
+
+The wire contract lives in :mod:`repro.server.wire` and is shared by
+the HTTP routes, ``search --format json`` and the schema-versioned
+JSONL event sinks.
+"""
+
+from repro.server.app import (DELAY_ENV, SERVER_COUNTERS, SERVER_GAUGES,
+                              SearchServer, serve)
+from repro.server.wire import (BATCH_REQUEST_FIELDS,
+                               BATCH_RESPONSE_FIELDS,
+                               ERROR_RESPONSE_FIELDS,
+                               EXPLAIN_RESPONSE_FIELDS, RESULT_FIELDS,
+                               SEARCH_REQUEST_FIELDS,
+                               SEARCH_RESPONSE_FIELDS, SERVER_ROUTES,
+                               WIRE_SCHEMA_VERSION, WireError,
+                               batch_response, error_response,
+                               explain_response, parse_batch_request,
+                               parse_search_request, result_to_wire,
+                               search_response, validate_response)
+
+__all__ = [
+    "SearchServer",
+    "serve",
+    "SERVER_COUNTERS",
+    "SERVER_GAUGES",
+    "DELAY_ENV",
+    "WIRE_SCHEMA_VERSION",
+    "WireError",
+    "SERVER_ROUTES",
+    "SEARCH_REQUEST_FIELDS",
+    "BATCH_REQUEST_FIELDS",
+    "RESULT_FIELDS",
+    "SEARCH_RESPONSE_FIELDS",
+    "BATCH_RESPONSE_FIELDS",
+    "EXPLAIN_RESPONSE_FIELDS",
+    "ERROR_RESPONSE_FIELDS",
+    "result_to_wire",
+    "search_response",
+    "batch_response",
+    "explain_response",
+    "error_response",
+    "parse_search_request",
+    "parse_batch_request",
+    "validate_response",
+]

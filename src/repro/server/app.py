@@ -1,0 +1,521 @@
+"""The network-facing search service.
+
+A :class:`SearchServer` shares **one** :class:`~repro.runtime.session.
+SearchSession` — and therefore one mmap'd index and one cache pair —
+across a bounded worker pool, behind a stdlib
+:class:`~http.server.ThreadingHTTPServer` (the same machinery as the
+telemetry endpoint in :mod:`repro.obs.server`):
+
+* ``POST /search``  — one query, :mod:`repro.server.wire` format;
+* ``POST /batch``   — a workload through the shared-scan executor;
+* ``GET /explain``  — the EXPLAIN profiler over the wire;
+* ``GET /healthz``  — liveness + admission/swap/cache statistics;
+* ``GET /metrics``  — OpenMetrics exposition of the serving registry;
+* ``GET /tracez``   — recent trace digests.
+
+Admission control is a hard bound: at most ``workers`` requests
+execute while at most ``queue_limit`` more wait; the next request is
+rejected immediately with ``429`` and a ``Retry-After`` header — under
+overload the server sheds load, it never hangs.  Every admitted
+request runs under the per-request (or server-default) timeout; on
+expiry the client gets ``504`` and a queued-but-unstarted request is
+cancelled so it cannot burn a worker for a client that already left.
+
+Searches report into a process-global metrics registry and tracer
+(worker threads do not inherit the ContextVar-scoped ones), so every
+request lands in ``/metrics`` and ``/tracez``, and the session's
+resource watchdog patrols a ``gauge:server_inflight_requests`` budget
+so sustained saturation surfaces as ``watchdog_breaches``.
+
+Hot swap: :meth:`SearchServer.reload` (SIGHUP under :func:`serve`)
+opens the index path afresh and :meth:`~repro.runtime.session.
+SearchSession.swap_index` publishes it atomically.  In-flight requests
+finish on the state snapshot they captured; the retired store stays
+open — its mmap may still be read — until :meth:`SearchServer.close`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, TimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qsl
+
+from repro.errors import ReproError
+from repro.obs.export import to_openmetrics
+from repro.obs.logconfig import get_logger
+from repro.obs.server import OPENMETRICS_CONTENT_TYPE
+from repro.runtime.session import SearchSession
+from repro.server import wire
+from repro.server.wire import WireError
+
+_log = get_logger("server.app")
+
+#: Counter catalogue of the serving layer (see docs/SERVER.md).
+SERVER_COUNTERS = (
+    "server_requests",
+    "server_rejections",
+    "server_timeouts",
+    "server_errors",
+    "server_index_swaps",
+)
+
+#: Gauge catalogue of the serving layer (see docs/SERVER.md).
+SERVER_GAUGES = (
+    "server_inflight_requests",
+)
+
+#: Env hook: sleep this many milliseconds inside every worker before
+#: executing — a deterministic way for tests and the CI smoke job to
+#: fill the queue (forcing 429s) or overrun a timeout (forcing 504s).
+DELAY_ENV = "REPRO_SERVER_DELAY_MS"
+
+
+class _Admission:
+    """The bounded front door: at most ``capacity`` requests inside."""
+
+    def __init__(self, capacity: int, registry):
+        self.capacity = capacity
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._inflight = 0
+
+    def enter(self) -> bool:
+        with self._lock:
+            if self._inflight >= self.capacity:
+                return False
+            self._inflight += 1
+            inflight = self._inflight
+        self._registry.gauge_set("server_inflight_requests", inflight)
+        return True
+
+    def leave(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+            inflight = self._inflight
+        self._registry.gauge_set("server_inflight_requests", inflight)
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+
+class SearchServer:
+    """Serve one :class:`SearchSession` over HTTP.
+
+    Parameters
+    ----------
+    session:
+        The shared session; its index is typically a mmap'd CKSIDX2
+        :class:`~repro.index.store_v2.LazyIndex` opened via
+        :meth:`SearchSession.from_store`.
+    index_path:
+        Where :meth:`reload` re-opens the index from (required for hot
+        swaps; ``None`` disables them).
+    workers:
+        Concurrent request executions (one shared session; the caches
+        and the lazy store are thread-safe).
+    queue_limit:
+        Admitted-but-waiting requests beyond ``workers``; the next
+        one is rejected with 429 + ``Retry-After``.
+    request_timeout:
+        Default per-request wall budget in seconds (a request's
+        ``timeout_seconds`` field overrides it downward or upward);
+        expiry replies 504.
+    registry / tracer:
+        Installed process-global for the server's lifetime (fresh ones
+        by default) so worker threads' searches land in ``/metrics``
+        and ``/tracez``; the previous globals are restored on
+        :meth:`close`.
+    watchdog_interval / watchdog_budgets:
+        The session resource watchdog (``None`` interval opts out);
+        budgets default to ``gauge:server_inflight_requests`` at the
+        admission capacity, so sustained saturation breaches.
+    """
+
+    def __init__(self, session: SearchSession,
+                 index_path=None,
+                 port: int = 0, host: str = "127.0.0.1",
+                 workers: int = 4, queue_limit: int = 16,
+                 request_timeout: float = 30.0,
+                 registry=None, tracer=None,
+                 namespace: str = "repro",
+                 watchdog_interval: Optional[float] = 1.0,
+                 watchdog_budgets: Optional[dict] = None):
+        from repro.obs.metrics import MetricsRegistry, set_global_metrics
+        from repro.obs.tracing import Tracer, set_global_tracer
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        self.session = session
+        self._index_path = index_path
+        self._request_timeout = request_timeout
+        self._namespace = namespace
+        self._registry = registry if registry is not None \
+            else MetricsRegistry()
+        self._previous_registry = set_global_metrics(self._registry)
+        self._owns_tracer = tracer is None
+        self._tracer = tracer if tracer is not None else Tracer()
+        self._previous_tracer = set_global_tracer(self._tracer)
+        self._registry.declare(*SERVER_COUNTERS)
+        self._registry.gauge_set("server_inflight_requests", 0)
+        self._admission = _Admission(workers + queue_limit,
+                                     self._registry)
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-search")
+        self._retired: list = []
+        self._swap_lock = threading.Lock()
+        self.swap_count = 0
+        self._started = time.time()
+        self._closed = False
+        if watchdog_interval is not None:
+            budgets = watchdog_budgets if watchdog_budgets is not None \
+                else {"gauge:server_inflight_requests":
+                      self._admission.capacity}
+            session._start_watchdog(interval=watchdog_interval,
+                                    budgets=budgets,
+                                    registry=self._registry)
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+                server._route_get(self)
+
+            def do_POST(self) -> None:  # noqa: N802 (stdlib API)
+                server._route_post(self)
+
+            def log_message(self, fmt, *args):  # route to repro.* logs
+                _log.debug("server %s", fmt % args)
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-server",
+            daemon=True)
+        self._thread.start()
+        _log.info("search server on %s (%d workers, queue %d)",
+                  self.url, workers, queue_limit)
+
+    # -- surface -------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolved when constructed with 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the service."""
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since the server started."""
+        return time.time() - self._started
+
+    def reload(self) -> int:
+        """Hot-swap the index from ``index_path``; returns the swap
+        count.
+
+        The new store is opened *before* the old state is retired, so
+        a failed open leaves the server exactly as it was.  In-flight
+        requests finish on their captured snapshot; the retired index
+        stays open until :meth:`close` (its mmap may still be read).
+        """
+        if self._index_path is None:
+            raise ReproError("server has no index_path to reload from")
+        from repro.index.store_v2 import open_index
+        fresh = open_index(self._index_path,
+                           self.session.index.tokenizer)
+        with self._swap_lock:
+            retired = self.session.index
+            self.session.swap_index(fresh)
+            self._retired.append(retired)
+            self.swap_count += 1
+        self._registry.inc("server_index_swaps")
+        _log.info("index hot-swapped (#%d) from %s",
+                  self.swap_count, self._index_path)
+        return self.swap_count
+
+    def close(self) -> None:
+        """Stop accepting, drain the pool, release everything
+        (idempotent).
+
+        Order matters: the listener closes first (no new admissions),
+        the pool drains in-flight work, and only then are retired
+        index stores closed — their mmaps may be read up to the last
+        drained request — and the global registry/tracer restored.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        from repro.obs.metrics import set_global_metrics
+        from repro.obs.tracing import set_global_tracer
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+        self._pool.shutdown(wait=True)
+        self.session._stop_watchdog()
+        for index in self._retired:
+            close = getattr(index, "close", None)
+            if close is not None:
+                close()
+        self._retired.clear()
+        set_global_metrics(self._previous_registry)
+        set_global_tracer(self._previous_tracer)
+        if self._owns_tracer:
+            self._tracer.close()
+        _log.info("search server closed")
+
+    def __enter__(self) -> "SearchServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request execution ---------------------------------------------------
+
+    def _run(self, job, timeout: Optional[float]):
+        """Admit → pool → bounded wait; returns the wire body dict or
+        raises :class:`_Reject` with the HTTP status to send."""
+        if not self._admission.enter():
+            self._registry.inc("server_rejections")
+            raise _Reject(429, "server at capacity "
+                          f"({self._admission.capacity} in flight)",
+                          retry_after=1.0)
+        self._registry.inc("server_requests")
+        cancelled = threading.Event()
+        start = time.perf_counter()
+
+        def task():
+            if cancelled.is_set():
+                return None
+            delay = os.environ.get(DELAY_ENV)
+            if delay:
+                time.sleep(float(delay) / 1000.0)
+            return job()
+
+        future = self._pool.submit(task)
+        budget = timeout if timeout is not None else self._request_timeout
+        try:
+            result = future.result(timeout=budget)
+        except TimeoutError:
+            cancelled.set()
+            future.cancel()
+            self._registry.inc("server_timeouts")
+            raise _Reject(504, f"request exceeded {budget:g}s") from None
+        finally:
+            self._admission.leave()
+        if result is None and cancelled.is_set():  # pragma: no cover
+            raise _Reject(504, "request was cancelled")
+        self._registry.observe("server_request_seconds",
+                               time.perf_counter() - start)
+        return result
+
+    # -- routing -------------------------------------------------------------
+
+    def _route_post(self, request: BaseHTTPRequestHandler) -> None:
+        path = request.path.split("?", 1)[0]
+        try:
+            length = int(request.headers.get("Content-Length") or 0)
+            raw = request.rfile.read(length)
+            if path == "/search":
+                query, options, timeout = wire.parse_search_request(raw)
+                body = self._run(
+                    lambda: self._do_search(query, options), timeout)
+            elif path == "/batch":
+                queries, options, timeout = wire.parse_batch_request(raw)
+                body = self._run(
+                    lambda: self._do_batch(queries, options), timeout)
+            else:
+                self._fail(request, 404, f"unknown route POST {path}")
+                return
+            self._json(request, 200, body)
+        except _Reject as reject:
+            self._fail(request, reject.status, reject.message,
+                       retry_after=reject.retry_after)
+        except (WireError, ReproError) as error:
+            self._registry.inc("server_errors")
+            self._fail(request, 400, str(error))
+        except Exception as error:  # pragma: no cover - handler bugs
+            _log.exception("server handler failed on %s", path)
+            self._registry.inc("server_errors")
+            self._fail(request, 500, f"internal error: {error}")
+
+    def _route_get(self, request: BaseHTTPRequestHandler) -> None:
+        path, _, query_string = request.path.partition("?")
+        try:
+            if path == "/healthz":
+                self._json(request, 200, self._health())
+            elif path == "/metrics":
+                body = to_openmetrics(self._registry.snapshot(),
+                                      self._namespace)
+                _reply(request, 200, OPENMETRICS_CONTENT_TYPE, body)
+            elif path == "/tracez":
+                from repro.obs.tracing import recent_traces
+                _reply(request, 200, "application/json",
+                       json.dumps(recent_traces(), default=str))
+            elif path == "/explain":
+                params = dict(parse_qsl(query_string))
+                query, options, timeout = _parse_explain(params)
+                body = self._run(
+                    lambda: wire.explain_response(
+                        self.session.explain(query, options)), timeout)
+                self._json(request, 200, body)
+            else:
+                self._fail(request, 404, f"unknown route GET {path}")
+        except _Reject as reject:
+            self._fail(request, reject.status, reject.message,
+                       retry_after=reject.retry_after)
+        except (WireError, ReproError) as error:
+            self._registry.inc("server_errors")
+            self._fail(request, 400, str(error))
+        except Exception as error:  # pragma: no cover - handler bugs
+            _log.exception("server handler failed on %s", path)
+            self._registry.inc("server_errors")
+            self._fail(request, 500, f"internal error: {error}")
+
+    def _do_search(self, query: str, options) -> dict:
+        start = time.perf_counter()
+        results = self.session.search(query, options)
+        return wire.search_response(query, options, results,
+                                    time.perf_counter() - start)
+
+    def _do_batch(self, queries: list, options) -> dict:
+        start = time.perf_counter()
+        answers = self.session.search_batch(queries, options)
+        return wire.batch_response(queries, options, answers,
+                                   time.perf_counter() - start)
+
+    def _health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(self.uptime_seconds, 3),
+            "inflight": self._admission.inflight,
+            "capacity": self._admission.capacity,
+            "workers": self.workers,
+            "queue_limit": self.queue_limit,
+            "index_swaps": self.swap_count,
+            "keywords": len(self.session.index),
+            "caches": self.session.cache_stats(),
+        }
+
+    def _json(self, request, status: int, body: dict) -> None:
+        _reply(request, status, "application/json",
+               json.dumps(body, sort_keys=True))
+
+    def _fail(self, request, status: int, message: str,
+              retry_after: Optional[float] = None) -> None:
+        body = wire.error_response(status, message,
+                                   retry_after=retry_after)
+        headers = {}
+        if retry_after is not None:
+            headers["Retry-After"] = str(max(1, int(retry_after)))
+        _reply(request, status, "application/json",
+               json.dumps(body, sort_keys=True), headers)
+
+
+class _Reject(Exception):
+    """A request turned away with a specific HTTP status."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+def _reply(request: BaseHTTPRequestHandler, status: int,
+           content_type: str, body: str,
+           headers: Optional[dict] = None) -> None:
+    payload = body.encode("utf-8")
+    request.send_response(status)
+    request.send_header("Content-Type", content_type)
+    request.send_header("Content-Length", str(len(payload)))
+    for name, value in (headers or {}).items():
+        request.send_header(name, value)
+    request.end_headers()
+    request.wfile.write(payload)
+
+
+def _parse_explain(params: dict):
+    """``GET /explain`` query parameters → (query, options, timeout)."""
+    query = params.pop("q", None)
+    if not query or not query.strip():
+        raise WireError('/explain needs a non-empty "q" parameter')
+    timeout = None
+    if "timeout_seconds" in params:
+        try:
+            timeout = float(params.pop("timeout_seconds"))
+        except ValueError as error:
+            raise WireError("timeout_seconds must be a number") from error
+        if timeout <= 0:
+            raise WireError("timeout_seconds must be a positive number")
+    converted: dict = {}
+    for key, value in params.items():
+        if key in ("top_k", "max_size", "initial_budget", "list_limit"):
+            try:
+                converted[key] = int(value)
+            except ValueError as error:
+                raise WireError(f"{key} must be an integer") from error
+        elif key == "impenetrability":
+            converted[key] = value.lower() not in ("0", "false", "no")
+        else:
+            converted[key] = value
+    from repro.runtime.options import OptionsError, SearchOptions
+    try:
+        options = SearchOptions.from_dict(converted)
+    except OptionsError as error:
+        raise WireError(f"bad options: {error}") from error
+    return query, options, timeout
+
+
+def serve(index_path, port: int = 8080, host: str = "127.0.0.1",
+          workers: int = 4, queue_limit: int = 16,
+          request_timeout: float = 30.0,
+          watchdog_interval: Optional[float] = 1.0,
+          ready=None, stop: Optional[threading.Event] = None) -> None:
+    """Run a search server over ``index_path`` until SIGTERM/SIGINT.
+
+    The blocking entry point behind ``cohesive-search serve``: opens
+    the store (lazily for CKSIDX2), prints the bound URL to stdout
+    (``--port 0`` picks a free port), hot-swaps the index on SIGHUP
+    and shuts down cleanly — in-flight requests drained — on
+    SIGTERM/SIGINT.  ``ready`` (if given) is called with the running
+    :class:`SearchServer` once it is serving; ``stop`` (an optional
+    :class:`threading.Event`) shuts down when set, for embedders that
+    cannot deliver signals (signal handlers only install on the main
+    thread; elsewhere the signals are skipped silently).
+    """
+    session = SearchSession.from_store(index_path)
+    stop = stop if stop is not None else threading.Event()
+    with SearchServer(session, index_path=index_path, port=port,
+                      host=host, workers=workers,
+                      queue_limit=queue_limit,
+                      request_timeout=request_timeout,
+                      watchdog_interval=watchdog_interval) as server:
+        try:
+            if hasattr(signal, "SIGHUP"):
+                signal.signal(signal.SIGHUP,
+                              lambda *_: server.reload())
+            for stopper in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(stopper, lambda *_: stop.set())
+        except ValueError:  # not the main thread
+            pass
+        print(f"serving on {server.url}", flush=True)
+        if ready is not None:
+            ready(server)
+        stop.wait()
+        _log.info("shutdown signal received")

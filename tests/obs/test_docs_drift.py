@@ -25,6 +25,7 @@ from repro.index.store_v2 import STORE_V2_COUNTERS, STORE_V2_GAUGES
 from repro.obs.tracing import TRACE_ATTRIBUTES, TRACING_GAUGES
 from repro.obs.watchdog import WATCHDOG_GAUGES
 from repro.runtime.session import RUNTIME_COUNTERS, RUNTIME_GAUGES
+from repro.server.app import SERVER_COUNTERS, SERVER_GAUGES
 
 REPO = Path(__file__).resolve().parents[2]
 SRC = REPO / "src" / "repro"
@@ -36,7 +37,7 @@ _BACKTICKED = re.compile(r"`([a-z0-9_]+)`")
 
 def _code_counters() -> set:
     names = set(ENGINE_COUNTERS) | set(RUNTIME_COUNTERS) \
-        | set(STORE_V2_COUNTERS)
+        | set(STORE_V2_COUNTERS) | set(SERVER_COUNTERS)
     for path in SRC.rglob("*.py"):
         names.update(_INC_LITERAL.findall(path.read_text(encoding="utf-8")))
     return names
@@ -98,7 +99,8 @@ _GAUGE_LITERAL = re.compile(
 
 def _code_gauges() -> set:
     names = set(RUNTIME_GAUGES) | set(STORE_V2_GAUGES) \
-        | set(TRACING_GAUGES) | set(WATCHDOG_GAUGES)
+        | set(TRACING_GAUGES) | set(WATCHDOG_GAUGES) \
+        | set(SERVER_GAUGES)
     for path in SRC.rglob("*.py"):
         names.update(
             _GAUGE_LITERAL.findall(path.read_text(encoding="utf-8")))

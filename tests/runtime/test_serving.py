@@ -1,0 +1,181 @@
+"""The ``serving()`` lifecycle context and the deprecated wrappers."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.obs.metrics import MetricsRegistry, set_global_metrics
+from repro.runtime import session as session_module
+from repro.runtime.session import SearchSession, ServingHandles
+
+from tests.conftest import Q1
+
+
+@pytest.fixture()
+def session(figure1_index):
+    return SearchSession(figure1_index)
+
+
+def test_serving_defaults_start_nothing(session):
+    with session.serving() as run:
+        assert isinstance(run, ServingHandles)
+        assert run.telemetry is None
+        assert run.watchdog is None
+        assert run.profiler is None
+        assert run.slow_log is None
+        assert run.sink is None
+        assert session.search(Q1)
+
+
+def test_serving_telemetry_starts_endpoint_and_watchdog(session):
+    previous = set_global_metrics(None)
+    try:
+        with session.serving(telemetry=True) as run:
+            assert run.telemetry is not None
+            assert run.watchdog is not None and run.watchdog.running
+            session.search(Q1)
+            with urllib.request.urlopen(run.telemetry.url
+                                        + "/healthz") as response:
+                health = json.loads(response.read())
+            assert health["keywords"] > 0
+        assert session._telemetry is None
+        assert session._watchdog is None
+        # The serving-owned process-global registry was removed.
+        assert set_global_metrics(None) is None
+    finally:
+        set_global_metrics(previous)
+
+
+def test_serving_watchdog_alone(session):
+    registry = MetricsRegistry()
+    with session.serving(watchdog=0.05, registry=registry) as run:
+        assert run.telemetry is None
+        assert run.watchdog.running
+    assert session._watchdog is None
+
+
+def test_serving_watchdog_dict_options(session):
+    budgets = {"max_rss_mb": 10**6}
+    with session.serving(watchdog={"interval": 0.05,
+                                   "budgets": budgets}) as run:
+        assert run.watchdog.running
+        assert run.watchdog.budgets == budgets
+
+
+def test_serving_watchdog_false_opts_out_of_telemetry_default(session):
+    with session.serving(telemetry=True, watchdog=False) as run:
+        assert run.telemetry is not None
+        assert run.watchdog is None
+
+
+def test_serving_cpu_profiler(session):
+    with session.serving(cpu_profiler=True) as run:
+        assert run.profiler is not None and run.profiler.running
+    assert session._profiler is None
+
+
+def test_serving_slow_query_log(session):
+    with session.serving(slow_query_log=0.0) as run:
+        session.search(Q1)
+        assert len(run.slow_log.as_json()) == 1
+    # The log handle survives the block for post-mortems.
+    assert session.slow_query_log is run.slow_log
+
+
+def test_serving_slow_query_log_tuple(session):
+    with session.serving(slow_query_log=(0.0, 7)) as run:
+        assert run.slow_log.capacity == 7
+
+
+def test_serving_owns_path_event_sink(session, tmp_path):
+    path = tmp_path / "events.jsonl"
+    with session.serving(events=path) as run:
+        assert run.sink is not None
+        session.search(Q1)
+    assert session._event_sink is None
+    events = [json.loads(line)
+              for line in path.read_text().splitlines()]
+    assert any(event["event"] == "query" and event["query"] == Q1
+               for event in events)
+
+
+def test_serving_leaves_caller_sink_attached(session, tmp_path):
+    from repro.obs.export import JsonlSink
+    sink = JsonlSink(tmp_path / "events.jsonl")
+    try:
+        with session.serving(events=sink) as run:
+            assert run.sink is sink
+        # A caller-owned sink is neither detached nor closed.
+        assert session._event_sink is sink
+        session.search(Q1)
+    finally:
+        sink.close()
+    assert (tmp_path / "events.jsonl").read_text().strip()
+
+
+def test_serving_tears_down_when_body_raises(session):
+    with pytest.raises(RuntimeError):
+        with session.serving(telemetry=True, cpu_profiler=True):
+            raise RuntimeError("boom")
+    assert session._telemetry is None
+    assert session._watchdog is None
+    assert session._profiler is None
+
+
+DEPRECATED = [
+    ("serve_telemetry", (), {"watchdog_interval": None}),
+    ("close_telemetry", (), {}),
+    ("start_watchdog", (0.05,), {}),
+    ("stop_watchdog", (), {}),
+    ("start_cpu_profiler", (), {}),
+    ("stop_cpu_profiler", (), {}),
+]
+
+
+@pytest.mark.parametrize("name,args,kwargs", DEPRECATED,
+                         ids=[entry[0] for entry in DEPRECATED])
+def test_old_lifecycle_names_warn_once(session, name, args, kwargs,
+                                       monkeypatch):
+    monkeypatch.setattr(session_module, "_DEPRECATION_WARNED", set())
+    with pytest.warns(DeprecationWarning,
+                      match=rf"SearchSession\.{name}\(\) is deprecated"
+                      r".*docs/API\.md"):
+        getattr(session, name)(*args, **kwargs)
+    with warnings_catcher() as caught:
+        getattr(session, name)(*args, **kwargs)
+    assert caught == []
+    session._close_serving()
+
+
+def warnings_catcher():
+    import warnings
+
+    class _Catcher:
+        def __enter__(self):
+            self._ctx = warnings.catch_warnings(record=True)
+            self.records = self._ctx.__enter__()
+            warnings.simplefilter("always")
+            return self.records
+
+        def __exit__(self, *exc):
+            return self._ctx.__exit__(*exc)
+
+    return _Catcher()
+
+
+def test_deprecated_wrappers_still_work(session):
+    monkey_set = session_module._DEPRECATION_WARNED
+    monkey_set.update(name for name, _, _ in DEPRECATED)
+    try:
+        watchdog = session.start_watchdog(interval=0.05)
+        assert watchdog.running
+        assert session.stop_watchdog() is watchdog
+        profiler = session.start_cpu_profiler()
+        assert profiler.running
+        assert session.stop_cpu_profiler() is profiler
+    finally:
+        session._close_serving()

@@ -1,0 +1,108 @@
+"""``swap_index`` under concurrent searches: no torn reads.
+
+Every search captures the session's state snapshot — index, plan
+cache, posting cache — exactly once, so a swap that lands mid-query
+can never mix the old index with the new caches (or vice versa).
+These tests hammer the session from many threads while swapping
+repeatedly and assert byte-identical results throughout.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.obs.metrics import NULL_METRICS
+from repro.runtime.options import SearchOptions
+from repro.runtime.session import SearchSession
+
+from tests.conftest import FIGURE1_SPEC, Q1
+
+THREADS = 6
+SWAPS = 25
+
+
+@pytest.fixture()
+def session(figure1_tree):
+    return SearchSession(InvertedIndex.from_tree(figure1_tree))
+
+
+def canonical(results) -> str:
+    return json.dumps([(list(row.code), row.size) for row in results])
+
+
+def test_concurrent_searches_survive_swaps(session, figure1_tree):
+    baseline = canonical(session.search(Q1))
+    torn, lock = [], threading.Lock()
+    stop = threading.Event()
+    started = threading.Barrier(THREADS + 1)
+
+    def hammer():
+        started.wait()
+        while not stop.is_set():
+            got = canonical(session.search(Q1))
+            if got != baseline:
+                with lock:
+                    torn.append(got)
+                return
+
+    threads = [threading.Thread(target=hammer) for _ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    started.wait()
+    for _ in range(SWAPS):
+        session.swap_index(InvertedIndex.from_tree(figure1_tree))
+    stop.set()
+    for thread in threads:
+        thread.join()
+    assert torn == []
+    assert canonical(session.search(Q1)) == baseline
+
+
+def test_concurrent_swaps_do_not_race_each_other(session, figure1_tree):
+    """Swaps from several threads serialise under the swap lock."""
+    replacements = [InvertedIndex.from_tree(figure1_tree)
+                    for _ in range(8)]
+
+    def swap(index):
+        session.swap_index(index)
+
+    threads = [threading.Thread(target=swap, args=(index,))
+               for index in replacements]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # The session settled on exactly one of the replacements, with a
+    # coherent (same-generation) cache pair.
+    assert session.index in replacements
+    assert session.search(Q1)
+
+
+def test_snapshot_pins_index_and_caches_together(session, figure1_tree):
+    """A state captured before a swap keeps serving the old pair."""
+    state = session._state
+    session.swap_index(InvertedIndex.from_tree(figure1_tree))
+    assert session._state is not state
+    assert session._state.index is not state.index
+    # The old snapshot is still internally consistent and usable.
+    results = session._execute(Q1, SearchOptions(), NULL_METRICS,
+                               state=state)
+    assert canonical(results) == canonical(session.search(Q1))
+
+
+def test_swap_carries_cache_statistics_forward(session, figure1_tree):
+    session.search(Q1)
+    session.search(Q1)  # plan-cache hit
+    before = session.cache_stats()
+    session.swap_index(InvertedIndex.from_tree(figure1_tree))
+    after = session.cache_stats()
+    assert after["plan_cache"]["hits"] == before["plan_cache"]["hits"]
+    assert after["plan_cache"]["misses"] \
+        == before["plan_cache"]["misses"]
+    # ...but the cached entries themselves were dropped.
+    assert after["plan_cache"]["size"] == 0
+    assert after["posting_cache"]["size"] == 0

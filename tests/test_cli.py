@@ -54,7 +54,7 @@ class TestIndexAndSearch:
     @pytest.mark.parametrize("baseline", ["slca", "elca", "lcasz", "saone"])
     def test_baselines(self, document, baseline, capsys):
         assert main(["search", str(document), "(lei chen yi guo)",
-                     "--baseline", baseline]) == 0
+                     "--algorithm", baseline]) == 0
         assert "result(s)" in capsys.readouterr().out
 
     def test_top_limits_output(self, document, capsys):
@@ -318,7 +318,7 @@ class TestObservability:
         from repro.runtime import session as session_module
 
         captured = {}
-        original = session_module.SearchSession.serve_telemetry
+        original = session_module.SearchSession._serve_telemetry
 
         def spying(self, **kwargs):
             server = original(self, **kwargs)
@@ -330,12 +330,12 @@ class TestObservability:
                 captured["metrics"] = response.read().decode()
             return server
 
-        session_module.SearchSession.serve_telemetry = spying
+        session_module.SearchSession._serve_telemetry = spying
         try:
             assert main(["search", str(document), "((Lei Chen) (Yi Guo))",
                          "--telemetry-port", "0"]) == 0
         finally:
-            session_module.SearchSession.serve_telemetry = original
+            session_module.SearchSession._serve_telemetry = original
         assert "telemetry on http://" in capsys.readouterr().out
         assert captured["health"]["status"] == "ok"
         parse_openmetrics(captured["metrics"])  # valid exposition
@@ -349,7 +349,7 @@ class TestObservability:
         # appear; slca (definition-first) routes through the engine and
         # reports the engine catalogue instead.
         assert main(["search", str(document), "(lei chen)",
-                     "--baseline", "elca", "--metrics"]) == 0
+                     "--algorithm", "elca", "--metrics"]) == 0
         out = capsys.readouterr().out
         assert "baseline_lists_loaded" in out
 
@@ -393,31 +393,19 @@ class TestRuntimeFlags:
                      "--algorithm", "machine"]) == 0
         assert capsys.readouterr().out == engine_out
 
-    def test_baseline_alias_matches_algorithm(self, document, capsys):
+    def test_baseline_flag_is_a_hard_error(self, document, capsys):
         assert main(["search", str(document), "(lei chen)",
-                     "--algorithm", "slca"]) == 0
-        direct = capsys.readouterr().out
-        assert main(["search", str(document), "(lei chen)",
-                     "--baseline", "slca"]) == 0
-        assert capsys.readouterr().out == direct
-
-    def test_baseline_deprecation_warns_once(self, document, caplog):
-        import repro.cli as cli_module
-        cli_module._baseline_warned = False
-        with caplog.at_level(logging.WARNING, logger="repro.cli"):
-            assert main(["search", str(document), "(lei chen)",
-                         "--baseline", "slca"]) == 0
-            assert main(["search", str(document), "(lei chen)",
-                         "--baseline", "elca"]) == 0
-        warnings = [record for record in caplog.records
-                    if "deprecated" in record.getMessage()]
-        assert len(warnings) == 1
-
-    def test_conflicting_algorithm_and_baseline(self, document, capsys):
-        assert main(["search", str(document), "(lei chen)",
-                     "--algorithm", "cohesive",
                      "--baseline", "slca"]) == 1
-        assert "conflicts" in capsys.readouterr().err
+        # The pinned migration message (docs/API.md).
+        assert ("error: --baseline was removed; use --algorithm slca "
+                "(see docs/API.md, 'Migrating from the pre-session "
+                "CLI')") in capsys.readouterr().err
+
+    def test_baseline_error_names_the_requested_algorithm(
+            self, document, capsys):
+        assert main(["search", str(document), "(lei chen)",
+                     "--baseline", "elca"]) == 1
+        assert "--algorithm elca" in capsys.readouterr().err
 
     def test_repeat_reports_cache_hits(self, document, capsys):
         assert main(["search", str(document), "(lei chen)",
@@ -486,6 +474,71 @@ class TestRuntimeFlags:
     def test_missing_query_and_workload(self, document, capsys):
         assert main(["search", str(document)]) == 1
         assert "query or --workload" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_search_format_json_is_the_wire_envelope(self, document,
+                                                     capsys):
+        from repro.server import wire
+        assert main(["search", str(document), "(lei chen)",
+                     "--format", "json"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        wire.validate_response(body)
+        assert body["schema"] == wire.WIRE_SCHEMA_VERSION
+        assert body["query"] == "(lei chen)"
+        assert body["result_count"] == len(body["results"]) > 0
+
+    def test_search_format_json_carries_options(self, document,
+                                                capsys):
+        assert main(["search", str(document), "(lei chen)",
+                     "--algorithm", "slca", "--format", "json"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["options"]["algorithm"] == "slca"
+
+    def test_workload_format_json_is_the_batch_envelope(
+            self, document, tmp_path, capsys):
+        from repro.server import wire
+        workload = tmp_path / "queries.txt"
+        workload.write_text("(lei chen)\n(yi guo)\n")
+        assert main(["search", str(document), "--workload",
+                     str(workload), "--format", "json"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        wire.validate_response(body)
+        assert body["queries"] == ["(lei chen)", "(yi guo)"]
+        assert len(body["answers"]) == 2
+
+
+class TestServeSubcommand:
+    def test_serve_forwards_arguments(self, monkeypatch):
+        import repro.server
+        calls = {}
+
+        def spy(store, **kwargs):
+            calls["store"] = store
+            calls.update(kwargs)
+
+        monkeypatch.setattr(repro.server, "serve", spy)
+        assert main(["serve", "INDEX.ckx", "--port", "1234",
+                     "--workers", "2", "--queue-limit", "3",
+                     "--timeout", "5", "--no-watchdog"]) == 0
+        assert calls["store"] == "INDEX.ckx"
+        assert calls["port"] == 1234
+        assert calls["workers"] == 2
+        assert calls["queue_limit"] == 3
+        assert calls["request_timeout"] == 5.0
+        assert calls["watchdog_interval"] is None
+
+    def test_serve_defaults(self, monkeypatch):
+        import repro.server
+        calls = {}
+        monkeypatch.setattr(
+            repro.server, "serve",
+            lambda store, **kwargs: calls.update(kwargs))
+        assert main(["serve", "INDEX.ckx"]) == 0
+        assert calls["port"] == 8080
+        assert calls["workers"] == 4
+        assert calls["queue_limit"] == 16
+        assert calls["watchdog_interval"] == 1.0
 
 
 class TestErrors:
