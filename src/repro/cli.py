@@ -85,7 +85,8 @@ from repro.index.store_v2 import (inspect_index, merge_index, open_index,
 from repro.obs import (configure_logging, format_report, get_logger,
                        get_metrics, metrics_scope)
 from repro.obs.bench import DEFAULT_MIN_SECONDS, DEFAULT_THRESHOLD
-from repro.runtime import ALGORITHMS, SearchOptions, SearchSession
+from repro.runtime import (ALGORITHMS, KERNELS, SearchOptions,
+                           SearchSession)
 from repro.tree import dewey
 from repro.tree.stats import compute_statistics
 from repro.xmlio.loader import load_tree_from_path
@@ -120,6 +121,10 @@ def _build_parser() -> argparse.ArgumentParser:
                            choices=["v1", "v2"],
                            help="store format: v2 (mmap + lazy decode, "
                                 "default) or the legacy v1 layout")
+    build_cmd.add_argument("--dedup", action="store_true",
+                           help="deduplicate repeated subtrees: store "
+                                "each distinct subtree's postings once "
+                                "(v2 only; incompatible with --stream)")
     merge_cmd = index_sub.add_parser(
         "merge", help="compact a segmented v2 store (or upgrade a v1 "
                       "store) to one segment")
@@ -127,6 +132,9 @@ def _build_parser() -> argparse.ArgumentParser:
     merge_cmd.add_argument("--output", default=None,
                            help="write the compacted store here instead "
                                 "of replacing STORE in place")
+    merge_cmd.add_argument("--dedup", action="store_true",
+                           help="re-run subtree deduplication on the "
+                                "merged postings")
     inspect_cmd = index_sub.add_parser(
         "inspect", help="report a store's format, segments and sizes")
     inspect_cmd.add_argument("store")
@@ -188,6 +196,12 @@ def _build_parser() -> argparse.ArgumentParser:
     search_cmd.add_argument("--max-size", type=int, default=None,
                             dest="max_size",
                             help="only results with LCA size <= N")
+    search_cmd.add_argument("--kernel", default=None,
+                            choices=list(KERNELS),
+                            help="cohesive evaluation kernel: the flat "
+                                 "packed-integer kernel (default) or "
+                                 "the reference object engine; answers "
+                                 "are byte-identical")
     search_cmd.add_argument("--witness", action="store_true",
                             help="also print a minimal matching subtree "
                                  "per result")
@@ -379,6 +393,13 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 
 def _cmd_index_build(args: argparse.Namespace) -> int:
+    if args.dedup and args.stream:
+        raise ReproError(
+            "--dedup needs the whole posting trie in memory and "
+            "--stream promises O(depth) memory; build without --stream "
+            "or merge with --dedup afterwards")
+    if args.dedup and args.store_format == "v1":
+        raise ReproError("--dedup requires the v2 store format")
     if args.stream:
         from repro.index.streaming import index_xml_path
         index = index_xml_path(args.document)
@@ -389,6 +410,9 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
         nodes = str(len(tree))
     if args.store_format == "v1":
         written = save_index(index, args.output)
+    elif args.dedup:
+        from repro.index.store_v2 import save_index_v2_dedup
+        written = save_index_v2_dedup(index, args.output)
     else:
         written = save_index_v2(index, args.output)
     print(f"indexed {nodes} nodes, {len(index)} keywords, "
@@ -398,7 +422,8 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
 
 def _cmd_index_merge(args: argparse.Namespace) -> int:
     before = inspect_index(args.store)
-    written = merge_index(args.store, output=args.output)
+    written = merge_index(args.store, output=args.output,
+                          dedup=args.dedup)
     target = args.output or args.store
     print(f"merged {before['segments']} segment(s) "
           f"({before['format']}, {before['bytes']} bytes) -> "
@@ -417,6 +442,9 @@ def _cmd_index_inspect(args: argparse.Namespace) -> int:
     if summary["format"] == "CKSIDX2":
         print(f"{'keywords / segment':22s} "
               f"{' '.join(map(str, summary['segment_keywords']))}")
+        if summary["dedup_groups"]:
+            print(f"{'dedup groups':22s} {summary['dedup_groups']}")
+            print(f"{'dedup blocks':22s} {summary['dedup_blocks']}")
         print(f"{'live payload bytes':22s} "
               f"{summary['live_payload_bytes']}")
         print(f"{'dead bytes':22s} {summary['dead_bytes']}")
@@ -477,14 +505,16 @@ def _resolve_algorithm(args: argparse.Namespace) -> str:
 
 def _search_options(args: argparse.Namespace,
                     algorithm: str) -> SearchOptions:
+    kernel = {} if getattr(args, "kernel", None) is None \
+        else {"kernel": args.kernel}
     if algorithm != "cohesive":
         # Baselines / the machine ignore rank, top-k and size bounds,
         # as the pre-session CLI did.
         return SearchOptions(algorithm=algorithm,
-                             list_limit=args.list_limit)
+                             list_limit=args.list_limit, **kernel)
     return SearchOptions(rank=args.rank, top_k=args.top_k,
                          max_size=args.max_size,
-                         list_limit=args.list_limit)
+                         list_limit=args.list_limit, **kernel)
 
 
 def _run_search(args: argparse.Namespace,

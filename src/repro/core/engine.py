@@ -535,7 +535,8 @@ class CohesiveLCA:
     def search(self, query: Union[str, Query],
                list_limit: Optional[int] = None,
                size_budget: Optional[int] = None,
-               impenetrability: bool = True) -> list[Result]:
+               impenetrability: bool = True,
+               kernel: Optional[str] = None) -> list[Result]:
         """All results of ``query``, ranked by ascending LCA size.
 
         ``list_limit`` truncates every inverted list to its first
@@ -543,11 +544,15 @@ class CohesiveLCA:
         experiments, §4.3).  ``size_budget`` restricts the answer to
         results of at most that LCA size, pruning larger partial LCAs
         during the run.  ``impenetrability=False`` evaluates with Def.
-        2(b)(ii) disabled (ablation only).
+        2(b)(ii) disabled (ablation only).  ``kernel`` picks the
+        evaluation kernel (``"flat"``/``"object"``, byte-identical
+        answers); ``None`` uses the session default.
         """
+        changes = {} if kernel is None else {"kernel": kernel}
         return self._session.search(query, list_limit=list_limit,
                                     max_size=size_budget,
-                                    impenetrability=impenetrability)
+                                    impenetrability=impenetrability,
+                                    **changes)
 
 
 def stream_evaluate(query: Union[str, Query], index: InvertedIndex,

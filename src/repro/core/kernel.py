@@ -1,0 +1,961 @@
+"""Flattened CohesiveLCA evaluation kernel.
+
+The object engine (:mod:`repro.core.engine`) walks the path stack with
+per-node ``_Entry`` objects whose tables are keyed by
+``(term_id, member_mask, usage, pure)`` tuples and valued by
+``(size, breakdown-tuple)`` pairs.  Profiling the Fig. 5/6 workloads
+shows the run time is dominated by exactly that table machinery —
+tuple hashing, tuple allocation and ``merge_breakdowns`` — not by the
+posting scan.
+
+This module re-implements the same algorithm on flat integers:
+
+* **Packed keys.**  A table key is one int,
+  ``((((term << mbits) | mask) << 40) | usage_id) << 1 | pure``, where
+  ``mbits`` is the query's maximum term cardinality.  The packing is
+  bijective with the engine's key tuples, so dict identity — and with
+  it insertion order, which drives tie-breaking — is preserved.
+* **Packed values.**  A table value is ``(size << 32) | breakdown_id``.
+  Comparisons always use ``value >> 32`` explicitly: comparing whole
+  packed values would break the engine's first-minimum-wins ties.
+* **Interned breakdowns.**  Per-term size vectors are interned to small
+  ids; ``merge_breakdowns`` and term-completion become memo lookups
+  keyed by packed id pairs, and merges on the child-propagation path
+  are deferred until an insert actually wins its table slot
+  (``merge_breakdowns`` is pure, so deferral cannot change any stored
+  value).
+* **Interned usage.**  Per-node keyword-usage vectors (repeated
+  keywords only, Def. 2(a)) intern the engine's canonical sorted
+  tuples, so usage ids are bijective with usage values.
+* **Pooled path stack.**  One acc/fresh dict pair per depth, cleared on
+  push instead of reallocated; Dewey alignment is a single
+  longest-common-prefix scan; node codes materialize lazily, only when
+  a result is actually recorded at the node.
+
+Byte-for-byte parity with the object engine is the contract: the
+kernel performs the same logical table inserts in the same order, so
+results — codes, sizes and per-term breakdowns — are identical,
+including every tie.  ``tests/test_differential_oracle.py`` enforces
+this against the engine, the lattice machine, the semantics layer and
+the brute-force oracle.
+
+The paper's Def. 2(b)(ii) ablation (``impenetrability=False``) is not
+flattened — it is a benchmark-only knob — so the entry points below
+fall back to the object engine for it (counted by
+``kernel_fallbacks``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Mapping, Optional, Sequence
+
+from repro.core.engine import (ENGINE_COUNTERS, evaluate_compiled,
+                               push_evaluation)
+from repro.core.lattice import record_lattice_metrics
+from repro.core.results import Result
+from repro.core.signatures import (NO_USAGE, CompiledQuery, merge_usage)
+from repro.index.inverted import Posting
+from repro.obs import get_logger, get_metrics
+
+_log = get_logger("core.kernel")
+
+#: Bits reserved for the usage id inside a packed key.
+_UBITS = 40
+_UID_FIELD = ((1 << _UBITS) - 1) << 1   # usage id, in place, pure bit clear
+_SIG_SHIFT = _UBITS + 1                 # key >> _SIG_SHIFT == signature
+_ONE = 1 << 32                          # +1 on the size half of a value
+_LOW32 = (1 << 32) - 1                  # breakdown-id half of a value
+_NO_LIMIT = 1 << 62                     # sentinel for "no size budget"
+_UMASK = (1 << _UBITS) - 1              # usage id extracted from key >> 1
+
+
+class _FlatEvaluation:
+    """One run of CohesiveLCA over packed-integer tables.
+
+    The push-style surface (``feed(code, frequencies)`` /
+    ``finish()``) is duck-compatible with the object engine's
+    ``_Evaluation``, so the shared-scan batch executor can drive either
+    interchangeably.  Requires ``impenetrability=True`` (the paper's
+    semantics); callers route the ablation mode to the object engine.
+    """
+
+    def __init__(self, compiled: CompiledQuery,
+                 size_budget: Optional[int] = None,
+                 metrics=None):
+        self.compiled = compiled
+        terms = compiled.terms
+        mbits = max(term.cardinality for term in terms)
+        self._mbits = mbits
+        self._mmask = (1 << mbits) - 1
+        self._full_masks = [term.full_mask for term in terms]
+        self._root_full = terms[0].full_mask
+        # Per-term parent slot; index 0 (the root term) never cascades.
+        self._parent_ids = [0] + [term.parent_id for term in terms[1:]]
+        self._parent_bits = [0] + [1 << term.member_index
+                                   for term in terms[1:]]
+        self._parent_sigs = [0] + [
+            (term.parent_id << mbits) | (1 << term.member_index)
+            for term in terms[1:]]
+        self._budget_limit = size_budget if size_budget is not None \
+            else _NO_LIMIT
+        self._atoms = {keyword: tuple(slots)
+                       for keyword, slots in compiled.atoms.items()}
+        # Usage interning: id 0 is NO_USAGE; ids are bijective with the
+        # engine's canonical sorted usage tuples.
+        self._u_tuples = [NO_USAGE]
+        self._u_ids = {NO_USAGE: 0}
+        self._u_merge: dict[int, int] = {}
+        self._kw_uid = {
+            keyword: (self._u_intern(((keyword, 1),))
+                      if keyword in compiled.repeated_keywords else 0)
+            for keyword in compiled.atoms}
+        # Breakdown interning: id 0 is the empty per-term size vector.
+        empty = compiled.empty_breakdown()
+        self._bd_tuples = [empty]
+        self._bd_ids = {empty: 0}
+        self._bd_merge: dict[int, int] = {}
+        self._bd_complete: dict[int, int] = {}
+        self._cshift = compiled.term_count.bit_length()
+        # Closure-queue packing: (term << _qshift) | termless key.
+        self._qshift = mbits + 42
+        # Path stack, root at depth 0.  Each acc is a per-term dict of
+        # packed-key tables: grouping by term at insert time removes the
+        # engine's per-pop snapshot regroup (combination only ever pairs
+        # entries of one term), and lets keys drop their term bits.
+        # Cross-term dict order differs from the engine's flat tables,
+        # but entries of different terms write disjoint keys, so every
+        # per-key value — and the final sorted ranking — is unchanged.
+        self._path: list[int] = []
+        self._depth = 0
+        self._accs: list[dict[int, dict[int, int]]] = [{}]
+        self._freshes: list[dict[int, int]] = [{}]
+        self._codes: list = [()]
+        # Subtree-unit templates, keyed by the unit's relative shape
+        # (codes below the unit ancestor plus frequency signatures).
+        self._unit_cache: dict = {}
+        self._results: dict[tuple, int] = {}
+        self._metrics = metrics if metrics is not None and \
+            metrics.enabled else None
+        self.stat_postings = 0
+        self.stat_pushes = 0
+        self.stat_pops = 0
+        self.stat_merged = 0
+        self.stat_allocations = 0
+        self.stat_results = 0
+
+    # -- interning -----------------------------------------------------------
+
+    def _u_intern(self, usage) -> int:
+        ids = self._u_ids
+        uid = ids.get(usage)
+        if uid is None:
+            uid = len(self._u_tuples)
+            self._u_tuples.append(usage)
+            ids[usage] = uid
+        return uid
+
+    def _merge_uid(self, a: int, b: int) -> int:
+        if not a:
+            return b
+        if not b:
+            return a
+        memo = self._u_merge
+        key = (a << 32) | b
+        uid = memo.get(key)
+        if uid is None:
+            tuples = self._u_tuples
+            uid = self._u_intern(merge_usage(tuples[a], tuples[b]))
+            memo[key] = uid
+        return uid
+
+    def _uid_fits(self, uid: int, budget: dict) -> bool:
+        for keyword, n in self._u_tuples[uid]:
+            if n > budget.get(keyword, 0):
+                return False
+        return True
+
+    def _bd_intern(self, vector: tuple) -> int:
+        ids = self._bd_ids
+        bd = ids.get(vector)
+        if bd is None:
+            bd = len(self._bd_tuples)
+            self._bd_tuples.append(vector)
+            ids[vector] = bd
+        return bd
+
+    def _merge_bd(self, a: int, b: int) -> int:
+        # merge_breakdowns(empty, b) == b and vice versa.
+        if not a:
+            return b
+        if not b:
+            return a
+        memo = self._bd_merge
+        key = (a << 32) | b
+        bd = memo.get(key)
+        if bd is None:
+            tuples = self._bd_tuples
+            ta, tb = tuples[a], tuples[b]
+            bd = self._bd_intern(tuple(
+                x if x is not None else y for x, y in zip(ta, tb)))
+            memo[key] = bd
+        return bd
+
+    def _complete_bd(self, bd: int, term: int, size: int) -> int:
+        """The engine's completion write: record ``size`` for ``term``
+        in the breakdown if unset or better."""
+        memo = self._bd_complete
+        key = ((bd << 32 | size) << self._cshift) | term
+        done = memo.get(key)
+        if done is None:
+            vector = self._bd_tuples[bd]
+            current = vector[term]
+            if current is None or size < current:
+                patched = list(vector)
+                patched[term] = size
+                done = self._bd_intern(tuple(patched))
+            else:
+                done = bd
+            memo[key] = done
+        return done
+
+    # -- path stack ----------------------------------------------------------
+
+    def _code_at(self, depth: int) -> tuple:
+        codes = self._codes
+        code = codes[depth]
+        if code is None:
+            code = tuple(self._path[:depth])
+            codes[depth] = code
+        return code
+
+    def _push(self, depth: int, step: int) -> None:
+        path = self._path
+        if len(path) < depth:
+            path.append(step)
+        else:
+            path[depth - 1] = step
+        accs = self._accs
+        if len(accs) <= depth:
+            accs.append({})
+            self._freshes.append({})
+            self._codes.append(None)
+        else:
+            acc = accs[depth]
+            if acc:
+                for sub in acc.values():
+                    sub.clear()
+            fresh = self._freshes[depth]
+            if fresh:
+                fresh.clear()
+            self._codes[depth] = None
+
+    # -- driving -------------------------------------------------------------
+
+    def feed(self, code, frequencies: dict) -> None:
+        """Push one ``(node, keyword frequencies)`` event, Dewey order."""
+        self.stat_postings += len(frequencies)
+        path = self._path
+        depth = self._depth
+        clen = len(code)
+        lcp = 0
+        limit = depth if depth < clen else clen
+        while lcp < limit and path[lcp] == code[lcp]:
+            lcp += 1
+        if depth > lcp:
+            self.stat_pops += depth - lcp
+            merge = self._merge_child
+            while depth > lcp:
+                merge(depth)
+                depth -= 1
+        while depth < clen:
+            depth += 1
+            self._push(depth, code[depth - 1])
+            self.stat_pushes += 1
+        self._depth = depth
+        self._event(depth, frequencies)
+
+    def finish(self) -> list[Result]:
+        """End a push-style run: drain the stack, return ranked results."""
+        self._drain_stack()
+        ranked = self._ranked()
+        self.stat_results += len(ranked)
+        self._flush()
+        return ranked
+
+    def run_lists(self, posting_lists: Mapping[str, Sequence[Posting]]
+                  ) -> list[Result]:
+        """Scan explicit posting lists (all non-empty) and rank."""
+        metrics = self._metrics
+        if metrics is None:
+            self._scan(posting_lists)
+            return self.finish()
+        with metrics.span("stream-scan"):
+            self._scan(posting_lists)
+            self._drain_stack()
+        with metrics.span("rank"):
+            ranked = self._ranked()
+        self.stat_results += len(ranked)
+        self._flush()
+        return ranked
+
+    def run_triples(self, triples: list) -> list[Result]:
+        """Scan raw ``(code, keyword, frequency)`` triples and rank.
+
+        The entry point of the zero-copy store path: a batch decoder
+        (:func:`evaluate_flat_on_store`) emits triples straight off
+        the mmap'd varint blocks, skipping
+        :class:`~repro.index.inverted.Posting` materialization
+        entirely.  ``triples`` is consumed (sorted in place).
+        """
+        metrics = self._metrics
+        if metrics is None:
+            self._scan_triples(triples)
+            return self.finish()
+        with metrics.span("stream-scan"):
+            self._scan_triples(triples)
+            self._drain_stack()
+        with metrics.span("rank"):
+            ranked = self._ranked()
+        self.stat_results += len(ranked)
+        self._flush()
+        return ranked
+
+    def _scan(self, posting_lists: Mapping[str, Sequence[Posting]]) -> None:
+        triples = []
+        append = triples.append
+        for keyword, plist in posting_lists.items():
+            for posting in plist:
+                append((posting.code, keyword, posting.frequency))
+        self._scan_triples(triples)
+
+    def _scan_triples(self, triples: list) -> None:
+        # One flat sort replaces heapq.merge: (code, keyword) is unique
+        # across streams and frequencies are never compared by the merge,
+        # so sorted order equals merged order — at Timsort's
+        # almost-sorted-run speed instead of per-item heap churn.
+        triples.sort()
+        n = len(triples)
+        # Pre-group triples into events.  The frequency signature fkey
+        # is ``(keyword, freq)`` for single-keyword events and a tuple
+        # of sorted items otherwise (triples arrive keyword-sorted per
+        # code); the two shapes cannot collide.
+        events = []
+        eappend = events.append
+        i = 0
+        while i < n:
+            entry = triples[i]
+            code = entry[0]
+            j = i + 1
+            while j < n and triples[j][0] == code:
+                j += 1
+            if j == i + 1:
+                eappend((code, (entry[1], entry[2]), None))
+            else:
+                frequencies: dict[str, int] = {}
+                for t in triples[i:j]:
+                    keyword = t[1]
+                    frequencies[keyword] = \
+                        frequencies.get(keyword, 0) + t[2]
+                eappend((code, tuple(frequencies.items()), frequencies))
+            i = j
+        # Walk the events as *subtree units*.  Each event is anchored
+        # at the root of the tightest subtree containing it and no
+        # other event: one level below max(lcp with the previous
+        # event, lcp with the next event).  Each distinct unit shape —
+        # the node's code relative to the anchor plus its frequency
+        # signature — is evaluated once through the real machinery and
+        # its net contribution (entries lifted to the anchor, results,
+        # statistics) is replayed for every later occurrence.  This is
+        # DAG-compressed evaluation on the instance stream: a repeated
+        # shape costs one combination pass into the live anchor table
+        # instead of the full push/event/pop cascade over its chain.
+        m = len(events)
+        cache = self._unit_cache
+        feed = self.feed
+        merge_child = self._merge_child
+        push = self._push
+        results = self._results
+        a = 0  # lcp(previous event, current event)
+        for i in range(m):
+            code, fkey, frequencies = events[i]
+            clen = len(code)
+            if i + 1 < m:
+                nxt = events[i + 1][0]
+                nlen = len(nxt)
+                limit = clen if clen < nlen else nlen
+                b = 0
+                while b < limit and code[b] == nxt[b]:
+                    b += 1
+            else:
+                b = 0
+            d0 = a if a > b else b
+            next_a = b
+            if d0 >= clen:
+                # The node contains the next event (or is the document
+                # root): no closed subtree to cache, feed generically.
+                if frequencies is None:
+                    frequencies = {fkey[0]: fkey[1]}
+                feed(code, frequencies)
+                a = next_a
+                continue
+            # Align the live stack onto the unit's anchor: pop what the
+            # previous event opened beyond the shared prefix, then open
+            # this event's ancestors down to the anchor.
+            depth = self._depth
+            if depth > a:
+                self.stat_pops += depth - a
+                while depth > a:
+                    merge_child(depth)
+                    depth -= 1
+            while depth < d0:
+                depth += 1
+                push(depth, code[depth - 1])
+                self.stat_pushes += 1
+            self._depth = depth
+            d1 = d0 + 1
+            key = (code[d1:], fkey)
+            template = cache.get(key)
+            if template is None:
+                template = self._build_unit(d0, code, fkey, frequencies)
+                cache[key] = template
+                results_rel, lifted = template[5], template[6]
+            else:
+                (postings, pushes, pops, merged, allocations,
+                 results_rel, lifted) = template
+                self.stat_postings += postings
+                self.stat_pushes += pushes
+                self.stat_pops += pops
+                self.stat_merged += merged
+                self.stat_allocations += allocations
+                self._depth = d0
+            if results_rel:
+                u_prefix = code[:d1]
+                for rel, value in results_rel:
+                    # Unit-internal codes are unique in the stream, so
+                    # a plain store equals the engine's compare-and-set.
+                    results[u_prefix + rel] = value
+            if lifted:
+                self._merge_lifted(d0, lifted)
+            a = next_a
+
+    def _build_unit(self, d0: int, code, fkey, frequencies) -> tuple:
+        """Evaluate one subtree unit through the real machinery and
+        capture its net effect as a replayable template.
+
+        Returns ``(postings, pushes, pops, merged, allocations,
+        results_rel, lifted)`` — the statistics deltas, the results
+        recorded at unit-internal nodes (codes relative to the unit
+        root) and the entries the unit root lifts to the anchor at
+        ``d0``.  The caller owns storing results and merging ``lifted``
+        for every occurrence, including this first one; on return the
+        stack is back at the anchor depth.
+        """
+        saved_results = self._results
+        self._results = {}
+        p0 = self.stat_postings
+        h0 = self.stat_pushes
+        o0 = self.stat_pops
+        m0 = self.stat_merged
+        a0 = self.stat_allocations
+        if frequencies is None:
+            frequencies = {fkey[0]: fkey[1]}
+        self.feed(code, frequencies)
+        d1 = d0 + 1
+        depth = self._depth
+        merge_child = self._merge_child
+        while depth > d1:
+            self.stat_pops += 1
+            merge_child(depth)
+            depth -= 1
+        # The unit root's own pop: lift its entry, but hand the merge
+        # back to the caller (the anchor's table is live state).
+        self.stat_pops += 1
+        self._depth = d0
+        lifted_dict = self._lift_entry(d1)
+        lifted = list(lifted_dict.items())
+        if lifted:
+            self.stat_merged += len(lifted)
+        captured = self._results
+        self._results = saved_results
+        results_rel = [(rcode[d1:], value)
+                       for rcode, value in captured.items()]
+        return (self.stat_postings - p0, self.stat_pushes - h0,
+                self.stat_pops - o0, self.stat_merged - m0,
+                self.stat_allocations - a0, results_rel, lifted)
+
+    def _drain_stack(self) -> None:
+        depth = self._depth
+        merge = self._merge_child
+        while depth > 0:
+            self.stat_pops += 1
+            merge(depth)
+            depth -= 1
+        self._depth = 0
+
+    def _ranked(self) -> list[Result]:
+        bd_tuples = self._bd_tuples
+        ranked = [Result(code, value >> 32, bd_tuples[value & _LOW32])
+                  for code, value in self._results.items()]
+        ranked.sort(key=Result.sort_key)
+        return ranked
+
+    def _flush(self) -> None:
+        metrics = self._metrics
+        if metrics is None:
+            return
+        metrics.inc("postings_consumed", self.stat_postings)
+        metrics.inc("stack_pushes", self.stat_pushes)
+        metrics.inc("stack_pops", self.stat_pops)
+        metrics.inc("entries_merged", self.stat_merged)
+        metrics.inc("partial_lca_allocations", self.stat_allocations)
+        metrics.inc("results_emitted", self.stat_results)
+        _log.debug(
+            "flat evaluation done: %d postings, %d pushes, %d merges, "
+            "%d allocations, %d results", self.stat_postings,
+            self.stat_pushes, self.stat_merged, self.stat_allocations,
+            self.stat_results)
+
+    # -- self instances ------------------------------------------------------
+
+    def _event(self, depth: int, frequencies: dict) -> None:
+        """The engine's ``_add_instances``: atoms plus the pure closure."""
+        acc = self._accs[depth]
+        atoms = self._atoms
+        kw_uid = self._kw_uid
+        insert_pure = self._insert_pure
+        queue: deque[int] = deque()
+        for keyword in frequencies:
+            uid = kw_uid[keyword]
+            for term, bit in atoms[keyword]:
+                insert_pure(depth, term, bit, uid, 0, 0, queue)
+        if not queue:
+            return
+        budget = frequencies
+        qshift = self._qshift
+        qmask = (1 << qshift) - 1
+        budget_limit = self._budget_limit
+        merge_uid = self._merge_uid
+        merge_bd = self._merge_bd
+        popleft = queue.popleft
+        while queue:
+            qitem = popleft()
+            term = qitem >> qshift
+            key = qitem & qmask
+            sub = acc[term]
+            value = sub.get(key)
+            if value is None:
+                continue
+            size = value >> 32
+            bd = value & _LOW32
+            mask = key >> _SIG_SHIFT
+            uid = (key >> 1) & _UMASK
+            partners = [
+                (k, v) for k, v in sub.items()
+                if (k & 1) and not ((k >> _SIG_SHIFT) & mask)
+            ]
+            for key2, value2 in partners:
+                uid2 = (key2 >> 1) & _UMASK
+                merged = merge_uid(uid, uid2)
+                if merged and not self._uid_fits(merged, budget):
+                    continue
+                combined = size + (value2 >> 32)
+                if combined > budget_limit:
+                    continue
+                insert_pure(depth, term,
+                            mask | (key2 >> _SIG_SHIFT), merged,
+                            combined, merge_bd(bd, value2 & _LOW32), queue)
+
+    def _insert_pure(self, depth: int, term: int, mask: int, uid: int,
+                     size: int, bd: int, queue: deque) -> None:
+        """The engine's ``_insert`` with ``pure=True`` and a live queue."""
+        if size > self._budget_limit:
+            return
+        if mask == self._full_masks[term]:
+            bd = self._complete_bd(bd, term, size)
+            if term == 0:
+                code = self._code_at(depth)
+                results = self._results
+                current = results.get(code)
+                if current is None or size < (current >> 32):
+                    results[code] = (size << 32) | bd
+                return
+            self._insert_pure(depth, self._parent_ids[term],
+                              self._parent_bits[term], uid, size, bd,
+                              queue)
+            return
+        key = ((mask << _UBITS) | uid) << 1 | 1
+        acc = self._accs[depth]
+        sub = acc.get(term)
+        if sub is None:
+            acc[term] = sub = {}
+        current = sub.get(key)
+        if current is None or size < (current >> 32):
+            sub[key] = (size << 32) | bd
+            self.stat_allocations += 1
+            queue.append((term << self._qshift) | key)
+
+    # -- child propagation ---------------------------------------------------
+
+    def _merge_child(self, depth: int) -> None:
+        """Pop the entry at ``depth``, merging into ``depth - 1``.
+
+        Inlines the engine's ``_merge_child`` + ``_insert`` pair on
+        packed values: the parent snapshot is grouped by term (skipped
+        terms produce no inserts, so the insert sequence is unchanged)
+        and combination breakdowns merge only when an insert wins.
+        """
+        lifted = self._lift_entry(depth)
+        if not lifted:
+            return
+        self.stat_merged += len(lifted)
+        self._merge_lifted(depth - 1, lifted.items())
+
+    def _lift_entry(self, depth: int) -> dict[int, int]:
+        """Lift the entry at ``depth`` for its pop: acc units (minus
+        complete root results) and fresh units, one level deeper, kept
+        at the minimum size per signature."""
+        acc = self._accs[depth]
+        fresh = self._freshes[depth]
+        root_full = self._root_full
+        mbits = self._mbits
+        lifted: dict[int, int] = {}
+        for term, sub in acc.items():
+            if not sub:
+                continue
+            tbase = term << mbits
+            if term:
+                for key, value in sub.items():
+                    sig = tbase | (key >> _SIG_SHIFT)
+                    current = lifted.get(sig)
+                    if current is None or \
+                            (value >> 32) + 1 < (current >> 32):
+                        lifted[sig] = value + _ONE
+            else:
+                for key, value in sub.items():
+                    sig = key >> _SIG_SHIFT
+                    if sig == root_full:
+                        continue  # complete results never recombine
+                    current = lifted.get(sig)
+                    if current is None or \
+                            (value >> 32) + 1 < (current >> 32):
+                        lifted[sig] = value + _ONE
+        if fresh:
+            for sig, value in fresh.items():
+                current = lifted.get(sig)
+                if current is None or \
+                        (value >> 32) + 1 < (current >> 32):
+                    lifted[sig] = value + _ONE
+        return lifted
+
+    def _merge_lifted(self, pdepth: int, lifted_items,
+                      _shift=_SIG_SHIFT, _ubits=_UBITS,
+                      _low=_LOW32, _ufield=_UID_FIELD) -> None:
+        """Insert lifted ``(sig, value)`` pairs into the entry at
+        ``pdepth``, alone and in combination with that entry's table.
+
+        The engine snapshots the parent table once per pop before any
+        insert; here each term's table is snapshot on first touch —
+        necessarily before the first same-term insert — and inserts go
+        straight into the live dict.  Combinations therefore read
+        pre-pop values while insert comparisons see every earlier win,
+        which is exactly the engine's sequence.
+        """
+        pacc = self._accs[pdepth]
+        pfresh = self._freshes[pdepth]
+        mbits = self._mbits
+        mmask = self._mmask
+        full_masks = self._full_masks
+        budget_limit = self._budget_limit
+        merge_bd = self._merge_bd
+        complete = self._complete_into
+        allocations = 0
+        # Group by term first: items of different terms touch disjoint
+        # tables (completions land in fresh/results, which only compare
+        # minima), so per-term processing preserves the engine's insert
+        # sequence while letting the hot loop hoist every per-term
+        # lookup out of the combination scan.
+        by_term: dict[int, list] = {}
+        for sig, value in lifted_items:
+            items = by_term.get(sig >> mbits)
+            if items is None:
+                by_term[sig >> mbits] = items = []
+            items.append((sig & mmask, value))
+        for term, items in by_term.items():
+            full = full_masks[term]
+            sub = pacc.get(term)
+            if sub is None:
+                pacc[term] = sub = {}
+            # Snapshot before this term's first insert (list() is a
+            # C-level copy; decomposing here does not amortize because
+            # most pops lift a single item per term).
+            snap = list(sub.items()) if sub else ()
+            sub_get = sub.get
+            for mask, value in items:
+                size = value >> 32
+                bd = value & _low
+                if size <= budget_limit:
+                    if mask == full:
+                        complete(pdepth, term, size, bd, pfresh)
+                    else:
+                        # usage id 0, pure bit clear
+                        key = (mask << _ubits) << 1
+                        current = sub_get(key)
+                        if current is None or size < (current >> 32):
+                            sub[key] = (size << 32) | bd
+                            allocations += 1
+                for key2, value2 in snap:
+                    mask2 = key2 >> _shift
+                    if mask & mask2:
+                        continue
+                    combined = size + (value2 >> 32)
+                    if combined > budget_limit:
+                        continue
+                    union = mask | mask2
+                    if union == full:
+                        complete(pdepth, term, combined,
+                                 merge_bd(bd, value2 & _low), pfresh)
+                        continue
+                    key3 = ((union << _ubits) << 1) | (key2 & _ufield)
+                    current = sub_get(key3)
+                    if current is None or combined < (current >> 32):
+                        sub[key3] = (combined << 32) | \
+                            merge_bd(bd, value2 & _low)
+                        allocations += 1
+        self.stat_allocations += allocations
+
+    def _complete_into(self, depth: int, term: int, size: int, bd: int,
+                       fresh: dict) -> None:
+        """Non-pure completion: record a result (root term) or embargo
+        the unit in the target entry's ``fresh`` table (Def. 2(b)(ii))."""
+        bd = self._complete_bd(bd, term, size)
+        if term == 0:
+            code = self._code_at(depth)
+            results = self._results
+            current = results.get(code)
+            if current is None or size < (current >> 32):
+                results[code] = (size << 32) | bd
+            return
+        sig = self._parent_sigs[term]
+        current = fresh.get(sig)
+        if current is None or size < (current >> 32):
+            fresh[sig] = (size << 32) | bd
+            self.stat_allocations += 1
+
+
+def evaluate_compiled_flat(compiled: CompiledQuery,
+                           posting_lists: Mapping[str, Sequence[Posting]],
+                           size_budget: Optional[int] = None,
+                           impenetrability: bool = True) -> list[Result]:
+    """Run the flat kernel on an already-compiled query.
+
+    Drop-in for :func:`repro.core.engine.evaluate_compiled`, returning
+    byte-identical results.  ``impenetrability=False`` (the Def.
+    2(b)(ii) ablation) falls back to the object engine.
+    """
+    metrics = get_metrics()
+    if not impenetrability:
+        if metrics.enabled:
+            metrics.inc("kernel_fallbacks")
+        return evaluate_compiled(compiled, posting_lists,
+                                 size_budget=size_budget,
+                                 impenetrability=False)
+    if metrics.enabled:
+        metrics.declare(*ENGINE_COUNTERS)
+        record_lattice_metrics(compiled.query, metrics)
+        metrics.inc("kernel_evaluations")
+    lists: dict[str, Sequence[Posting]] = {}
+    for keyword in compiled.atoms:
+        plist = posting_lists.get(keyword, ())
+        if not plist:
+            return []
+        lists[keyword] = plist
+    evaluation = _FlatEvaluation(
+        compiled, size_budget=size_budget,
+        metrics=metrics if metrics.enabled else None)
+    return evaluation.run_lists(lists)
+
+
+def push_evaluation_flat(compiled: CompiledQuery,
+                         size_budget: Optional[int] = None,
+                         impenetrability: bool = True):
+    """A push-style flat evaluation for an external scan driver.
+
+    Duck-compatible with :func:`repro.core.engine.push_evaluation`
+    (``feed(code, frequencies)`` / ``finish()``); the ablation mode
+    falls back to the object engine's push evaluation.
+    """
+    metrics = get_metrics()
+    if not impenetrability:
+        if metrics.enabled:
+            metrics.inc("kernel_fallbacks")
+        return push_evaluation(compiled, size_budget=size_budget,
+                               impenetrability=False)
+    if metrics.enabled:
+        metrics.declare(*ENGINE_COUNTERS)
+        record_lattice_metrics(compiled.query, metrics)
+        metrics.inc("kernel_evaluations")
+    return _FlatEvaluation(compiled, size_budget=size_budget,
+                           metrics=metrics if metrics.enabled else None)
+
+
+# -- the zero-copy store path -----------------------------------------------
+
+def _read_varint_view(view, position: int, end: int) -> tuple[int, int]:
+    """LEB128 varint off a memoryview; ``(value, next_position)``."""
+    from repro.errors import StoreFormatError
+    result = 0
+    shift = 0
+    while True:
+        if position >= end:
+            raise StoreFormatError("truncated varint")
+        byte = view[position]
+        position += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, position
+        shift += 7
+        if shift > 63:
+            raise StoreFormatError("varint too long")
+
+
+def _decode_pairs_view(view, position: int, end: int, count: int
+                       ) -> tuple[list, int]:
+    """Decode ``count`` front-coded postings as ``(code, freq)`` pairs."""
+    from repro.errors import StoreFormatError
+    pairs: list = []
+    append = pairs.append
+    previous: tuple = ()
+    read = _read_varint_view
+    for _ in range(count):
+        shared, position = read(view, position, end)
+        if shared > len(previous):
+            raise StoreFormatError(
+                f"shared prefix {shared} longer than previous code")
+        extra, position = read(view, position, end)
+        steps = []
+        for _ in range(extra):
+            step, position = read(view, position, end)
+            steps.append(step)
+        code = previous[:shared] + tuple(steps)
+        frequency, position = read(view, position, end)
+        append((code, frequency))
+        previous = code
+    return pairs, position
+
+
+def _decode_block_view(block) -> list:
+    """Decode one :class:`~repro.index.store_v2.BlockView` into sorted
+    ``(code, frequency)`` pairs, fanning dedup blocks back out.
+
+    Walks the varints in place on the mmap-backed memoryview — the
+    only allocations are the decoded code tuples themselves.
+    """
+    from repro.errors import StoreFormatError
+    view = block.view
+    end = len(view)
+    if block.kind != "dedup":
+        pairs, position = _decode_pairs_view(view, 0, end, block.npost)
+        if position != end:
+            raise StoreFormatError("trailing bytes after posting block")
+        return pairs
+    groups = block.groups or ()
+    read = _read_varint_view
+    nsections, position = read(view, 0, end)
+    if nsections * 2 > end:
+        raise StoreFormatError(
+            f"{nsections} dedup sections cannot fit in {end} bytes")
+    expanded: list = []
+    for _ in range(nsections):
+        group_id, position = read(view, position, end)
+        if group_id >= len(groups):
+            raise StoreFormatError(
+                f"dedup section references group {group_id} but the "
+                f"subtree table has {len(groups)} group(s)")
+        nrel, position = read(view, position, end)
+        if nrel * 3 > end - position:
+            raise StoreFormatError(
+                f"{nrel} relative postings cannot fit in the dedup "
+                "block")
+        relative, position = _decode_pairs_view(view, position, end,
+                                                nrel)
+        for prefix in groups[group_id]:
+            for code, frequency in relative:
+                expanded.append((prefix + code, frequency))
+    nresidual, position = read(view, position, end)
+    if nresidual * 3 > end - position:
+        raise StoreFormatError(
+            f"{nresidual} residual postings cannot fit in the dedup "
+            "block")
+    residual, position = _decode_pairs_view(view, position, end,
+                                            nresidual)
+    if position != end:
+        raise StoreFormatError("trailing bytes after dedup block")
+    expanded.extend(residual)
+    expanded.sort(key=lambda pair: pair[0])
+    if len(expanded) != block.npost:
+        raise StoreFormatError(
+            f"dedup block expanded to {len(expanded)} postings; the "
+            f"directory says {block.npost}")
+    return expanded
+
+
+def evaluate_flat_on_store(compiled: CompiledQuery, store,
+                           list_limit: Optional[int] = None,
+                           size_budget: Optional[int] = None,
+                           impenetrability: bool = True) -> list[Result]:
+    """Run the flat kernel straight off a CKSIDX2 store.
+
+    Batch-decodes each atom's posting blocks through the store's
+    zero-copy :meth:`~repro.index.store_v2.LazyIndex.block_views` —
+    mmap bytes flow through the varint walk into scan triples with no
+    :class:`~repro.index.inverted.Posting` objects and no intermediate
+    copies — then evaluates on the preallocated-stack kernel.
+    Byte-identical to ``evaluate_compiled_flat`` over
+    ``store.postings(...)`` lists (differential-tested), including
+    over DAG-deduped stores, whose blocks fan back out during the
+    decode.  The ablation mode falls back to the object engine on
+    materialized lists.
+    """
+    metrics = get_metrics()
+    if not impenetrability:
+        if metrics.enabled:
+            metrics.inc("kernel_fallbacks")
+        lists = {}
+        for keyword in compiled.atoms:
+            plist = store.postings(keyword, limit=list_limit)
+            if not plist:
+                return []
+            lists[keyword] = plist
+        return evaluate_compiled(compiled, lists,
+                                 size_budget=size_budget,
+                                 impenetrability=False)
+    if metrics.enabled:
+        metrics.declare(*ENGINE_COUNTERS)
+        record_lattice_metrics(compiled.query, metrics)
+        metrics.inc("kernel_evaluations")
+    triples: list = []
+    for keyword in compiled.atoms:
+        views = store.block_views(keyword)
+        if not views:
+            return []
+        if len(views) == 1:
+            pairs = _decode_block_view(views[0])
+        else:
+            # Multi-segment keyword: same-code frequencies sum, Dewey
+            # order — the _merge_decoded semantics.
+            bucket: dict = {}
+            for view in views:
+                for code, frequency in _decode_block_view(view):
+                    bucket[code] = bucket.get(code, 0) + frequency
+            pairs = sorted(bucket.items())
+        if list_limit is not None:
+            pairs = pairs[:list_limit]
+        if not pairs:
+            return []
+        triples.extend((code, keyword, frequency)
+                       for code, frequency in pairs)
+    evaluation = _FlatEvaluation(
+        compiled, size_budget=size_budget,
+        metrics=metrics if metrics.enabled else None)
+    return evaluation.run_triples(triples)

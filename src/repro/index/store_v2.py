@@ -32,10 +32,13 @@ Layout::
             nkw varint
             per keyword (sorted):
                 klen varint, key bytes (UTF-8)
-                flag varint               # 0 postings, 1 tombstone
+                flag varint               # 0 postings, 1 tombstone,
+                                          # 2 subtree table, 3 dedup
                 offset varint             # absolute file offset
                 length varint             # block length in bytes
                 npost varint              # postings in the block
+                                          # (flag 2: dedup groups;
+                                          #  flag 3: EXPANDED postings)
 
     posting block (same front coding as v1, npost lives in the
     directory):
@@ -44,6 +47,34 @@ Layout::
             extra  varint   # number of new steps
             step*  varint   # the new steps
             freq   varint
+
+**Subtree deduplication** (the DAG compression of the flat kernel):
+:func:`save_index_v2_dedup` detects repeated subtrees — Dewey prefixes
+whose *entire* relative posting contents are identical — and stores
+each distinct subtree's postings once.  A dedup segment carries one
+*subtree table* extent (flag 2) under the reserved empty keyword
+``""`` listing, per group, every occurrence prefix; keywords whose
+postings fall inside a group use a *dedup* extent (flag 3) that stores
+the postings relative to the group root, once, plus any residual
+(un-grouped) postings.  Readers expand a dedup block by fanning the
+relative postings out under every occurrence prefix, so a deduped
+store decodes to byte-identical posting tuples.
+
+    subtree table block (flag 2, keyword ""):
+        ngroups varint
+        per group:
+            noccur varint
+            per occurrence (sorted; front coding resets per group):
+                shared varint, extra varint, step* varint
+
+    dedup posting block (flag 3):
+        nsections varint
+        per section:
+            group varint    # index into the segment's subtree table
+            nrel varint     # relative postings stored once
+            rel posting*    # front-coded; coding resets per section
+        nresidual varint
+        residual posting*   # front-coded; coding resets
 
 Appending repeats ``payload directory footer`` after the previous
 footer; readers find the *live* directory through the footer at EOF, so
@@ -93,7 +124,30 @@ STORE_V2_COUNTERS = (
     "segment_appends",
     "segment_tombstones",
     "segment_merges",
+    "dedup_groups_written",
+    "dedup_postings_saved",
+    "dedup_blocks_expanded",
+    "dedup_postings_expanded",
 )
+
+#: The reserved directory key of a segment's subtree table (flag 2).
+#: The empty string can never be a real keyword — tokenizers drop
+#: empty tokens — so the table never shadows postings.
+TABLE_KEYWORD = ""
+
+#: Directory extent flags (see the module docstring's layout).
+_FLAG_POSTINGS = 0
+_FLAG_TOMBSTONE = 1
+_FLAG_TABLE = 2
+_FLAG_DEDUP = 3
+
+_KIND_BY_FLAG = {
+    _FLAG_POSTINGS: "postings",
+    _FLAG_TOMBSTONE: "tombstone",
+    _FLAG_TABLE: "table",
+    _FLAG_DEDUP: "dedup",
+}
+_FLAG_BY_KIND = {kind: flag for flag, kind in _KIND_BY_FLAG.items()}
 
 #: Gauge catalogue of the v2 store: decoded-block residency of the
 #: lazy posting cache (see docs/OBSERVABILITY.md).
@@ -148,15 +202,13 @@ def encode_posting_block(plist: Sequence[Posting]) -> bytes:
     return buffer.getvalue()
 
 
-def decode_posting_block(buffer, start: int, length: int,
-                         npost: int) -> tuple[Posting, ...]:
-    """Decode a front-coded block of exactly ``npost`` postings.
+def _decode_postings_at(buffer, position: int, end: int,
+                        npost: int) -> tuple[list[Posting], int]:
+    """Decode ``npost`` front-coded postings starting at ``position``.
 
-    ``buffer`` may be any byte-indexable object (bytes, mmap).  The
-    block must consume exactly ``length`` bytes.
+    Returns ``(postings, next_position)``.  Front coding starts fresh
+    (the first posting must carry its full code).
     """
-    end = start + length
-    position = start
     postings: list[Posting] = []
     previous: tuple[int, ...] = ()
     for _ in range(npost):
@@ -173,22 +225,186 @@ def decode_posting_block(buffer, start: int, length: int,
         frequency, position = _read_varint_at(buffer, position, end)
         postings.append(Posting(code, frequency))
         previous = code
+    return postings, position
+
+
+def decode_posting_block(buffer, start: int, length: int,
+                         npost: int) -> tuple[Posting, ...]:
+    """Decode a front-coded block of exactly ``npost`` postings.
+
+    ``buffer`` may be any byte-indexable object (bytes, mmap).  The
+    block must consume exactly ``length`` bytes.
+    """
+    end = start + length
+    postings, position = _decode_postings_at(buffer, start, end, npost)
     if position != end:
         raise StoreFormatError("trailing bytes after posting block")
     return tuple(postings)
+
+
+# -- subtree deduplication codecs -------------------------------------------
+
+def encode_subtree_table(groups: Sequence[Sequence[dewey.Code]]) -> bytes:
+    """Encode the subtree table: per group, its occurrence prefixes."""
+    buffer = io.BytesIO()
+    write_varint(buffer, len(groups))
+    for occurrences in groups:
+        write_varint(buffer, len(occurrences))
+        previous: tuple[int, ...] = ()
+        for code in occurrences:
+            shared = 0
+            for a, b in zip(previous, code):
+                if a != b:
+                    break
+                shared += 1
+            write_varint(buffer, shared)
+            write_varint(buffer, len(code) - shared)
+            for step in code[shared:]:
+                write_varint(buffer, step)
+            previous = tuple(code)
+    return buffer.getvalue()
+
+
+def decode_subtree_table(buffer, start: int, length: int
+                         ) -> tuple[tuple[dewey.Code, ...], ...]:
+    """Decode a flag-2 subtree table block.
+
+    Every structural count is validated against the remaining bytes
+    before any allocation, so a corrupt count raises
+    :class:`~repro.errors.StoreFormatError` instead of ballooning.
+    """
+    end = start + length
+    position = start
+    ngroups, position = _read_varint_at(buffer, position, end)
+    if ngroups * 3 > length:
+        raise StoreFormatError(
+            f"{ngroups} subtree groups cannot fit in {length} bytes")
+    groups: list[tuple[dewey.Code, ...]] = []
+    for _ in range(ngroups):
+        noccur, position = _read_varint_at(buffer, position, end)
+        if noccur < 1:
+            raise StoreFormatError("subtree group with no occurrences")
+        if noccur * 2 > end - position:
+            raise StoreFormatError(
+                f"{noccur} occurrences cannot fit in the subtree table")
+        occurrences: list[dewey.Code] = []
+        previous: tuple[int, ...] = ()
+        for _ in range(noccur):
+            shared, position = _read_varint_at(buffer, position, end)
+            if shared > len(previous):
+                raise StoreFormatError(
+                    f"shared prefix {shared} longer than previous "
+                    "occurrence")
+            extra, position = _read_varint_at(buffer, position, end)
+            steps = []
+            for _ in range(extra):
+                step, position = _read_varint_at(buffer, position, end)
+                steps.append(step)
+            code = previous[:shared] + tuple(steps)
+            occurrences.append(code)
+            previous = code
+        groups.append(tuple(occurrences))
+    if position != end:
+        raise StoreFormatError("trailing bytes after subtree table")
+    return tuple(groups)
+
+
+def encode_dedup_block(sections: Sequence[tuple[int, Sequence[Posting]]],
+                       residual: Sequence[Posting]) -> bytes:
+    """Encode a flag-3 dedup posting block (see the module docstring)."""
+    buffer = io.BytesIO()
+    write_varint(buffer, len(sections))
+    for group_id, relative in sections:
+        write_varint(buffer, group_id)
+        block = encode_posting_block(relative)
+        write_varint(buffer, len(relative))
+        buffer.write(block)
+    write_varint(buffer, len(residual))
+    buffer.write(encode_posting_block(residual))
+    return buffer.getvalue()
+
+
+def decode_dedup_block(buffer, start: int, length: int, npost: int,
+                       groups: Sequence[Sequence[dewey.Code]]
+                       ) -> tuple[Posting, ...]:
+    """Decode a flag-3 block, fanning grouped postings back out.
+
+    ``groups`` is the owning segment's decoded subtree table; every
+    section's relative postings are replicated under each of its
+    group's occurrence prefixes.  The expanded posting count must
+    equal the directory's ``npost`` — a mismatch means the table and
+    the block disagree, i.e. corruption.
+    """
+    end = start + length
+    position = start
+    nsections, position = _read_varint_at(buffer, position, end)
+    if nsections * 2 > length:
+        raise StoreFormatError(
+            f"{nsections} dedup sections cannot fit in {length} bytes")
+    expanded: list[Posting] = []
+    for _ in range(nsections):
+        group_id, position = _read_varint_at(buffer, position, end)
+        if group_id >= len(groups):
+            raise StoreFormatError(
+                f"dedup section references group {group_id} but the "
+                f"subtree table has {len(groups)} group(s)")
+        nrel, position = _read_varint_at(buffer, position, end)
+        if nrel * 3 > end - position:
+            raise StoreFormatError(
+                f"{nrel} relative postings cannot fit in the dedup block")
+        relative, position = _decode_postings_at(buffer, position, end,
+                                                 nrel)
+        for prefix in groups[group_id]:
+            for posting in relative:
+                expanded.append(Posting(prefix + posting.code,
+                                        posting.frequency))
+    nresidual, position = _read_varint_at(buffer, position, end)
+    if nresidual * 3 > end - position:
+        raise StoreFormatError(
+            f"{nresidual} residual postings cannot fit in the dedup "
+            "block")
+    residual, position = _decode_postings_at(buffer, position, end,
+                                             nresidual)
+    if position != end:
+        raise StoreFormatError("trailing bytes after dedup block")
+    expanded.extend(residual)
+    expanded.sort(key=lambda posting: posting.code)
+    if len(expanded) != npost:
+        raise StoreFormatError(
+            f"dedup block expanded to {len(expanded)} postings; the "
+            f"directory says {npost}")
+    return tuple(expanded)
 
 
 # -- the directory ----------------------------------------------------------
 
 @dataclass(frozen=True)
 class Extent:
-    """One directory entry: where a keyword's block lives in one segment."""
+    """One directory entry: where a keyword's block lives in one segment.
+
+    ``kind`` distinguishes the four extent flavors (``postings``,
+    ``tombstone``, ``table``, ``dedup``); when omitted it is inferred
+    from ``tombstone`` so the historical five-argument constructor
+    keeps working.  ``segment`` is the index of the owning segment —
+    a dedup extent resolves its group ids against *its own* segment's
+    subtree table, never another segment's.
+    """
 
     keyword: str
     tombstone: bool
     offset: int
     length: int
     npost: int
+    kind: str = ""
+    segment: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            object.__setattr__(
+                self, "kind",
+                "tombstone" if self.tombstone else "postings")
+        elif self.kind == "tombstone":
+            object.__setattr__(self, "tombstone", True)
 
 
 def _encode_segment_payload(postings: Mapping[str, Sequence[Posting]],
@@ -225,7 +441,7 @@ def _encode_directory(segments: Sequence[Sequence[Extent]]) -> bytes:
             encoded = extent.keyword.encode("utf-8")
             write_varint(buffer, len(encoded))
             buffer.write(encoded)
-            write_varint(buffer, 1 if extent.tombstone else 0)
+            write_varint(buffer, _FLAG_BY_KIND[extent.kind])
             write_varint(buffer, extent.offset)
             write_varint(buffer, extent.length)
             write_varint(buffer, extent.npost)
@@ -264,7 +480,7 @@ def _parse_directory(buffer, size: int) -> list[list[Extent]]:
     end = dir_offset + dir_length
     nseg, position = _read_varint_at(buffer, position, end)
     segments: list[list[Extent]] = []
-    for _ in range(nseg):
+    for segment_index in range(nseg):
         nkw, position = _read_varint_at(buffer, position, end)
         extents: list[Extent] = []
         for _ in range(nkw):
@@ -282,22 +498,36 @@ def _parse_directory(buffer, size: int) -> list[list[Extent]]:
             offset, position = _read_varint_at(buffer, position, end)
             length, position = _read_varint_at(buffer, position, end)
             npost, position = _read_varint_at(buffer, position, end)
-            if flag not in (0, 1):
+            kind = _KIND_BY_FLAG.get(flag)
+            if kind is None:
                 raise StoreFormatError(f"bad extent flag {flag}")
-            tombstone = flag == 1
+            # The empty keyword is reserved for the subtree table and
+            # the table may use no other key: a flipped flag byte on a
+            # real keyword (or a flipped key length on a table) fails
+            # here instead of silently shadowing postings.
+            if (kind == "table") != (keyword == TABLE_KEYWORD):
+                raise StoreFormatError(
+                    f"extent flag {flag} is invalid for keyword "
+                    f"{keyword!r}: the empty keyword is reserved for "
+                    "the subtree table")
+            tombstone = kind == "tombstone"
             if not tombstone:
                 if offset < len(MAGIC_V2) or \
                         offset + length > size - FOOTER_SIZE:
                     raise StoreFormatError(
                         f"posting block [{offset}, {offset + length}) "
                         f"for {keyword!r} outside the file body")
-                # A posting needs >= 3 bytes (shared, extra, freq), so
-                # an absurd npost is caught before any decode attempt.
-                if npost * 3 > length:
+                # A posting needs >= 3 bytes (shared, extra, freq) and
+                # a subtree group >= 3 (count + one bare occurrence),
+                # so an absurd count is caught before any decode
+                # attempt.  Dedup extents are exempt: their npost is
+                # the EXPANDED posting count, which fan-out makes
+                # larger than the stored bytes — that is the point.
+                if kind != "dedup" and npost * 3 > length:
                     raise StoreFormatError(
                         f"{npost} postings cannot fit in {length} bytes")
             extents.append(Extent(keyword, tombstone, offset, length,
-                                  npost))
+                                  npost, kind, segment_index))
         segments.append(extents)
     if position != end:
         raise StoreFormatError("trailing bytes after directory")
@@ -315,6 +545,8 @@ def _live_extents(segments: Sequence[Sequence[Extent]]
     dead: set[str] = set()
     for extents in reversed(segments):
         for extent in extents:
+            if extent.kind == "table":  # metadata, not a keyword
+                continue
             if extent.keyword in dead:
                 continue
             if extent.tombstone:
@@ -323,6 +555,17 @@ def _live_extents(segments: Sequence[Sequence[Extent]]
             live.setdefault(extent.keyword, []).append(extent)
     return {keyword: tuple(reversed(entries))
             for keyword, entries in live.items() if entries}
+
+
+def _segment_tables(segments: Sequence[Sequence[Extent]]
+                    ) -> dict[int, Extent]:
+    """segment index → its subtree-table extent (flag 2), if any."""
+    tables: dict[int, Extent] = {}
+    for extents in segments:
+        for extent in extents:
+            if extent.kind == "table":
+                tables[extent.segment] = extent
+    return tables
 
 
 # -- lazy reading -----------------------------------------------------------
@@ -351,16 +594,57 @@ class _LazyPostings(MappingABC):
     ``_postings``, so a :class:`LazyIndex` inherits the whole read API.
     """
 
-    __slots__ = ("_buffer", "_extents", "_cache", "bytes_decoded")
+    __slots__ = ("_buffer", "_extents", "_tables", "_table_cache",
+                 "_cache", "bytes_decoded")
 
-    def __init__(self, buffer, extents: dict[str, tuple[Extent, ...]]):
+    def __init__(self, buffer, extents: dict[str, tuple[Extent, ...]],
+                 tables: Optional[dict[int, Extent]] = None):
         self._buffer = buffer
         self._extents = extents
+        self._tables = tables or {}
+        self._table_cache: dict[int, tuple] = {}
         self._cache: dict[str, tuple[Posting, ...]] = {}
         # Lifetime bytes pulled off disk by block decodes — plain int
         # so the accounting survives metrics_scope boundaries and the
         # query profiler can report it even with observability off.
         self.bytes_decoded = 0
+
+    def segment_groups(self, segment: int
+                       ) -> tuple[tuple[dewey.Code, ...], ...]:
+        """The decoded subtree table of ``segment`` (cached).
+
+        Raises :class:`~repro.errors.StoreFormatError` when the
+        segment has no table — a dedup extent without one is
+        unresolvable.
+        """
+        groups = self._table_cache.get(segment)
+        if groups is None:
+            extent = self._tables.get(segment)
+            if extent is None:
+                raise StoreFormatError(
+                    f"dedup block in segment {segment} but the segment "
+                    "has no subtree table")
+            groups = decode_subtree_table(self._buffer, extent.offset,
+                                          extent.length)
+            if len(groups) != extent.npost:
+                raise StoreFormatError(
+                    f"subtree table holds {len(groups)} group(s); the "
+                    f"directory says {extent.npost}")
+            self._table_cache[segment] = groups
+        return groups
+
+    def _decode_extent(self, extent: Extent) -> tuple[Posting, ...]:
+        if extent.kind != "dedup":
+            return decode_posting_block(self._buffer, extent.offset,
+                                        extent.length, extent.npost)
+        decoded = decode_dedup_block(
+            self._buffer, extent.offset, extent.length, extent.npost,
+            self.segment_groups(extent.segment))
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("dedup_blocks_expanded")
+            metrics.inc("dedup_postings_expanded", len(decoded))
+        return decoded
 
     def __getitem__(self, keyword: str) -> tuple[Posting, ...]:
         cached = self._cache.get(keyword)
@@ -371,9 +655,7 @@ class _LazyPostings(MappingABC):
             return cached
         extents = self._extents[keyword]  # KeyError → keyword absent
         decoded = _merge_decoded([
-            decode_posting_block(self._buffer, extent.offset,
-                                 extent.length, extent.npost)
-            for extent in extents])
+            self._decode_extent(extent) for extent in extents])
         self._cache[keyword] = decoded
         block_bytes = sum(extent.length for extent in extents)
         self.bytes_decoded += block_bytes
@@ -420,6 +702,26 @@ class _LazyPostings(MappingABC):
         return frozenset(self._cache)
 
 
+@dataclass(frozen=True)
+class BlockView:
+    """A zero-copy window onto one live posting block of the store.
+
+    ``view`` is a :class:`memoryview` slice of the underlying mmap —
+    no bytes are copied until a decoder walks it.  ``kind`` is
+    ``"postings"`` for a plain front-coded block or ``"dedup"`` for a
+    flag-3 block, in which case ``groups`` carries the owning
+    segment's decoded subtree table (occurrence prefixes per group)
+    so the consumer can fan the relative postings back out.  ``npost``
+    is the directory's (expanded) posting count for the block.
+    """
+
+    keyword: str
+    kind: str
+    npost: int
+    view: memoryview
+    groups: Optional[tuple] = None
+
+
 class LazyIndex(InvertedIndex):
     """An :class:`InvertedIndex` served lazily from a CKSIDX2 store.
 
@@ -437,12 +739,14 @@ class LazyIndex(InvertedIndex):
                  tokenizer: Optional[Tokenizer] = None):
         # Deliberately no super().__init__(): _postings is the lazy
         # mapping, which the inherited read methods consume as-is.
-        self._postings = _LazyPostings(buffer, _live_extents(segments))
+        self._postings = _LazyPostings(buffer, _live_extents(segments),
+                                       _segment_tables(segments))
         self._tokenizer = tokenizer or default_tokenizer()
         self._path = path
         self._file = file
         self._buffer = buffer
         self._segments = segments
+        self._views: list[memoryview] = []
 
     # -- store-specific surface ---------------------------------------------
 
@@ -470,8 +774,43 @@ class LazyIndex(InvertedIndex):
         the directory (no decode; 0 for an absent keyword)."""
         return self._postings.list_bytes(self._normalize(keyword))
 
+    def block_views(self, keyword: str) -> tuple[BlockView, ...]:
+        """Zero-copy views of a keyword's live blocks, oldest first.
+
+        Each :class:`BlockView` wraps a :class:`memoryview` slice of
+        the mmap; nothing is decoded or copied here, so a batch
+        decoder (:func:`repro.core.kernel.evaluate_flat_on_store`)
+        can walk the varints in place.  Dedup views carry their
+        segment's decoded subtree table for fan-out.  Returns ``()``
+        for an absent keyword.
+        """
+        normalized = self._normalize(keyword)
+        extents = self._postings._extents.get(normalized)
+        if not extents:
+            return ()
+        window = memoryview(self._buffer)
+        self._views.append(window)
+        views = []
+        for extent in extents:
+            groups = self._postings.segment_groups(extent.segment) \
+                if extent.kind == "dedup" else None
+            sliced = window[extent.offset:extent.offset + extent.length]
+            self._views.append(sliced)
+            views.append(BlockView(normalized, extent.kind,
+                                   extent.npost, sliced, groups))
+        return tuple(views)
+
     def close(self) -> None:
-        """Release the mmap and the file handle (idempotent)."""
+        """Release the mmap and the file handle (idempotent).
+
+        Any :meth:`block_views` views handed out are released too —
+        the mmap cannot unmap while views export its buffer — so
+        reading a view after close raises ``ValueError`` instead of
+        dangling.
+        """
+        views, self._views = self._views, []
+        for view in views:
+            view.release()
         buffer, self._buffer = self._buffer, None
         if isinstance(buffer, mmap.mmap):
             buffer.close()
@@ -535,6 +874,178 @@ def save_index_v2(index: InvertedIndex, path: PathLike) -> int:
     if metrics.enabled:
         metrics.inc("store_bytes_written", len(blob))
     _log.debug("wrote %d v2 bytes to %s", len(blob), path)
+    return len(blob)
+
+
+def find_duplicate_subtrees(postings: Union[InvertedIndex,
+                                            Mapping[str,
+                                                    Sequence[Posting]]],
+                            min_postings: int = 2
+                            ) -> list[tuple[dewey.Code, ...]]:
+    """Detect repeated subtrees in an index's posting data.
+
+    Two Dewey prefixes are *duplicates* when the postings beneath them
+    are identical relative to the prefix — same relative codes, same
+    keywords, same frequencies — which is exactly the condition under
+    which storing (and evaluating) one of them suffices.  Detection
+    builds the trie of all posting codes and hashes it bottom-up
+    (iterative postorder, so 5000-level-deep paper trees don't
+    recurse): a node's signature is its own ``(keyword, frequency)``
+    payload plus its children's ``(step, signature)`` pairs, so equal
+    signatures ⇔ identical relative contents.
+
+    A node founds a *group* when its signature occurs at least twice,
+    its subtree holds at least ``min_postings`` postings, and no
+    ancestor already founded one (groups are disjoint; a nested
+    duplicate is stored once inside its ancestor's canonical copy).
+    Groups whose occurrences all fall inside selected ancestors
+    dissolve back into plain postings.  Returns one sorted occurrence
+    tuple per group, deterministic for a given index.
+    """
+    if isinstance(postings, InvertedIndex):
+        postings = postings.raw_postings()
+    children: list[dict[int, int]] = [{}]
+    payload: list[list] = [[]]
+    for keyword in sorted(postings):
+        for posting in postings[keyword]:
+            node = 0
+            for step in posting.code:
+                nxt = children[node].get(step)
+                if nxt is None:
+                    children.append({})
+                    payload.append([])
+                    nxt = len(children) - 1
+                    children[node][step] = nxt
+                node = nxt
+            payload[node].append((keyword, posting.frequency))
+    # Bottom-up signatures: reversed preorder visits every child
+    # before its parent without recursion.
+    preorder: list[int] = []
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        preorder.append(node)
+        stack.extend(children[node].values())
+    signature = [0] * len(children)
+    subtree_postings = [0] * len(children)
+    intern: dict = {}
+    occurrences: dict[int, int] = {}
+    for node in reversed(preorder):
+        kids = children[node]
+        key = (tuple(sorted(payload[node])),
+               tuple(sorted((step, signature[child])
+                            for step, child in kids.items())))
+        sid = intern.setdefault(key, len(intern))
+        signature[node] = sid
+        subtree_postings[node] = len(payload[node]) + \
+            sum(subtree_postings[child] for child in kids.values())
+        occurrences[sid] = occurrences.get(sid, 0) + 1
+    candidates = {signature[node] for node in preorder
+                  if occurrences[signature[node]] >= 2
+                  and subtree_postings[node] >= min_postings}
+    # Top-down selection: a candidate under a selected ancestor is
+    # already covered by that ancestor's canonical copy.
+    selected: dict[int, list[dewey.Code]] = {}
+    walk: list[tuple[int, dewey.Code, bool]] = [(0, (), False)]
+    while walk:
+        node, code, covered = walk.pop()
+        sid = signature[node]
+        take = not covered and sid in candidates
+        if take:
+            selected.setdefault(sid, []).append(code)
+        for step, child in children[node].items():
+            walk.append((child, code + (step,), covered or take))
+    groups = [tuple(sorted(codes)) for codes in selected.values()
+              if len(codes) >= 2]
+    groups.sort()
+    return groups
+
+
+def encode_index_v2_dedup(index: Union[InvertedIndex,
+                                       Mapping[str, Sequence[Posting]]],
+                          min_postings: int = 2) -> bytes:
+    """Serialize an index with subtree deduplication (flags 2/3).
+
+    Detects duplicate subtrees (:func:`find_duplicate_subtrees`),
+    writes one subtree-table extent plus dedup posting extents that
+    store each group's postings once (relative to the group root),
+    and plain extents for keywords untouched by any group.  An index
+    with no qualifying duplicates encodes as a plain v2 container —
+    the reader cannot tell the difference either way, because dedup
+    blocks decode to byte-identical posting tuples.
+    """
+    postings = index.raw_postings() if isinstance(index, InvertedIndex) \
+        else index
+    groups = find_duplicate_subtrees(postings, min_postings)
+    if not groups:
+        return encode_index_v2(postings)
+    # occurrence prefix → (group id, canonical?).  The sorted-first
+    # occurrence is canonical: its postings are stored; the others'
+    # are implied by fan-out.
+    cover: dict[dewey.Code, tuple[int, bool]] = {}
+    for group_id, occurrence_list in enumerate(groups):
+        for index_in_group, occurrence in enumerate(occurrence_list):
+            cover[occurrence] = (group_id, index_in_group == 0)
+    buffer = io.BytesIO()
+    buffer.write(MAGIC_V2)
+    extents: list[Extent] = []
+    table_block = encode_subtree_table(groups)
+    extents.append(Extent(TABLE_KEYWORD, False, buffer.tell(),
+                          len(table_block), len(groups), "table"))
+    buffer.write(table_block)
+    saved = 0
+    for keyword in sorted(postings):
+        plist = sorted(postings[keyword],
+                       key=lambda posting: posting.code)
+        sections: dict[int, list[Posting]] = {}
+        residual: list[Posting] = []
+        for posting in plist:
+            code = posting.code
+            owner = None
+            for cut in range(len(code) + 1):
+                owner = cover.get(code[:cut])
+                if owner is not None:
+                    break
+            if owner is None:
+                residual.append(posting)
+                continue
+            group_id, canonical = owner
+            if canonical:
+                sections.setdefault(group_id, []).append(
+                    Posting(code[cut:], posting.frequency))
+            else:
+                saved += 1  # implied by fan-out; not stored
+        if not sections:
+            block = encode_posting_block(plist)
+            extents.append(Extent(keyword, False, buffer.tell(),
+                                  len(block), len(plist)))
+            buffer.write(block)
+            continue
+        block = encode_dedup_block(sorted(sections.items()), residual)
+        extents.append(Extent(keyword, False, buffer.tell(),
+                              len(block), len(plist), "dedup"))
+        buffer.write(block)
+    directory = _encode_directory([extents])
+    buffer.write(directory)
+    buffer.write(_encode_footer(buffer.tell() - len(directory),
+                                len(directory)))
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("dedup_groups_written", len(groups))
+        metrics.inc("dedup_postings_saved", saved)
+    return buffer.getvalue()
+
+
+def save_index_v2_dedup(index: InvertedIndex, path: PathLike,
+                        min_postings: int = 2) -> int:
+    """Persist ``index`` at ``path`` with subtree deduplication;
+    returns bytes written."""
+    blob = encode_index_v2_dedup(index, min_postings)
+    Path(path).write_bytes(blob)
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("store_bytes_written", len(blob))
+    _log.debug("wrote %d deduped v2 bytes to %s", len(blob), path)
     return len(blob)
 
 
@@ -652,13 +1163,17 @@ def _append(path: PathLike, postings: Mapping[str, Sequence[Posting]],
 
 
 def merge_index(path: PathLike, output: Optional[PathLike] = None,
-                tokenizer: Optional[Tokenizer] = None) -> int:
+                tokenizer: Optional[Tokenizer] = None,
+                dedup: bool = False) -> int:
     """Compact a store to a single-segment CKSIDX2 file.
 
     In place by default (atomic: temp file + ``os.replace``); pass
     ``output`` to write elsewhere and leave the source untouched.
-    Accepts a v1 store too, which upgrades it to v2.  Returns the bytes
-    written.
+    Accepts a v1 store too, which upgrades it to v2.  ``dedup=True``
+    re-runs subtree deduplication on the merged postings (a deduped
+    source merges to a plain store otherwise — compaction expands the
+    fan-out and keeps the expanded postings byte-identical).  Returns
+    the bytes written.
     """
     path = Path(path)
     target = Path(output) if output is not None else path
@@ -677,7 +1192,8 @@ def merge_index(path: PathLike, output: Optional[PathLike] = None,
         raise StoreFormatError(
             f"bad magic {magic!r}; not a posting store or unsupported "
             "version")
-    blob = encode_index_v2(merged)
+    blob = encode_index_v2_dedup(merged) if dedup \
+        else encode_index_v2(merged)
     scratch = target.with_name(target.name + ".merge.tmp")
     scratch.write_bytes(blob)
     os.replace(scratch, target)
@@ -720,8 +1236,12 @@ def inspect_index(path: PathLike) -> dict:
         finally:
             buffer.close()
     live = _live_extents(segments)
+    tables = _segment_tables(segments)
     live_bytes = sum(extent.length for extents in live.values()
                      for extent in extents)
+    live_bytes += sum(extent.length for extent in tables.values())
+    dedup_blocks = sum(1 for extents in live.values()
+                       for extent in extents if extent.kind == "dedup")
     return {
         "path": str(path),
         "format": "CKSIDX2",
@@ -733,6 +1253,8 @@ def inspect_index(path: PathLike) -> dict:
         "segment_keywords": [len(extents) for extents in segments],
         "tombstones": sum(1 for extents in segments
                           for extent in extents if extent.tombstone),
+        "dedup_groups": sum(extent.npost for extent in tables.values()),
+        "dedup_blocks": dedup_blocks,
         "live_payload_bytes": live_bytes,
         "dead_bytes": size - live_bytes - len(MAGIC_V2) - FOOTER_SIZE
         - _directory_size(segments),

@@ -57,9 +57,15 @@ def _make_consumer(plan: "CompiledPlan", options: SearchOptions,
         machine = LatticeMachine(plan.query, normalize)
         return _Consumer(plan.key, machine.keywords, machine.feed_node,
                          machine.finalize)
-    evaluation = push_evaluation(
-        plan.compiled, size_budget=options.max_size,
-        impenetrability=options.impenetrability)
+    if options.kernel == "flat":
+        from repro.core.kernel import push_evaluation_flat
+        evaluation = push_evaluation_flat(
+            plan.compiled, size_budget=options.max_size,
+            impenetrability=options.impenetrability)
+    else:
+        evaluation = push_evaluation(
+            plan.compiled, size_budget=options.max_size,
+            impenetrability=options.impenetrability)
     return _Consumer(plan.key, frozenset(plan.compiled.atoms),
                      evaluation.feed, evaluation.finish)
 

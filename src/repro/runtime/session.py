@@ -35,6 +35,7 @@ from typing import Iterator, Optional, Sequence, Union
 
 from repro.core.engine import (ENGINE_COUNTERS, evaluate_compiled,
                                merge_posting_streams, push_evaluation)
+from repro.core.kernel import evaluate_compiled_flat
 from repro.core.parser import parse_query
 from repro.core.query import Query
 from repro.core.results import Result
@@ -1058,7 +1059,11 @@ class SearchSession:
         if options.top_k is not None:
             results = self._top_k(plan, lists, options)
         else:
-            results = evaluate_compiled(
+            # kernel="flat" routes to the packed-integer kernel (byte-
+            # identical answers; the ablation mode falls back inside).
+            evaluate = evaluate_compiled_flat \
+                if options.kernel == "flat" else evaluate_compiled
+            results = evaluate(
                 plan.compiled, lists, size_budget=options.max_size,
                 impenetrability=options.impenetrability)
         return self._apply_rank(plan, results, options, state)
@@ -1077,8 +1082,10 @@ class SearchSession:
         ceiling = max(1, depth * plan.query.keyword_count)
         budget = options.initial_budget \
             if options.initial_budget is not None else max(1, depth)
+        evaluate = evaluate_compiled_flat \
+            if options.kernel == "flat" else evaluate_compiled
         while True:
-            results = evaluate_compiled(
+            results = evaluate(
                 plan.compiled, lists, size_budget=budget,
                 impenetrability=options.impenetrability)
             if len(results) >= k or budget >= ceiling:

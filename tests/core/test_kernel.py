@@ -1,0 +1,155 @@
+"""Edge-case regressions for the flat evaluation kernel.
+
+The differential-oracle suite covers the random bulk; this file pins
+the corners that random trees rarely hit — single-node documents,
+empty-result queries, keywords whose postings arrive from several
+store segments, and store-side list limits — each asserted
+byte-identical to the object engine (full Result equality: codes,
+sizes, breakdowns, order).
+"""
+
+import pytest
+
+from repro.core.engine import evaluate_compiled
+from repro.core.kernel import (evaluate_compiled_flat,
+                               evaluate_flat_on_store)
+from repro.core.parser import parse_query
+from repro.core.signatures import compile_query
+from repro.index.inverted import InvertedIndex, Posting
+from repro.index.store_v2 import (append_segment, load_index_v2,
+                                  save_index_v2, save_index_v2_dedup)
+from repro.runtime import SearchSession
+
+
+def _both(index, text, **kwargs):
+    """(flat, object) result lists for one query on one index."""
+    compiled = compile_query(parse_query(text),
+                             index.tokenizer.normalize)
+    lists = {kw: index.postings(kw) for kw in compiled.atoms}
+    return (evaluate_compiled_flat(compiled, lists, **kwargs),
+            evaluate_compiled(compiled, lists, **kwargs))
+
+
+class TestSingleNodeDocuments:
+    def test_root_only_document(self):
+        # One node, Dewey code () — the LCA is the root itself,
+        # so every instance path has length 0.
+        index = InvertedIndex({"a": [Posting((), 1)],
+                               "b": [Posting((), 2)]})
+        flat, obj = _both(index, "(a b)")
+        assert flat == obj
+        assert [(r.code, r.size) for r in flat] == [((), 0)]
+
+    def test_single_keyword_single_node(self):
+        index = InvertedIndex({"a": [Posting((0,), 1)]})
+        flat, obj = _both(index, "(a)")
+        assert flat == obj
+        assert [(r.code, r.size) for r in flat] == [((0,), 0)]
+
+    def test_single_node_store_roundtrip(self, tmp_path):
+        index = InvertedIndex({"a": [Posting((), 1)]})
+        path = tmp_path / "one.idx2"
+        save_index_v2(index, path)
+        compiled = compile_query(parse_query("(a)"),
+                                 index.tokenizer.normalize)
+        with load_index_v2(path) as lazy:
+            assert evaluate_flat_on_store(compiled, lazy) == \
+                evaluate_compiled(compiled, {"a": index.postings("a")})
+
+
+class TestEmptyResults:
+    def test_missing_keyword_short_circuits(self, figure1_index):
+        flat, obj = _both(figure1_index, "(xml notinthetree)")
+        assert flat == obj == []
+
+    def test_empty_index(self):
+        index = InvertedIndex({})
+        flat, obj = _both(index, "(a b)")
+        assert flat == obj == []
+
+    def test_impossible_cohesion(self):
+        # Two keywords in disjoint subtrees cohere only at the root;
+        # a size budget of 1 empties the answer on both paths.
+        index = InvertedIndex({"a": [Posting((0, 0), 1)],
+                               "b": [Posting((1, 0), 1)]})
+        flat, obj = _both(index, "(a b)", size_budget=1)
+        assert flat == obj == []
+
+    def test_empty_result_on_store(self, figure1_index, tmp_path):
+        path = tmp_path / "empty.idx2"
+        save_index_v2(figure1_index, path)
+        compiled = compile_query(parse_query("(xml notinthetree)"),
+                                 figure1_index.tokenizer.normalize)
+        with load_index_v2(path) as lazy:
+            assert evaluate_flat_on_store(compiled, lazy) == []
+
+
+class TestMultiBlockPostings:
+    """A keyword whose postings span several on-disk blocks: the
+    zero-copy path must merge the per-segment views exactly like the
+    lazy mapping merges decoded tuples."""
+
+    @pytest.fixture()
+    def multi_segment(self, tmp_path):
+        path = tmp_path / "multi.idx2"
+        save_index_v2(InvertedIndex({
+            "a": [Posting((0, 0), 1), Posting((2,), 1)],
+            "b": [Posting((0, 1), 1)],
+        }), path)
+        append_segment(path, InvertedIndex({
+            "a": [Posting((0, 0), 2), Posting((1, 0), 1)],
+        }))
+        append_segment(path, InvertedIndex({
+            "a": [Posting((3,), 4)],
+            "b": [Posting((1, 1), 1)],
+        }))
+        return path
+
+    def test_views_cover_every_segment(self, multi_segment):
+        with load_index_v2(multi_segment) as lazy:
+            assert len(lazy.block_views("a")) == 3
+            assert len(lazy.block_views("b")) == 2
+
+    def test_store_evaluation_merges_blocks(self, multi_segment):
+        with load_index_v2(multi_segment) as lazy:
+            compiled = compile_query(parse_query("(a b)"),
+                                     lazy.tokenizer.normalize)
+            lists = {kw: lazy.postings(kw) for kw in compiled.atoms}
+            # Same-code frequencies summed across segments first.
+            assert dict((p.code, p.frequency)
+                        for p in lists["a"])[(0, 0)] == 3
+            assert evaluate_flat_on_store(compiled, lazy) == \
+                evaluate_compiled(compiled, lists)
+
+    def test_list_limit_applies_after_merge(self, multi_segment):
+        with load_index_v2(multi_segment) as lazy:
+            compiled = compile_query(parse_query("(a b)"),
+                                     lazy.tokenizer.normalize)
+            for limit in (1, 2, 3, 10):
+                lists = {kw: lazy.postings(kw)[:limit]
+                         for kw in compiled.atoms}
+                assert evaluate_flat_on_store(compiled, lazy,
+                                              list_limit=limit) == \
+                    evaluate_compiled(compiled, lists)
+
+    def test_session_parity_on_multi_segment_store(self, multi_segment):
+        with load_index_v2(multi_segment) as lazy:
+            session = SearchSession(lazy)
+            assert session.search("(a b)", kernel="flat") == \
+                session.search("(a b)", kernel="object")
+
+    def test_dedup_base_plus_appends(self, tmp_path):
+        # Dedup first segment, plain appends on top: mixed flags.
+        path = tmp_path / "mixed.idx2"
+        base = InvertedIndex({
+            "a": [Posting((r, 0), 1) for r in range(6)],
+            "b": [Posting((r, 1), 1) for r in range(6)],
+        })
+        save_index_v2_dedup(base, path)
+        append_segment(path, InvertedIndex({"a": [Posting((9,), 2)]}))
+        with load_index_v2(path) as lazy:
+            compiled = compile_query(parse_query("(a b)"),
+                                     lazy.tokenizer.normalize)
+            lists = {kw: lazy.postings(kw) for kw in compiled.atoms}
+            assert evaluate_flat_on_store(compiled, lazy) == \
+                evaluate_compiled(compiled, lists)

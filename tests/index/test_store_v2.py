@@ -12,9 +12,13 @@ from repro.index.store import MAGIC as MAGIC_V1
 from repro.index.store import load_index, save_index
 from repro.index.store_v2 import (FOOTER_SIZE, MAGIC_V2, TAIL_MAGIC,
                                   LazyIndex, append_segment,
-                                  append_tombstones, inspect_index,
+                                  append_tombstones, decode_dedup_block,
+                                  decode_subtree_table, encode_dedup_block,
+                                  encode_index_v2, encode_index_v2_dedup,
+                                  encode_subtree_table,
+                                  find_duplicate_subtrees, inspect_index,
                                   load_index_v2, merge_index, open_index,
-                                  save_index_v2)
+                                  save_index_v2, save_index_v2_dedup)
 from repro.obs import metrics_scope
 
 posting_lists = st.dictionaries(
@@ -415,3 +419,226 @@ class TestCorruption:
         assert path.read_bytes().startswith(MAGIC_V1)
         with pytest.raises(StoreFormatError):
             append_segment(path, figure1_index)
+
+
+def _duplicated_index(copies: int = 8) -> InvertedIndex:
+    """``copies`` structurally identical subtrees under distinct roots.
+
+    Every root r carries the same relative postings (a@(0,), a@(1,2),
+    b@(1,3)), so the dedup builder must collapse them into one group
+    with ``copies`` occurrences."""
+    lists: dict[str, list[Posting]] = {}
+    for root in range(copies):
+        for keyword, rel, freq in (("a", (0,), 1), ("a", (1, 2), 2),
+                                   ("b", (1, 3), 1)):
+            lists.setdefault(keyword, []).append(
+                Posting((root,) + rel, freq))
+    return InvertedIndex({
+        keyword: sorted(plist, key=lambda posting: posting.code)
+        for keyword, plist in lists.items()
+    })
+
+
+class TestDedup:
+    """The DAG-deduped layout changes bytes, never answers: flag-3
+    blocks must fan back out to the exact plain postings through every
+    lifecycle step (load, append, tombstone, merge)."""
+
+    @given(lists=posting_lists)
+    def test_dedup_roundtrip(self, tmp_path_factory, lists):
+        """load(save_dedup(idx)) == idx for arbitrary posting lists —
+        including ones with nothing worth deduplicating."""
+        path = tmp_path_factory.mktemp("dedup") / "index.idx2"
+        index = _index(lists)
+        save_index_v2_dedup(index, path)
+        with load_index_v2(path) as lazy:
+            assert lazy.raw_postings() == index.raw_postings()
+
+    def test_dedup_store_is_smaller(self):
+        index = _duplicated_index(copies=40)
+        assert len(encode_index_v2_dedup(index)) < \
+            len(encode_index_v2(index))
+
+    def test_find_duplicate_subtrees(self):
+        groups = find_duplicate_subtrees(_duplicated_index(copies=8))
+        assert len(groups) == 1
+        assert groups[0] == tuple((root,) for root in range(8))
+
+    def test_find_duplicate_subtrees_min_postings(self):
+        # Each subtree holds 3 postings; a floor above that finds none.
+        index = _duplicated_index(copies=8)
+        assert find_duplicate_subtrees(index, min_postings=4) == []
+
+    def test_inspect_reports_dedup(self, tmp_path):
+        path = tmp_path / "dedup.idx2"
+        save_index_v2_dedup(_duplicated_index(), path)
+        info = inspect_index(path)
+        assert info["dedup_groups"] >= 1
+        assert info["dedup_blocks"] >= 1
+
+    def test_fanout_roundtrips_through_merge(self, tmp_path):
+        # dedup store --merge--> plain --merge(dedup)--> dedup again;
+        # the postings never change.
+        index = _duplicated_index()
+        path = tmp_path / "cycle.idx2"
+        save_index_v2_dedup(index, path)
+        merge_index(path)
+        assert inspect_index(path)["dedup_blocks"] == 0
+        with load_index_v2(path) as lazy:
+            assert lazy.raw_postings() == index.raw_postings()
+        merge_index(path, dedup=True)
+        assert inspect_index(path)["dedup_blocks"] >= 1
+        with load_index_v2(path) as lazy:
+            assert lazy.raw_postings() == index.raw_postings()
+
+    def test_tombstone_shadows_dedup_postings(self, tmp_path):
+        index = _duplicated_index()
+        path = tmp_path / "tomb.idx2"
+        save_index_v2_dedup(index, path)
+        append_tombstones(path, ["a"])
+        with load_index_v2(path) as lazy:
+            assert lazy.postings("a") == ()
+            assert lazy.postings("b") == index.postings("b")
+        # Reinsert after the tombstone: only the new postings survive.
+        append_segment(path, InvertedIndex({"a": [Posting((9, 9), 7)]}))
+        with load_index_v2(path) as lazy:
+            assert lazy.postings("a") == (Posting((9, 9), 7),)
+
+    def test_append_sums_into_dedup_base(self, tmp_path):
+        index = _duplicated_index()
+        path = tmp_path / "sum.idx2"
+        save_index_v2_dedup(index, path)
+        append_segment(path, InvertedIndex({"a": [Posting((0, 0), 5)]}))
+        with load_index_v2(path) as lazy:
+            merged = {posting.code: posting.frequency
+                      for posting in lazy.postings("a")}
+            assert merged[(0, 0)] == 1 + 5
+
+    def test_dedup_counters(self, tmp_path):
+        path = tmp_path / "count.idx2"
+        with metrics_scope() as registry:
+            save_index_v2_dedup(_duplicated_index(), path)
+            assert registry.counter("dedup_groups_written") >= 1
+            assert registry.counter("dedup_postings_saved") >= 1
+        with metrics_scope() as registry:
+            with load_index_v2(path) as lazy:
+                lazy.postings("a")
+            assert registry.counter("dedup_blocks_expanded") >= 1
+            assert registry.counter("dedup_postings_expanded") >= 1
+
+
+class TestDedupCorruption:
+    """Adversarial bytes against the flag-2/flag-3 layout: every
+    malformed structure stops at StoreFormatError."""
+
+    def _body(self, blocks):
+        """Assemble a store from (extent_args, payload) pairs."""
+        import io
+
+        from repro.index.store_v2 import (Extent, _encode_directory,
+                                          _encode_footer)
+        body = io.BytesIO()
+        body.write(MAGIC_V2)
+        extents = []
+        for args, payload in blocks:
+            offset = body.tell()
+            body.write(payload)
+            extents.append(Extent(args[0], False, offset, len(payload),
+                                  args[1], kind=args[2]))
+        directory = _encode_directory([extents])
+        offset = body.tell()
+        body.write(directory)
+        body.write(_encode_footer(offset, len(directory)))
+        return body.getvalue()
+
+    def test_table_flag_requires_empty_keyword(self, tmp_path):
+        table = encode_subtree_table((((0,),),))
+        blob = self._body([(("k", 1, "table"), table)])
+        path = tmp_path / "named-table.idx2"
+        path.write_bytes(blob)
+        with pytest.raises(StoreFormatError):
+            load_index_v2(path)
+
+    def test_empty_keyword_requires_table_flag(self, tmp_path):
+        blob = self._body([(("", 1, "postings"), b"\x00\x00\x01")])
+        path = tmp_path / "anon-postings.idx2"
+        path.write_bytes(blob)
+        with pytest.raises(StoreFormatError):
+            load_index_v2(path)
+
+    def test_dedup_extent_without_table(self, tmp_path):
+        block = encode_dedup_block([(0, [Posting((0,), 1)])], [])
+        blob = self._body([(("k", 1, "dedup"), block)])
+        path = tmp_path / "no-table.idx2"
+        path.write_bytes(blob)
+        with load_index_v2(path) as lazy:
+            with pytest.raises(StoreFormatError):
+                lazy.postings("k")
+
+    def test_bad_group_id(self):
+        groups = (((0,), (1,)),)  # one group
+        block = encode_dedup_block([(3, [Posting((0,), 1)])], [])
+        with pytest.raises(StoreFormatError):
+            decode_dedup_block(block, 0, len(block), 2, groups)
+
+    def test_expanded_count_mismatch(self):
+        groups = (((0,), (1,)),)
+        block = encode_dedup_block([(0, [Posting((5,), 1)])], [])
+        expanded = decode_dedup_block(block, 0, len(block), 2, groups)
+        assert [posting.code for posting in expanded] == [(0, 5), (1, 5)]
+        with pytest.raises(StoreFormatError):
+            decode_dedup_block(block, 0, len(block), 3, groups)
+
+    def test_table_with_empty_group(self):
+        blob = b"\x01\x00\x00\x00"  # ngroups=1, noccur=0, padding
+        with pytest.raises(StoreFormatError):
+            decode_subtree_table(blob, 0, len(blob))
+
+    def test_table_ngroups_overflow(self):
+        blob = b"\xff\x7f"  # ngroups=16383 in a 2-byte block
+        with pytest.raises(StoreFormatError):
+            decode_subtree_table(blob, 0, len(blob))
+
+    def test_table_trailing_bytes(self):
+        table = encode_subtree_table((((0,),),)) + b"\x00"
+        with pytest.raises(StoreFormatError):
+            decode_subtree_table(table, 0, len(table))
+
+    def test_dedup_nsections_overflow(self):
+        blob = b"\xff\x7f"  # nsections=16383 in a 2-byte block
+        with pytest.raises(StoreFormatError):
+            decode_dedup_block(blob, 0, len(blob), 0, ())
+
+    def test_dedup_nrel_overflow(self):
+        # One section claiming more relative postings than fit.
+        blob = b"\x01\x00\xff\x7f"
+        with pytest.raises(StoreFormatError):
+            decode_dedup_block(blob, 0, len(blob), 0, (((0,),),))
+
+    def test_dedup_trailing_bytes(self):
+        block = encode_dedup_block([], [Posting((0,), 1)]) + b"\x00"
+        with pytest.raises(StoreFormatError):
+            decode_dedup_block(block, 0, len(block), 1, ())
+
+    @given(position=st.integers(min_value=0, max_value=10_000),
+           value=st.integers(0, 255))
+    def test_single_byte_corruption_never_crashes(self, tmp_path_factory,
+                                                  position, value):
+        """The fuzz guarantee of TestCorruption, over a store whose
+        bytes actually exercise flags 2 and 3: any flip either still
+        decodes or stops at a *store* error."""
+        path = tmp_path_factory.mktemp("dedup-fuzz") / "f.idx2"
+        save_index_v2_dedup(_duplicated_index(), path)
+        blob = bytearray(path.read_bytes())
+        position %= len(blob)
+        blob[position] = value
+        path.write_bytes(bytes(blob))
+        try:
+            with load_index_v2(path) as lazy:
+                for keyword in lazy.keywords():
+                    lazy.postings(keyword)
+                    for view in lazy.block_views(keyword):
+                        from repro.core.kernel import _decode_block_view
+                        _decode_block_view(view)
+        except (StoreFormatError, MemoryError):
+            pass

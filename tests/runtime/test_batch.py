@@ -155,3 +155,37 @@ class TestPropertyBased:
         assert_identical(
             session.search_batch(workload, options),
             [session.search(query, options) for query in workload])
+
+
+class TestKernelParity:
+    """The flat kernel must not perturb the batch contract: batch ==
+    sequential under ``kernel="flat"``, and the two kernels agree with
+    each other on whole workloads (ISSUE satellite — the shared-scan
+    consumer feeds ``push_evaluation_flat`` the same per-plan streams
+    the sequential path decodes)."""
+
+    @given(workload=st.lists(_queries(), min_size=1, max_size=6),
+           kernel=st.sampled_from(["flat", "object"]))
+    def test_batch_equals_sequential_under_kernel(self, figure1_index,
+                                                  workload, kernel):
+        session = SearchSession(figure1_index)
+        options = SearchOptions(kernel=kernel)
+        assert_identical(
+            session.search_batch(workload, options),
+            [session.search(query, options) for query in workload])
+
+    @given(workload=st.lists(_queries(), min_size=1, max_size=6))
+    def test_batch_kernels_agree(self, figure1_index, workload):
+        session = SearchSession(figure1_index)
+        assert_identical(
+            session.search_batch(workload, SearchOptions(kernel="flat")),
+            session.search_batch(workload,
+                                 SearchOptions(kernel="object")))
+
+    def test_table2_workloads_under_flat_kernel(self, table2_workloads):
+        options = SearchOptions(kernel="flat")
+        for name, index, queries in table2_workloads:
+            session = SearchSession(index)
+            assert_identical(
+                session.search_batch(queries, options),
+                [session.search(query, options) for query in queries])

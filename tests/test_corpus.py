@@ -210,6 +210,21 @@ class TestParallelSearch:
             corpus.search("(xml john)", workers=2,
                           within_documents=False)
 
+    @pytest.mark.parametrize("kernel", ["flat", "object"])
+    def test_parallel_respects_kernel(self, big_corpus, kernel):
+        """Worker shards must honour the kernel option and stay
+        byte-identical to the sequential path under it."""
+        sequential = big_corpus.search("(xml john)", kernel=kernel)
+        parallel = big_corpus.search("(xml john)", workers=3,
+                                     kernel=kernel)
+        assert _rows(parallel) == _rows(sequential)
+
+    def test_parallel_kernels_agree(self, big_corpus):
+        flat = big_corpus.search("(xml john)", workers=3, kernel="flat")
+        object_ = big_corpus.search("(xml john)", workers=3,
+                                    kernel="object")
+        assert _rows(flat) == _rows(object_)
+
     def test_session_persists_and_invalidates(self, corpus):
         corpus.search("(xml john)")
         session = corpus.session

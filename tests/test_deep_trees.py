@@ -59,3 +59,33 @@ def test_engine_survives(deep_tree):
 def test_baseline_survives(deep_tree):
     index = InvertedIndex.from_tree(deep_tree)
     assert slca(["alpha", "omega"], index)
+
+
+def test_flat_kernel_survives_and_matches(deep_tree):
+    """Max-depth Dewey codes through the flat kernel: the packed-key
+    path and its subtree-template cache must handle ~5000-component
+    codes and stay byte-identical to the object engine."""
+    from repro.core.engine import evaluate_compiled
+    from repro.core.kernel import evaluate_compiled_flat
+    from repro.core.signatures import compile_query
+    from repro.core.parser import parse_query
+
+    index = InvertedIndex.from_tree(deep_tree)
+    compiled = compile_query(parse_query("(alpha omega)"),
+                             index.tokenizer.normalize)
+    lists = {kw: index.postings(kw) for kw in compiled.atoms}
+    flat = evaluate_compiled_flat(compiled, lists)
+    assert flat == evaluate_compiled(compiled, lists)
+    assert flat and flat[0].size == 2
+
+
+def test_dedup_store_survives(deep_tree, tmp_path):
+    """The dedup builder walks the full posting trie iteratively; a
+    deeper-than-recursion-limit chain must round-trip unchanged."""
+    from repro.index.store_v2 import load_index_v2, save_index_v2_dedup
+
+    index = InvertedIndex.from_tree(deep_tree)
+    path = tmp_path / "deep.idx2"
+    save_index_v2_dedup(index, path)
+    with load_index_v2(path) as lazy:
+        assert lazy.raw_postings() == index.raw_postings()

@@ -6,19 +6,30 @@ On random small trees and random cohesive queries, all three must agree
 on the result set *and* on every LCA's size; any divergence pinpoints a
 semantics bug in exactly one layer.
 
+The kernel-differential half locks the flat evaluation kernel
+(:mod:`repro.core.kernel`) to the same contract: byte-for-byte equal to
+the object engine — codes, sizes, per-term breakdowns and every tie —
+on materialized lists, through the session under every
+algorithm × rank-mode combination, and straight off CKSIDX2 stores,
+including DAG-deduped ones whose posting blocks fan back out on decode.
+
 This suite is also wired as a dedicated CI matrix entry (see
-.github/workflows/ci.yml) so it cannot be skipped silently.
+.github/workflows/ci.yml, which runs it under both ``REPRO_KERNEL``
+settings) so it cannot be skipped silently.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.engine import evaluate
+from repro.core.engine import evaluate, evaluate_compiled
+from repro.core.kernel import evaluate_compiled_flat, evaluate_flat_on_store
 from repro.core.lattice_machine import lattice_machine_evaluate
 from repro.core.semantics import brute_force_evaluate
+from repro.core.signatures import compile_query
 from repro.index.inverted import InvertedIndex
-from repro.index.store_v2 import load_index_v2, save_index_v2
-from repro.runtime import SearchSession
+from repro.index.store_v2 import (load_index_v2, save_index_v2,
+                                  save_index_v2_dedup)
+from repro.runtime import ALGORITHMS, RANK_MODES, SearchSession
 
 from tests.core.test_engine_oracle import queries, trees
 from tests.oracle import oracle_search
@@ -76,3 +87,79 @@ def test_lazy_store_roundtrip_preserves_results(tmp_path_factory, tree,
         session = SearchSession(lazy)
         lazy_results = [(r.code, r.size) for r in session.search(query)]
     assert lazy_results == oracle_search(tree, query)
+
+
+# -- the kernel-differential suite ------------------------------------------
+
+@given(trees(), queries())
+@settings(max_examples=120)
+def test_flat_kernel_byte_identical_to_engine_and_oracle(tree, query):
+    """Flat kernel == object engine == oracle, full Result equality.
+
+    Result rows carry code, size and the per-term breakdown vector;
+    comparing whole rows (not just (code, size)) pins every tie-break
+    and every breakdown the kernel interns.
+    """
+    index = InvertedIndex.from_tree(tree)
+    compiled = compile_query(query, index.tokenizer.normalize)
+    lists = {kw: index.postings(kw) for kw in compiled.atoms}
+    object_results = evaluate_compiled(compiled, lists)
+    flat_results = evaluate_compiled_flat(compiled, lists)
+    assert flat_results == object_results
+    assert [(r.code, r.size) for r in flat_results] == \
+        oracle_search(tree, query)
+    # A size budget prunes identically on both sides.
+    if object_results:
+        budget = object_results[len(object_results) // 2].size
+        assert evaluate_compiled_flat(compiled, lists,
+                                      size_budget=budget) == \
+            evaluate_compiled(compiled, lists, size_budget=budget)
+
+
+@given(trees(), queries())
+@settings(max_examples=30, deadline=None)
+def test_kernel_parity_across_algorithms_and_rank_modes(tree, query):
+    """kernel='flat' vs 'object' through the session facade.
+
+    Every algorithm (the non-cohesive ones ignore the knob — that
+    indifference is part of the contract) and, for the cohesive
+    engine, every rank mode and the top-k loop.
+    """
+    index = InvertedIndex.from_tree(tree)
+    session = SearchSession(index)
+    for algorithm in ALGORITHMS:
+        assert session.search(query, algorithm=algorithm,
+                              kernel="flat") == \
+            session.search(query, algorithm=algorithm, kernel="object")
+    for rank in RANK_MODES:
+        assert session.search(query, rank=rank, kernel="flat") == \
+            session.search(query, rank=rank, kernel="object")
+    assert session.search(query, top_k=2, kernel="flat") == \
+        session.search(query, top_k=2, kernel="object")
+
+
+@given(trees(), queries())
+@settings(max_examples=40)
+def test_dedup_store_evaluates_byte_identically(tmp_path_factory, tree,
+                                                query):
+    """The DAG-deduped store changes bytes on disk, never answers.
+
+    Both read paths are pinned: the lazy mapping (session search over
+    the expanded postings) and the kernel's zero-copy block-view
+    decode (:func:`evaluate_flat_on_store`), each against the object
+    engine on the plain index and against the oracle.
+    """
+    index = InvertedIndex.from_tree(tree)
+    expected = oracle_search(tree, query)
+    path = tmp_path_factory.mktemp("dedup-store") / "t.idx2"
+    save_index_v2_dedup(index, path)
+    compiled = compile_query(query, index.tokenizer.normalize)
+    lists = {kw: index.postings(kw) for kw in compiled.atoms}
+    object_results = evaluate_compiled(compiled, lists)
+    with load_index_v2(path) as lazy:
+        for kw in index.raw_postings():
+            assert lazy.postings(kw) == index.postings(kw)
+        session_results = SearchSession(lazy).search(query)
+        assert evaluate_flat_on_store(compiled, lazy) == object_results
+    assert session_results == object_results
+    assert [(r.code, r.size) for r in session_results] == expected
