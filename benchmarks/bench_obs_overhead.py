@@ -21,6 +21,13 @@ workload through one :class:`SearchSession`):
   Must cost < 10% over the metrics-only active baseline — the
   always-on-in-production promise of docs/OBSERVABILITY.md's
   "Continuous profiling" section.
+* **wide+slo** — the active configuration plus the full per-request
+  observability pipeline: one wide event per query fanned out to a
+  :class:`JsonlSink`, the :class:`FlightRecorder` ring and a
+  default-objective :class:`SLOEngine`.  Must cost < 10% over the
+  metrics-only active baseline — the always-on promise of
+  docs/OBSERVABILITY.md's "SLOs, wide events and the flight
+  recorder" section.
 
 Timings use min-of-rounds (the standard noise-robust estimator for
 "how fast can this go"); each round runs the whole workload.
@@ -51,6 +58,7 @@ ROUNDS = 7
 NULL_TOLERANCE = 0.05
 ACTIVE_TOLERANCE = 0.15
 PROFILED_TOLERANCE = 0.10
+WIDE_TOLERANCE = 0.10
 SAMPLER_HZ = 50
 WATCHDOG_INTERVAL = 1.0
 
@@ -190,3 +198,52 @@ def test_continuous_profiling_overhead(benchmark, efficiency_indexes):
     assert profiled <= active * (1.0 + PROFILED_TOLERANCE), \
         f"profiled path {overhead * 100:.1f}% over the metrics-only " \
         f"baseline (allowed {PROFILED_TOLERANCE * 100:.0f}%)"
+
+
+def test_wide_event_slo_overhead(benchmark, efficiency_indexes,
+                                 tmp_path):
+    """The full per-request pipeline — wide events fanned out to the
+    JSONL sink, the flight-recorder ring and a default-objective SLO
+    engine — must not slow the serving path by more than 10% over the
+    metrics-only baseline: the price of leaving wide-event logging and
+    burn-rate evaluation on for the life of a service."""
+    from repro.obs import FlightRecorder, JsonlSink, SLOEngine
+    _, index = efficiency_indexes["dblp"]
+    session = SearchSession(index)
+    queries = _workload(index)
+
+    def compute():
+        with metrics_scope():
+            active = _time_workload(session, queries)
+        sink = JsonlSink(tmp_path / "wide.jsonl",
+                         max_bytes=64 * 1024 * 1024)
+        with metrics_scope() as registry:
+            engine = SLOEngine(registry=registry, sink=sink)
+            recorder = FlightRecorder(registry=registry, slo=engine)
+            session.attach_event_sink(sink)
+            session.attach_flight_recorder(recorder)
+            session.attach_slo_engine(engine)
+            try:
+                wide = _time_workload(session, queries)
+            finally:
+                session.attach_slo_engine(None)
+                session.attach_flight_recorder(None)
+                session.attach_event_sink(None)
+                sink.close()
+        return active, wide, engine.recorded, recorder.ring.recorded
+
+    active, wide, evaluated, ringed = benchmark.pedantic(
+        compute, rounds=1, iterations=1)
+    overhead = wide / active - 1.0
+    report("Wide-event + SLO pipeline overhead "
+           f"(sink + ring + burn rates, min of {ROUNDS} rounds)",
+           format_table(
+               ["configuration", "ms / round", "overhead"],
+               [["active registry", f"{active * 1000:.2f}", "--"],
+                [f"+ wide events/SLO ({evaluated} evaluated, "
+                 f"{ringed} ringed)", f"{wide * 1000:.2f}",
+                 f"{overhead * 100:+.1f}% vs active"]]))
+    assert evaluated == ringed > 0  # every query produced one event
+    assert wide <= active * (1.0 + WIDE_TOLERANCE), \
+        f"wide-event pipeline {overhead * 100:.1f}% over the " \
+        f"metrics-only baseline (allowed {WIDE_TOLERANCE * 100:.0f}%)"

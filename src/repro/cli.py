@@ -48,10 +48,11 @@ takes ``--slow-query-ms N`` (capture profiles of queries at or above
 the threshold), ``--events-jsonl PATH`` (one schema-versioned JSONL
 event per query/batch), ``--telemetry-port N`` /
 ``--telemetry-linger S`` (serve ``/metrics``, ``/healthz``,
-``/profilez``, ``/tracez``, ``/flamez`` and ``/resourcez`` over HTTP
-during — and ``S`` seconds past — the run; a resource watchdog
-snapshots RSS/fds/gauges for ``/resourcez`` while the endpoint is
-up), ``--trace-dir DIR`` (write one Perfetto-loadable Chrome trace
+``/profilez``, ``/tracez``, ``/flamez``, ``/resourcez``, ``/sloz``
+and ``/debugz`` over HTTP during — and ``S`` seconds past — the run;
+a resource watchdog snapshots RSS/fds/gauges for ``/resourcez`` while
+the endpoint is up), ``--trace-dir DIR`` (write one Perfetto-loadable
+Chrome trace
 JSON per query trace) and ``--flame-out PATH`` (sample the query
 thread's stacks and write a collapsed flamegraph profile plus a
 speedscope JSON twin).  ``profile DOC QUERY --hz 97 --repeat 100
@@ -278,6 +279,22 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--no-watchdog", dest="watchdog",
                            action="store_false",
                            help="skip the 1s resource watchdog")
+    serve_cmd.add_argument("--slow-query-ms", dest="slow_query_ms",
+                           type=float, default=None, metavar="MS",
+                           help="record the full profile of every "
+                                "request at or above this wall time")
+    serve_cmd.add_argument("--events-jsonl", dest="events_jsonl",
+                           default=None, metavar="PATH",
+                           help="append one wide event per request to "
+                                "PATH (the file rotates at 64 MiB)")
+    serve_cmd.add_argument("--slo", dest="slo", action="append",
+                           default=None, metavar="OBJECTIVE",
+                           help="declare an SLO objective (repeatable; "
+                                "e.g. 'availability 99.9%%' or "
+                                "'latency p99 < 50ms', optionally "
+                                "route-scoped: '/search latency p99 < "
+                                "20ms'); default: availability 99.9%% "
+                                "and latency p99 < 50ms")
     serve_cmd.add_argument("--log-level", dest="log_level", default=None,
                            type=str.upper,
                            choices=["DEBUG", "INFO", "WARNING", "ERROR"],
@@ -380,6 +397,20 @@ def _build_parser() -> argparse.ArgumentParser:
     generate_cmd.add_argument("output")
     generate_cmd.add_argument("--scale", type=int, default=None)
     generate_cmd.add_argument("--seed", type=int, default=None)
+
+    debugz_cmd = sub.add_parser(
+        "debugz", help="fetch a running server's /debugz diagnostic "
+                       "bundle (docs/OBSERVABILITY.md)")
+    debugz_cmd.add_argument("url",
+                            help="base URL of a running server or "
+                                 "telemetry endpoint (e.g. "
+                                 "http://127.0.0.1:8080)")
+    debugz_cmd.add_argument("--out", default=None, metavar="PATH",
+                            help="write the bundle JSON to PATH "
+                                 "instead of stdout")
+    debugz_cmd.add_argument("--timeout", type=float, default=10.0,
+                            metavar="SECONDS",
+                            help="HTTP timeout (default 10)")
     return parser
 
 
@@ -539,6 +570,11 @@ def _run_search(args: argparse.Namespace,
     if args.telemetry_port is not None:
         serving_kwargs["telemetry"] = {"port": args.telemetry_port}
         serving_kwargs["registry"] = registry
+        # the full diagnostics surface rides along with telemetry:
+        # wide events feed default objectives and the flight ring, so
+        # /sloz and /debugz are live for the run's duration
+        serving_kwargs["slo"] = True
+        serving_kwargs["flight"] = True
     try:
         with session.serving(**serving_kwargs) as run:
             if run.telemetry is not None:
@@ -546,7 +582,7 @@ def _run_search(args: argparse.Namespace,
                 # discover the bound port before the search finishes
                 print(f"-- telemetry on {run.telemetry.url} "
                       f"(/metrics /healthz /profilez /tracez /flamez "
-                      f"/resourcez)", flush=True)
+                      f"/resourcez /sloz /debugz)", flush=True)
             if args.flame_out:
                 with session.profile_cpu(hz=args.profile_hz) as sampler:
                     status = _run_queries(args, session, options, tree)
@@ -670,7 +706,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     serve(args.store, port=args.port, host=args.host,
           workers=args.workers, queue_limit=args.queue_limit,
           request_timeout=args.request_timeout,
-          watchdog_interval=1.0 if args.watchdog else None)
+          watchdog_interval=1.0 if args.watchdog else None,
+          slow_query_ms=args.slow_query_ms,
+          events_jsonl=args.events_jsonl,
+          slo=args.slo if args.slo else True)
+    return 0
+
+
+def _cmd_debugz(args: argparse.Namespace) -> int:
+    """Fetch a running server's ``/debugz`` diagnostic bundle."""
+    import urllib.request
+    url = args.url.rstrip("/") + "/debugz"
+    with urllib.request.urlopen(url, timeout=args.timeout) as response:
+        bundle = response.read().decode("utf-8")
+    if args.out is not None:
+        Path(args.out).write_text(bundle + "\n", encoding="utf-8")
+        parsed = json.loads(bundle)
+        print(f"wrote {args.out}: {len(parsed.get('events', []))} "
+              f"events, reason={parsed.get('reason')}")
+    else:
+        print(bundle)
     return 0
 
 
@@ -889,6 +944,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "explain": _cmd_explain,
         "generate": _cmd_generate,
         "experiment": _cmd_experiment,
+        "debugz": _cmd_debugz,
     }
     try:
         return handlers[args.command](args)

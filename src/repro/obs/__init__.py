@@ -29,6 +29,8 @@ from repro.obs.export import (CHROME_TRACE_CATEGORY, EVENT_SCHEMA_VERSION,
                               to_chrome_trace, to_openmetrics,
                               to_speedscope, write_chrome_trace,
                               write_speedscope)
+from repro.obs.flight import (FLIGHT_BUNDLE_FIELDS, FLIGHT_REASONS,
+                              FLIGHT_SCHEMA_VERSION, FlightRecorder)
 from repro.obs.logconfig import configure_logging, get_logger
 from repro.obs.metrics import (NULL_METRICS, AnyMetrics, Gauge, Histogram,
                                MetricsRegistry, NullMetrics, get_metrics,
@@ -38,6 +40,9 @@ from repro.obs.profile import (PROFILE_SCHEMA_VERSION, QueryProfile,
 from repro.obs.report import format_report
 from repro.obs.sampler import StackSampler
 from repro.obs.server import TelemetryServer
+from repro.obs.slo import (DEFAULT_OBJECTIVES, SLO_GAUGES,
+                           SLO_SCHEMA_VERSION, SLO_STATES, Objective,
+                           SLOEngine, parse_objective)
 from repro.obs.trace import Span, aggregate_phases, render_spans
 from repro.obs.tracing import (NULL_TRACER, TRACE_ATTRIBUTES, NullTracer,
                                Tracer, TraceSpan, activate_wire,
@@ -45,11 +50,20 @@ from repro.obs.tracing import (NULL_TRACER, TRACE_ATTRIBUTES, NullTracer,
                                recent_traces, set_global_tracer,
                                trace_scope)
 from repro.obs.watchdog import WATCHDOG_GAUGES, ResourceWatchdog
+from repro.obs.wideevent import (WIDE_EVENT_FIELDS, WIDE_EVENT_OUTCOMES,
+                                 WIDE_EVENT_SCHEMA_VERSION, EventRing,
+                                 wide_event)
 
 __all__ = [
     "AnyMetrics",
     "CHROME_TRACE_CATEGORY",
+    "DEFAULT_OBJECTIVES",
     "EVENT_SCHEMA_VERSION",
+    "EventRing",
+    "FLIGHT_BUNDLE_FIELDS",
+    "FLIGHT_REASONS",
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonlSink",
@@ -58,9 +72,14 @@ __all__ = [
     "NULL_METRICS",
     "NullTracer",
     "NULL_TRACER",
+    "Objective",
     "PROFILE_SCHEMA_VERSION",
     "QueryProfile",
     "ResourceWatchdog",
+    "SLOEngine",
+    "SLO_GAUGES",
+    "SLO_SCHEMA_VERSION",
+    "SLO_STATES",
     "SlowQueryLog",
     "Span",
     "StackSampler",
@@ -69,6 +88,9 @@ __all__ = [
     "Tracer",
     "TRACE_ATTRIBUTES",
     "WATCHDOG_GAUGES",
+    "WIDE_EVENT_FIELDS",
+    "WIDE_EVENT_OUTCOMES",
+    "WIDE_EVENT_SCHEMA_VERSION",
     "activate_wire",
     "aggregate_phases",
     "configure_logging",
@@ -79,6 +101,7 @@ __all__ = [
     "get_tracer",
     "merge_jsonl",
     "metrics_scope",
+    "parse_objective",
     "parse_openmetrics",
     "read_jsonl",
     "recent_traces",
@@ -90,6 +113,7 @@ __all__ = [
     "to_openmetrics",
     "to_speedscope",
     "trace_scope",
+    "wide_event",
     "write_chrome_trace",
     "write_speedscope",
 ]

@@ -35,6 +35,7 @@ import atexit
 import json
 import os
 import re
+import threading
 from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
@@ -209,12 +210,30 @@ class JsonlSink:
     the interpreter exits, so tail events survive a process that
     never called :meth:`close` (use the sink as a context manager to
     close deterministically).
+
+    Long-running servers cap the file with ``max_bytes``: when an
+    emit would push the file past the cap, the sink rotates first —
+    ``events.jsonl`` → ``events.jsonl.1`` → ... → ``.{backups}``,
+    oldest dropped — so at most ``(backups + 1) * max_bytes`` bytes
+    ever sit on disk (``backups=0`` truncates instead of keeping
+    history).  Emission and rotation are serialized by an internal
+    lock, so the server's worker threads can share one sink.
     """
 
-    def __init__(self, path: PathLike, per_process: bool = False):
+    def __init__(self, path: PathLike, per_process: bool = False,
+                 max_bytes: Optional[int] = None, backups: int = 3):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        if backups < 0:
+            raise ValueError("backups must be >= 0")
         self._requested = Path(path)
         self._per_process = per_process
+        self._max_bytes = max_bytes
+        self._backups = backups
         self._file = None
+        self._size = 0
+        self._lock = threading.Lock()
+        self.rotated = 0  # lifetime rotations
 
     @property
     def path(self) -> Path:
@@ -225,6 +244,34 @@ class JsonlSink:
         suffix = self._requested.suffix if self._requested.stem else ""
         return self._requested.with_name(f"{stem}.{os.getpid()}{suffix}")
 
+    def _open(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "a", buffering=1,
+                          encoding="utf-8")
+        self._size = self._file.tell()
+        atexit.register(self.close)
+
+    def _rotate(self) -> None:
+        """Shift ``path`` → ``path.1`` → ... under the held lock."""
+        self._file.close()
+        self._file = None
+        if self._backups == 0:
+            self.path.unlink(missing_ok=True)
+        else:
+            oldest = self.path.with_name(
+                f"{self.path.name}.{self._backups}")
+            oldest.unlink(missing_ok=True)
+            for index in range(self._backups - 1, 0, -1):
+                source = self.path.with_name(f"{self.path.name}.{index}")
+                if source.exists():
+                    source.rename(self.path.with_name(
+                        f"{self.path.name}.{index + 1}"))
+            if self.path.exists():
+                self.path.rename(
+                    self.path.with_name(f"{self.path.name}.1"))
+        self.rotated += 1
+        self._open()
+
     def emit(self, event: str, payload: Optional[dict] = None,
              **fields) -> dict:
         """Append one event line; returns the emitted record."""
@@ -234,13 +281,15 @@ class JsonlSink:
             record.update(payload)
         if fields:
             record.update(fields)
-        if self._file is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._file = open(self.path, "a", buffering=1,
-                              encoding="utf-8")
-            atexit.register(self.close)
-        self._file.write(json.dumps(record, sort_keys=True,
-                                    default=str) + "\n")
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            if self._file is None:
+                self._open()
+            if self._max_bytes is not None and self._size > 0 and \
+                    self._size + len(line) > self._max_bytes:
+                self._rotate()
+            self._file.write(line)
+            self._size += len(line)
         return record
 
     def emit_snapshot(self, snapshot: dict, event: str = "snapshot",
@@ -255,7 +304,8 @@ class JsonlSink:
 
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""
-        file, self._file = self._file, None
+        with self._lock:
+            file, self._file = self._file, None
         if file is not None:
             file.close()
             atexit.unregister(self.close)

@@ -20,7 +20,11 @@ serve_telemetry`) to scrapers:
 * ``GET /flamez``   — the continuous profiler's aggregated stacks in
   collapsed (folded) text form, ready for any flamegraph tool;
 * ``GET /resourcez`` — the resource watchdog's snapshot/breach rings
-  as JSON (RSS, fds, threads, gauge levels over time).
+  as JSON (RSS, fds, threads, gauge levels over time);
+* ``GET /sloz``     — the SLO engine's burn-rate document (objective
+  states, per-window burn rates, breach history);
+* ``GET /debugz``   — the flight recorder's self-contained diagnostic
+  bundle (recent wide events, gauge snapshots, trace digests).
 
 The server pulls — every request calls the provider callables handed
 to the constructor — so the serving hot path never pushes anything:
@@ -74,6 +78,15 @@ class TelemetryServer:
         ``/resourcez`` (wire
         :meth:`repro.obs.watchdog.ResourceWatchdog.as_json` here;
         defaults to an empty document).
+    slo_provider:
+        Optional callable returning the JSON-ready dict served on
+        ``/sloz`` (wire :meth:`repro.obs.slo.SLOEngine.as_json`
+        here; 404 when absent).
+    debug_provider:
+        Optional callable returning the JSON-ready dict served on
+        ``/debugz`` (wire
+        :meth:`repro.obs.flight.FlightRecorder.bundle` here; 404
+        when absent).
     port:
         TCP port; ``0`` picks a free one (see :attr:`port`).
     host:
@@ -89,6 +102,8 @@ class TelemetryServer:
                  traces_provider: Optional[Callable[[], list]] = None,
                  flame_provider: Optional[Callable[[], str]] = None,
                  resources_provider: Optional[Callable[[], dict]] = None,
+                 slo_provider: Optional[Callable[[], dict]] = None,
+                 debug_provider: Optional[Callable[[], dict]] = None,
                  port: int = 0, host: str = "127.0.0.1",
                  namespace: str = "repro"):
         self._snapshot_provider = snapshot_provider
@@ -97,6 +112,8 @@ class TelemetryServer:
         self._traces_provider = traces_provider
         self._flame_provider = flame_provider
         self._resources_provider = resources_provider
+        self._slo_provider = slo_provider
+        self._debug_provider = debug_provider
         self._namespace = namespace
         self._started = time.time()
         telemetry = self
@@ -188,11 +205,19 @@ class TelemetryServer:
                     else {"snapshots": [], "breaches": []}
                 self._reply(request, 200, "application/json",
                             json.dumps(resources, default=str))
+            elif path == "/sloz" and self._slo_provider is not None:
+                self._reply(request, 200, "application/json",
+                            json.dumps(self._slo_provider(),
+                                       sort_keys=True, default=str))
+            elif path == "/debugz" and self._debug_provider is not None:
+                self._reply(request, 200, "application/json",
+                            json.dumps(self._debug_provider(),
+                                       sort_keys=True, default=str))
             else:
                 self._reply(request, 404, "text/plain",
                             f"unknown route {path}; try /metrics, "
-                            f"/healthz, /profilez, /tracez, /flamez "
-                            f"or /resourcez")
+                            f"/healthz, /profilez, /tracez, /flamez, "
+                            f"/resourcez, /sloz or /debugz")
         except Exception as error:  # pragma: no cover - provider bugs
             _log.exception("telemetry handler failed on %s", path)
             self._reply(request, 500, "text/plain", f"error: {error}")

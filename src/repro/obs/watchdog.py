@@ -104,11 +104,16 @@ class ResourceWatchdog:
     sink:
         Optional :class:`~repro.obs.export.JsonlSink`; every breach is
         emitted as one ``resource_breach`` event.
+    flight:
+        Optional :class:`~repro.obs.flight.FlightRecorder`; each
+        snapshot feeds its gauge-snapshot ring, and every breach
+        triggers a ``watchdog_breach`` diagnostic bundle (rate-limited
+        by the recorder itself).
     """
 
     def __init__(self, interval: float = 1.0, capacity: int = 64,
                  budgets: Optional[dict] = None, registry=None,
-                 sink=None):
+                 sink=None, flight=None):
         if interval <= 0:
             raise ValueError("interval must be > 0 seconds")
         if capacity < 1:
@@ -121,6 +126,7 @@ class ResourceWatchdog:
                 raise ValueError(f"unknown budget {key!r}")
         self._registry = registry
         self._sink = sink
+        self._flight = flight
         self._lock = threading.Lock()
         self._snapshots: deque[dict] = deque(maxlen=capacity)
         self._breaches: deque[dict] = deque(maxlen=capacity)
@@ -201,6 +207,9 @@ class ResourceWatchdog:
         with self._lock:
             self._snapshots.append(snapshot)
             self.sampled += 1
+        if self._flight is not None:
+            self._flight.snap_gauges(snapshot["gauges"],
+                                     snapshot["timestamp"])
         self._evaluate(snapshot, metrics)
         return snapshot
 
@@ -218,6 +227,8 @@ class ResourceWatchdog:
                 metrics.inc("watchdog_breaches")
             if self._sink is not None:
                 self._sink.emit("resource_breach", breach)
+            if self._flight is not None:
+                self._flight.trigger("watchdog_breach")
             _log.warning("resource budget %s breached: %s > %s",
                          key, value, limit)
 

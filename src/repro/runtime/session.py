@@ -45,6 +45,7 @@ from repro.obs import get_logger, get_metrics, metrics_scope
 from repro.obs.metrics import AnyMetrics
 from repro.obs.profile import QueryProfile, SlowQueryLog
 from repro.obs.tracing import get_tracer
+from repro.obs.wideevent import wide_event
 from repro.runtime.cache import LRUCache
 from repro.runtime.options import OptionsError, SearchOptions
 from repro.tree.tree import DataTree
@@ -63,6 +64,16 @@ RUNTIME_COUNTERS = (
     "batch_distinct_plans",
     "batch_scan_nodes",
     "slow_queries_recorded",
+)
+
+#: The counters each wide event snapshots before/after one request to
+#: derive its per-request cost fields (bytes decoded, cache hit flags).
+_WIDE_COUNTERS = (
+    "posting_decode_bytes",
+    "plan_cache_hits",
+    "plan_cache_misses",
+    "posting_cache_hits",
+    "posting_cache_misses",
 )
 
 #: Gauge catalogue of the runtime layer (see docs/OBSERVABILITY.md).
@@ -117,6 +128,8 @@ class ServingHandles:
     profiler: Optional[object] = None
     slow_log: Optional[SlowQueryLog] = None
     sink: Optional[object] = None
+    slo: Optional[object] = None
+    flight: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -183,6 +196,9 @@ class SearchSession:
         self._owns_global_registry = False
         self._profiler = None
         self._watchdog = None
+        self._slo = None
+        self._flight = None
+        self._generation = 0
 
     # -- index ownership ----------------------------------------------------
 
@@ -202,6 +218,12 @@ class SearchSession:
     def index(self) -> InvertedIndex:
         """The index this session searches."""
         return self._state.index
+
+    @property
+    def generation(self) -> int:
+        """How many times the index has been hot-swapped (0 = the
+        index the session was constructed with)."""
+        return self._generation
 
     @property
     def _index(self) -> InvertedIndex:
@@ -235,6 +257,7 @@ class SearchSession:
             self._state = _SessionState(index,
                                         state.plans.successor(),
                                         state.postings.successor())
+            self._generation += 1
         metrics = get_metrics()
         if metrics.enabled:
             state.plans.clear(metrics)  # re-publish occupancy gauges
@@ -350,24 +373,26 @@ class SearchSession:
         metrics = get_metrics()
         tracer = get_tracer()
         state = self._state  # one coherent snapshot for this request
-        profiling = self._slow_log is not None or \
-            self._event_sink is not None
+        profiling = self._profiling
         if not (metrics.enabled or profiling or tracer.enabled):
             return self._execute(query, options, metrics, state)
         # Observed path: time the query, feed the latency histogram,
-        # and hand the run to the slow-query log / event sink.  When
-        # no ambient registry is active, a private scope captures the
-        # phases and counters the captured QueryProfile needs.
+        # and hand the run to the slow-query log / event sink / SLO
+        # engine / flight recorder.  When no ambient registry is
+        # active, a private scope captures the phases and counters the
+        # captured QueryProfile needs.
         # ``inflight`` pins the *ambient* registry: the body may rebind
         # ``metrics`` to a private scope, and the gauge must dec on the
         # same registry it inc'd.
         inflight = metrics if metrics.enabled else None
         if inflight is not None:
             inflight.gauge_inc("session_inflight_queries")
+        base = self._counter_base(metrics)
+        trace_id = None
         start = time.perf_counter()
         try:
             if tracer.enabled:
-                results, metrics = self._execute_traced(
+                results, metrics, trace_id = self._execute_traced(
                     query, options, metrics, tracer, "search", state)
             elif metrics.enabled:
                 results = self._execute(query, options, metrics, state)
@@ -375,6 +400,13 @@ class SearchSession:
                 with metrics_scope() as metrics:
                     results = self._execute(query, options, metrics,
                                             state)
+        except Exception:
+            if profiling:
+                self._record_error("query", "search", options,
+                                   time.perf_counter() - start,
+                                   metrics, base, trace_id,
+                                   query=query)
+            raise
         finally:
             if inflight is not None:
                 inflight.gauge_dec("session_inflight_queries")
@@ -382,7 +414,7 @@ class SearchSession:
         metrics.observe("search_seconds", duration)
         if profiling:
             self._record_query(query, options, results, duration,
-                               metrics)
+                               metrics, base, trace_id)
         return results
 
     def _execute(self, query: Union[str, Query],
@@ -412,7 +444,7 @@ class SearchSession:
         run are adopted into the trace as its children, so the
         timeline shows parse / lattice-build / stream-scan detail
         with no extra instrumentation.  Returns ``(results, the
-        registry that observed the run)``.
+        registry that observed the run, the trace id)``.
         """
         if state is None:
             state = self._state
@@ -445,7 +477,8 @@ class SearchSession:
                 span.set_attr("result_count",
                               sum(len(rows) for rows in results))
             tracer.adopt_phases(phase_spans, parent=span)
-        return results, metrics
+            trace_id = span.trace_id
+        return results, metrics, trace_id
 
     def stream(self, query: Union[str, Query],
                options: Optional[SearchOptions] = None,
@@ -521,17 +554,18 @@ class SearchSession:
         metrics = get_metrics()
         tracer = get_tracer()
         state = self._state
-        profiling = self._slow_log is not None or \
-            self._event_sink is not None
+        profiling = self._profiling
         if not (metrics.enabled or profiling or tracer.enabled):
             return self._execute_batch(queries, options, metrics, state)
         inflight = metrics if metrics.enabled else None
         if inflight is not None:
             inflight.gauge_inc("session_inflight_queries")
+        base = self._counter_base(metrics)
+        trace_id = None
         start = time.perf_counter()
         try:
             if tracer.enabled:
-                answers, metrics = self._execute_traced(
+                answers, metrics, trace_id = self._execute_traced(
                     queries, options, metrics, tracer, "search-batch",
                     state)
             elif metrics.enabled:
@@ -541,6 +575,13 @@ class SearchSession:
                 with metrics_scope() as metrics:
                     answers = self._execute_batch(queries, options,
                                                   metrics, state)
+        except Exception:
+            if profiling:
+                self._record_error("batch", "batch", options,
+                                   time.perf_counter() - start,
+                                   metrics, base, trace_id,
+                                   queries=len(queries))
+            raise
         finally:
             if inflight is not None:
                 inflight.gauge_dec("session_inflight_queries")
@@ -548,7 +589,7 @@ class SearchSession:
         metrics.observe("batch_seconds", duration)
         if profiling:
             self._record_batch(queries, options, answers, duration,
-                               metrics)
+                               metrics, base, trace_id)
         return answers
 
     def _execute_batch(self, queries: Sequence[Union[str, Query]],
@@ -608,10 +649,104 @@ class SearchSession:
         return self._build_profile(query, options, results, duration,
                                    snapshot)
 
+    @property
+    def _profiling(self) -> bool:
+        """Whether any per-request consumer needs the observed path."""
+        return self._slow_log is not None or \
+            self._event_sink is not None or \
+            self._slo is not None or self._flight is not None
+
+    def _counter_base(self, metrics: AnyMetrics) -> Optional[dict]:
+        """The pre-request values of the wide-event counters on an
+        ambient registry (``None`` when the run gets a private scope,
+        whose counters start at zero and so ARE the deltas)."""
+        if not metrics.enabled:
+            return None
+        return {name: metrics.counter(name) for name in _WIDE_COUNTERS}
+
+    @staticmethod
+    def _counter_deltas(metrics: AnyMetrics,
+                        base: Optional[dict]) -> dict:
+        """Per-request counter deltas (best-effort on a shared ambient
+        registry: concurrent requests' increments may interleave)."""
+        return {name: metrics.counter(name) -
+                (base[name] if base is not None else 0)
+                for name in _WIDE_COUNTERS}
+
+    @staticmethod
+    def _cache_flag(deltas: dict, layer: str) -> Optional[bool]:
+        """A tri-state hit flag from one layer's hit/miss deltas:
+        ``True`` = served entirely from cache, ``False`` = at least
+        one miss, ``None`` = the layer was not exercised."""
+        hits = deltas.get(f"{layer}_hits", 0)
+        misses = deltas.get(f"{layer}_misses", 0)
+        if misses > 0:
+            return False
+        if hits > 0:
+            return True
+        return None
+
+    def _query_shape(self, query: Union[str, Query]) -> Optional[str]:
+        """The query's ``k<keywords>t<terms>`` shape from its cached
+        plan (``None`` when the query does not even parse)."""
+        try:
+            parsed = self.plan(query).query
+        except Exception:
+            return None
+        return f"k{parsed.keyword_count}t{parsed.term_count}"
+
+    def _build_wide(self, kind: str, route: str,
+                    options: SearchOptions, duration: float,
+                    metrics: AnyMetrics, base: Optional[dict],
+                    trace_id: Optional[str], *,
+                    query: Optional[str] = None,
+                    query_shape: Optional[str] = None,
+                    queries: int = 1, outcome: str = "ok",
+                    status: int = 200, result_count: int = 0,
+                    slow: bool = False) -> dict:
+        deltas = self._counter_deltas(metrics, base)
+        return wide_event(
+            kind, route, query=query, query_shape=query_shape,
+            queries=queries, algorithm=options.algorithm,
+            rank=options.rank, kernel=options.kernel,
+            duration_seconds=duration,
+            bytes_decoded=deltas["posting_decode_bytes"],
+            plan_cache_hit=self._cache_flag(deltas, "plan_cache"),
+            posting_cache_hit=self._cache_flag(deltas, "posting_cache"),
+            trace_id=trace_id, outcome=outcome, status=status,
+            result_count=result_count, slow=slow)
+
+    def _emit_wide(self, event: dict) -> None:
+        """Fan one wide event out to every attached consumer."""
+        if self._event_sink is not None:
+            payload = {key: value for key, value in event.items()
+                       if key != "event"}
+            self._event_sink.emit(event["event"], payload)
+        if self._flight is not None:
+            self._flight.record(event)
+        if self._slo is not None:
+            self._slo.record(event)
+
+    def _record_error(self, kind: str, route: str,
+                      options: SearchOptions, duration: float,
+                      metrics: AnyMetrics, base: Optional[dict],
+                      trace_id: Optional[str],
+                      query: Union[str, Query, None] = None,
+                      queries: int = 1) -> None:
+        """Emit the wide event of a request that raised."""
+        self._emit_wide(self._build_wide(
+            kind, route, options, duration, metrics, base, trace_id,
+            query=" ".join(str(query).split()) if query is not None
+            else None,
+            queries=queries, outcome="error", status=500))
+
     def _record_query(self, query: Union[str, Query],
                       options: SearchOptions, results: list,
-                      duration: float, metrics: AnyMetrics) -> None:
-        """Slow-log capture + event emission after an observed query."""
+                      duration: float, metrics: AnyMetrics,
+                      base: Optional[dict] = None,
+                      trace_id: Optional[str] = None) -> None:
+        """Slow-log capture + wide-event emission after an observed
+        query."""
         slow = self._slow_log is not None and \
             self._slow_log.is_slow(duration)
         if slow:
@@ -623,16 +758,19 @@ class SearchSession:
             _log.warning("slow query (%.1f ms >= %.1f ms): %s",
                          duration * 1000,
                          self._slow_log.threshold * 1000, profile.query)
-        if self._event_sink is not None:
-            self._event_sink.emit(
-                "query", query=str(query), algorithm=options.algorithm,
-                duration_seconds=round(duration, 9),
-                result_count=len(results), slow=slow)
+        self._emit_wide(self._build_wide(
+            "query", "search", options, duration, metrics, base,
+            trace_id, query=" ".join(str(query).split()),
+            query_shape=self._query_shape(query),
+            result_count=len(results), slow=slow))
 
     def _record_batch(self, queries: Sequence[Union[str, Query]],
                       options: SearchOptions, answers: list[list],
-                      duration: float, metrics: AnyMetrics) -> None:
-        """Slow-log capture + event emission after an observed batch.
+                      duration: float, metrics: AnyMetrics,
+                      base: Optional[dict] = None,
+                      trace_id: Optional[str] = None) -> None:
+        """Slow-log capture + wide-event emission after an observed
+        batch.
 
         Per-query attribution inside the one shared scan is not
         meaningful, so the profile covers the whole workload (``kind=
@@ -664,12 +802,10 @@ class SearchSession:
             _log.warning("slow batch (%.1f ms >= %.1f ms): %d queries",
                          duration * 1000,
                          self._slow_log.threshold * 1000, len(queries))
-        if self._event_sink is not None:
-            self._event_sink.emit(
-                "batch", queries=len(queries),
-                algorithm=options.algorithm,
-                duration_seconds=round(duration, 9),
-                result_count=result_count, slow=slow)
+        self._emit_wide(self._build_wide(
+            "batch", "batch", options, duration, metrics, base,
+            trace_id, queries=len(queries),
+            result_count=result_count, slow=slow))
 
     def _build_profile(self, query: Union[str, Query],
                        options: SearchOptions, results: list,
@@ -788,7 +924,8 @@ class SearchSession:
                                           capacity=capacity,
                                           budgets=budgets,
                                           registry=registry,
-                                          sink=self._event_sink)
+                                          sink=self._event_sink,
+                                          flight=self._flight)
         return self._watchdog.start()
 
     def _stop_watchdog(self):
@@ -821,6 +958,28 @@ class SearchSession:
         detaches."""
         self._event_sink = sink
 
+    @property
+    def slo_engine(self):
+        """The attached SLO engine, or ``None``."""
+        return self._slo
+
+    @property
+    def flight_recorder(self):
+        """The attached flight recorder, or ``None``."""
+        return self._flight
+
+    def attach_slo_engine(self, slo) -> None:
+        """Feed every search/batch wide event to ``slo`` (a
+        :class:`repro.obs.slo.SLOEngine`); ``None`` detaches."""
+        self._slo = slo
+
+    def attach_flight_recorder(self, flight) -> None:
+        """Feed every search/batch wide event to ``flight`` (a
+        :class:`repro.obs.flight.FlightRecorder`); ``None`` detaches.
+        A watchdog started after this call also snapshots its gauges
+        into the recorder and triggers a bundle on budget breach."""
+        self._flight = flight
+
     def _serve_telemetry(self, port: int = 0, host: str = "127.0.0.1",
                          registry=None, namespace: str = "repro",
                          watchdog_interval: Optional[float] = 1.0,
@@ -852,6 +1011,10 @@ class SearchSession:
                                         if self._watchdog is not None
                                         else {"snapshots": [],
                                               "breaches": []}),
+            slo_provider=(lambda: self._slo.as_json())
+            if self._slo is not None else None,
+            debug_provider=(lambda: self._flight.bundle())
+            if self._flight is not None else None,
             port=port, host=host, namespace=namespace)
         return self._telemetry
 
@@ -868,7 +1031,7 @@ class SearchSession:
 
     @contextmanager
     def serving(self, telemetry=None, watchdog=None, cpu_profiler=None,
-                slow_query_log=None, events=None,
+                slow_query_log=None, events=None, slo=None, flight=None,
                 registry=None, namespace: str = "repro"):
         """Everything a long-lived serving process needs, one ``with``.
 
@@ -889,7 +1052,9 @@ class SearchSession:
         telemetry:
             ``True`` or a port number starts the live telemetry
             endpoint (``/metrics`` ``/healthz`` ``/profilez``
-            ``/tracez`` ``/flamez`` ``/resourcez``); a dict is passed
+            ``/tracez`` ``/flamez`` ``/resourcez``, plus ``/sloz`` /
+            ``/debugz`` when ``slo`` / ``flight`` are on); a dict is
+            passed
             through to the endpoint constructor (``port=``, ``host=``,
             ...).  Without an explicit ``registry`` a fresh one is
             installed process-wide so every thread's searches land in
@@ -910,6 +1075,22 @@ class SearchSession:
             A :class:`repro.obs.export.JsonlSink` (attached, left
             open) or a path (a sink is opened and closed with the
             block).
+        slo:
+            ``True`` evaluates :data:`repro.obs.slo.DEFAULT_OBJECTIVES`
+            over every search/batch wide event; a sequence of
+            objective spec strings declares custom objectives; a
+            ready-made :class:`~repro.obs.slo.SLOEngine` is attached
+            as-is.  Engines the block constructs report breaches to
+            the block's event sink and registry, and — when a flight
+            recorder is also on — trigger an ``slo_page`` bundle on
+            page-state.  ``/sloz`` serves the engine when telemetry
+            is on.
+        flight:
+            ``True`` attaches a default
+            :class:`~repro.obs.flight.FlightRecorder`; an integer
+            sizes its wide-event ring; a ready-made recorder is
+            attached as-is.  ``/debugz`` serves its bundle when
+            telemetry is on, and the watchdog feeds its gauge ring.
         registry:
             Metrics registry for the telemetry scrape and watchdog;
             defaults to a fresh process-global one when telemetry is
@@ -930,6 +1111,34 @@ class SearchSession:
                 self.configure_slow_query_log(*slow_query_log)
             else:
                 self.configure_slow_query_log(slow_query_log)
+        owns_slo = owns_flight = False
+        if flight not in (None, False):
+            if hasattr(flight, "bundle"):
+                self.attach_flight_recorder(flight)
+            else:
+                from repro.obs.flight import FlightRecorder
+                capacity = 256 if flight is True else int(flight)
+                self.attach_flight_recorder(FlightRecorder(
+                    capacity, registry=registry, slo=self._slo))
+                owns_flight = True
+        if slo not in (None, False):
+            if hasattr(slo, "record"):
+                self.attach_slo_engine(slo)
+            else:
+                from repro.obs.slo import DEFAULT_OBJECTIVES, SLOEngine
+                objectives = DEFAULT_OBJECTIVES if slo is True else slo
+                self.attach_slo_engine(SLOEngine(
+                    objectives, registry=registry, sink=handles_sink))
+                owns_slo = True
+            engine = self._slo
+            if self._flight is not None:
+                if getattr(self._flight, "slo", None) is None:
+                    self._flight.slo = engine
+                if engine.on_page is None:
+                    recorder = self._flight
+                    engine.on_page = \
+                        lambda objective, info: recorder.trigger(
+                            "slo_page")
         started_telemetry = None
         try:
             if telemetry not in (None, False):
@@ -959,9 +1168,15 @@ class SearchSession:
                                  watchdog=self._watchdog,
                                  profiler=self._profiler,
                                  slow_log=self._slow_log,
-                                 sink=handles_sink)
+                                 sink=handles_sink,
+                                 slo=self._slo,
+                                 flight=self._flight)
         finally:
             self._close_serving()
+            if owns_slo:
+                self.attach_slo_engine(None)
+            if owns_flight:
+                self.attach_flight_recorder(None)
             if owns_sink:
                 self.attach_event_sink(None)
                 handles_sink.close()
@@ -1012,8 +1227,13 @@ class SearchSession:
     def _health(self) -> dict:
         health = {
             "keywords": len(self._index),
+            "index_generation": self._generation,
             "caches": self.cache_stats(),
         }
+        metrics = get_metrics()
+        if metrics.enabled:
+            health["inflight_queries"] = \
+                metrics.gauge("session_inflight_queries")
         if self._slow_log is not None:
             health["slow_queries"] = {
                 "threshold_seconds": self._slow_log.threshold,

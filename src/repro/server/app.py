@@ -11,7 +11,22 @@ telemetry endpoint in :mod:`repro.obs.server`):
 * ``GET /explain``  — the EXPLAIN profiler over the wire;
 * ``GET /healthz``  — liveness + admission/swap/cache statistics;
 * ``GET /metrics``  — OpenMetrics exposition of the serving registry;
-* ``GET /tracez``   — recent trace digests.
+* ``GET /tracez``   — recent trace digests;
+* ``GET /sloz``     — the SLO engine's burn-rate states;
+* ``GET /debugz``   — the flight recorder's diagnostic bundle.
+
+Every **work** request (``/search``, ``/batch``, ``/explain``) emits
+exactly one wide event (:mod:`repro.obs.wideevent`) carrying its
+route, outcome code (``ok``/``rejected``/``timeout``/``error``),
+status and latency into the event sink, the flight recorder's ring
+and the SLO engine.  Introspection routes are deliberately excluded —
+observability does not observe itself, and a ``GET /debugz`` mutates
+nothing, so an HTTP fetch and a Python-API
+:meth:`~repro.obs.flight.FlightRecorder.bundle` call agree
+byte-for-byte.  The SLO engine consumes the request-level events
+(they carry the HTTP outcome); the session-level query events feed
+only the sink and the ring, so one search is never counted twice
+against an objective.
 
 Admission control is a hard bound: at most ``workers`` requests
 execute while at most ``queue_limit`` more wait; the next request is
@@ -50,6 +65,7 @@ from repro.errors import ReproError
 from repro.obs.export import to_openmetrics
 from repro.obs.logconfig import get_logger
 from repro.obs.server import OPENMETRICS_CONTENT_TYPE
+from repro.obs.wideevent import wide_event
 from repro.runtime.session import SearchSession
 from repro.server import wire
 from repro.server.wire import WireError
@@ -136,6 +152,24 @@ class SearchServer:
         The session resource watchdog (``None`` interval opts out);
         budgets default to ``gauge:server_inflight_requests`` at the
         admission capacity, so sustained saturation breaches.
+    sink:
+        Optional :class:`~repro.obs.export.JsonlSink` receiving every
+        wide event (request- and session-level) plus watchdog / SLO
+        breach events; attached to the session for the server's
+        lifetime and detached (not closed) on :meth:`close`.
+    slo:
+        ``True`` (default) evaluates
+        :data:`repro.obs.slo.DEFAULT_OBJECTIVES` over the request
+        wide events; a sequence of objective spec strings declares
+        custom objectives; a ready-made
+        :class:`~repro.obs.slo.SLOEngine` is used as-is;
+        ``None``/``False`` disables ``/sloz``.
+    flight:
+        ``True`` (default) attaches a
+        :class:`~repro.obs.flight.FlightRecorder`; an integer sizes
+        its wide-event ring; a ready-made recorder is used as-is;
+        ``None``/``False`` disables ``/debugz``.  Page-state SLO
+        transitions and watchdog breaches trigger diagnostic bundles.
     """
 
     def __init__(self, session: SearchSession,
@@ -146,7 +180,8 @@ class SearchServer:
                  registry=None, tracer=None,
                  namespace: str = "repro",
                  watchdog_interval: Optional[float] = 1.0,
-                 watchdog_budgets: Optional[dict] = None):
+                 watchdog_budgets: Optional[dict] = None,
+                 sink=None, slo=True, flight=True):
         from repro.obs.metrics import MetricsRegistry, set_global_metrics
         from repro.obs.tracing import Tracer, set_global_tracer
         if workers < 1:
@@ -176,6 +211,39 @@ class SearchServer:
         self.swap_count = 0
         self._started = time.time()
         self._closed = False
+        self._sink = sink
+        self._attached_sink = sink is not None and \
+            session._event_sink is None
+        if self._attached_sink:
+            session.attach_event_sink(sink)
+        if flight in (None, False):
+            self._flight = None
+        elif hasattr(flight, "bundle"):
+            self._flight = flight
+        else:
+            from repro.obs.flight import FlightRecorder
+            self._flight = FlightRecorder(
+                256 if flight is True else int(flight),
+                registry=self._registry)
+        if slo in (None, False):
+            self._slo = None
+        elif hasattr(slo, "record"):
+            self._slo = slo
+        else:
+            from repro.obs.slo import DEFAULT_OBJECTIVES, SLOEngine
+            self._slo = SLOEngine(
+                DEFAULT_OBJECTIVES if slo is True else slo,
+                registry=self._registry, sink=sink)
+        if self._flight is not None:
+            if self._flight.slo is None:
+                self._flight.slo = self._slo
+            # Session-level query events land in the ring too (the
+            # SLO engine consumes only the request-level events).
+            session.attach_flight_recorder(self._flight)
+            if self._slo is not None and self._slo.on_page is None:
+                recorder = self._flight
+                self._slo.on_page = \
+                    lambda objective, info: recorder.trigger("slo_page")
         if watchdog_interval is not None:
             budgets = watchdog_budgets if watchdog_budgets is not None \
                 else {"gauge:server_inflight_requests":
@@ -224,6 +292,16 @@ class SearchServer:
         """Seconds since the server started."""
         return time.time() - self._started
 
+    @property
+    def slo(self):
+        """The serving SLO engine, or ``None``."""
+        return self._slo
+
+    @property
+    def flight(self):
+        """The serving flight recorder, or ``None``."""
+        return self._flight
+
     def reload(self) -> int:
         """Hot-swap the index from ``index_path``; returns the swap
         count.
@@ -267,6 +345,10 @@ class SearchServer:
         self._thread.join(timeout=5.0)
         self._pool.shutdown(wait=True)
         self.session._stop_watchdog()
+        if self._flight is not None:
+            self.session.attach_flight_recorder(None)
+        if self._attached_sink:
+            self.session.attach_event_sink(None)
         for index in self._retired:
             close = getattr(index, "close", None)
             if close is not None:
@@ -327,6 +409,14 @@ class SearchServer:
 
     def _route_post(self, request: BaseHTTPRequestHandler) -> None:
         path = request.path.split("?", 1)[0]
+        if path not in ("/search", "/batch"):
+            self._fail(request, 404, f"unknown route POST {path}")
+            return
+        start = time.perf_counter()
+        status = 200
+        queries = 1
+        body = None
+        failure = None  # (message, retry_after) when not replying 200
         try:
             length = int(request.headers.get("Content-Length") or 0)
             raw = request.rfile.read(length)
@@ -334,27 +424,72 @@ class SearchServer:
                 query, options, timeout = wire.parse_search_request(raw)
                 body = self._run(
                     lambda: self._do_search(query, options), timeout)
-            elif path == "/batch":
-                queries, options, timeout = wire.parse_batch_request(raw)
-                body = self._run(
-                    lambda: self._do_batch(queries, options), timeout)
             else:
-                self._fail(request, 404, f"unknown route POST {path}")
-                return
-            self._json(request, 200, body)
+                batch, options, timeout = wire.parse_batch_request(raw)
+                queries = len(batch)
+                body = self._run(
+                    lambda: self._do_batch(batch, options), timeout)
         except _Reject as reject:
-            self._fail(request, reject.status, reject.message,
-                       retry_after=reject.retry_after)
+            status = reject.status
+            failure = (reject.message, reject.retry_after)
         except (WireError, ReproError) as error:
+            status = 400
             self._registry.inc("server_errors")
-            self._fail(request, 400, str(error))
+            failure = (str(error), None)
         except Exception as error:  # pragma: no cover - handler bugs
+            status = 500
             _log.exception("server handler failed on %s", path)
             self._registry.inc("server_errors")
-            self._fail(request, 500, f"internal error: {error}")
+            failure = (f"internal error: {error}", None)
+        # observe BEFORE replying: once the client holds the response,
+        # every observability surface already accounts for the request
+        self._observe_request(path, status,
+                              time.perf_counter() - start, queries)
+        if failure is None:
+            self._json(request, 200, body)
+        else:
+            self._fail(request, status, failure[0],
+                       retry_after=failure[1])
 
     def _route_get(self, request: BaseHTTPRequestHandler) -> None:
         path, _, query_string = request.path.partition("?")
+        if path != "/explain":
+            self._route_introspection(request, path)
+            return
+        start = time.perf_counter()
+        status = 200
+        body = None
+        failure = None  # (message, retry_after) when not replying 200
+        try:
+            params = dict(parse_qsl(query_string))
+            query, options, timeout = _parse_explain(params)
+            body = self._run(
+                lambda: wire.explain_response(
+                    self.session.explain(query, options)), timeout)
+        except _Reject as reject:
+            status = reject.status
+            failure = (reject.message, reject.retry_after)
+        except (WireError, ReproError) as error:
+            status = 400
+            self._registry.inc("server_errors")
+            failure = (str(error), None)
+        except Exception as error:  # pragma: no cover - handler bugs
+            status = 500
+            _log.exception("server handler failed on %s", path)
+            self._registry.inc("server_errors")
+            failure = (f"internal error: {error}", None)
+        self._observe_request(path, status, time.perf_counter() - start)
+        if failure is None:
+            self._json(request, 200, body)
+        else:
+            self._fail(request, status, failure[0],
+                       retry_after=failure[1])
+
+    def _route_introspection(self, request: BaseHTTPRequestHandler,
+                             path: str) -> None:
+        """The read-only telemetry routes — deliberately outside the
+        wide-event / admission path, so scraping never perturbs what
+        it measures (and ``/debugz`` stays pure)."""
         try:
             if path == "/healthz":
                 self._json(request, 200, self._health())
@@ -366,25 +501,36 @@ class SearchServer:
                 from repro.obs.tracing import recent_traces
                 _reply(request, 200, "application/json",
                        json.dumps(recent_traces(), default=str))
-            elif path == "/explain":
-                params = dict(parse_qsl(query_string))
-                query, options, timeout = _parse_explain(params)
-                body = self._run(
-                    lambda: wire.explain_response(
-                        self.session.explain(query, options)), timeout)
-                self._json(request, 200, body)
+            elif path == "/sloz" and self._slo is not None:
+                self._json(request, 200, self._slo.as_json())
+            elif path == "/debugz" and self._flight is not None:
+                self._json(request, 200, self._flight.bundle())
             else:
                 self._fail(request, 404, f"unknown route GET {path}")
-        except _Reject as reject:
-            self._fail(request, reject.status, reject.message,
-                       retry_after=reject.retry_after)
-        except (WireError, ReproError) as error:
-            self._registry.inc("server_errors")
-            self._fail(request, 400, str(error))
-        except Exception as error:  # pragma: no cover - handler bugs
+        except Exception as error:  # pragma: no cover - provider bugs
             _log.exception("server handler failed on %s", path)
             self._registry.inc("server_errors")
             self._fail(request, 500, f"internal error: {error}")
+
+    def _observe_request(self, route: str, status: int,
+                         duration: float, queries: int = 1) -> None:
+        """Emit the one wide event of a finished work request."""
+        if self._sink is None and self._slo is None and \
+                self._flight is None:
+            return
+        outcome = {200: "ok", 429: "rejected",
+                   504: "timeout"}.get(status, "error")
+        event = wide_event("request", route, queries=queries,
+                           duration_seconds=duration, outcome=outcome,
+                           status=status)
+        if self._sink is not None:
+            payload = {key: value for key, value in event.items()
+                       if key != "event"}
+            self._sink.emit(event["event"], payload)
+        if self._flight is not None:
+            self._flight.record(event)
+        if self._slo is not None:
+            self._slo.record(event)
 
     def _do_search(self, query: str, options) -> dict:
         start = time.perf_counter()
@@ -403,10 +549,13 @@ class SearchServer:
             "status": "ok",
             "uptime_seconds": round(self.uptime_seconds, 3),
             "inflight": self._admission.inflight,
+            "inflight_queries": self._registry.gauge(
+                "session_inflight_queries"),
             "capacity": self._admission.capacity,
             "workers": self.workers,
             "queue_limit": self.queue_limit,
             "index_swaps": self.swap_count,
+            "index_generation": self.session.generation,
             "keywords": len(self.session.index),
             "caches": self.session.cache_stats(),
         }
@@ -486,6 +635,8 @@ def serve(index_path, port: int = 8080, host: str = "127.0.0.1",
           workers: int = 4, queue_limit: int = 16,
           request_timeout: float = 30.0,
           watchdog_interval: Optional[float] = 1.0,
+          slow_query_ms: Optional[float] = None,
+          events_jsonl=None, slo=True, flight=True,
           ready=None, stop: Optional[threading.Event] = None) -> None:
     """Run a search server over ``index_path`` until SIGTERM/SIGINT.
 
@@ -493,29 +644,46 @@ def serve(index_path, port: int = 8080, host: str = "127.0.0.1",
     the store (lazily for CKSIDX2), prints the bound URL to stdout
     (``--port 0`` picks a free port), hot-swaps the index on SIGHUP
     and shuts down cleanly — in-flight requests drained — on
-    SIGTERM/SIGINT.  ``ready`` (if given) is called with the running
+    SIGTERM/SIGINT.  ``slow_query_ms`` enables the slow-query log
+    (``/profilez`` is on the telemetry endpoint, but the profiles
+    also reach the flight recorder's bundle via counters);
+    ``events_jsonl`` opens a size-capped :class:`~repro.obs.export.
+    JsonlSink` (closed on shutdown) receiving every wide event.
+    ``ready`` (if given) is called with the running
     :class:`SearchServer` once it is serving; ``stop`` (an optional
     :class:`threading.Event`) shuts down when set, for embedders that
     cannot deliver signals (signal handlers only install on the main
     thread; elsewhere the signals are skipped silently).
     """
     session = SearchSession.from_store(index_path)
+    if slow_query_ms is not None:
+        session.configure_slow_query_log(slow_query_ms / 1000.0)
+    sink = None
+    if events_jsonl is not None:
+        from repro.obs.export import JsonlSink
+        sink = JsonlSink(events_jsonl, max_bytes=64 * 1024 * 1024)
     stop = stop if stop is not None else threading.Event()
-    with SearchServer(session, index_path=index_path, port=port,
-                      host=host, workers=workers,
-                      queue_limit=queue_limit,
-                      request_timeout=request_timeout,
-                      watchdog_interval=watchdog_interval) as server:
-        try:
-            if hasattr(signal, "SIGHUP"):
-                signal.signal(signal.SIGHUP,
-                              lambda *_: server.reload())
-            for stopper in (signal.SIGTERM, signal.SIGINT):
-                signal.signal(stopper, lambda *_: stop.set())
-        except ValueError:  # not the main thread
-            pass
-        print(f"serving on {server.url}", flush=True)
-        if ready is not None:
-            ready(server)
-        stop.wait()
-        _log.info("shutdown signal received")
+    try:
+        with SearchServer(session, index_path=index_path, port=port,
+                          host=host, workers=workers,
+                          queue_limit=queue_limit,
+                          request_timeout=request_timeout,
+                          watchdog_interval=watchdog_interval,
+                          sink=sink, slo=slo,
+                          flight=flight) as server:
+            try:
+                if hasattr(signal, "SIGHUP"):
+                    signal.signal(signal.SIGHUP,
+                                  lambda *_: server.reload())
+                for stopper in (signal.SIGTERM, signal.SIGINT):
+                    signal.signal(stopper, lambda *_: stop.set())
+            except ValueError:  # not the main thread
+                pass
+            print(f"serving on {server.url}", flush=True)
+            if ready is not None:
+                ready(server)
+            stop.wait()
+            _log.info("shutdown signal received")
+    finally:
+        if sink is not None:
+            sink.close()

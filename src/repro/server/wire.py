@@ -49,6 +49,8 @@ SERVER_ROUTES = (
     "GET /healthz",
     "GET /metrics",
     "GET /tracez",
+    "GET /sloz",
+    "GET /debugz",
 )
 
 #: Accepted keys of a ``POST /search`` body.

@@ -14,7 +14,14 @@ Gauges, same two directions: the gauge catalogue (rows prefixed
 ``| gauge:``) against the declared gauge tuples plus literal
 ``gauge_set/inc/dec("...")`` calls.  The runtime-cache gauge names are
 built from f-strings (``f"{name}_entries"``), which the literal regex
-cannot see — that is what :data:`RUNTIME_GAUGES` is for.
+cannot see — that is what :data:`RUNTIME_GAUGES` is for; likewise the
+per-objective ``slo_state:<name>`` family, which the docs describe in
+prose and :data:`~repro.obs.slo.SLO_GAUGES` covers for the fixed names.
+
+Wide-event fields and flight-bundle fields, same two directions: the
+``| event-field:`` rows against :data:`~repro.obs.wideevent.
+WIDE_EVENT_FIELDS` and the ``| bundle-field:`` rows against
+:data:`~repro.obs.flight.FLIGHT_BUNDLE_FIELDS`.
 """
 
 import re
@@ -22,8 +29,11 @@ from pathlib import Path
 
 from repro.core.engine import ENGINE_COUNTERS
 from repro.index.store_v2 import STORE_V2_COUNTERS, STORE_V2_GAUGES
+from repro.obs.flight import FLIGHT_BUNDLE_FIELDS
+from repro.obs.slo import SLO_GAUGES
 from repro.obs.tracing import TRACE_ATTRIBUTES, TRACING_GAUGES
 from repro.obs.watchdog import WATCHDOG_GAUGES
+from repro.obs.wideevent import WIDE_EVENT_FIELDS
 from repro.runtime.session import RUNTIME_COUNTERS, RUNTIME_GAUGES
 from repro.server.app import SERVER_COUNTERS, SERVER_GAUGES
 
@@ -100,7 +110,7 @@ _GAUGE_LITERAL = re.compile(
 def _code_gauges() -> set:
     names = set(RUNTIME_GAUGES) | set(STORE_V2_GAUGES) \
         | set(TRACING_GAUGES) | set(WATCHDOG_GAUGES) \
-        | set(SERVER_GAUGES)
+        | set(SERVER_GAUGES) | set(SLO_GAUGES)
     for path in SRC.rglob("*.py"):
         names.update(
             _GAUGE_LITERAL.findall(path.read_text(encoding="utf-8")))
@@ -130,3 +140,46 @@ def test_every_documented_gauge_exists_in_code():
     assert not stale, \
         f"gauges documented in docs/OBSERVABILITY.md but never " \
         f"published in src/repro/: {sorted(stale)}"
+
+
+def _documented_prefixed(prefix: str) -> set:
+    """Backticked names in rows carrying the given ``| <prefix>:``."""
+    names = set()
+    for line in DOC.read_text(encoding="utf-8").splitlines():
+        if not line.startswith(f"| {prefix}:"):
+            continue
+        first_cell = line.split("|")[1]
+        names.update(_BACKTICKED.findall(first_cell))
+    return names
+
+
+def test_every_wide_event_field_is_documented():
+    missing = set(WIDE_EVENT_FIELDS) - _documented_prefixed("event-field")
+    assert not missing, \
+        f"wide-event fields in WIDE_EVENT_FIELDS but absent from " \
+        f"docs/OBSERVABILITY.md's event-field catalogue: " \
+        f"{sorted(missing)}"
+
+
+def test_every_documented_wide_event_field_exists_in_code():
+    stale = _documented_prefixed("event-field") - set(WIDE_EVENT_FIELDS)
+    assert not stale, \
+        f"wide-event fields documented in docs/OBSERVABILITY.md but " \
+        f"missing from WIDE_EVENT_FIELDS: {sorted(stale)}"
+
+
+def test_every_bundle_field_is_documented():
+    missing = set(FLIGHT_BUNDLE_FIELDS) \
+        - _documented_prefixed("bundle-field")
+    assert not missing, \
+        f"bundle fields in FLIGHT_BUNDLE_FIELDS but absent from " \
+        f"docs/OBSERVABILITY.md's bundle-field catalogue: " \
+        f"{sorted(missing)}"
+
+
+def test_every_documented_bundle_field_exists_in_code():
+    stale = _documented_prefixed("bundle-field") \
+        - set(FLIGHT_BUNDLE_FIELDS)
+    assert not stale, \
+        f"bundle fields documented in docs/OBSERVABILITY.md but " \
+        f"missing from FLIGHT_BUNDLE_FIELDS: {sorted(stale)}"

@@ -231,6 +231,99 @@ class TestJsonlSink:
         assert read_jsonl(tmp_path / "e.jsonl")[0]["event"] == "query"
 
 
+class TestJsonlRotation:
+    def test_bad_rotation_parameters_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "e.jsonl", max_bytes=0)
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "e.jsonl", backups=-1)
+
+    def test_rotates_when_the_cap_would_be_crossed(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path, max_bytes=200, backups=2) as sink:
+            for n in range(12):
+                sink.emit("query", n=n)
+            assert sink.rotated > 0
+        # the live file plus each backup honors the byte cap
+        for live in [path] + list(tmp_path.glob("events.jsonl.*")):
+            assert live.stat().st_size <= 200
+        # nothing emitted after the last rotation was lost
+        tail = [event["n"] for event in read_jsonl(path)]
+        assert tail == list(range(12 - len(tail), 12))
+
+    def test_backup_chain_shifts_and_drops_the_oldest(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with JsonlSink(path, max_bytes=1, backups=2) as sink:
+            for n in range(5):  # every emit after the first rotates
+                sink.emit("query", n=n)
+            assert sink.rotated == 4
+        assert json.loads(path.read_text())["n"] == 4
+        assert json.loads((tmp_path / "e.jsonl.1").read_text())["n"] == 3
+        assert json.loads((tmp_path / "e.jsonl.2").read_text())["n"] == 2
+        assert not (tmp_path / "e.jsonl.3").exists()  # oldest dropped
+
+    def test_zero_backups_truncates_instead_of_keeping_history(
+            self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with JsonlSink(path, max_bytes=1, backups=0) as sink:
+            for n in range(4):
+                sink.emit("query", n=n)
+        assert json.loads(path.read_text())["n"] == 3
+        assert list(tmp_path.glob("e.jsonl.*")) == []
+
+    def test_reopened_sink_resumes_the_size_accounting(self, tmp_path):
+        """A restart against an existing file must count the bytes
+        already on disk, not start the cap from zero."""
+        path = tmp_path / "e.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit("query", n=0)
+        existing = path.stat().st_size
+        with JsonlSink(path, max_bytes=existing + 10, backups=1) as sink:
+            sink.emit("query", n=1)  # would cross the cap: rotates
+            assert sink.rotated == 1
+        assert json.loads((tmp_path / "e.jsonl.1").read_text())["n"] == 0
+        assert json.loads(path.read_text())["n"] == 1
+
+    def test_concurrent_writers_interleave_whole_lines(self, tmp_path):
+        """Worker threads hammering one rotating sink: every line is
+        valid JSON (no torn writes) and no event is lost across the
+        rotations the load forces (the chain is deep enough that
+        nothing ages out, so loss would mean a race)."""
+        import threading
+
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, max_bytes=2048, backups=50)
+        writers, per_writer = 8, 100
+        start = threading.Barrier(writers)
+        errors = []
+
+        def write(worker):
+            try:
+                start.wait()
+                for n in range(per_writer):
+                    sink.emit("query", worker=worker, n=n)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=write, args=(worker,))
+                   for worker in range(writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        sink.close()
+        assert errors == []
+        assert sink.rotated > 0  # the load actually exercised rotation
+        survivors = []
+        for live in [path] + sorted(tmp_path.glob("events.jsonl.*")):
+            for line in live.read_text().splitlines():
+                survivors.append(json.loads(line))  # whole lines only
+        assert len(survivors) == writers * per_writer
+        assert {(event["worker"], event["n"]) for event in survivors} \
+            == {(worker, n) for worker in range(writers)
+                for n in range(per_writer)}
+
+
 class TestChromeTrace:
     def _spans(self):
         tracer = Tracer()

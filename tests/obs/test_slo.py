@@ -1,0 +1,228 @@
+"""The SLO engine: objective parsing and deterministic burn rates."""
+
+import pytest
+
+from repro.obs import (DEFAULT_OBJECTIVES, SLO_SCHEMA_VERSION,
+                       MetricsRegistry, SLOEngine, parse_objective,
+                       wide_event)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class FakeSink:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event, payload=None, **fields):
+        self.events.append((event, dict(payload or {}, **fields)))
+
+
+def _event(timestamp, outcome="ok", duration=0.001, route="/search"):
+    return wide_event("request", route, duration_seconds=duration,
+                      outcome=outcome,
+                      status=200 if outcome == "ok" else 500,
+                      timestamp=timestamp)
+
+
+class TestParseObjective:
+    def test_availability(self):
+        objective = parse_objective("availability 99.9%")
+        assert objective.kind == "availability"
+        assert objective.target == pytest.approx(0.999)
+        assert objective.error_budget == pytest.approx(0.001)
+        assert objective.route is None
+        assert objective.name == "availability_99_9"
+
+    def test_latency(self):
+        objective = parse_objective("latency p99 < 50ms")
+        assert objective.kind == "latency"
+        assert objective.target == pytest.approx(0.99)
+        assert objective.threshold_seconds == pytest.approx(0.050)
+        assert objective.as_dict()["threshold_ms"] == pytest.approx(50.0)
+
+    def test_route_scoped(self):
+        objective = parse_objective("/batch availability 99%")
+        assert objective.route == "/batch"
+        assert objective.matches(_event(0.0, route="/batch"))
+        assert not objective.matches(_event(0.0, route="/search"))
+
+    def test_unscoped_matches_every_route(self):
+        objective = parse_objective("availability 99%")
+        assert objective.matches(_event(0.0, route="/batch"))
+        assert objective.matches(_event(0.0, route="/search"))
+
+    def test_latency_good_events(self):
+        objective = parse_objective("latency p99 < 50ms")
+        assert objective.is_good(_event(0.0, duration=0.010))
+        assert not objective.is_good(_event(0.0, duration=0.200))
+        # an errored request spends latency budget too
+        assert not objective.is_good(
+            _event(0.0, outcome="error", duration=0.010))
+
+    @pytest.mark.parametrize("spec", [
+        "", "availability", "availability 99.9", "availability fast",
+        "latency p99", "latency p99 < 50", "latency 50ms",
+        "availability 0%", "availability 100%", "throughput 99%",
+        "/search", "/search uptime 99%",
+    ])
+    def test_bad_specs_fail_loudly(self, spec):
+        with pytest.raises(ValueError):
+            parse_objective(spec)
+
+    def test_defaults_parse(self):
+        for spec in DEFAULT_OBJECTIVES:
+            parse_objective(spec)
+
+
+class TestSLOEngine:
+    def test_duplicate_objective_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEngine(["availability 99.9%", "availability 99.9%"])
+
+    def test_healthy_traffic_stays_ok(self):
+        clock = FakeClock()
+        engine = SLOEngine(["availability 99.9%"], clock=clock,
+                           registry=MetricsRegistry())
+        for n in range(100):
+            engine.record(_event(clock.now + n * 0.01))
+        assert engine.state("availability_99_9") == "ok"
+        assert engine.breaches == 0
+
+    def test_burn_rate_walks_ok_warn_page_deterministically(self):
+        """A synthetic clock drives one objective through the full
+        ladder: clean traffic (ok), a 1% error rate (warn: burn 6–14.4
+        on both warn windows), then enough errors to cross 14.4 on
+        both page windows (page) — with the breach counter, the sink
+        event and the on_page hook all firing exactly once."""
+        clock = FakeClock(now=50000.0)
+        registry = MetricsRegistry()
+        sink = FakeSink()
+        pages = []
+        engine = SLOEngine(["availability 99.9%"], clock=clock,
+                           registry=registry, sink=sink,
+                           on_page=lambda objective, info:
+                           pages.append((objective.name, info)))
+        name = "availability_99_9"
+
+        seen = []
+        timestamp = clock.now
+        for _ in range(990):
+            timestamp += 0.01
+            engine.record(_event(timestamp))
+            seen.append(engine.state(name))
+        assert set(seen) == {"ok"}
+
+        for _ in range(15):
+            timestamp += 0.01
+            engine.record(_event(timestamp, outcome="error"))
+            seen.append(engine.state(name))
+        # the ladder is strictly ok -> warn -> page, never skipping
+        assert [state for n, state in enumerate(seen)
+                if n == 0 or state != seen[n - 1]] \
+            == ["ok", "warn", "page"]
+        assert engine.state(name) == "page"
+
+        assert engine.breaches == 1
+        assert registry.counters["slo_breaches"] == 1
+        assert [event for event, _ in sink.events] == ["slo_breach"]
+        breach = sink.events[0][1]
+        assert breach["name"] == name
+        assert breach["from"] == "warn"
+        assert breach["state"] == "page"
+        assert pages == [(name, breach)]
+        assert engine.last_breach == breach
+
+        gauges = registry.gauges
+        assert gauges[f"slo_state:{name}"]["value"] == 2  # page
+        assert gauges["slo_objectives_page"]["value"] == 1
+        assert gauges["slo_worst_burn_rate"]["value"] >= 14.4
+
+    def test_recovery_to_ok_when_the_windows_drain(self):
+        clock = FakeClock(now=50000.0)
+        registry = MetricsRegistry()
+        engine = SLOEngine(["availability 99.9%"], clock=clock,
+                           registry=registry)
+        timestamp = clock.now
+        for outcome in ["ok"] * 990 + ["error"] * 15:
+            timestamp += 0.01
+            engine.record(_event(timestamp, outcome=outcome))
+        assert engine.state("availability_99_9") == "page"
+        # slide every short window past the burst
+        clock.now = timestamp + 4000.0
+        engine.evaluate()
+        assert engine.state("availability_99_9") == "ok"
+        assert registry.gauges["slo_state:availability_99_9"]["value"] \
+            == 0
+        # the page was a real transition, so it stays counted
+        assert engine.breaches == 1
+
+    def test_latency_objective_pages_on_slow_but_successful_traffic(self):
+        clock = FakeClock()
+        engine = SLOEngine(["latency p99 < 50ms"], clock=clock,
+                           registry=MetricsRegistry())
+        timestamp = clock.now
+        for _ in range(50):
+            timestamp += 0.2
+            engine.record(_event(timestamp, duration=0.200))
+        assert engine.state("latency_p99_50ms") == "page"
+
+    def test_route_scoped_objective_ignores_other_routes(self):
+        clock = FakeClock()
+        engine = SLOEngine(["/search availability 99%"], clock=clock,
+                           registry=MetricsRegistry())
+        timestamp = clock.now
+        for _ in range(50):
+            timestamp += 0.1
+            engine.record(_event(timestamp, outcome="error",
+                                 route="/batch"))
+        assert engine.state("search_availability_99") == "ok"
+        assert engine.evaluate()[0]["events"] == 0
+
+    def test_as_json_is_the_sloz_document(self):
+        clock = FakeClock()
+        engine = SLOEngine(clock=clock, registry=MetricsRegistry())
+        engine.record(_event(clock.now))
+        document = engine.as_json()
+        assert document["schema"] == SLO_SCHEMA_VERSION
+        assert document["generated_at"] == clock.now
+        assert document["page_windows_seconds"] == [3600.0, 300.0]
+        assert document["recorded"] == 1
+        assert document["breaches"] == 0
+        assert document["last_breach"] is None
+        names = {objective["name"]
+                 for objective in document["objectives"]}
+        assert names == {"availability_99_9", "latency_p99_50ms"}
+        for objective in document["objectives"]:
+            assert objective["state"] == "ok"
+            assert set(objective["burn_rates"]) == \
+                {"3600", "300", "21600", "1800"}
+
+    def test_window_capacity_bounds_memory(self):
+        clock = FakeClock()
+        engine = SLOEngine(["availability 99.9%"], clock=clock,
+                           capacity=64, registry=MetricsRegistry())
+        timestamp = clock.now
+        for _ in range(1000):
+            timestamp += 0.001
+            engine.record(_event(timestamp))
+        tracker = engine._trackers["availability_99_9"]
+        for window in tracker.windows.values():
+            assert window.total <= 64
+        assert tracker.total == 1000  # lifetime count survives
+
+    def test_events_without_timestamp_use_the_clock(self):
+        clock = FakeClock(now=777.0)
+        engine = SLOEngine(["availability 99.9%"], clock=clock,
+                           registry=MetricsRegistry())
+        event = _event(0.0)
+        event["timestamp"] = None
+        engine.record(event)
+        tracker = engine._trackers["availability_99_9"]
+        window = tracker.windows[300.0]
+        assert window._events[0][0] == 777.0

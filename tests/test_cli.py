@@ -539,6 +539,53 @@ class TestServeSubcommand:
         assert calls["workers"] == 4
         assert calls["queue_limit"] == 16
         assert calls["watchdog_interval"] == 1.0
+        assert calls["slow_query_ms"] is None
+        assert calls["events_jsonl"] is None
+        assert calls["slo"] is True  # default objectives
+
+    def test_serve_observability_flags_forward(self, monkeypatch):
+        import repro.server
+        calls = {}
+        monkeypatch.setattr(
+            repro.server, "serve",
+            lambda store, **kwargs: calls.update(kwargs))
+        assert main(["serve", "INDEX.ckx",
+                     "--slow-query-ms", "25",
+                     "--events-jsonl", "wide.jsonl",
+                     "--slo", "availability 99%",
+                     "--slo", "/search latency p99 < 20ms"]) == 0
+        assert calls["slow_query_ms"] == 25.0
+        assert calls["events_jsonl"] == "wide.jsonl"
+        assert calls["slo"] == ["availability 99%",
+                                "/search latency p99 < 20ms"]
+
+
+class TestDebugzSubcommand:
+    @pytest.fixture()
+    def live_server(self, document, tmp_path):
+        from repro.runtime import SearchSession
+        from repro.server import SearchServer
+        store = tmp_path / "dblp.ckx"
+        assert main(["index", str(document), str(store)]) == 0
+        session = SearchSession.from_store(store)
+        with SearchServer(session, index_path=store,
+                          watchdog_interval=None) as server:
+            yield server
+
+    def test_debugz_prints_the_bundle(self, live_server, capsys):
+        assert main(["debugz", live_server.url]) == 0
+        bundle = json.loads(capsys.readouterr().out)
+        assert bundle["schema"] == 1
+        assert bundle["reason"] == "on_demand"
+
+    def test_debugz_out_writes_the_file(self, live_server, tmp_path,
+                                        capsys):
+        target = tmp_path / "bundle.json"
+        assert main(["debugz", live_server.url + "/",
+                     "--out", str(target)]) == 0
+        bundle = json.loads(target.read_text(encoding="utf-8"))
+        assert bundle["schema"] == 1
+        assert "reason=on_demand" in capsys.readouterr().out
 
 
 class TestErrors:
