@@ -28,6 +28,11 @@ workload through one :class:`SearchSession`):
   metrics-only active baseline — the always-on promise of
   docs/OBSERVABILITY.md's "SLOs, wide events and the flight
   recorder" section.
+* **scraped** — the active configuration with a 1-second
+  :class:`TimeSeriesStore` scrape loop (anomaly detector included)
+  running on its daemon thread.  Must cost < 5% over the metrics-only
+  active baseline — the scrape loop reads registry snapshots off the
+  hot path, so its cost must be noise.
 
 Timings use min-of-rounds (the standard noise-robust estimator for
 "how fast can this go"); each round runs the whole workload.
@@ -59,8 +64,10 @@ NULL_TOLERANCE = 0.05
 ACTIVE_TOLERANCE = 0.15
 PROFILED_TOLERANCE = 0.10
 WIDE_TOLERANCE = 0.10
+SERIES_TOLERANCE = 0.05
 SAMPLER_HZ = 50
 WATCHDOG_INTERVAL = 1.0
+SERIES_INTERVAL = 1.0
 
 
 def _workload(index):
@@ -247,3 +254,42 @@ def test_wide_event_slo_overhead(benchmark, efficiency_indexes,
     assert wide <= active * (1.0 + WIDE_TOLERANCE), \
         f"wide-event pipeline {overhead * 100:.1f}% over the " \
         f"metrics-only baseline (allowed {WIDE_TOLERANCE * 100:.0f}%)"
+
+
+def test_timeseries_scrape_overhead(benchmark, efficiency_indexes):
+    """A 1-second time-series scrape loop (downsampling + anomaly
+    detection included) must not slow the serving path by more than 5%
+    over the metrics-only baseline — the scrape runs off the hot path
+    on its own daemon thread, so the history behind ``/seriesz`` and
+    ``cohesive-search top`` must come at noise-level cost."""
+    from repro.obs.timeseries import TimeSeriesStore
+    _, index = efficiency_indexes["dblp"]
+    session = SearchSession(index)
+    queries = _workload(index)
+
+    def compute():
+        with metrics_scope():
+            active = _time_workload(session, queries)
+        with metrics_scope() as registry:
+            with TimeSeriesStore(SERIES_INTERVAL,
+                                 registry=registry) as store:
+                scraped = _time_workload(session, queries)
+                tracked = len(store)
+        return active, scraped, store.scrapes, tracked
+
+    active, scraped, scrapes, tracked = benchmark.pedantic(
+        compute, rounds=1, iterations=1)
+    overhead = scraped / active - 1.0
+    report("Time-series scrape overhead "
+           f"({SERIES_INTERVAL:.0f} s interval, min of {ROUNDS} "
+           f"rounds)",
+           format_table(
+               ["configuration", "ms / round", "overhead"],
+               [["active registry", f"{active * 1000:.2f}", "--"],
+                [f"+ scrape loop ({scrapes} scrapes, {tracked} "
+                 f"series)", f"{scraped * 1000:.2f}",
+                 f"{overhead * 100:+.1f}% vs active"]]))
+    assert scrapes >= 1 and tracked > 0  # the loop actually sampled
+    assert scraped <= active * (1.0 + SERIES_TOLERANCE), \
+        f"scrape loop {overhead * 100:.1f}% over the metrics-only " \
+        f"baseline (allowed {SERIES_TOLERANCE * 100:.0f}%)"

@@ -7,6 +7,7 @@ Subcommands::
     cohesive-search index inspect IDX             # format + segment report
     cohesive-search search DOC.xml "(a (b c))"    # run a query
     cohesive-search serve  IDX --port 8080        # HTTP search service
+    cohesive-search top    http://127.0.0.1:8080  # live ops console
     cohesive-search stats  DOC.xml                # Table-1 statistics
     cohesive-search lattice "(a (b c))"           # lattice accounting
     cohesive-search generate dblp OUT.xml         # emit a synthetic dataset
@@ -48,10 +49,13 @@ takes ``--slow-query-ms N`` (capture profiles of queries at or above
 the threshold), ``--events-jsonl PATH`` (one schema-versioned JSONL
 event per query/batch), ``--telemetry-port N`` /
 ``--telemetry-linger S`` (serve ``/metrics``, ``/healthz``,
-``/profilez``, ``/tracez``, ``/flamez``, ``/resourcez``, ``/sloz``
-and ``/debugz`` over HTTP during — and ``S`` seconds past — the run;
-a resource watchdog snapshots RSS/fds/gauges for ``/resourcez`` while
-the endpoint is up), ``--trace-dir DIR`` (write one Perfetto-loadable
+``/profilez``, ``/tracez``, ``/flamez``, ``/resourcez``, ``/sloz``,
+``/debugz`` and ``/seriesz`` over HTTP during — and ``S`` seconds
+past — the run; a resource watchdog snapshots RSS/fds/gauges for
+``/resourcez`` while the endpoint is up and a 1s time-series scrape
+loop feeds ``/seriesz``), ``top URL`` (``--once`` for a single
+frame) renders the ``/seriesz`` history as a live sparkline console,
+``--trace-dir DIR`` (write one Perfetto-loadable
 Chrome trace
 JSON per query trace) and ``--flame-out PATH`` (sample the query
 thread's stacks and write a collapsed flamegraph profile plus a
@@ -279,6 +283,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--no-watchdog", dest="watchdog",
                            action="store_false",
                            help="skip the 1s resource watchdog")
+    serve_cmd.add_argument("--series-interval", dest="series_interval",
+                           type=float, default=1.0, metavar="SECONDS",
+                           help="scrape interval of the /seriesz "
+                                "time-series store (default 1; 0 "
+                                "disables it)")
     serve_cmd.add_argument("--slow-query-ms", dest="slow_query_ms",
                            type=float, default=None, metavar="MS",
                            help="record the full profile of every "
@@ -411,6 +420,21 @@ def _build_parser() -> argparse.ArgumentParser:
     debugz_cmd.add_argument("--timeout", type=float, default=10.0,
                             metavar="SECONDS",
                             help="HTTP timeout (default 10)")
+
+    top_cmd = sub.add_parser(
+        "top", help="live ops console over a running server's "
+                    "/seriesz (ANSI sparklines; "
+                    "docs/OBSERVABILITY.md)")
+    top_cmd.add_argument("url",
+                         help="base URL of a running server or "
+                              "telemetry endpoint (e.g. "
+                              "http://127.0.0.1:8080)")
+    top_cmd.add_argument("--interval", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="repaint every SECONDS (default 2)")
+    top_cmd.add_argument("--once", action="store_true",
+                         help="print one snapshot frame and exit "
+                              "(no screen clearing; for scripts/CI)")
     return parser
 
 
@@ -510,12 +534,18 @@ def _search_observed(args: argparse.Namespace) -> int:
         or args.telemetry_port is not None
     if not observing:
         return _run_search(args)
+    import time as _time
     with metrics_scope() as registry:
+        baseline = registry.snapshot()
+        started = _time.perf_counter()
         status = _run_search(args, registry)
+        elapsed = _time.perf_counter() - started
         snapshot = registry.snapshot()
     if args.metrics:
         print()
-        print(format_report(snapshot))
+        # previous/interval turn the counter section into rates too
+        print(format_report(snapshot, previous=baseline,
+                            interval=elapsed))
     if args.metrics_json == "-":
         print(json.dumps(snapshot, indent=2))
     elif args.metrics_json:
@@ -572,9 +602,10 @@ def _run_search(args: argparse.Namespace,
         serving_kwargs["registry"] = registry
         # the full diagnostics surface rides along with telemetry:
         # wide events feed default objectives and the flight ring, so
-        # /sloz and /debugz are live for the run's duration
+        # /sloz, /debugz and /seriesz are live for the run's duration
         serving_kwargs["slo"] = True
         serving_kwargs["flight"] = True
+        serving_kwargs["timeseries"] = True
     try:
         with session.serving(**serving_kwargs) as run:
             if run.telemetry is not None:
@@ -582,7 +613,7 @@ def _run_search(args: argparse.Namespace,
                 # discover the bound port before the search finishes
                 print(f"-- telemetry on {run.telemetry.url} "
                       f"(/metrics /healthz /profilez /tracez /flamez "
-                      f"/resourcez /sloz /debugz)", flush=True)
+                      f"/resourcez /sloz /debugz /seriesz)", flush=True)
             if args.flame_out:
                 with session.profile_cpu(hz=args.profile_hz) as sampler:
                     status = _run_queries(args, session, options, tree)
@@ -709,7 +740,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           watchdog_interval=1.0 if args.watchdog else None,
           slow_query_ms=args.slow_query_ms,
           events_jsonl=args.events_jsonl,
-          slo=args.slo if args.slo else True)
+          slo=args.slo if args.slo else True,
+          series_interval=args.series_interval
+          if args.series_interval > 0 else None)
     return 0
 
 
@@ -726,6 +759,23 @@ def _cmd_debugz(args: argparse.Namespace) -> int:
               f"events, reason={parsed.get('reason')}")
     else:
         print(bundle)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """The live ops console over a running server's ``/seriesz``."""
+    from urllib.error import URLError
+    from repro.obs.console import run_top
+    try:
+        run_top(args.url, interval=args.interval, once=args.once)
+    except URLError as error:
+        raise ReproError(
+            f"cannot reach {args.url}: "
+            f"{getattr(error, 'reason', error)}") from error
+    except json.JSONDecodeError as error:
+        raise ReproError(
+            f"{args.url} did not serve a /seriesz document "
+            f"({error})") from error
     return 0
 
 
@@ -945,6 +995,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _cmd_generate,
         "experiment": _cmd_experiment,
         "debugz": _cmd_debugz,
+        "top": _cmd_top,
     }
     try:
         return handlers[args.command](args)

@@ -29,6 +29,8 @@ from repro.obs.export import (CHROME_TRACE_CATEGORY, EVENT_SCHEMA_VERSION,
                               to_chrome_trace, to_openmetrics,
                               to_speedscope, write_chrome_trace,
                               write_speedscope)
+from repro.obs.console import (SPARK_CHARS, render_frame, run_top,
+                               sparkline)
 from repro.obs.flight import (FLIGHT_BUNDLE_FIELDS, FLIGHT_REASONS,
                               FLIGHT_SCHEMA_VERSION, FlightRecorder)
 from repro.obs.logconfig import configure_logging, get_logger
@@ -43,6 +45,10 @@ from repro.obs.server import TelemetryServer
 from repro.obs.slo import (DEFAULT_OBJECTIVES, SLO_GAUGES,
                            SLO_SCHEMA_VERSION, SLO_STATES, Objective,
                            SLOEngine, parse_objective)
+from repro.obs.timeseries import (ANOMALY_EVENT_FIELDS, SERIES_FIELDS,
+                                  SERIES_SCHEMA_VERSION,
+                                  AnomalyDetector, TimeSeriesStore,
+                                  counter_rates)
 from repro.obs.trace import Span, aggregate_phases, render_spans
 from repro.obs.tracing import (NULL_TRACER, TRACE_ATTRIBUTES, NullTracer,
                                Tracer, TraceSpan, activate_wire,
@@ -55,6 +61,8 @@ from repro.obs.wideevent import (WIDE_EVENT_FIELDS, WIDE_EVENT_OUTCOMES,
                                  wide_event)
 
 __all__ = [
+    "ANOMALY_EVENT_FIELDS",
+    "AnomalyDetector",
     "AnyMetrics",
     "CHROME_TRACE_CATEGORY",
     "DEFAULT_OBJECTIVES",
@@ -76,14 +84,18 @@ __all__ = [
     "PROFILE_SCHEMA_VERSION",
     "QueryProfile",
     "ResourceWatchdog",
+    "SERIES_FIELDS",
+    "SERIES_SCHEMA_VERSION",
     "SLOEngine",
     "SLO_GAUGES",
     "SLO_SCHEMA_VERSION",
     "SLO_STATES",
+    "SPARK_CHARS",
     "SlowQueryLog",
     "Span",
     "StackSampler",
     "TelemetryServer",
+    "TimeSeriesStore",
     "TraceSpan",
     "Tracer",
     "TRACE_ATTRIBUTES",
@@ -94,6 +106,7 @@ __all__ = [
     "activate_wire",
     "aggregate_phases",
     "configure_logging",
+    "counter_rates",
     "current_trace_wire",
     "format_report",
     "get_logger",
@@ -105,10 +118,13 @@ __all__ = [
     "parse_openmetrics",
     "read_jsonl",
     "recent_traces",
+    "render_frame",
     "render_spans",
+    "run_top",
     "sanitize_metric_name",
     "set_global_metrics",
     "set_global_tracer",
+    "sparkline",
     "to_chrome_trace",
     "to_openmetrics",
     "to_speedscope",

@@ -1,0 +1,223 @@
+"""The live ops console: ``cohesive-search top``.
+
+A stdlib-only terminal dashboard over the ``/seriesz`` document.  Each
+frame fetches the time-series store (over HTTP from a running server,
+or straight from a local :class:`~repro.obs.timeseries.
+TimeSeriesStore`) and renders one sparkline row per vital sign —
+request rate, search/batch latency quantiles, cache hit rates,
+in-flight requests, RSS and the SLO burn rate — using the Unicode
+block characters every terminal ships:
+
+.. code-block:: console
+
+    $ cohesive-search top http://127.0.0.1:8080
+    cohesive-search top - http://127.0.0.1:8080 - 114 scrapes ...
+      qps              ▁▁▂▃▅▇█▆▅▅▃▂▁▁   12.0
+      search p99 ms    ▁▁▁▁▂▁▁█▁▁▁▁▁▁    3.4
+      rss MiB          ▄▄▄▄▄▄▅▅▅▅▅▅▅▅   88.2
+
+``--once`` prints a single frame and exits (no screen clearing, no
+ANSI cursor movement) — the mode CI and scripts consume.  The rolling
+mode repaints in place every ``interval`` seconds until interrupted.
+
+Rendering never imports anything beyond the stdlib and never writes
+to the store — the console is a pure reader of the same document
+``/seriesz`` serves, so what the operator sees is exactly what the
+byte-determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Callable, Optional
+from urllib.request import urlopen
+
+#: The eight block elements a sparkline is drawn with, lowest first.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: Default sparkline width (buckets rendered per row).
+SPARK_WIDTH = 40
+
+#: The console's vital-sign rows: label, candidate series (first one
+#: present in the document wins), and a value scale applied before
+#: rendering (seconds -> ms, bytes -> MiB).
+CONSOLE_ROWS = (
+    ("qps", ("counter:server_requests",), 1.0),
+    ("search p50 ms", ("hist:search_seconds:p50",), 1000.0),
+    ("search p99 ms", ("hist:search_seconds:p99",), 1000.0),
+    ("batch p99 ms", ("hist:batch_seconds:p99",), 1000.0),
+    ("request p99 ms", ("hist:server_request_seconds:p99",), 1000.0),
+    ("inflight", ("gauge:server_inflight_requests",
+                  "gauge:session_inflight_queries"), 1.0),
+    ("rss MiB", ("resource:rss_bytes", "gauge:process_rss_bytes"),
+     1.0 / (1024 * 1024)),
+    ("threads", ("resource:threads", "gauge:process_threads"), 1.0),
+    ("slo burn", ("gauge:slo_worst_burn_rate",), 1.0),
+)
+
+#: Cache layers whose hit rate gets a derived row: label, hit counter
+#: series, miss counter series.
+CACHE_ROWS = (
+    ("plan cache hit%", "counter:plan_cache_hits",
+     "counter:plan_cache_misses"),
+    ("posting cache hit%", "counter:posting_cache_hits",
+     "counter:posting_cache_misses"),
+)
+
+
+def sparkline(values: list, width: int = SPARK_WIDTH) -> str:
+    """Render ``values`` (newest last) as Unicode block characters.
+
+    The newest ``width`` values are scaled into the eight block
+    heights between the window's min and max; a flat nonzero series
+    renders at mid-height, a flat zero series at the floor, and an
+    empty series as the empty string.
+    """
+    values = [value for value in values if value is not None][-width:]
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high == low:
+        level = 0 if high == 0 else len(SPARK_CHARS) // 2
+        return SPARK_CHARS[level] * len(values)
+    span = high - low
+    top = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[min(top, int((value - low) / span * top + 0.5))]
+        for value in values)
+
+
+def _series_means(document: dict, name: str,
+                  resolution: str = "raw") -> dict:
+    """``{bucket start: mean}`` of one series, or empty."""
+    entry = document.get("series", {}).get(name)
+    if entry is None:
+        return {}
+    return {bucket["start"]: bucket["mean"]
+            for bucket in entry.get("points", {}).get(resolution, [])}
+
+
+def _row_values(document: dict, candidates, scale: float
+                ) -> Optional[list]:
+    for name in candidates:
+        means = _series_means(document, name)
+        if means:
+            return [means[start] * scale for start in sorted(means)]
+    return None
+
+
+def _hit_rate_values(document: dict, hits_name: str,
+                     misses_name: str) -> Optional[list]:
+    """Per-bucket ``hits / (hits + misses)`` percentages, aligned on
+    bucket start; buckets where neither cache moved are skipped."""
+    hits = _series_means(document, hits_name)
+    misses = _series_means(document, misses_name)
+    if not hits and not misses:
+        return None
+    values = []
+    for start in sorted(set(hits) | set(misses)):
+        hit = hits.get(start, 0.0)
+        miss = misses.get(start, 0.0)
+        total = hit + miss
+        if total > 0:
+            values.append(100.0 * hit / total)
+    return values or None
+
+
+def render_frame(document: dict, source: str = "",
+                 width: int = SPARK_WIDTH) -> str:
+    """One complete console frame from a ``/seriesz`` document."""
+    lines = []
+    anomalies = document.get("anomalies", [])
+    header = (f"cohesive-search top - {source or 'local session'} - "
+              f"{document.get('scrapes', 0)} scrapes, "
+              f"{document.get('interval_seconds', 0):g}s interval, "
+              f"{len(document.get('series', {}))} series, "
+              f"{len(anomalies)} anomalies")
+    lines.append(header)
+    rows = []
+    for label, candidates, scale in CONSOLE_ROWS:
+        values = _row_values(document, candidates, scale)
+        if values is not None:
+            rows.append((label, values))
+    if not any(label == "qps" for label, _ in rows):
+        # no server in front: approximate queries/s from the plan
+        # cache, which every session search touches exactly once
+        hits = _series_means(document, "counter:plan_cache_hits")
+        misses = _series_means(document, "counter:plan_cache_misses")
+        if hits or misses:
+            starts = sorted(set(hits) | set(misses))
+            rows.insert(0, ("searches/s",
+                            [hits.get(start, 0.0) +
+                             misses.get(start, 0.0)
+                             for start in starts]))
+    for label, hits_name, misses_name in CACHE_ROWS:
+        values = _hit_rate_values(document, hits_name, misses_name)
+        if values is not None:
+            rows.append((label, values))
+    if not rows:
+        names = sorted(document.get("series", {}))
+        lines.append("  (no samples yet; "
+                     f"{len(names)} series tracked)")
+    else:
+        label_width = max(len(label) for label, _ in rows)
+        for label, values in rows:
+            spark = sparkline(values, width)
+            lines.append(f"  {label:<{label_width}s}  "
+                         f"{spark:<{width}s}  {values[-1]:>10.1f}")
+    if anomalies:
+        newest = anomalies[-1]
+        lines.append(f"  ! newest anomaly: {newest['series']} = "
+                     f"{newest['value']:g} (baseline "
+                     f"{newest['baseline']:g}, score "
+                     f"{newest['score']:g})")
+    return "\n".join(lines)
+
+
+def _http_fetcher(url: str, timeout: float = 5.0) -> Callable[[], dict]:
+    endpoint = url.rstrip("/")
+    if not endpoint.endswith("/seriesz"):
+        endpoint += "/seriesz"
+
+    def fetch() -> dict:
+        with urlopen(endpoint, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    return fetch
+
+
+def run_top(source, *, interval: float = 2.0, once: bool = False,
+            out=None, frames: Optional[int] = None,
+            width: int = SPARK_WIDTH) -> int:
+    """Run the console against ``source`` until interrupted.
+
+    ``source`` is a base URL (``http://host:port`` — ``/seriesz`` is
+    appended), a ready ``/seriesz`` document fetcher (zero-arg
+    callable), or a local store/session exposing ``as_json()``.
+    ``once`` prints a single frame and returns; ``frames`` bounds the
+    rolling mode (for tests).  Returns the number of frames printed.
+    """
+    if out is None:
+        out = sys.stdout
+    if callable(source):
+        fetch = source
+    elif isinstance(source, str):
+        fetch = _http_fetcher(source)
+    else:
+        fetch = source.as_json
+    label = source if isinstance(source, str) else "local session"
+    printed = 0
+    while True:
+        frame = render_frame(fetch(), source=label, width=width)
+        if not once and printed > 0:
+            out.write("\x1b[H\x1b[2J")  # repaint in place
+        out.write(frame + "\n")
+        out.flush()
+        printed += 1
+        if once or (frames is not None and printed >= frames):
+            return printed
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return printed

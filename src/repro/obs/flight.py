@@ -8,7 +8,7 @@ with a **bounded, always-on** record — the newest wide events
 recent trace digests — that :meth:`~FlightRecorder.bundle` folds into
 one self-contained, schema-versioned JSON document on demand.
 
-Bundles are produced three ways (docs/OBSERVABILITY.md, "Diagnostic
+Bundles are produced four ways (docs/OBSERVABILITY.md, "Diagnostic
 bundles"):
 
 * on demand — ``GET /debugz`` on either HTTP surface and the
@@ -19,7 +19,10 @@ bundles"):
 * on SLO page-state — the :class:`~repro.obs.slo.SLOEngine` wires
   its ``on_page`` hook to :meth:`~FlightRecorder.trigger`;
 * on watchdog breach — :class:`~repro.obs.watchdog.ResourceWatchdog`
-  triggers a dump alongside its ``resource_breach`` event.
+  triggers a dump alongside its ``resource_breach`` event;
+* on series anomaly — the time-series store's
+  :class:`~repro.obs.timeseries.AnomalyDetector` triggers a dump
+  alongside its ``series_anomaly`` event.
 
 :meth:`~FlightRecorder.trigger` is the mutating path: it counts, can
 persist the bundle under ``dump_dir``, and is rate-limited through
@@ -60,7 +63,8 @@ FLIGHT_BUNDLE_FIELDS = (
 )
 
 #: Reasons a bundle is produced (the ``reason`` field).
-FLIGHT_REASONS = ("on_demand", "slo_page", "watchdog_breach")
+FLIGHT_REASONS = ("on_demand", "slo_page", "watchdog_breach",
+                  "series_anomaly")
 
 
 class FlightRecorder:

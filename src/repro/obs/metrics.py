@@ -329,6 +329,14 @@ class MetricsRegistry:
         with self._lock:
             return self._histograms.get(name, Histogram())
 
+    @property
+    def histograms(self) -> dict[str, dict]:
+        """A sorted copy of all histograms as JSON-ready dicts (the
+        time-series scrape loop samples the quantiles from here)."""
+        with self._lock:
+            return {name: histogram.as_dict() for name, histogram in
+                    sorted(self._histograms.items())}
+
     # -- spans -------------------------------------------------------------
 
     @contextmanager

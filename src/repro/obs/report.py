@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 def _format_value(value) -> str:
     if value is None:
@@ -11,22 +13,38 @@ def _format_value(value) -> str:
     return str(value)
 
 
-def format_report(snapshot: dict) -> str:
+def format_report(snapshot: dict, previous: Optional[dict] = None,
+                  interval: Optional[float] = None) -> str:
     """Render a :meth:`MetricsRegistry.snapshot` dict as aligned text.
 
     Sections (each omitted when empty): ``counters`` (name/value),
     ``gauges`` (value plus min/max excursion), ``histograms``
     (count/min/mean/max), ``phases`` (total milliseconds per phase
     name) and ``trace`` (the nested span tree).
+
+    With ``previous`` (an earlier snapshot) and ``interval`` (the
+    seconds between the two), each counter line also shows its
+    per-second rate over that window — the same delta logic the
+    time-series scrape loop uses
+    (:func:`repro.obs.timeseries.counter_rates`) — so a ``--metrics``
+    report reads as throughput, not just lifetime totals.
     """
     lines: list[str] = []
 
     counters = snapshot.get("counters", {})
+    rates: dict = {}
+    if counters and previous is not None and interval is not None:
+        from repro.obs.timeseries import counter_rates
+        rates = counter_rates(counters,
+                              previous.get("counters", {}), interval)
     if counters:
         lines.append("counters")
         width = max(len(name) for name in counters)
         for name, value in counters.items():
-            lines.append(f"  {name:<{width}s}  {value}")
+            line = f"  {name:<{width}s}  {value}"
+            if name in rates:
+                line += f"  ({rates[name]:+.1f}/s)"
+            lines.append(line)
 
     gauges = snapshot.get("gauges", {})
     if gauges:

@@ -1,0 +1,185 @@
+"""Shared route-table dispatch for the two HTTP surfaces.
+
+The telemetry endpoint (:class:`~repro.obs.server.TelemetryServer`)
+and the search service (:class:`~repro.server.app.SearchServer`) used
+to carry the same plumbing twice: an if/elif ladder over paths, an
+identical ``_reply`` helper, and hand-rolled 404/500 handling.  A new
+introspection route meant editing both ladders — which is exactly how
+``/sloz`` and ``/debugz`` drifted into being registered in two places.
+
+A :class:`RouteTable` is the single registration point: handlers are
+``params -> (status, content_type, body)`` callables keyed by path,
+:meth:`RouteTable.dispatch` parses the query string, replies, and
+converts handler exceptions into a 500 (after an optional
+``on_error`` hook — the search server counts them into
+``server_errors``).  The handler factories below build the common
+route shapes, so ``/seriesz`` (and future routes) is defined once and
+mounted on both surfaces.
+
+:data:`SHARED_INTROSPECTION_ROUTES` is the catalogue of routes both
+surfaces serve; the docs-drift test holds it inside
+:data:`repro.server.wire.SERVER_ROUTES`, so docs/SERVER.md's single
+route table covers both servers.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler
+from typing import Callable, Optional
+from urllib.parse import parse_qsl
+
+from repro.obs.logconfig import get_logger
+
+_log = get_logger("obs.routes")
+
+#: Introspection routes served identically by the telemetry endpoint
+#: and the search server (docs/SERVER.md's route table documents them
+#: once; the drift test keeps this subset inside ``SERVER_ROUTES``).
+SHARED_INTROSPECTION_ROUTES = (
+    "GET /healthz",
+    "GET /metrics",
+    "GET /tracez",
+    "GET /sloz",
+    "GET /debugz",
+    "GET /seriesz",
+)
+
+#: A route handler: query parameters -> (status, content type, body).
+Handler = Callable[[dict], tuple]
+
+
+def reply(request: BaseHTTPRequestHandler, status: int,
+          content_type: str, body: str,
+          headers: Optional[dict] = None) -> None:
+    """Send one complete HTTP response (the shared ``_reply``)."""
+    payload = body.encode("utf-8")
+    request.send_response(status)
+    request.send_header("Content-Type", content_type)
+    request.send_header("Content-Length", str(len(payload)))
+    for name, value in (headers or {}).items():
+        request.send_header(name, value)
+    request.end_headers()
+    request.wfile.write(payload)
+
+
+class RouteError(Exception):
+    """A handler rejecting its parameters with a specific status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class RouteTable:
+    """Path -> handler dispatch shared by both HTTP surfaces.
+
+    ``on_error`` (if given) is called with ``(path, exception)``
+    before the 500 reply — the search server bumps ``server_errors``
+    there.  Unknown paths are **not** handled here:
+    :meth:`dispatch` returns ``False`` so each server keeps its own
+    404 shape (plain text with a route listing on the telemetry
+    endpoint, a wire-format error body on the search server).
+    """
+
+    def __init__(self, on_error: Optional[Callable] = None):
+        self._handlers: dict[str, Handler] = {}
+        self._on_error = on_error
+
+    def add(self, path: str, handler: Handler) -> "RouteTable":
+        """Register ``handler`` for ``path`` (last write wins)."""
+        self._handlers[path] = handler
+        return self
+
+    @property
+    def paths(self) -> list[str]:
+        """The registered paths, sorted."""
+        return sorted(self._handlers)
+
+    def dispatch(self, request: BaseHTTPRequestHandler) -> bool:
+        """Serve the request if its path is registered.
+
+        Returns ``True`` when a reply was sent (success, 4xx from a
+        :class:`RouteError`, or 500 from a handler bug), ``False``
+        when the path is unknown and the caller owns the 404.
+        """
+        path, _, query_string = request.path.partition("?")
+        handler = self._handlers.get(path)
+        if handler is None:
+            return False
+        params = dict(parse_qsl(query_string))
+        try:
+            status, content_type, body = handler(params)
+        except RouteError as error:
+            reply(request, error.status, "text/plain", error.message)
+            return True
+        except Exception as error:  # pragma: no cover - handler bugs
+            _log.exception("route handler failed on %s", path)
+            if self._on_error is not None:
+                self._on_error(path, error)
+            reply(request, 500, "text/plain", f"error: {error}")
+            return True
+        reply(request, status, content_type, body)
+        return True
+
+
+# -- handler factories -------------------------------------------------------
+
+def json_route(provider: Callable[[], object], *,
+               sort_keys: bool = True) -> Handler:
+    """A route serving ``provider()`` as JSON.
+
+    ``sort_keys`` is on by default — the determinism contract of
+    ``/sloz``, ``/debugz`` and ``/seriesz`` (byte parity between an
+    HTTP fetch and the Python API).
+    """
+    def handler(params: dict) -> tuple:
+        return 200, "application/json", \
+            json.dumps(provider(), sort_keys=sort_keys, default=str)
+    return handler
+
+
+def text_route(provider: Callable[[], str],
+               content_type: str = "text/plain; charset=utf-8"
+               ) -> Handler:
+    """A route serving ``provider()`` as text."""
+    def handler(params: dict) -> tuple:
+        return 200, content_type, provider()
+    return handler
+
+
+def series_route(store_provider: Callable[[], object]) -> Handler:
+    """The one ``/seriesz`` definition, mounted on both surfaces.
+
+    Serves the :meth:`~repro.obs.timeseries.TimeSeriesStore.as_json`
+    document with ``sort_keys`` (byte-deterministic under a frozen
+    clock); honours ``?name=``, ``?window=`` (seconds) and
+    ``?resolution=`` filters, rejecting malformed values with 400 and
+    replying 404 when no store is running.
+    """
+    def handler(params: dict) -> tuple:
+        store = store_provider()
+        if store is None:
+            raise RouteError(404, "no time-series store is running")
+        name = params.get("name") or None
+        window = None
+        if params.get("window"):
+            try:
+                window = float(params["window"])
+            except ValueError:
+                raise RouteError(
+                    400, "window must be a number of seconds") from None
+            if window <= 0:
+                raise RouteError(400, "window must be > 0 seconds")
+        resolution = params.get("resolution") or None
+        if resolution is not None and \
+                resolution not in store.resolutions:
+            known = ", ".join(sorted(store.resolutions))
+            raise RouteError(
+                400, f"unknown resolution {resolution!r}; try {known}")
+        document = store.as_json(name=name, window=window,
+                                 resolution=resolution)
+        return 200, "application/json", \
+            json.dumps(document, sort_keys=True, default=str)
+    return handler

@@ -24,16 +24,19 @@ serve_telemetry`) to scrapers:
 * ``GET /sloz``     — the SLO engine's burn-rate document (objective
   states, per-window burn rates, breach history);
 * ``GET /debugz``   — the flight recorder's self-contained diagnostic
-  bundle (recent wide events, gauge snapshots, trace digests).
+  bundle (recent wide events, gauge snapshots, trace digests);
+* ``GET /seriesz``  — the time-series store's multi-resolution metric
+  history (``?name=&window=&resolution=`` filtered).
 
 The server pulls — every request calls the provider callables handed
 to the constructor — so the serving hot path never pushes anything:
 observability stays pull-based and costs nothing between scrapes.
+Route registration and dispatch live in :mod:`repro.obs.routes`, the
+table shared with the search server's introspection surface.
 """
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -41,6 +44,8 @@ from typing import Callable, Optional
 
 from repro.obs.export import to_openmetrics
 from repro.obs.logconfig import get_logger
+from repro.obs.routes import (RouteTable, json_route, reply,
+                              series_route, text_route)
 
 _log = get_logger("obs.server")
 
@@ -87,6 +92,11 @@ class TelemetryServer:
         ``/debugz`` (wire
         :meth:`repro.obs.flight.FlightRecorder.bundle` here; 404
         when absent).
+    series_provider:
+        Optional callable returning the running
+        :class:`~repro.obs.timeseries.TimeSeriesStore` served on
+        ``/seriesz`` (``?name=&window=&resolution=`` filtered; 404
+        when absent).
     port:
         TCP port; ``0`` picks a free one (see :attr:`port`).
     host:
@@ -104,18 +114,40 @@ class TelemetryServer:
                  resources_provider: Optional[Callable[[], dict]] = None,
                  slo_provider: Optional[Callable[[], dict]] = None,
                  debug_provider: Optional[Callable[[], dict]] = None,
+                 series_provider: Optional[Callable[[], object]] = None,
                  port: int = 0, host: str = "127.0.0.1",
                  namespace: str = "repro"):
         self._snapshot_provider = snapshot_provider
         self._health_provider = health_provider
-        self._profiles_provider = profiles_provider
-        self._traces_provider = traces_provider
-        self._flame_provider = flame_provider
-        self._resources_provider = resources_provider
-        self._slo_provider = slo_provider
-        self._debug_provider = debug_provider
         self._namespace = namespace
         self._started = time.time()
+        self._routes = RouteTable()
+        self._routes.add("/metrics", text_route(
+            lambda: to_openmetrics(snapshot_provider(), namespace),
+            OPENMETRICS_CONTENT_TYPE))
+        self._routes.add("/healthz", json_route(self._healthz))
+        self._routes.add("/profilez", json_route(
+            (lambda: profiles_provider())
+            if profiles_provider is not None else (lambda: []),
+            sort_keys=False))
+        self._routes.add("/tracez", json_route(
+            (lambda: traces_provider())
+            if traces_provider is not None else (lambda: []),
+            sort_keys=False))
+        self._routes.add("/flamez", text_route(
+            (lambda: flame_provider())
+            if flame_provider is not None else (lambda: "")))
+        self._routes.add("/resourcez", json_route(
+            (lambda: resources_provider())
+            if resources_provider is not None
+            else (lambda: {"snapshots": [], "breaches": []}),
+            sort_keys=False))
+        if slo_provider is not None:
+            self._routes.add("/sloz", json_route(slo_provider))
+        if debug_provider is not None:
+            self._routes.add("/debugz", json_route(debug_provider))
+        if series_provider is not None:
+            self._routes.add("/seriesz", series_route(series_provider))
         telemetry = self
 
         class _Handler(BaseHTTPRequestHandler):
@@ -169,65 +201,17 @@ class TelemetryServer:
 
     # -- routing -------------------------------------------------------------
 
-    def _route(self, request: BaseHTTPRequestHandler) -> None:
-        path = request.path.split("?", 1)[0]
-        try:
-            if path == "/metrics":
-                body = to_openmetrics(self._snapshot_provider(),
-                                      self._namespace)
-                self._reply(request, 200, OPENMETRICS_CONTENT_TYPE, body)
-            elif path == "/healthz":
-                health = {"status": "ok",
-                          "uptime_seconds": round(self.uptime_seconds, 3)}
-                if self._health_provider is not None:
-                    health.update(self._health_provider())
-                self._reply(request, 200, "application/json",
-                            json.dumps(health, sort_keys=True,
-                                       default=str))
-            elif path == "/profilez":
-                profiles = self._profiles_provider() \
-                    if self._profiles_provider is not None else []
-                self._reply(request, 200, "application/json",
-                            json.dumps(profiles, default=str))
-            elif path == "/tracez":
-                traces = self._traces_provider() \
-                    if self._traces_provider is not None else []
-                self._reply(request, 200, "application/json",
-                            json.dumps(traces, default=str))
-            elif path == "/flamez":
-                collapsed = self._flame_provider() \
-                    if self._flame_provider is not None else ""
-                self._reply(request, 200,
-                            "text/plain; charset=utf-8", collapsed)
-            elif path == "/resourcez":
-                resources = self._resources_provider() \
-                    if self._resources_provider is not None \
-                    else {"snapshots": [], "breaches": []}
-                self._reply(request, 200, "application/json",
-                            json.dumps(resources, default=str))
-            elif path == "/sloz" and self._slo_provider is not None:
-                self._reply(request, 200, "application/json",
-                            json.dumps(self._slo_provider(),
-                                       sort_keys=True, default=str))
-            elif path == "/debugz" and self._debug_provider is not None:
-                self._reply(request, 200, "application/json",
-                            json.dumps(self._debug_provider(),
-                                       sort_keys=True, default=str))
-            else:
-                self._reply(request, 404, "text/plain",
-                            f"unknown route {path}; try /metrics, "
-                            f"/healthz, /profilez, /tracez, /flamez, "
-                            f"/resourcez, /sloz or /debugz")
-        except Exception as error:  # pragma: no cover - provider bugs
-            _log.exception("telemetry handler failed on %s", path)
-            self._reply(request, 500, "text/plain", f"error: {error}")
+    def _healthz(self) -> dict:
+        health = {"status": "ok",
+                  "uptime_seconds": round(self.uptime_seconds, 3)}
+        if self._health_provider is not None:
+            health.update(self._health_provider())
+        return health
 
-    @staticmethod
-    def _reply(request: BaseHTTPRequestHandler, status: int,
-               content_type: str, body: str) -> None:
-        payload = body.encode("utf-8")
-        request.send_response(status)
-        request.send_header("Content-Type", content_type)
-        request.send_header("Content-Length", str(len(payload)))
-        request.end_headers()
-        request.wfile.write(payload)
+    def _route(self, request: BaseHTTPRequestHandler) -> None:
+        if self._routes.dispatch(request):
+            return
+        path = request.path.split("?", 1)[0]
+        known = ", ".join(self._routes.paths)
+        reply(request, 404, "text/plain",
+              f"unknown route {path}; try {known}")

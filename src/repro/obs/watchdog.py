@@ -109,11 +109,17 @@ class ResourceWatchdog:
         snapshot feeds its gauge-snapshot ring, and every breach
         triggers a ``watchdog_breach`` diagnostic bundle (rate-limited
         by the recorder itself).
+    timeseries:
+        Optional :class:`~repro.obs.timeseries.TimeSeriesStore`; each
+        snapshot's RSS / open-fd / thread samples are folded into its
+        ``resource:*`` series, so the multi-resolution history has a
+        single source (``/resourcez`` keeps serving the watchdog's own
+        ring unchanged).
     """
 
     def __init__(self, interval: float = 1.0, capacity: int = 64,
                  budgets: Optional[dict] = None, registry=None,
-                 sink=None, flight=None):
+                 sink=None, flight=None, timeseries=None):
         if interval <= 0:
             raise ValueError("interval must be > 0 seconds")
         if capacity < 1:
@@ -127,6 +133,7 @@ class ResourceWatchdog:
         self._registry = registry
         self._sink = sink
         self._flight = flight
+        self._timeseries = timeseries
         self._lock = threading.Lock()
         self._snapshots: deque[dict] = deque(maxlen=capacity)
         self._breaches: deque[dict] = deque(maxlen=capacity)
@@ -210,6 +217,8 @@ class ResourceWatchdog:
         if self._flight is not None:
             self._flight.snap_gauges(snapshot["gauges"],
                                      snapshot["timestamp"])
+        if self._timeseries is not None:
+            self._timeseries.record_resources(snapshot)
         self._evaluate(snapshot, metrics)
         return snapshot
 

@@ -130,6 +130,7 @@ class ServingHandles:
     sink: Optional[object] = None
     slo: Optional[object] = None
     flight: Optional[object] = None
+    timeseries: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -196,6 +197,7 @@ class SearchSession:
         self._owns_global_registry = False
         self._profiler = None
         self._watchdog = None
+        self._timeseries = None
         self._slo = None
         self._flight = None
         self._generation = 0
@@ -916,16 +918,20 @@ class SearchSession:
 
     def _start_watchdog(self, interval: float = 1.0,
                         budgets: Optional[dict] = None,
-                        capacity: int = 64, registry=None):
+                        capacity: int = 64, registry=None,
+                        timeseries=None):
         if self._watchdog is not None and self._watchdog.running:
             return self._watchdog
         from repro.obs.watchdog import ResourceWatchdog
+        if timeseries is None:
+            timeseries = self._timeseries
         self._watchdog = ResourceWatchdog(interval=interval,
                                           capacity=capacity,
                                           budgets=budgets,
                                           registry=registry,
                                           sink=self._event_sink,
-                                          flight=self._flight)
+                                          flight=self._flight,
+                                          timeseries=timeseries)
         return self._watchdog.start()
 
     def _stop_watchdog(self):
@@ -933,6 +939,23 @@ class SearchSession:
         if watchdog is not None:
             watchdog.stop()
         return watchdog
+
+    def _start_timeseries(self, interval: float = 1.0, registry=None,
+                          **options):
+        if self._timeseries is not None and self._timeseries.running:
+            return self._timeseries
+        from repro.obs.timeseries import TimeSeriesStore
+        options.setdefault("sink", self._event_sink)
+        options.setdefault("flight", self._flight)
+        self._timeseries = TimeSeriesStore(interval, registry=registry,
+                                           **options)
+        return self._timeseries.start()
+
+    def _stop_timeseries(self):
+        store, self._timeseries = self._timeseries, None
+        if store is not None:
+            store.stop()
+        return store
 
     # -- slow-query log / event sink / telemetry ----------------------------
 
@@ -967,6 +990,27 @@ class SearchSession:
     def flight_recorder(self):
         """The attached flight recorder, or ``None``."""
         return self._flight
+
+    @property
+    def timeseries_store(self):
+        """The attached time-series store, or ``None``."""
+        return self._timeseries
+
+    def console(self, *, interval: float = 2.0, once: bool = False,
+                out=None, frames=None) -> int:
+        """Render the live ops console (``cohesive-search top``) over
+        this session's own time-series store — no HTTP round-trip.
+
+        Requires an active ``serving(timeseries=...)`` block; returns
+        the number of frames rendered (see
+        :func:`repro.obs.console.run_top`).
+        """
+        if self._timeseries is None:
+            raise RuntimeError("no time-series store attached; enter "
+                               "serving(timeseries=True) first")
+        from repro.obs.console import run_top
+        return run_top(self._timeseries, interval=interval, once=once,
+                       out=out, frames=frames)
 
     def attach_slo_engine(self, slo) -> None:
         """Feed every search/batch wide event to ``slo`` (a
@@ -1015,6 +1059,8 @@ class SearchSession:
             if self._slo is not None else None,
             debug_provider=(lambda: self._flight.bundle())
             if self._flight is not None else None,
+            series_provider=(lambda: self._timeseries)
+            if self._timeseries is not None else None,
             port=port, host=host, namespace=namespace)
         return self._telemetry
 
@@ -1023,6 +1069,7 @@ class SearchSession:
         if telemetry is not None:
             telemetry.close()
         self._stop_watchdog()
+        self._stop_timeseries()
         self._stop_cpu_profiler()
         if self._owns_global_registry:
             from repro.obs.metrics import set_global_metrics
@@ -1032,7 +1079,8 @@ class SearchSession:
     @contextmanager
     def serving(self, telemetry=None, watchdog=None, cpu_profiler=None,
                 slow_query_log=None, events=None, slo=None, flight=None,
-                registry=None, namespace: str = "repro"):
+                timeseries=None, registry=None,
+                namespace: str = "repro"):
         """Everything a long-lived serving process needs, one ``with``.
 
         The context-managed replacement for the sprawling
@@ -1091,6 +1139,18 @@ class SearchSession:
             sizes its wide-event ring; a ready-made recorder is
             attached as-is.  ``/debugz`` serves its bundle when
             telemetry is on, and the watchdog feeds its gauge ring.
+        timeseries:
+            ``True`` starts a 1-second
+            :class:`~repro.obs.timeseries.TimeSeriesStore` scrape
+            loop; a number sets the scrape interval; a dict is passed
+            through to the store constructor; a ready-made store is
+            attached (and started if stopped).  The store samples the
+            registry into multi-resolution rings, feeds anomalies to
+            the block's sink / flight recorder, and is served on
+            ``/seriesz`` when telemetry is on.  When the block also
+            runs a watchdog, the watchdog becomes the store's only
+            source of ``resource:*`` samples (no double probing).
+            ``None``/``False`` keeps no history.
         registry:
             Metrics registry for the telemetry scrape and watchdog;
             defaults to a fresh process-global one when telemetry is
@@ -1141,6 +1201,25 @@ class SearchSession:
                             "slo_page")
         started_telemetry = None
         try:
+            if timeseries not in (None, False):
+                if hasattr(timeseries, "scrape"):
+                    self._timeseries = timeseries
+                    if not timeseries.running:
+                        timeseries.start()
+                else:
+                    options = dict(timeseries) \
+                        if isinstance(timeseries, dict) \
+                        else {"interval": 1.0 if timeseries is True
+                              else float(timeseries)}
+                    # A watchdog (started below) publishes resource
+                    # samples into the store; only self-probe when no
+                    # watchdog will run in this block.
+                    will_watchdog = watchdog is not False and (
+                        watchdog is not None
+                        or telemetry not in (None, False))
+                    options.setdefault("probe_resources",
+                                       not will_watchdog)
+                    self._start_timeseries(registry=registry, **options)
             if telemetry not in (None, False):
                 kwargs = dict(telemetry) if isinstance(telemetry, dict) \
                     else {"port": 0 if telemetry is True else telemetry}
@@ -1170,7 +1249,8 @@ class SearchSession:
                                  slow_log=self._slow_log,
                                  sink=handles_sink,
                                  slo=self._slo,
-                                 flight=self._flight)
+                                 flight=self._flight,
+                                 timeseries=self._timeseries)
         finally:
             self._close_serving()
             if owns_slo:

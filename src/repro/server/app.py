@@ -13,7 +13,15 @@ telemetry endpoint in :mod:`repro.obs.server`):
 * ``GET /metrics``  — OpenMetrics exposition of the serving registry;
 * ``GET /tracez``   — recent trace digests;
 * ``GET /sloz``     — the SLO engine's burn-rate states;
-* ``GET /debugz``   — the flight recorder's diagnostic bundle.
+* ``GET /debugz``   — the flight recorder's diagnostic bundle;
+* ``GET /seriesz``  — the time-series store's multi-resolution
+  history (``?name=`` / ``?window=`` / ``?resolution=`` filters).
+
+The introspection routes are registered on one
+:class:`~repro.obs.routes.RouteTable` — the same dispatch machinery
+the telemetry endpoint uses, so a route like ``/seriesz`` is defined
+once (:func:`~repro.obs.routes.series_route`) and mounted on both
+surfaces.
 
 Every **work** request (``/search``, ``/batch``, ``/explain``) emits
 exactly one wide event (:mod:`repro.obs.wideevent`) carrying its
@@ -64,6 +72,8 @@ from urllib.parse import parse_qsl
 from repro.errors import ReproError
 from repro.obs.export import to_openmetrics
 from repro.obs.logconfig import get_logger
+from repro.obs.routes import (RouteTable, json_route, reply,
+                              series_route, text_route)
 from repro.obs.server import OPENMETRICS_CONTENT_TYPE
 from repro.obs.wideevent import wide_event
 from repro.runtime.session import SearchSession
@@ -170,6 +180,13 @@ class SearchServer:
         its wide-event ring; a ready-made recorder is used as-is;
         ``None``/``False`` disables ``/debugz``.  Page-state SLO
         transitions and watchdog breaches trigger diagnostic bundles.
+    series_interval:
+        Scrape interval in seconds for the
+        :class:`~repro.obs.timeseries.TimeSeriesStore` behind
+        ``/seriesz`` (default 1s); ``None`` disables the store and
+        the route.  The watchdog (when on) feeds the store's
+        ``resource:*`` series; without a watchdog the store probes
+        the process itself.
     """
 
     def __init__(self, session: SearchSession,
@@ -181,7 +198,8 @@ class SearchServer:
                  namespace: str = "repro",
                  watchdog_interval: Optional[float] = 1.0,
                  watchdog_budgets: Optional[dict] = None,
-                 sink=None, slo=True, flight=True):
+                 sink=None, slo=True, flight=True,
+                 series_interval: Optional[float] = 1.0):
         from repro.obs.metrics import MetricsRegistry, set_global_metrics
         from repro.obs.tracing import Tracer, set_global_tracer
         if workers < 1:
@@ -244,13 +262,43 @@ class SearchServer:
                 recorder = self._flight
                 self._slo.on_page = \
                     lambda objective, info: recorder.trigger("slo_page")
+        if series_interval is not None:
+            from repro.obs.timeseries import TimeSeriesStore
+            self._timeseries = TimeSeriesStore(
+                series_interval, registry=self._registry, sink=sink,
+                flight=self._flight,
+                probe_resources=watchdog_interval is None)
+            self._timeseries.start()
+        else:
+            self._timeseries = None
         if watchdog_interval is not None:
             budgets = watchdog_budgets if watchdog_budgets is not None \
                 else {"gauge:server_inflight_requests":
                       self._admission.capacity}
             session._start_watchdog(interval=watchdog_interval,
                                     budgets=budgets,
-                                    registry=self._registry)
+                                    registry=self._registry,
+                                    timeseries=self._timeseries)
+        from repro.obs.tracing import recent_traces
+        self._introspection = RouteTable(
+            on_error=lambda path, error:
+            self._registry.inc("server_errors"))
+        self._introspection.add("/healthz", json_route(self._health))
+        self._introspection.add("/metrics", text_route(
+            lambda: to_openmetrics(self._registry.snapshot(),
+                                   self._namespace),
+            OPENMETRICS_CONTENT_TYPE))
+        self._introspection.add("/tracez", json_route(
+            recent_traces, sort_keys=False))
+        if self._slo is not None:
+            self._introspection.add("/sloz",
+                                    json_route(self._slo.as_json))
+        if self._flight is not None:
+            self._introspection.add(
+                "/debugz", json_route(lambda: self._flight.bundle()))
+        if self._timeseries is not None:
+            self._introspection.add(
+                "/seriesz", series_route(lambda: self._timeseries))
         server = self
 
         class _Handler(BaseHTTPRequestHandler):
@@ -302,6 +350,11 @@ class SearchServer:
         """The serving flight recorder, or ``None``."""
         return self._flight
 
+    @property
+    def timeseries(self):
+        """The time-series store behind ``/seriesz``, or ``None``."""
+        return self._timeseries
+
     def reload(self) -> int:
         """Hot-swap the index from ``index_path``; returns the swap
         count.
@@ -345,6 +398,8 @@ class SearchServer:
         self._thread.join(timeout=5.0)
         self._pool.shutdown(wait=True)
         self.session._stop_watchdog()
+        if self._timeseries is not None:
+            self._timeseries.stop()
         if self._flight is not None:
             self.session.attach_flight_recorder(None)
         if self._attached_sink:
@@ -489,28 +544,11 @@ class SearchServer:
                              path: str) -> None:
         """The read-only telemetry routes — deliberately outside the
         wide-event / admission path, so scraping never perturbs what
-        it measures (and ``/debugz`` stays pure)."""
-        try:
-            if path == "/healthz":
-                self._json(request, 200, self._health())
-            elif path == "/metrics":
-                body = to_openmetrics(self._registry.snapshot(),
-                                      self._namespace)
-                _reply(request, 200, OPENMETRICS_CONTENT_TYPE, body)
-            elif path == "/tracez":
-                from repro.obs.tracing import recent_traces
-                _reply(request, 200, "application/json",
-                       json.dumps(recent_traces(), default=str))
-            elif path == "/sloz" and self._slo is not None:
-                self._json(request, 200, self._slo.as_json())
-            elif path == "/debugz" and self._flight is not None:
-                self._json(request, 200, self._flight.bundle())
-            else:
-                self._fail(request, 404, f"unknown route GET {path}")
-        except Exception as error:  # pragma: no cover - provider bugs
-            _log.exception("server handler failed on %s", path)
-            self._registry.inc("server_errors")
-            self._fail(request, 500, f"internal error: {error}")
+        it measures (and ``/debugz`` stays pure).  The shared
+        :class:`~repro.obs.routes.RouteTable` dispatches; unknown
+        paths keep the wire-format 404 body."""
+        if not self._introspection.dispatch(request):
+            self._fail(request, 404, f"unknown route GET {path}")
 
     def _observe_request(self, route: str, status: int,
                          duration: float, queries: int = 1) -> None:
@@ -561,8 +599,8 @@ class SearchServer:
         }
 
     def _json(self, request, status: int, body: dict) -> None:
-        _reply(request, status, "application/json",
-               json.dumps(body, sort_keys=True))
+        reply(request, status, "application/json",
+              json.dumps(body, sort_keys=True))
 
     def _fail(self, request, status: int, message: str,
               retry_after: Optional[float] = None) -> None:
@@ -571,8 +609,8 @@ class SearchServer:
         headers = {}
         if retry_after is not None:
             headers["Retry-After"] = str(max(1, int(retry_after)))
-        _reply(request, status, "application/json",
-               json.dumps(body, sort_keys=True), headers)
+        reply(request, status, "application/json",
+              json.dumps(body, sort_keys=True), headers)
 
 
 class _Reject(Exception):
@@ -584,19 +622,6 @@ class _Reject(Exception):
         self.status = status
         self.message = message
         self.retry_after = retry_after
-
-
-def _reply(request: BaseHTTPRequestHandler, status: int,
-           content_type: str, body: str,
-           headers: Optional[dict] = None) -> None:
-    payload = body.encode("utf-8")
-    request.send_response(status)
-    request.send_header("Content-Type", content_type)
-    request.send_header("Content-Length", str(len(payload)))
-    for name, value in (headers or {}).items():
-        request.send_header(name, value)
-    request.end_headers()
-    request.wfile.write(payload)
 
 
 def _parse_explain(params: dict):
@@ -637,6 +662,7 @@ def serve(index_path, port: int = 8080, host: str = "127.0.0.1",
           watchdog_interval: Optional[float] = 1.0,
           slow_query_ms: Optional[float] = None,
           events_jsonl=None, slo=True, flight=True,
+          series_interval: Optional[float] = 1.0,
           ready=None, stop: Optional[threading.Event] = None) -> None:
     """Run a search server over ``index_path`` until SIGTERM/SIGINT.
 
@@ -648,7 +674,9 @@ def serve(index_path, port: int = 8080, host: str = "127.0.0.1",
     (``/profilez`` is on the telemetry endpoint, but the profiles
     also reach the flight recorder's bundle via counters);
     ``events_jsonl`` opens a size-capped :class:`~repro.obs.export.
-    JsonlSink` (closed on shutdown) receiving every wide event.
+    JsonlSink` (closed on shutdown) receiving every wide event;
+    ``series_interval`` paces the ``/seriesz`` scrape loop (``None``
+    disables the time-series store).
     ``ready`` (if given) is called with the running
     :class:`SearchServer` once it is serving; ``stop`` (an optional
     :class:`threading.Event`) shuts down when set, for embedders that
@@ -669,8 +697,8 @@ def serve(index_path, port: int = 8080, host: str = "127.0.0.1",
                           queue_limit=queue_limit,
                           request_timeout=request_timeout,
                           watchdog_interval=watchdog_interval,
-                          sink=sink, slo=slo,
-                          flight=flight) as server:
+                          sink=sink, slo=slo, flight=flight,
+                          series_interval=series_interval) as server:
             try:
                 if hasattr(signal, "SIGHUP"):
                     signal.signal(signal.SIGHUP,

@@ -51,6 +51,7 @@ SERVER_ROUTES = (
     "GET /tracez",
     "GET /sloz",
     "GET /debugz",
+    "GET /seriesz",
 )
 
 #: Accepted keys of a ``POST /search`` body.

@@ -22,6 +22,11 @@ Wide-event fields and flight-bundle fields, same two directions: the
 ``| event-field:`` rows against :data:`~repro.obs.wideevent.
 WIDE_EVENT_FIELDS` and the ``| bundle-field:`` rows against
 :data:`~repro.obs.flight.FLIGHT_BUNDLE_FIELDS`.
+
+Time-series document and anomaly-record fields, same two directions:
+the ``| series-field:`` rows against :data:`~repro.obs.timeseries.
+SERIES_FIELDS` and the ``| anomaly-field:`` rows against
+:data:`~repro.obs.timeseries.ANOMALY_EVENT_FIELDS`.
 """
 
 import re
@@ -31,6 +36,7 @@ from repro.core.engine import ENGINE_COUNTERS
 from repro.index.store_v2 import STORE_V2_COUNTERS, STORE_V2_GAUGES
 from repro.obs.flight import FLIGHT_BUNDLE_FIELDS
 from repro.obs.slo import SLO_GAUGES
+from repro.obs.timeseries import ANOMALY_EVENT_FIELDS, SERIES_FIELDS
 from repro.obs.tracing import TRACE_ATTRIBUTES, TRACING_GAUGES
 from repro.obs.watchdog import WATCHDOG_GAUGES
 from repro.obs.wideevent import WIDE_EVENT_FIELDS
@@ -183,3 +189,35 @@ def test_every_documented_bundle_field_exists_in_code():
     assert not stale, \
         f"bundle fields documented in docs/OBSERVABILITY.md but " \
         f"missing from FLIGHT_BUNDLE_FIELDS: {sorted(stale)}"
+
+
+def test_every_series_field_is_documented():
+    missing = set(SERIES_FIELDS) - _documented_prefixed("series-field")
+    assert not missing, \
+        f"/seriesz fields in SERIES_FIELDS but absent from " \
+        f"docs/OBSERVABILITY.md's series-field catalogue: " \
+        f"{sorted(missing)}"
+
+
+def test_every_documented_series_field_exists_in_code():
+    stale = _documented_prefixed("series-field") - set(SERIES_FIELDS)
+    assert not stale, \
+        f"/seriesz fields documented in docs/OBSERVABILITY.md but " \
+        f"missing from SERIES_FIELDS: {sorted(stale)}"
+
+
+def test_every_anomaly_field_is_documented():
+    missing = set(ANOMALY_EVENT_FIELDS) \
+        - _documented_prefixed("anomaly-field")
+    assert not missing, \
+        f"anomaly-record fields in ANOMALY_EVENT_FIELDS but absent " \
+        f"from docs/OBSERVABILITY.md's anomaly-field catalogue: " \
+        f"{sorted(missing)}"
+
+
+def test_every_documented_anomaly_field_exists_in_code():
+    stale = _documented_prefixed("anomaly-field") \
+        - set(ANOMALY_EVENT_FIELDS)
+    assert not stale, \
+        f"anomaly-record fields documented in docs/OBSERVABILITY.md " \
+        f"but missing from ANOMALY_EVENT_FIELDS: {sorted(stale)}"

@@ -4,11 +4,15 @@ Routes (rows prefixed ``| route:``) against
 :data:`repro.server.wire.SERVER_ROUTES`, and wire fields (rows
 prefixed ``| field:``) against the request/response field tuples —
 both directions, so the published wire contract can be trusted.
+The shared introspection catalogue (:data:`repro.obs.routes.
+SHARED_INTROSPECTION_ROUTES`) must be a subset of the server's route
+catalogue, so a route registered on both surfaces is always published.
 """
 
 import re
 from pathlib import Path
 
+from repro.obs.routes import SHARED_INTROSPECTION_ROUTES
 from repro.server import wire
 
 REPO = Path(__file__).resolve().parents[2]
@@ -56,6 +60,14 @@ def test_every_documented_route_exists_in_code():
     assert not stale, \
         f"routes documented in docs/SERVER.md but missing from " \
         f"SERVER_ROUTES: {sorted(stale)}"
+
+
+def test_shared_introspection_routes_are_published_server_routes():
+    missing = set(SHARED_INTROSPECTION_ROUTES) - set(wire.SERVER_ROUTES)
+    assert not missing, \
+        f"routes in SHARED_INTROSPECTION_ROUTES but absent from " \
+        f"SERVER_ROUTES (so undocumented on the server): " \
+        f"{sorted(missing)}"
 
 
 def test_every_wire_field_is_documented():
